@@ -1,0 +1,110 @@
+// Ablation benches for the design choices DESIGN.md calls out (beyond the
+// paper's own tables): slot masking at training, the literal
+// length-scaled destination loss of Eq. 7, beam width at prediction, the
+// sampled Bernoulli stop rule, and the deterministic traffic latent.
+#include <benchmark/benchmark.h>
+
+#include "baselines/markov2.h"
+#include "bench/bench_common.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace deepst {
+namespace bench {
+namespace {
+
+eval::EvalResult EvalModel(eval::World* world, core::DeepSTModel* model) {
+  util::Rng rng(555);
+  return eval::EvaluatePrediction(
+      *world,
+      [&](const core::RouteQuery& q) { return model->PredictRoute(q, &rng); },
+      MaxEvalTrips());
+}
+
+void BM_Ablations(benchmark::State& state) {
+  for (auto _ : state) {
+    eval::World& world = ChengduWorld();
+    util::Table table({"Variant", "recall@n", "accuracy"});
+
+    const core::DeepSTConfig base =
+        baselines::DeepStConfigOf(BaseModelConfig(world));
+
+    // Baseline DeepST (shares the table4 checkpoint).
+    auto deepst = TrainOrLoad(&world, "chengdu-deepst", base);
+    auto base_eval = EvalModel(&world, deepst.get());
+    table.AddRow("DeepST (default)",
+                 {base_eval.recall_at_n, base_eval.accuracy}, 3);
+
+    {  // Train-time slot masking (paper trains unmasked).
+      core::DeepSTConfig cfg = base;
+      cfg.mask_invalid_slots = true;
+      auto m = TrainOrLoad(&world, "chengdu-deepst-masked", cfg);
+      auto e = EvalModel(&world, m.get());
+      table.AddRow("+ mask invalid slots", {e.recall_at_n, e.accuracy}, 3);
+    }
+    {  // Unscaled destination loss (Eq. 7 literally scales it by n-1).
+      core::DeepSTConfig cfg = base;
+      cfg.dest_loss_length_scaled = false;
+      auto m = TrainOrLoad(&world, "chengdu-deepst-unscaled", cfg);
+      auto e = EvalModel(&world, m.get());
+      table.AddRow("- length-scaled dest loss",
+                   {e.recall_at_n, e.accuracy}, 3);
+    }
+    {  // Deterministic traffic latent during training.
+      core::DeepSTConfig cfg = base;
+      cfg.deterministic_traffic_latent = true;
+      auto m = TrainOrLoad(&world, "chengdu-deepst-dettraffic", cfg);
+      auto e = EvalModel(&world, m.get());
+      table.AddRow("deterministic traffic latent",
+                   {e.recall_at_n, e.accuracy}, 3);
+    }
+    {  // Greedy decoding (beam width 1) on the default checkpoint.
+      core::DeepSTConfig cfg = base;
+      cfg.beam_width = 1;
+      auto m = TrainOrLoad(&world, "chengdu-deepst", cfg);
+      auto e = EvalModel(&world, m.get());
+      table.AddRow("greedy decoding (beam=1)",
+                   {e.recall_at_n, e.accuracy}, 3);
+    }
+    {  // The paper's sampled Bernoulli stop f_s = 1/(1+d_km).
+      core::DeepSTConfig cfg = base;
+      cfg.sample_stop = true;
+      cfg.beam_width = 1;  // sampled stop pairs with sampled generation
+      auto m = TrainOrLoad(&world, "chengdu-deepst", cfg);
+      auto e = EvalModel(&world, m.get());
+      table.AddRow("sampled Bernoulli stop",
+                   {e.recall_at_n, e.accuracy}, 3);
+    }
+    {  // Scheduled sampling (paper future work on accumulated errors).
+      core::DeepSTConfig cfg = base;
+      cfg.scheduled_sampling_prob = 0.25f;
+      auto m = TrainOrLoad(&world, "chengdu-deepst-schedsamp", cfg);
+      auto e = EvalModel(&world, m.get());
+      table.AddRow("scheduled sampling p=0.25",
+                   {e.recall_at_n, e.accuracy}, 3);
+    }
+    {  // Second-order Markov (InferTra-style higher-order chain).
+      baselines::SecondOrderMarkovRouter mm2(world.net(), base);
+      mm2.Train(world.split().train);
+      util::Rng rng(555);
+      auto e = eval::EvaluatePrediction(
+          world,
+          [&](const core::RouteQuery& q) {
+            return mm2.PredictRoute(q, &rng);
+          },
+          MaxEvalTrips());
+      table.AddRow("2nd-order Markov (MM2)",
+                   {e.recall_at_n, e.accuracy}, 3);
+    }
+
+    table.Print("Ablations (chengdu-mini)");
+    (void)table.WriteCsv(OutDir() + "/ablations.csv");
+  }
+}
+BENCHMARK(BM_Ablations)->Unit(benchmark::kSecond)->Iterations(1);
+
+}  // namespace
+}  // namespace bench
+}  // namespace deepst
+
+BENCHMARK_MAIN();

@@ -1,0 +1,139 @@
+#include "bench/bench_common.h"
+
+#include <sys/stat.h>
+
+#include <cstdlib>
+
+#include "nn/serialize.h"
+#include "util/logging.h"
+
+namespace deepst {
+namespace bench {
+namespace {
+
+double WorldScale() { return eval::FastMode() ? 0.25 : 1.0; }
+
+std::string CacheDir() {
+  const char* dir = std::getenv("DEEPST_CACHE_DIR");
+  std::string path = (dir != nullptr && dir[0] != '\0') ? dir : "deepst_cache";
+  ::mkdir(path.c_str(), 0755);
+  return path;
+}
+
+}  // namespace
+
+eval::World& ChengduWorld() {
+  static eval::World* world =
+      new eval::World(eval::ChengduMiniWorld(WorldScale()));
+  return *world;
+}
+
+eval::World& HarbinWorld() {
+  static eval::World* world =
+      new eval::World(eval::HarbinMiniWorld(WorldScale()));
+  return *world;
+}
+
+core::DeepSTConfig BaseModelConfig(const eval::World& world) {
+  core::DeepSTConfig cfg = eval::DefaultModelConfig(world);
+  // K scales with the network, as the paper sets K per city (500 for
+  // Chengdu's 3185 segments, 1000 for Harbin's 12497): about one proxy per
+  // 6 segments.
+  cfg.num_proxies = std::max(16, world.net().num_segments() / 6);
+  return cfg;
+}
+
+core::TrainerConfig BenchTrainerConfig() {
+  core::TrainerConfig cfg = eval::DefaultTrainerConfig();
+  cfg.verbose = false;
+  return cfg;
+}
+
+std::unique_ptr<core::DeepSTModel> TrainOrLoad(
+    eval::World* world, const std::string& tag,
+    const core::DeepSTConfig& config, core::TrainResult* result) {
+  const std::string path = CacheDir() + "/" + tag + ".bin";
+  auto model = std::make_unique<core::DeepSTModel>(world->net(), config,
+                                                   world->traffic_cache());
+  util::Status loaded = nn::LoadParameters(model.get(), path);
+  if (loaded.ok()) {
+    DEEPST_LOG(Info) << "loaded cached model " << tag;
+    if (result != nullptr) *result = core::TrainResult{};
+    return model;
+  }
+  DEEPST_LOG(Info) << "training " << tag << " ("
+                   << model->NumParams() << " params)";
+  core::Trainer trainer(model.get(), BenchTrainerConfig());
+  core::TrainResult r =
+      trainer.Fit(world->split().train, world->split().validation);
+  DEEPST_LOG(Info) << tag << " trained in " << r.total_seconds << "s ("
+                   << r.epochs.size() << " epochs)";
+  if (result != nullptr) *result = r;
+  util::Status saved = nn::SaveParameters(*model, path);
+  if (!saved.ok()) {
+    DEEPST_LOG(Warning) << "cannot cache " << tag << ": "
+                        << saved.ToString();
+  }
+  return model;
+}
+
+MethodSuite BuildMethodSuite(eval::World* world,
+                             const std::string& city_tag) {
+  MethodSuite suite;
+  const core::DeepSTConfig base = BaseModelConfig(*world);
+  suite.deepst = TrainOrLoad(world, city_tag + "-deepst",
+                             baselines::DeepStConfigOf(base));
+  suite.deepst_c = TrainOrLoad(world, city_tag + "-deepst_c",
+                               baselines::DeepStCConfigOf(base));
+  suite.cssrnn = TrainOrLoad(world, city_tag + "-cssrnn",
+                             baselines::CssrnnConfigOf(base));
+  suite.rnn =
+      TrainOrLoad(world, city_tag + "-rnn", baselines::RnnConfigOf(base));
+  suite.mmi = std::make_unique<baselines::MarkovRouter>(world->net(), base);
+  suite.mmi->Train(world->split().train);
+  suite.wsp = std::make_unique<baselines::WspRouter>(
+      world->net(), world->index(), world->segment_stats());
+  return suite;
+}
+
+std::vector<MethodResult> EvaluateSuite(const eval::World& world,
+                                        MethodSuite* suite, int max_trips) {
+  util::Rng rng(4242);
+  auto eval_model = [&](core::DeepSTModel* model) {
+    return eval::EvaluatePrediction(
+        world,
+        [&](const core::RouteQuery& q) { return model->PredictRoute(q, &rng); },
+        max_trips);
+  };
+  std::vector<MethodResult> results;
+  results.push_back({"DeepST", eval_model(suite->deepst.get())});
+  results.push_back({"DeepST-C", eval_model(suite->deepst_c.get())});
+  results.push_back({"CSSRNN", eval_model(suite->cssrnn.get())});
+  results.push_back({"RNN", eval_model(suite->rnn.get())});
+  results.push_back(
+      {"MMI", eval::EvaluatePrediction(
+                  world,
+                  [&](const core::RouteQuery& q) {
+                    return suite->mmi->PredictRoute(q, &rng);
+                  },
+                  max_trips)});
+  results.push_back(
+      {"WSP", eval::EvaluatePrediction(
+                  world,
+                  [&](const core::RouteQuery& q) {
+                    return suite->wsp->PredictRoute(q, &rng);
+                  },
+                  max_trips)});
+  return results;
+}
+
+int MaxEvalTrips() { return eval::FastMode() ? 60 : 1000; }
+
+std::string OutDir() {
+  std::string path = "bench_out";
+  ::mkdir(path.c_str(), 0755);
+  return path;
+}
+
+}  // namespace bench
+}  // namespace deepst

@@ -1,0 +1,65 @@
+#ifndef DEEPST_BENCH_BENCH_COMMON_H_
+#define DEEPST_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/mmi.h"
+#include "baselines/neural_router.h"
+#include "baselines/wsp.h"
+#include "eval/world.h"
+
+namespace deepst {
+namespace bench {
+
+// Shared experiment plumbing for the paper-reproduction benches. Worlds are
+// built once per process; trained models are checkpointed under
+// DEEPST_CACHE_DIR (default "deepst_cache/") so the figure benches can reuse
+// the table benches' training runs across binaries.
+
+// Process-wide world singletons (scaled by DEEPST_FAST).
+eval::World& ChengduWorld();
+eval::World& HarbinWorld();
+
+// Shared base model / trainer configuration for a world (K scales with the
+// network size as in the paper's per-city K).
+core::DeepSTConfig BaseModelConfig(const eval::World& world);
+core::TrainerConfig BenchTrainerConfig();
+
+// Trains the model config on the world's training split, or loads it from
+// the cache when a checkpoint with matching shapes exists. `tag` names the
+// checkpoint (e.g. "chengdu-deepst").
+std::unique_ptr<core::DeepSTModel> TrainOrLoad(
+    eval::World* world, const std::string& tag,
+    const core::DeepSTConfig& config, core::TrainResult* result = nullptr);
+
+// The paper's four neural methods for a world, trained or loaded.
+struct MethodSuite {
+  std::unique_ptr<core::DeepSTModel> deepst;
+  std::unique_ptr<core::DeepSTModel> deepst_c;
+  std::unique_ptr<core::DeepSTModel> cssrnn;
+  std::unique_ptr<core::DeepSTModel> rnn;
+  std::unique_ptr<baselines::MarkovRouter> mmi;
+  std::unique_ptr<baselines::WspRouter> wsp;
+};
+MethodSuite BuildMethodSuite(eval::World* world, const std::string& city_tag);
+
+// Evaluates every method of a suite over the test split.
+struct MethodResult {
+  std::string name;
+  eval::EvalResult eval;
+};
+std::vector<MethodResult> EvaluateSuite(const eval::World& world,
+                                        MethodSuite* suite, int max_trips);
+
+// Max test trips per evaluation (shrunk by DEEPST_FAST).
+int MaxEvalTrips();
+
+// Output directory for CSV exports ("bench_out/", created on demand).
+std::string OutDir();
+
+}  // namespace bench
+}  // namespace deepst
+
+#endif  // DEEPST_BENCH_BENCH_COMMON_H_

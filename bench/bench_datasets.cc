@@ -1,0 +1,83 @@
+// Reproduces the paper's dataset description artifacts:
+//   Table III  -- trip statistics (min/max/mean distance and #segments),
+//   Figure 5   -- spatial distribution of GPS points (coarse grid counts),
+//   Figure 6   -- distributions of travel distance and #segments.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "traj/dataset.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace deepst {
+namespace bench {
+namespace {
+
+void PrintCityArtifacts(const eval::World& world) {
+  const auto& net = world.net();
+  const auto& records = world.records();
+
+  // -- Table III ---------------------------------------------------------------
+  traj::TripStatistics stats = traj::ComputeStatistics(net, records);
+  util::Table table({"Measure", "min", "max", "mean"});
+  table.AddRow({"Distance (km)", util::FormatDouble(stats.min_distance_km, 1),
+                util::FormatDouble(stats.max_distance_km, 1),
+                util::FormatDouble(stats.mean_distance_km, 1)});
+  table.AddRow({"#road segments", std::to_string(stats.min_segments),
+                std::to_string(stats.max_segments),
+                util::FormatDouble(stats.mean_segments, 1)});
+  table.Print("Table III (" + world.config().name + ", " +
+              std::to_string(net.num_segments()) + " segments, " +
+              std::to_string(stats.num_trips) + " trips)");
+
+  // -- Figure 6 ----------------------------------------------------------------
+  const auto dist = traj::TravelDistancesKm(net, records);
+  const auto segs = traj::SegmentCounts(records);
+  const double max_km = stats.max_distance_km + 0.1;
+  util::Table fig6({"bucket", "#trips(distance)", "#trips(#segments)"});
+  const int bins = 10;
+  auto dist_hist = traj::Histogram(dist, 0.0, max_km, bins);
+  auto seg_hist = traj::Histogram(
+      segs, 0.0, static_cast<double>(stats.max_segments + 1), bins);
+  for (int b = 0; b < bins; ++b) {
+    fig6.AddRow({util::StrFormat("%d/%d", b + 1, bins),
+                 std::to_string(dist_hist[static_cast<size_t>(b)]),
+                 std::to_string(seg_hist[static_cast<size_t>(b)])});
+  }
+  fig6.Print("Figure 6 (" + world.config().name +
+             "): travel distance / #segments histograms");
+  (void)fig6.WriteCsv(OutDir() + "/fig6_" + world.config().name + ".csv");
+
+  // -- Figure 5 ----------------------------------------------------------------
+  const int rows = 8, cols = 8;
+  auto occupancy = traj::SpatialOccupancy(net, records, rows, cols);
+  int max_count = 1;
+  for (int c : occupancy) max_count = std::max(max_count, c);
+  std::printf("\n== Figure 5 (%s): GPS point density (darker = denser) ==\n",
+              world.config().name.c_str());
+  const char* shades = " .:-=+*#%@";
+  for (int r = rows - 1; r >= 0; --r) {
+    for (int c = 0; c < cols; ++c) {
+      const int count = occupancy[static_cast<size_t>(r * cols + c)];
+      const int shade = static_cast<int>(
+          9.0 * count / static_cast<double>(max_count));
+      std::printf("%c%c", shades[shade], shades[shade]);
+    }
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+}
+
+void BM_DatasetArtifacts(benchmark::State& state) {
+  for (auto _ : state) {
+    PrintCityArtifacts(ChengduWorld());
+    PrintCityArtifacts(HarbinWorld());
+  }
+}
+BENCHMARK(BM_DatasetArtifacts)->Unit(benchmark::kSecond)->Iterations(1);
+
+}  // namespace
+}  // namespace bench
+}  // namespace deepst
+
+BENCHMARK_MAIN();

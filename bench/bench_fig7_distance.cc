@@ -1,0 +1,53 @@
+// Reproduces Figure 7: route prediction accuracy of every method versus
+// travel distance buckets, per city. Reuses the checkpoints trained by
+// bench_table4_overall when available.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "eval/metrics.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace deepst {
+namespace bench {
+namespace {
+
+void RunCity(eval::World* world, const std::string& tag) {
+  MethodSuite suite = BuildMethodSuite(world, tag);
+  auto results = EvaluateSuite(*world, &suite, MaxEvalTrips());
+  std::vector<std::string> header = {"Method"};
+  for (const char* label : eval::kDistanceBucketLabels) {
+    header.push_back(label);
+  }
+  util::Table table(std::move(header));
+  // Bucket occupancy row first.
+  std::vector<std::string> counts_row = {"#trips"};
+  for (int c : results.front().eval.bucket_counts) {
+    counts_row.push_back(std::to_string(c));
+  }
+  table.AddRow(std::move(counts_row));
+  for (const auto& r : results) {
+    std::vector<std::string> row = {r.name};
+    for (double acc : r.eval.bucket_accuracy) {
+      row.push_back(acc < 0 ? "-" : util::FormatDouble(acc, 3));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print("Figure 7 (" + world->config().name +
+              "): accuracy vs travel distance (km)");
+  (void)table.WriteCsv(OutDir() + "/fig7_" + world->config().name + ".csv");
+}
+
+void BM_Fig7Distance(benchmark::State& state) {
+  for (auto _ : state) {
+    RunCity(&ChengduWorld(), "chengdu");
+    RunCity(&HarbinWorld(), "harbin");
+  }
+}
+BENCHMARK(BM_Fig7Distance)->Unit(benchmark::kSecond)->Iterations(1);
+
+}  // namespace
+}  // namespace bench
+}  // namespace deepst
+
+BENCHMARK_MAIN();

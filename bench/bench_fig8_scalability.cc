@@ -1,0 +1,55 @@
+// Reproduces Figure 8: DeepST training time versus training set size. The
+// paper's observation is linear scaling; we train a fixed number of epochs
+// on growing subsets and report seconds/epoch.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "core/trainer.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace deepst {
+namespace bench {
+namespace {
+
+void BM_Fig8Scalability(benchmark::State& state) {
+  for (auto _ : state) {
+    eval::World& world = HarbinWorld();
+    const auto& train = world.split().train;
+    const std::vector<double> fractions = {0.25, 0.5, 0.75, 1.0};
+    util::Table table(
+        {"#train trips", "seconds/epoch", "total seconds", "ratio"});
+    double first_rate = 0.0;
+    for (double frac : fractions) {
+      const size_t n = static_cast<size_t>(frac * train.size());
+      std::vector<const traj::TripRecord*> subset(train.begin(),
+                                                  train.begin() + n);
+      core::DeepSTConfig cfg =
+          baselines::DeepStConfigOf(BaseModelConfig(world));
+      core::DeepSTModel model(world.net(), cfg, world.traffic_cache());
+      core::TrainerConfig tcfg = BenchTrainerConfig();
+      tcfg.max_epochs = eval::FastMode() ? 1 : 3;
+      tcfg.patience = tcfg.max_epochs + 1;  // no early stop: fixed epochs
+      core::Trainer trainer(&model, tcfg);
+      core::TrainResult result = trainer.Fit(subset, {});
+      double per_epoch = 0.0;
+      for (const auto& e : result.epochs) per_epoch += e.seconds;
+      per_epoch /= static_cast<double>(result.epochs.size());
+      if (first_rate == 0.0) first_rate = per_epoch / frac;
+      table.AddRow({std::to_string(n), util::FormatDouble(per_epoch, 2),
+                    util::FormatDouble(result.total_seconds, 2),
+                    // ratio ~ 1.0 everywhere indicates linear scaling.
+                    util::FormatDouble(per_epoch / (first_rate * frac), 2)});
+    }
+    table.Print("Figure 8: training time vs training data size (" +
+                world.config().name + ")");
+    (void)table.WriteCsv(OutDir() + "/fig8.csv");
+  }
+}
+BENCHMARK(BM_Fig8Scalability)->Unit(benchmark::kSecond)->Iterations(1);
+
+}  // namespace
+}  // namespace bench
+}  // namespace deepst
+
+BENCHMARK_MAIN();

@@ -1,0 +1,165 @@
+// Micro-benchmarks of the hot paths, including an empirical check of the
+// paper's Section IV-F complexity claim: route prediction and likelihood
+// scoring are O(|r|) in the route length.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "baselines/neural_router.h"
+#include "eval/world.h"
+#include "mapmatch/hmm_matcher.h"
+#include "nn/layers.h"
+#include "nn/ops.h"
+#include "roadnet/shortest_path.h"
+
+namespace deepst {
+namespace bench {
+namespace {
+
+eval::World& MicroWorld() {
+  static eval::World* world = [] {
+    eval::WorldConfig cfg = eval::ChengduMiniWorld(0.2);
+    cfg.name = "micro-world";
+    cfg.generator.num_days = 4;
+    cfg.train_days = 2;
+    cfg.val_days = 1;
+    return new eval::World(cfg);
+  }();
+  return *world;
+}
+
+core::DeepSTModel& MicroModel() {
+  static core::DeepSTModel* model = [] {
+    core::DeepSTConfig cfg =
+        baselines::DeepStCConfigOf(eval::DefaultModelConfig(MicroWorld()));
+    return new core::DeepSTModel(MicroWorld().net(), cfg, nullptr);
+  }();
+  return *model;
+}
+
+// -- nn kernels ------------------------------------------------------------------
+
+void BM_GruStep(benchmark::State& state) {
+  const int64_t batch = state.range(0);
+  util::Rng rng(1);
+  nn::StackedGru gru(32, 64, 2, &rng);
+  nn::VarPtr x = nn::Constant(nn::Tensor::Uniform({batch, 32}, -1, 1, &rng));
+  for (auto _ : state) {
+    auto s = gru.InitialState(batch);
+    benchmark::DoNotOptimize(gru.Step(x, &s));
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_GruStep)->Arg(1)->Arg(16)->Arg(64);
+
+void BM_LinearForwardBackward(benchmark::State& state) {
+  util::Rng rng(2);
+  nn::LinearLayer fc(256, 256, &rng);
+  nn::VarPtr x =
+      nn::MakeVar(nn::Tensor::Uniform({64, 256}, -1, 1, &rng), true);
+  for (auto _ : state) {
+    nn::VarPtr loss = nn::ops::Sum(fc.Forward(x));
+    nn::Backward(loss);
+    x->ZeroGrad();
+    benchmark::DoNotOptimize(loss->value()[0]);
+  }
+}
+BENCHMARK(BM_LinearForwardBackward);
+
+// -- roadnet ---------------------------------------------------------------------
+
+void BM_Dijkstra(benchmark::State& state) {
+  auto& world = MicroWorld();
+  const auto cost = roadnet::FreeFlowTimeCost(world.net());
+  util::Rng rng(3);
+  for (auto _ : state) {
+    const auto src = static_cast<roadnet::SegmentId>(rng.UniformInt(
+        static_cast<uint64_t>(world.net().num_segments())));
+    benchmark::DoNotOptimize(
+        roadnet::ShortestPathTree(world.net(), src, cost));
+  }
+}
+BENCHMARK(BM_Dijkstra);
+
+void BM_SpatialIndexNearest(benchmark::State& state) {
+  auto& world = MicroWorld();
+  util::Rng rng(4);
+  const auto& box = world.net().bounds();
+  for (auto _ : state) {
+    geo::Point p{rng.Uniform(box.min.x, box.max.x),
+                 rng.Uniform(box.min.y, box.max.y)};
+    benchmark::DoNotOptimize(world.index().Nearest(p));
+  }
+}
+BENCHMARK(BM_SpatialIndexNearest);
+
+// -- mapmatch --------------------------------------------------------------------
+
+void BM_HmmMatch(benchmark::State& state) {
+  auto& world = MicroWorld();
+  mapmatch::HmmMapMatcher matcher(world.net(), world.index());
+  const auto& gps = world.records().front().gps;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matcher.Match(gps));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(gps.size()));
+}
+BENCHMARK(BM_HmmMatch);
+
+// -- DeepST prediction/scoring: O(|r|) (paper IV-F) --------------------------------
+
+// Scores a synthetic straight-line route of the requested length; time per
+// iteration should grow linearly with the length argument.
+void BM_ScoreRouteByLength(benchmark::State& state) {
+  auto& world = MicroWorld();
+  auto& model = MicroModel();
+  const int target_len = static_cast<int>(state.range(0));
+  // A route of the requested length: the prefix of the longest shortest
+  // path rooted at segment 0 (paths in an 11x11 grid reach ~20+ segments).
+  const auto cost = roadnet::LengthCost(world.net());
+  const auto dist = roadnet::ShortestPathTree(world.net(), 0, cost);
+  roadnet::SegmentId far = 0;
+  for (roadnet::SegmentId s = 0; s < world.net().num_segments(); ++s) {
+    if (std::isfinite(dist[static_cast<size_t>(s)]) &&
+        dist[static_cast<size_t>(s)] > dist[static_cast<size_t>(far)]) {
+      far = s;
+    }
+  }
+  traj::Route route =
+      roadnet::ShortestPath(world.net(), 0, far, cost).value().path;
+  if (static_cast<int>(route.size()) > target_len) {
+    route.resize(static_cast<size_t>(target_len));
+  }
+  util::Rng rng(5);
+  core::RouteQuery query;
+  query.origin = route.front();
+  query.destination = world.net().SegmentEnd(route.back());
+  core::PredictionContext ctx = model.MakeContext(query, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.ScoreRoute(ctx, route));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(route.size()));
+  state.counters["route_len"] =
+      static_cast<double>(route.size());
+}
+BENCHMARK(BM_ScoreRouteByLength)->Arg(5)->Arg(10)->Arg(19);
+
+void BM_PredictRoute(benchmark::State& state) {
+  auto& world = MicroWorld();
+  auto& model = MicroModel();
+  util::Rng rng(6);
+  const auto* rec = world.split().test.front();
+  core::RouteQuery query = eval::QueryFor(rec->trip);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.PredictRoute(query, &rng));
+  }
+}
+BENCHMARK(BM_PredictRoute);
+
+}  // namespace
+}  // namespace bench
+}  // namespace deepst
+
+BENCHMARK_MAIN();

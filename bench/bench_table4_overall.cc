@@ -1,0 +1,41 @@
+// Reproduces Table IV: overall recall@n / accuracy of DeepST, DeepST-C,
+// CSSRNN, RNN, MMI and WSP on both cities, plus the Section V-B
+// "effectiveness of K-destination proxies" comparison (DeepST-C vs CSSRNN).
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace deepst {
+namespace bench {
+namespace {
+
+void RunCity(eval::World* world, const std::string& tag,
+             util::Table* table) {
+  MethodSuite suite = BuildMethodSuite(world, tag);
+  auto results = EvaluateSuite(*world, &suite, MaxEvalTrips());
+  for (const auto& r : results) {
+    table->AddRow({world->config().name, r.name,
+                   util::FormatDouble(r.eval.recall_at_n, 3),
+                   util::FormatDouble(r.eval.accuracy, 3),
+                   std::to_string(r.eval.num_trips)});
+  }
+}
+
+void BM_Table4Overall(benchmark::State& state) {
+  for (auto _ : state) {
+    util::Table table({"City", "Method", "recall@n", "accuracy", "#test"});
+    RunCity(&ChengduWorld(), "chengdu", &table);
+    RunCity(&HarbinWorld(), "harbin", &table);
+    table.Print("Table IV: overall performance");
+    (void)table.WriteCsv(OutDir() + "/table4.csv");
+  }
+}
+BENCHMARK(BM_Table4Overall)->Unit(benchmark::kSecond)->Iterations(1);
+
+}  // namespace
+}  // namespace bench
+}  // namespace deepst
+
+BENCHMARK_MAIN();

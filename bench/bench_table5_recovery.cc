@@ -1,0 +1,100 @@
+// Reproduces Table V: route recovery accuracy of STRS (Markov spatial
+// module) versus STRS+ (DeepST spatial module) as the trajectory sampling
+// interval grows from 1 to 9 minutes, with the relative improvement row
+// delta(%). Reuses the cached DeepST checkpoints.
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+
+#include "bench/bench_common.h"
+#include "recovery/strs.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace deepst {
+namespace bench {
+namespace {
+
+struct RecoveryRow {
+  std::vector<double> strs;
+  std::vector<double> strs_plus;
+};
+
+RecoveryRow RunCity(eval::World* world, const std::string& tag,
+                    const std::vector<int>& rates_min, int max_trajs) {
+  const core::DeepSTConfig base = BaseModelConfig(*world);
+  auto deepst = TrainOrLoad(world, tag + "-deepst",
+                            baselines::DeepStConfigOf(base));
+  auto mmi = std::make_unique<baselines::MarkovRouter>(world->net(), base);
+  mmi->Train(world->split().train);
+
+  recovery::MarkovSpatialScorer markov_scorer(mmi.get());
+  recovery::DeepStSpatialScorer deepst_scorer(deepst.get());
+  recovery::StrsConfig strs_cfg;
+  if (const char* w = std::getenv("DEEPST_SPATIAL_WEIGHT")) {
+    strs_cfg.spatial_weight = std::atof(w);
+  }
+  recovery::StrsRecovery strs(world->net(), world->index(),
+                              world->segment_stats(), &markov_scorer,
+                              strs_cfg);
+  recovery::StrsRecovery strs_plus(world->net(), world->index(),
+                                   world->segment_stats(), &deepst_scorer,
+                                   strs_cfg);
+
+  RecoveryRow row;
+  util::Rng rng(777);
+  for (int rate : rates_min) {
+    eval::MetricAccumulator acc_strs, acc_plus;
+    int used = 0;
+    for (const auto* rec : world->split().test) {
+      if (used >= max_trajs) break;
+      if (rec->gps.size() < 3) continue;
+      auto sparse = traj::DownsampleByInterval(rec->gps, rate * 60.0);
+      if (sparse.size() < 2) continue;
+      ++used;
+      auto r1 = strs.RecoverTrajectory(sparse, rec->trip.destination,
+                                       rec->trip.start_time_s, &rng);
+      auto r2 = strs_plus.RecoverTrajectory(sparse, rec->trip.destination,
+                                            rec->trip.start_time_s, &rng);
+      if (r1.ok()) acc_strs.Add(rec->trip.route, r1.value());
+      if (r2.ok()) acc_plus.Add(rec->trip.route, r2.value());
+    }
+    row.strs.push_back(acc_strs.mean_accuracy());
+    row.strs_plus.push_back(acc_plus.mean_accuracy());
+  }
+  return row;
+}
+
+void BM_Table5Recovery(benchmark::State& state) {
+  const std::vector<int> rates = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const int max_trajs = eval::FastMode() ? 30 : 250;
+  for (auto _ : state) {
+    for (auto* world : {&ChengduWorld(), &HarbinWorld()}) {
+      const std::string tag =
+          world == &ChengduWorld() ? "chengdu" : "harbin";
+      RecoveryRow row = RunCity(world, tag, rates, max_trajs);
+      std::vector<std::string> header = {"Method"};
+      for (int r : rates) header.push_back(std::to_string(r));
+      util::Table table(std::move(header));
+      table.AddRow("STRS", row.strs, 2);
+      table.AddRow("STRS+", row.strs_plus, 2);
+      std::vector<double> delta;
+      for (size_t i = 0; i < rates.size(); ++i) {
+        const double base = std::max(row.strs[i], 1e-9);
+        delta.push_back(100.0 * (row.strs_plus[i] - row.strs[i]) / base);
+      }
+      table.AddRow("delta(%)", delta, 2);
+      table.Print("Table V (" + world->config().name +
+                  "): recovery accuracy vs sampling rate (mins)");
+      (void)table.WriteCsv(OutDir() + "/table5_" + world->config().name +
+                           ".csv");
+    }
+  }
+}
+BENCHMARK(BM_Table5Recovery)->Unit(benchmark::kSecond)->Iterations(1);
+
+}  // namespace
+}  // namespace bench
+}  // namespace deepst
+
+BENCHMARK_MAIN();

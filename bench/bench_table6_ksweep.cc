@@ -1,0 +1,56 @@
+// Reproduces Table VI: sensitivity of DeepST to the number of destination
+// proxies K on the Harbin-like dataset. The paper's shape: performance
+// improves up to an intermediate K, then degrades when proxies get too many
+// trips' statistical strength spread too thin.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace deepst {
+namespace bench {
+namespace {
+
+void BM_Table6KSweep(benchmark::State& state) {
+  for (auto _ : state) {
+    eval::World& world = HarbinWorld();
+    // Scaled analogue of the paper's {500,1000,...,3000} sweep; our
+    // harbin-mini has ~800 segments vs the paper's 12497.
+    // The sweep must extend below the effective number of destination
+    // regions (harbin-mini has 8 hubs + uniform background) to expose the
+    // paper's too-few-proxies regime, and well above it for the
+    // too-many-proxies regime.
+    std::vector<int> ks =
+        eval::FastMode()
+            ? std::vector<int>{4, 64}
+            : std::vector<int>{2, 4, 8, 32, 64, 128, 256};
+    util::Table table({"K", "recall@n", "accuracy"});
+    util::Rng rng(31337);
+    for (int k : ks) {
+      core::DeepSTConfig cfg =
+          baselines::DeepStConfigOf(BaseModelConfig(world));
+      cfg.num_proxies = k;
+      auto model =
+          TrainOrLoad(&world, "harbin-deepst-k" + std::to_string(k), cfg);
+      auto result = eval::EvaluatePrediction(
+          world,
+          [&](const core::RouteQuery& q) {
+            return model->PredictRoute(q, &rng);
+          },
+          MaxEvalTrips());
+      table.AddRow(std::to_string(k),
+                   {result.recall_at_n, result.accuracy}, 3);
+    }
+    table.Print("Table VI: impact of K destination proxies (" +
+                world.config().name + ")");
+    (void)table.WriteCsv(OutDir() + "/table6.csv");
+  }
+}
+BENCHMARK(BM_Table6KSweep)->Unit(benchmark::kSecond)->Iterations(1);
+
+}  // namespace
+}  // namespace bench
+}  // namespace deepst
+
+BENCHMARK_MAIN();

@@ -1,0 +1,295 @@
+// deepst_cli -- command-line front end for the DeepST library.
+//
+//   deepst_cli generate --out-dir data [--city chengdu|harbin] [--days N]
+//       [--trips-per-day N] [--seed S]
+//   deepst_cli train --data-dir data --model model.bin
+//       [--variant deepst|deepst_c|cssrnn|rnn] [--epochs N] [--hidden N]
+//       [--proxies K]
+//   deepst_cli evaluate --data-dir data --model model.bin [--variant ...]
+//       [--max-trips N]
+//   deepst_cli predict --data-dir data --model model.bin --trip INDEX
+//       [--variant ...] [--map]
+//   deepst_cli recover --data-dir data --model model.bin --trip INDEX
+//       [--interval-s SECONDS]
+//
+// `generate` writes network.bin + dataset.bin (+ CSV exports); the other
+// commands load them, so experiments are reproducible without regenerating.
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "baselines/mmi.h"
+#include "baselines/neural_router.h"
+#include "core/trainer.h"
+#include "eval/metrics.h"
+#include "eval/world.h"
+#include "nn/serialize.h"
+#include "recovery/strs.h"
+#include "roadnet/io.h"
+#include "traj/ascii_map.h"
+#include "traj/dataset.h"
+#include "traj/io.h"
+#include "traj/segment_stats.h"
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace deepst {
+namespace cli {
+namespace {
+
+int Fail(const util::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: deepst_cli <generate|train|evaluate|predict|recover> "
+               "[options]\n"
+               "see the header of cli/deepst_cli.cc for per-command "
+               "options\n");
+  return 2;
+}
+
+// Everything the post-generate commands need, loaded from --data-dir.
+struct LoadedData {
+  std::unique_ptr<roadnet::RoadNetwork> net;
+  std::vector<traj::TripRecord> records;
+  traj::DatasetSplit split;
+  std::unique_ptr<roadnet::SpatialIndex> index;
+  std::unique_ptr<traffic::TrafficTensorCache> cache;
+  std::unique_ptr<traj::SegmentStatsTable> stats;
+  int train_days = 12;
+  int val_days = 2;
+};
+
+util::StatusOr<LoadedData> LoadData(const util::Flags& flags) {
+  const std::string dir = flags.GetString("data-dir");
+  if (dir.empty()) {
+    return util::Status::InvalidArgument("--data-dir is required");
+  }
+  LoadedData data;
+  auto net = roadnet::LoadRoadNetwork(dir + "/network.bin");
+  if (!net.ok()) return net.status();
+  data.net = std::move(net).value();
+  auto records = traj::LoadDataset(dir + "/dataset.bin");
+  if (!records.ok()) return records.status();
+  data.records = std::move(records).value();
+
+  auto train_days = flags.GetInt("train-days", 12);
+  if (!train_days.ok()) return train_days.status();
+  auto val_days = flags.GetInt("val-days", 2);
+  if (!val_days.ok()) return val_days.status();
+  data.train_days = static_cast<int>(train_days.value());
+  data.val_days = static_cast<int>(val_days.value());
+  data.split =
+      traj::SplitByDay(data.records, data.train_days, data.val_days);
+  data.index = std::make_unique<roadnet::SpatialIndex>(*data.net);
+
+  auto cell = flags.GetDouble("traffic-cell-m", 350.0);
+  if (!cell.ok()) return cell.status();
+  geo::GridSpec grid(data.net->bounds(), cell.value());
+  data.cache = std::make_unique<traffic::TrafficTensorCache>(
+      grid, /*slot_seconds=*/1200.0, /*window_seconds=*/1800.0);
+  data.cache->AddObservations(traj::CollectObservations(data.records));
+  data.stats =
+      std::make_unique<traj::SegmentStatsTable>(*data.net, data.split.train);
+  return data;
+}
+
+util::StatusOr<core::DeepSTConfig> ModelConfigFromFlags(
+    const util::Flags& flags, const LoadedData& data) {
+  core::DeepSTConfig base;
+  auto hidden = flags.GetInt("hidden", base.gru_hidden);
+  if (!hidden.ok()) return hidden.status();
+  base.gru_hidden = static_cast<int>(hidden.value());
+  auto proxies =
+      flags.GetInt("proxies", std::max(16, data.net->num_segments() / 6));
+  if (!proxies.ok()) return proxies.status();
+  base.num_proxies = static_cast<int>(proxies.value());
+
+  const std::string variant = flags.GetString("variant", "deepst");
+  if (variant == "deepst") return baselines::DeepStConfigOf(base);
+  if (variant == "deepst_c") return baselines::DeepStCConfigOf(base);
+  if (variant == "cssrnn") return baselines::CssrnnConfigOf(base);
+  if (variant == "rnn") return baselines::RnnConfigOf(base);
+  return util::Status::InvalidArgument("unknown --variant '" + variant + "'");
+}
+
+int CmdGenerate(const util::Flags& flags) {
+  const std::string dir = flags.GetString("out-dir");
+  if (dir.empty()) return Fail(util::Status::InvalidArgument(
+      "--out-dir is required"));
+  const std::string city = flags.GetString("city", "chengdu");
+  eval::WorldConfig cfg = city == "harbin" ? eval::HarbinMiniWorld()
+                                           : eval::ChengduMiniWorld();
+  auto days = flags.GetInt("days", cfg.generator.num_days);
+  if (!days.ok()) return Fail(days.status());
+  cfg.generator.num_days = static_cast<int>(days.value());
+  auto tpd = flags.GetInt("trips-per-day", cfg.generator.trips_per_day);
+  if (!tpd.ok()) return Fail(tpd.status());
+  cfg.generator.trips_per_day = static_cast<int>(tpd.value());
+  auto seed = flags.GetInt("seed", static_cast<int64_t>(cfg.generator.seed));
+  if (!seed.ok()) return Fail(seed.status());
+  cfg.generator.seed = static_cast<uint64_t>(seed.value());
+
+  eval::World world(cfg);
+  util::Status s =
+      roadnet::SaveRoadNetwork(world.net(), dir + "/network.bin");
+  if (!s.ok()) return Fail(s);
+  s = traj::SaveDataset(world.records(), dir + "/dataset.bin");
+  if (!s.ok()) return Fail(s);
+  s = traj::ExportTripsCsv(world.records(), dir + "/trips.csv");
+  if (!s.ok()) return Fail(s);
+  std::printf("wrote %s/network.bin (%d segments), dataset.bin (%zu trips), "
+              "trips.csv\n",
+              dir.c_str(), world.net().num_segments(),
+              world.records().size());
+  return 0;
+}
+
+int CmdTrain(const util::Flags& flags) {
+  auto data = LoadData(flags);
+  if (!data.ok()) return Fail(data.status());
+  auto cfg = ModelConfigFromFlags(flags, data.value());
+  if (!cfg.ok()) return Fail(cfg.status());
+  const std::string model_path = flags.GetString("model");
+  if (model_path.empty()) {
+    return Fail(util::Status::InvalidArgument("--model is required"));
+  }
+  core::DeepSTModel model(*data.value().net, cfg.value(),
+                          data.value().cache.get());
+  core::TrainerConfig tcfg;
+  auto epochs = flags.GetInt("epochs", tcfg.max_epochs);
+  if (!epochs.ok()) return Fail(epochs.status());
+  tcfg.max_epochs = static_cast<int>(epochs.value());
+  tcfg.verbose = true;
+  core::Trainer trainer(&model, tcfg);
+  core::TrainResult result =
+      trainer.Fit(data.value().split.train, data.value().split.validation);
+  util::Status s = nn::SaveParameters(model, model_path);
+  if (!s.ok()) return Fail(s);
+  std::printf("trained %lld params in %.1fs (%zu epochs), saved to %s\n",
+              static_cast<long long>(model.NumParams()),
+              result.total_seconds, result.epochs.size(),
+              model_path.c_str());
+  return 0;
+}
+
+util::StatusOr<std::unique_ptr<core::DeepSTModel>> LoadModel(
+    const util::Flags& flags, const LoadedData& data) {
+  auto cfg = ModelConfigFromFlags(flags, data);
+  if (!cfg.ok()) return cfg.status();
+  auto model = std::make_unique<core::DeepSTModel>(*data.net, cfg.value(),
+                                                   data.cache.get());
+  util::Status s = nn::LoadParameters(model.get(),
+                                      flags.GetString("model"));
+  if (!s.ok()) return s;
+  return model;
+}
+
+int CmdEvaluate(const util::Flags& flags) {
+  auto data = LoadData(flags);
+  if (!data.ok()) return Fail(data.status());
+  auto model = LoadModel(flags, data.value());
+  if (!model.ok()) return Fail(model.status());
+  auto max_trips = flags.GetInt("max-trips", 500);
+  if (!max_trips.ok()) return Fail(max_trips.status());
+  util::Rng rng(7);
+  eval::MetricAccumulator acc;
+  for (const auto* rec : data.value().split.test) {
+    if (acc.count >= max_trips.value()) break;
+    if (rec->trip.route.size() < 2) continue;
+    auto route =
+        model.value()->PredictRoute(eval::QueryFor(rec->trip), &rng);
+    acc.Add(rec->trip.route, route);
+  }
+  std::printf("test trips: %d\nrecall@n: %.3f\naccuracy: %.3f\n", acc.count,
+              acc.mean_recall(), acc.mean_accuracy());
+  return 0;
+}
+
+int CmdPredict(const util::Flags& flags) {
+  auto data = LoadData(flags);
+  if (!data.ok()) return Fail(data.status());
+  auto model = LoadModel(flags, data.value());
+  if (!model.ok()) return Fail(model.status());
+  auto trip_index = flags.GetInt("trip", 0);
+  if (!trip_index.ok()) return Fail(trip_index.status());
+  const auto& test = data.value().split.test;
+  if (test.empty()) return Fail(util::Status::NotFound("empty test split"));
+  const auto* rec =
+      test[static_cast<size_t>(trip_index.value()) % test.size()];
+  core::RouteQuery query = eval::QueryFor(rec->trip);
+  util::Rng rng(7);
+  auto route = model.value()->PredictRoute(query, &rng);
+  std::printf("query: origin %d -> (%.0f, %.0f) at t=%.0fs\n", query.origin,
+              query.destination.x, query.destination.y, query.start_time_s);
+  std::printf("truth    (%2zu):", rec->trip.route.size());
+  for (auto s : rec->trip.route) std::printf(" %d", s);
+  std::printf("\npredicted(%2zu):", route.size());
+  for (auto s : route) std::printf(" %d", s);
+  std::printf("\naccuracy: %.3f\n",
+              eval::Accuracy(rec->trip.route, route));
+  if (flags.GetBool("map")) {
+    traj::AsciiMap map(*data.value().net, 22, 46);
+    map.DrawNetwork();
+    map.DrawRoute(rec->trip.route, '+');
+    map.DrawRoute(route, '#');
+    map.MarkPoint(query.destination, 'X');
+    std::printf("%s('#' predicted, '+' truth, 'X' destination)\n",
+                map.Render().c_str());
+  }
+  return 0;
+}
+
+int CmdRecover(const util::Flags& flags) {
+  auto data = LoadData(flags);
+  if (!data.ok()) return Fail(data.status());
+  auto model = LoadModel(flags, data.value());
+  if (!model.ok()) return Fail(model.status());
+  auto trip_index = flags.GetInt("trip", 0);
+  if (!trip_index.ok()) return Fail(trip_index.status());
+  auto interval = flags.GetDouble("interval-s", 240.0);
+  if (!interval.ok()) return Fail(interval.status());
+  const auto& test = data.value().split.test;
+  if (test.empty()) return Fail(util::Status::NotFound("empty test split"));
+  const auto* rec =
+      test[static_cast<size_t>(trip_index.value()) % test.size()];
+  auto sparse = traj::DownsampleByInterval(rec->gps, interval.value());
+  recovery::DeepStSpatialScorer scorer(model.value().get());
+  recovery::StrsRecovery strs_plus(*data.value().net, *data.value().index,
+                                   *data.value().stats, &scorer);
+  util::Rng rng(7);
+  auto recovered = strs_plus.RecoverTrajectory(
+      sparse, rec->trip.destination, rec->trip.start_time_s, &rng);
+  if (!recovered.ok()) return Fail(recovered.status());
+  std::printf("sparse points: %zu (of %zu)\ntruth    (%2zu):",
+              sparse.size(), rec->gps.size(), rec->trip.route.size());
+  for (auto s : rec->trip.route) std::printf(" %d", s);
+  std::printf("\nrecovered(%2zu):", recovered.value().size());
+  for (auto s : recovered.value()) std::printf(" %d", s);
+  std::printf("\naccuracy: %.3f\n",
+              eval::Accuracy(rec->trip.route, recovered.value()));
+  return 0;
+}
+
+int Main(int argc, const char* const* argv) {
+  if (argc < 2) return Usage();
+  auto flags = util::Flags::Parse(argc - 1, argv + 1);
+  if (!flags.ok()) return Fail(flags.status());
+  const std::string command = argv[1];
+  if (command == "generate") return CmdGenerate(flags.value());
+  if (command == "train") return CmdTrain(flags.value());
+  if (command == "evaluate") return CmdEvaluate(flags.value());
+  if (command == "predict") return CmdPredict(flags.value());
+  if (command == "recover") return CmdRecover(flags.value());
+  return Usage();
+}
+
+}  // namespace
+}  // namespace cli
+}  // namespace deepst
+
+int main(int argc, char** argv) { return deepst::cli::Main(argc, argv); }

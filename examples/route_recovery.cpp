@@ -1,0 +1,80 @@
+// Route recovery from sparse trajectories (paper Section V-C): downsample a
+// dense GPS trace to one point every few minutes, then reconstruct the
+// underlying route with STRS (Markov spatial prior) and STRS+ (DeepST
+// spatial prior), comparing both against the ground truth.
+#include <cstdio>
+
+#include "baselines/neural_router.h"
+#include "eval/world.h"
+#include "recovery/strs.h"
+
+using namespace deepst;
+
+namespace {
+
+void PrintRoute(const char* label, const traj::Route& route) {
+  std::printf("%s (%2zu segs):", label, route.size());
+  for (auto s : route) std::printf(" %d", s);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  eval::WorldConfig config = eval::ChengduMiniWorld(/*scale=*/0.5);
+  config.generator.num_days = 8;
+  config.train_days = 6;
+  config.val_days = 1;
+  eval::World world(config);
+
+  // STRS+ needs a trained DeepST for its spatial module; a short training
+  // run is enough for the demo.
+  core::TrainerConfig trainer_config = eval::DefaultTrainerConfig();
+  trainer_config.max_epochs = 10;
+  auto deepst = eval::TrainModel(
+      &world, baselines::DeepStConfigOf(eval::DefaultModelConfig(world)),
+      trainer_config);
+
+  baselines::MarkovRouter mmi(world.net(), core::DeepSTConfig{});
+  mmi.Train(world.split().train);
+
+  recovery::MarkovSpatialScorer markov_scorer(&mmi);
+  recovery::DeepStSpatialScorer deepst_scorer(deepst.get());
+  recovery::StrsRecovery strs(world.net(), world.index(),
+                              world.segment_stats(), &markov_scorer);
+  recovery::StrsRecovery strs_plus(world.net(), world.index(),
+                                   world.segment_stats(), &deepst_scorer);
+
+  util::Rng rng(99);
+  int shown = 0;
+  for (const auto* rec : world.split().test) {
+    if (shown >= 3) break;
+    if (rec->trip.route.size() < 8) continue;
+    // Keep roughly one GPS point every 4 minutes.
+    traj::GpsTrajectory sparse = traj::DownsampleByInterval(rec->gps, 240.0);
+    if (sparse.size() < 3) continue;
+    ++shown;
+    std::printf("\n--- trip with %zu GPS points, downsampled to %zu ---\n",
+                rec->gps.size(), sparse.size());
+    PrintRoute("ground truth", rec->trip.route);
+    auto r1 = strs.RecoverTrajectory(sparse, rec->trip.destination,
+                                     rec->trip.start_time_s, &rng);
+    auto r2 = strs_plus.RecoverTrajectory(sparse, rec->trip.destination,
+                                          rec->trip.start_time_s, &rng);
+    if (r1.ok()) {
+      PrintRoute("STRS        ", r1.value());
+      std::printf("  STRS  accuracy: %.3f\n",
+                  eval::Accuracy(rec->trip.route, r1.value()));
+    } else {
+      std::printf("STRS failed: %s\n", r1.status().ToString().c_str());
+    }
+    if (r2.ok()) {
+      PrintRoute("STRS+       ", r2.value());
+      std::printf("  STRS+ accuracy: %.3f\n",
+                  eval::Accuracy(rec->trip.route, r2.value()));
+    } else {
+      std::printf("STRS+ failed: %s\n", r2.status().ToString().c_str());
+    }
+  }
+  return 0;
+}

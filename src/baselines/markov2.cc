@@ -1,0 +1,115 @@
+#include "baselines/markov2.h"
+
+#include <cmath>
+#include <limits>
+
+#include "core/deepst_model.h"
+
+namespace deepst {
+namespace baselines {
+
+using roadnet::SegmentId;
+
+SecondOrderMarkovRouter::SecondOrderMarkovRouter(
+    const roadnet::RoadNetwork& net, const core::DeepSTConfig& gen_config)
+    : net_(net), gen_config_(gen_config) {
+  counts1_.resize(static_cast<size_t>(net.num_segments()));
+  for (SegmentId s = 0; s < net.num_segments(); ++s) {
+    counts1_[static_cast<size_t>(s)].assign(
+        static_cast<size_t>(net.OutDegree(s)), 0);
+  }
+}
+
+void SecondOrderMarkovRouter::Train(
+    const std::vector<const traj::TripRecord*>& records) {
+  const int64_t n = net_.num_segments();
+  for (const auto* rec : records) {
+    const traj::Route& route = rec->trip.route;
+    for (size_t i = 0; i + 1 < route.size(); ++i) {
+      const int slot = net_.NeighborSlot(route[i], route[i + 1]);
+      DEEPST_CHECK_GE(slot, 0);
+      ++counts1_[static_cast<size_t>(route[i])][static_cast<size_t>(slot)];
+      if (i >= 1) {
+        const int64_t key = static_cast<int64_t>(route[i - 1]) * n + route[i];
+        auto& row = counts2_[key];
+        if (row.empty()) {
+          row.assign(static_cast<size_t>(net_.OutDegree(route[i])), 0);
+        }
+        ++row[static_cast<size_t>(slot)];
+      }
+    }
+  }
+}
+
+const std::vector<int>* SecondOrderMarkovRouter::ContextCounts(
+    SegmentId prev, SegmentId cur) const {
+  if (prev == roadnet::kInvalidSegment) return nullptr;
+  const int64_t key =
+      static_cast<int64_t>(prev) * net_.num_segments() + cur;
+  auto it = counts2_.find(key);
+  if (it == counts2_.end()) return nullptr;
+  return &it->second;
+}
+
+double SecondOrderMarkovRouter::TransitionProb(SegmentId prev, SegmentId cur,
+                                               SegmentId next) const {
+  const int slot = net_.NeighborSlot(cur, next);
+  if (slot < 0) return 0.0;
+  const std::vector<int>* row = ContextCounts(prev, cur);
+  if (row == nullptr) row = &counts1_[static_cast<size_t>(cur)];
+  double total = 0.0;
+  for (int c : *row) total += c + 1.0;
+  return ((*row)[static_cast<size_t>(slot)] + 1.0) / total;
+}
+
+traj::Route SecondOrderMarkovRouter::PredictRoute(
+    const core::RouteQuery& query, util::Rng* rng) {
+  traj::Route route = {query.origin};
+  std::vector<bool> visited(static_cast<size_t>(net_.num_segments()), false);
+  visited[static_cast<size_t>(query.origin)] = true;
+  SegmentId prev = roadnet::kInvalidSegment;
+  SegmentId cur = query.origin;
+  for (int step = 0; step < gen_config_.max_route_steps; ++step) {
+    const auto& outs = net_.OutSegments(cur);
+    if (outs.empty()) break;
+    int best = -1;
+    double best_p = -1.0;
+    for (size_t s = 0; s < outs.size(); ++s) {
+      if (visited[static_cast<size_t>(outs[s])]) continue;
+      const double p = TransitionProb(prev, cur, outs[s]);
+      if (p > best_p) {
+        best_p = p;
+        best = static_cast<int>(s);
+      }
+    }
+    if (best < 0) break;
+    const SegmentId next = outs[static_cast<size_t>(best)];
+    route.push_back(next);
+    visited[static_cast<size_t>(next)] = true;
+    if (core::ShouldStop(net_, query.destination, next, gen_config_, rng)) {
+      break;
+    }
+    prev = cur;
+    cur = next;
+  }
+  return route;
+}
+
+double SecondOrderMarkovRouter::ScoreRoute(const core::RouteQuery& query,
+                                           const traj::Route& route,
+                                           util::Rng* rng) {
+  (void)query;
+  (void)rng;
+  double log_lik = 0.0;
+  for (size_t i = 0; i + 1 < route.size(); ++i) {
+    const SegmentId prev =
+        i >= 1 ? route[i - 1] : roadnet::kInvalidSegment;
+    const double p = TransitionProb(prev, route[i], route[i + 1]);
+    if (p <= 0.0) return -std::numeric_limits<double>::infinity();
+    log_lik += std::log(p);
+  }
+  return log_lik;
+}
+
+}  // namespace baselines
+}  // namespace deepst

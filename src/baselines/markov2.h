@@ -1,0 +1,54 @@
+#ifndef DEEPST_BASELINES_MARKOV2_H_
+#define DEEPST_BASELINES_MARKOV2_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/router.h"
+#include "core/config.h"
+#include "roadnet/road_network.h"
+
+namespace deepst {
+namespace baselines {
+
+// Second-order Markov baseline: P(next | prev, cur). The paper's related
+// work (InferTra [1]) models spatial transitions with higher-order Markov
+// chains; this router quantifies how much a one-step-longer memory buys over
+// MMI, and how far both remain from the RNN's unbounded memory.
+//
+// Backoff: unseen (prev, cur) contexts fall back to the first-order counts,
+// then to add-one smoothing.
+class SecondOrderMarkovRouter : public Router {
+ public:
+  SecondOrderMarkovRouter(const roadnet::RoadNetwork& net,
+                          const core::DeepSTConfig& gen_config);
+
+  void Train(const std::vector<const traj::TripRecord*>& records);
+
+  std::string name() const override { return "MM2"; }
+  traj::Route PredictRoute(const core::RouteQuery& query,
+                           util::Rng* rng) override;
+  double ScoreRoute(const core::RouteQuery& query, const traj::Route& route,
+                    util::Rng* rng) override;
+
+  // P(next | prev, cur); prev may be kInvalidSegment for the first step.
+  double TransitionProb(roadnet::SegmentId prev, roadnet::SegmentId cur,
+                        roadnet::SegmentId next) const;
+
+ private:
+  // Slot counts for a (prev, cur) context; empty vector = unseen context.
+  const std::vector<int>* ContextCounts(roadnet::SegmentId prev,
+                                        roadnet::SegmentId cur) const;
+
+  const roadnet::RoadNetwork& net_;
+  core::DeepSTConfig gen_config_;
+  // First-order fallback: counts1_[cur][slot].
+  std::vector<std::vector<int>> counts1_;
+  // Second-order: key = prev * num_segments + cur.
+  std::unordered_map<int64_t, std::vector<int>> counts2_;
+};
+
+}  // namespace baselines
+}  // namespace deepst
+
+#endif  // DEEPST_BASELINES_MARKOV2_H_

@@ -1,0 +1,86 @@
+#include "baselines/mmi.h"
+
+#include <cmath>
+#include <limits>
+
+namespace deepst {
+namespace baselines {
+
+using roadnet::SegmentId;
+
+MarkovRouter::MarkovRouter(const roadnet::RoadNetwork& net,
+                           const core::DeepSTConfig& gen_config)
+    : net_(net), gen_config_(gen_config) {
+  counts_.resize(static_cast<size_t>(net.num_segments()));
+  for (SegmentId s = 0; s < net.num_segments(); ++s) {
+    counts_[static_cast<size_t>(s)].assign(
+        static_cast<size_t>(net.OutDegree(s)), 0);
+  }
+}
+
+void MarkovRouter::Train(const std::vector<const traj::TripRecord*>& records) {
+  for (const auto* rec : records) {
+    const traj::Route& route = rec->trip.route;
+    for (size_t i = 0; i + 1 < route.size(); ++i) {
+      const int slot = net_.NeighborSlot(route[i], route[i + 1]);
+      DEEPST_CHECK_GE(slot, 0);
+      ++counts_[static_cast<size_t>(route[i])][static_cast<size_t>(slot)];
+    }
+  }
+}
+
+double MarkovRouter::TransitionProb(SegmentId cur, SegmentId next) const {
+  const int slot = net_.NeighborSlot(cur, next);
+  if (slot < 0) return 0.0;
+  const auto& row = counts_[static_cast<size_t>(cur)];
+  double total = 0.0;
+  for (int c : row) total += c + 1.0;  // add-one smoothing
+  return (row[static_cast<size_t>(slot)] + 1.0) / total;
+}
+
+traj::Route MarkovRouter::PredictRoute(const core::RouteQuery& query,
+                                       util::Rng* rng) {
+  traj::Route route = {query.origin};
+  std::vector<bool> visited(static_cast<size_t>(net_.num_segments()), false);
+  visited[static_cast<size_t>(query.origin)] = true;
+  SegmentId cur = query.origin;
+  for (int step = 0; step < gen_config_.max_route_steps; ++step) {
+    const auto& outs = net_.OutSegments(cur);
+    if (outs.empty()) break;
+    const auto& row = counts_[static_cast<size_t>(cur)];
+    // Greedy most-probable unvisited successor (loop guard, matching the
+    // decoding used by the neural methods).
+    int best = -1;
+    for (size_t s = 0; s < row.size(); ++s) {
+      if (visited[static_cast<size_t>(outs[s])]) continue;
+      if (best < 0 || row[s] > row[static_cast<size_t>(best)]) {
+        best = static_cast<int>(s);
+      }
+    }
+    if (best < 0) break;
+    const SegmentId next = outs[static_cast<size_t>(best)];
+    route.push_back(next);
+    visited[static_cast<size_t>(next)] = true;
+    if (core::ShouldStop(net_, query.destination, next, gen_config_, rng)) {
+      break;
+    }
+    cur = next;
+  }
+  return route;
+}
+
+double MarkovRouter::ScoreRoute(const core::RouteQuery& query,
+                                const traj::Route& route, util::Rng* rng) {
+  (void)query;
+  (void)rng;
+  double log_lik = 0.0;
+  for (size_t i = 0; i + 1 < route.size(); ++i) {
+    const double p = TransitionProb(route[i], route[i + 1]);
+    if (p <= 0.0) return -std::numeric_limits<double>::infinity();
+    log_lik += std::log(p);
+  }
+  return log_lik;
+}
+
+}  // namespace baselines
+}  // namespace deepst

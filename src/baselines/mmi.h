@@ -1,0 +1,47 @@
+#ifndef DEEPST_BASELINES_MMI_H_
+#define DEEPST_BASELINES_MMI_H_
+
+#include <vector>
+
+#include "baselines/router.h"
+#include "core/config.h"
+#include "roadnet/road_network.h"
+
+namespace deepst {
+namespace baselines {
+
+// MMI: the first-order Markov model baseline (paper Section V-A). Transition
+// probabilities P(next | cur) are the add-one-smoothed empirical frequencies
+// of adjacent-segment transitions in the training routes. Prediction is a
+// greedy most-probable walk; like the paper's MMI it ignores destination and
+// traffic for *transition choice* -- the destination is only used by the
+// shared external stop rule (the paper notes MMI/RNN make identical
+// transition predictions for all trips from the same origin).
+class MarkovRouter : public Router {
+ public:
+  MarkovRouter(const roadnet::RoadNetwork& net,
+               const core::DeepSTConfig& gen_config);
+
+  // Counts transitions of the training routes.
+  void Train(const std::vector<const traj::TripRecord*>& records);
+
+  std::string name() const override { return "MMI"; }
+  traj::Route PredictRoute(const core::RouteQuery& query,
+                           util::Rng* rng) override;
+  double ScoreRoute(const core::RouteQuery& query, const traj::Route& route,
+                    util::Rng* rng) override;
+
+  // P(next | cur) with add-one smoothing over cur's true neighbors.
+  double TransitionProb(roadnet::SegmentId cur, roadnet::SegmentId next) const;
+
+ private:
+  const roadnet::RoadNetwork& net_;
+  core::DeepSTConfig gen_config_;  // stop rule parameters
+  // counts_[s][slot] = #times transition (s -> slot) observed.
+  std::vector<std::vector<int>> counts_;
+};
+
+}  // namespace baselines
+}  // namespace deepst
+
+#endif  // DEEPST_BASELINES_MMI_H_

@@ -1,0 +1,35 @@
+#include "baselines/neural_router.h"
+
+namespace deepst {
+namespace baselines {
+
+core::DeepSTConfig DeepStConfigOf(const core::DeepSTConfig& base) {
+  core::DeepSTConfig cfg = base;
+  cfg.use_traffic = true;
+  cfg.destination_mode = core::DestinationMode::kProxies;
+  return cfg;
+}
+
+core::DeepSTConfig DeepStCConfigOf(const core::DeepSTConfig& base) {
+  core::DeepSTConfig cfg = base;
+  cfg.use_traffic = false;
+  cfg.destination_mode = core::DestinationMode::kProxies;
+  return cfg;
+}
+
+core::DeepSTConfig CssrnnConfigOf(const core::DeepSTConfig& base) {
+  core::DeepSTConfig cfg = base;
+  cfg.use_traffic = false;
+  cfg.destination_mode = core::DestinationMode::kFinalSegment;
+  return cfg;
+}
+
+core::DeepSTConfig RnnConfigOf(const core::DeepSTConfig& base) {
+  core::DeepSTConfig cfg = base;
+  cfg.use_traffic = false;
+  cfg.destination_mode = core::DestinationMode::kNone;
+  return cfg;
+}
+
+}  // namespace baselines
+}  // namespace deepst

@@ -1,0 +1,54 @@
+#ifndef DEEPST_BASELINES_NEURAL_ROUTER_H_
+#define DEEPST_BASELINES_NEURAL_ROUTER_H_
+
+#include <memory>
+#include <string>
+
+#include "baselines/router.h"
+#include "core/trainer.h"
+
+namespace deepst {
+namespace baselines {
+
+// Adapter exposing DeepSTModel and its ablations through the Router
+// interface. The paper's neural methods map to configurations:
+//   DeepST   : use_traffic=true,  destination_mode=kProxies
+//   DeepST-C : use_traffic=false, destination_mode=kProxies
+//   CSSRNN   : use_traffic=false, destination_mode=kFinalSegment [7]
+//   RNN      : use_traffic=false, destination_mode=kNone
+class NeuralRouter : public Router {
+ public:
+  // Takes ownership of nothing; `model` must outlive the router.
+  NeuralRouter(std::string name, core::DeepSTModel* model)
+      : name_(std::move(name)), model_(model) {}
+
+  std::string name() const override { return name_; }
+
+  traj::Route PredictRoute(const core::RouteQuery& query,
+                           util::Rng* rng) override {
+    return model_->PredictRoute(query, rng);
+  }
+
+  double ScoreRoute(const core::RouteQuery& query, const traj::Route& route,
+                    util::Rng* rng) override {
+    return model_->ScoreRoute(query, route, rng);
+  }
+
+  core::DeepSTModel* model() { return model_; }
+
+ private:
+  std::string name_;
+  core::DeepSTModel* model_;
+};
+
+// Canonical configurations for the paper's methods, derived from a base
+// config (which carries the shared sizes/seeds).
+core::DeepSTConfig DeepStConfigOf(const core::DeepSTConfig& base);
+core::DeepSTConfig DeepStCConfigOf(const core::DeepSTConfig& base);
+core::DeepSTConfig CssrnnConfigOf(const core::DeepSTConfig& base);
+core::DeepSTConfig RnnConfigOf(const core::DeepSTConfig& base);
+
+}  // namespace baselines
+}  // namespace deepst
+
+#endif  // DEEPST_BASELINES_NEURAL_ROUTER_H_

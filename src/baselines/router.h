@@ -1,0 +1,37 @@
+#ifndef DEEPST_BASELINES_ROUTER_H_
+#define DEEPST_BASELINES_ROUTER_H_
+
+#include <string>
+
+#include "core/deepst_model.h"
+#include "traj/types.h"
+#include "util/rng.h"
+
+namespace deepst {
+namespace baselines {
+
+// Common interface of every route-prediction method evaluated in the paper's
+// Section V-B (DeepST, DeepST-C, CSSRNN, RNN, MMI, WSP). A router predicts
+// the most likely route for a query and scores the spatial-transition
+// likelihood of a given route.
+class Router {
+ public:
+  virtual ~Router() = default;
+
+  virtual std::string name() const = 0;
+
+  // Most-likely-route prediction.
+  virtual traj::Route PredictRoute(const core::RouteQuery& query,
+                                   util::Rng* rng) = 0;
+
+  // Log-likelihood of `route` being traveled under the method's model
+  // (methods without a probabilistic model return a score whose ordering is
+  // meaningful, documented per subclass).
+  virtual double ScoreRoute(const core::RouteQuery& query,
+                            const traj::Route& route, util::Rng* rng) = 0;
+};
+
+}  // namespace baselines
+}  // namespace deepst
+
+#endif  // DEEPST_BASELINES_ROUTER_H_

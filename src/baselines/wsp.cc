@@ -1,0 +1,40 @@
+#include "baselines/wsp.h"
+
+#include "roadnet/shortest_path.h"
+
+namespace deepst {
+namespace baselines {
+
+WspRouter::WspRouter(const roadnet::RoadNetwork& net,
+                     const roadnet::SpatialIndex& index,
+                     const traj::SegmentStatsTable& stats)
+    : net_(net), index_(index), stats_(stats) {}
+
+traj::Route WspRouter::PredictRoute(const core::RouteQuery& query,
+                                    util::Rng* rng) {
+  (void)rng;
+  // The problem statement only provides the rough destination coordinate, so
+  // WSP snaps it to the nearest segment (unlike CSSRNN, which the paper
+  // grants the exact final segment).
+  roadnet::SegmentId target = index_.Nearest(query.destination).segment;
+  if (target == roadnet::kInvalidSegment) target = query.final_segment;
+  if (target == roadnet::kInvalidSegment) return {query.origin};
+  auto cost = [this](roadnet::SegmentId s) {
+    return std::max(stats_.MeanTime(s), 1e-3);
+  };
+  auto path = roadnet::ShortestPath(net_, query.origin, target, cost);
+  if (!path.ok()) return {query.origin};
+  return path.value().path;
+}
+
+double WspRouter::ScoreRoute(const core::RouteQuery& query,
+                             const traj::Route& route, util::Rng* rng) {
+  (void)query;
+  (void)rng;
+  double cost = 0.0;
+  for (auto s : route) cost += stats_.MeanTime(s);
+  return -cost;
+}
+
+}  // namespace baselines
+}  // namespace deepst

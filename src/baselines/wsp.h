@@ -1,0 +1,42 @@
+#ifndef DEEPST_BASELINES_WSP_H_
+#define DEEPST_BASELINES_WSP_H_
+
+#include <memory>
+
+#include "baselines/router.h"
+#include "roadnet/spatial_index.h"
+#include "traj/segment_stats.h"
+
+namespace deepst {
+namespace baselines {
+
+// WSP: weighted shortest path (paper Section V-A). Edge weights are the mean
+// historical travel times of the segments estimated from the entire training
+// dataset; the route is the shortest path from the origin segment to the
+// destination segment. When the exact destination segment is not provided in
+// the query, the rough destination coordinate is snapped to the nearest
+// segment.
+class WspRouter : public Router {
+ public:
+  WspRouter(const roadnet::RoadNetwork& net,
+            const roadnet::SpatialIndex& index,
+            const traj::SegmentStatsTable& stats);
+
+  std::string name() const override { return "WSP"; }
+  traj::Route PredictRoute(const core::RouteQuery& query,
+                           util::Rng* rng) override;
+  // Score is the negated weighted route cost (not a probability; ordering
+  // only).
+  double ScoreRoute(const core::RouteQuery& query, const traj::Route& route,
+                    util::Rng* rng) override;
+
+ private:
+  const roadnet::RoadNetwork& net_;
+  const roadnet::SpatialIndex& index_;
+  const traj::SegmentStatsTable& stats_;
+};
+
+}  // namespace baselines
+}  // namespace deepst
+
+#endif  // DEEPST_BASELINES_WSP_H_

@@ -1,0 +1,158 @@
+#ifndef DEEPST_CORE_DEEPST_MODEL_H_
+#define DEEPST_CORE_DEEPST_MODEL_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/config.h"
+#include "core/destination_proxy.h"
+#include "core/traffic_encoder.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "roadnet/road_network.h"
+#include "traffic/snapshot.h"
+#include "traj/types.h"
+
+namespace deepst {
+namespace core {
+
+// A route prediction / scoring query: initial road segment, rough
+// destination coordinate, start time (used to look up the real-time traffic
+// tensor). `final_segment` is only consulted by the CSSRNN-style
+// DestinationMode::kFinalSegment, which assumes the exact last road segment
+// is known in advance.
+struct RouteQuery {
+  roadnet::SegmentId origin = roadnet::kInvalidSegment;
+  geo::Point destination;
+  double start_time_s = 0.0;
+  roadnet::SegmentId final_segment = roadnet::kInvalidSegment;
+};
+
+// Loss diagnostics for one minibatch (per-trip averages).
+struct LossStats {
+  double total = 0.0;
+  double route_ce = 0.0;      // negative route log-likelihood
+  double dest_nll = 0.0;      // negative destination log-likelihood
+  double kl_traffic = 0.0;
+  double kl_proxy = 0.0;
+  int num_transitions = 0;
+};
+
+// Latent/context terms fixed for a whole query, reused across the generation
+// loop and across candidate routes in scoring.
+struct PredictionContext {
+  bool has_dest = false;
+  nn::Tensor dest_term;  // [1, N_max] additive logit bias
+  nn::Tensor dest_repr;  // [1, dest_dim] f_x = W pi, fed to the GRU input
+  bool has_traffic = false;
+  nn::Tensor traffic_term;  // [1, N_max]
+  nn::Tensor traffic_repr;  // [1, traffic_dim] c
+  geo::Point destination;
+};
+
+// DeepST (Section IV): a deep probabilistic generative model of routes,
+//   P(r_{i+1} | r_{1:i}, x, c) = softmax(alpha^T h_i + beta^T W pi + gamma^T c)
+// over the neighbor slots of r_i, trained by maximizing the ELBO of Eq. 7
+// with reparameterized Gaussian traffic latents and Gumbel-Softmax proxy
+// latents. Ablations via DeepSTConfig: use_traffic=false gives DeepST-C;
+// destination_mode selects proxies (DeepST) / known final segment (CSSRNN)
+// / none (vanilla RNN).
+class DeepSTModel : public nn::Module {
+ public:
+  // `traffic_cache` provides the shared per-slot traffic tensors; required
+  // when config.use_traffic, ignored otherwise. The cache must outlive the
+  // model and must cover both training and query times.
+  DeepSTModel(const roadnet::RoadNetwork& net, const DeepSTConfig& config,
+              traffic::TrafficTensorCache* traffic_cache);
+
+  // -- Training ---------------------------------------------------------------
+  // Scalar ELBO-derived loss (mean per trip) for a minibatch; backward-able.
+  // `training=false` switches to evaluation behavior: MAP latents instead of
+  // samples and batch-norm running statistics (used for validation CE).
+  nn::VarPtr Loss(const std::vector<const traj::Trip*>& batch, util::Rng* rng,
+                  LossStats* stats = nullptr, bool training = true);
+
+  // -- Prediction (Algorithm 2) -------------------------------------------------
+  PredictionContext MakeContext(const RouteQuery& query, util::Rng* rng);
+  // Most-likely-route generation: beam search of config.beam_width when
+  // map_prediction (greedy when beam_width == 1), sampled per Algorithm 2
+  // otherwise.
+  traj::Route PredictRoute(const PredictionContext& ctx,
+                           roadnet::SegmentId origin, util::Rng* rng);
+  // Explicit beam-search variant.
+  traj::Route PredictRouteBeam(const PredictionContext& ctx,
+                               roadnet::SegmentId origin, util::Rng* rng);
+  traj::Route PredictRoute(const RouteQuery& query, util::Rng* rng);
+
+  // -- Route likelihood score (Section IV-E) -------------------------------------
+  // log prod_i P(r_{i+1} | r_{1:i}, W pi, c); -inf for non-contiguous routes.
+  double ScoreRoute(const PredictionContext& ctx, const traj::Route& route);
+  double ScoreRoute(const RouteQuery& query, const traj::Route& route,
+                    util::Rng* rng);
+  // Log-likelihood of `continuation` given that `prefix` was already
+  // traveled: the GRU state is warmed over the prefix (unscored), then the
+  // continuation's transitions are scored. continuation.front() must equal
+  // prefix.back() when the prefix is non-empty (route recovery scores gap
+  // candidates this way, keeping DeepST's sequential memory in play).
+  double ScoreContinuation(const PredictionContext& ctx,
+                           const traj::Route& prefix,
+                           const traj::Route& continuation);
+
+  const DeepSTConfig& config() const { return config_; }
+  const roadnet::RoadNetwork& network() const { return net_; }
+  DestinationProxyModel* proxy_model() { return proxy_.get(); }
+
+ private:
+  // Next-slot logits [B, N_max] for the current hidden state plus context
+  // terms.
+  nn::VarPtr StepLogits(const nn::VarPtr& h, const nn::VarPtr& dest_term,
+                        const nn::VarPtr& traffic_term) const;
+  // Builds the per-trip context for a batch; appends ELBO pieces (KLs,
+  // destination log-lik) to `extra_loss_terms`.
+  //
+  // Implementation note (deviation from the paper's Eq. in IV-A, documented
+  // in DESIGN.md): besides the additive logit biases beta^T W pi and
+  // gamma^T c, the representations W pi and c are concatenated to the GRU
+  // input at every step. A purely additive slot bias that is constant across
+  // steps cannot condition the *direction* of the next transition on the
+  // destination -- slot semantics change with the current segment -- so the
+  // interaction pathway has to reach the recurrent state; CSSRNN [7] does
+  // the same.
+  struct BatchContext {
+    nn::VarPtr dest_term;     // [B, N_max] logit bias; null if unused
+    nn::VarPtr dest_repr;     // [B, dest_dim]; null if unused
+    nn::VarPtr traffic_term;  // [B, N_max]; null if unused
+    nn::VarPtr traffic_repr;  // [B, traffic_dim]; null if unused
+  };
+  BatchContext MakeBatchContext(const std::vector<const traj::Trip*>& batch,
+                                util::Rng* rng, bool training,
+                                std::vector<nn::VarPtr>* extra_loss_terms,
+                                LossStats* stats);
+
+  const roadnet::RoadNetwork& net_;
+  DeepSTConfig config_;
+  traffic::TrafficTensorCache* traffic_cache_;
+  util::Rng init_rng_;
+
+  std::unique_ptr<nn::EmbeddingLayer> segment_emb_;
+  std::unique_ptr<nn::StackedGru> gru_;
+  std::unique_ptr<nn::LinearLayer> alpha_;  // H -> N_max
+  std::unique_ptr<nn::LinearLayer> beta_;   // dest_dim -> N_max
+  std::unique_ptr<nn::LinearLayer> gamma_;  // traffic_dim -> N_max
+  std::unique_ptr<DestinationProxyModel> proxy_;
+  std::unique_ptr<nn::EmbeddingLayer> final_segment_emb_;  // CSSRNN mode
+  std::unique_ptr<TrafficEncoder> traffic_encoder_;
+};
+
+// Shared stop rule of the generative process: the paper's
+// f_s(r, x) = 1 / (1 + ||p(x, r) - x||_2) Bernoulli parameter (distance in
+// km). Deterministic mode stops once the projection distance drops below
+// config.stop_distance_m.
+bool ShouldStop(const roadnet::RoadNetwork& net, const geo::Point& dest,
+                roadnet::SegmentId segment, const DeepSTConfig& config,
+                util::Rng* rng);
+
+}  // namespace core
+}  // namespace deepst
+
+#endif  // DEEPST_CORE_DEEPST_MODEL_H_

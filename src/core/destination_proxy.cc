@@ -1,0 +1,112 @@
+#include "core/destination_proxy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/ops.h"
+
+namespace deepst {
+namespace core {
+
+namespace o = nn::ops;
+
+DestinationProxyModel::DestinationProxyModel(int num_proxies, int dest_dim,
+                                             const geo::BoundingBox& bounds,
+                                             int mlp_hidden, util::Rng* rng)
+    : num_proxies_(num_proxies) {
+  DEEPST_CHECK_GE(num_proxies, 2);
+  center_ = {(bounds.min.x + bounds.max.x) / 2.0,
+             (bounds.min.y + bounds.max.y) / 2.0};
+  scale_ = std::max(bounds.Width(), bounds.Height()) / 2.0;
+  DEEPST_CHECK_GT(scale_, 0.0);
+
+  encoder_ = std::make_unique<nn::Mlp>(
+      std::vector<int64_t>{2, mlp_hidden, num_proxies},
+      nn::Activation::kLeakyRelu, rng);
+  AddSubmodule("encoder", encoder_.get());
+  // Proxy means spread over the normalized map; variances start moderate.
+  means_ = AddParameter("means",
+                        nn::Tensor::Uniform({num_proxies, 2}, -0.9f, 0.9f,
+                                            rng));
+  raw_vars_ = AddParameter("raw_vars",
+                           nn::Tensor::Full({num_proxies, 2}, -2.0f));
+  embeddings_ = AddParameter(
+      "embeddings",
+      nn::Tensor::Gaussian({num_proxies, dest_dim}, 0.0f,
+                           1.0f / std::sqrt(static_cast<float>(dest_dim)),
+                           rng));
+}
+
+nn::Tensor DestinationProxyModel::NormalizeDestinations(
+    const std::vector<geo::Point>& dests) const {
+  nn::Tensor x({static_cast<int64_t>(dests.size()), 2});
+  for (size_t b = 0; b < dests.size(); ++b) {
+    x.at(static_cast<int64_t>(b), 0) =
+        static_cast<float>((dests[b].x - center_.x) / scale_);
+    x.at(static_cast<int64_t>(b), 1) =
+        static_cast<float>((dests[b].y - center_.y) / scale_);
+  }
+  return x;
+}
+
+nn::VarPtr DestinationProxyModel::EncodeLogits(
+    const nn::Tensor& x_normalized) const {
+  return encoder_->Forward(nn::Constant(x_normalized));
+}
+
+nn::VarPtr DestinationProxyModel::SamplePi(const nn::VarPtr& logits, float tau,
+                                           util::Rng* rng) const {
+  return o::GumbelSoftmaxSample(logits, tau, rng);
+}
+
+nn::VarPtr DestinationProxyModel::ModePi(const nn::VarPtr& logits) const {
+  const nn::Tensor& lv = logits->value();
+  nn::Tensor onehot = nn::Tensor::Zeros(lv.shape());
+  for (int64_t r = 0; r < lv.dim(0); ++r) {
+    int64_t best = 0;
+    for (int64_t c = 1; c < lv.dim(1); ++c) {
+      if (lv.at(r, c) > lv.at(r, best)) best = c;
+    }
+    onehot.at(r, best) = 1.0f;
+  }
+  return nn::Constant(std::move(onehot));
+}
+
+nn::VarPtr DestinationProxyModel::Embed(const nn::VarPtr& pi) const {
+  // [B, K] @ [K, dest_dim]
+  return o::MatMul(pi, embeddings_);
+}
+
+nn::VarPtr DestinationProxyModel::DestinationLogProb(
+    const nn::Tensor& x_normalized, const nn::VarPtr& pi,
+    const nn::Tensor& row_weights) const {
+  nn::VarPtr mean = o::MatMul(pi, means_);  // [B, 2]
+  // diag(S pi): softplus keeps variances positive; floor avoids collapse.
+  nn::VarPtr var =
+      o::ScalarAdd(o::Softplus(o::MatMul(pi, raw_vars_)), 1e-3f);
+  return o::GaussianLogProb(x_normalized, mean, var, row_weights);
+}
+
+nn::VarPtr DestinationProxyModel::Kl(const nn::VarPtr& logits) const {
+  return o::CategoricalKlToUniform(logits);
+}
+
+std::vector<geo::Point> DestinationProxyModel::ProxyCentersWorld() const {
+  std::vector<geo::Point> out;
+  const nn::Tensor& m = means_->value();
+  out.reserve(static_cast<size_t>(num_proxies_));
+  for (int k = 0; k < num_proxies_; ++k) {
+    out.push_back({center_.x + m.at(k, 0) * scale_,
+                   center_.y + m.at(k, 1) * scale_});
+  }
+  return out;
+}
+
+int DestinationProxyModel::AllocateProxy(const geo::Point& dest) const {
+  nn::Tensor x = NormalizeDestinations({dest});
+  nn::VarPtr logits = EncodeLogits(x);
+  return static_cast<int>(logits->value().ArgMax());
+}
+
+}  // namespace core
+}  // namespace deepst

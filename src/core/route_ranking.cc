@@ -1,0 +1,68 @@
+#include "core/route_ranking.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "roadnet/shortest_path.h"
+
+namespace deepst {
+namespace core {
+namespace {
+
+// Softmax-normalizes log-likelihoods into probabilities over the set.
+void Normalize(std::vector<RankedRoute>* routes) {
+  if (routes->empty()) return;
+  double mx = -1e300;
+  for (const auto& r : *routes) mx = std::max(mx, r.log_likelihood);
+  double denom = 0.0;
+  for (const auto& r : *routes) denom += std::exp(r.log_likelihood - mx);
+  for (auto& r : *routes) {
+    r.probability = std::exp(r.log_likelihood - mx) / denom;
+  }
+}
+
+}  // namespace
+
+std::vector<RankedRoute> RankRoutes(DeepSTModel* model,
+                                    const RouteQuery& query,
+                                    const std::vector<traj::Route>& candidates,
+                                    util::Rng* rng) {
+  PredictionContext ctx = model->MakeContext(query, rng);
+  std::vector<RankedRoute> out;
+  out.reserve(candidates.size());
+  for (const auto& route : candidates) {
+    RankedRoute r;
+    r.route = route;
+    r.log_likelihood = model->ScoreRoute(ctx, route);
+    out.push_back(std::move(r));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RankedRoute& a, const RankedRoute& b) {
+              return a.log_likelihood > b.log_likelihood;
+            });
+  Normalize(&out);
+  return out;
+}
+
+std::vector<RankedRoute> RankCandidateRoutes(DeepSTModel* model,
+                                             const roadnet::SpatialIndex& index,
+                                             const RouteQuery& query,
+                                             int num_candidates,
+                                             util::Rng* rng) {
+  const roadnet::RoadNetwork& net = model->network();
+  roadnet::SegmentId target = query.final_segment;
+  if (target == roadnet::kInvalidSegment) {
+    target = index.Nearest(query.destination).segment;
+  }
+  if (target == roadnet::kInvalidSegment) return {};
+  auto candidates = roadnet::KShortestPaths(
+      net, query.origin, target, num_candidates,
+      roadnet::FreeFlowTimeCost(net));
+  std::vector<traj::Route> routes;
+  routes.reserve(candidates.size());
+  for (auto& c : candidates) routes.push_back(std::move(c.path));
+  return RankRoutes(model, query, routes, rng);
+}
+
+}  // namespace core
+}  // namespace deepst

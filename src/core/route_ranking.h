@@ -1,0 +1,43 @@
+#ifndef DEEPST_CORE_ROUTE_RANKING_H_
+#define DEEPST_CORE_ROUTE_RANKING_H_
+
+#include <vector>
+
+#include "core/deepst_model.h"
+#include "roadnet/spatial_index.h"
+
+namespace deepst {
+namespace core {
+
+// A candidate route with its DeepST likelihood (paper Section IV-E: the
+// model "outputs a probability value to indicate the likelihood of a route
+// being traveled"). Supports the intro's downstream tasks: popular-routes
+// discovery and ride-sharing pickup placement along likely routes.
+struct RankedRoute {
+  traj::Route route;
+  double log_likelihood = 0.0;
+  // Likelihoods normalized over the returned candidate set.
+  double probability = 0.0;
+};
+
+// Enumerates up to `num_candidates` loopless routes between the query origin
+// and the segment nearest the query destination (Yen's k-shortest paths over
+// free-flow travel time), scores each with the model, and returns them
+// sorted by descending likelihood.
+std::vector<RankedRoute> RankCandidateRoutes(DeepSTModel* model,
+                                             const roadnet::SpatialIndex& index,
+                                             const RouteQuery& query,
+                                             int num_candidates,
+                                             util::Rng* rng);
+
+// Ranks an explicit candidate set (e.g. historical routes between an OD
+// pair) under the model.
+std::vector<RankedRoute> RankRoutes(DeepSTModel* model,
+                                    const RouteQuery& query,
+                                    const std::vector<traj::Route>& candidates,
+                                    util::Rng* rng);
+
+}  // namespace core
+}  // namespace deepst
+
+#endif  // DEEPST_CORE_ROUTE_RANKING_H_

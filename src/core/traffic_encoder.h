@@ -1,0 +1,58 @@
+#ifndef DEEPST_CORE_TRAFFIC_ENCODER_H_
+#define DEEPST_CORE_TRAFFIC_ENCODER_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/conv_layers.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+
+namespace deepst {
+namespace core {
+
+// Gaussian posterior parameters of q(c | C).
+struct TrafficPosterior {
+  nn::VarPtr mu;      // [B, traffic_dim]
+  nn::VarPtr logvar;  // [B, traffic_dim]
+};
+
+// The paper's inference net NN_1 (Section IV-D / V-A): three convolution
+// blocks (Conv2d -> BatchNorm2d -> LeakyReLU) over the cell-speed tensor,
+// global average pooling, then two MLP heads with a shared hidden layer
+// producing mu(f) and log sigma^2(f).
+class TrafficEncoder : public nn::Module {
+ public:
+  // Input tensors are [2, rows, cols] (speed + count channels).
+  TrafficEncoder(int rows, int cols, int channels, int traffic_dim,
+                 int mlp_hidden, util::Rng* rng);
+
+  // Encodes a batch of traffic tensors (stacked to [B, 2, rows, cols]).
+  TrafficPosterior Encode(const std::vector<const nn::Tensor*>& tensors,
+                          bool training);
+
+  int traffic_dim() const { return traffic_dim_; }
+
+ private:
+  // Conv trunk + 2x2 average pooling, flattened to [B, feature_dim_]. The
+  // pooling is kept coarse (not global) so the *location* of congestion
+  // survives into the latent -- a globally pooled code can only say "how
+  // congested", not "where", which is what route decisions need.
+  nn::VarPtr Features(const nn::VarPtr& x, bool training);
+
+  int rows_;
+  int cols_;
+  int traffic_dim_;
+  int64_t feature_dim_ = 0;
+  std::unique_ptr<nn::ConvBlock> block1_;
+  std::unique_ptr<nn::ConvBlock> block2_;
+  std::unique_ptr<nn::ConvBlock> block3_;
+  std::unique_ptr<nn::LinearLayer> shared_;  // pooled features -> hidden
+  std::unique_ptr<nn::LinearLayer> mu_head_;
+  std::unique_ptr<nn::LinearLayer> logvar_head_;
+};
+
+}  // namespace core
+}  // namespace deepst
+
+#endif  // DEEPST_CORE_TRAFFIC_ENCODER_H_

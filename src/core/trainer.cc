@@ -1,0 +1,130 @@
+#include "core/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace deepst {
+namespace core {
+namespace {
+
+// Trips sorted by route length, then chunked -- batches have homogeneous
+// lengths so padding is cheap.
+std::vector<std::vector<const traj::Trip*>> MakeBatches(
+    const std::vector<const traj::TripRecord*>& data, int batch_size,
+    util::Rng* rng) {
+  std::vector<const traj::Trip*> trips;
+  trips.reserve(data.size());
+  for (const auto* rec : data) {
+    if (rec->trip.route.size() >= 2) trips.push_back(&rec->trip);
+  }
+  std::stable_sort(trips.begin(), trips.end(),
+                   [](const traj::Trip* a, const traj::Trip* b) {
+                     return a->route.size() < b->route.size();
+                   });
+  std::vector<std::vector<const traj::Trip*>> batches;
+  for (size_t i = 0; i < trips.size(); i += static_cast<size_t>(batch_size)) {
+    const size_t end = std::min(trips.size(), i + static_cast<size_t>(batch_size));
+    batches.emplace_back(trips.begin() + static_cast<long>(i),
+                         trips.begin() + static_cast<long>(end));
+  }
+  if (rng != nullptr) rng->Shuffle(&batches);
+  return batches;
+}
+
+}  // namespace
+
+Trainer::Trainer(DeepSTModel* model, const TrainerConfig& config)
+    : model_(model), config_(config) {
+  DEEPST_CHECK(model != nullptr);
+}
+
+TrainResult Trainer::Fit(
+    const std::vector<const traj::TripRecord*>& train,
+    const std::vector<const traj::TripRecord*>& validation) {
+  DEEPST_CHECK(!train.empty());
+  util::Rng rng(config_.seed);
+  nn::Adam optimizer(model_->Parameters(), config_.learning_rate);
+
+  TrainResult result;
+  util::Stopwatch total_watch;
+  double best_val = std::numeric_limits<double>::infinity();
+  int since_best = 0;
+
+  for (int epoch = 0; epoch < config_.max_epochs; ++epoch) {
+    util::Stopwatch epoch_watch;
+    auto batches = MakeBatches(train, config_.batch_size, &rng);
+    double loss_sum = 0.0;
+    double ce_sum = 0.0;
+    int64_t transitions = 0;
+    int64_t trips = 0;
+    for (const auto& batch : batches) {
+      optimizer.ZeroGrad();
+      LossStats stats;
+      nn::VarPtr loss = model_->Loss(batch, &rng, &stats);
+      nn::Backward(loss);
+      optimizer.ClipGradNorm(config_.grad_clip);
+      optimizer.Step();
+      loss_sum += stats.total * static_cast<double>(batch.size());
+      ce_sum += stats.route_ce * static_cast<double>(batch.size());
+      transitions += stats.num_transitions;
+      trips += static_cast<int64_t>(batch.size());
+    }
+
+    EpochStats es;
+    es.epoch = epoch;
+    es.train_loss = loss_sum / static_cast<double>(trips);
+    // ce_sum accumulated per-trip route CE; renormalize per transition.
+    es.train_route_ce =
+        ce_sum / std::max<double>(1.0, static_cast<double>(transitions));
+    es.val_route_ce =
+        validation.empty() ? 0.0 : EvaluateRouteCe(validation);
+    es.seconds = epoch_watch.ElapsedSeconds();
+    result.epochs.push_back(es);
+    if (config_.verbose) {
+      DEEPST_LOG(Info) << "epoch " << epoch << " train_loss "
+                       << es.train_loss << " train_ce/step "
+                       << es.train_route_ce << " val_ce/step "
+                       << es.val_route_ce << " (" << es.seconds << "s)";
+    }
+
+    const double val_metric =
+        validation.empty() ? es.train_route_ce : es.val_route_ce;
+    if (val_metric < best_val - 1e-4) {
+      best_val = val_metric;
+      result.best_epoch = epoch;
+      since_best = 0;
+    } else if (++since_best >= config_.patience) {
+      if (config_.verbose) {
+        DEEPST_LOG(Info) << "early stopping at epoch " << epoch;
+      }
+      break;
+    }
+  }
+  result.total_seconds = total_watch.ElapsedSeconds();
+  return result;
+}
+
+double Trainer::EvaluateRouteCe(
+    const std::vector<const traj::TripRecord*>& data) {
+  if (data.empty()) return 0.0;
+  util::Rng rng(config_.seed ^ 0xe4a1ULL);
+  auto batches = MakeBatches(data, config_.batch_size, nullptr);
+  double ce_sum = 0.0;
+  int64_t transitions = 0;
+  for (const auto& batch : batches) {
+    LossStats stats;
+    // Forward-only evaluation pass (MAP latents, batch-norm running stats);
+    // the graph is built but never backwarded.
+    nn::VarPtr loss = model_->Loss(batch, &rng, &stats, /*training=*/false);
+    (void)loss;
+    ce_sum += stats.route_ce * static_cast<double>(batch.size());
+    transitions += stats.num_transitions;
+  }
+  return ce_sum / std::max<double>(1.0, static_cast<double>(transitions));
+}
+
+}  // namespace core
+}  // namespace deepst

@@ -1,0 +1,62 @@
+#ifndef DEEPST_CORE_TRAINER_H_
+#define DEEPST_CORE_TRAINER_H_
+
+#include <vector>
+
+#include "core/deepst_model.h"
+#include "nn/optimizer.h"
+#include "traj/types.h"
+
+namespace deepst {
+namespace core {
+
+// Training configuration (Algorithm 1 + the paper's Section V-A settings,
+// scaled down).
+struct TrainerConfig {
+  int batch_size = 64;    // paper: 128
+  int max_epochs = 35;    // paper: 15 (our scaled model needs more passes)
+  float learning_rate = 3e-3f;
+  float grad_clip = 10.0f;
+  // Early stopping: stop after `patience` epochs without validation
+  // improvement (paper uses early stopping on the validation set).
+  int patience = 7;
+  bool verbose = true;
+  uint64_t seed = 99;
+};
+
+struct EpochStats {
+  int epoch = 0;
+  double train_loss = 0.0;      // mean per-trip loss
+  double train_route_ce = 0.0;  // mean per-transition route CE
+  double val_route_ce = 0.0;    // mean per-transition validation CE
+  double seconds = 0.0;
+};
+
+struct TrainResult {
+  std::vector<EpochStats> epochs;
+  double total_seconds = 0.0;
+  int best_epoch = 0;
+};
+
+// Minibatch SGD driver for DeepSTModel (Algorithm 1). Trips are bucketed by
+// route length to limit padding waste, and batch order is shuffled per
+// epoch.
+class Trainer {
+ public:
+  Trainer(DeepSTModel* model, const TrainerConfig& config);
+
+  TrainResult Fit(const std::vector<const traj::TripRecord*>& train,
+                  const std::vector<const traj::TripRecord*>& validation);
+
+  // Mean per-transition route cross-entropy on a dataset (no grad).
+  double EvaluateRouteCe(const std::vector<const traj::TripRecord*>& data);
+
+ private:
+  DeepSTModel* model_;
+  TrainerConfig config_;
+};
+
+}  // namespace core
+}  // namespace deepst
+
+#endif  // DEEPST_CORE_TRAINER_H_

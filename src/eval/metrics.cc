@@ -1,0 +1,66 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.h"
+
+namespace deepst {
+namespace eval {
+namespace {
+
+// Multiset intersection size over segment ids.
+int IntersectionSize(const traj::Route& a, const traj::Route& b) {
+  std::map<roadnet::SegmentId, int> counts;
+  for (auto s : a) ++counts[s];
+  int common = 0;
+  for (auto s : b) {
+    auto it = counts.find(s);
+    if (it != counts.end() && it->second > 0) {
+      --it->second;
+      ++common;
+    }
+  }
+  return common;
+}
+
+}  // namespace
+
+double RecallAtN(const traj::Route& truth, const traj::Route& predicted) {
+  DEEPST_CHECK(!truth.empty());
+  traj::Route truncated = predicted;
+  if (truncated.size() > truth.size()) truncated.resize(truth.size());
+  return static_cast<double>(IntersectionSize(truth, truncated)) /
+         static_cast<double>(truth.size());
+}
+
+double Accuracy(const traj::Route& truth, const traj::Route& predicted) {
+  DEEPST_CHECK(!truth.empty());
+  const size_t denom = std::max(truth.size(), predicted.size());
+  if (denom == 0) return 0.0;
+  return static_cast<double>(IntersectionSize(truth, predicted)) /
+         static_cast<double>(denom);
+}
+
+const std::vector<const char*> kDistanceBucketLabels = {
+    "[1,3)", "[3,5)", "[5,10)", "[10,15)",
+    "[15,20)", "[20,25)", "[25,30)", "[30,-)"};
+
+int DistanceBucket(double distance_km) {
+  if (distance_km < 1.0) return -1;
+  if (distance_km < 3.0) return 0;
+  if (distance_km < 5.0) return 1;
+  if (distance_km < 10.0) return 2;
+  if (distance_km < 15.0) return 3;
+  if (distance_km < 20.0) return 4;
+  if (distance_km < 25.0) return 5;
+  if (distance_km < 30.0) return 6;
+  return 7;
+}
+
+int NumDistanceBuckets() {
+  return static_cast<int>(kDistanceBucketLabels.size());
+}
+
+}  // namespace eval
+}  // namespace deepst

@@ -1,0 +1,46 @@
+#ifndef DEEPST_EVAL_METRICS_H_
+#define DEEPST_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "traj/types.h"
+
+namespace deepst {
+namespace eval {
+
+// The paper's two route-prediction measures (Section V-B).
+//
+// recall@n (Eq. 8): truncate the prediction to the ground-truth length, then
+//   |r ∩ r̂_t| / |r|.
+// accuracy (Eq. 9): |r ∩ r̂| / max(|r|, |r̂|) over the full prediction.
+// Intersections are multiset intersections over segment ids (routes are
+// essentially loop-free, so this matches set semantics in practice).
+double RecallAtN(const traj::Route& truth, const traj::Route& predicted);
+double Accuracy(const traj::Route& truth, const traj::Route& predicted);
+
+// Mean metric aggregation helper.
+struct MetricAccumulator {
+  double recall_sum = 0.0;
+  double accuracy_sum = 0.0;
+  int count = 0;
+
+  void Add(const traj::Route& truth, const traj::Route& predicted) {
+    recall_sum += RecallAtN(truth, predicted);
+    accuracy_sum += Accuracy(truth, predicted);
+    ++count;
+  }
+  double mean_recall() const { return count ? recall_sum / count : 0.0; }
+  double mean_accuracy() const { return count ? accuracy_sum / count : 0.0; }
+};
+
+// Distance buckets of the paper's Fig. 7: [1,3), [3,5), [5,10), [10,15),
+// [15,20), [20,25), [25,30), [30,inf) km. Returns the bucket index of a
+// distance, or -1 when below the first edge.
+int DistanceBucket(double distance_km);
+extern const std::vector<const char*> kDistanceBucketLabels;
+int NumDistanceBuckets();
+
+}  // namespace eval
+}  // namespace deepst
+
+#endif  // DEEPST_EVAL_METRICS_H_

@@ -1,0 +1,123 @@
+#include "eval/world.h"
+
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace deepst {
+namespace eval {
+
+WorldConfig ChengduMiniWorld(double scale) {
+  WorldConfig cfg;
+  cfg.name = "chengdu-mini";
+  cfg.city = roadnet::ChengduMiniConfig();
+  cfg.traffic.seed = 101;
+  cfg.generator.seed = 202;
+  // 16 days so the CNN sees many distinct daily traffic configurations
+  // (mirrors the paper's 15-day Chengdu split: first days train, next
+  // validate, last test).
+  cfg.generator.num_days = 16;
+  cfg.generator.trips_per_day =
+      std::max(20, static_cast<int>(160 * scale));
+  cfg.generator.max_route_m = 9000.0;
+  cfg.train_days = 12;
+  cfg.val_days = 2;
+  cfg.traffic_cell_m = 320.0;
+  return cfg;
+}
+
+WorldConfig HarbinMiniWorld(double scale) {
+  WorldConfig cfg;
+  cfg.name = "harbin-mini";
+  cfg.city = roadnet::HarbinMiniConfig();
+  cfg.traffic.seed = 103;
+  cfg.traffic.num_hotspots = 5;
+  cfg.generator.seed = 204;
+  cfg.generator.num_days = 16;
+  cfg.generator.trips_per_day =
+      std::max(20, static_cast<int>(160 * scale));
+  // Harbin trips are longer on average (paper Table III).
+  cfg.generator.min_route_m = 1200.0;
+  cfg.generator.max_route_m = 16000.0;
+  cfg.generator.hub_sigma_m = 500.0;
+  cfg.train_days = 12;
+  cfg.val_days = 2;
+  cfg.traffic_cell_m = 420.0;
+  return cfg;
+}
+
+bool FastMode() {
+  const char* v = std::getenv("DEEPST_FAST");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+World::World(const WorldConfig& config) : config_(config) {
+  net_ = roadnet::BuildGridCity(config.city);
+  index_ = std::make_unique<roadnet::SpatialIndex>(*net_);
+  field_ = std::make_unique<traffic::CongestionField>(*net_, config.traffic);
+  traj::TripGenerator generator(*net_, *field_, config.generator);
+  records_ = generator.GenerateDataset();
+  split_ = traj::SplitByDay(records_, config.train_days, config.val_days);
+  geo::GridSpec grid(net_->bounds(), config.traffic_cell_m);
+  cache_ = std::make_unique<traffic::TrafficTensorCache>(
+      grid, config.slot_seconds, config.window_seconds);
+  cache_->AddObservations(traj::CollectObservations(records_));
+  stats_ = std::make_unique<traj::SegmentStatsTable>(*net_, split_.train);
+  DEEPST_LOG(Info) << "world '" << config.name << "': "
+                   << net_->num_segments() << " segments, "
+                   << records_.size() << " trips (train "
+                   << split_.train.size() << ", val "
+                   << split_.validation.size() << ", test "
+                   << split_.test.size() << "), traffic grid "
+                   << grid.rows() << "x" << grid.cols();
+}
+
+std::unique_ptr<core::DeepSTModel> TrainModel(
+    World* world, const core::DeepSTConfig& model_config,
+    const core::TrainerConfig& trainer_config, core::TrainResult* result) {
+  auto model = std::make_unique<core::DeepSTModel>(
+      world->net(), model_config, world->traffic_cache());
+  core::Trainer trainer(model.get(), trainer_config);
+  core::TrainResult r =
+      trainer.Fit(world->split().train, world->split().validation);
+  if (result != nullptr) *result = r;
+  return model;
+}
+
+core::DeepSTConfig DefaultModelConfig(const World& world) {
+  core::DeepSTConfig cfg;
+  (void)world;
+  if (FastMode()) {
+    cfg.gru_hidden = 32;
+    cfg.gru_layers = 1;
+    cfg.segment_embedding_dim = 16;
+    cfg.num_proxies = 16;
+    cfg.cnn_channels = 8;
+    cfg.mlp_hidden = 32;
+  }
+  return cfg;
+}
+
+core::TrainerConfig DefaultTrainerConfig() {
+  core::TrainerConfig cfg;
+  cfg.verbose = false;
+  if (FastMode()) {
+    cfg.max_epochs = 3;
+    cfg.patience = 2;
+  }
+  return cfg;
+}
+
+core::RouteQuery QueryFor(const traj::Trip& trip) {
+  core::RouteQuery query;
+  query.origin = trip.origin_segment();
+  query.destination = trip.destination;
+  query.start_time_s = trip.start_time_s;
+  // Known-destination baselines (CSSRNN, WSP) get the true final segment, as
+  // the paper grants them.
+  query.final_segment = trip.final_segment();
+  return query;
+}
+
+}  // namespace eval
+}  // namespace deepst

@@ -1,0 +1,125 @@
+#ifndef DEEPST_EVAL_WORLD_H_
+#define DEEPST_EVAL_WORLD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/trainer.h"
+#include "eval/metrics.h"
+#include "roadnet/grid_city.h"
+#include "roadnet/spatial_index.h"
+#include "traffic/congestion_field.h"
+#include "traffic/snapshot.h"
+#include "traj/dataset.h"
+#include "traj/generator.h"
+#include "traj/segment_stats.h"
+
+namespace deepst {
+namespace eval {
+
+// Everything an experiment needs: a synthetic city, its traffic, a multi-day
+// trip dataset with temporal splits, the shared per-slot traffic tensors and
+// historical segment statistics. Substitutes for the paper's
+// Chengdu/Harbin data pipelines (DESIGN.md).
+struct WorldConfig {
+  std::string name = "city";
+  roadnet::GridCityConfig city;
+  traffic::CongestionConfig traffic;
+  traj::GeneratorConfig generator;
+  int train_days = 6;
+  int val_days = 2;
+  double traffic_cell_m = 350.0;
+  double slot_seconds = 1200.0;    // 20 min (paper V-A)
+  double window_seconds = 1800.0;  // delta = 30 min (paper V-A)
+};
+
+// Scaled-down analogues of the paper's two datasets. `scale` in (0, 1]
+// shrinks trip counts (for quick tests / DEEPST_FAST runs).
+WorldConfig ChengduMiniWorld(double scale = 1.0);
+WorldConfig HarbinMiniWorld(double scale = 1.0);
+
+// Reads the DEEPST_FAST env var; when set benches shrink their workloads.
+bool FastMode();
+
+class World {
+ public:
+  explicit World(const WorldConfig& config);
+
+  const WorldConfig& config() const { return config_; }
+  const roadnet::RoadNetwork& net() const { return *net_; }
+  const roadnet::SpatialIndex& index() const { return *index_; }
+  const traffic::CongestionField& field() const { return *field_; }
+  const std::vector<traj::TripRecord>& records() const { return records_; }
+  const traj::DatasetSplit& split() const { return split_; }
+  traffic::TrafficTensorCache* traffic_cache() { return cache_.get(); }
+  const traj::SegmentStatsTable& segment_stats() const { return *stats_; }
+
+ private:
+  WorldConfig config_;
+  std::unique_ptr<roadnet::RoadNetwork> net_;
+  std::unique_ptr<roadnet::SpatialIndex> index_;
+  std::unique_ptr<traffic::CongestionField> field_;
+  std::vector<traj::TripRecord> records_;
+  traj::DatasetSplit split_;
+  std::unique_ptr<traffic::TrafficTensorCache> cache_;
+  std::unique_ptr<traj::SegmentStatsTable> stats_;
+};
+
+// Builds + trains one DeepST-family model on the world's training split.
+std::unique_ptr<core::DeepSTModel> TrainModel(
+    World* world, const core::DeepSTConfig& model_config,
+    const core::TrainerConfig& trainer_config,
+    core::TrainResult* result = nullptr);
+
+// Default model/trainer configs sized for the mini worlds.
+core::DeepSTConfig DefaultModelConfig(const World& world);
+core::TrainerConfig DefaultTrainerConfig();
+
+// Builds the standard query for predicting a test trip's route.
+core::RouteQuery QueryFor(const traj::Trip& trip);
+
+// Evaluates a prediction function over (at most `max_trips` of) the test
+// split; `predict` maps a query to a route.
+struct EvalResult {
+  double recall_at_n = 0.0;
+  double accuracy = 0.0;
+  int num_trips = 0;
+  // Per-distance-bucket accuracy (Fig. 7); -1 for empty buckets.
+  std::vector<double> bucket_accuracy;
+  std::vector<int> bucket_counts;
+};
+
+template <typename PredictFn>
+EvalResult EvaluatePrediction(const World& world, PredictFn&& predict,
+                              int max_trips) {
+  EvalResult result;
+  MetricAccumulator acc;
+  std::vector<MetricAccumulator> buckets(
+      static_cast<size_t>(NumDistanceBuckets()));
+  int used = 0;
+  for (const auto* rec : world.split().test) {
+    if (used >= max_trips) break;
+    if (rec->trip.route.size() < 2) continue;
+    ++used;
+    const traj::Route predicted = predict(QueryFor(rec->trip));
+    acc.Add(rec->trip.route, predicted);
+    const double km = world.net().RouteLength(rec->trip.route) / 1000.0;
+    const int b = DistanceBucket(km);
+    if (b >= 0) buckets[static_cast<size_t>(b)].Add(rec->trip.route,
+                                                    predicted);
+  }
+  result.recall_at_n = acc.mean_recall();
+  result.accuracy = acc.mean_accuracy();
+  result.num_trips = acc.count;
+  for (const auto& b : buckets) {
+    result.bucket_accuracy.push_back(b.count ? b.mean_accuracy() : -1.0);
+    result.bucket_counts.push_back(b.count);
+  }
+  return result;
+}
+
+}  // namespace eval
+}  // namespace deepst
+
+#endif  // DEEPST_EVAL_WORLD_H_

@@ -1,0 +1,34 @@
+#include "geo/grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace deepst {
+namespace geo {
+
+GridSpec::GridSpec(const BoundingBox& box, double cell_size)
+    : box_(box), cell_size_(cell_size) {
+  DEEPST_CHECK_GT(cell_size, 0.0);
+  rows_ = std::max(1, static_cast<int>(std::ceil(box.Height() / cell_size)));
+  cols_ = std::max(1, static_cast<int>(std::ceil(box.Width() / cell_size)));
+}
+
+int GridSpec::RowOf(const Point& p) const {
+  const int r = static_cast<int>((p.y - box_.min.y) / cell_size_);
+  return std::clamp(r, 0, rows_ - 1);
+}
+
+int GridSpec::ColOf(const Point& p) const {
+  const int c = static_cast<int>((p.x - box_.min.x) / cell_size_);
+  return std::clamp(c, 0, cols_ - 1);
+}
+
+Point GridSpec::CellCenter(int row, int col) const {
+  return {box_.min.x + (col + 0.5) * cell_size_,
+          box_.min.y + (row + 0.5) * cell_size_};
+}
+
+}  // namespace geo
+}  // namespace deepst

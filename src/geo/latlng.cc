@@ -1,0 +1,42 @@
+#include "geo/latlng.h"
+
+#include <cmath>
+
+namespace deepst {
+namespace geo {
+namespace {
+
+constexpr double kEarthRadiusM = 6371000.0;
+constexpr double kDegToRad = M_PI / 180.0;
+
+}  // namespace
+
+double HaversineMeters(const LatLng& a, const LatLng& b) {
+  const double lat1 = a.lat * kDegToRad;
+  const double lat2 = b.lat * kDegToRad;
+  const double dlat = (b.lat - a.lat) * kDegToRad;
+  const double dlng = (b.lng - a.lng) * kDegToRad;
+  const double s = std::sin(dlat / 2) * std::sin(dlat / 2) +
+                   std::cos(lat1) * std::cos(lat2) * std::sin(dlng / 2) *
+                       std::sin(dlng / 2);
+  return 2.0 * kEarthRadiusM * std::asin(std::sqrt(s));
+}
+
+LocalProjection::LocalProjection(LatLng origin) : origin_(origin) {
+  meters_per_deg_lat_ = kEarthRadiusM * kDegToRad;
+  meters_per_deg_lng_ =
+      kEarthRadiusM * kDegToRad * std::cos(origin.lat * kDegToRad);
+}
+
+Point LocalProjection::ToLocal(const LatLng& ll) const {
+  return {(ll.lng - origin_.lng) * meters_per_deg_lng_,
+          (ll.lat - origin_.lat) * meters_per_deg_lat_};
+}
+
+LatLng LocalProjection::ToLatLng(const Point& p) const {
+  return {origin_.lat + p.y / meters_per_deg_lat_,
+          origin_.lng + p.x / meters_per_deg_lng_};
+}
+
+}  // namespace geo
+}  // namespace deepst

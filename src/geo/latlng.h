@@ -1,0 +1,40 @@
+#ifndef DEEPST_GEO_LATLNG_H_
+#define DEEPST_GEO_LATLNG_H_
+
+#include "geo/point.h"
+
+namespace deepst {
+namespace geo {
+
+// WGS-84 latitude/longitude in degrees.
+struct LatLng {
+  double lat = 0.0;
+  double lng = 0.0;
+};
+
+// Haversine great-circle distance in meters.
+double HaversineMeters(const LatLng& a, const LatLng& b);
+
+// Equirectangular projection anchored at a reference coordinate, accurate to
+// well under 1% at city scale -- the paper's destination coordinates are
+// "rough" lat/lng pairs, so this is the boundary converter between GPS
+// coordinates and the library's local metric frame.
+class LocalProjection {
+ public:
+  explicit LocalProjection(LatLng origin);
+
+  Point ToLocal(const LatLng& ll) const;
+  LatLng ToLatLng(const Point& p) const;
+
+  const LatLng& origin() const { return origin_; }
+
+ private:
+  LatLng origin_;
+  double meters_per_deg_lat_;
+  double meters_per_deg_lng_;
+};
+
+}  // namespace geo
+}  // namespace deepst
+
+#endif  // DEEPST_GEO_LATLNG_H_

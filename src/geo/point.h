@@ -1,0 +1,53 @@
+#ifndef DEEPST_GEO_POINT_H_
+#define DEEPST_GEO_POINT_H_
+
+#include <cmath>
+
+namespace deepst {
+namespace geo {
+
+// Planar point in a local metric frame (meters). The library does all
+// geometry in local coordinates; LatLng conversion (latlng.h) is provided at
+// the boundary for realistic I/O.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  Point() = default;
+  Point(double x_in, double y_in) : x(x_in), y(y_in) {}
+
+  Point operator+(const Point& o) const { return {x + o.x, y + o.y}; }
+  Point operator-(const Point& o) const { return {x - o.x, y - o.y}; }
+  Point operator*(double s) const { return {x * s, y * s}; }
+
+  double Dot(const Point& o) const { return x * o.x + y * o.y; }
+  double Norm() const { return std::sqrt(x * x + y * y); }
+  double DistanceTo(const Point& o) const { return (*this - o).Norm(); }
+};
+
+inline bool operator==(const Point& a, const Point& b) {
+  return a.x == b.x && a.y == b.y;
+}
+
+// Axis-aligned bounding box.
+struct BoundingBox {
+  Point min{1e18, 1e18};
+  Point max{-1e18, -1e18};
+
+  void Extend(const Point& p) {
+    min.x = std::min(min.x, p.x);
+    min.y = std::min(min.y, p.y);
+    max.x = std::max(max.x, p.x);
+    max.y = std::max(max.y, p.y);
+  }
+  bool Contains(const Point& p) const {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y;
+  }
+  double Width() const { return max.x - min.x; }
+  double Height() const { return max.y - min.y; }
+};
+
+}  // namespace geo
+}  // namespace deepst
+
+#endif  // DEEPST_GEO_POINT_H_

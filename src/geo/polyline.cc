@@ -1,0 +1,87 @@
+#include "geo/polyline.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace deepst {
+namespace geo {
+
+double PolylineLength(const std::vector<Point>& pts) {
+  double len = 0.0;
+  for (size_t i = 1; i < pts.size(); ++i) {
+    len += pts[i - 1].DistanceTo(pts[i]);
+  }
+  return len;
+}
+
+Point ProjectOntoSegment(const Point& p, const Point& a, const Point& b) {
+  const Point ab = b - a;
+  const double len2 = ab.Dot(ab);
+  if (len2 <= 0.0) return a;
+  double t = (p - a).Dot(ab) / len2;
+  t = std::max(0.0, std::min(1.0, t));
+  return a + ab * t;
+}
+
+Projection ProjectOntoPolyline(const Point& p,
+                               const std::vector<Point>& pts) {
+  DEEPST_CHECK_GE(pts.size(), 1u);
+  Projection best;
+  if (pts.size() == 1) {
+    best.point = pts[0];
+    best.distance = p.DistanceTo(pts[0]);
+    return best;
+  }
+  best.distance = 1e18;
+  double prefix = 0.0;
+  for (size_t i = 0; i + 1 < pts.size(); ++i) {
+    const Point proj = ProjectOntoSegment(p, pts[i], pts[i + 1]);
+    const double d = p.DistanceTo(proj);
+    if (d < best.distance) {
+      best.distance = d;
+      best.point = proj;
+      best.offset = prefix + pts[i].DistanceTo(proj);
+      best.segment_index = static_cast<int>(i);
+    }
+    prefix += pts[i].DistanceTo(pts[i + 1]);
+  }
+  return best;
+}
+
+Point InterpolateAlong(const std::vector<Point>& pts, double offset) {
+  DEEPST_CHECK_GE(pts.size(), 1u);
+  if (pts.size() == 1 || offset <= 0.0) return pts.front();
+  double remaining = offset;
+  for (size_t i = 0; i + 1 < pts.size(); ++i) {
+    const double seg = pts[i].DistanceTo(pts[i + 1]);
+    if (remaining <= seg && seg > 0.0) {
+      const double t = remaining / seg;
+      return pts[i] + (pts[i + 1] - pts[i]) * t;
+    }
+    remaining -= seg;
+  }
+  return pts.back();
+}
+
+double HeadingAtStart(const std::vector<Point>& pts) {
+  DEEPST_CHECK_GE(pts.size(), 2u);
+  const Point d = pts[1] - pts[0];
+  return std::atan2(d.y, d.x);
+}
+
+double HeadingAtEnd(const std::vector<Point>& pts) {
+  DEEPST_CHECK_GE(pts.size(), 2u);
+  const Point d = pts[pts.size() - 1] - pts[pts.size() - 2];
+  return std::atan2(d.y, d.x);
+}
+
+double AngleDiff(double a, double b) {
+  double d = std::fabs(a - b);
+  while (d > 2 * M_PI) d -= 2 * M_PI;
+  if (d > M_PI) d = 2 * M_PI - d;
+  return d;
+}
+
+}  // namespace geo
+}  // namespace deepst

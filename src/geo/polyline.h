@@ -1,0 +1,42 @@
+#ifndef DEEPST_GEO_POLYLINE_H_
+#define DEEPST_GEO_POLYLINE_H_
+
+#include <vector>
+
+#include "geo/point.h"
+
+namespace deepst {
+namespace geo {
+
+// Result of projecting a point onto a polyline.
+struct Projection {
+  Point point;            // closest point on the polyline
+  double distance = 0.0;  // Euclidean distance from query to `point`
+  double offset = 0.0;    // arc length from the polyline start to `point`
+  int segment_index = 0;  // index of the polyline segment hit
+};
+
+// Total arc length of a polyline (>= 2 points required by callers that need
+// a positive length; a single point yields 0).
+double PolylineLength(const std::vector<Point>& pts);
+
+// Closest point on segment [a, b] to p.
+Point ProjectOntoSegment(const Point& p, const Point& a, const Point& b);
+
+// Projects `p` onto the polyline, minimizing Euclidean distance.
+Projection ProjectOntoPolyline(const Point& p, const std::vector<Point>& pts);
+
+// Point at arc-length `offset` from the start (clamped to [0, length]).
+Point InterpolateAlong(const std::vector<Point>& pts, double offset);
+
+// Heading (radians, atan2 convention) of the polyline at its start / end.
+double HeadingAtStart(const std::vector<Point>& pts);
+double HeadingAtEnd(const std::vector<Point>& pts);
+
+// Absolute angular difference in [0, pi].
+double AngleDiff(double a, double b);
+
+}  // namespace geo
+}  // namespace deepst
+
+#endif  // DEEPST_GEO_POLYLINE_H_

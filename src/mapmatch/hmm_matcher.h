@@ -1,0 +1,60 @@
+#ifndef DEEPST_MAPMATCH_HMM_MATCHER_H_
+#define DEEPST_MAPMATCH_HMM_MATCHER_H_
+
+#include <vector>
+
+#include "roadnet/shortest_path.h"
+#include "roadnet/spatial_index.h"
+#include "traj/types.h"
+#include "util/status.h"
+
+namespace deepst {
+namespace mapmatch {
+
+// Newson-Krumm (SIGSPATIAL 2009) HMM map matching, the algorithm the paper
+// cites ([42]) for producing ground-truth routes from raw GPS.
+//
+// Emission: candidate segments within `candidate_radius_m` of each GPS
+// point, log-probability -0.5 (d / sigma_gps)^2.
+// Transition: |route_distance - great_circle_distance| penalized with an
+// exponential of scale `beta_m`, where route distance is the network
+// distance between consecutive candidates' projection points.
+// Decoding: Viterbi; the matched segment sequence is stitched into a
+// connected route with shortest paths.
+struct MatcherConfig {
+  double sigma_gps_m = 20.0;
+  double beta_m = 80.0;
+  double candidate_radius_m = 120.0;
+  int max_candidates = 6;
+  // Transitions implying a detour factor above this are pruned.
+  double max_detour_factor = 6.0;
+};
+
+struct MatchResult {
+  // Connected route covering the whole trajectory.
+  traj::Route route;
+  // Matched segment per input GPS point.
+  std::vector<roadnet::SegmentId> point_segments;
+  double log_likelihood = 0.0;
+};
+
+class HmmMapMatcher {
+ public:
+  HmmMapMatcher(const roadnet::RoadNetwork& net,
+                const roadnet::SpatialIndex& index,
+                const MatcherConfig& config = {});
+
+  // Matches a trajectory; fails when some point has no candidates or no
+  // connected state sequence exists.
+  util::StatusOr<MatchResult> Match(const traj::GpsTrajectory& gps) const;
+
+ private:
+  const roadnet::RoadNetwork& net_;
+  const roadnet::SpatialIndex& index_;
+  MatcherConfig config_;
+};
+
+}  // namespace mapmatch
+}  // namespace deepst
+
+#endif  // DEEPST_MAPMATCH_HMM_MATCHER_H_

@@ -1,0 +1,52 @@
+#include "nn/conv_layers.h"
+
+#include <cmath>
+
+#include "nn/ops.h"
+
+namespace deepst {
+namespace nn {
+
+Conv2dLayer::Conv2dLayer(int64_t in_channels, int64_t out_channels, int kernel,
+                         int stride, int pad, util::Rng* rng)
+    : stride_(stride), pad_(pad) {
+  const int64_t fan_in = in_channels * kernel * kernel;
+  const float bound = 1.0f / std::sqrt(static_cast<float>(fan_in));
+  w_ = AddParameter("weight",
+                    Tensor::Uniform({out_channels, in_channels, kernel, kernel},
+                                    -bound, bound, rng));
+  b_ = AddParameter("bias", Tensor::Uniform({out_channels}, -bound, bound,
+                                            rng));
+}
+
+VarPtr Conv2dLayer::Forward(const VarPtr& x) const {
+  return ops::Conv2d(x, w_, b_, stride_, pad_);
+}
+
+BatchNorm2dLayer::BatchNorm2dLayer(int64_t channels, util::Rng* rng) {
+  (void)rng;
+  gamma_ = AddParameter("gamma", Tensor::Full({channels}, 1.0f));
+  beta_ = AddParameter("beta", Tensor::Zeros({channels}));
+  state_.running_mean = Tensor::Zeros({channels});
+  state_.running_var = Tensor::Full({channels}, 1.0f);
+}
+
+VarPtr BatchNorm2dLayer::Forward(const VarPtr& x, bool training) {
+  return ops::BatchNorm2d(x, gamma_, beta_, &state_, training);
+}
+
+ConvBlock::ConvBlock(int64_t in_channels, int64_t out_channels, int kernel,
+                     int stride, int pad, util::Rng* rng) {
+  conv_ = std::make_unique<Conv2dLayer>(in_channels, out_channels, kernel,
+                                        stride, pad, rng);
+  bn_ = std::make_unique<BatchNorm2dLayer>(out_channels, rng);
+  AddSubmodule("conv", conv_.get());
+  AddSubmodule("bn", bn_.get());
+}
+
+VarPtr ConvBlock::Forward(const VarPtr& x, bool training) {
+  return ops::LeakyRelu(bn_->Forward(conv_->Forward(x), training), 0.01f);
+}
+
+}  // namespace nn
+}  // namespace deepst

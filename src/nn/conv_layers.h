@@ -1,0 +1,61 @@
+#ifndef DEEPST_NN_CONV_LAYERS_H_
+#define DEEPST_NN_CONV_LAYERS_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/conv_ops.h"
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace deepst {
+namespace nn {
+
+// 2-D convolution layer with learned kernel + bias.
+class Conv2dLayer : public Module {
+ public:
+  Conv2dLayer(int64_t in_channels, int64_t out_channels, int kernel,
+              int stride, int pad, util::Rng* rng);
+
+  VarPtr Forward(const VarPtr& x) const;
+
+ private:
+  int stride_;
+  int pad_;
+  VarPtr w_;
+  VarPtr b_;
+};
+
+// Batch normalization layer over channels of NCHW input.
+class BatchNorm2dLayer : public Module {
+ public:
+  explicit BatchNorm2dLayer(int64_t channels, util::Rng* rng);
+
+  VarPtr Forward(const VarPtr& x, bool training);
+
+  ops::BatchNormState* state() { return &state_; }
+
+ private:
+  VarPtr gamma_;
+  VarPtr beta_;
+  ops::BatchNormState state_;
+};
+
+// The paper's convolution block: Conv2d -> BatchNorm2d -> LeakyReLU
+// (Section V-A, "each convolution block consists of three layers").
+class ConvBlock : public Module {
+ public:
+  ConvBlock(int64_t in_channels, int64_t out_channels, int kernel, int stride,
+            int pad, util::Rng* rng);
+
+  VarPtr Forward(const VarPtr& x, bool training);
+
+ private:
+  std::unique_ptr<Conv2dLayer> conv_;
+  std::unique_ptr<BatchNorm2dLayer> bn_;
+};
+
+}  // namespace nn
+}  // namespace deepst
+
+#endif  // DEEPST_NN_CONV_LAYERS_H_

@@ -1,0 +1,39 @@
+#ifndef DEEPST_NN_CONV_OPS_H_
+#define DEEPST_NN_CONV_OPS_H_
+
+#include "nn/variable.h"
+
+namespace deepst {
+namespace nn {
+namespace ops {
+
+// 2-D convolution, NCHW layout.
+//   x: [B, Cin, H, W], w: [Cout, Cin, Kh, Kw], b: [Cout] (may be null).
+// Output spatial size: floor((H + 2*pad - Kh)/stride) + 1.
+VarPtr Conv2d(const VarPtr& x, const VarPtr& w, const VarPtr& b, int stride,
+              int pad);
+
+// Batch normalization over (B, H, W) per channel, training mode (batch
+// statistics; updates running stats in-place through the raw pointers) or
+// eval mode (running stats). gamma/beta: [C].
+struct BatchNormState {
+  Tensor running_mean;  // [C]
+  Tensor running_var;   // [C]
+  float momentum = 0.1f;
+  float eps = 1e-5f;
+};
+VarPtr BatchNorm2d(const VarPtr& x, const VarPtr& gamma, const VarPtr& beta,
+                   BatchNormState* state, bool training);
+
+// Global average pooling: [B, C, H, W] -> [B, C].
+VarPtr GlobalAvgPool2d(const VarPtr& x);
+
+// Average pooling with square kernel/stride: [B,C,H,W] -> [B,C,H/k,W/k]
+// (floor; partial windows averaged over their actual size).
+VarPtr AvgPool2d(const VarPtr& x, int kernel);
+
+}  // namespace ops
+}  // namespace nn
+}  // namespace deepst
+
+#endif  // DEEPST_NN_CONV_OPS_H_

@@ -1,0 +1,68 @@
+#ifndef DEEPST_NN_MODULE_H_
+#define DEEPST_NN_MODULE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nn/variable.h"
+
+namespace deepst {
+namespace nn {
+
+// A named trainable parameter.
+struct NamedParam {
+  std::string name;
+  VarPtr var;
+};
+
+// Base class for neural-net building blocks. Subclasses register parameters
+// (and sub-modules) in their constructors; `Parameters()` then yields the
+// flat list consumed by optimizers and the serializer.
+//
+// Modules are neither copyable nor movable: parameters are shared_ptrs and
+// layers hold raw pointers to each other in composite models.
+class Module {
+ public:
+  Module() = default;
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  const std::vector<NamedParam>& Parameters() const { return params_; }
+
+  // Total number of scalar parameters.
+  int64_t NumParams() const {
+    int64_t n = 0;
+    for (const auto& p : params_) n += p.var->value().numel();
+    return n;
+  }
+
+  void ZeroGrad() {
+    for (auto& p : params_) p.var->ZeroGrad();
+  }
+
+ protected:
+  // Registers a fresh parameter initialized with `init`.
+  VarPtr AddParameter(const std::string& name, Tensor init) {
+    VarPtr v = MakeVar(std::move(init), /*requires_grad=*/true);
+    params_.push_back({name, v});
+    return v;
+  }
+
+  // Re-exports a child's parameters under `prefix/`.
+  void AddSubmodule(const std::string& prefix, Module* child) {
+    for (const auto& p : child->params_) {
+      params_.push_back({prefix + "/" + p.name, p.var});
+    }
+  }
+
+ private:
+  std::vector<NamedParam> params_;
+};
+
+}  // namespace nn
+}  // namespace deepst
+
+#endif  // DEEPST_NN_MODULE_H_

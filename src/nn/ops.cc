@@ -1,0 +1,799 @@
+#include "nn/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace deepst {
+namespace nn {
+namespace ops {
+namespace {
+
+// Builds a result node with parents + backward closure.
+VarPtr MakeNode(Tensor value, std::vector<VarPtr> parents,
+                std::function<void(Variable*)> backward) {
+  VarPtr out = MakeVar(std::move(value));
+  out->SetParents(std::move(parents));
+  if (out->requires_grad()) out->SetBackwardFn(std::move(backward));
+  return out;
+}
+
+bool IsRowBroadcast(const Tensor& a, const Tensor& b) {
+  return a.ndim() == 2 && b.ndim() == 1 && a.dim(1) == b.dim(0);
+}
+
+}  // namespace
+
+VarPtr Add(const VarPtr& a, const VarPtr& b) {
+  const Tensor& av = a->value();
+  const Tensor& bv = b->value();
+  Tensor out = av;
+  if (av.SameShape(bv)) {
+    out.AddInPlace(bv);
+    return MakeNode(std::move(out), {a, b}, [](Variable* node) {
+      const Tensor& g = node->grad();
+      const auto& ps = node->parents();
+      if (ps[0]->requires_grad()) ps[0]->grad().AddInPlace(g);
+      if (ps[1]->requires_grad()) ps[1]->grad().AddInPlace(g);
+    });
+  }
+  DEEPST_CHECK_MSG(IsRowBroadcast(av, bv), "Add: incompatible shapes");
+  const int64_t rows = av.dim(0), cols = av.dim(1);
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t c = 0; c < cols; ++c) out.at(r, c) += bv[c];
+  }
+  return MakeNode(std::move(out), {a, b}, [rows, cols](Variable* node) {
+    const Tensor& g = node->grad();
+    const auto& ps = node->parents();
+    if (ps[0]->requires_grad()) ps[0]->grad().AddInPlace(g);
+    if (ps[1]->requires_grad()) {
+      Tensor& gb = ps[1]->grad();
+      for (int64_t r = 0; r < rows; ++r) {
+        for (int64_t c = 0; c < cols; ++c) gb[c] += g.at(r, c);
+      }
+    }
+  });
+}
+
+VarPtr Sub(const VarPtr& a, const VarPtr& b) {
+  const Tensor& av = a->value();
+  const Tensor& bv = b->value();
+  Tensor out = av;
+  if (av.SameShape(bv)) {
+    for (int64_t i = 0; i < out.numel(); ++i) out[i] -= bv[i];
+    return MakeNode(std::move(out), {a, b}, [](Variable* node) {
+      const Tensor& g = node->grad();
+      const auto& ps = node->parents();
+      if (ps[0]->requires_grad()) ps[0]->grad().AddInPlace(g);
+      if (ps[1]->requires_grad()) {
+        Tensor& gb = ps[1]->grad();
+        for (int64_t i = 0; i < g.numel(); ++i) gb[i] -= g[i];
+      }
+    });
+  }
+  DEEPST_CHECK_MSG(IsRowBroadcast(av, bv), "Sub: incompatible shapes");
+  const int64_t rows = av.dim(0), cols = av.dim(1);
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t c = 0; c < cols; ++c) out.at(r, c) -= bv[c];
+  }
+  return MakeNode(std::move(out), {a, b}, [rows, cols](Variable* node) {
+    const Tensor& g = node->grad();
+    const auto& ps = node->parents();
+    if (ps[0]->requires_grad()) ps[0]->grad().AddInPlace(g);
+    if (ps[1]->requires_grad()) {
+      Tensor& gb = ps[1]->grad();
+      for (int64_t r = 0; r < rows; ++r) {
+        for (int64_t c = 0; c < cols; ++c) gb[c] -= g.at(r, c);
+      }
+    }
+  });
+}
+
+VarPtr Mul(const VarPtr& a, const VarPtr& b) {
+  const Tensor& av = a->value();
+  const Tensor& bv = b->value();
+  DEEPST_CHECK_MSG(av.SameShape(bv), "Mul: shape mismatch");
+  Tensor out = av;
+  for (int64_t i = 0; i < out.numel(); ++i) out[i] *= bv[i];
+  return MakeNode(std::move(out), {a, b}, [](Variable* node) {
+    const Tensor& g = node->grad();
+    const auto& ps = node->parents();
+    const Tensor& av = ps[0]->value();
+    const Tensor& bv = ps[1]->value();
+    if (ps[0]->requires_grad()) {
+      Tensor& ga = ps[0]->grad();
+      for (int64_t i = 0; i < g.numel(); ++i) ga[i] += g[i] * bv[i];
+    }
+    if (ps[1]->requires_grad()) {
+      Tensor& gb = ps[1]->grad();
+      for (int64_t i = 0; i < g.numel(); ++i) gb[i] += g[i] * av[i];
+    }
+  });
+}
+
+VarPtr Div(const VarPtr& a, const VarPtr& b) {
+  const Tensor& av = a->value();
+  const Tensor& bv = b->value();
+  DEEPST_CHECK_MSG(av.SameShape(bv), "Div: shape mismatch");
+  Tensor out = av;
+  for (int64_t i = 0; i < out.numel(); ++i) out[i] /= bv[i];
+  return MakeNode(std::move(out), {a, b}, [](Variable* node) {
+    const Tensor& g = node->grad();
+    const auto& ps = node->parents();
+    const Tensor& av = ps[0]->value();
+    const Tensor& bv = ps[1]->value();
+    if (ps[0]->requires_grad()) {
+      Tensor& ga = ps[0]->grad();
+      for (int64_t i = 0; i < g.numel(); ++i) ga[i] += g[i] / bv[i];
+    }
+    if (ps[1]->requires_grad()) {
+      Tensor& gb = ps[1]->grad();
+      for (int64_t i = 0; i < g.numel(); ++i) {
+        gb[i] -= g[i] * av[i] / (bv[i] * bv[i]);
+      }
+    }
+  });
+}
+
+VarPtr Neg(const VarPtr& a) { return ScalarMul(a, -1.0f); }
+
+VarPtr ScalarMul(const VarPtr& a, float s) {
+  Tensor out = a->value();
+  out.ScaleInPlace(s);
+  return MakeNode(std::move(out), {a}, [s](Variable* node) {
+    const Tensor& g = node->grad();
+    auto& p = node->parents()[0];
+    if (p->requires_grad()) {
+      Tensor& ga = p->grad();
+      for (int64_t i = 0; i < g.numel(); ++i) ga[i] += g[i] * s;
+    }
+  });
+}
+
+VarPtr ScalarAdd(const VarPtr& a, float s) {
+  Tensor out = a->value();
+  for (int64_t i = 0; i < out.numel(); ++i) out[i] += s;
+  return MakeNode(std::move(out), {a}, [](Variable* node) {
+    auto& p = node->parents()[0];
+    if (p->requires_grad()) p->grad().AddInPlace(node->grad());
+  });
+}
+
+VarPtr RSubScalar(float s, const VarPtr& a) {
+  Tensor out = a->value();
+  for (int64_t i = 0; i < out.numel(); ++i) out[i] = s - out[i];
+  return MakeNode(std::move(out), {a}, [](Variable* node) {
+    const Tensor& g = node->grad();
+    auto& p = node->parents()[0];
+    if (p->requires_grad()) {
+      Tensor& ga = p->grad();
+      for (int64_t i = 0; i < g.numel(); ++i) ga[i] -= g[i];
+    }
+  });
+}
+
+namespace {
+
+// Shared implementation for unary elementwise ops whose gradient can be
+// computed from the *output* value: grad_in = grad_out * dfn(out_value).
+template <typename Fwd, typename BwdFromOut>
+VarPtr UnaryFromOutput(const VarPtr& a, Fwd fwd, BwdFromOut bwd) {
+  Tensor out = a->value();
+  for (int64_t i = 0; i < out.numel(); ++i) out[i] = fwd(out[i]);
+  // Capture output values by copying the tensor into the closure.
+  Tensor out_copy = out;
+  return MakeNode(std::move(out), {a},
+                  [bwd, out_copy](Variable* node) {
+                    const Tensor& g = node->grad();
+                    auto& p = node->parents()[0];
+                    if (!p->requires_grad()) return;
+                    Tensor& ga = p->grad();
+                    for (int64_t i = 0; i < g.numel(); ++i) {
+                      ga[i] += g[i] * bwd(out_copy[i]);
+                    }
+                  });
+}
+
+// Unary elementwise with gradient computed from the *input* value.
+template <typename Fwd, typename BwdFromIn>
+VarPtr UnaryFromInput(const VarPtr& a, Fwd fwd, BwdFromIn bwd) {
+  Tensor out = a->value();
+  for (int64_t i = 0; i < out.numel(); ++i) out[i] = fwd(out[i]);
+  return MakeNode(std::move(out), {a}, [bwd](Variable* node) {
+    const Tensor& g = node->grad();
+    auto& p = node->parents()[0];
+    if (!p->requires_grad()) return;
+    const Tensor& in = p->value();
+    Tensor& ga = p->grad();
+    for (int64_t i = 0; i < g.numel(); ++i) ga[i] += g[i] * bwd(in[i]);
+  });
+}
+
+}  // namespace
+
+VarPtr Sigmoid(const VarPtr& a) {
+  return UnaryFromOutput(
+      a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+      [](float y) { return y * (1.0f - y); });
+}
+
+VarPtr Tanh(const VarPtr& a) {
+  return UnaryFromOutput(a, [](float x) { return std::tanh(x); },
+                         [](float y) { return 1.0f - y * y; });
+}
+
+VarPtr Relu(const VarPtr& a) {
+  return UnaryFromInput(a, [](float x) { return x > 0 ? x : 0.0f; },
+                        [](float x) { return x > 0 ? 1.0f : 0.0f; });
+}
+
+VarPtr LeakyRelu(const VarPtr& a, float negative_slope) {
+  return UnaryFromInput(
+      a,
+      [negative_slope](float x) { return x > 0 ? x : negative_slope * x; },
+      [negative_slope](float x) { return x > 0 ? 1.0f : negative_slope; });
+}
+
+VarPtr Exp(const VarPtr& a) {
+  return UnaryFromOutput(a, [](float x) { return std::exp(x); },
+                         [](float y) { return y; });
+}
+
+VarPtr Log(const VarPtr& a, float eps) {
+  return UnaryFromInput(
+      a, [eps](float x) { return std::log(std::max(x, eps)); },
+      [eps](float x) { return 1.0f / std::max(x, eps); });
+}
+
+VarPtr Softplus(const VarPtr& a) {
+  return UnaryFromInput(
+      a,
+      [](float x) {
+        // Numerically stable: log(1+e^x) = max(x,0) + log1p(e^{-|x|}).
+        return std::max(x, 0.0f) + std::log1p(std::exp(-std::fabs(x)));
+      },
+      [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
+}
+
+VarPtr Square(const VarPtr& a) {
+  return UnaryFromInput(a, [](float x) { return x * x; },
+                        [](float x) { return 2.0f * x; });
+}
+
+namespace {
+
+// C[M,N] += A[M,K] @ B[K,N], cache-friendly ikj loop.
+void GemmAcc(const float* a, const float* b, float* c, int64_t m, int64_t k,
+             int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = b + kk * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+// C[M,N] += A[M,K] @ B^T where B is [N,K].
+void GemmAccBT(const float* a, const float* b, float* c, int64_t m, int64_t k,
+               int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      double acc = 0.0;
+      for (int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      crow[j] += static_cast<float>(acc);
+    }
+  }
+}
+
+// C[M,N] += A^T @ B where A is [K,M], B is [K,N].
+void GemmAccAT(const float* a, const float* b, float* c, int64_t m, int64_t k,
+               int64_t n) {
+  for (int64_t kk = 0; kk < k; ++kk) {
+    const float* arow = a + kk * m;
+    const float* brow = b + kk * n;
+    for (int64_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c + i * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+}  // namespace
+
+VarPtr MatMul(const VarPtr& a, const VarPtr& b) {
+  const Tensor& av = a->value();
+  const Tensor& bv = b->value();
+  DEEPST_CHECK_EQ(av.ndim(), 2);
+  DEEPST_CHECK_EQ(bv.ndim(), 2);
+  DEEPST_CHECK_EQ(av.dim(1), bv.dim(0));
+  const int64_t m = av.dim(0), k = av.dim(1), n = bv.dim(1);
+  Tensor out = Tensor::Zeros({m, n});
+  GemmAcc(av.data(), bv.data(), out.data(), m, k, n);
+  return MakeNode(std::move(out), {a, b}, [m, k, n](Variable* node) {
+    const Tensor& g = node->grad();
+    const auto& ps = node->parents();
+    const Tensor& av = ps[0]->value();
+    const Tensor& bv = ps[1]->value();
+    if (ps[0]->requires_grad()) {
+      // dA = dC @ B^T : [M,N] @ [N,K]^T-of-[K,N]
+      GemmAccBT(g.data(), bv.data(), ps[0]->grad().data(), m, n, k);
+    }
+    if (ps[1]->requires_grad()) {
+      // dB = A^T @ dC : [K,M]^T-of-[M,K] @ [M,N]
+      GemmAccAT(av.data(), g.data(), ps[1]->grad().data(), k, m, n);
+    }
+  });
+}
+
+VarPtr Linear(const VarPtr& x, const VarPtr& w, const VarPtr& b) {
+  const Tensor& xv = x->value();
+  const Tensor& wv = w->value();
+  DEEPST_CHECK_EQ(xv.ndim(), 2);
+  DEEPST_CHECK_EQ(wv.ndim(), 2);
+  DEEPST_CHECK_EQ(xv.dim(1), wv.dim(1));
+  const int64_t batch = xv.dim(0), in = xv.dim(1), out_dim = wv.dim(0);
+  Tensor out = Tensor::Zeros({batch, out_dim});
+  // out = x @ w^T
+  GemmAccBT(xv.data(), wv.data(), out.data(), batch, in, out_dim);
+  std::vector<VarPtr> parents = {x, w};
+  if (b != nullptr) {
+    const Tensor& bv = b->value();
+    DEEPST_CHECK_EQ(bv.ndim(), 1);
+    DEEPST_CHECK_EQ(bv.dim(0), out_dim);
+    for (int64_t r = 0; r < batch; ++r) {
+      for (int64_t c = 0; c < out_dim; ++c) out.at(r, c) += bv[c];
+    }
+    parents.push_back(b);
+  }
+  const bool has_bias = b != nullptr;
+  return MakeNode(
+      std::move(out), std::move(parents),
+      [batch, in, out_dim, has_bias](Variable* node) {
+        const Tensor& g = node->grad();  // [B, Out]
+        const auto& ps = node->parents();
+        const Tensor& xv = ps[0]->value();
+        const Tensor& wv = ps[1]->value();
+        if (ps[0]->requires_grad()) {
+          // dX = dY @ W : [B,Out] @ [Out,In]
+          GemmAcc(g.data(), wv.data(), ps[0]->grad().data(), batch, out_dim,
+                  in);
+        }
+        if (ps[1]->requires_grad()) {
+          // dW = dY^T @ X : [Out,B] @ [B,In]
+          GemmAccAT(g.data(), xv.data(), ps[1]->grad().data(), out_dim, batch,
+                    in);
+        }
+        if (has_bias && ps[2]->requires_grad()) {
+          Tensor& gb = ps[2]->grad();
+          for (int64_t r = 0; r < batch; ++r) {
+            for (int64_t c = 0; c < out_dim; ++c) gb[c] += g.at(r, c);
+          }
+        }
+      });
+}
+
+VarPtr ConcatCols(const std::vector<VarPtr>& parts) {
+  DEEPST_CHECK(!parts.empty());
+  const int64_t rows = parts[0]->value().dim(0);
+  int64_t total_cols = 0;
+  for (const auto& p : parts) {
+    DEEPST_CHECK_EQ(p->value().ndim(), 2);
+    DEEPST_CHECK_EQ(p->value().dim(0), rows);
+    total_cols += p->value().dim(1);
+  }
+  Tensor out({rows, total_cols});
+  int64_t col0 = 0;
+  for (const auto& p : parts) {
+    const Tensor& pv = p->value();
+    const int64_t cols = pv.dim(1);
+    for (int64_t r = 0; r < rows; ++r) {
+      std::copy(pv.data() + r * cols, pv.data() + (r + 1) * cols,
+                out.data() + r * total_cols + col0);
+    }
+    col0 += cols;
+  }
+  return MakeNode(std::move(out), parts, [rows, total_cols](Variable* node) {
+    const Tensor& g = node->grad();
+    int64_t col0 = 0;
+    for (const auto& p : node->parents()) {
+      const int64_t cols = p->value().dim(1);
+      if (p->requires_grad()) {
+        Tensor& gp = p->grad();
+        for (int64_t r = 0; r < rows; ++r) {
+          for (int64_t c = 0; c < cols; ++c) {
+            gp.at(r, c) += g[r * total_cols + col0 + c];
+          }
+        }
+      }
+      col0 += cols;
+    }
+  });
+}
+
+VarPtr SliceCols(const VarPtr& a, int64_t start, int64_t len) {
+  const Tensor& av = a->value();
+  DEEPST_CHECK_EQ(av.ndim(), 2);
+  DEEPST_CHECK(start >= 0 && len > 0 && start + len <= av.dim(1));
+  const int64_t rows = av.dim(0), cols = av.dim(1);
+  Tensor out({rows, len});
+  for (int64_t r = 0; r < rows; ++r) {
+    std::copy(av.data() + r * cols + start, av.data() + r * cols + start + len,
+              out.data() + r * len);
+  }
+  return MakeNode(std::move(out), {a}, [start, len, rows, cols](
+                                           Variable* node) {
+    const Tensor& g = node->grad();
+    auto& p = node->parents()[0];
+    if (!p->requires_grad()) return;
+    Tensor& gp = p->grad();
+    for (int64_t r = 0; r < rows; ++r) {
+      for (int64_t c = 0; c < len; ++c) {
+        gp[r * cols + start + c] += g[r * len + c];
+      }
+    }
+  });
+}
+
+VarPtr EmbeddingLookup(const VarPtr& table, const std::vector<int>& ids) {
+  const Tensor& tv = table->value();
+  DEEPST_CHECK_EQ(tv.ndim(), 2);
+  const int64_t vocab = tv.dim(0), dim = tv.dim(1);
+  const int64_t batch = static_cast<int64_t>(ids.size());
+  Tensor out({batch, dim});
+  for (int64_t b = 0; b < batch; ++b) {
+    const int id = ids[static_cast<size_t>(b)];
+    DEEPST_CHECK(id >= 0 && id < vocab);
+    std::copy(tv.data() + id * dim, tv.data() + (id + 1) * dim,
+              out.data() + b * dim);
+  }
+  return MakeNode(std::move(out), {table}, [ids, dim](Variable* node) {
+    const Tensor& g = node->grad();
+    auto& p = node->parents()[0];
+    if (!p->requires_grad()) return;
+    Tensor& gt = p->grad();
+    for (size_t b = 0; b < ids.size(); ++b) {
+      const int id = ids[b];
+      for (int64_t d = 0; d < dim; ++d) {
+        gt[id * dim + d] += g[static_cast<int64_t>(b) * dim + d];
+      }
+    }
+  });
+}
+
+VarPtr Reshape(const VarPtr& a, std::vector<int64_t> shape) {
+  Tensor out = a->value().Reshape(shape);
+  return MakeNode(std::move(out), {a}, [](Variable* node) {
+    auto& p = node->parents()[0];
+    if (!p->requires_grad()) return;
+    const Tensor& g = node->grad();
+    Tensor& gp = p->grad();
+    for (int64_t i = 0; i < g.numel(); ++i) gp[i] += g[i];
+  });
+}
+
+VarPtr Sum(const VarPtr& a) {
+  Tensor out({1});
+  out[0] = static_cast<float>(a->value().Sum());
+  return MakeNode(std::move(out), {a}, [](Variable* node) {
+    auto& p = node->parents()[0];
+    if (!p->requires_grad()) return;
+    const float g = node->grad()[0];
+    Tensor& gp = p->grad();
+    for (int64_t i = 0; i < gp.numel(); ++i) gp[i] += g;
+  });
+}
+
+VarPtr Mean(const VarPtr& a) {
+  const int64_t n = a->value().numel();
+  DEEPST_CHECK_GT(n, 0);
+  return ScalarMul(Sum(a), 1.0f / static_cast<float>(n));
+}
+
+VarPtr RowSum(const VarPtr& a) {
+  const Tensor& av = a->value();
+  DEEPST_CHECK_EQ(av.ndim(), 2);
+  const int64_t rows = av.dim(0), cols = av.dim(1);
+  Tensor out({rows});
+  for (int64_t r = 0; r < rows; ++r) {
+    double acc = 0.0;
+    for (int64_t c = 0; c < cols; ++c) acc += av.at(r, c);
+    out[r] = static_cast<float>(acc);
+  }
+  return MakeNode(std::move(out), {a}, [rows, cols](Variable* node) {
+    auto& p = node->parents()[0];
+    if (!p->requires_grad()) return;
+    const Tensor& g = node->grad();
+    Tensor& gp = p->grad();
+    for (int64_t r = 0; r < rows; ++r) {
+      for (int64_t c = 0; c < cols; ++c) gp[r * cols + c] += g[r];
+    }
+  });
+}
+
+VarPtr WeightedSum(const VarPtr& a, const Tensor& weights) {
+  const Tensor& av = a->value();
+  DEEPST_CHECK_EQ(av.numel(), weights.numel());
+  Tensor out({1});
+  double acc = 0.0;
+  for (int64_t i = 0; i < av.numel(); ++i) acc += av[i] * weights[i];
+  out[0] = static_cast<float>(acc);
+  return MakeNode(std::move(out), {a}, [weights](Variable* node) {
+    auto& p = node->parents()[0];
+    if (!p->requires_grad()) return;
+    const float g = node->grad()[0];
+    Tensor& gp = p->grad();
+    for (int64_t i = 0; i < gp.numel(); ++i) gp[i] += g * weights[i];
+  });
+}
+
+VarPtr Softmax(const VarPtr& logits) {
+  Tensor out = SoftmaxRows(logits->value());
+  Tensor out_copy = out;
+  return MakeNode(std::move(out), {logits}, [out_copy](Variable* node) {
+    auto& p = node->parents()[0];
+    if (!p->requires_grad()) return;
+    const Tensor& g = node->grad();
+    Tensor& gp = p->grad();
+    const int64_t rows = out_copy.dim(0), cols = out_copy.dim(1);
+    for (int64_t r = 0; r < rows; ++r) {
+      double dot = 0.0;
+      for (int64_t c = 0; c < cols; ++c) {
+        dot += g.at(r, c) * out_copy.at(r, c);
+      }
+      for (int64_t c = 0; c < cols; ++c) {
+        gp.at(r, c) +=
+            out_copy.at(r, c) * (g.at(r, c) - static_cast<float>(dot));
+      }
+    }
+  });
+}
+
+VarPtr LogSoftmax(const VarPtr& logits) {
+  Tensor out = LogSoftmaxRows(logits->value());
+  Tensor out_copy = out;
+  return MakeNode(std::move(out), {logits}, [out_copy](Variable* node) {
+    auto& p = node->parents()[0];
+    if (!p->requires_grad()) return;
+    const Tensor& g = node->grad();
+    Tensor& gp = p->grad();
+    const int64_t rows = out_copy.dim(0), cols = out_copy.dim(1);
+    for (int64_t r = 0; r < rows; ++r) {
+      double gsum = 0.0;
+      for (int64_t c = 0; c < cols; ++c) gsum += g.at(r, c);
+      for (int64_t c = 0; c < cols; ++c) {
+        gp.at(r, c) += g.at(r, c) -
+                       static_cast<float>(gsum) * std::exp(out_copy.at(r, c));
+      }
+    }
+  });
+}
+
+VarPtr CrossEntropyLoss(const VarPtr& logits, const std::vector<int>& targets,
+                        const std::vector<float>& weights) {
+  const Tensor& lv = logits->value();
+  DEEPST_CHECK_EQ(lv.ndim(), 2);
+  const int64_t rows = lv.dim(0), cols = lv.dim(1);
+  DEEPST_CHECK_EQ(rows, static_cast<int64_t>(targets.size()));
+  DEEPST_CHECK_EQ(rows, static_cast<int64_t>(weights.size()));
+  Tensor probs = SoftmaxRows(lv);
+  Tensor out({1});
+  double loss = 0.0;
+  for (int64_t r = 0; r < rows; ++r) {
+    const float w = weights[static_cast<size_t>(r)];
+    if (w == 0.0f) continue;
+    const int t = targets[static_cast<size_t>(r)];
+    DEEPST_CHECK(t >= 0 && t < cols);
+    loss -= w * std::log(std::max(probs.at(r, t), 1e-12f));
+  }
+  out[0] = static_cast<float>(loss);
+  return MakeNode(
+      std::move(out), {logits},
+      [probs, targets, weights, rows, cols](Variable* node) {
+        auto& p = node->parents()[0];
+        if (!p->requires_grad()) return;
+        const float g = node->grad()[0];
+        Tensor& gp = p->grad();
+        for (int64_t r = 0; r < rows; ++r) {
+          const float w = weights[static_cast<size_t>(r)];
+          if (w == 0.0f) continue;
+          const int t = targets[static_cast<size_t>(r)];
+          for (int64_t c = 0; c < cols; ++c) {
+            float d = probs.at(r, c);
+            if (c == t) d -= 1.0f;
+            gp.at(r, c) += g * w * d;
+          }
+        }
+      });
+}
+
+VarPtr GaussianReparameterize(const VarPtr& mu, const VarPtr& logvar,
+                              util::Rng* rng) {
+  const Tensor& mv = mu->value();
+  const Tensor& lv = logvar->value();
+  DEEPST_CHECK(mv.SameShape(lv));
+  Tensor eps(mv.shape());
+  for (int64_t i = 0; i < eps.numel(); ++i) {
+    eps[i] = static_cast<float>(rng->Gaussian());
+  }
+  Tensor out = mv;
+  for (int64_t i = 0; i < out.numel(); ++i) {
+    out[i] += std::exp(0.5f * lv[i]) * eps[i];
+  }
+  return MakeNode(std::move(out), {mu, logvar}, [eps](Variable* node) {
+    const Tensor& g = node->grad();
+    const auto& ps = node->parents();
+    if (ps[0]->requires_grad()) ps[0]->grad().AddInPlace(g);
+    if (ps[1]->requires_grad()) {
+      const Tensor& lv = ps[1]->value();
+      Tensor& gl = ps[1]->grad();
+      for (int64_t i = 0; i < g.numel(); ++i) {
+        gl[i] += g[i] * 0.5f * std::exp(0.5f * lv[i]) * eps[i];
+      }
+    }
+  });
+}
+
+VarPtr KlStandardNormal(const VarPtr& mu, const VarPtr& logvar) {
+  const Tensor& mv = mu->value();
+  const Tensor& lv = logvar->value();
+  DEEPST_CHECK(mv.SameShape(lv));
+  Tensor out({1});
+  double acc = 0.0;
+  for (int64_t i = 0; i < mv.numel(); ++i) {
+    acc += 0.5 * (static_cast<double>(mv[i]) * mv[i] + std::exp(lv[i]) -
+                  lv[i] - 1.0);
+  }
+  out[0] = static_cast<float>(acc);
+  return MakeNode(std::move(out), {mu, logvar}, [](Variable* node) {
+    const float g = node->grad()[0];
+    const auto& ps = node->parents();
+    const Tensor& mv = ps[0]->value();
+    const Tensor& lv = ps[1]->value();
+    if (ps[0]->requires_grad()) {
+      Tensor& gm = ps[0]->grad();
+      for (int64_t i = 0; i < mv.numel(); ++i) gm[i] += g * mv[i];
+    }
+    if (ps[1]->requires_grad()) {
+      Tensor& gl = ps[1]->grad();
+      for (int64_t i = 0; i < lv.numel(); ++i) {
+        gl[i] += g * 0.5f * (std::exp(lv[i]) - 1.0f);
+      }
+    }
+  });
+}
+
+VarPtr GaussianLogProb(const Tensor& x, const VarPtr& mean, const VarPtr& var,
+                       const Tensor& row_weights) {
+  const Tensor& mv = mean->value();
+  const Tensor& vv = var->value();
+  DEEPST_CHECK(x.SameShape(mv));
+  DEEPST_CHECK(x.SameShape(vv));
+  DEEPST_CHECK_EQ(x.ndim(), 2);
+  const int64_t rows = x.dim(0), cols = x.dim(1);
+  DEEPST_CHECK_EQ(row_weights.numel(), rows);
+  constexpr double kLog2Pi = 1.8378770664093453;
+  Tensor out({1});
+  double acc = 0.0;
+  for (int64_t r = 0; r < rows; ++r) {
+    const double w = row_weights[r];
+    if (w == 0.0) continue;
+    double lp = 0.0;
+    for (int64_t c = 0; c < cols; ++c) {
+      const double v = std::max<double>(vv.at(r, c), 1e-8);
+      const double d = static_cast<double>(x.at(r, c)) - mv.at(r, c);
+      lp += -0.5 * (kLog2Pi + std::log(v) + d * d / v);
+    }
+    acc += w * lp;
+  }
+  out[0] = static_cast<float>(acc);
+  return MakeNode(
+      std::move(out), {mean, var},
+      [x, row_weights, rows, cols](Variable* node) {
+        const float g = node->grad()[0];
+        const auto& ps = node->parents();
+        const Tensor& mv = ps[0]->value();
+        const Tensor& vv = ps[1]->value();
+        for (int64_t r = 0; r < rows; ++r) {
+          const float w = row_weights[r];
+          if (w == 0.0f) continue;
+          for (int64_t c = 0; c < cols; ++c) {
+            const float v = std::max(vv.at(r, c), 1e-8f);
+            const float d = x.at(r, c) - mv.at(r, c);
+            if (ps[0]->requires_grad()) {
+              ps[0]->grad().at(r, c) += g * w * d / v;
+            }
+            if (ps[1]->requires_grad()) {
+              ps[1]->grad().at(r, c) +=
+                  g * w * 0.5f * (d * d / (v * v) - 1.0f / v);
+            }
+          }
+        }
+      });
+}
+
+VarPtr CategoricalKlToUniform(const VarPtr& logits) {
+  // KL(q || U) = sum_k q_k (log q_k + log K) computed from logits for
+  // stability: log q = log_softmax(logits).
+  const Tensor& lv = logits->value();
+  DEEPST_CHECK_EQ(lv.ndim(), 2);
+  const int64_t rows = lv.dim(0), cols = lv.dim(1);
+  Tensor logq = LogSoftmaxRows(lv);
+  const float log_k = std::log(static_cast<float>(cols));
+  Tensor out({1});
+  double acc = 0.0;
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t c = 0; c < cols; ++c) {
+      const double q = std::exp(logq.at(r, c));
+      acc += q * (logq.at(r, c) + log_k);
+    }
+  }
+  out[0] = static_cast<float>(acc);
+  return MakeNode(
+      std::move(out), {logits}, [logq, rows, cols, log_k](Variable* node) {
+        auto& p = node->parents()[0];
+        if (!p->requires_grad()) return;
+        const float g = node->grad()[0];
+        Tensor& gp = p->grad();
+        // d/dlogit_j sum_k q_k(logq_k + logK)
+        //   = q_j (logq_j + logK) - q_j * sum_k q_k (logq_k + logK)
+        for (int64_t r = 0; r < rows; ++r) {
+          double kl_r = 0.0;
+          for (int64_t c = 0; c < cols; ++c) {
+            kl_r += std::exp(logq.at(r, c)) * (logq.at(r, c) + log_k);
+          }
+          for (int64_t c = 0; c < cols; ++c) {
+            const float q = std::exp(logq.at(r, c));
+            gp.at(r, c) += g * q *
+                           (logq.at(r, c) + log_k - static_cast<float>(kl_r));
+          }
+        }
+      });
+}
+
+VarPtr GumbelSoftmaxSample(const VarPtr& logits, float tau, util::Rng* rng) {
+  const Tensor& lv = logits->value();
+  DEEPST_CHECK_EQ(lv.ndim(), 2);
+  DEEPST_CHECK_GT(tau, 0.0f);
+  const int64_t rows = lv.dim(0), cols = lv.dim(1);
+  Tensor perturbed({rows, cols});
+  for (int64_t i = 0; i < perturbed.numel(); ++i) {
+    perturbed[i] = (lv[i] + static_cast<float>(rng->Gumbel())) / tau;
+  }
+  Tensor y = SoftmaxRows(perturbed);
+  Tensor y_copy = y;
+  return MakeNode(std::move(y), {logits},
+                  [y_copy, tau, rows, cols](Variable* node) {
+                    auto& p = node->parents()[0];
+                    if (!p->requires_grad()) return;
+                    const Tensor& g = node->grad();
+                    Tensor& gp = p->grad();
+                    // Same Jacobian as softmax, scaled by 1/tau.
+                    for (int64_t r = 0; r < rows; ++r) {
+                      double dot = 0.0;
+                      for (int64_t c = 0; c < cols; ++c) {
+                        dot += g.at(r, c) * y_copy.at(r, c);
+                      }
+                      for (int64_t c = 0; c < cols; ++c) {
+                        gp.at(r, c) += y_copy.at(r, c) *
+                                       (g.at(r, c) - static_cast<float>(dot)) /
+                                       tau;
+                      }
+                    }
+                  });
+}
+
+VarPtr StopGradient(const VarPtr& a) {
+  return MakeVar(a->value(), false);
+}
+
+}  // namespace ops
+}  // namespace nn
+}  // namespace deepst

@@ -1,0 +1,106 @@
+#ifndef DEEPST_NN_OPS_H_
+#define DEEPST_NN_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/variable.h"
+#include "util/rng.h"
+
+namespace deepst {
+namespace nn {
+namespace ops {
+
+// All ops build tape nodes; gradients flow to parents with requires_grad().
+// Shapes are validated with DEEPST_CHECK.
+
+// -- Elementwise arithmetic ---------------------------------------------------
+// Add/Sub support equal shapes, or `b` a 1-D row [N] broadcast over `a`'s
+// rows when `a` is [B, N] (bias add).
+VarPtr Add(const VarPtr& a, const VarPtr& b);
+VarPtr Sub(const VarPtr& a, const VarPtr& b);
+// Strictly equal shapes.
+VarPtr Mul(const VarPtr& a, const VarPtr& b);
+VarPtr Div(const VarPtr& a, const VarPtr& b);
+VarPtr Neg(const VarPtr& a);
+VarPtr ScalarMul(const VarPtr& a, float s);
+VarPtr ScalarAdd(const VarPtr& a, float s);
+// Computes s - a.
+VarPtr RSubScalar(float s, const VarPtr& a);
+
+// -- Nonlinearities ----------------------------------------------------------
+VarPtr Sigmoid(const VarPtr& a);
+VarPtr Tanh(const VarPtr& a);
+VarPtr Relu(const VarPtr& a);
+VarPtr LeakyRelu(const VarPtr& a, float negative_slope = 0.01f);
+VarPtr Exp(const VarPtr& a);
+// Numerically guarded log: log(max(a, eps)).
+VarPtr Log(const VarPtr& a, float eps = 1e-12f);
+VarPtr Softplus(const VarPtr& a);
+VarPtr Square(const VarPtr& a);
+
+// -- Linear algebra ----------------------------------------------------------
+// a: [M, K], b: [K, N] -> [M, N].
+VarPtr MatMul(const VarPtr& a, const VarPtr& b);
+// x: [B, In], w: [Out, In], b: [Out] (b may be null) -> [B, Out].
+// Fused x @ w^T + b, the workhorse of every layer.
+VarPtr Linear(const VarPtr& x, const VarPtr& w, const VarPtr& b);
+
+// -- Shape ops ---------------------------------------------------------------
+// Concatenate [B, Ni] tensors along axis 1.
+VarPtr ConcatCols(const std::vector<VarPtr>& parts);
+// Slice columns [start, start+len) of a [B, N] tensor.
+VarPtr SliceCols(const VarPtr& a, int64_t start, int64_t len);
+// Select rows of a [V, D] table by integer ids -> [B, D]. Gradient scatters
+// into the table (embedding lookup).
+VarPtr EmbeddingLookup(const VarPtr& table, const std::vector<int>& ids);
+// Reshape to new shape (same element count).
+VarPtr Reshape(const VarPtr& a, std::vector<int64_t> shape);
+
+// -- Reductions --------------------------------------------------------------
+// Sum of all elements -> scalar [1].
+VarPtr Sum(const VarPtr& a);
+// Mean of all elements -> scalar [1].
+VarPtr Mean(const VarPtr& a);
+// Sum over axis 1 of [B, N] -> [B].
+VarPtr RowSum(const VarPtr& a);
+// Weighted sum: sum_i w[i] * a[i], w constant with same numel -> scalar.
+VarPtr WeightedSum(const VarPtr& a, const Tensor& weights);
+
+// -- Softmax & losses ----------------------------------------------------------
+// Row-wise softmax of [B, C].
+VarPtr Softmax(const VarPtr& logits);
+// Row-wise log-softmax of [B, C].
+VarPtr LogSoftmax(const VarPtr& logits);
+// Weighted negative log-likelihood: sum_b weights[b] * -log softmax(logits)[b,
+// targets[b]]. `weights` entries of 0 mask padded rows. Returns scalar [1].
+VarPtr CrossEntropyLoss(const VarPtr& logits, const std::vector<int>& targets,
+                        const std::vector<float>& weights);
+
+// -- Probabilistic building blocks --------------------------------------------
+// Reparameterized Gaussian sample: z = mu + exp(0.5*logvar) * eps with eps
+// drawn i.i.d. N(0,1) from `rng` (recorded as a constant).
+VarPtr GaussianReparameterize(const VarPtr& mu, const VarPtr& logvar,
+                              util::Rng* rng);
+// KL( N(mu, diag(exp(logvar))) || N(0, I) ), summed over all elements ->
+// scalar [1]. Standard VAE closed form.
+VarPtr KlStandardNormal(const VarPtr& mu, const VarPtr& logvar);
+// Sum over rows b of weights[b] * log N(x[b]; mean[b], var[b]) with x
+// constant [B, D], diagonal variance var (strictly positive) -> scalar.
+VarPtr GaussianLogProb(const Tensor& x, const VarPtr& mean, const VarPtr& var,
+                       const Tensor& row_weights);
+// KL( softmax(logits) || Uniform(K) ) summed over rows -> scalar [1].
+VarPtr CategoricalKlToUniform(const VarPtr& logits);
+// Differentiable Gumbel-Softmax sample: y = softmax((logits + g) / tau), g
+// i.i.d. Gumbel(0,1). Returns [B, K] relaxed one-hot rows.
+VarPtr GumbelSoftmaxSample(const VarPtr& logits, float tau, util::Rng* rng);
+
+// -- Gradient-flow control ----------------------------------------------------
+// Identity in the forward pass; blocks gradient to the parent.
+VarPtr StopGradient(const VarPtr& a);
+
+}  // namespace ops
+}  // namespace nn
+}  // namespace deepst
+
+#endif  // DEEPST_NN_OPS_H_

@@ -1,0 +1,96 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace deepst {
+namespace nn {
+
+double Optimizer::ClipGradNorm(double max_norm) {
+  double sq = 0.0;
+  for (auto& p : params_) {
+    if (!p.var->has_grad()) continue;
+    const Tensor& g = p.var->grad();
+    for (int64_t i = 0; i < g.numel(); ++i) {
+      sq += static_cast<double>(g[i]) * g[i];
+    }
+  }
+  const double norm = std::sqrt(sq);
+  if (norm > max_norm && norm > 0.0) {
+    const float scale = static_cast<float>(max_norm / norm);
+    for (auto& p : params_) {
+      if (p.var->has_grad()) p.var->grad().ScaleInPlace(scale);
+    }
+  }
+  return norm;
+}
+
+Sgd::Sgd(std::vector<NamedParam> params, float lr, float momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  if (momentum_ > 0.0f) {
+    velocity_.reserve(params_.size());
+    for (auto& p : params_) {
+      velocity_.push_back(Tensor::Zeros(p.var->value().shape()));
+    }
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Variable* p = params_[i].var.get();
+    if (!p->has_grad()) continue;
+    Tensor& val = p->value();
+    const Tensor& g = p->grad();
+    if (momentum_ > 0.0f) {
+      Tensor& v = velocity_[i];
+      for (int64_t j = 0; j < val.numel(); ++j) {
+        v[j] = momentum_ * v[j] + g[j];
+        val[j] -= lr_ * v[j];
+      }
+    } else {
+      for (int64_t j = 0; j < val.numel(); ++j) val[j] -= lr_ * g[j];
+    }
+  }
+}
+
+Adam::Adam(std::vector<NamedParam> params, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (auto& p : params_) {
+    m_.push_back(Tensor::Zeros(p.var->value().shape()));
+    v_.push_back(Tensor::Zeros(p.var->value().shape()));
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Variable* p = params_[i].var.get();
+    if (!p->has_grad()) continue;
+    Tensor& val = p->value();
+    const Tensor& g = p->grad();
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    for (int64_t j = 0; j < val.numel(); ++j) {
+      const float gj = g[j];
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * gj;
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * gj * gj;
+      const float mhat = m[j] / bc1;
+      const float vhat = v[j] / bc2;
+      float update = mhat / (std::sqrt(vhat) + eps_);
+      if (weight_decay_ > 0.0f) update += weight_decay_ * val[j];
+      val[j] -= lr_ * update;
+    }
+  }
+}
+
+}  // namespace nn
+}  // namespace deepst

@@ -1,0 +1,75 @@
+#ifndef DEEPST_NN_OPTIMIZER_H_
+#define DEEPST_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/module.h"
+
+namespace deepst {
+namespace nn {
+
+// Optimizer interface over a fixed parameter list.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<NamedParam> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  // Applies one update from the accumulated gradients.
+  virtual void Step() = 0;
+
+  void ZeroGrad() {
+    for (auto& p : params_) p.var->ZeroGrad();
+  }
+
+  // Scales all gradients so their global L2 norm is at most `max_norm`.
+  // Returns the pre-clip norm.
+  double ClipGradNorm(double max_norm);
+
+  const std::vector<NamedParam>& params() const { return params_; }
+
+ protected:
+  std::vector<NamedParam> params_;
+};
+
+// Plain SGD with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<NamedParam> params, float lr, float momentum = 0.0f);
+  void Step() override;
+  void set_lr(float lr) { lr_ = lr; }
+
+ private:
+  float lr_;
+  float momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+// Adam (Kingma & Ba, 2014) -- the optimizer used by the paper -- with
+// optional decoupled weight decay (AdamW when weight_decay > 0).
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<NamedParam> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+  void Step() override;
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  float weight_decay_;
+  int64_t t_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+}  // namespace nn
+}  // namespace deepst
+
+#endif  // DEEPST_NN_OPTIMIZER_H_

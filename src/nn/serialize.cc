@@ -1,0 +1,105 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <unordered_map>
+
+namespace deepst {
+namespace nn {
+namespace {
+
+constexpr uint32_t kMagic = 0xDEE59701;
+
+void WriteU32(std::ofstream& out, uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void WriteU64(std::ofstream& out, uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool ReadU32(std::ifstream& in, uint32_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return in.good();
+}
+
+bool ReadU64(std::ifstream& in, uint64_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return in.good();
+}
+
+}  // namespace
+
+util::Status SaveParameters(const Module& module, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) return util::Status::IoError("cannot open " + path);
+  WriteU32(out, kMagic);
+  WriteU64(out, module.Parameters().size());
+  for (const auto& p : module.Parameters()) {
+    WriteU64(out, p.name.size());
+    out.write(p.name.data(), static_cast<std::streamsize>(p.name.size()));
+    const Tensor& t = p.var->value();
+    WriteU64(out, static_cast<uint64_t>(t.ndim()));
+    for (int64_t d = 0; d < t.ndim(); ++d) {
+      WriteU64(out, static_cast<uint64_t>(t.dim(d)));
+    }
+    out.write(reinterpret_cast<const char*>(t.data()),
+              static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  }
+  if (!out.good()) return util::Status::IoError("write failed for " + path);
+  return util::Status::Ok();
+}
+
+util::Status LoadParameters(Module* module, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return util::Status::IoError("cannot open " + path);
+  uint32_t magic = 0;
+  if (!ReadU32(in, &magic) || magic != kMagic) {
+    return util::Status::IoError("bad magic in " + path);
+  }
+  uint64_t count = 0;
+  if (!ReadU64(in, &count)) return util::Status::IoError("truncated header");
+
+  std::unordered_map<std::string, Tensor> loaded;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t name_len = 0;
+    if (!ReadU64(in, &name_len)) {
+      return util::Status::IoError("truncated entry");
+    }
+    std::string name(name_len, '\0');
+    in.read(name.data(), static_cast<std::streamsize>(name_len));
+    uint64_t ndim = 0;
+    if (!ReadU64(in, &ndim)) return util::Status::IoError("truncated shape");
+    std::vector<int64_t> shape(ndim);
+    int64_t numel = 1;
+    for (auto& d : shape) {
+      uint64_t dim = 0;
+      if (!ReadU64(in, &dim)) return util::Status::IoError("truncated shape");
+      d = static_cast<int64_t>(dim);
+      numel *= d;
+    }
+    Tensor t(shape);
+    in.read(reinterpret_cast<char*>(t.data()),
+            static_cast<std::streamsize>(numel * sizeof(float)));
+    if (!in.good()) return util::Status::IoError("truncated data for " + name);
+    loaded.emplace(std::move(name), std::move(t));
+  }
+
+  for (const auto& p : module->Parameters()) {
+    auto it = loaded.find(p.name);
+    if (it == loaded.end()) {
+      return util::Status::NotFound("parameter not in checkpoint: " + p.name);
+    }
+    if (!it->second.SameShape(p.var->value())) {
+      return util::Status::InvalidArgument(
+          "shape mismatch for " + p.name + ": module " +
+          p.var->value().ShapeString() + " vs file " +
+          it->second.ShapeString());
+    }
+    p.var->value() = it->second;
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace nn
+}  // namespace deepst

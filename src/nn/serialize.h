@@ -1,0 +1,28 @@
+#ifndef DEEPST_NN_SERIALIZE_H_
+#define DEEPST_NN_SERIALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+#include "util/status.h"
+
+namespace deepst {
+namespace nn {
+
+// Binary parameter checkpointing. The format is a simple
+// magic/count/[name, shape, data]* container; loading matches by name and
+// requires identical shapes. This lets benches train a model once and reuse
+// it, and lets examples ship tiny pretrained checkpoints.
+
+// Saves every parameter of `module` to `path`.
+util::Status SaveParameters(const Module& module, const std::string& path);
+
+// Loads parameters by name into `module`. All parameters present in the
+// module must be found in the file with a matching shape.
+util::Status LoadParameters(Module* module, const std::string& path);
+
+}  // namespace nn
+}  // namespace deepst
+
+#endif  // DEEPST_NN_SERIALIZE_H_

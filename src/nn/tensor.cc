@@ -1,0 +1,193 @@
+#include "nn/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace deepst {
+namespace nn {
+namespace {
+
+int64_t NumelOf(const std::vector<int64_t>& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    DEEPST_CHECK_GE(d, 0);
+    n *= d;
+  }
+  return n;
+}
+
+}  // namespace
+
+Tensor::Tensor(std::vector<int64_t> shape) : shape_(std::move(shape)) {
+  data_.assign(static_cast<size_t>(NumelOf(shape_)), 0.0f);
+}
+
+Tensor Tensor::Zeros(std::vector<int64_t> shape) {
+  return Tensor(std::move(shape));
+}
+
+Tensor Tensor::Full(std::vector<int64_t> shape, float value) {
+  Tensor t(std::move(shape));
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::FromVector(std::vector<int64_t> shape,
+                          const std::vector<float>& values) {
+  Tensor t(std::move(shape));
+  DEEPST_CHECK_EQ(t.numel(), static_cast<int64_t>(values.size()));
+  std::copy(values.begin(), values.end(), t.data_.begin());
+  return t;
+}
+
+Tensor Tensor::Uniform(std::vector<int64_t> shape, float lo, float hi,
+                       util::Rng* rng) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) {
+    v = static_cast<float>(rng->Uniform(lo, hi));
+  }
+  return t;
+}
+
+Tensor Tensor::Gaussian(std::vector<int64_t> shape, float mean, float stddev,
+                        util::Rng* rng) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) {
+    v = static_cast<float>(rng->Gaussian(mean, stddev));
+  }
+  return t;
+}
+
+int64_t Tensor::dim(int64_t i) const {
+  DEEPST_CHECK(i >= 0 && i < ndim());
+  return shape_[static_cast<size_t>(i)];
+}
+
+std::string Tensor::ShapeString() const {
+  std::ostringstream os;
+  os << '[';
+  for (size_t i = 0; i < shape_.size(); ++i) {
+    if (i > 0) os << ',';
+    os << shape_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+Tensor Tensor::Reshape(std::vector<int64_t> new_shape) const {
+  DEEPST_CHECK_EQ(NumelOf(new_shape), numel());
+  Tensor out = *this;
+  out.shape_ = std::move(new_shape);
+  return out;
+}
+
+float& Tensor::at4(int64_t n, int64_t c, int64_t h, int64_t w) {
+  DEEPST_DCHECK(ndim() == 4);
+  DEEPST_DCHECK(n >= 0 && n < shape_[0]);
+  DEEPST_DCHECK(c >= 0 && c < shape_[1]);
+  DEEPST_DCHECK(h >= 0 && h < shape_[2]);
+  DEEPST_DCHECK(w >= 0 && w < shape_[3]);
+  const int64_t idx = ((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w;
+  return data_[static_cast<size_t>(idx)];
+}
+
+void Tensor::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Tensor::AddInPlace(const Tensor& other) {
+  DEEPST_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Tensor::ScaleInPlace(float s) {
+  for (auto& v : data_) v *= s;
+}
+
+double Tensor::Sum() const {
+  double acc = 0.0;
+  for (float v : data_) acc += v;
+  return acc;
+}
+
+double Tensor::Mean() const {
+  DEEPST_CHECK_GT(numel(), 0);
+  return Sum() / static_cast<double>(numel());
+}
+
+float Tensor::MaxAbs() const {
+  float m = 0.0f;
+  for (float v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+bool Tensor::AllFinite() const {
+  for (float v : data_) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+int64_t Tensor::ArgMax() const {
+  DEEPST_CHECK_GT(numel(), 0);
+  int64_t best = 0;
+  for (int64_t i = 1; i < numel(); ++i) {
+    if (data_[static_cast<size_t>(i)] > data_[static_cast<size_t>(best)]) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::string Tensor::ToString(int64_t max_elems) const {
+  std::ostringstream os;
+  os << "Tensor" << ShapeString() << " {";
+  const int64_t n = std::min(max_elems, numel());
+  for (int64_t i = 0; i < n; ++i) {
+    if (i > 0) os << ", ";
+    os << data_[static_cast<size_t>(i)];
+  }
+  if (n < numel()) os << ", ...";
+  os << '}';
+  return os.str();
+}
+
+Tensor SoftmaxRows(const Tensor& logits) {
+  DEEPST_CHECK_EQ(logits.ndim(), 2);
+  const int64_t rows = logits.dim(0);
+  const int64_t cols = logits.dim(1);
+  Tensor out = logits;
+  for (int64_t r = 0; r < rows; ++r) {
+    float mx = out.at(r, 0);
+    for (int64_t c = 1; c < cols; ++c) mx = std::max(mx, out.at(r, c));
+    double denom = 0.0;
+    for (int64_t c = 0; c < cols; ++c) {
+      const float e = std::exp(out.at(r, c) - mx);
+      out.at(r, c) = e;
+      denom += e;
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (int64_t c = 0; c < cols; ++c) out.at(r, c) *= inv;
+  }
+  return out;
+}
+
+Tensor LogSoftmaxRows(const Tensor& logits) {
+  DEEPST_CHECK_EQ(logits.ndim(), 2);
+  const int64_t rows = logits.dim(0);
+  const int64_t cols = logits.dim(1);
+  Tensor out = logits;
+  for (int64_t r = 0; r < rows; ++r) {
+    float mx = out.at(r, 0);
+    for (int64_t c = 1; c < cols; ++c) mx = std::max(mx, out.at(r, c));
+    double denom = 0.0;
+    for (int64_t c = 0; c < cols; ++c) denom += std::exp(out.at(r, c) - mx);
+    const float log_denom = static_cast<float>(std::log(denom)) + mx;
+    for (int64_t c = 0; c < cols; ++c) out.at(r, c) -= log_denom;
+  }
+  return out;
+}
+
+}  // namespace nn
+}  // namespace deepst

@@ -1,0 +1,104 @@
+#ifndef DEEPST_NN_TENSOR_H_
+#define DEEPST_NN_TENSOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace deepst {
+namespace nn {
+
+// Dense row-major float32 n-dimensional array. This is the storage type of
+// the from-scratch autodiff engine that replaces PyTorch in this
+// reproduction (see DESIGN.md, substitution table). It is deliberately
+// simple: contiguous storage, no views, value semantics (copy copies data).
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<int64_t> shape);
+
+  // -- Factories ------------------------------------------------------------
+  static Tensor Zeros(std::vector<int64_t> shape);
+  static Tensor Full(std::vector<int64_t> shape, float value);
+  static Tensor FromVector(std::vector<int64_t> shape,
+                           const std::vector<float>& values);
+  // I.i.d. uniform in [lo, hi).
+  static Tensor Uniform(std::vector<int64_t> shape, float lo, float hi,
+                        util::Rng* rng);
+  // I.i.d. normal(mean, stddev).
+  static Tensor Gaussian(std::vector<int64_t> shape, float mean, float stddev,
+                         util::Rng* rng);
+
+  // -- Shape ---------------------------------------------------------------
+  int64_t ndim() const { return static_cast<int64_t>(shape_.size()); }
+  int64_t dim(int64_t i) const;
+  const std::vector<int64_t>& shape() const { return shape_; }
+  int64_t numel() const { return static_cast<int64_t>(data_.size()); }
+  bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
+  std::string ShapeString() const;
+
+  // Returns a copy with a new shape of identical element count.
+  Tensor Reshape(std::vector<int64_t> new_shape) const;
+
+  // -- Element access --------------------------------------------------------
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& operator[](int64_t i) {
+    DEEPST_DCHECK(i >= 0 && i < numel());
+    return data_[static_cast<size_t>(i)];
+  }
+  float operator[](int64_t i) const {
+    DEEPST_DCHECK(i >= 0 && i < numel());
+    return data_[static_cast<size_t>(i)];
+  }
+  // 2-D accessor (row, col).
+  float& at(int64_t r, int64_t c) {
+    DEEPST_DCHECK(ndim() == 2);
+    DEEPST_DCHECK(r >= 0 && r < shape_[0] && c >= 0 && c < shape_[1]);
+    return data_[static_cast<size_t>(r * shape_[1] + c)];
+  }
+  float at(int64_t r, int64_t c) const {
+    return const_cast<Tensor*>(this)->at(r, c);
+  }
+  // 4-D accessor (n, c, h, w) for image-like tensors.
+  float& at4(int64_t n, int64_t c, int64_t h, int64_t w);
+  float at4(int64_t n, int64_t c, int64_t h, int64_t w) const {
+    return const_cast<Tensor*>(this)->at4(n, c, h, w);
+  }
+
+  // -- In-place helpers -------------------------------------------------------
+  void Fill(float value);
+  void AddInPlace(const Tensor& other);  // this += other (same shape)
+  void ScaleInPlace(float s);
+
+  // -- Reductions / stats (double accumulation) -------------------------------
+  double Sum() const;
+  double Mean() const;
+  float MaxAbs() const;
+  bool AllFinite() const;
+
+  // Index of the max element (ties -> first).
+  int64_t ArgMax() const;
+
+  std::string ToString(int64_t max_elems = 32) const;
+
+ private:
+  std::vector<int64_t> shape_;
+  std::vector<float> data_;
+};
+
+// Row-wise softmax of a [B, C] tensor (pure tensor helper, used by no-grad
+// prediction paths).
+Tensor SoftmaxRows(const Tensor& logits);
+
+// Row-wise log-softmax of a [B, C] tensor.
+Tensor LogSoftmaxRows(const Tensor& logits);
+
+}  // namespace nn
+}  // namespace deepst
+
+#endif  // DEEPST_NN_TENSOR_H_

@@ -1,0 +1,81 @@
+#include "nn/variable.h"
+
+#include <unordered_set>
+
+namespace deepst {
+namespace nn {
+
+Tensor& Variable::grad() {
+  if (grad_.numel() == 0 && value_.numel() > 0) {
+    grad_ = Tensor::Zeros(value_.shape());
+  }
+  return grad_;
+}
+
+void Variable::ZeroGrad() {
+  if (grad_.numel() > 0) grad_.Fill(0.0f);
+}
+
+void Variable::SetParents(std::vector<VarPtr> parents) {
+  parents_ = std::move(parents);
+  // A node requires grad if any parent does.
+  for (const auto& p : parents_) {
+    if (p->requires_grad()) {
+      requires_grad_ = true;
+      break;
+    }
+  }
+}
+
+VarPtr MakeVar(Tensor value, bool requires_grad) {
+  return std::make_shared<Variable>(std::move(value), requires_grad);
+}
+
+VarPtr Constant(Tensor value) { return MakeVar(std::move(value), false); }
+
+namespace {
+
+// Iterative post-order DFS producing a topological order (parents after
+// children in `order` means we can walk `order` backwards... here we emit
+// nodes so that each node appears after all nodes that depend on it when the
+// vector is traversed in reverse).
+void TopoSort(Variable* root, std::vector<Variable*>* order) {
+  std::unordered_set<Variable*> visited;
+  // Each stack frame: (node, next parent index to visit).
+  std::vector<std::pair<Variable*, size_t>> stack;
+  stack.emplace_back(root, 0);
+  visited.insert(root);
+  while (!stack.empty()) {
+    auto& [node, idx] = stack.back();
+    if (idx < node->parents().size()) {
+      Variable* parent = node->parents()[idx].get();
+      ++idx;
+      if (parent->requires_grad() && !visited.count(parent)) {
+        visited.insert(parent);
+        stack.emplace_back(parent, 0);
+      }
+    } else {
+      order->push_back(node);
+      stack.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+void Backward(const VarPtr& root) {
+  DEEPST_CHECK(root != nullptr);
+  if (!root->requires_grad()) return;
+  std::vector<Variable*> order;
+  TopoSort(root.get(), &order);
+  // Seed the root gradient with ones.
+  root->grad().Fill(1.0f);
+  // `order` is post-order: parents appear before their consumers, so iterate
+  // in reverse to process consumers first.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    (*it)->RunBackward();
+  }
+}
+
+}  // namespace nn
+}  // namespace deepst

@@ -1,0 +1,75 @@
+#ifndef DEEPST_NN_VARIABLE_H_
+#define DEEPST_NN_VARIABLE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace deepst {
+namespace nn {
+
+class Variable;
+using VarPtr = std::shared_ptr<Variable>;
+
+// One node of the define-by-run reverse-mode autodiff tape. Ops (see
+// nn/ops.h) create Variables whose `backward_fn` propagates the node's
+// accumulated gradient into its parents' gradients.
+//
+// Gradients are accumulated (+=) so diamond-shaped graphs work; call
+// ZeroGrad()/optimizer ZeroGrad between steps.
+class Variable {
+ public:
+  explicit Variable(Tensor value, bool requires_grad = false)
+      : value_(std::move(value)), requires_grad_(requires_grad) {}
+
+  Variable(const Variable&) = delete;
+  Variable& operator=(const Variable&) = delete;
+
+  Tensor& value() { return value_; }
+  const Tensor& value() const { return value_; }
+
+  // Gradient tensor, lazily allocated with the value's shape.
+  Tensor& grad();
+  bool has_grad() const { return grad_.numel() > 0; }
+  void ZeroGrad();
+
+  bool requires_grad() const { return requires_grad_; }
+  void set_requires_grad(bool v) { requires_grad_ = v; }
+
+  const std::vector<VarPtr>& parents() const { return parents_; }
+
+  // Internal: used by op constructors.
+  void SetParents(std::vector<VarPtr> parents);
+  void SetBackwardFn(std::function<void(Variable*)> fn) {
+    backward_fn_ = std::move(fn);
+  }
+  bool has_backward_fn() const { return static_cast<bool>(backward_fn_); }
+  void RunBackward() {
+    if (backward_fn_) backward_fn_(this);
+  }
+
+ private:
+  Tensor value_;
+  Tensor grad_;
+  bool requires_grad_;
+  std::vector<VarPtr> parents_;
+  std::function<void(Variable*)> backward_fn_;
+};
+
+// Creates a leaf variable (no parents). Parameters pass requires_grad=true;
+// constants (inputs, targets) pass false.
+VarPtr MakeVar(Tensor value, bool requires_grad = false);
+VarPtr Constant(Tensor value);
+
+// Runs reverse-mode accumulation from `root`, which must be a scalar
+// (numel()==1) unless `seed_with_ones` tensors of other shapes are wanted.
+// Root gradient is seeded with ones. Visits each reachable grad-requiring
+// node exactly once in reverse topological order.
+void Backward(const VarPtr& root);
+
+}  // namespace nn
+}  // namespace deepst
+
+#endif  // DEEPST_NN_VARIABLE_H_

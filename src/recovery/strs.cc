@@ -1,0 +1,115 @@
+#include "recovery/strs.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "roadnet/shortest_path.h"
+
+namespace deepst {
+namespace recovery {
+
+using roadnet::SegmentId;
+
+StrsRecovery::StrsRecovery(const roadnet::RoadNetwork& net,
+                           const roadnet::SpatialIndex& index,
+                           const traj::SegmentStatsTable& stats,
+                           SpatialScorer* scorer, const StrsConfig& config)
+    : net_(net),
+      index_(index),
+      stats_(stats),
+      scorer_(scorer),
+      config_(config),
+      scorer_name_(scorer->name()),
+      anchor_matcher_(net, index, [] {
+        // Sparse points: wide candidate radius, permissive detour bound.
+        mapmatch::MatcherConfig mc;
+        mc.candidate_radius_m = 200.0;
+        mc.max_detour_factor = 10.0;
+        return mc;
+      }()) {
+  DEEPST_CHECK_GE(config.num_candidates, 1);
+}
+
+double StrsRecovery::TemporalLogLik(const traj::Route& route,
+                                    double travel_time_s) const {
+  const double mean = stats_.RouteMeanTime(route);
+  const double var = std::max(stats_.RouteTimeVariance(route), 1.0);
+  const double d = travel_time_s - mean;
+  return -0.5 * (std::log(2.0 * M_PI * var) + d * d / var);
+}
+
+util::StatusOr<traj::Route> StrsRecovery::RecoverGap(
+    SegmentId a, SegmentId b, double travel_time_s,
+    const traj::Route& prefix) const {
+  if (a == b) return traj::Route{a};
+  auto cost = [this](SegmentId s) {
+    return std::max(stats_.MeanTime(s), 1e-3);
+  };
+  auto candidates = roadnet::KShortestPaths(net_, a, b,
+                                            config_.num_candidates, cost);
+  if (candidates.empty()) {
+    return util::Status::NotFound("no candidate route between segments");
+  }
+  double best_score = -std::numeric_limits<double>::infinity();
+  const traj::Route* best = nullptr;
+  for (const auto& cand : candidates) {
+    const double score =
+        TemporalLogLik(cand.path, travel_time_s) +
+        config_.spatial_weight * scorer_->LogPrior(prefix, cand.path);
+    if (score > best_score) {
+      best_score = score;
+      best = &cand.path;
+    }
+  }
+  DEEPST_CHECK(best != nullptr);
+  return *best;
+}
+
+util::StatusOr<traj::Route> StrsRecovery::RecoverTrajectory(
+    const traj::GpsTrajectory& sparse_gps, const geo::Point& destination,
+    double start_time_s, util::Rng* rng) const {
+  if (sparse_gps.size() < 2) {
+    return util::Status::InvalidArgument("need at least two GPS points");
+  }
+  // Anchor points with HMM matching; fall back to nearest-segment snapping
+  // when the HMM breaks (no connected state sequence).
+  std::vector<SegmentId> anchors;
+  auto matched = anchor_matcher_.Match(sparse_gps);
+  if (matched.ok()) {
+    anchors = std::move(matched).value().point_segments;
+  } else {
+    anchors.reserve(sparse_gps.size());
+    for (const auto& p : sparse_gps) {
+      const auto cand = index_.Nearest(p.pos);
+      if (cand.segment == roadnet::kInvalidSegment) {
+        return util::Status::NotFound("GPS point far from network");
+      }
+      anchors.push_back(cand.segment);
+    }
+  }
+
+  core::RouteQuery query;
+  query.destination = destination;
+  query.start_time_s = start_time_s;
+  query.origin = anchors.front();
+  query.final_segment = anchors.back();
+  scorer_->BeginTrajectory(query, rng);
+
+  traj::Route route = {anchors.front()};
+  for (size_t i = 0; i + 1 < anchors.size(); ++i) {
+    const SegmentId from = route.back();
+    const SegmentId to = anchors[i + 1];
+    if (from == to) continue;
+    const double gap_time =
+        sparse_gps[i + 1].time_s - sparse_gps[i].time_s;
+    auto recovered = RecoverGap(from, to, gap_time, route);
+    if (!recovered.ok()) return recovered.status();
+    const traj::Route& piece = recovered.value();
+    for (size_t j = 1; j < piece.size(); ++j) route.push_back(piece[j]);
+  }
+  return route;
+}
+
+}  // namespace recovery
+}  // namespace deepst

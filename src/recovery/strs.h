@@ -1,0 +1,138 @@
+#ifndef DEEPST_RECOVERY_STRS_H_
+#define DEEPST_RECOVERY_STRS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/mmi.h"
+#include "core/deepst_model.h"
+#include "mapmatch/hmm_matcher.h"
+#include "roadnet/spatial_index.h"
+#include "traj/segment_stats.h"
+#include "traj/types.h"
+#include "util/status.h"
+
+namespace deepst {
+namespace recovery {
+
+// Spatial inference module interface: log P(r), the spatial transition prior
+// of a candidate gap route (paper Section V-C). STRS uses a Markov prior;
+// substituting DeepST yields STRS+.
+//
+// BeginTrajectory is called once per trajectory with its query context
+// (destination, start time); LogPrior is then called per gap with the
+// already-recovered prefix and the candidate continuation -- this is what
+// lets DeepST bring its sequential memory and destination/traffic context
+// to bear, while the memoryless Markov prior ignores both.
+class SpatialScorer {
+ public:
+  virtual ~SpatialScorer() = default;
+  virtual std::string name() const = 0;
+  virtual void BeginTrajectory(const core::RouteQuery& query,
+                               util::Rng* rng) = 0;
+  // candidate.front() equals prefix.back() when prefix is non-empty.
+  virtual double LogPrior(const traj::Route& prefix,
+                          const traj::Route& candidate) = 0;
+};
+
+// First-order Markov spatial prior (the STRS spatial module stand-in; see
+// DESIGN.md substitution table).
+class MarkovSpatialScorer : public SpatialScorer {
+ public:
+  explicit MarkovSpatialScorer(baselines::MarkovRouter* markov)
+      : markov_(markov) {}
+  std::string name() const override { return "markov"; }
+  void BeginTrajectory(const core::RouteQuery& query,
+                       util::Rng* rng) override {
+    query_ = query;
+    rng_ = rng;
+  }
+  double LogPrior(const traj::Route& prefix,
+                  const traj::Route& candidate) override {
+    (void)prefix;  // memoryless
+    return markov_->ScoreRoute(query_, candidate, rng_);
+  }
+
+ private:
+  baselines::MarkovRouter* markov_;
+  core::RouteQuery query_;
+  util::Rng* rng_ = nullptr;
+};
+
+// DeepST spatial prior (STRS+): candidates are scored as continuations of
+// the recovered prefix under the trip's destination/traffic context.
+class DeepStSpatialScorer : public SpatialScorer {
+ public:
+  explicit DeepStSpatialScorer(core::DeepSTModel* model) : model_(model) {}
+  std::string name() const override { return "deepst"; }
+  void BeginTrajectory(const core::RouteQuery& query,
+                       util::Rng* rng) override {
+    ctx_ = model_->MakeContext(query, rng);
+  }
+  double LogPrior(const traj::Route& prefix,
+                  const traj::Route& candidate) override {
+    return model_->ScoreContinuation(ctx_, prefix, candidate);
+  }
+
+ private:
+  core::DeepSTModel* model_;
+  core::PredictionContext ctx_;
+};
+
+// STRS-style route recovery (paper Section V-C): between two observed
+// points, enumerate candidate routes with Yen's k-shortest paths and pick
+//   argmax_r  log P(t | r) + lambda * log P(r)
+// where P(t|r) is Gaussian with mean/variance from historical per-segment
+// travel-time statistics (the temporal inference module) and P(r) is the
+// plugged-in spatial module.
+struct StrsConfig {
+  int num_candidates = 8;
+  double spatial_weight = 1.0;  // lambda
+};
+
+class StrsRecovery {
+ public:
+  StrsRecovery(const roadnet::RoadNetwork& net,
+               const roadnet::SpatialIndex& index,
+               const traj::SegmentStatsTable& stats, SpatialScorer* scorer,
+               const StrsConfig& config = {});
+
+  // Recovers the route between segments a and b (inclusive) given the
+  // observed travel time between them. `prefix` is the route recovered so
+  // far (may be empty); the scorer must have been primed with
+  // BeginTrajectory.
+  util::StatusOr<traj::Route> RecoverGap(roadnet::SegmentId a,
+                                         roadnet::SegmentId b,
+                                         double travel_time_s,
+                                         const traj::Route& prefix) const;
+
+  // Recovers the full route underlying a sparse trajectory: anchors each GPS
+  // point to a segment with HMM matching (direction-aware, unlike naive
+  // nearest-segment snapping), recovers every gap with the
+  // temporal+spatial-scored candidates, and stitches the results.
+  // `destination` is the trip's rough destination coordinate (context for
+  // STRS+), `start_time_s` the trip start.
+  util::StatusOr<traj::Route> RecoverTrajectory(
+      const traj::GpsTrajectory& sparse_gps, const geo::Point& destination,
+      double start_time_s, util::Rng* rng) const;
+
+  // Log of the temporal likelihood P(t | r).
+  double TemporalLogLik(const traj::Route& route, double travel_time_s) const;
+
+  const std::string& scorer_name() const { return scorer_name_; }
+
+ private:
+  const roadnet::RoadNetwork& net_;
+  const roadnet::SpatialIndex& index_;
+  const traj::SegmentStatsTable& stats_;
+  SpatialScorer* scorer_;
+  StrsConfig config_;
+  std::string scorer_name_;
+  mapmatch::HmmMapMatcher anchor_matcher_;
+};
+
+}  // namespace recovery
+}  // namespace deepst
+
+#endif  // DEEPST_RECOVERY_STRS_H_

@@ -1,0 +1,119 @@
+#include "roadnet/grid_city.h"
+
+#include <vector>
+
+namespace deepst {
+namespace roadnet {
+namespace {
+
+struct StreetSpec {
+  VertexId a;
+  VertexId b;
+  bool arterial;
+};
+
+}  // namespace
+
+std::unique_ptr<RoadNetwork> BuildGridCity(const GridCityConfig& config) {
+  DEEPST_CHECK_GE(config.rows, 2);
+  DEEPST_CHECK_GE(config.cols, 2);
+  util::Rng rng(config.seed);
+  auto net = std::make_unique<RoadNetwork>();
+
+  // Vertices on a jittered lattice.
+  std::vector<VertexId> vid(static_cast<size_t>(config.rows) * config.cols);
+  for (int r = 0; r < config.rows; ++r) {
+    for (int c = 0; c < config.cols; ++c) {
+      const double jx = rng.Gaussian(0.0, config.jitter_m);
+      const double jy = rng.Gaussian(0.0, config.jitter_m);
+      vid[static_cast<size_t>(r) * config.cols + c] = net->AddVertex(
+          {c * config.spacing_m + jx, r * config.spacing_m + jy});
+    }
+  }
+  auto at = [&](int r, int c) {
+    return vid[static_cast<size_t>(r) * config.cols + c];
+  };
+  auto is_arterial_row = [&](int r) {
+    return config.arterial_every > 0 && r % config.arterial_every == 0;
+  };
+
+  // Street specs: horizontal, vertical, optional diagonals.
+  std::vector<StreetSpec> streets;
+  for (int r = 0; r < config.rows; ++r) {
+    for (int c = 0; c + 1 < config.cols; ++c) {
+      streets.push_back({at(r, c), at(r, c + 1), is_arterial_row(r)});
+    }
+  }
+  for (int c = 0; c < config.cols; ++c) {
+    for (int r = 0; r + 1 < config.rows; ++r) {
+      streets.push_back({at(r, c), at(r + 1, c), is_arterial_row(c)});
+    }
+  }
+  for (int r = 0; r + 1 < config.rows; ++r) {
+    for (int c = 0; c + 1 < config.cols; ++c) {
+      if (rng.Uniform() < config.diagonal_prob) {
+        // Randomly pick one of the two diagonals of the block.
+        if (rng.Bernoulli(0.5)) {
+          streets.push_back({at(r, c), at(r + 1, c + 1), false});
+        } else {
+          streets.push_back({at(r, c + 1), at(r + 1, c), false});
+        }
+      }
+    }
+  }
+
+  for (const StreetSpec& st : streets) {
+    if (rng.Uniform() < config.removal_prob) continue;
+    const double speed =
+        st.arterial ? config.arterial_speed_mps : config.local_speed_mps;
+    const RoadClass rc =
+        st.arterial ? RoadClass::kArterial : RoadClass::kLocal;
+    const bool oneway = rng.Uniform() < config.oneway_prob;
+    if (oneway) {
+      // Random direction.
+      if (rng.Bernoulli(0.5)) {
+        net->AddSegment(st.a, st.b, speed, rc);
+      } else {
+        net->AddSegment(st.b, st.a, speed, rc);
+      }
+    } else {
+      const SegmentId fwd = net->AddSegment(st.a, st.b, speed, rc);
+      const SegmentId bwd = net->AddSegment(st.b, st.a, speed, rc);
+      net->LinkReverse(fwd, bwd);
+    }
+  }
+
+  net->Finalize();
+  return net;
+}
+
+GridCityConfig ChengduMiniConfig() {
+  GridCityConfig cfg;
+  cfg.rows = 11;
+  cfg.cols = 11;
+  cfg.spacing_m = 350.0;
+  cfg.jitter_m = 45.0;
+  cfg.arterial_every = 4;
+  cfg.diagonal_prob = 0.05;
+  cfg.removal_prob = 0.04;
+  cfg.oneway_prob = 0.04;
+  cfg.seed = 20200401;
+  return cfg;
+}
+
+GridCityConfig HarbinMiniConfig() {
+  GridCityConfig cfg;
+  cfg.rows = 14;
+  cfg.cols = 15;
+  cfg.spacing_m = 420.0;
+  cfg.jitter_m = 80.0;
+  cfg.arterial_every = 5;
+  cfg.diagonal_prob = 0.10;
+  cfg.removal_prob = 0.08;
+  cfg.oneway_prob = 0.08;
+  cfg.seed = 20200402;
+  return cfg;
+}
+
+}  // namespace roadnet
+}  // namespace deepst

@@ -1,0 +1,47 @@
+#ifndef DEEPST_ROADNET_GRID_CITY_H_
+#define DEEPST_ROADNET_GRID_CITY_H_
+
+#include <memory>
+
+#include "roadnet/road_network.h"
+#include "util/rng.h"
+
+namespace deepst {
+namespace roadnet {
+
+// Procedural city road-network generator: a jittered grid with arterial
+// rows/columns, optional diagonal shortcuts, randomly removed blocks and
+// one-way streets. This substitutes for the paper's OpenStreetMap extracts
+// of Chengdu / Harbin (DESIGN.md, substitution table) while preserving the
+// abstractions DeepST needs: directed segments, bounded out-degree, mixed
+// road classes, irregular topology.
+struct GridCityConfig {
+  int rows = 12;             // vertex rows
+  int cols = 12;             // vertex columns
+  double spacing_m = 400.0;  // mean block size
+  double jitter_m = 60.0;    // positional jitter of crossroads
+  int arterial_every = 4;    // every k-th row/col is an arterial
+  double local_speed_mps = 8.3;      // ~30 km/h
+  double arterial_speed_mps = 16.7;  // ~60 km/h
+  double diagonal_prob = 0.06;       // chance of a diagonal shortcut per cell
+  double removal_prob = 0.05;        // chance a bidirectional street is absent
+  double oneway_prob = 0.05;         // chance a street is one-way
+  uint64_t seed = 1;
+};
+
+// Builds and finalizes the network. The largest strongly-connected component
+// is guaranteed to cover most of the grid for the default parameters; the
+// trip generator checks reachability per trip.
+std::unique_ptr<RoadNetwork> BuildGridCity(const GridCityConfig& config);
+
+// Two ready-made city presets mirroring the paper's datasets at laptop
+// scale: "chengdu-mini" (smaller, denser, more regular) and "harbin-mini"
+// (larger, sparser, messier topology -- the paper notes Harbin's network is
+// more complex and its trips longer).
+GridCityConfig ChengduMiniConfig();
+GridCityConfig HarbinMiniConfig();
+
+}  // namespace roadnet
+}  // namespace deepst
+
+#endif  // DEEPST_ROADNET_GRID_CITY_H_

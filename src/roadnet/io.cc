@@ -1,0 +1,123 @@
+#include "roadnet/io.h"
+
+#include <cstdint>
+#include <fstream>
+
+namespace deepst {
+namespace roadnet {
+namespace {
+
+constexpr uint32_t kMagic = 0x0AD2E701;
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void WritePod(std::ofstream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return in.good();
+}
+
+}  // namespace
+
+util::Status SaveRoadNetwork(const RoadNetwork& net, const std::string& path) {
+  if (!net.finalized()) {
+    return util::Status::FailedPrecondition("network not finalized");
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) return util::Status::IoError("cannot open " + path);
+  WritePod(out, kMagic);
+  WritePod(out, kVersion);
+  WritePod(out, static_cast<uint32_t>(net.num_vertices()));
+  for (VertexId v = 0; v < net.num_vertices(); ++v) {
+    WritePod(out, net.vertex(v).pos.x);
+    WritePod(out, net.vertex(v).pos.y);
+  }
+  WritePod(out, static_cast<uint32_t>(net.num_segments()));
+  for (SegmentId s = 0; s < net.num_segments(); ++s) {
+    const Segment& seg = net.segment(s);
+    WritePod(out, seg.from);
+    WritePod(out, seg.to);
+    WritePod(out, seg.speed_limit_mps);
+    WritePod(out, static_cast<uint8_t>(seg.road_class));
+    WritePod(out, seg.reverse);
+    WritePod(out, static_cast<uint32_t>(seg.polyline.size()));
+    for (const geo::Point& p : seg.polyline) {
+      WritePod(out, p.x);
+      WritePod(out, p.y);
+    }
+  }
+  if (!out.good()) return util::Status::IoError("write failed for " + path);
+  return util::Status::Ok();
+}
+
+util::StatusOr<std::unique_ptr<RoadNetwork>> LoadRoadNetwork(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return util::Status::IoError("cannot open " + path);
+  uint32_t magic = 0, version = 0;
+  if (!ReadPod(in, &magic) || magic != kMagic) {
+    return util::Status::IoError("bad magic in " + path);
+  }
+  if (!ReadPod(in, &version) || version != kVersion) {
+    return util::Status::IoError("unsupported version in " + path);
+  }
+  auto net = std::make_unique<RoadNetwork>();
+  uint32_t num_vertices = 0;
+  if (!ReadPod(in, &num_vertices)) {
+    return util::Status::IoError("truncated vertex count");
+  }
+  for (uint32_t v = 0; v < num_vertices; ++v) {
+    geo::Point p;
+    if (!ReadPod(in, &p.x) || !ReadPod(in, &p.y)) {
+      return util::Status::IoError("truncated vertex");
+    }
+    net->AddVertex(p);
+  }
+  uint32_t num_segments = 0;
+  if (!ReadPod(in, &num_segments)) {
+    return util::Status::IoError("truncated segment count");
+  }
+  std::vector<SegmentId> reverse_of(num_segments, kInvalidSegment);
+  for (uint32_t s = 0; s < num_segments; ++s) {
+    VertexId from = 0, to = 0;
+    double speed = 0.0;
+    uint8_t road_class = 0;
+    SegmentId reverse = kInvalidSegment;
+    uint32_t poly_len = 0;
+    if (!ReadPod(in, &from) || !ReadPod(in, &to) || !ReadPod(in, &speed) ||
+        !ReadPod(in, &road_class) || !ReadPod(in, &reverse) ||
+        !ReadPod(in, &poly_len)) {
+      return util::Status::IoError("truncated segment header");
+    }
+    if (poly_len < 2 || poly_len > 1u << 20) {
+      return util::Status::IoError("implausible polyline length");
+    }
+    std::vector<geo::Point> polyline(poly_len);
+    for (auto& p : polyline) {
+      if (!ReadPod(in, &p.x) || !ReadPod(in, &p.y)) {
+        return util::Status::IoError("truncated polyline");
+      }
+    }
+    net->AddSegmentWithPolyline(from, to, std::move(polyline), speed,
+                                static_cast<RoadClass>(road_class));
+    reverse_of[s] = reverse;
+  }
+  for (uint32_t s = 0; s < num_segments; ++s) {
+    const SegmentId r = reverse_of[s];
+    if (r != kInvalidSegment && r > static_cast<SegmentId>(s)) {
+      if (r >= static_cast<SegmentId>(num_segments)) {
+        return util::Status::IoError("reverse link out of range");
+      }
+      net->LinkReverse(static_cast<SegmentId>(s), r);
+    }
+  }
+  net->Finalize();
+  return net;
+}
+
+}  // namespace roadnet
+}  // namespace deepst

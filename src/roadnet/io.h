@@ -1,0 +1,23 @@
+#ifndef DEEPST_ROADNET_IO_H_
+#define DEEPST_ROADNET_IO_H_
+
+#include <memory>
+#include <string>
+
+#include "roadnet/road_network.h"
+#include "util/status.h"
+
+namespace deepst {
+namespace roadnet {
+
+// Binary (de)serialization of road networks, so a procedurally generated (or
+// externally converted) network can be stored once and shared across runs
+// and tools. The format is versioned; Load rejects unknown versions.
+util::Status SaveRoadNetwork(const RoadNetwork& net, const std::string& path);
+util::StatusOr<std::unique_ptr<RoadNetwork>> LoadRoadNetwork(
+    const std::string& path);
+
+}  // namespace roadnet
+}  // namespace deepst
+
+#endif  // DEEPST_ROADNET_IO_H_

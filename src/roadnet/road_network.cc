@@ -1,0 +1,175 @@
+#include "roadnet/road_network.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace deepst {
+namespace roadnet {
+
+VertexId RoadNetwork::AddVertex(geo::Point pos) {
+  DEEPST_CHECK(!finalized_);
+  vertices_.push_back({pos});
+  return static_cast<VertexId>(vertices_.size() - 1);
+}
+
+SegmentId RoadNetwork::AddSegment(VertexId from, VertexId to,
+                                  double speed_limit_mps,
+                                  RoadClass road_class) {
+  DEEPST_CHECK(from >= 0 && from < num_vertices());
+  DEEPST_CHECK(to >= 0 && to < num_vertices());
+  return AddSegmentWithPolyline(
+      from, to, {vertices_[from].pos, vertices_[to].pos}, speed_limit_mps,
+      road_class);
+}
+
+SegmentId RoadNetwork::AddSegmentWithPolyline(VertexId from, VertexId to,
+                                              std::vector<geo::Point> polyline,
+                                              double speed_limit_mps,
+                                              RoadClass road_class) {
+  DEEPST_CHECK(!finalized_);
+  DEEPST_CHECK(from >= 0 && from < num_vertices());
+  DEEPST_CHECK(to >= 0 && to < num_vertices());
+  DEEPST_CHECK_GE(polyline.size(), 2u);
+  DEEPST_CHECK_GT(speed_limit_mps, 0.0);
+  Segment seg;
+  seg.from = from;
+  seg.to = to;
+  seg.length_m = geo::PolylineLength(polyline);
+  seg.polyline = std::move(polyline);
+  seg.speed_limit_mps = speed_limit_mps;
+  seg.road_class = road_class;
+  DEEPST_CHECK_GT(seg.length_m, 0.0);
+  segments_.push_back(std::move(seg));
+  return static_cast<SegmentId>(segments_.size() - 1);
+}
+
+void RoadNetwork::LinkReverse(SegmentId a, SegmentId b) {
+  DEEPST_CHECK(a >= 0 && a < num_segments());
+  DEEPST_CHECK(b >= 0 && b < num_segments());
+  segments_[a].reverse = b;
+  segments_[b].reverse = a;
+}
+
+void RoadNetwork::Finalize() {
+  DEEPST_CHECK(!finalized_);
+  vertex_out_.assign(vertices_.size(), {});
+  in_segments_.assign(segments_.size(), {});
+  for (SegmentId s = 0; s < num_segments(); ++s) {
+    vertex_out_[segments_[s].from].push_back(s);
+  }
+  for (auto& outs : vertex_out_) {
+    std::sort(outs.begin(), outs.end());
+  }
+  for (SegmentId s = 0; s < num_segments(); ++s) {
+    for (SegmentId succ : vertex_out_[segments_[s].to]) {
+      in_segments_[succ].push_back(s);
+    }
+  }
+  // Adjacency is complete; queries (used below for max out-degree) are now
+  // legal.
+  finalized_ = true;
+  max_out_degree_ = 0;
+  for (SegmentId s = 0; s < num_segments(); ++s) {
+    max_out_degree_ = std::max(max_out_degree_, OutDegree(s));
+  }
+  for (const auto& v : vertices_) bounds_.Extend(v.pos);
+}
+
+const Vertex& RoadNetwork::vertex(VertexId v) const {
+  DEEPST_CHECK(v >= 0 && v < num_vertices());
+  return vertices_[v];
+}
+
+const Segment& RoadNetwork::segment(SegmentId s) const {
+  DEEPST_CHECK(s >= 0 && s < num_segments());
+  return segments_[s];
+}
+
+const std::vector<SegmentId>& RoadNetwork::OutSegments(SegmentId s) const {
+  DEEPST_CHECK(finalized_);
+  return vertex_out_[segment(s).to];
+}
+
+const std::vector<SegmentId>& RoadNetwork::InSegments(SegmentId s) const {
+  DEEPST_CHECK(finalized_);
+  DEEPST_CHECK(s >= 0 && s < num_segments());
+  return in_segments_[s];
+}
+
+const std::vector<SegmentId>& RoadNetwork::SegmentsFromVertex(
+    VertexId v) const {
+  DEEPST_CHECK(finalized_);
+  DEEPST_CHECK(v >= 0 && v < num_vertices());
+  return vertex_out_[v];
+}
+
+int RoadNetwork::NeighborSlot(SegmentId from, SegmentId to) const {
+  const auto& outs = OutSegments(from);
+  const auto it = std::lower_bound(outs.begin(), outs.end(), to);
+  if (it != outs.end() && *it == to) {
+    return static_cast<int>(it - outs.begin());
+  }
+  return -1;
+}
+
+SegmentId RoadNetwork::SlotToSegment(SegmentId from, int slot) const {
+  const auto& outs = OutSegments(from);
+  if (slot < 0 || slot >= static_cast<int>(outs.size())) {
+    return kInvalidSegment;
+  }
+  return outs[static_cast<size_t>(slot)];
+}
+
+geo::Point RoadNetwork::SegmentStart(SegmentId s) const {
+  return segment(s).polyline.front();
+}
+
+geo::Point RoadNetwork::SegmentEnd(SegmentId s) const {
+  return segment(s).polyline.back();
+}
+
+geo::Point RoadNetwork::SegmentMidpoint(SegmentId s) const {
+  const Segment& seg = segment(s);
+  return geo::InterpolateAlong(seg.polyline, seg.length_m / 2.0);
+}
+
+geo::Projection RoadNetwork::ProjectToSegment(const geo::Point& p,
+                                              SegmentId s) const {
+  return geo::ProjectOntoPolyline(p, segment(s).polyline);
+}
+
+double RoadNetwork::FreeFlowTime(SegmentId s) const {
+  const Segment& seg = segment(s);
+  return seg.length_m / seg.speed_limit_mps;
+}
+
+util::Status RoadNetwork::ValidateRoute(
+    const std::vector<SegmentId>& route) const {
+  if (route.empty()) {
+    return util::Status::InvalidArgument("empty route");
+  }
+  for (SegmentId s : route) {
+    if (s < 0 || s >= num_segments()) {
+      return util::Status::OutOfRange("segment id out of range");
+    }
+  }
+  for (size_t i = 0; i + 1 < route.size(); ++i) {
+    if (!AreConsecutive(route[i], route[i + 1])) {
+      return util::Status::InvalidArgument(
+          util::StrFormat("segments %d -> %d not adjacent",
+                          static_cast<int>(route[i]),
+                          static_cast<int>(route[i + 1])));
+    }
+  }
+  return util::Status::Ok();
+}
+
+double RoadNetwork::RouteLength(const std::vector<SegmentId>& route) const {
+  double len = 0.0;
+  for (SegmentId s : route) len += segment(s).length_m;
+  return len;
+}
+
+}  // namespace roadnet
+}  // namespace deepst

@@ -1,0 +1,125 @@
+#ifndef DEEPST_ROADNET_ROAD_NETWORK_H_
+#define DEEPST_ROADNET_ROAD_NETWORK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geo/point.h"
+#include "geo/polyline.h"
+#include "util/status.h"
+
+namespace deepst {
+namespace roadnet {
+
+using VertexId = int32_t;
+using SegmentId = int32_t;
+constexpr SegmentId kInvalidSegment = -1;
+constexpr VertexId kInvalidVertex = -1;
+
+// Functional class of a road segment. Arterials are faster and preferred by
+// "highway-loving" drivers in the trip generator -- this is what creates the
+// long-range sequential dependency in routes that the paper's GRU encoder
+// exploits (DESIGN.md, substitution table).
+enum class RoadClass : uint8_t { kLocal = 0, kArterial = 1 };
+
+struct Vertex {
+  geo::Point pos;
+};
+
+struct Segment {
+  VertexId from = kInvalidVertex;
+  VertexId to = kInvalidVertex;
+  std::vector<geo::Point> polyline;  // >= 2 points, polyline[0] at `from`
+  double length_m = 0.0;
+  double speed_limit_mps = 13.9;  // ~50 km/h
+  RoadClass road_class = RoadClass::kLocal;
+  SegmentId reverse = kInvalidSegment;  // opposite-direction twin, if any
+};
+
+// Directed road-network graph. Vertices are crossroads; directed segments
+// (edges) are the tokens of routes (paper Definition 1). After all
+// vertices/segments are added, Finalize() builds adjacency and the
+// neighbor-slot indexing that DeepST's softmax head uses: the successors of
+// segment e (segments leaving e's end vertex) are sorted by id, and the
+// position of a successor in that list is its "slot" in [0, MaxOutDegree).
+class RoadNetwork {
+ public:
+  RoadNetwork() = default;
+
+  // -- Construction ----------------------------------------------------------
+  VertexId AddVertex(geo::Point pos);
+  // Adds a straight segment between two vertices (polyline from positions).
+  SegmentId AddSegment(VertexId from, VertexId to, double speed_limit_mps,
+                       RoadClass road_class = RoadClass::kLocal);
+  // Adds a segment with an explicit polyline.
+  SegmentId AddSegmentWithPolyline(VertexId from, VertexId to,
+                                   std::vector<geo::Point> polyline,
+                                   double speed_limit_mps,
+                                   RoadClass road_class = RoadClass::kLocal);
+  // Marks a and b as each other's reverse twin.
+  void LinkReverse(SegmentId a, SegmentId b);
+  // Builds adjacency, slots, bounding box. Must be called once after
+  // construction and before any query.
+  void Finalize();
+  bool finalized() const { return finalized_; }
+
+  // -- Topology --------------------------------------------------------------
+  int num_vertices() const { return static_cast<int>(vertices_.size()); }
+  int num_segments() const { return static_cast<int>(segments_.size()); }
+  const Vertex& vertex(VertexId v) const;
+  const Segment& segment(SegmentId s) const;
+
+  // Successor segments of `s` (sorted by id), i.e. segments starting at
+  // s.to.
+  const std::vector<SegmentId>& OutSegments(SegmentId s) const;
+  // Predecessor segments of `s` (segments ending at s.from).
+  const std::vector<SegmentId>& InSegments(SegmentId s) const;
+  // Segments leaving vertex v.
+  const std::vector<SegmentId>& SegmentsFromVertex(VertexId v) const;
+
+  int OutDegree(SegmentId s) const {
+    return static_cast<int>(OutSegments(s).size());
+  }
+  // max_{e} |OutSegments(e)| -- the softmax head width N_max (paper IV-A).
+  int MaxOutDegree() const { return max_out_degree_; }
+
+  // Slot of `to` among OutSegments(from); -1 when not adjacent.
+  int NeighborSlot(SegmentId from, SegmentId to) const;
+  // Inverse mapping; kInvalidSegment when the slot is empty.
+  SegmentId SlotToSegment(SegmentId from, int slot) const;
+  // True when `to` directly follows `from`.
+  bool AreConsecutive(SegmentId from, SegmentId to) const {
+    return NeighborSlot(from, to) >= 0;
+  }
+
+  // -- Geometry ----------------------------------------------------------------
+  geo::Point SegmentStart(SegmentId s) const;
+  geo::Point SegmentEnd(SegmentId s) const;
+  geo::Point SegmentMidpoint(SegmentId s) const;
+  // Projects p onto the segment's polyline.
+  geo::Projection ProjectToSegment(const geo::Point& p, SegmentId s) const;
+  const geo::BoundingBox& bounds() const { return bounds_; }
+
+  // Free-flow traversal time of a segment in seconds.
+  double FreeFlowTime(SegmentId s) const;
+
+  // Validates that `route` is a sequence of consecutive segments.
+  util::Status ValidateRoute(const std::vector<SegmentId>& route) const;
+  // Total length of a route in meters.
+  double RouteLength(const std::vector<SegmentId>& route) const;
+
+ private:
+  std::vector<Vertex> vertices_;
+  std::vector<Segment> segments_;
+  std::vector<std::vector<SegmentId>> vertex_out_;  // per-vertex out segments
+  std::vector<std::vector<SegmentId>> in_segments_;
+  geo::BoundingBox bounds_;
+  int max_out_degree_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace roadnet
+}  // namespace deepst
+
+#endif  // DEEPST_ROADNET_ROAD_NETWORK_H_

@@ -1,0 +1,181 @@
+#include "roadnet/shortest_path.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <set>
+
+namespace deepst {
+namespace roadnet {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct QueueEntry {
+  double dist;
+  SegmentId seg;
+  bool operator>(const QueueEntry& o) const { return dist > o.dist; }
+};
+
+using MinQueue =
+    std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>>;
+
+}  // namespace
+
+util::StatusOr<PathResult> ShortestPath(const RoadNetwork& net,
+                                        SegmentId source, SegmentId target,
+                                        const SegmentCostFn& cost,
+                                        const PathQueryOptions& options) {
+  DEEPST_CHECK(source >= 0 && source < net.num_segments());
+  DEEPST_CHECK(target >= 0 && target < net.num_segments());
+  const auto banned = [&](SegmentId s) {
+    return options.banned_segments != nullptr &&
+           (*options.banned_segments)[static_cast<size_t>(s)];
+  };
+  if (banned(source) || banned(target)) {
+    return util::Status::NotFound("endpoint banned");
+  }
+
+  std::vector<double> dist(net.num_segments(), kInf);
+  std::vector<SegmentId> prev(net.num_segments(), kInvalidSegment);
+  std::vector<bool> done(net.num_segments(), false);
+  MinQueue queue;
+  dist[source] = cost(source);
+  DEEPST_CHECK_GT(dist[source], 0.0);
+  queue.push({dist[source], source});
+
+  while (!queue.empty()) {
+    const auto [d, s] = queue.top();
+    queue.pop();
+    if (done[s]) continue;
+    done[s] = true;
+    if (s == target) break;
+    for (SegmentId nxt : net.OutSegments(s)) {
+      if (done[nxt] || banned(nxt)) continue;
+      double w = cost(nxt);
+      DEEPST_CHECK_GT(w, 0.0);
+      if (options.turn_cost) w += options.turn_cost(s, nxt);
+      if (d + w < dist[nxt]) {
+        dist[nxt] = d + w;
+        prev[nxt] = s;
+        queue.push({dist[nxt], nxt});
+      }
+    }
+  }
+
+  if (!done[target]) {
+    return util::Status::NotFound("target unreachable");
+  }
+  PathResult result;
+  result.cost = dist[target];
+  for (SegmentId s = target; s != kInvalidSegment; s = prev[s]) {
+    result.path.push_back(s);
+    if (s == source) break;
+  }
+  std::reverse(result.path.begin(), result.path.end());
+  DEEPST_CHECK_EQ(result.path.front(), source);
+  return result;
+}
+
+std::vector<double> ShortestPathTree(const RoadNetwork& net, SegmentId source,
+                                     const SegmentCostFn& cost) {
+  std::vector<double> dist(net.num_segments(), kInf);
+  std::vector<bool> done(net.num_segments(), false);
+  MinQueue queue;
+  dist[source] = cost(source);
+  queue.push({dist[source], source});
+  while (!queue.empty()) {
+    const auto [d, s] = queue.top();
+    queue.pop();
+    if (done[s]) continue;
+    done[s] = true;
+    for (SegmentId nxt : net.OutSegments(s)) {
+      if (done[nxt]) continue;
+      const double w = cost(nxt);
+      if (d + w < dist[nxt]) {
+        dist[nxt] = d + w;
+        queue.push({dist[nxt], nxt});
+      }
+    }
+  }
+  return dist;
+}
+
+SegmentCostFn FreeFlowTimeCost(const RoadNetwork& net) {
+  return [&net](SegmentId s) { return net.FreeFlowTime(s); };
+}
+
+SegmentCostFn LengthCost(const RoadNetwork& net) {
+  return [&net](SegmentId s) { return net.segment(s).length_m; };
+}
+
+std::vector<PathResult> KShortestPaths(const RoadNetwork& net,
+                                       SegmentId source, SegmentId target,
+                                       int k, const SegmentCostFn& cost) {
+  DEEPST_CHECK_GE(k, 1);
+  std::vector<PathResult> found;
+  auto first = ShortestPath(net, source, target, cost);
+  if (!first.ok()) return found;
+  found.push_back(std::move(first).value());
+
+  // Candidate set keyed by cost, deduplicated by path.
+  auto cmp = [](const PathResult& a, const PathResult& b) {
+    if (a.cost != b.cost) return a.cost < b.cost;
+    return a.path < b.path;
+  };
+  std::set<PathResult, decltype(cmp)> candidates(cmp);
+
+  std::vector<bool> banned(net.num_segments(), false);
+  while (static_cast<int>(found.size()) < k) {
+    const std::vector<SegmentId>& last = found.back().path;
+    // Spur from every prefix of the last found path.
+    for (size_t i = 0; i + 1 < last.size(); ++i) {
+      const SegmentId spur = last[i];
+      std::fill(banned.begin(), banned.end(), false);
+      // Ban the next edge of every found path sharing this root prefix.
+      for (const PathResult& p : found) {
+        if (p.path.size() > i &&
+            std::equal(last.begin(), last.begin() + static_cast<long>(i) + 1,
+                       p.path.begin())) {
+          if (p.path.size() > i + 1) banned[p.path[i + 1]] = true;
+        }
+      }
+      // Ban root-path segments (loopless requirement), except the spur.
+      for (size_t j = 0; j < i; ++j) banned[last[j]] = true;
+
+      PathQueryOptions opts;
+      opts.banned_segments = &banned;
+      auto spur_path = ShortestPath(net, spur, target, cost, opts);
+      if (!spur_path.ok()) continue;
+
+      PathResult total;
+      total.path.assign(last.begin(), last.begin() + static_cast<long>(i));
+      total.path.insert(total.path.end(), spur_path.value().path.begin(),
+                        spur_path.value().path.end());
+      total.cost = spur_path.value().cost;
+      for (size_t j = 0; j < i; ++j) total.cost += cost(last[j]);
+      candidates.insert(std::move(total));
+    }
+    if (candidates.empty()) break;
+    // Pop the best candidate not already in `found`.
+    bool pushed = false;
+    while (!candidates.empty()) {
+      PathResult best = *candidates.begin();
+      candidates.erase(candidates.begin());
+      const bool duplicate =
+          std::any_of(found.begin(), found.end(), [&](const PathResult& p) {
+            return p.path == best.path;
+          });
+      if (!duplicate) {
+        found.push_back(std::move(best));
+        pushed = true;
+        break;
+      }
+    }
+    if (!pushed) break;
+  }
+  return found;
+}
+
+}  // namespace roadnet
+}  // namespace deepst

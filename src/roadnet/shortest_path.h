@@ -1,0 +1,62 @@
+#ifndef DEEPST_ROADNET_SHORTEST_PATH_H_
+#define DEEPST_ROADNET_SHORTEST_PATH_H_
+
+#include <functional>
+#include <vector>
+
+#include "roadnet/road_network.h"
+#include "util/status.h"
+
+namespace deepst {
+namespace roadnet {
+
+// Cost of traversing one segment (must be > 0).
+using SegmentCostFn = std::function<double(SegmentId)>;
+// Extra cost of the transition prev -> next (>= 0); models turn penalties.
+using TurnCostFn = std::function<double(SegmentId prev, SegmentId next)>;
+
+struct PathResult {
+  std::vector<SegmentId> path;  // source..target inclusive
+  double cost = 0.0;
+};
+
+struct PathQueryOptions {
+  // Segments that may not appear in the path (used by Yen's algorithm and
+  // by route recovery to exclude observed detours). Indexed by SegmentId;
+  // empty means nothing banned.
+  const std::vector<bool>* banned_segments = nullptr;
+  // Optional turn cost.
+  TurnCostFn turn_cost;
+};
+
+// Edge-based Dijkstra from `source` to `target` segment (both inclusive in
+// the returned path). The cost of a path [e1..en] is
+//   sum_i cost(e_i) + sum_i turn_cost(e_i, e_{i+1}).
+// Note: the cost of the source segment itself is included.
+// Returns NotFound when target is unreachable.
+util::StatusOr<PathResult> ShortestPath(const RoadNetwork& net,
+                                        SegmentId source, SegmentId target,
+                                        const SegmentCostFn& cost,
+                                        const PathQueryOptions& options = {});
+
+// One-to-all variant: distance from `source` to every segment
+// (+infinity when unreachable). Used by reachability checks and tests.
+std::vector<double> ShortestPathTree(const RoadNetwork& net, SegmentId source,
+                                     const SegmentCostFn& cost);
+
+// Convenience cost functions.
+SegmentCostFn FreeFlowTimeCost(const RoadNetwork& net);
+SegmentCostFn LengthCost(const RoadNetwork& net);
+
+// Yen's k-shortest loopless paths between two segments under `cost` (no turn
+// cost; candidate generation for route recovery, Section V-C). Returns up to
+// k paths sorted by ascending cost; fewer when the graph does not admit k
+// distinct loopless paths.
+std::vector<PathResult> KShortestPaths(const RoadNetwork& net,
+                                       SegmentId source, SegmentId target,
+                                       int k, const SegmentCostFn& cost);
+
+}  // namespace roadnet
+}  // namespace deepst
+
+#endif  // DEEPST_ROADNET_SHORTEST_PATH_H_

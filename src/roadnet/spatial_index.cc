@@ -1,0 +1,118 @@
+#include "roadnet/spatial_index.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace deepst {
+namespace roadnet {
+namespace {
+
+geo::BoundingBox PaddedBounds(const RoadNetwork& net) {
+  geo::BoundingBox box = net.bounds();
+  // Guard against degenerate boxes.
+  box.Extend({box.min.x - 1.0, box.min.y - 1.0});
+  box.Extend({box.max.x + 1.0, box.max.y + 1.0});
+  return box;
+}
+
+}  // namespace
+
+SpatialIndex::SpatialIndex(const RoadNetwork& net, double cell_size_m)
+    : net_(net), grid_(PaddedBounds(net), cell_size_m) {
+  DEEPST_CHECK(net.finalized());
+  cells_.assign(static_cast<size_t>(grid_.num_cells()), {});
+  for (SegmentId s = 0; s < net.num_segments(); ++s) {
+    geo::BoundingBox sb;
+    for (const geo::Point& p : net.segment(s).polyline) sb.Extend(p);
+    const int r0 = grid_.RowOf(sb.min);
+    const int r1 = grid_.RowOf(sb.max);
+    const int c0 = grid_.ColOf(sb.min);
+    const int c1 = grid_.ColOf(sb.max);
+    for (int r = r0; r <= r1; ++r) {
+      for (int c = c0; c <= c1; ++c) {
+        cells_[static_cast<size_t>(r) * grid_.cols() + c].push_back(s);
+      }
+    }
+  }
+}
+
+std::vector<SegmentCandidate> SpatialIndex::CollectRing(const geo::Point& p,
+                                                        int ring) const {
+  std::vector<SegmentCandidate> out;
+  const int pr = grid_.RowOf(p);
+  const int pc = grid_.ColOf(p);
+  for (int r = pr - ring; r <= pr + ring; ++r) {
+    if (r < 0 || r >= grid_.rows()) continue;
+    for (int c = pc - ring; c <= pc + ring; ++c) {
+      if (c < 0 || c >= grid_.cols()) continue;
+      // Only the ring boundary (interior already collected).
+      if (ring > 0 && std::abs(r - pr) != ring && std::abs(c - pc) != ring) {
+        continue;
+      }
+      for (SegmentId s : cells_[static_cast<size_t>(r) * grid_.cols() + c]) {
+        out.push_back({s, net_.ProjectToSegment(p, s)});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<SegmentCandidate> SpatialIndex::SegmentsNear(
+    const geo::Point& p, double radius_m) const {
+  const int max_ring =
+      static_cast<int>(radius_m / grid_.cell_size()) + 1;
+  std::unordered_set<SegmentId> seen;
+  std::vector<SegmentCandidate> out;
+  for (int ring = 0; ring <= max_ring; ++ring) {
+    for (auto& cand : CollectRing(p, ring)) {
+      if (!seen.insert(cand.segment).second) continue;
+      if (cand.projection.distance <= radius_m) {
+        out.push_back(std::move(cand));
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SegmentCandidate& a, const SegmentCandidate& b) {
+              return a.projection.distance < b.projection.distance;
+            });
+  return out;
+}
+
+std::vector<SegmentCandidate> SpatialIndex::NearestSegments(
+    const geo::Point& p, int k) const {
+  DEEPST_CHECK_GE(k, 1);
+  std::unordered_set<SegmentId> seen;
+  std::vector<SegmentCandidate> out;
+  const int max_ring = std::max(grid_.rows(), grid_.cols());
+  for (int ring = 0; ring <= max_ring; ++ring) {
+    for (auto& cand : CollectRing(p, ring)) {
+      if (seen.insert(cand.segment).second) out.push_back(std::move(cand));
+    }
+    // Once we have k candidates AND the next ring cannot contain anything
+    // closer than the current k-th distance, stop. A segment in ring r+1 is
+    // at least r * cell_size away.
+    if (static_cast<int>(out.size()) >= k) {
+      std::sort(out.begin(), out.end(),
+                [](const SegmentCandidate& a, const SegmentCandidate& b) {
+                  return a.projection.distance < b.projection.distance;
+                });
+      const double kth = out[static_cast<size_t>(k) - 1].projection.distance;
+      if (kth <= ring * grid_.cell_size()) break;
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SegmentCandidate& a, const SegmentCandidate& b) {
+              return a.projection.distance < b.projection.distance;
+            });
+  if (static_cast<int>(out.size()) > k) out.resize(static_cast<size_t>(k));
+  return out;
+}
+
+SegmentCandidate SpatialIndex::Nearest(const geo::Point& p) const {
+  auto v = NearestSegments(p, 1);
+  if (v.empty()) return {};
+  return v.front();
+}
+
+}  // namespace roadnet
+}  // namespace deepst

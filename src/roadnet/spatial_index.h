@@ -1,0 +1,50 @@
+#ifndef DEEPST_ROADNET_SPATIAL_INDEX_H_
+#define DEEPST_ROADNET_SPATIAL_INDEX_H_
+
+#include <vector>
+
+#include "geo/grid.h"
+#include "roadnet/road_network.h"
+
+namespace deepst {
+namespace roadnet {
+
+// A segment candidate returned by a nearest-segment query.
+struct SegmentCandidate {
+  SegmentId segment = kInvalidSegment;
+  geo::Projection projection;  // projection of the query point
+};
+
+// Uniform-grid spatial index over road segments, used by map matching
+// (candidate generation) and destination snapping (WSP baseline, stop
+// model). Each segment is registered in every cell its polyline's bounding
+// box overlaps.
+class SpatialIndex {
+ public:
+  explicit SpatialIndex(const RoadNetwork& net, double cell_size_m = 250.0);
+
+  // Segments whose projection distance to `p` is <= radius_m, sorted by
+  // ascending distance.
+  std::vector<SegmentCandidate> SegmentsNear(const geo::Point& p,
+                                             double radius_m) const;
+
+  // Up to `k` nearest segments (expanding ring search), sorted ascending.
+  std::vector<SegmentCandidate> NearestSegments(const geo::Point& p,
+                                                int k) const;
+
+  // Single nearest segment (kInvalidSegment only for an empty network).
+  SegmentCandidate Nearest(const geo::Point& p) const;
+
+ private:
+  std::vector<SegmentCandidate> CollectRing(const geo::Point& p,
+                                            int ring) const;
+
+  const RoadNetwork& net_;
+  geo::GridSpec grid_;
+  std::vector<std::vector<SegmentId>> cells_;
+};
+
+}  // namespace roadnet
+}  // namespace deepst
+
+#endif  // DEEPST_ROADNET_SPATIAL_INDEX_H_

@@ -1,0 +1,120 @@
+#include "traffic/congestion_field.h"
+
+#include <cmath>
+
+namespace deepst {
+namespace traffic {
+namespace {
+
+uint64_t Mix(uint64_t a, uint64_t b) {
+  return a * 0x9e3779b97f4a7c15ULL + b * 0xd1342543de82ef95ULL + 0x1234567;
+}
+
+}  // namespace
+
+CongestionField::CongestionField(const roadnet::RoadNetwork& net,
+                                 const CongestionConfig& config)
+    : net_(net), config_(config) {
+  DEEPST_CHECK(net.finalized());
+  util::Rng rng(config.seed);
+  noise_salt_ = rng.NextUint64();
+  const geo::BoundingBox& box = net.bounds();
+  hotspot_centers_.reserve(static_cast<size_t>(config.num_hotspots));
+  for (int h = 0; h < config.num_hotspots; ++h) {
+    // Keep hotspots away from the map border so they affect real streets.
+    hotspot_centers_.push_back(
+        {box.min.x + box.Width() * rng.Uniform(0.15, 0.85),
+         box.min.y + box.Height() * rng.Uniform(0.15, 0.85)});
+  }
+  segment_midpoints_.reserve(static_cast<size_t>(net.num_segments()));
+  for (roadnet::SegmentId s = 0; s < net.num_segments(); ++s) {
+    segment_midpoints_.push_back(net.SegmentMidpoint(s));
+  }
+}
+
+geo::Point CongestionField::HotspotCenterOnDay(int hotspot, int day) const {
+  const geo::Point& base =
+      hotspot_centers_[static_cast<size_t>(hotspot)];
+  const double drift = config_.daily_center_drift_m;
+  if (drift <= 0.0) return base;
+  const uint64_t kx = Mix(noise_salt_ ^ 0x77aa, Mix(
+      static_cast<uint64_t>(hotspot) + 17, static_cast<uint64_t>(day) + 3));
+  const uint64_t ky = Mix(noise_salt_ ^ 0x88bb, Mix(
+      static_cast<uint64_t>(hotspot) + 23, static_cast<uint64_t>(day) + 5));
+  return {base.x + drift * (2.0 * util::HashToUnit(kx) - 1.0),
+          base.y + drift * (2.0 * util::HashToUnit(ky) - 1.0)};
+}
+
+double CongestionField::RushLevel(double time_s) const {
+  const double tod = std::fmod(time_s, kSecondsPerDay);
+  const double w2 = 2.0 * config_.peak_width_s * config_.peak_width_s;
+  const double morning =
+      std::exp(-(tod - config_.morning_peak_s) * (tod - config_.morning_peak_s) /
+               w2);
+  const double evening =
+      std::exp(-(tod - config_.evening_peak_s) * (tod - config_.evening_peak_s) /
+               w2);
+  const double peak = std::max(morning, evening);
+  return config_.base_rush_level + (1.0 - config_.base_rush_level) * peak;
+}
+
+double CongestionField::DailyAmplitude(int hotspot, int day) const {
+  const double u = util::HashToUnit(
+      Mix(noise_salt_, Mix(static_cast<uint64_t>(hotspot) + 11,
+                           static_cast<uint64_t>(day) + 101)));
+  const double v = config_.daily_variability;
+  return config_.hotspot_amplitude * (1.0 - v + 2.0 * v * u);
+}
+
+double CongestionField::CongestionFactor(roadnet::SegmentId s,
+                                         double time_s) const {
+  const int day = static_cast<int>(time_s / kSecondsPerDay);
+  const int slot = static_cast<int>(time_s / config_.slot_seconds);
+  const double rush = RushLevel(time_s);
+
+  const double two_r2 =
+      2.0 * config_.hotspot_radius_m * config_.hotspot_radius_m;
+  const geo::Point& mid = segment_midpoints_[static_cast<size_t>(s)];
+  double extra = 0.0;
+  for (int h = 0; h < config_.num_hotspots; ++h) {
+    const geo::Point c = HotspotCenterOnDay(h, day);
+    const double d2 = (mid.x - c.x) * (mid.x - c.x) +
+                      (mid.y - c.y) * (mid.y - c.y);
+    extra += DailyAmplitude(h, day) * std::exp(-d2 / two_r2);
+  }
+  extra *= rush;
+
+  // Per-(segment, slot) incident.
+  const uint64_t key =
+      Mix(noise_salt_ ^ 0xabcdef, Mix(static_cast<uint64_t>(s) + 7,
+                                      static_cast<uint64_t>(slot) + 13));
+  if (util::HashToUnit(key) < config_.incident_prob) {
+    extra += config_.incident_severity;
+  }
+
+  // Smooth noise, linearly interpolated between slot anchors so speeds do
+  // not jump discontinuously within a slot.
+  const double frac =
+      std::fmod(time_s, config_.slot_seconds) / config_.slot_seconds;
+  const uint64_t nk0 = Mix(noise_salt_ ^ 0x5555, Mix(
+      static_cast<uint64_t>(s) + 3, static_cast<uint64_t>(slot) + 29));
+  const uint64_t nk1 = Mix(noise_salt_ ^ 0x5555, Mix(
+      static_cast<uint64_t>(s) + 3, static_cast<uint64_t>(slot) + 30));
+  const double n0 = util::HashToUnit(nk0) - 0.5;
+  const double n1 = util::HashToUnit(nk1) - 0.5;
+  extra += 2.0 * config_.noise_level * ((1.0 - frac) * n0 + frac * n1);
+
+  return std::max(1.0, 1.0 + extra);
+}
+
+double CongestionField::SpeedAt(roadnet::SegmentId s, double time_s) const {
+  return net_.segment(s).speed_limit_mps / CongestionFactor(s, time_s);
+}
+
+double CongestionField::TravelTime(roadnet::SegmentId s,
+                                   double time_s) const {
+  return net_.segment(s).length_m / SpeedAt(s, time_s);
+}
+
+}  // namespace traffic
+}  // namespace deepst

@@ -1,0 +1,91 @@
+#ifndef DEEPST_TRAFFIC_CONGESTION_FIELD_H_
+#define DEEPST_TRAFFIC_CONGESTION_FIELD_H_
+
+#include <vector>
+
+#include "geo/point.h"
+#include "roadnet/road_network.h"
+#include "util/rng.h"
+
+namespace deepst {
+namespace traffic {
+
+// Time is measured in seconds from the start of day 0; day d spans
+// [d*86400, (d+1)*86400).
+constexpr double kSecondsPerDay = 86400.0;
+
+struct CongestionConfig {
+  int num_hotspots = 5;
+  double hotspot_radius_m = 600.0;
+  double hotspot_amplitude = 6.0;  // peak extra congestion factor
+  // Rush-hour profile: two Gaussians (seconds of day).
+  double morning_peak_s = 8.0 * 3600;
+  double evening_peak_s = 18.0 * 3600;
+  double peak_width_s = 1.6 * 3600;
+  double base_rush_level = 0.55;  // off-peak floor of the rush profile
+  // Day-to-day variability of each hotspot's amplitude (uniform in
+  // [1-v, 1+v]); this is what makes traffic *real-time* rather than
+  // periodic -- the paper's critique of time-slot-invariant baselines.
+  double daily_variability = 0.7;
+  // Day-to-day drift of each hotspot's center (uniform in a square of this
+  // half-width). With drift, *which* streets are congested changes daily, so
+  // only the observed traffic tensor -- not the time of day -- reveals it.
+  double daily_center_drift_m = 500.0;
+  // Short-lived incidents: each (segment, 20-min slot) pair independently
+  // suffers an extra slowdown with this probability.
+  double incident_prob = 0.02;
+  double incident_severity = 4.0;
+  // Smooth per-(segment, slot) noise amplitude.
+  double noise_level = 0.15;
+  double slot_seconds = 1200.0;  // 20 minutes, as in the paper
+  uint64_t seed = 7;
+};
+
+// Synthetic city-wide traffic state: a deterministic function
+// congestion(segment, time) >= 1 composed of rush-hour profile, moving
+// congestion hotspots with day-varying intensity, random incidents, and
+// hashed noise. Substitutes for the real-time traffic implicitly present in
+// the paper's probe-vehicle data (DESIGN.md, substitution table).
+class CongestionField {
+ public:
+  CongestionField(const roadnet::RoadNetwork& net,
+                  const CongestionConfig& config);
+
+  // Congestion factor (>= 1): the segment currently takes `factor` times its
+  // free-flow time.
+  double CongestionFactor(roadnet::SegmentId s, double time_s) const;
+
+  // Current speed (m/s) on the segment.
+  double SpeedAt(roadnet::SegmentId s, double time_s) const;
+
+  // Time to traverse the whole segment entering at `time_s`.
+  double TravelTime(roadnet::SegmentId s, double time_s) const;
+
+  // Rush-hour multiplier in [base_rush_level, ~1] for a given time of day.
+  double RushLevel(double time_s) const;
+
+  const std::vector<geo::Point>& hotspot_centers() const {
+    return hotspot_centers_;
+  }
+  const CongestionConfig& config() const { return config_; }
+
+  // Center of hotspot h on a given day (base center + daily drift).
+  geo::Point HotspotCenterOnDay(int hotspot, int day) const;
+
+ private:
+  // Day-specific amplitude multiplier of hotspot h.
+  double DailyAmplitude(int hotspot, int day) const;
+
+  const roadnet::RoadNetwork& net_;
+  CongestionConfig config_;
+  std::vector<geo::Point> hotspot_centers_;
+  // Cached per-segment midpoints (hotspot proximity is evaluated per query
+  // because centers drift daily).
+  std::vector<geo::Point> segment_midpoints_;
+  uint64_t noise_salt_;
+};
+
+}  // namespace traffic
+}  // namespace deepst
+
+#endif  // DEEPST_TRAFFIC_CONGESTION_FIELD_H_

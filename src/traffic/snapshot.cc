@@ -1,0 +1,90 @@
+#include "traffic/snapshot.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace deepst {
+namespace traffic {
+
+TrafficTensorBuilder::TrafficTensorBuilder(const geo::GridSpec& grid,
+                                           double speed_norm_mps,
+                                           int count_cap)
+    : grid_(grid), speed_norm_mps_(speed_norm_mps), count_cap_(count_cap) {
+  DEEPST_CHECK_GT(speed_norm_mps, 0.0);
+  DEEPST_CHECK_GT(count_cap, 0);
+}
+
+nn::Tensor TrafficTensorBuilder::Build(
+    const std::vector<SpeedObservation>& observations) const {
+  const int rows = grid_.rows();
+  const int cols = grid_.cols();
+  std::vector<double> speed_sum(static_cast<size_t>(rows * cols), 0.0);
+  std::vector<int> count(static_cast<size_t>(rows * cols), 0);
+  for (const auto& obs : observations) {
+    const int cell = grid_.CellOf(obs.pos);
+    speed_sum[static_cast<size_t>(cell)] += obs.speed_mps;
+    ++count[static_cast<size_t>(cell)];
+  }
+  nn::Tensor out = nn::Tensor::Zeros({2, rows, cols});
+  const double count_norm = std::log1p(static_cast<double>(count_cap_));
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const size_t i = static_cast<size_t>(r * cols + c);
+      if (count[i] > 0) {
+        const double avg = speed_sum[i] / count[i];
+        out[r * cols + c] =
+            static_cast<float>(std::min(avg / speed_norm_mps_, 2.0));
+        out[rows * cols + r * cols + c] = static_cast<float>(
+            std::min(std::log1p(static_cast<double>(count[i])) / count_norm,
+                     1.0));
+      }
+    }
+  }
+  return out;
+}
+
+TrafficTensorCache::TrafficTensorCache(const geo::GridSpec& grid,
+                                       double slot_seconds,
+                                       double window_seconds,
+                                       double speed_norm_mps)
+    : builder_(grid, speed_norm_mps),
+      slot_seconds_(slot_seconds),
+      window_seconds_(window_seconds) {
+  DEEPST_CHECK_GT(slot_seconds, 0.0);
+  DEEPST_CHECK_GT(window_seconds, 0.0);
+}
+
+void TrafficTensorCache::AddObservations(
+    const std::vector<SpeedObservation>& observations) {
+  for (const auto& obs : observations) {
+    by_slot_[SlotOf(obs.time_s)].push_back(obs);
+  }
+  cache_.clear();
+}
+
+const nn::Tensor& TrafficTensorCache::TensorForTime(double time_s) {
+  const int slot = SlotOf(time_s);
+  auto it = cache_.find(slot);
+  if (it != cache_.end()) return it->second;
+  // Window [slot_start - window, slot_start).
+  const double slot_start = slot * slot_seconds_;
+  const double window_start = slot_start - window_seconds_;
+  std::vector<SpeedObservation> window_obs;
+  const int first_slot = SlotOf(std::max(0.0, window_start));
+  for (int k = first_slot; k <= slot; ++k) {
+    auto bucket = by_slot_.find(k);
+    if (bucket == by_slot_.end()) continue;
+    for (const auto& obs : bucket->second) {
+      if (obs.time_s >= window_start && obs.time_s < slot_start) {
+        window_obs.push_back(obs);
+      }
+    }
+  }
+  auto [pos, inserted] = cache_.emplace(slot, builder_.Build(window_obs));
+  DEEPST_CHECK(inserted);
+  return pos->second;
+}
+
+}  // namespace traffic
+}  // namespace deepst

@@ -1,0 +1,80 @@
+#ifndef DEEPST_TRAFFIC_SNAPSHOT_H_
+#define DEEPST_TRAFFIC_SNAPSHOT_H_
+
+#include <map>
+#include <vector>
+
+#include "geo/grid.h"
+#include "nn/tensor.h"
+
+namespace deepst {
+namespace traffic {
+
+// One probe-vehicle speed observation (a GPS sample with derived speed).
+struct SpeedObservation {
+  geo::Point pos;
+  double time_s = 0.0;
+  double speed_mps = 0.0;
+};
+
+// Builds the paper's raw traffic representation C: the space is partitioned
+// into cells and the average observed vehicle speed per cell is computed
+// from the (sub-)trajectories in the window [T.s - delta, T.s) (Section
+// IV-D). The tensor has 2 channels:
+//   channel 0: average speed in the cell, normalized by `speed_norm_mps`
+//   channel 1: saturating observation count, log1p(count) / log1p(cap)
+// Channel 1 lets the CNN distinguish "free-flowing" from "unobserved" cells,
+// addressing the sensitivity to vehicle spatial distribution the paper
+// raises as the motivation for the CNN encoder.
+class TrafficTensorBuilder {
+ public:
+  TrafficTensorBuilder(const geo::GridSpec& grid, double speed_norm_mps = 20.0,
+                       int count_cap = 50);
+
+  // Builds the [2, rows, cols] tensor from the given observations.
+  nn::Tensor Build(const std::vector<SpeedObservation>& observations) const;
+
+  const geo::GridSpec& grid() const { return grid_; }
+
+ private:
+  geo::GridSpec grid_;
+  double speed_norm_mps_;
+  int count_cap_;
+};
+
+// Caches one traffic tensor per time slot, shared by every trip whose start
+// time falls into the slot (paper Section IV-D: "discretize the temporal
+// dimension into slots and let the trips whose start times fall into the
+// same slot share one C"). Observations must be added before querying.
+class TrafficTensorCache {
+ public:
+  TrafficTensorCache(const geo::GridSpec& grid, double slot_seconds,
+                     double window_seconds, double speed_norm_mps = 20.0);
+
+  // Registers probe observations (any order).
+  void AddObservations(const std::vector<SpeedObservation>& observations);
+
+  // Tensor for the slot containing `time_s`, built lazily from observations
+  // in [slot_start - window, slot_start) and memoized.
+  const nn::Tensor& TensorForTime(double time_s);
+
+  int SlotOf(double time_s) const {
+    return static_cast<int>(time_s / slot_seconds_);
+  }
+  double slot_seconds() const { return slot_seconds_; }
+  int rows() const { return builder_.grid().rows(); }
+  int cols() const { return builder_.grid().cols(); }
+
+ private:
+  TrafficTensorBuilder builder_;
+  double slot_seconds_;
+  double window_seconds_;
+  // Observations bucketed by slot index for fast window queries.
+  std::map<int, std::vector<SpeedObservation>> by_slot_;
+  std::map<int, nn::Tensor> cache_;
+};
+
+}  // namespace traffic
+}  // namespace deepst
+
+#endif  // DEEPST_TRAFFIC_SNAPSHOT_H_

@@ -1,0 +1,76 @@
+#include "traj/ascii_map.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace deepst {
+namespace traj {
+
+AsciiMap::AsciiMap(const roadnet::RoadNetwork& net, int rows, int cols)
+    : net_(net), rows_(rows), cols_(cols) {
+  DEEPST_CHECK_GT(rows, 1);
+  DEEPST_CHECK_GT(cols, 1);
+  cells_.assign(static_cast<size_t>(rows_) * cols_, ' ');
+}
+
+void AsciiMap::Plot(const geo::Point& p, char ch) {
+  const geo::BoundingBox& box = net_.bounds();
+  const double fx = (p.x - box.min.x) / std::max(box.Width(), 1.0);
+  const double fy = (p.y - box.min.y) / std::max(box.Height(), 1.0);
+  int c = static_cast<int>(fx * (cols_ - 1) + 0.5);
+  int r = static_cast<int>((1.0 - fy) * (rows_ - 1) + 0.5);
+  c = std::clamp(c, 0, cols_ - 1);
+  r = std::clamp(r, 0, rows_ - 1);
+  char& cell = cells_[static_cast<size_t>(r) * cols_ + c];
+  // Markers beat routes beat network strokes.
+  auto rank = [](char x) {
+    if (x == ' ') return 0;
+    if (x == '.') return 1;
+    if (x == '#' || x == '+' || x == '*') return 2;
+    return 3;
+  };
+  if (rank(ch) >= rank(cell)) cell = ch;
+}
+
+void AsciiMap::DrawPolyline(const std::vector<geo::Point>& pts, char ch) {
+  for (size_t i = 0; i + 1 < pts.size(); ++i) {
+    const geo::Point a = pts[i];
+    const geo::Point b = pts[i + 1];
+    const double len = a.DistanceTo(b);
+    const int steps =
+        std::max(2, static_cast<int>(len / (net_.bounds().Width() /
+                                            (2.0 * cols_))));
+    for (int s = 0; s <= steps; ++s) {
+      const double t = static_cast<double>(s) / steps;
+      Plot(a + (b - a) * t, ch);
+    }
+  }
+}
+
+void AsciiMap::DrawNetwork() {
+  for (roadnet::SegmentId s = 0; s < net_.num_segments(); ++s) {
+    DrawPolyline(net_.segment(s).polyline, '.');
+  }
+}
+
+void AsciiMap::DrawRoute(const Route& route, char ch) {
+  for (roadnet::SegmentId s : route) {
+    DrawPolyline(net_.segment(s).polyline, ch);
+  }
+}
+
+void AsciiMap::MarkPoint(const geo::Point& p, char ch) { Plot(p, ch); }
+
+std::string AsciiMap::Render() const {
+  std::string out;
+  out.reserve(static_cast<size_t>(rows_) * (cols_ + 1));
+  for (int r = 0; r < rows_; ++r) {
+    out.append(cells_, static_cast<size_t>(r) * cols_,
+               static_cast<size_t>(cols_));
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace traj
+}  // namespace deepst

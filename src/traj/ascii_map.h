@@ -1,0 +1,41 @@
+#ifndef DEEPST_TRAJ_ASCII_MAP_H_
+#define DEEPST_TRAJ_ASCII_MAP_H_
+
+#include <string>
+
+#include "roadnet/road_network.h"
+#include "traj/types.h"
+
+namespace deepst {
+namespace traj {
+
+// Terminal-friendly visualization of a road network with optional overlays:
+// a route ('#'), origin ('O'), destination ('X'). Used by the examples so a
+// predicted route can be eyeballed without external plotting.
+class AsciiMap {
+ public:
+  AsciiMap(const roadnet::RoadNetwork& net, int rows = 24, int cols = 48);
+
+  // Draws all road segments as faint strokes ('.').
+  void DrawNetwork();
+  // Overlays a route with `ch`.
+  void DrawRoute(const Route& route, char ch = '#');
+  // Marks a point with `ch` (e.g. 'O' origin, 'X' destination).
+  void MarkPoint(const geo::Point& p, char ch);
+
+  std::string Render() const;
+
+ private:
+  void DrawPolyline(const std::vector<geo::Point>& pts, char ch);
+  void Plot(const geo::Point& p, char ch);
+
+  const roadnet::RoadNetwork& net_;
+  int rows_;
+  int cols_;
+  std::string cells_;  // rows_*cols_, row-major, row 0 = top (max y)
+};
+
+}  // namespace traj
+}  // namespace deepst
+
+#endif  // DEEPST_TRAJ_ASCII_MAP_H_

@@ -1,0 +1,105 @@
+#include "traj/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace deepst {
+namespace traj {
+
+DatasetSplit SplitByDay(const std::vector<TripRecord>& records,
+                        int train_days, int val_days) {
+  DEEPST_CHECK_GE(train_days, 1);
+  DEEPST_CHECK_GE(val_days, 0);
+  DatasetSplit split;
+  for (const auto& rec : records) {
+    if (rec.trip.day < train_days) {
+      split.train.push_back(&rec);
+    } else if (rec.trip.day < train_days + val_days) {
+      split.validation.push_back(&rec);
+    } else {
+      split.test.push_back(&rec);
+    }
+  }
+  return split;
+}
+
+TripStatistics ComputeStatistics(const roadnet::RoadNetwork& net,
+                                 const std::vector<TripRecord>& records) {
+  TripStatistics stats;
+  stats.num_trips = static_cast<int>(records.size());
+  if (records.empty()) return stats;
+  stats.min_distance_km = 1e18;
+  stats.min_segments = 1 << 30;
+  double dist_sum = 0.0;
+  double seg_sum = 0.0;
+  for (const auto& rec : records) {
+    const double km = net.RouteLength(rec.trip.route) / 1000.0;
+    const int nseg = static_cast<int>(rec.trip.route.size());
+    stats.min_distance_km = std::min(stats.min_distance_km, km);
+    stats.max_distance_km = std::max(stats.max_distance_km, km);
+    stats.min_segments = std::min(stats.min_segments, nseg);
+    stats.max_segments = std::max(stats.max_segments, nseg);
+    dist_sum += km;
+    seg_sum += nseg;
+  }
+  stats.mean_distance_km = dist_sum / stats.num_trips;
+  stats.mean_segments = seg_sum / stats.num_trips;
+  return stats;
+}
+
+std::vector<int> Histogram(const std::vector<double>& values, double lo,
+                           double hi, int bins) {
+  DEEPST_CHECK_GT(bins, 0);
+  DEEPST_CHECK_GT(hi, lo);
+  std::vector<int> hist(static_cast<size_t>(bins), 0);
+  const double width = (hi - lo) / bins;
+  for (double v : values) {
+    int b = static_cast<int>((v - lo) / width);
+    b = std::clamp(b, 0, bins - 1);
+    ++hist[static_cast<size_t>(b)];
+  }
+  return hist;
+}
+
+std::vector<double> TravelDistancesKm(const roadnet::RoadNetwork& net,
+                                      const std::vector<TripRecord>& records) {
+  std::vector<double> out;
+  out.reserve(records.size());
+  for (const auto& rec : records) {
+    out.push_back(net.RouteLength(rec.trip.route) / 1000.0);
+  }
+  return out;
+}
+
+std::vector<double> SegmentCounts(const std::vector<TripRecord>& records) {
+  std::vector<double> out;
+  out.reserve(records.size());
+  for (const auto& rec : records) {
+    out.push_back(static_cast<double>(rec.trip.route.size()));
+  }
+  return out;
+}
+
+std::vector<int> SpatialOccupancy(const roadnet::RoadNetwork& net,
+                                  const std::vector<TripRecord>& records,
+                                  int rows, int cols) {
+  DEEPST_CHECK_GT(rows, 0);
+  DEEPST_CHECK_GT(cols, 0);
+  std::vector<int> counts(static_cast<size_t>(rows) * cols, 0);
+  const geo::BoundingBox& box = net.bounds();
+  for (const auto& rec : records) {
+    for (const auto& p : rec.gps) {
+      int r = static_cast<int>((p.pos.y - box.min.y) / box.Height() * rows);
+      int c = static_cast<int>((p.pos.x - box.min.x) / box.Width() * cols);
+      r = std::clamp(r, 0, rows - 1);
+      c = std::clamp(c, 0, cols - 1);
+      ++counts[static_cast<size_t>(r) * cols + c];
+    }
+  }
+  return counts;
+}
+
+}  // namespace traj
+}  // namespace deepst

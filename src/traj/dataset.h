@@ -1,0 +1,59 @@
+#ifndef DEEPST_TRAJ_DATASET_H_
+#define DEEPST_TRAJ_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "roadnet/road_network.h"
+#include "traj/types.h"
+
+namespace deepst {
+namespace traj {
+
+// Train/validation/test split by day ranges, mirroring the paper's temporal
+// splits (first days train, next days validate, remaining days test).
+struct DatasetSplit {
+  std::vector<const TripRecord*> train;
+  std::vector<const TripRecord*> validation;
+  std::vector<const TripRecord*> test;
+};
+
+// Splits records by day: [0, train_days) -> train, [train_days,
+// train_days + val_days) -> validation, the rest -> test.
+DatasetSplit SplitByDay(const std::vector<TripRecord>& records,
+                        int train_days, int val_days);
+
+// Summary statistics of a trip collection (paper Table III).
+struct TripStatistics {
+  int num_trips = 0;
+  double min_distance_km = 0.0;
+  double max_distance_km = 0.0;
+  double mean_distance_km = 0.0;
+  int min_segments = 0;
+  int max_segments = 0;
+  double mean_segments = 0.0;
+};
+
+TripStatistics ComputeStatistics(const roadnet::RoadNetwork& net,
+                                 const std::vector<TripRecord>& records);
+
+// Histogram over [lo, hi) with `bins` equal-width buckets; values outside
+// are clamped into the border buckets (paper Fig. 6 distributions).
+std::vector<int> Histogram(const std::vector<double>& values, double lo,
+                           double hi, int bins);
+
+// Per-trip travel distances (km) / segment counts, histogram inputs.
+std::vector<double> TravelDistancesKm(const roadnet::RoadNetwork& net,
+                                      const std::vector<TripRecord>& records);
+std::vector<double> SegmentCounts(const std::vector<TripRecord>& records);
+
+// Coarse spatial occupancy of GPS points over an R x C grid of the network
+// bounding box (paper Fig. 5 spatial distributions), row-major counts.
+std::vector<int> SpatialOccupancy(const roadnet::RoadNetwork& net,
+                                  const std::vector<TripRecord>& records,
+                                  int rows, int cols);
+
+}  // namespace traj
+}  // namespace deepst
+
+#endif  // DEEPST_TRAJ_DATASET_H_

@@ -1,0 +1,97 @@
+#ifndef DEEPST_TRAJ_GENERATOR_H_
+#define DEEPST_TRAJ_GENERATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "roadnet/spatial_index.h"
+#include "traffic/congestion_field.h"
+#include "traffic/snapshot.h"
+#include "traj/types.h"
+#include "util/rng.h"
+
+namespace deepst {
+namespace traj {
+
+// Trip/trajectory generator. Routes are chosen by a stochastic
+// time-dependent shortest path whose cost embeds the paper's three
+// explanatory factors, so that models exploiting them have signal to learn:
+//   1. Sequential property: a per-trip driver "style" (arterial affinity)
+//      scales arterial costs for the whole trip, creating long-range
+//      dependence -- the early route reveals the style and predicts later
+//      choices. Turn penalties additionally favour going straight.
+//   2. Destination: trips are goal-directed by construction (shortest path
+//      to the destination segment); destinations cluster around hubs so
+//      proxy-sharing (DeepST's K proxies) pays off.
+//   3. Real-time traffic: traffic-aware drivers use current congested
+//      travel times as edge costs and so detour around hotspots/incidents.
+struct GeneratorConfig {
+  int num_days = 10;
+  int trips_per_day = 300;
+  int num_destination_hubs = 8;
+  double hub_sigma_m = 450.0;     // destination scatter around a hub
+  double dest_noise_m = 100.0;    // rough-coordinate noise on T.x
+  double p_uniform_dest = 0.45;   // destinations not tied to any hub
+  double p_arterial_lover = 0.5;  // driver style mix
+  double arterial_affinity = 0.5;    // cost multiplier on arterials (lover)
+  double arterial_aversion = 1.7;    // cost multiplier on arterials (hater)
+  double p_traffic_aware = 1.0;   // fraction of drivers that see congestion
+  double route_noise = 0.28;      // lognormal sigma of per-edge cost noise
+  double turn_penalty_s = 25.0;   // cost of a 90-degree turn
+  double uturn_penalty_s = 240.0;
+  double min_route_m = 800.0;
+  double max_route_m = 15000.0;
+  double gps_interval_s = 15.0;  // GPS sampling period
+  double gps_noise_m = 12.0;     // GPS position noise (std)
+  uint64_t seed = 42;
+};
+
+class TripGenerator {
+ public:
+  TripGenerator(const roadnet::RoadNetwork& net,
+                const traffic::CongestionField& field,
+                const GeneratorConfig& config);
+
+  // Generates the full multi-day dataset (trips ordered by start time).
+  std::vector<TripRecord> GenerateDataset();
+
+  // Generates a single trip starting in day `day` (nullopt-style: empty
+  // route on failure after retries -- callers of GenerateDataset never see
+  // failures, it retries internally).
+  TripRecord GenerateTrip(int day, util::Rng* rng) const;
+
+  const std::vector<geo::Point>& hub_centers() const { return hubs_; }
+
+  // Simulates the GPS trace of driving `route` starting at `start_time_s`,
+  // returning the trace and the arrival time. Exposed for tests and for
+  // building probe data.
+  GpsTrajectory SimulateGps(const Route& route, double start_time_s,
+                            util::Rng* rng) const;
+
+ private:
+  // Samples a start time-of-day (seconds) from the daily demand profile.
+  double SampleTimeOfDay(util::Rng* rng) const;
+
+  const roadnet::RoadNetwork& net_;
+  const traffic::CongestionField& field_;
+  GeneratorConfig config_;
+  roadnet::SpatialIndex index_;
+  std::vector<geo::Point> hubs_;
+  std::vector<double> hub_weights_;
+};
+
+// Extracts probe speed observations from every GPS point of the dataset
+// (the input to traffic::TrafficTensorCache).
+std::vector<traffic::SpeedObservation> CollectObservations(
+    const std::vector<TripRecord>& records);
+
+// Keeps roughly one point every `interval_s` seconds (always keeping the
+// first and last), simulating low-sampling-rate trajectories for the route
+// recovery task (paper Section V-C).
+GpsTrajectory DownsampleByInterval(const GpsTrajectory& gps,
+                                   double interval_s);
+
+}  // namespace traj
+}  // namespace deepst
+
+#endif  // DEEPST_TRAJ_GENERATOR_H_

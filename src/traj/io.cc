@@ -1,0 +1,133 @@
+#include "traj/io.h"
+
+#include <cstdint>
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace deepst {
+namespace traj {
+namespace {
+
+constexpr uint32_t kMagic = 0x0DA7A701;
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void WritePod(std::ofstream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return in.good();
+}
+
+}  // namespace
+
+util::Status SaveDataset(const std::vector<TripRecord>& records,
+                         const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) return util::Status::IoError("cannot open " + path);
+  WritePod(out, kMagic);
+  WritePod(out, kVersion);
+  WritePod(out, static_cast<uint64_t>(records.size()));
+  for (const auto& rec : records) {
+    WritePod(out, rec.trip.start_time_s);
+    WritePod(out, rec.trip.destination.x);
+    WritePod(out, rec.trip.destination.y);
+    WritePod(out, static_cast<int32_t>(rec.trip.day));
+    WritePod(out, static_cast<uint32_t>(rec.trip.route.size()));
+    for (auto s : rec.trip.route) WritePod(out, s);
+    WritePod(out, static_cast<uint32_t>(rec.gps.size()));
+    for (const auto& p : rec.gps) {
+      WritePod(out, p.pos.x);
+      WritePod(out, p.pos.y);
+      WritePod(out, p.time_s);
+      WritePod(out, p.speed_mps);
+    }
+  }
+  if (!out.good()) return util::Status::IoError("write failed for " + path);
+  return util::Status::Ok();
+}
+
+util::StatusOr<std::vector<TripRecord>> LoadDataset(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return util::Status::IoError("cannot open " + path);
+  uint32_t magic = 0, version = 0;
+  if (!ReadPod(in, &magic) || magic != kMagic) {
+    return util::Status::IoError("bad magic in " + path);
+  }
+  if (!ReadPod(in, &version) || version != kVersion) {
+    return util::Status::IoError("unsupported version in " + path);
+  }
+  uint64_t count = 0;
+  if (!ReadPod(in, &count)) return util::Status::IoError("truncated header");
+  std::vector<TripRecord> records;
+  records.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    TripRecord rec;
+    int32_t day = 0;
+    uint32_t route_len = 0;
+    if (!ReadPod(in, &rec.trip.start_time_s) ||
+        !ReadPod(in, &rec.trip.destination.x) ||
+        !ReadPod(in, &rec.trip.destination.y) || !ReadPod(in, &day) ||
+        !ReadPod(in, &route_len)) {
+      return util::Status::IoError("truncated trip header");
+    }
+    rec.trip.day = day;
+    rec.trip.route.resize(route_len);
+    for (auto& s : rec.trip.route) {
+      if (!ReadPod(in, &s)) return util::Status::IoError("truncated route");
+    }
+    uint32_t gps_len = 0;
+    if (!ReadPod(in, &gps_len)) return util::Status::IoError("truncated gps");
+    rec.gps.resize(gps_len);
+    for (auto& p : rec.gps) {
+      if (!ReadPod(in, &p.pos.x) || !ReadPod(in, &p.pos.y) ||
+          !ReadPod(in, &p.time_s) || !ReadPod(in, &p.speed_mps)) {
+        return util::Status::IoError("truncated gps point");
+      }
+    }
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+util::Status ExportGpsCsv(const std::vector<TripRecord>& records,
+                          const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) return util::Status::IoError("cannot open " + path);
+  out << "trip_id,time_s,x,y,speed_mps\n";
+  for (size_t i = 0; i < records.size(); ++i) {
+    for (const auto& p : records[i].gps) {
+      out << i << ',' << p.time_s << ',' << p.pos.x << ',' << p.pos.y << ','
+          << p.speed_mps << '\n';
+    }
+  }
+  if (!out.good()) return util::Status::IoError("write failed for " + path);
+  return util::Status::Ok();
+}
+
+util::Status ExportTripsCsv(const std::vector<TripRecord>& records,
+                            const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) return util::Status::IoError("cannot open " + path);
+  out << "trip_id,day,start_time_s,dest_x,dest_y,num_segments,route\n";
+  for (size_t i = 0; i < records.size(); ++i) {
+    const Trip& trip = records[i].trip;
+    out << i << ',' << trip.day << ',' << trip.start_time_s << ','
+        << trip.destination.x << ',' << trip.destination.y << ','
+        << trip.route.size() << ',';
+    for (size_t j = 0; j < trip.route.size(); ++j) {
+      if (j > 0) out << '|';
+      out << trip.route[j];
+    }
+    out << '\n';
+  }
+  if (!out.good()) return util::Status::IoError("write failed for " + path);
+  return util::Status::Ok();
+}
+
+}  // namespace traj
+}  // namespace deepst

@@ -1,0 +1,33 @@
+#ifndef DEEPST_TRAJ_IO_H_
+#define DEEPST_TRAJ_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "traj/types.h"
+#include "util/status.h"
+
+namespace deepst {
+namespace traj {
+
+// Dataset persistence: binary for exact round-trips of generated datasets
+// (so training runs are reproducible without regenerating), and CSV exports
+// in the common trajectory-dataset layout (one GPS point per line:
+// trip_id, time_s, x, y, speed_mps) for external analysis/plotting.
+
+util::Status SaveDataset(const std::vector<TripRecord>& records,
+                         const std::string& path);
+util::StatusOr<std::vector<TripRecord>> LoadDataset(const std::string& path);
+
+// CSV of GPS points (one row per point).
+util::Status ExportGpsCsv(const std::vector<TripRecord>& records,
+                          const std::string& path);
+// CSV of trips (one row per trip: id, day, start_time, dest_x, dest_y,
+// segment count, route as '|'-joined segment ids).
+util::Status ExportTripsCsv(const std::vector<TripRecord>& records,
+                            const std::string& path);
+
+}  // namespace traj
+}  // namespace deepst
+
+#endif  // DEEPST_TRAJ_IO_H_

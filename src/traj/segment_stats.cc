@@ -1,0 +1,82 @@
+#include "traj/segment_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace deepst {
+namespace traj {
+
+SegmentStatsTable::SegmentStatsTable(
+    const roadnet::RoadNetwork& net,
+    const std::vector<const TripRecord*>& records)
+    : net_(net) {
+  const size_t n = static_cast<size_t>(net.num_segments());
+  std::vector<double> speed_sum(n, 0.0);
+  std::vector<double> time_sum(n, 0.0), time_sq_sum(n, 0.0);
+  std::vector<int> count(n, 0);
+  for (const auto* rec : records) {
+    for (const auto& p : rec->gps) {
+      // Assign to the nearest segment of this trip's own route (the route is
+      // the map-matching ground truth the operator would have).
+      roadnet::SegmentId best = roadnet::kInvalidSegment;
+      double best_d = 1e18;
+      for (roadnet::SegmentId s : rec->trip.route) {
+        const double d = net.ProjectToSegment(p.pos, s).distance;
+        if (d < best_d) {
+          best_d = d;
+          best = s;
+        }
+      }
+      if (best == roadnet::kInvalidSegment || p.speed_mps <= 0.1) continue;
+      const size_t i = static_cast<size_t>(best);
+      speed_sum[i] += p.speed_mps;
+      const double t = net.segment(best).length_m / p.speed_mps;
+      time_sum[i] += t;
+      time_sq_sum[i] += t * t;
+      ++count[i];
+    }
+  }
+  stats_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto& st = stats_[i];
+    st.num_observations = count[i];
+    if (count[i] > 0) {
+      ++num_observed_;
+      st.mean_speed_mps = speed_sum[i] / count[i];
+      st.mean_time_s = time_sum[i] / count[i];
+      st.var_time_s2 = std::max(
+          0.0, time_sq_sum[i] / count[i] - st.mean_time_s * st.mean_time_s);
+    }
+  }
+}
+
+double SegmentStatsTable::MeanTime(roadnet::SegmentId s) const {
+  const auto& st = stats(s);
+  if (st.num_observations > 0) return st.mean_time_s;
+  return net_.FreeFlowTime(s);
+}
+
+double SegmentStatsTable::TimeVariance(roadnet::SegmentId s) const {
+  const auto& st = stats(s);
+  const double mean = MeanTime(s);
+  // Floor: at least (20% of the mean)^2, so the temporal likelihood never
+  // becomes degenerate on sparsely observed segments.
+  const double floor = 0.04 * mean * mean + 1.0;
+  if (st.num_observations > 1) return std::max(st.var_time_s2, floor);
+  return floor;
+}
+
+double SegmentStatsTable::RouteMeanTime(const Route& route) const {
+  double t = 0.0;
+  for (auto s : route) t += MeanTime(s);
+  return t;
+}
+
+double SegmentStatsTable::RouteTimeVariance(const Route& route) const {
+  double v = 0.0;
+  for (auto s : route) v += TimeVariance(s);
+  return v;
+}
+
+}  // namespace traj
+}  // namespace deepst

@@ -1,0 +1,55 @@
+#ifndef DEEPST_TRAJ_SEGMENT_STATS_H_
+#define DEEPST_TRAJ_SEGMENT_STATS_H_
+
+#include <vector>
+
+#include "roadnet/road_network.h"
+#include "traj/types.h"
+
+namespace deepst {
+namespace traj {
+
+// Historical per-segment travel statistics estimated from raw GPS data, as
+// the paper's WSP baseline ("edge weight equals the mean travel time of the
+// corresponding road segment, estimated using the entire historical
+// dataset") and STRS's temporal inference module require.
+struct SegmentStats {
+  double mean_speed_mps = 0.0;  // 0 when unobserved
+  double mean_time_s = 0.0;     // length / mean speed (free-flow fallback)
+  double var_time_s2 = 0.0;     // variance of implied traversal time
+  int num_observations = 0;
+};
+
+class SegmentStatsTable {
+ public:
+  // Estimates stats by assigning each GPS point's probe speed to the nearest
+  // segment of its own trip's route.
+  SegmentStatsTable(const roadnet::RoadNetwork& net,
+                    const std::vector<const TripRecord*>& records);
+
+  const SegmentStats& stats(roadnet::SegmentId s) const {
+    DEEPST_CHECK(s >= 0 && s < static_cast<int>(stats_.size()));
+    return stats_[static_cast<size_t>(s)];
+  }
+
+  // Mean traversal time; falls back to free-flow when unobserved.
+  double MeanTime(roadnet::SegmentId s) const;
+  // Traversal-time variance with a sane floor.
+  double TimeVariance(roadnet::SegmentId s) const;
+
+  // Expected travel time of a whole route.
+  double RouteMeanTime(const Route& route) const;
+  double RouteTimeVariance(const Route& route) const;
+
+  int num_observed_segments() const { return num_observed_; }
+
+ private:
+  const roadnet::RoadNetwork& net_;
+  std::vector<SegmentStats> stats_;
+  int num_observed_ = 0;
+};
+
+}  // namespace traj
+}  // namespace deepst
+
+#endif  // DEEPST_TRAJ_SEGMENT_STATS_H_

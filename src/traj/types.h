@@ -1,0 +1,48 @@
+#ifndef DEEPST_TRAJ_TYPES_H_
+#define DEEPST_TRAJ_TYPES_H_
+
+#include <vector>
+
+#include "geo/point.h"
+#include "roadnet/road_network.h"
+
+namespace deepst {
+namespace traj {
+
+// A route is a sequence of consecutive road segments (paper Definition 2).
+using Route = std::vector<roadnet::SegmentId>;
+
+// One GPS sample of a moving vehicle (paper Definition 3).
+struct GpsPoint {
+  geo::Point pos;
+  double time_s = 0.0;
+  double speed_mps = 0.0;  // instantaneous probe speed
+};
+
+using GpsTrajectory = std::vector<GpsPoint>;
+
+// A trip: a travel along `route` starting at `start_time_s` (paper
+// Definition 4), plus the *rough* destination coordinate the dispatcher
+// knows (paper Section III-A: only a lat/lng pair, not the exact ending
+// street).
+struct Trip {
+  Route route;
+  double start_time_s = 0.0;
+  geo::Point destination;  // rough destination coordinate T.x
+  int day = 0;
+
+  roadnet::SegmentId origin_segment() const { return route.front(); }
+  roadnet::SegmentId final_segment() const { return route.back(); }
+};
+
+// A trip together with its emitted GPS trace (the raw data a taxi company
+// would log).
+struct TripRecord {
+  Trip trip;
+  GpsTrajectory gps;
+};
+
+}  // namespace traj
+}  // namespace deepst
+
+#endif  // DEEPST_TRAJ_TYPES_H_

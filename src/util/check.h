@@ -1,0 +1,48 @@
+#ifndef DEEPST_UTIL_CHECK_H_
+#define DEEPST_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Internal-invariant checking macros. These abort the process on failure and
+// are intended for programmer errors (index out of range, shape mismatch,
+// broken preconditions), not for recoverable runtime errors -- use
+// util::Status for the latter.
+//
+// DEEPST_CHECK is always on (including release builds); DEEPST_DCHECK
+// compiles away in NDEBUG builds and may guard more expensive assertions.
+
+#define DEEPST_CHECK(cond)                                                   \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "DEEPST_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define DEEPST_CHECK_MSG(cond, msg)                                          \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "DEEPST_CHECK failed at %s:%d: %s (%s)\n",        \
+                   __FILE__, __LINE__, #cond, msg);                          \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define DEEPST_CHECK_EQ(a, b) DEEPST_CHECK((a) == (b))
+#define DEEPST_CHECK_NE(a, b) DEEPST_CHECK((a) != (b))
+#define DEEPST_CHECK_LT(a, b) DEEPST_CHECK((a) < (b))
+#define DEEPST_CHECK_LE(a, b) DEEPST_CHECK((a) <= (b))
+#define DEEPST_CHECK_GT(a, b) DEEPST_CHECK((a) > (b))
+#define DEEPST_CHECK_GE(a, b) DEEPST_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define DEEPST_DCHECK(cond) \
+  do {                      \
+  } while (0)
+#else
+#define DEEPST_DCHECK(cond) DEEPST_CHECK(cond)
+#endif
+
+#endif  // DEEPST_UTIL_CHECK_H_

@@ -1,0 +1,45 @@
+#ifndef DEEPST_UTIL_LOGGING_H_
+#define DEEPST_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace deepst {
+namespace util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Process-wide minimum level; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Emits one formatted line to stderr: "[I 12.345s] message".
+void LogLine(LogLevel level, const std::string& message);
+
+// Stream-style logger used via the DEEPST_LOG macro. Flushes on destruction.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { LogLine(level_, stream_.str()); }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace util
+}  // namespace deepst
+
+#define DEEPST_LOG(level) \
+  ::deepst::util::LogMessage(::deepst::util::LogLevel::k##level)
+
+#endif  // DEEPST_UTIL_LOGGING_H_

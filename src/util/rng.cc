@@ -1,0 +1,112 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace deepst {
+namespace util {
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::UniformInt(uint64_t n) {
+  DEEPST_CHECK_GT(n, 0u);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = (0ULL - n) % n;
+  for (;;) {
+    uint64_t r = NextUint64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::Uniform() {
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+double Rng::Gaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1 = 0.0;
+  while (u1 <= 1e-300) u1 = Uniform();
+  const double u2 = Uniform();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  cached_gaussian_ = mag * std::sin(2.0 * M_PI * u2);
+  has_cached_gaussian_ = true;
+  return mag * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  return mean + stddev * Gaussian();
+}
+
+double Rng::Gumbel() {
+  double u = Uniform();
+  while (u <= 1e-300) u = Uniform();
+  return -std::log(-std::log(u));
+}
+
+bool Rng::Bernoulli(double p) { return Uniform() < p; }
+
+int Rng::Categorical(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    if (w > 0) total += w;
+  }
+  DEEPST_CHECK_MSG(total > 0, "Categorical: all weights non-positive");
+  double u = Uniform() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    const double w = weights[i] > 0 ? weights[i] : 0.0;
+    if (u < w) return static_cast<int>(i);
+    u -= w;
+  }
+  // Floating-point slack: return the last positive-weight index.
+  for (size_t i = weights.size(); i > 0; --i) {
+    if (weights[i - 1] > 0) return static_cast<int>(i - 1);
+  }
+  return 0;
+}
+
+Rng Rng::Fork(uint64_t stream_id) {
+  // Mix the child id with fresh output so forks are independent streams.
+  return Rng(NextUint64() ^ (0xd1342543de82ef95ULL * (stream_id + 1)));
+}
+
+double HashToUnit(uint64_t x) {
+  uint64_t s = x;
+  uint64_t z = SplitMix64(&s);
+  return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
+}  // namespace util
+}  // namespace deepst

@@ -1,0 +1,102 @@
+#ifndef DEEPST_UTIL_STATUS_H_
+#define DEEPST_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace deepst {
+namespace util {
+
+// Lightweight RocksDB/Abseil-style status object for recoverable errors at
+// API boundaries (file I/O, malformed inputs, infeasible queries). Internal
+// invariant violations use DEEPST_CHECK instead.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kOutOfRange,
+    kFailedPrecondition,
+    kIoError,
+    kInternal,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(Code::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(Code::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Human-readable one-line rendering, e.g. "InvalidArgument: bad K".
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+// Value-or-error wrapper. Accessing value() on an error status aborts.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    DEEPST_CHECK_MSG(!status_.ok(), "StatusOr(Status) requires an error");
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    DEEPST_CHECK_MSG(ok(), status_.ToString().c_str());
+    return value_;
+  }
+  T& value() & {
+    DEEPST_CHECK_MSG(ok(), status_.ToString().c_str());
+    return value_;
+  }
+  T&& value() && {
+    DEEPST_CHECK_MSG(ok(), status_.ToString().c_str());
+    return std::move(value_);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace util
+}  // namespace deepst
+
+#define DEEPST_RETURN_IF_ERROR(expr)                 \
+  do {                                               \
+    ::deepst::util::Status _status = (expr);         \
+    if (!_status.ok()) return _status;               \
+  } while (0)
+
+#endif  // DEEPST_UTIL_STATUS_H_

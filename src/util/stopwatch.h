@@ -1,0 +1,31 @@
+#ifndef DEEPST_UTIL_STOPWATCH_H_
+#define DEEPST_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace deepst {
+namespace util {
+
+// Simple wall-clock stopwatch used by the training loop and the scalability
+// bench (Fig. 8 reproduction).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace util
+}  // namespace deepst
+
+#endif  // DEEPST_UTIL_STOPWATCH_H_

@@ -1,0 +1,27 @@
+#ifndef DEEPST_UTIL_STRING_UTIL_H_
+#define DEEPST_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace deepst {
+namespace util {
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+// Splits `s` on `delim`, keeping empty fields.
+std::vector<std::string> StrSplit(const std::string& s, char delim);
+
+// Joins the elements with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    const std::string& sep);
+
+// Fixed-precision float rendering (e.g. 0.6372 -> "0.637").
+std::string FormatDouble(double v, int precision);
+
+}  // namespace util
+}  // namespace deepst
+
+#endif  // DEEPST_UTIL_STRING_UTIL_H_

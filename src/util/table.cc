@@ -1,0 +1,90 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace deepst {
+namespace util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::AddRow(std::vector<std::string> row) {
+  DEEPST_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void Table::AddRow(const std::string& label, const std::vector<double>& values,
+                   int precision) {
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(label);
+  for (double v : values) row.push_back(FormatDouble(v, precision));
+  AddRow(std::move(row));
+}
+
+std::string Table::ToString() const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      line += row[c];
+      line.append(widths[c] - row[c].size() + 2, ' ');
+    }
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    line += '\n';
+    return line;
+  };
+  std::string out = render_row(header_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  out.append(total > 2 ? total - 2 : total, '-');
+  out += '\n';
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void Table::Print(const std::string& title) const {
+  if (!title.empty()) std::printf("\n== %s ==\n", title.c_str());
+  std::printf("%s", ToString().c_str());
+  std::fflush(stdout);
+}
+
+Status Table::WriteCsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open " + path);
+  }
+  auto write_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << ',';
+      // Quote fields containing commas/quotes.
+      if (row[c].find_first_of(",\"\n") != std::string::npos) {
+        out << '"';
+        for (char ch : row[c]) {
+          if (ch == '"') out << "\"\"";
+          else out << ch;
+        }
+        out << '"';
+      } else {
+        out << row[c];
+      }
+    }
+    out << '\n';
+  };
+  write_row(header_);
+  for (const auto& row : rows_) write_row(row);
+  if (!out.good()) return Status::IoError("write failed for " + path);
+  return Status::Ok();
+}
+
+}  // namespace util
+}  // namespace deepst

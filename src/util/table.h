@@ -1,0 +1,44 @@
+#ifndef DEEPST_UTIL_TABLE_H_
+#define DEEPST_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace deepst {
+namespace util {
+
+// Aligned ASCII table printer used by the benchmark harnesses to render
+// paper-style tables (Table III-VI) and figure series (Fig. 5-8) to stdout,
+// plus optional CSV export for plotting.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  // Convenience: renders doubles with the given precision.
+  void AddRow(const std::string& label, const std::vector<double>& values,
+              int precision = 3);
+
+  // Returns the aligned ASCII rendering (with a separator under the header).
+  std::string ToString() const;
+
+  // Prints ToString() to stdout with an optional title line.
+  void Print(const std::string& title = "") const;
+
+  // Writes the table as CSV.
+  Status WriteCsv(const std::string& path) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace util
+}  // namespace deepst
+
+#endif  // DEEPST_UTIL_TABLE_H_

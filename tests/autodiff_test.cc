@@ -1,0 +1,378 @@
+// Analytic spot-checks of individual ops' forward values and gradients.
+// Exhaustive finite-difference verification lives in gradcheck_test.cc.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/conv_ops.h"
+#include "nn/ops.h"
+#include "nn/variable.h"
+
+namespace deepst {
+namespace nn {
+namespace {
+
+namespace o = ops;
+
+VarPtr Param(std::vector<int64_t> shape, const std::vector<float>& v) {
+  return MakeVar(Tensor::FromVector(std::move(shape), v),
+                 /*requires_grad=*/true);
+}
+
+TEST(AutodiffTest, AddBackwardBothParents) {
+  VarPtr a = Param({2}, {1, 2});
+  VarPtr b = Param({2}, {3, 4});
+  VarPtr s = o::Sum(o::Add(a, b));
+  EXPECT_FLOAT_EQ(s->value()[0], 10.0f);
+  Backward(s);
+  EXPECT_FLOAT_EQ(a->grad()[0], 1.0f);
+  EXPECT_FLOAT_EQ(b->grad()[1], 1.0f);
+}
+
+TEST(AutodiffTest, AddRowBroadcast) {
+  VarPtr a = Param({2, 2}, {1, 2, 3, 4});
+  VarPtr b = Param({2}, {10, 20});
+  VarPtr out = o::Add(a, b);
+  EXPECT_FLOAT_EQ(out->value().at(1, 1), 24.0f);
+  Backward(o::Sum(out));
+  EXPECT_FLOAT_EQ(b->grad()[0], 2.0f);  // summed over rows
+  EXPECT_FLOAT_EQ(b->grad()[1], 2.0f);
+}
+
+TEST(AutodiffTest, MulGradIsOtherOperand) {
+  VarPtr a = Param({2}, {2, 3});
+  VarPtr b = Param({2}, {5, 7});
+  Backward(o::Sum(o::Mul(a, b)));
+  EXPECT_FLOAT_EQ(a->grad()[0], 5.0f);
+  EXPECT_FLOAT_EQ(a->grad()[1], 7.0f);
+  EXPECT_FLOAT_EQ(b->grad()[0], 2.0f);
+}
+
+TEST(AutodiffTest, DiamondGraphAccumulates) {
+  // y = a*a; dy/da = 2a via two paths through Mul.
+  VarPtr a = Param({1}, {3});
+  Backward(o::Sum(o::Mul(a, a)));
+  EXPECT_FLOAT_EQ(a->grad()[0], 6.0f);
+}
+
+TEST(AutodiffTest, ReusedNodeAccumulates) {
+  // z = sum(a) + sum(a) -> grad 2.
+  VarPtr a = Param({3}, {1, 1, 1});
+  VarPtr s1 = o::Sum(a);
+  VarPtr s2 = o::Sum(a);
+  Backward(o::Add(s1, s2));
+  EXPECT_FLOAT_EQ(a->grad()[0], 2.0f);
+}
+
+TEST(AutodiffTest, MatMulForward) {
+  VarPtr a = Param({2, 3}, {1, 2, 3, 4, 5, 6});
+  VarPtr b = Param({3, 2}, {7, 8, 9, 10, 11, 12});
+  VarPtr c = o::MatMul(a, b);
+  EXPECT_FLOAT_EQ(c->value().at(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c->value().at(1, 1), 154.0f);
+}
+
+TEST(AutodiffTest, MatMulBackward) {
+  VarPtr a = Param({1, 2}, {1, 2});
+  VarPtr b = Param({2, 1}, {3, 4});
+  Backward(o::Sum(o::MatMul(a, b)));
+  EXPECT_FLOAT_EQ(a->grad()[0], 3.0f);
+  EXPECT_FLOAT_EQ(a->grad()[1], 4.0f);
+  EXPECT_FLOAT_EQ(b->grad()[0], 1.0f);
+  EXPECT_FLOAT_EQ(b->grad()[1], 2.0f);
+}
+
+TEST(AutodiffTest, LinearMatchesManualMatMul) {
+  VarPtr x = Param({2, 3}, {1, 0, -1, 2, 2, 2});
+  VarPtr w = Param({2, 3}, {1, 2, 3, -1, 0, 1});
+  VarPtr b = Param({2}, {0.5, -0.5});
+  VarPtr y = o::Linear(x, w, b);
+  // row0: [1*1+0*2-1*3+0.5, 1*-1+0*0-1*1-0.5] = [-1.5, -2.5]
+  EXPECT_FLOAT_EQ(y->value().at(0, 0), -1.5f);
+  EXPECT_FLOAT_EQ(y->value().at(0, 1), -2.5f);
+}
+
+TEST(AutodiffTest, SigmoidValueAndGrad) {
+  VarPtr a = Param({1}, {0});
+  VarPtr y = o::Sigmoid(a);
+  EXPECT_FLOAT_EQ(y->value()[0], 0.5f);
+  Backward(o::Sum(y));
+  EXPECT_FLOAT_EQ(a->grad()[0], 0.25f);
+}
+
+TEST(AutodiffTest, TanhGrad) {
+  VarPtr a = Param({1}, {0.5f});
+  Backward(o::Sum(o::Tanh(a)));
+  const float t = std::tanh(0.5f);
+  EXPECT_NEAR(a->grad()[0], 1 - t * t, 1e-6);
+}
+
+TEST(AutodiffTest, LeakyReluNegativeSlope) {
+  VarPtr a = Param({2}, {-2, 2});
+  VarPtr y = o::LeakyRelu(a, 0.1f);
+  EXPECT_FLOAT_EQ(y->value()[0], -0.2f);
+  EXPECT_FLOAT_EQ(y->value()[1], 2.0f);
+  Backward(o::Sum(y));
+  EXPECT_FLOAT_EQ(a->grad()[0], 0.1f);
+  EXPECT_FLOAT_EQ(a->grad()[1], 1.0f);
+}
+
+TEST(AutodiffTest, SoftplusMatchesFormula) {
+  VarPtr a = Param({2}, {-30.0f, 30.0f});
+  VarPtr y = o::Softplus(a);
+  EXPECT_NEAR(y->value()[0], 0.0f, 1e-6);
+  EXPECT_NEAR(y->value()[1], 30.0f, 1e-5);
+}
+
+TEST(AutodiffTest, ConcatAndSliceRoundTrip) {
+  VarPtr a = Param({2, 2}, {1, 2, 3, 4});
+  VarPtr b = Param({2, 1}, {5, 6});
+  VarPtr cat = o::ConcatCols({a, b});
+  EXPECT_EQ(cat->value().dim(1), 3);
+  EXPECT_FLOAT_EQ(cat->value().at(1, 2), 6.0f);
+  VarPtr back = o::SliceCols(cat, 0, 2);
+  EXPECT_FLOAT_EQ(back->value().at(1, 1), 4.0f);
+  Backward(o::Sum(o::Mul(back, back)));
+  EXPECT_FLOAT_EQ(a->grad()[3], 8.0f);  // d(x^2)=2x with x=4
+  EXPECT_FLOAT_EQ(b->grad()[0], 0.0f);  // sliced out
+}
+
+TEST(AutodiffTest, EmbeddingLookupScattersGrad) {
+  VarPtr table = Param({3, 2}, {1, 2, 3, 4, 5, 6});
+  VarPtr e = o::EmbeddingLookup(table, {2, 0, 2});
+  EXPECT_FLOAT_EQ(e->value().at(0, 1), 6.0f);
+  Backward(o::Sum(e));
+  EXPECT_FLOAT_EQ(table->grad()[0], 1.0f);  // row 0 once
+  EXPECT_FLOAT_EQ(table->grad()[4], 2.0f);  // row 2 twice
+  EXPECT_FLOAT_EQ(table->grad()[2], 0.0f);  // row 1 never
+}
+
+TEST(AutodiffTest, CrossEntropyMatchesManual) {
+  VarPtr logits = Param({2, 3}, {1, 2, 3, 0, 0, 0});
+  VarPtr loss = o::CrossEntropyLoss(logits, {2, 1}, {1.0f, 1.0f});
+  const double p0 =
+      std::exp(3.0) / (std::exp(1.0) + std::exp(2.0) + std::exp(3.0));
+  const double expected = -std::log(p0) - std::log(1.0 / 3.0);
+  EXPECT_NEAR(loss->value()[0], expected, 1e-5);
+}
+
+TEST(AutodiffTest, CrossEntropyMaskedRowContributesNothing) {
+  VarPtr logits = Param({2, 3}, {1, 2, 3, 9, 9, 9});
+  VarPtr loss = o::CrossEntropyLoss(logits, {2, 1}, {1.0f, 0.0f});
+  Backward(loss);
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_FLOAT_EQ(logits->grad().at(1, c), 0.0f);
+  }
+}
+
+TEST(AutodiffTest, SoftmaxGradSumsToZeroPerRow) {
+  VarPtr logits = Param({1, 4}, {0.1f, -0.4f, 1.3f, 0.0f});
+  VarPtr p = o::Softmax(logits);
+  // Pick out one element by multiplying with a mask.
+  Tensor mask = Tensor::Zeros({1, 4});
+  mask[2] = 1.0f;
+  Backward(o::WeightedSum(p, mask));
+  double s = 0.0;
+  for (int c = 0; c < 4; ++c) s += logits->grad().at(0, c);
+  EXPECT_NEAR(s, 0.0, 1e-6);
+}
+
+TEST(AutodiffTest, KlStandardNormalZeroAtPrior) {
+  VarPtr mu = Param({1, 3}, {0, 0, 0});
+  VarPtr logvar = Param({1, 3}, {0, 0, 0});
+  VarPtr kl = o::KlStandardNormal(mu, logvar);
+  EXPECT_NEAR(kl->value()[0], 0.0f, 1e-7);
+  Backward(kl);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NEAR(mu->grad()[i], 0.0f, 1e-7);
+    EXPECT_NEAR(logvar->grad()[i], 0.0f, 1e-7);
+  }
+}
+
+TEST(AutodiffTest, KlStandardNormalPositiveElsewhere) {
+  VarPtr mu = Param({1, 2}, {1.0f, -1.0f});
+  VarPtr logvar = Param({1, 2}, {0.5f, -0.5f});
+  VarPtr kl = o::KlStandardNormal(mu, logvar);
+  EXPECT_GT(kl->value()[0], 0.0f);
+}
+
+TEST(AutodiffTest, CategoricalKlZeroForUniformLogits) {
+  VarPtr logits = Param({2, 4}, {1, 1, 1, 1, -3, -3, -3, -3});
+  VarPtr kl = o::CategoricalKlToUniform(logits);
+  EXPECT_NEAR(kl->value()[0], 0.0f, 1e-6);
+}
+
+TEST(AutodiffTest, CategoricalKlBoundedByLogK) {
+  VarPtr logits = Param({1, 4}, {100, 0, 0, 0});
+  VarPtr kl = o::CategoricalKlToUniform(logits);
+  EXPECT_NEAR(kl->value()[0], std::log(4.0f), 1e-4);
+}
+
+TEST(AutodiffTest, GaussianReparameterizeStats) {
+  util::Rng rng(42);
+  VarPtr mu = Param({1000, 1}, std::vector<float>(1000, 2.0f));
+  VarPtr logvar =
+      Param({1000, 1}, std::vector<float>(1000, std::log(0.25f)));
+  VarPtr z = o::GaussianReparameterize(mu, logvar, &rng);
+  double mean = z->value().Mean();
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  double var = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    const double d = z->value()[i] - mean;
+    var += d * d;
+  }
+  EXPECT_NEAR(var / 1000.0, 0.25, 0.05);
+}
+
+TEST(AutodiffTest, GaussianLogProbMatchesFormula) {
+  Tensor x = Tensor::FromVector({1, 1}, {1.0f});
+  VarPtr mean = Param({1, 1}, {0.0f});
+  VarPtr var = Param({1, 1}, {4.0f});
+  Tensor w = Tensor::Full({1}, 1.0f);
+  VarPtr lp = o::GaussianLogProb(x, mean, var, w);
+  const double expected =
+      -0.5 * (std::log(2 * M_PI) + std::log(4.0) + 1.0 / 4.0);
+  EXPECT_NEAR(lp->value()[0], expected, 1e-5);
+}
+
+TEST(AutodiffTest, GumbelSoftmaxRowsAreDistributions) {
+  util::Rng rng(7);
+  VarPtr logits = Param({8, 5}, std::vector<float>(40, 0.0f));
+  VarPtr y = o::GumbelSoftmaxSample(logits, 0.5f, &rng);
+  for (int r = 0; r < 8; ++r) {
+    double s = 0.0;
+    for (int c = 0; c < 5; ++c) {
+      EXPECT_GE(y->value().at(r, c), 0.0f);
+      s += y->value().at(r, c);
+    }
+    EXPECT_NEAR(s, 1.0, 1e-4);
+  }
+}
+
+TEST(AutodiffTest, GumbelSoftmaxLowTempNearOneHot) {
+  util::Rng rng(7);
+  const int rows = 64, cols = 6;
+  VarPtr logits =
+      Param({rows, cols}, std::vector<float>(rows * cols, 0.0f));
+  VarPtr y = o::GumbelSoftmaxSample(logits, 0.05f, &rng);
+  // At low temperature rows concentrate near a vertex of the simplex; a few
+  // rows can still have two near-tied Gumbel draws, so assert on the mean.
+  double mean_max = 0.0;
+  for (int r = 0; r < rows; ++r) {
+    float mx = 0.0f;
+    for (int c = 0; c < cols; ++c) mx = std::max(mx, y->value().at(r, c));
+    mean_max += mx;
+  }
+  EXPECT_GT(mean_max / rows, 0.9);
+}
+
+TEST(AutodiffTest, StopGradientBlocksFlow) {
+  VarPtr a = Param({1}, {2});
+  VarPtr y = o::Mul(o::StopGradient(a), a);
+  Backward(o::Sum(y));
+  EXPECT_FLOAT_EQ(a->grad()[0], 2.0f);  // only the non-stopped path
+}
+
+TEST(AutodiffTest, GlobalAvgPoolForwardBackward) {
+  VarPtr x = Param({1, 2, 2, 2}, {1, 2, 3, 4, 10, 20, 30, 40});
+  VarPtr y = o::GlobalAvgPool2d(x);
+  EXPECT_FLOAT_EQ(y->value().at(0, 0), 2.5f);
+  EXPECT_FLOAT_EQ(y->value().at(0, 1), 25.0f);
+  Backward(o::Sum(y));
+  EXPECT_FLOAT_EQ(x->grad()[0], 0.25f);
+}
+
+TEST(AutodiffTest, Conv2dIdentityKernel) {
+  // 1x1 kernel with weight 1 reproduces the input.
+  VarPtr x = Param({1, 1, 2, 2}, {1, 2, 3, 4});
+  VarPtr w = Param({1, 1, 1, 1}, {1});
+  VarPtr y = o::Conv2d(x, w, nullptr, /*stride=*/1, /*pad=*/0);
+  for (int i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(y->value()[i], x->value()[i]);
+}
+
+TEST(AutodiffTest, Conv2dKnownSum) {
+  // 2x2 all-ones kernel, stride 1, no pad: each output = sum of window.
+  VarPtr x = Param({1, 1, 3, 3}, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  VarPtr w = Param({1, 1, 2, 2}, {1, 1, 1, 1});
+  VarPtr y = o::Conv2d(x, w, nullptr, 1, 0);
+  EXPECT_EQ(y->value().dim(2), 2);
+  EXPECT_FLOAT_EQ(y->value().at4(0, 0, 0, 0), 12.0f);  // 1+2+4+5
+  EXPECT_FLOAT_EQ(y->value().at4(0, 0, 1, 1), 28.0f);  // 5+6+8+9
+}
+
+TEST(AutodiffTest, Conv2dStridePadShape) {
+  VarPtr x = MakeVar(Tensor::Zeros({2, 3, 8, 8}));
+  util::Rng rng(1);
+  VarPtr w = MakeVar(Tensor::Uniform({4, 3, 3, 3}, -1, 1, &rng), true);
+  VarPtr y = o::Conv2d(x, w, nullptr, 2, 1);
+  EXPECT_EQ(y->value().dim(0), 2);
+  EXPECT_EQ(y->value().dim(1), 4);
+  EXPECT_EQ(y->value().dim(2), 4);
+  EXPECT_EQ(y->value().dim(3), 4);
+}
+
+TEST(AutodiffTest, BatchNormTrainingNormalizes) {
+  util::Rng rng(2);
+  VarPtr x = MakeVar(Tensor::Gaussian({4, 2, 3, 3}, 5.0f, 3.0f, &rng), true);
+  VarPtr gamma = Param({2}, {1, 1});
+  VarPtr beta = Param({2}, {0, 0});
+  ops::BatchNormState state;
+  state.running_mean = Tensor::Zeros({2});
+  state.running_var = Tensor::Full({2}, 1.0f);
+  VarPtr y = o::BatchNorm2d(x, gamma, beta, &state, /*training=*/true);
+  // Per-channel mean ~0, var ~1.
+  for (int c = 0; c < 2; ++c) {
+    double m = 0.0, v = 0.0;
+    int n = 0;
+    for (int b = 0; b < 4; ++b) {
+      for (int i = 0; i < 3; ++i) {
+        for (int j = 0; j < 3; ++j) {
+          m += y->value().at4(b, c, i, j);
+          ++n;
+        }
+      }
+    }
+    m /= n;
+    for (int b = 0; b < 4; ++b) {
+      for (int i = 0; i < 3; ++i) {
+        for (int j = 0; j < 3; ++j) {
+          const double d = y->value().at4(b, c, i, j) - m;
+          v += d * d;
+        }
+      }
+    }
+    EXPECT_NEAR(m, 0.0, 1e-4);
+    EXPECT_NEAR(v / n, 1.0, 1e-2);
+    // Running stats moved toward batch stats.
+    EXPECT_GT(state.running_mean[c], 0.0f);
+  }
+}
+
+TEST(AutodiffTest, AvgPool2dHalvesSpatial) {
+  VarPtr x = Param({1, 1, 2, 2}, {1, 2, 3, 4});
+  VarPtr y = o::AvgPool2d(x, 2);
+  EXPECT_EQ(y->value().dim(2), 1);
+  EXPECT_FLOAT_EQ(y->value().at4(0, 0, 0, 0), 2.5f);
+}
+
+TEST(AutodiffTest, BackwardOnConstantIsNoop) {
+  VarPtr a = Constant(Tensor::FromVector({2}, {1, 2}));
+  VarPtr s = o::Sum(a);
+  EXPECT_FALSE(s->requires_grad());
+  Backward(s);  // should not crash
+}
+
+TEST(AutodiffTest, DeepChainGradient) {
+  // y = tanh(tanh(...tanh(x))) 50 deep; gradient is product of sech^2 terms.
+  VarPtr x = Param({1}, {0.1f});
+  VarPtr y = x;
+  for (int i = 0; i < 50; ++i) y = o::Tanh(y);
+  Backward(o::Sum(y));
+  EXPECT_TRUE(std::isfinite(x->grad()[0]));
+  EXPECT_GT(x->grad()[0], 0.0f);
+  EXPECT_LT(x->grad()[0], 1.0f);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace deepst

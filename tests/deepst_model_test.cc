@@ -1,0 +1,328 @@
+#include "core/deepst_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/trainer.h"
+#include "eval/world.h"
+#include "nn/serialize.h"
+
+namespace deepst {
+namespace core {
+namespace {
+
+// A tiny world shared by the model tests (built once; gtest environments
+// would be overkill).
+eval::World& TestWorld() {
+  static eval::World* world = [] {
+    eval::WorldConfig cfg = eval::ChengduMiniWorld(0.15);
+    cfg.name = "test-world";
+    cfg.city.rows = 7;
+    cfg.city.cols = 7;
+    cfg.generator.num_days = 4;
+    cfg.generator.max_route_m = 6000.0;
+    cfg.train_days = 2;
+    cfg.val_days = 1;
+    return new eval::World(cfg);
+  }();
+  return *world;
+}
+
+DeepSTConfig SmallConfig() {
+  DeepSTConfig cfg;
+  cfg.segment_embedding_dim = 12;
+  cfg.gru_hidden = 24;
+  cfg.gru_layers = 2;
+  cfg.dest_dim = 12;
+  cfg.traffic_dim = 8;
+  cfg.num_proxies = 8;
+  cfg.cnn_channels = 6;
+  cfg.mlp_hidden = 24;
+  return cfg;
+}
+
+std::vector<const traj::Trip*> FirstTrips(int n) {
+  std::vector<const traj::Trip*> out;
+  for (const auto* rec : TestWorld().split().train) {
+    if (static_cast<int>(out.size()) >= n) break;
+    if (rec->trip.route.size() >= 2) out.push_back(&rec->trip);
+  }
+  return out;
+}
+
+TEST(DestinationProxyTest, NormalizationCentersCoordinates) {
+  util::Rng rng(1);
+  geo::BoundingBox box;
+  box.Extend({0, 0});
+  box.Extend({1000, 2000});
+  DestinationProxyModel proxy(4, 8, box, 16, &rng);
+  nn::Tensor x = proxy.NormalizeDestinations({{500, 1000}, {0, 0}});
+  EXPECT_NEAR(x.at(0, 0), 0.0f, 1e-6);
+  EXPECT_NEAR(x.at(0, 1), 0.0f, 1e-6);
+  EXPECT_NEAR(x.at(1, 0), -0.5f, 1e-6);
+  EXPECT_NEAR(x.at(1, 1), -1.0f, 1e-6);
+}
+
+TEST(DestinationProxyTest, ModePiIsOneHot) {
+  util::Rng rng(2);
+  geo::BoundingBox box;
+  box.Extend({0, 0});
+  box.Extend({100, 100});
+  DestinationProxyModel proxy(6, 8, box, 16, &rng);
+  nn::Tensor x = proxy.NormalizeDestinations({{10, 20}, {90, 80}});
+  nn::VarPtr logits = proxy.EncodeLogits(x);
+  nn::VarPtr pi = proxy.ModePi(logits);
+  for (int64_t r = 0; r < 2; ++r) {
+    double sum = 0.0;
+    int ones = 0;
+    for (int64_t c = 0; c < 6; ++c) {
+      sum += pi->value().at(r, c);
+      if (pi->value().at(r, c) == 1.0f) ++ones;
+    }
+    EXPECT_DOUBLE_EQ(sum, 1.0);
+    EXPECT_EQ(ones, 1);
+  }
+  EXPECT_FALSE(pi->requires_grad());
+}
+
+TEST(DestinationProxyTest, ProxyCentersRoundTrip) {
+  util::Rng rng(3);
+  geo::BoundingBox box;
+  box.Extend({-500, -500});
+  box.Extend({1500, 2500});
+  DestinationProxyModel proxy(5, 8, box, 16, &rng);
+  auto centers = proxy.ProxyCentersWorld();
+  ASSERT_EQ(centers.size(), 5u);
+  // Normalization is isotropic: world coords lie within center +- 0.9*scale,
+  // scale = max(width, height)/2 = 1500.
+  const geo::Point center{500, 1000};
+  for (const auto& c : centers) {
+    EXPECT_LE(std::fabs(c.x - center.x), 0.9 * 1500.0 + 1.0);
+    EXPECT_LE(std::fabs(c.y - center.y), 0.9 * 1500.0 + 1.0);
+  }
+}
+
+TEST(DestinationProxyTest, AllocateProxyDeterministic) {
+  util::Rng rng(4);
+  geo::BoundingBox box;
+  box.Extend({0, 0});
+  box.Extend({100, 100});
+  DestinationProxyModel proxy(6, 8, box, 16, &rng);
+  const int a = proxy.AllocateProxy({25, 25});
+  EXPECT_EQ(a, proxy.AllocateProxy({25, 25}));
+  EXPECT_GE(a, 0);
+  EXPECT_LT(a, 6);
+}
+
+TEST(TrafficEncoderTest, PosteriorShapes) {
+  util::Rng rng(5);
+  TrafficEncoder encoder(12, 10, 6, 8, 16, &rng);
+  nn::Tensor t1 = nn::Tensor::Zeros({2, 12, 10});
+  nn::Tensor t2 = nn::Tensor::Full({2, 12, 10}, 0.5f);
+  auto post = encoder.Encode({&t1, &t2}, /*training=*/true);
+  EXPECT_EQ(post.mu->value().dim(0), 2);
+  EXPECT_EQ(post.mu->value().dim(1), 8);
+  EXPECT_TRUE(post.mu->value().AllFinite());
+  EXPECT_TRUE(post.logvar->value().AllFinite());
+  // Different inputs -> different posteriors.
+  float diff = 0.0f;
+  for (int64_t i = 0; i < 8; ++i) {
+    diff += std::fabs(post.mu->value().at(0, i) - post.mu->value().at(1, i));
+  }
+  EXPECT_GT(diff, 1e-5f);
+}
+
+TEST(DeepSTModelTest, LossFiniteAndBackwardable) {
+  auto& world = TestWorld();
+  DeepSTModel model(world.net(), SmallConfig(), world.traffic_cache());
+  util::Rng rng(6);
+  auto batch = FirstTrips(8);
+  ASSERT_GE(batch.size(), 4u);
+  LossStats stats;
+  nn::VarPtr loss = model.Loss(batch, &rng, &stats);
+  EXPECT_TRUE(std::isfinite(stats.total));
+  EXPECT_GT(stats.route_ce, 0.0);
+  EXPECT_GT(stats.num_transitions, 0);
+  EXPECT_GE(stats.kl_traffic, -1e-4);
+  EXPECT_GE(stats.kl_proxy, -1e-4);
+  nn::Backward(loss);
+  // Every parameter group receives gradient somewhere.
+  double grad_norm = 0.0;
+  for (const auto& p : model.Parameters()) {
+    if (p.var->has_grad()) {
+      grad_norm += p.var->grad().MaxAbs();
+    }
+  }
+  EXPECT_GT(grad_norm, 0.0);
+}
+
+TEST(DeepSTModelTest, InitialLossNearUniform) {
+  // Before training, route CE per transition should be near log(out-degree).
+  auto& world = TestWorld();
+  DeepSTModel model(world.net(), SmallConfig(), world.traffic_cache());
+  util::Rng rng(7);
+  auto batch = FirstTrips(16);
+  LossStats stats;
+  model.Loss(batch, &rng, &stats);
+  const double per_step = stats.route_ce * static_cast<double>(batch.size()) /
+                          stats.num_transitions;
+  EXPECT_GT(per_step, 0.4);
+  EXPECT_LT(per_step, std::log(world.net().MaxOutDegree()) + 1.0);
+}
+
+TEST(DeepSTModelTest, TrainingReducesLoss) {
+  auto& world = TestWorld();
+  DeepSTModel model(world.net(), SmallConfig(), world.traffic_cache());
+  TrainerConfig tcfg;
+  tcfg.max_epochs = 3;
+  tcfg.batch_size = 32;
+  tcfg.verbose = false;
+  Trainer trainer(&model, tcfg);
+  auto result = trainer.Fit(world.split().train, world.split().validation);
+  ASSERT_GE(result.epochs.size(), 2u);
+  EXPECT_LT(result.epochs.back().train_route_ce,
+            result.epochs.front().train_route_ce);
+  EXPECT_GT(result.total_seconds, 0.0);
+}
+
+TEST(DeepSTModelTest, PredictRouteValidAndStartsAtOrigin) {
+  auto& world = TestWorld();
+  DeepSTModel model(world.net(), SmallConfig(), world.traffic_cache());
+  util::Rng rng(8);
+  const auto* rec = world.split().test.front();
+  RouteQuery query = eval::QueryFor(rec->trip);
+  traj::Route route = model.PredictRoute(query, &rng);
+  EXPECT_EQ(route.front(), query.origin);
+  EXPECT_TRUE(world.net().ValidateRoute(route).ok());
+  EXPECT_LE(static_cast<int>(route.size()),
+            model.config().max_route_steps + 1);
+}
+
+TEST(DeepSTModelTest, MapPredictionDeterministic) {
+  auto& world = TestWorld();
+  DeepSTModel model(world.net(), SmallConfig(), world.traffic_cache());
+  util::Rng rng1(9), rng2(10);
+  const auto* rec = world.split().test.front();
+  RouteQuery query = eval::QueryFor(rec->trip);
+  EXPECT_EQ(model.PredictRoute(query, &rng1),
+            model.PredictRoute(query, &rng2));
+}
+
+TEST(DeepSTModelTest, ScoreRouteMatchesPredictionOrdering) {
+  auto& world = TestWorld();
+  DeepSTConfig cfg = SmallConfig();
+  DeepSTModel model(world.net(), cfg, world.traffic_cache());
+  // Train briefly so scores are informative.
+  TrainerConfig tcfg;
+  tcfg.max_epochs = 2;
+  tcfg.verbose = false;
+  Trainer trainer(&model, tcfg);
+  trainer.Fit(world.split().train, {});
+  util::Rng rng(11);
+  const auto* rec = world.split().test.front();
+  RouteQuery query = eval::QueryFor(rec->trip);
+  PredictionContext ctx = model.MakeContext(query, &rng);
+  const double truth_score = model.ScoreRoute(ctx, rec->trip.route);
+  EXPECT_TRUE(std::isfinite(truth_score));
+  EXPECT_LT(truth_score, 0.0);
+  // A disconnected "route" scores -inf.
+  traj::Route bad = {rec->trip.route.front(), rec->trip.route.front()};
+  if (!world.net().AreConsecutive(bad[0], bad[1])) {
+    EXPECT_TRUE(std::isinf(model.ScoreRoute(ctx, bad)));
+  }
+  // Single-segment route scores 0 (empty product).
+  EXPECT_DOUBLE_EQ(model.ScoreRoute(ctx, {rec->trip.route.front()}), 0.0);
+}
+
+TEST(DeepSTModelTest, AblationConfigsConstruct) {
+  auto& world = TestWorld();
+  DeepSTConfig base = SmallConfig();
+  // DeepST-C: no traffic encoder, no cache needed.
+  DeepSTConfig no_traffic = base;
+  no_traffic.use_traffic = false;
+  DeepSTModel deepst_c(world.net(), no_traffic, nullptr);
+  // CSSRNN.
+  DeepSTConfig cssrnn = no_traffic;
+  cssrnn.destination_mode = DestinationMode::kFinalSegment;
+  DeepSTModel cssrnn_model(world.net(), cssrnn, nullptr);
+  // RNN.
+  DeepSTConfig rnn = no_traffic;
+  rnn.destination_mode = DestinationMode::kNone;
+  DeepSTModel rnn_model(world.net(), rnn, nullptr);
+  // Param counts shrink as components are removed.
+  DeepSTModel full(world.net(), base, world.traffic_cache());
+  EXPECT_GT(full.NumParams(), deepst_c.NumParams());
+  EXPECT_GT(deepst_c.NumParams(), rnn_model.NumParams());
+  // Each can compute a loss.
+  util::Rng rng(12);
+  auto batch = FirstTrips(4);
+  EXPECT_TRUE(std::isfinite(deepst_c.Loss(batch, &rng)->value()[0]));
+  EXPECT_TRUE(std::isfinite(cssrnn_model.Loss(batch, &rng)->value()[0]));
+  EXPECT_TRUE(std::isfinite(rnn_model.Loss(batch, &rng)->value()[0]));
+}
+
+TEST(DeepSTModelTest, MaskInvalidSlotsOptionWorks) {
+  auto& world = TestWorld();
+  DeepSTConfig cfg = SmallConfig();
+  cfg.mask_invalid_slots = true;
+  cfg.use_traffic = false;
+  DeepSTModel model(world.net(), cfg, nullptr);
+  util::Rng rng(13);
+  auto batch = FirstTrips(4);
+  LossStats stats;
+  model.Loss(batch, &rng, &stats);
+  EXPECT_TRUE(std::isfinite(stats.total));
+}
+
+TEST(DeepSTModelTest, SerializationRoundTripPreservesPredictions) {
+  auto& world = TestWorld();
+  DeepSTConfig cfg = SmallConfig();
+  DeepSTModel a(world.net(), cfg, world.traffic_cache());
+  const std::string path = testing::TempDir() + "/deepst_model_rt.bin";
+  ASSERT_TRUE(nn::SaveParameters(a, path).ok());
+  cfg.seed = 999;  // different init
+  DeepSTModel b(world.net(), cfg, world.traffic_cache());
+  ASSERT_TRUE(nn::LoadParameters(&b, path).ok());
+  util::Rng rng1(14), rng2(14);
+  const auto* rec = world.split().test.front();
+  RouteQuery query = eval::QueryFor(rec->trip);
+  EXPECT_EQ(a.PredictRoute(query, &rng1), b.PredictRoute(query, &rng2));
+  std::remove(path.c_str());
+}
+
+TEST(ShouldStopTest, DeterministicThreshold) {
+  auto& world = TestWorld();
+  DeepSTConfig cfg;
+  cfg.sample_stop = false;
+  cfg.stop_distance_m = 100.0;
+  util::Rng rng(15);
+  const roadnet::SegmentId s = 0;
+  const geo::Point on_segment = world.net().SegmentMidpoint(s);
+  EXPECT_TRUE(ShouldStop(world.net(), on_segment, s, cfg, &rng));
+  const geo::Point far = on_segment + geo::Point{5000.0, 5000.0};
+  EXPECT_FALSE(ShouldStop(world.net(), far, s, cfg, &rng));
+}
+
+TEST(ShouldStopTest, SampledBernoulliRate) {
+  auto& world = TestWorld();
+  DeepSTConfig cfg;
+  cfg.sample_stop = true;
+  util::Rng rng(16);
+  const roadnet::SegmentId s = 0;
+  // Destination 1 km from the segment -> f_s = 0.5.
+  geo::Point dest = world.net().SegmentMidpoint(s);
+  const double d0 = world.net().ProjectToSegment(dest, s).distance;
+  dest = dest + geo::Point{0.0, 1000.0 + d0};
+  int stops = 0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    if (ShouldStop(world.net(), dest, s, cfg, &rng)) ++stops;
+  }
+  const double rate = stops / static_cast<double>(n);
+  EXPECT_NEAR(rate, 0.5, 0.06);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace deepst

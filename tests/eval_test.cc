@@ -1,0 +1,134 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/world.h"
+
+namespace deepst {
+namespace eval {
+namespace {
+
+TEST(MetricsTest, PerfectPrediction) {
+  traj::Route r = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(RecallAtN(r, r), 1.0);
+  EXPECT_DOUBLE_EQ(Accuracy(r, r), 1.0);
+}
+
+TEST(MetricsTest, DisjointPrediction) {
+  traj::Route truth = {1, 2, 3};
+  traj::Route pred = {7, 8, 9};
+  EXPECT_DOUBLE_EQ(RecallAtN(truth, pred), 0.0);
+  EXPECT_DOUBLE_EQ(Accuracy(truth, pred), 0.0);
+}
+
+TEST(MetricsTest, RecallTruncatesPrediction) {
+  traj::Route truth = {1, 2};
+  // Prediction contains the truth but is long; recall@n only sees the first
+  // |truth| segments.
+  traj::Route pred = {1, 5, 2, 2, 2};
+  EXPECT_DOUBLE_EQ(RecallAtN(truth, pred), 0.5);  // only '1' in the prefix
+  // Accuracy divides by max length.
+  EXPECT_DOUBLE_EQ(Accuracy(truth, pred), 2.0 / 5.0);
+}
+
+TEST(MetricsTest, AccuracyPenalizesOverlongPrediction) {
+  traj::Route truth = {1, 2, 3};
+  traj::Route exact = {1, 2, 3};
+  traj::Route padded = {1, 2, 3, 4, 5, 6};
+  EXPECT_GT(Accuracy(truth, exact), Accuracy(truth, padded));
+  EXPECT_DOUBLE_EQ(Accuracy(truth, padded), 0.5);
+}
+
+TEST(MetricsTest, MultisetSemantics) {
+  // Repeated segments only match up to their multiplicity.
+  traj::Route truth = {1, 2, 1};
+  traj::Route pred = {1, 1, 1};
+  EXPECT_DOUBLE_EQ(Accuracy(truth, pred), 2.0 / 3.0);
+}
+
+TEST(MetricsTest, ShortPredictionRecall) {
+  traj::Route truth = {1, 2, 3, 4};
+  traj::Route pred = {1, 2};
+  EXPECT_DOUBLE_EQ(RecallAtN(truth, pred), 0.5);
+  EXPECT_DOUBLE_EQ(Accuracy(truth, pred), 0.5);
+}
+
+TEST(MetricsTest, AccumulatorMeans) {
+  MetricAccumulator acc;
+  acc.Add({1, 2}, {1, 2});
+  acc.Add({1, 2}, {7, 8});
+  EXPECT_EQ(acc.count, 2);
+  EXPECT_DOUBLE_EQ(acc.mean_recall(), 0.5);
+  EXPECT_DOUBLE_EQ(acc.mean_accuracy(), 0.5);
+  MetricAccumulator empty;
+  EXPECT_DOUBLE_EQ(empty.mean_recall(), 0.0);
+}
+
+TEST(MetricsTest, DistanceBuckets) {
+  EXPECT_EQ(DistanceBucket(0.5), -1);
+  EXPECT_EQ(DistanceBucket(1.0), 0);
+  EXPECT_EQ(DistanceBucket(2.99), 0);
+  EXPECT_EQ(DistanceBucket(4.0), 1);
+  EXPECT_EQ(DistanceBucket(7.5), 2);
+  EXPECT_EQ(DistanceBucket(12.0), 3);
+  EXPECT_EQ(DistanceBucket(17.0), 4);
+  EXPECT_EQ(DistanceBucket(22.0), 5);
+  EXPECT_EQ(DistanceBucket(27.0), 6);
+  EXPECT_EQ(DistanceBucket(55.0), 7);
+  EXPECT_EQ(NumDistanceBuckets(), 8);
+}
+
+TEST(WorldTest, PresetsSaneAndDeterministic) {
+  WorldConfig cfg = ChengduMiniWorld(0.1);
+  EXPECT_EQ(cfg.name, "chengdu-mini");
+  EXPECT_GT(cfg.generator.trips_per_day, 0);
+  WorldConfig harbin = HarbinMiniWorld(0.1);
+  EXPECT_GT(harbin.generator.max_route_m, cfg.generator.max_route_m);
+}
+
+TEST(WorldTest, QueryForCopiesTripFields) {
+  traj::Trip trip;
+  trip.route = {3, 4, 5};
+  trip.destination = {10, 20};
+  trip.start_time_s = 777.0;
+  auto q = QueryFor(trip);
+  EXPECT_EQ(q.origin, 3);
+  EXPECT_EQ(q.final_segment, 5);
+  EXPECT_DOUBLE_EQ(q.start_time_s, 777.0);
+  EXPECT_DOUBLE_EQ(q.destination.x, 10.0);
+}
+
+TEST(WorldTest, EvaluatePredictionCountsAndBuckets) {
+  static World* world = [] {
+    WorldConfig cfg = ChengduMiniWorld(0.1);
+    cfg.name = "eval-test-world";
+    cfg.city.rows = 7;
+    cfg.city.cols = 7;
+    cfg.generator.num_days = 3;
+    cfg.train_days = 1;
+    cfg.val_days = 1;
+    return new World(cfg);
+  }();
+  // A "perfect oracle" predictor: return the ground-truth route by matching
+  // on origin+time (identity map through the test set).
+  size_t idx = 0;
+  std::vector<const traj::TripRecord*> test = world->split().test;
+  auto oracle = [&](const core::RouteQuery& query) -> traj::Route {
+    (void)query;
+    return test[idx++]->trip.route;
+  };
+  EvalResult res = EvaluatePrediction(*world, oracle, 20);
+  EXPECT_GT(res.num_trips, 0);
+  EXPECT_LE(res.num_trips, 20);
+  EXPECT_DOUBLE_EQ(res.recall_at_n, 1.0);
+  EXPECT_DOUBLE_EQ(res.accuracy, 1.0);
+  ASSERT_EQ(res.bucket_accuracy.size(),
+            static_cast<size_t>(NumDistanceBuckets()));
+  int bucket_total = 0;
+  for (int c : res.bucket_counts) bucket_total += c;
+  EXPECT_LE(bucket_total, res.num_trips);
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace deepst

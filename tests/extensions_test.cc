@@ -1,0 +1,187 @@
+// Tests for the extension features beyond the paper's core: the
+// second-order Markov baseline, route ranking (popular routes), and
+// scheduled sampling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/markov2.h"
+#include "baselines/mmi.h"
+#include "baselines/neural_router.h"
+#include "core/route_ranking.h"
+#include "eval/world.h"
+
+namespace deepst {
+namespace {
+
+eval::World& TestWorld() {
+  static eval::World* world = [] {
+    eval::WorldConfig cfg = eval::ChengduMiniWorld(0.15);
+    cfg.name = "extensions-test-world";
+    cfg.city.rows = 7;
+    cfg.city.cols = 7;
+    cfg.generator.num_days = 4;
+    cfg.generator.max_route_m = 6000.0;
+    cfg.train_days = 2;
+    cfg.val_days = 1;
+    return new eval::World(cfg);
+  }();
+  return *world;
+}
+
+TEST(SecondOrderMarkovTest, ProbsNormalizedPerContext) {
+  auto& world = TestWorld();
+  baselines::SecondOrderMarkovRouter mm2(world.net(), core::DeepSTConfig{});
+  mm2.Train(world.split().train);
+  // Pick an observed context from a training route.
+  const auto& route = world.split().train.front()->trip.route;
+  ASSERT_GE(route.size(), 3u);
+  double total = 0.0;
+  for (auto nxt : world.net().OutSegments(route[1])) {
+    total += mm2.TransitionProb(route[0], route[1], nxt);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // First-step fallback (no prev) also normalized.
+  total = 0.0;
+  for (auto nxt : world.net().OutSegments(route[0])) {
+    total += mm2.TransitionProb(roadnet::kInvalidSegment, route[0], nxt);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(SecondOrderMarkovTest, SecondOrderSharpensObservedContext) {
+  auto& world = TestWorld();
+  baselines::SecondOrderMarkovRouter mm2(world.net(), core::DeepSTConfig{});
+  baselines::MarkovRouter mm1(world.net(), core::DeepSTConfig{});
+  mm2.Train(world.split().train);
+  mm1.Train(world.split().train);
+  // On average over training transitions, the 2nd-order model should assign
+  // roughly at least as much probability to the realized next segment; a
+  // small slack absorbs add-one smoothing noise on sparse contexts.
+  double ll2 = 0.0, ll1 = 0.0;
+  int n = 0;
+  for (const auto* rec : world.split().train) {
+    const auto& r = rec->trip.route;
+    for (size_t i = 1; i + 1 < r.size(); ++i) {
+      ll2 += std::log(mm2.TransitionProb(r[i - 1], r[i], r[i + 1]));
+      ll1 += std::log(mm1.TransitionProb(r[i], r[i + 1]));
+      ++n;
+    }
+  }
+  ASSERT_GT(n, 50);
+  EXPECT_GE(ll2 / n, ll1 / n - 0.05);
+}
+
+TEST(SecondOrderMarkovTest, PredictAndScore) {
+  auto& world = TestWorld();
+  baselines::SecondOrderMarkovRouter mm2(world.net(), core::DeepSTConfig{});
+  mm2.Train(world.split().train);
+  util::Rng rng(2);
+  const auto* rec = world.split().test.front();
+  auto route = mm2.PredictRoute(eval::QueryFor(rec->trip), &rng);
+  EXPECT_TRUE(world.net().ValidateRoute(route).ok());
+  const double s =
+      mm2.ScoreRoute(eval::QueryFor(rec->trip), rec->trip.route, &rng);
+  EXPECT_TRUE(std::isfinite(s));
+  EXPECT_LT(s, 0.0);
+}
+
+TEST(RouteRankingTest, RanksCandidatesSortedAndNormalized) {
+  auto& world = TestWorld();
+  core::DeepSTConfig cfg;
+  cfg.gru_hidden = 16;
+  cfg.gru_layers = 1;
+  cfg.segment_embedding_dim = 8;
+  cfg.num_proxies = 8;
+  cfg.use_traffic = false;
+  core::DeepSTModel model(world.net(), cfg, nullptr);
+  util::Rng rng(3);
+  const auto* rec = world.split().test.front();
+  auto ranked = core::RankCandidateRoutes(&model, world.index(),
+                                          eval::QueryFor(rec->trip), 5, &rng);
+  ASSERT_GE(ranked.size(), 1u);
+  double prob_sum = 0.0;
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    EXPECT_TRUE(world.net().ValidateRoute(ranked[i].route).ok());
+    EXPECT_EQ(ranked[i].route.front(), rec->trip.origin_segment());
+    if (i > 0) {
+      EXPECT_GE(ranked[i - 1].log_likelihood, ranked[i].log_likelihood);
+    }
+    prob_sum += ranked[i].probability;
+  }
+  EXPECT_NEAR(prob_sum, 1.0, 1e-6);
+}
+
+TEST(RouteRankingTest, ExplicitCandidateSet) {
+  auto& world = TestWorld();
+  core::DeepSTConfig cfg;
+  cfg.gru_hidden = 16;
+  cfg.gru_layers = 1;
+  cfg.segment_embedding_dim = 8;
+  cfg.num_proxies = 8;
+  cfg.use_traffic = false;
+  core::DeepSTModel model(world.net(), cfg, nullptr);
+  util::Rng rng(4);
+  const auto* rec = world.split().test.front();
+  // The true route and a truncated variant.
+  traj::Route half(rec->trip.route.begin(),
+                   rec->trip.route.begin() +
+                       static_cast<long>(rec->trip.route.size() / 2 + 1));
+  auto ranked = core::RankRoutes(&model, eval::QueryFor(rec->trip),
+                                 {rec->trip.route, half}, &rng);
+  ASSERT_EQ(ranked.size(), 2u);
+  // Shorter prefix accumulates fewer negative log terms -> ranks first in
+  // raw likelihood. (This is exactly why recovery combines it with the
+  // temporal term.)
+  EXPECT_LE(ranked[0].route.size(), ranked[1].route.size());
+}
+
+TEST(ScheduledSamplingTest, LossFiniteAndTrains) {
+  auto& world = TestWorld();
+  core::DeepSTConfig cfg;
+  cfg.gru_hidden = 16;
+  cfg.gru_layers = 1;
+  cfg.segment_embedding_dim = 8;
+  cfg.num_proxies = 8;
+  cfg.use_traffic = false;
+  cfg.scheduled_sampling_prob = 0.3f;
+  core::DeepSTModel model(world.net(), cfg, nullptr);
+  core::TrainerConfig tcfg;
+  tcfg.max_epochs = 3;
+  tcfg.verbose = false;
+  core::Trainer trainer(&model, tcfg);
+  auto result = trainer.Fit(world.split().train, {});
+  ASSERT_GE(result.epochs.size(), 2u);
+  EXPECT_TRUE(std::isfinite(result.epochs.back().train_loss));
+  EXPECT_LT(result.epochs.back().train_route_ce,
+            result.epochs.front().train_route_ce + 0.1);
+}
+
+TEST(ScheduledSamplingTest, EvalModeUnaffected) {
+  // With training=false the substitution must not kick in: losses for
+  // prob=0 and prob=0.9 models with identical weights coincide.
+  auto& world = TestWorld();
+  core::DeepSTConfig cfg;
+  cfg.gru_hidden = 16;
+  cfg.gru_layers = 1;
+  cfg.segment_embedding_dim = 8;
+  cfg.num_proxies = 8;
+  cfg.use_traffic = false;
+  cfg.seed = 77;
+  core::DeepSTModel a(world.net(), cfg, nullptr);
+  cfg.scheduled_sampling_prob = 0.9f;
+  core::DeepSTModel b(world.net(), cfg, nullptr);  // same seed -> same init
+  std::vector<const traj::Trip*> batch;
+  for (const auto* rec : world.split().train) {
+    if (batch.size() >= 8) break;
+    batch.push_back(&rec->trip);
+  }
+  util::Rng r1(5), r2(5);
+  core::LossStats sa, sb;
+  a.Loss(batch, &r1, &sa, /*training=*/false);
+  b.Loss(batch, &r2, &sb, /*training=*/false);
+  EXPECT_DOUBLE_EQ(sa.route_ce, sb.route_ce);
+}
+
+}  // namespace
+}  // namespace deepst

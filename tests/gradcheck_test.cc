@@ -1,0 +1,290 @@
+// Finite-difference gradient verification for every differentiable op and
+// layer. Each case rebuilds the forward graph from the same parameters, so
+// stochastic ops must draw identical noise on every call -- achieved by
+// re-seeding the Rng inside the closure.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/conv_layers.h"
+#include "nn/conv_ops.h"
+#include "nn/layers.h"
+#include "nn/ops.h"
+
+namespace deepst {
+namespace nn {
+namespace {
+
+namespace o = ops;
+
+using LossFn = std::function<VarPtr()>;
+
+// Checks d(loss)/d(param) for each element of each param against central
+// finite differences.
+void CheckGradients(const std::vector<VarPtr>& params, const LossFn& loss_fn,
+                    float h = 1e-2f, float rel_tol = 3e-2f,
+                    float abs_tol = 2e-3f) {
+  // Analytic gradients.
+  for (auto& p : params) p->ZeroGrad();
+  VarPtr loss = loss_fn();
+  ASSERT_EQ(loss->value().numel(), 1);
+  Backward(loss);
+  for (const auto& p : params) {
+    Tensor analytic = p->grad();
+    for (int64_t i = 0; i < p->value().numel(); ++i) {
+      const float orig = p->value()[i];
+      p->value()[i] = orig + h;
+      const float fp = loss_fn()->value()[0];
+      p->value()[i] = orig - h;
+      const float fm = loss_fn()->value()[0];
+      p->value()[i] = orig;
+      const float numeric = (fp - fm) / (2 * h);
+      const float a = analytic[i];
+      const float err = std::fabs(a - numeric);
+      const float scale = std::max({std::fabs(a), std::fabs(numeric), 1.0f});
+      EXPECT_LE(err, rel_tol * scale + abs_tol)
+          << "param elem " << i << ": analytic " << a << " numeric "
+          << numeric;
+    }
+  }
+}
+
+VarPtr P(std::vector<int64_t> shape, uint64_t seed, float scale = 1.0f) {
+  util::Rng rng(seed);
+  return MakeVar(Tensor::Uniform(std::move(shape), -scale, scale, &rng),
+                 true);
+}
+
+TEST(GradCheck, ElementwiseChain) {
+  VarPtr a = P({3, 4}, 1);
+  VarPtr b = P({3, 4}, 2);
+  CheckGradients({a, b}, [&] {
+    return o::Sum(o::Mul(o::Tanh(a), o::Sigmoid(o::Sub(a, b))));
+  });
+}
+
+TEST(GradCheck, DivAndSquare) {
+  VarPtr a = P({2, 3}, 3);
+  VarPtr b = MakeVar(Tensor::Full({2, 3}, 2.0f), true);
+  CheckGradients({a, b},
+                 [&] { return o::Sum(o::Div(o::Square(a), b)); });
+}
+
+TEST(GradCheck, ExpLogSoftplus) {
+  VarPtr a = P({2, 2}, 4, 0.5f);
+  CheckGradients({a}, [&] {
+    return o::Sum(o::Log(o::ScalarAdd(o::Exp(a), 1.5f)));
+  });
+  VarPtr b = P({2, 2}, 5);
+  CheckGradients({b}, [&] { return o::Sum(o::Softplus(b)); });
+}
+
+TEST(GradCheck, ScalarOpsAndNeg) {
+  VarPtr a = P({5}, 6);
+  CheckGradients({a}, [&] {
+    return o::Sum(o::Neg(o::RSubScalar(2.0f, o::ScalarMul(a, 3.0f))));
+  });
+}
+
+TEST(GradCheck, MatMul) {
+  VarPtr a = P({3, 4}, 7);
+  VarPtr b = P({4, 2}, 8);
+  CheckGradients({a, b},
+                 [&] { return o::Sum(o::Tanh(o::MatMul(a, b))); });
+}
+
+TEST(GradCheck, LinearWithBias) {
+  VarPtr x = P({3, 4}, 9);
+  VarPtr w = P({2, 4}, 10);
+  VarPtr b = P({2}, 11);
+  CheckGradients({x, w, b},
+                 [&] { return o::Sum(o::Sigmoid(o::Linear(x, w, b))); });
+}
+
+TEST(GradCheck, RowSumWeightedSumMean) {
+  VarPtr a = P({3, 4}, 12);
+  util::Rng wr(13);
+  Tensor weights = Tensor::Uniform({3}, 0.0f, 1.0f, &wr);
+  CheckGradients({a}, [&] {
+    return o::WeightedSum(o::RowSum(o::Square(a)),
+                          weights.Reshape({3}));
+  });
+  CheckGradients({a}, [&] { return o::Mean(o::Tanh(a)); });
+}
+
+TEST(GradCheck, ConcatSliceReshape) {
+  VarPtr a = P({2, 3}, 14);
+  VarPtr b = P({2, 2}, 15);
+  CheckGradients({a, b}, [&] {
+    VarPtr cat = o::ConcatCols({a, b});
+    VarPtr left = o::SliceCols(cat, 1, 3);
+    return o::Sum(o::Square(o::Reshape(left, {3, 2})));
+  });
+}
+
+TEST(GradCheck, Embedding) {
+  VarPtr table = P({5, 3}, 16);
+  const std::vector<int> ids = {0, 4, 2, 4};
+  CheckGradients({table}, [&] {
+    return o::Sum(o::Tanh(o::EmbeddingLookup(table, ids)));
+  });
+}
+
+TEST(GradCheck, SoftmaxAndLogSoftmax) {
+  VarPtr a = P({3, 5}, 17);
+  util::Rng wr(18);
+  Tensor w = Tensor::Uniform({3, 5}, -1.0f, 1.0f, &wr);
+  CheckGradients({a}, [&] { return o::WeightedSum(o::Softmax(a), w); });
+  CheckGradients({a}, [&] { return o::WeightedSum(o::LogSoftmax(a), w); });
+}
+
+TEST(GradCheck, CrossEntropy) {
+  VarPtr logits = P({4, 6}, 19);
+  const std::vector<int> targets = {0, 5, 2, 2};
+  const std::vector<float> weights = {1.0f, 0.5f, 0.0f, 2.0f};
+  CheckGradients({logits}, [&] {
+    return o::CrossEntropyLoss(logits, targets, weights);
+  });
+}
+
+TEST(GradCheck, KlStandardNormal) {
+  VarPtr mu = P({2, 4}, 20);
+  VarPtr logvar = P({2, 4}, 21, 0.5f);
+  CheckGradients({mu, logvar},
+                 [&] { return o::KlStandardNormal(mu, logvar); });
+}
+
+TEST(GradCheck, CategoricalKlToUniform) {
+  VarPtr logits = P({3, 4}, 22);
+  CheckGradients({logits},
+                 [&] { return o::CategoricalKlToUniform(logits); });
+}
+
+TEST(GradCheck, GaussianReparameterizeFixedNoise) {
+  VarPtr mu = P({2, 3}, 23);
+  VarPtr logvar = P({2, 3}, 24, 0.5f);
+  CheckGradients({mu, logvar}, [&] {
+    util::Rng rng(99);  // identical noise on every rebuild
+    return o::Sum(
+        o::Square(o::GaussianReparameterize(mu, logvar, &rng)));
+  });
+}
+
+TEST(GradCheck, GumbelSoftmaxFixedNoise) {
+  VarPtr logits = P({2, 4}, 25);
+  util::Rng wr(26);
+  Tensor w = Tensor::Uniform({2, 4}, -1.0f, 1.0f, &wr);
+  CheckGradients(
+      {logits},
+      [&] {
+        util::Rng rng(77);
+        return o::WeightedSum(o::GumbelSoftmaxSample(logits, 1.0f, &rng), w);
+      },
+      /*h=*/5e-3f, /*rel_tol=*/5e-2f, /*abs_tol=*/5e-3f);
+}
+
+TEST(GradCheck, GaussianLogProb) {
+  util::Rng xr(27);
+  Tensor x = Tensor::Uniform({3, 2}, -1.0f, 1.0f, &xr);
+  Tensor rw = Tensor::FromVector({3}, {1.0f, 0.0f, 0.7f});
+  VarPtr mean = P({3, 2}, 28);
+  VarPtr raw_var = P({3, 2}, 29, 0.5f);
+  CheckGradients({mean, raw_var}, [&] {
+    // Keep variance positive through softplus, as the model does.
+    VarPtr var = o::ScalarAdd(o::Softplus(raw_var), 0.05f);
+    return o::GaussianLogProb(x, mean, var, rw);
+  });
+}
+
+TEST(GradCheck, Conv2d) {
+  VarPtr x = P({2, 2, 5, 5}, 30);
+  VarPtr w = P({3, 2, 3, 3}, 31, 0.5f);
+  VarPtr b = P({3}, 32);
+  CheckGradients(
+      {x, w, b},
+      [&] { return o::Mean(o::Tanh(o::Conv2d(x, w, b, 2, 1))); },
+      /*h=*/1e-2f, /*rel_tol=*/4e-2f, /*abs_tol=*/3e-3f);
+}
+
+TEST(GradCheck, BatchNormTraining) {
+  VarPtr x = P({3, 2, 2, 2}, 33);
+  VarPtr gamma = MakeVar(Tensor::Full({2}, 1.2f), true);
+  VarPtr beta = MakeVar(Tensor::Full({2}, -0.3f), true);
+  util::Rng wr(34);
+  Tensor w = Tensor::Uniform({3 * 2 * 2 * 2}, -1.0f, 1.0f, &wr);
+  CheckGradients(
+      {x, gamma, beta},
+      [&] {
+        ops::BatchNormState state;  // fresh running stats each call
+        state.running_mean = Tensor::Zeros({2});
+        state.running_var = Tensor::Full({2}, 1.0f);
+        VarPtr y = o::BatchNorm2d(x, gamma, beta, &state, true);
+        return o::WeightedSum(o::Reshape(y, {24}), w);
+      },
+      /*h=*/1e-2f, /*rel_tol=*/5e-2f, /*abs_tol=*/5e-3f);
+}
+
+TEST(GradCheck, PoolingOps) {
+  VarPtr x = P({2, 3, 4, 4}, 35);
+  CheckGradients({x},
+                 [&] { return o::Sum(o::Square(o::GlobalAvgPool2d(x))); });
+  CheckGradients({x}, [&] { return o::Sum(o::Square(o::AvgPool2d(x, 2))); });
+}
+
+TEST(GradCheck, GruCellStep) {
+  util::Rng rng(36);
+  GruCell cell(3, 4, &rng);
+  VarPtr x = P({2, 3}, 37);
+  VarPtr h = P({2, 4}, 38);
+  std::vector<VarPtr> all = {x, h};
+  for (const auto& p : cell.Parameters()) all.push_back(p.var);
+  CheckGradients(all, [&] { return o::Sum(o::Square(cell.Step(x, h))); });
+}
+
+TEST(GradCheck, StackedGruUnrolled) {
+  util::Rng rng(39);
+  StackedGru gru(3, 4, 2, &rng);
+  VarPtr x0 = P({2, 3}, 40);
+  VarPtr x1 = P({2, 3}, 41);
+  std::vector<VarPtr> all = {x0, x1};
+  for (const auto& p : gru.Parameters()) all.push_back(p.var);
+  CheckGradients(
+      all,
+      [&] {
+        auto state = gru.InitialState(2);
+        gru.Step(x0, &state);
+        VarPtr top = gru.Step(x1, &state);
+        return o::Sum(o::Tanh(top));
+      },
+      /*h=*/1e-2f, /*rel_tol=*/4e-2f, /*abs_tol=*/3e-3f);
+}
+
+TEST(GradCheck, MlpEndToEnd) {
+  util::Rng rng(42);
+  Mlp mlp({3, 8, 8, 2}, Activation::kLeakyRelu, &rng);
+  VarPtr x = P({4, 3}, 43);
+  std::vector<VarPtr> all = {x};
+  for (const auto& p : mlp.Parameters()) all.push_back(p.var);
+  CheckGradients(all,
+                 [&] { return o::Sum(o::Square(mlp.Forward(x))); });
+}
+
+TEST(GradCheck, ConvBlockEndToEnd) {
+  util::Rng rng(44);
+  ConvBlock block(2, 3, 3, 2, 1, &rng);
+  VarPtr x = P({2, 2, 6, 6}, 45);
+  // Check only conv weights (batch-norm params covered above); keep the
+  // case fast.
+  std::vector<VarPtr> params = {x};
+  CheckGradients(
+      params,
+      [&] {
+        return o::Mean(o::Square(block.Forward(x, /*training=*/false)));
+      },
+      /*h=*/1e-2f, /*rel_tol=*/5e-2f, /*abs_tol=*/5e-3f);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace deepst

@@ -1,0 +1,157 @@
+// End-to-end pipeline test: build a world, train DeepST and the ablation
+// ladder, and verify the qualitative ordering the paper reports in Table IV
+// (destination information helps a lot; the full model beats the
+// destination-blind baselines). Uses a small-but-real world, so this is the
+// slowest test in the suite.
+#include <gtest/gtest.h>
+
+#include "baselines/mmi.h"
+#include "baselines/neural_router.h"
+#include "baselines/wsp.h"
+#include "eval/world.h"
+#include "recovery/strs.h"
+
+namespace deepst {
+namespace {
+
+struct Pipeline {
+  std::unique_ptr<eval::World> world;
+  std::unique_ptr<core::DeepSTModel> deepst;
+  std::unique_ptr<core::DeepSTModel> rnn;
+  eval::EvalResult deepst_result;
+  eval::EvalResult rnn_result;
+  eval::EvalResult mmi_result;
+  eval::EvalResult wsp_result;
+};
+
+Pipeline& SharedPipeline() {
+  static Pipeline* p = [] {
+    auto* pipe = new Pipeline();
+    eval::WorldConfig cfg = eval::ChengduMiniWorld(1.0);
+    cfg.name = "integration-world";
+    cfg.city.rows = 8;
+    cfg.city.cols = 8;
+    cfg.generator.num_days = 16;
+    cfg.generator.trips_per_day = 160;
+    cfg.generator.max_route_m = 7000.0;
+    cfg.train_days = 13;
+    cfg.val_days = 1;
+    pipe->world = std::make_unique<eval::World>(cfg);
+    eval::World& world = *pipe->world;
+
+    core::DeepSTConfig base;
+    base.segment_embedding_dim = 16;
+    base.gru_hidden = 32;
+    base.gru_layers = 2;
+    base.dest_dim = 16;
+    base.traffic_dim = 8;
+    base.num_proxies = 32;
+    base.cnn_channels = 8;
+    base.mlp_hidden = 32;
+
+    core::TrainerConfig tcfg;
+    tcfg.max_epochs = 20;
+    tcfg.patience = 6;
+    tcfg.verbose = false;
+
+    pipe->deepst = eval::TrainModel(
+        &world, baselines::DeepStConfigOf(base), tcfg);
+    pipe->rnn =
+        eval::TrainModel(&world, baselines::RnnConfigOf(base), tcfg);
+
+    baselines::MarkovRouter mmi(world.net(), base);
+    mmi.Train(world.split().train);
+    baselines::WspRouter wsp(world.net(), world.index(),
+                             world.segment_stats());
+
+    const int kMaxTrips = 120;
+    util::Rng rng(7);
+    pipe->deepst_result = eval::EvaluatePrediction(
+        world,
+        [&](const core::RouteQuery& q) {
+          return pipe->deepst->PredictRoute(q, &rng);
+        },
+        kMaxTrips);
+    pipe->rnn_result = eval::EvaluatePrediction(
+        world,
+        [&](const core::RouteQuery& q) {
+          return pipe->rnn->PredictRoute(q, &rng);
+        },
+        kMaxTrips);
+    pipe->mmi_result = eval::EvaluatePrediction(
+        world,
+        [&](const core::RouteQuery& q) { return mmi.PredictRoute(q, &rng); },
+        kMaxTrips);
+    pipe->wsp_result = eval::EvaluatePrediction(
+        world,
+        [&](const core::RouteQuery& q) { return wsp.PredictRoute(q, &rng); },
+        kMaxTrips);
+    return pipe;
+  }();
+  return *p;
+}
+
+TEST(IntegrationTest, AllMethodsProduceMetrics) {
+  Pipeline& p = SharedPipeline();
+  for (const auto* r :
+       {&p.deepst_result, &p.rnn_result, &p.mmi_result, &p.wsp_result}) {
+    EXPECT_GT(r->num_trips, 50);
+    EXPECT_GE(r->recall_at_n, 0.0);
+    EXPECT_LE(r->recall_at_n, 1.0);
+    EXPECT_GE(r->accuracy, 0.0);
+    EXPECT_LE(r->accuracy, 1.0);
+  }
+}
+
+TEST(IntegrationTest, DeepStLearnsSomething) {
+  Pipeline& p = SharedPipeline();
+  // Must clearly beat random-walk territory on this small world.
+  EXPECT_GT(p.deepst_result.recall_at_n, 0.35);
+  EXPECT_GT(p.deepst_result.accuracy, 0.3);
+}
+
+TEST(IntegrationTest, DestinationAwarenessBeatsBlindBaselines) {
+  // Paper Table IV ordering: DeepST > RNN > MMI. On this deliberately small
+  // 8x8 test city the destination-blind RNN profits disproportionately from
+  // the shared stop rule (an unguided walk often stumbles onto a nearby
+  // destination), so the margin over RNN is thinner than on the bench
+  // cities -- we assert the ordering plus a solid margin over MMI.
+  Pipeline& p = SharedPipeline();
+  EXPECT_GT(p.deepst_result.accuracy, p.rnn_result.accuracy);
+  EXPECT_GT(p.deepst_result.accuracy, p.mmi_result.accuracy + 0.08);
+  EXPECT_GT(p.deepst_result.recall_at_n, p.rnn_result.recall_at_n);
+  EXPECT_GT(p.deepst_result.recall_at_n, p.mmi_result.recall_at_n + 0.05);
+}
+
+TEST(IntegrationTest, DeepStCompetitiveWithWsp) {
+  // WSP is structurally strong on the synthetic substrate (drivers are
+  // noisy cost minimizers; see EXPERIMENTS.md) and the small test city
+  // favors it further; DeepST must stay within striking distance. On the
+  // full bench cities the gap is ~3-5pp.
+  Pipeline& p = SharedPipeline();
+  EXPECT_GT(p.deepst_result.accuracy, p.wsp_result.accuracy - 0.12);
+}
+
+TEST(IntegrationTest, StrsPlusRecoversRoutes) {
+  Pipeline& p = SharedPipeline();
+  eval::World& world = *p.world;
+  recovery::DeepStSpatialScorer scorer(p.deepst.get());
+  recovery::StrsRecovery strs_plus(world.net(), world.index(),
+                                   world.segment_stats(), &scorer);
+  util::Rng rng(11);
+  eval::MetricAccumulator acc;
+  for (size_t i = 0; i < world.split().test.size() && acc.count < 20; ++i) {
+    const auto* rec = world.split().test[i];
+    auto sparse = traj::DownsampleByInterval(rec->gps, 120.0);
+    if (sparse.size() < 2) continue;
+    auto recovered = strs_plus.RecoverTrajectory(
+        sparse, rec->trip.destination, rec->trip.start_time_s, &rng);
+    if (!recovered.ok()) continue;
+    acc.Add(rec->trip.route, recovered.value());
+  }
+  ASSERT_GE(acc.count, 10);
+  EXPECT_GT(acc.mean_accuracy(), 0.6);
+}
+
+}  // namespace
+}  // namespace deepst

@@ -1,0 +1,166 @@
+#include "nn/layers.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "nn/conv_layers.h"
+#include "nn/serialize.h"
+
+namespace deepst {
+namespace nn {
+namespace {
+
+namespace o = ops;
+
+TEST(LinearLayerTest, ShapesAndParamCount) {
+  util::Rng rng(1);
+  LinearLayer fc(8, 3, &rng);
+  EXPECT_EQ(fc.NumParams(), 8 * 3 + 3);
+  VarPtr x = Constant(Tensor::Zeros({5, 8}));
+  VarPtr y = fc.Forward(x);
+  EXPECT_EQ(y->value().dim(0), 5);
+  EXPECT_EQ(y->value().dim(1), 3);
+}
+
+TEST(LinearLayerTest, NoBiasOption) {
+  util::Rng rng(1);
+  LinearLayer fc(4, 2, &rng, /*bias=*/false);
+  EXPECT_EQ(fc.NumParams(), 8);
+  VarPtr x = Constant(Tensor::Zeros({1, 4}));
+  VarPtr y = fc.Forward(x);
+  EXPECT_FLOAT_EQ(y->value()[0], 0.0f);  // zero input, no bias
+}
+
+TEST(MlpTest, TrunkAndHeadSplit) {
+  util::Rng rng(2);
+  Mlp mlp({4, 16, 3}, Activation::kTanh, &rng);
+  VarPtr x = Constant(Tensor::Full({2, 4}, 0.3f));
+  VarPtr h = mlp.ForwardHidden(x);
+  EXPECT_EQ(h->value().dim(1), 16);
+  VarPtr y = mlp.ForwardOutput(h);
+  EXPECT_EQ(y->value().dim(1), 3);
+  // Forward == output(hidden(x)).
+  VarPtr y2 = mlp.Forward(x);
+  for (int64_t i = 0; i < y->value().numel(); ++i) {
+    EXPECT_FLOAT_EQ(y->value()[i], y2->value()[i]);
+  }
+}
+
+TEST(EmbeddingLayerTest, LookupShape) {
+  util::Rng rng(3);
+  EmbeddingLayer emb(10, 6, &rng);
+  VarPtr e = emb.Forward({1, 9, 0});
+  EXPECT_EQ(e->value().dim(0), 3);
+  EXPECT_EQ(e->value().dim(1), 6);
+  // Same id -> same row.
+  VarPtr e2 = emb.Forward({9});
+  for (int64_t d = 0; d < 6; ++d) {
+    EXPECT_FLOAT_EQ(e->value().at(1, d), e2->value().at(0, d));
+  }
+}
+
+TEST(GruCellTest, ZeroStateBounded) {
+  util::Rng rng(4);
+  GruCell cell(3, 5, &rng);
+  VarPtr x = Constant(Tensor::Full({2, 3}, 10.0f));
+  VarPtr h = Constant(Tensor::Zeros({2, 5}));
+  VarPtr h1 = cell.Step(x, h);
+  // GRU output is a convex combination of tanh output and previous state, so
+  // it stays in (-1, 1) from a zero state.
+  for (int64_t i = 0; i < h1->value().numel(); ++i) {
+    EXPECT_GT(h1->value()[i], -1.0f);
+    EXPECT_LT(h1->value()[i], 1.0f);
+  }
+}
+
+TEST(GruCellTest, StateEvolves) {
+  util::Rng rng(5);
+  GruCell cell(2, 4, &rng);
+  VarPtr x = Constant(Tensor::Full({1, 2}, 1.0f));
+  VarPtr h = Constant(Tensor::Zeros({1, 4}));
+  VarPtr h1 = cell.Step(x, h);
+  VarPtr h2 = cell.Step(x, h1);
+  float diff = 0.0f;
+  for (int64_t i = 0; i < 4; ++i) {
+    diff += std::fabs(h2->value()[i] - h1->value()[i]);
+  }
+  EXPECT_GT(diff, 1e-4f);
+}
+
+TEST(StackedGruTest, LayerCountAndState) {
+  util::Rng rng(6);
+  StackedGru gru(3, 4, 3, &rng);
+  EXPECT_EQ(gru.num_layers(), 3);
+  auto state = gru.InitialState(2);
+  ASSERT_EQ(state.size(), 3u);
+  VarPtr x = Constant(Tensor::Full({2, 3}, 0.5f));
+  VarPtr top = gru.Step(x, &state);
+  EXPECT_EQ(top->value().dim(1), 4);
+  // All layer states updated away from zero.
+  for (const auto& s : state) {
+    EXPECT_GT(s->value().MaxAbs(), 0.0f);
+  }
+}
+
+TEST(ConvLayersTest, ConvBlockOutputShape) {
+  util::Rng rng(7);
+  ConvBlock block(2, 4, 3, 2, 1, &rng);
+  VarPtr x = Constant(Tensor::Zeros({3, 2, 8, 8}));
+  VarPtr y = block.Forward(x, /*training=*/true);
+  EXPECT_EQ(y->value().dim(0), 3);
+  EXPECT_EQ(y->value().dim(1), 4);
+  EXPECT_EQ(y->value().dim(2), 4);
+}
+
+TEST(ModuleTest, SubmoduleParamsPrefixed) {
+  util::Rng rng(8);
+  Mlp mlp({2, 3, 1}, Activation::kRelu, &rng);
+  bool found = false;
+  for (const auto& p : mlp.Parameters()) {
+    if (p.name == "fc0/weight") found = true;
+  }
+  EXPECT_TRUE(found);
+  EXPECT_EQ(mlp.Parameters().size(), 4u);  // 2 layers x (w, b)
+}
+
+TEST(SerializeTest, SaveLoadRoundTrip) {
+  util::Rng rng(9);
+  Mlp a({3, 5, 2}, Activation::kTanh, &rng);
+  Mlp b({3, 5, 2}, Activation::kTanh, &rng);  // different init
+  const std::string path = testing::TempDir() + "/deepst_params_test.bin";
+  ASSERT_TRUE(SaveParameters(a, path).ok());
+  ASSERT_TRUE(LoadParameters(&b, path).ok());
+  for (size_t i = 0; i < a.Parameters().size(); ++i) {
+    const Tensor& ta = a.Parameters()[i].var->value();
+    const Tensor& tb = b.Parameters()[i].var->value();
+    ASSERT_TRUE(ta.SameShape(tb));
+    for (int64_t j = 0; j < ta.numel(); ++j) EXPECT_EQ(ta[j], tb[j]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, ShapeMismatchRejected) {
+  util::Rng rng(10);
+  Mlp a({3, 5, 2}, Activation::kTanh, &rng);
+  Mlp b({3, 6, 2}, Activation::kTanh, &rng);
+  const std::string path = testing::TempDir() + "/deepst_params_test2.bin";
+  ASSERT_TRUE(SaveParameters(a, path).ok());
+  util::Status s = LoadParameters(&b, path);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), util::Status::Code::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingFileIsIoError) {
+  util::Rng rng(11);
+  Mlp a({2, 2}, Activation::kNone, &rng);
+  util::Status s = LoadParameters(&a, "/nonexistent/deepst.bin");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), util::Status::Code::kIoError);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace deepst

@@ -1,0 +1,137 @@
+#include "nn/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/layers.h"
+#include "nn/ops.h"
+
+namespace deepst {
+namespace nn {
+namespace {
+
+namespace o = ops;
+
+// Minimizes f(x) = sum((x - target)^2) and checks convergence.
+template <typename MakeOpt>
+void CheckConvergesToTarget(MakeOpt make_opt, int steps, float tol) {
+  util::Rng rng(1);
+  VarPtr x = MakeVar(Tensor::Uniform({4}, -2.0f, 2.0f, &rng), true);
+  Tensor target = Tensor::FromVector({4}, {1.0f, -2.0f, 0.5f, 3.0f});
+  auto opt = make_opt(std::vector<NamedParam>{{"x", x}});
+  for (int i = 0; i < steps; ++i) {
+    opt->ZeroGrad();
+    VarPtr diff = o::Sub(x, Constant(target));
+    VarPtr loss = o::Sum(o::Square(diff));
+    Backward(loss);
+    opt->Step();
+  }
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(x->value()[i], target[i], tol);
+  }
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  CheckConvergesToTarget(
+      [](std::vector<NamedParam> p) {
+        return std::make_unique<Sgd>(std::move(p), 0.1f);
+      },
+      200, 1e-3f);
+}
+
+TEST(SgdTest, MomentumConverges) {
+  CheckConvergesToTarget(
+      [](std::vector<NamedParam> p) {
+        return std::make_unique<Sgd>(std::move(p), 0.05f, 0.9f);
+      },
+      300, 1e-3f);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  CheckConvergesToTarget(
+      [](std::vector<NamedParam> p) {
+        return std::make_unique<Adam>(std::move(p), 0.05f);
+      },
+      500, 1e-2f);
+}
+
+TEST(AdamTest, FirstStepIsLrSized) {
+  // Adam's bias correction makes the first update ~lr regardless of grad
+  // scale.
+  VarPtr x = MakeVar(Tensor::FromVector({1}, {0.0f}), true);
+  Adam opt({{"x", x}}, 0.1f);
+  x->grad()[0] = 123.0f;
+  opt.Step();
+  EXPECT_NEAR(x->value()[0], -0.1f, 1e-4f);
+}
+
+TEST(AdamTest, WeightDecayShrinksWeights) {
+  VarPtr x = MakeVar(Tensor::FromVector({1}, {10.0f}), true);
+  Adam opt({{"x", x}}, 0.01f, 0.9f, 0.999f, 1e-8f, /*weight_decay=*/0.1f);
+  for (int i = 0; i < 100; ++i) {
+    opt.ZeroGrad();
+    x->grad()[0] = 0.0f;  // only decay acts
+    opt.Step();
+  }
+  EXPECT_LT(std::fabs(x->value()[0]), 10.0f);
+}
+
+TEST(OptimizerTest, ZeroGradClears) {
+  VarPtr x = MakeVar(Tensor::FromVector({2}, {1.0f, 2.0f}), true);
+  Sgd opt({{"x", x}}, 0.1f);
+  x->grad()[0] = 5.0f;
+  opt.ZeroGrad();
+  EXPECT_FLOAT_EQ(x->grad()[0], 0.0f);
+}
+
+TEST(OptimizerTest, ClipGradNormScales) {
+  VarPtr x = MakeVar(Tensor::FromVector({2}, {0.0f, 0.0f}), true);
+  Sgd opt({{"x", x}}, 0.1f);
+  x->grad()[0] = 3.0f;
+  x->grad()[1] = 4.0f;  // norm 5
+  const double pre = opt.ClipGradNorm(1.0);
+  EXPECT_NEAR(pre, 5.0, 1e-6);
+  EXPECT_NEAR(x->grad()[0], 0.6f, 1e-5f);
+  EXPECT_NEAR(x->grad()[1], 0.8f, 1e-5f);
+}
+
+TEST(OptimizerTest, ClipGradNormNoopBelowThreshold) {
+  VarPtr x = MakeVar(Tensor::FromVector({1}, {0.0f}), true);
+  Sgd opt({{"x", x}}, 0.1f);
+  x->grad()[0] = 0.5f;
+  opt.ClipGradNorm(1.0);
+  EXPECT_FLOAT_EQ(x->grad()[0], 0.5f);
+}
+
+TEST(TrainingSmokeTest, MlpLearnsXor) {
+  util::Rng rng(7);
+  Mlp mlp({2, 16, 2}, Activation::kTanh, &rng);
+  Adam opt(mlp.Parameters(), 0.03f);
+  const std::vector<std::vector<float>> inputs = {
+      {0, 0}, {0, 1}, {1, 0}, {1, 1}};
+  const std::vector<int> labels = {0, 1, 1, 0};
+  Tensor x = Tensor::FromVector({4, 2}, {0, 0, 0, 1, 1, 0, 1, 1});
+  float last_loss = 1e9f;
+  for (int epoch = 0; epoch < 400; ++epoch) {
+    opt.ZeroGrad();
+    VarPtr logits = mlp.Forward(Constant(x));
+    VarPtr loss =
+        o::CrossEntropyLoss(logits, labels, {1, 1, 1, 1});
+    Backward(loss);
+    opt.Step();
+    last_loss = loss->value()[0];
+  }
+  EXPECT_LT(last_loss, 0.1f);
+  // All four points classified correctly.
+  VarPtr logits = mlp.Forward(Constant(x));
+  for (int i = 0; i < 4; ++i) {
+    const int pred =
+        logits->value().at(i, 1) > logits->value().at(i, 0) ? 1 : 0;
+    EXPECT_EQ(pred, labels[i]) << "sample " << i;
+  }
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace deepst

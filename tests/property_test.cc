@@ -1,0 +1,268 @@
+// Parameterized property tests: invariants that must hold across sweeps of
+// seeds, sizes and configurations rather than on hand-picked instances.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "eval/metrics.h"
+#include "nn/ops.h"
+#include "roadnet/grid_city.h"
+#include "roadnet/shortest_path.h"
+#include "roadnet/spatial_index.h"
+#include "traffic/congestion_field.h"
+#include "traj/generator.h"
+
+namespace deepst {
+namespace {
+
+// -- Road network invariants over many generated cities ------------------------
+
+class GridCityProperty : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(GridCityProperty, AdjacencyIsConsistent) {
+  roadnet::GridCityConfig cfg;
+  cfg.rows = 6;
+  cfg.cols = 7;
+  cfg.seed = GetParam();
+  auto net = roadnet::BuildGridCity(cfg);
+  for (roadnet::SegmentId s = 0; s < net->num_segments(); ++s) {
+    const auto& outs = net->OutSegments(s);
+    EXPECT_LE(static_cast<int>(outs.size()), net->MaxOutDegree());
+    for (size_t i = 0; i < outs.size(); ++i) {
+      // Slot round trip.
+      EXPECT_EQ(net->NeighborSlot(s, outs[i]), static_cast<int>(i));
+      EXPECT_EQ(net->SlotToSegment(s, static_cast<int>(i)), outs[i]);
+      // Successor really starts where s ends.
+      EXPECT_EQ(net->segment(outs[i]).from, net->segment(s).to);
+      // In-segment back-reference.
+      const auto& ins = net->InSegments(outs[i]);
+      EXPECT_NE(std::find(ins.begin(), ins.end(), s), ins.end());
+    }
+    // Sorted slots.
+    EXPECT_TRUE(std::is_sorted(outs.begin(), outs.end()));
+    // Reverse twin symmetry.
+    const auto r = net->segment(s).reverse;
+    if (r != roadnet::kInvalidSegment) {
+      EXPECT_EQ(net->segment(r).reverse, s);
+      EXPECT_EQ(net->segment(r).from, net->segment(s).to);
+      EXPECT_EQ(net->segment(r).to, net->segment(s).from);
+    }
+  }
+}
+
+TEST_P(GridCityProperty, DijkstraOptimalityViaRelaxation) {
+  roadnet::GridCityConfig cfg;
+  cfg.rows = 5;
+  cfg.cols = 5;
+  cfg.seed = GetParam();
+  auto net = roadnet::BuildGridCity(cfg);
+  const auto cost = roadnet::LengthCost(*net);
+  const auto dist = roadnet::ShortestPathTree(*net, 0, cost);
+  // Bellman condition: no edge can relax any settled distance.
+  for (roadnet::SegmentId s = 0; s < net->num_segments(); ++s) {
+    if (!std::isfinite(dist[static_cast<size_t>(s)])) continue;
+    for (auto nxt : net->OutSegments(s)) {
+      EXPECT_LE(dist[static_cast<size_t>(nxt)],
+                dist[static_cast<size_t>(s)] + cost(nxt) + 1e-6);
+    }
+  }
+  // And a path found by ShortestPath matches the tree distance.
+  for (roadnet::SegmentId t = 1; t < net->num_segments(); t += 11) {
+    auto path = roadnet::ShortestPath(*net, 0, t, cost);
+    if (path.ok()) {
+      EXPECT_NEAR(path.value().cost, dist[static_cast<size_t>(t)], 1e-6);
+      EXPECT_TRUE(net->ValidateRoute(path.value().path).ok());
+    } else {
+      EXPECT_TRUE(std::isinf(dist[static_cast<size_t>(t)]));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GridCityProperty,
+                         testing::Values(1, 7, 42, 1234, 99991));
+
+// -- Trip generator invariants over configurations ------------------------------
+
+struct GenCase {
+  uint64_t seed;
+  double noise;
+  double p_uniform;
+};
+
+class GeneratorProperty : public testing::TestWithParam<GenCase> {};
+
+TEST_P(GeneratorProperty, TripsAreWellFormed) {
+  const GenCase param = GetParam();
+  roadnet::GridCityConfig city;
+  city.rows = 6;
+  city.cols = 6;
+  city.seed = 11;
+  auto net = roadnet::BuildGridCity(city);
+  traffic::CongestionField field(*net, {});
+  traj::GeneratorConfig cfg;
+  cfg.num_days = 2;
+  cfg.trips_per_day = 25;
+  cfg.seed = param.seed;
+  cfg.route_noise = param.noise;
+  cfg.p_uniform_dest = param.p_uniform;
+  traj::TripGenerator gen(*net, field, cfg);
+  auto records = gen.GenerateDataset();
+  ASSERT_EQ(records.size(), 50u);
+  for (const auto& rec : records) {
+    ASSERT_TRUE(net->ValidateRoute(rec.trip.route).ok());
+    // Loopless routes (drivers do not revisit a segment).
+    std::set<roadnet::SegmentId> unique(rec.trip.route.begin(),
+                                        rec.trip.route.end());
+    EXPECT_EQ(unique.size(), rec.trip.route.size());
+    // Length bounds.
+    const double len = net->RouteLength(rec.trip.route);
+    EXPECT_GE(len, cfg.min_route_m);
+    EXPECT_LE(len, cfg.max_route_m);
+    // GPS timestamps strictly increase and span the trip.
+    for (size_t i = 1; i < rec.gps.size(); ++i) {
+      EXPECT_GT(rec.gps[i].time_s, rec.gps[i - 1].time_s);
+    }
+    // Destination within the (padded) city bounds.
+    geo::BoundingBox box = net->bounds();
+    box.Extend({box.min.x - 1000, box.min.y - 1000});
+    box.Extend({box.max.x + 1000, box.max.y + 1000});
+    EXPECT_TRUE(box.Contains(rec.trip.destination));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, GeneratorProperty,
+    testing::Values(GenCase{1, 0.1, 0.1}, GenCase{2, 0.3, 0.5},
+                    GenCase{3, 0.5, 0.9}, GenCase{4, 0.0, 0.0}));
+
+// -- Metric properties -----------------------------------------------------------
+
+class MetricProperty : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(MetricProperty, BoundsSymmetryAndIdentity) {
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    traj::Route a, b;
+    const int na = 1 + static_cast<int>(rng.UniformInt(12));
+    const int nb = 1 + static_cast<int>(rng.UniformInt(12));
+    for (int i = 0; i < na; ++i) {
+      a.push_back(static_cast<roadnet::SegmentId>(rng.UniformInt(20)));
+    }
+    for (int i = 0; i < nb; ++i) {
+      b.push_back(static_cast<roadnet::SegmentId>(rng.UniformInt(20)));
+    }
+    const double acc = eval::Accuracy(a, b);
+    const double rec = eval::RecallAtN(a, b);
+    EXPECT_GE(acc, 0.0);
+    EXPECT_LE(acc, 1.0);
+    EXPECT_GE(rec, 0.0);
+    EXPECT_LE(rec, 1.0);
+    // Accuracy is symmetric (multiset intersection over max size).
+    EXPECT_DOUBLE_EQ(acc, eval::Accuracy(b, a));
+    // Identity.
+    EXPECT_DOUBLE_EQ(eval::Accuracy(a, a), 1.0);
+    EXPECT_DOUBLE_EQ(eval::RecallAtN(a, a), 1.0);
+    // A truth prefix of the prediction yields perfect recall.
+    if (b.size() >= a.size() &&
+        std::equal(a.begin(), a.end(), b.begin())) {
+      EXPECT_DOUBLE_EQ(rec, 1.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricProperty, testing::Values(3, 17, 23));
+
+// -- Traffic field properties ------------------------------------------------------
+
+class TrafficProperty : public testing::TestWithParam<int> {};
+
+TEST_P(TrafficProperty, SpeedPositiveAndBounded) {
+  roadnet::GridCityConfig city;
+  city.rows = 5;
+  city.cols = 5;
+  city.seed = 2;
+  auto net = roadnet::BuildGridCity(city);
+  traffic::CongestionConfig cfg;
+  cfg.seed = static_cast<uint64_t>(GetParam());
+  traffic::CongestionField field(*net, cfg);
+  util::Rng rng(static_cast<uint64_t>(GetParam()) + 1);
+  for (int i = 0; i < 300; ++i) {
+    const auto s = static_cast<roadnet::SegmentId>(
+        rng.UniformInt(static_cast<uint64_t>(net->num_segments())));
+    const double t = rng.Uniform(0.0, 20 * traffic::kSecondsPerDay);
+    const double v = field.SpeedAt(s, t);
+    EXPECT_GT(v, 0.0);
+    EXPECT_LE(v, net->segment(s).speed_limit_mps + 1e-9);
+    EXPECT_GT(field.TravelTime(s, t), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrafficProperty, testing::Values(1, 2, 3));
+
+// -- Autodiff linearity / composition properties ------------------------------------
+
+class AutodiffProperty : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(AutodiffProperty, GradientOfSumIsSumOfGradients) {
+  util::Rng rng(GetParam());
+  nn::VarPtr x = nn::MakeVar(nn::Tensor::Uniform({4, 3}, -1, 1, &rng), true);
+  // f(x) = sum(tanh(x)) + sum(x*x); grad = (1 - tanh^2) + 2x.
+  nn::VarPtr loss =
+      nn::ops::Add(nn::ops::Sum(nn::ops::Tanh(x)),
+                   nn::ops::Sum(nn::ops::Mul(x, x)));
+  nn::Backward(loss);
+  for (int64_t i = 0; i < x->value().numel(); ++i) {
+    const float v = x->value()[i];
+    const float expected =
+        (1.0f - std::tanh(v) * std::tanh(v)) + 2.0f * v;
+    EXPECT_NEAR(x->grad()[i], expected, 1e-5);
+  }
+}
+
+TEST_P(AutodiffProperty, SoftmaxInvariantToLogitShift) {
+  util::Rng rng(GetParam());
+  nn::Tensor logits = nn::Tensor::Uniform({3, 5}, -2, 2, &rng);
+  nn::Tensor shifted = logits;
+  for (int64_t r = 0; r < 3; ++r) {
+    for (int64_t c = 0; c < 5; ++c) shifted.at(r, c) += 7.5f;
+  }
+  nn::Tensor p1 = nn::SoftmaxRows(logits);
+  nn::Tensor p2 = nn::SoftmaxRows(shifted);
+  for (int64_t i = 0; i < p1.numel(); ++i) {
+    EXPECT_NEAR(p1[i], p2[i], 1e-5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AutodiffProperty,
+                         testing::Values(5, 55, 555));
+
+// -- Spatial index vs brute force over seeds -----------------------------------------
+
+class SpatialIndexProperty : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(SpatialIndexProperty, NearestMatchesBruteForce) {
+  roadnet::GridCityConfig city;
+  city.rows = 5;
+  city.cols = 6;
+  city.seed = GetParam();
+  auto net = roadnet::BuildGridCity(city);
+  roadnet::SpatialIndex index(*net, 180.0);
+  util::Rng rng(GetParam() ^ 0xf00d);
+  for (int i = 0; i < 15; ++i) {
+    geo::Point p{rng.Uniform(net->bounds().min.x, net->bounds().max.x),
+                 rng.Uniform(net->bounds().min.y, net->bounds().max.y)};
+    auto cand = index.Nearest(p);
+    double brute = 1e18;
+    for (roadnet::SegmentId s = 0; s < net->num_segments(); ++s) {
+      brute = std::min(brute, net->ProjectToSegment(p, s).distance);
+    }
+    EXPECT_NEAR(cand.projection.distance, brute, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpatialIndexProperty,
+                         testing::Values(21, 31, 41));
+
+}  // namespace
+}  // namespace deepst

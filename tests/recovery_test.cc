@@ -1,0 +1,161 @@
+#include "recovery/strs.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "eval/world.h"
+
+namespace deepst {
+namespace recovery {
+namespace {
+
+eval::World& TestWorld() {
+  static eval::World* world = [] {
+    eval::WorldConfig cfg = eval::ChengduMiniWorld(0.15);
+    cfg.name = "recovery-test-world";
+    cfg.city.rows = 7;
+    cfg.city.cols = 7;
+    cfg.generator.num_days = 4;
+    cfg.generator.max_route_m = 6000.0;
+    cfg.train_days = 2;
+    cfg.val_days = 1;
+    return new eval::World(cfg);
+  }();
+  return *world;
+}
+
+baselines::MarkovRouter& TrainedMarkov() {
+  static baselines::MarkovRouter* mmi = [] {
+    auto* m = new baselines::MarkovRouter(TestWorld().net(),
+                                          core::DeepSTConfig{});
+    m->Train(TestWorld().split().train);
+    return m;
+  }();
+  return *mmi;
+}
+
+TEST(StrsTest, TemporalLikelihoodPeaksAtMeanTime) {
+  auto& world = TestWorld();
+  MarkovSpatialScorer scorer(&TrainedMarkov());
+  StrsRecovery strs(world.net(), world.index(), world.segment_stats(),
+                    &scorer);
+  const auto* rec = world.split().test.front();
+  const traj::Route& route = rec->trip.route;
+  const double mean = world.segment_stats().RouteMeanTime(route);
+  const double at_mean = strs.TemporalLogLik(route, mean);
+  EXPECT_GT(at_mean, strs.TemporalLogLik(route, mean * 2.0));
+  EXPECT_GT(at_mean, strs.TemporalLogLik(route, mean * 0.3));
+}
+
+TEST(StrsTest, RecoverGapTrivialCases) {
+  auto& world = TestWorld();
+  MarkovSpatialScorer scorer(&TrainedMarkov());
+  StrsRecovery strs(world.net(), world.index(), world.segment_stats(),
+                    &scorer);
+  util::Rng rng(1);
+  scorer.BeginTrajectory(core::RouteQuery{}, &rng);
+  // Same segment -> single-element route.
+  auto same = strs.RecoverGap(3, 3, 30.0, {});
+  ASSERT_TRUE(same.ok());
+  EXPECT_EQ(same.value(), traj::Route{3});
+}
+
+TEST(StrsTest, RecoverGapPrefersTimeConsistentRoute) {
+  auto& world = TestWorld();
+  MarkovSpatialScorer scorer(&TrainedMarkov());
+  StrsConfig cfg;
+  cfg.spatial_weight = 0.0;  // isolate the temporal module
+  StrsRecovery strs(world.net(), world.index(), world.segment_stats(),
+                    &scorer, cfg);
+  util::Rng rng(2);
+  scorer.BeginTrajectory(core::RouteQuery{}, &rng);
+  // Pick a real trip and one of its interior gaps.
+  const auto* rec = world.split().test.front();
+  const traj::Route& route = rec->trip.route;
+  ASSERT_GE(route.size(), 4u);
+  const auto a = route.front();
+  const auto b = route.back();
+  const double true_time = world.segment_stats().RouteMeanTime(route);
+  auto recovered = strs.RecoverGap(a, b, true_time, {});
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered.value().front(), a);
+  EXPECT_EQ(recovered.value().back(), b);
+  EXPECT_TRUE(world.net().ValidateRoute(recovered.value()).ok());
+}
+
+TEST(StrsTest, RecoverTrajectoryEndToEnd) {
+  auto& world = TestWorld();
+  MarkovSpatialScorer scorer(&TrainedMarkov());
+  StrsRecovery strs(world.net(), world.index(), world.segment_stats(),
+                    &scorer);
+  util::Rng rng(3);
+  int ok_count = 0;
+  double recall_sum = 0.0;
+  for (int i = 0; i < 10 && i < static_cast<int>(world.split().test.size());
+       ++i) {
+    const auto* rec = world.split().test[static_cast<size_t>(i)];
+    if (rec->gps.size() < 4) continue;
+    auto sparse = traj::DownsampleByInterval(rec->gps, 120.0);
+    if (sparse.size() < 2) continue;
+    auto recovered = strs.RecoverTrajectory(
+        sparse, rec->trip.destination, rec->trip.start_time_s, &rng);
+    if (!recovered.ok()) continue;
+    ++ok_count;
+    EXPECT_TRUE(world.net().ValidateRoute(recovered.value()).ok());
+    std::set<roadnet::SegmentId> truth(rec->trip.route.begin(),
+                                       rec->trip.route.end());
+    std::set<roadnet::SegmentId> got(recovered.value().begin(),
+                                     recovered.value().end());
+    int common = 0;
+    for (auto s : truth) {
+      if (got.count(s)) ++common;
+    }
+    recall_sum += static_cast<double>(common) /
+                  static_cast<double>(truth.size());
+  }
+  ASSERT_GE(ok_count, 5);
+  EXPECT_GT(recall_sum / ok_count, 0.6);
+}
+
+TEST(StrsTest, RejectsDegenerateInput) {
+  auto& world = TestWorld();
+  MarkovSpatialScorer scorer(&TrainedMarkov());
+  StrsRecovery strs(world.net(), world.index(), world.segment_stats(),
+                    &scorer);
+  util::Rng rng(4);
+  auto result = strs.RecoverTrajectory({}, {0, 0}, 0.0, &rng);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(),
+            util::Status::Code::kInvalidArgument);
+}
+
+TEST(StrsTest, DeepStScorerPluggable) {
+  auto& world = TestWorld();
+  core::DeepSTConfig cfg;
+  cfg.gru_hidden = 16;
+  cfg.gru_layers = 1;
+  cfg.segment_embedding_dim = 8;
+  cfg.num_proxies = 4;
+  cfg.use_traffic = false;
+  core::DeepSTModel model(world.net(), cfg, nullptr);
+  DeepStSpatialScorer scorer(&model);
+  StrsRecovery strs_plus(world.net(), world.index(), world.segment_stats(),
+                         &scorer);
+  EXPECT_EQ(strs_plus.scorer_name(), "deepst");
+  util::Rng rng(5);
+  const auto* rec = world.split().test.front();
+  auto sparse = traj::DownsampleByInterval(rec->gps, 150.0);
+  if (sparse.size() >= 2) {
+    auto recovered = strs_plus.RecoverTrajectory(
+        sparse, rec->trip.destination, rec->trip.start_time_s, &rng);
+    if (recovered.ok()) {
+      EXPECT_TRUE(world.net().ValidateRoute(recovered.value()).ok());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace recovery
+}  // namespace deepst

@@ -1,0 +1,127 @@
+#include "nn/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace deepst {
+namespace nn {
+namespace {
+
+TEST(TensorTest, ZerosShapeAndValues) {
+  Tensor t = Tensor::Zeros({2, 3});
+  EXPECT_EQ(t.ndim(), 2);
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(1), 3);
+  EXPECT_EQ(t.numel(), 6);
+  for (int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(TensorTest, FullAndFill) {
+  Tensor t = Tensor::Full({4}, 2.5f);
+  EXPECT_EQ(t[3], 2.5f);
+  t.Fill(-1.0f);
+  EXPECT_EQ(t[0], -1.0f);
+}
+
+TEST(TensorTest, FromVectorRowMajor) {
+  Tensor t = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t.at(0, 0), 1.0f);
+  EXPECT_EQ(t.at(0, 1), 2.0f);
+  EXPECT_EQ(t.at(1, 0), 3.0f);
+  EXPECT_EQ(t.at(1, 1), 4.0f);
+}
+
+TEST(TensorTest, At4Layout) {
+  Tensor t = Tensor::Zeros({2, 3, 4, 5});
+  t.at4(1, 2, 3, 4) = 7.0f;
+  // flat index = ((1*3+2)*4+3)*5+4 = 119
+  EXPECT_EQ(t[119], 7.0f);
+}
+
+TEST(TensorTest, ReshapeKeepsData) {
+  Tensor t = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = t.Reshape({3, 2});
+  EXPECT_EQ(r.at(2, 1), 6.0f);
+  EXPECT_EQ(r.numel(), 6);
+}
+
+TEST(TensorTest, AddInPlaceAndScale) {
+  Tensor a = Tensor::FromVector({3}, {1, 2, 3});
+  Tensor b = Tensor::FromVector({3}, {10, 20, 30});
+  a.AddInPlace(b);
+  EXPECT_EQ(a[2], 33.0f);
+  a.ScaleInPlace(0.5f);
+  EXPECT_EQ(a[0], 5.5f);
+}
+
+TEST(TensorTest, SumMeanMaxAbs) {
+  Tensor t = Tensor::FromVector({4}, {1, -5, 2, 2});
+  EXPECT_DOUBLE_EQ(t.Sum(), 0.0);
+  EXPECT_DOUBLE_EQ(t.Mean(), 0.0);
+  EXPECT_EQ(t.MaxAbs(), 5.0f);
+}
+
+TEST(TensorTest, ArgMaxFirstOfTies) {
+  Tensor t = Tensor::FromVector({5}, {0, 3, 1, 3, 2});
+  EXPECT_EQ(t.ArgMax(), 1);
+}
+
+TEST(TensorTest, AllFinite) {
+  Tensor t = Tensor::FromVector({2}, {1, 2});
+  EXPECT_TRUE(t.AllFinite());
+  t[1] = std::numeric_limits<float>::infinity();
+  EXPECT_FALSE(t.AllFinite());
+  t[1] = std::nanf("");
+  EXPECT_FALSE(t.AllFinite());
+}
+
+TEST(TensorTest, UniformRespectsBounds) {
+  util::Rng rng(3);
+  Tensor t = Tensor::Uniform({1000}, -0.5f, 0.5f, &rng);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_GE(t[i], -0.5f);
+    EXPECT_LT(t[i], 0.5f);
+  }
+}
+
+TEST(TensorTest, GaussianMoments) {
+  util::Rng rng(5);
+  Tensor t = Tensor::Gaussian({20000}, 1.0f, 2.0f, &rng);
+  EXPECT_NEAR(t.Mean(), 1.0, 0.05);
+}
+
+TEST(SoftmaxRowsTest, RowsSumToOne) {
+  Tensor logits = Tensor::FromVector({2, 3}, {1, 2, 3, -1, 0, 1});
+  Tensor p = SoftmaxRows(logits);
+  for (int64_t r = 0; r < 2; ++r) {
+    double s = 0.0;
+    for (int64_t c = 0; c < 3; ++c) {
+      EXPECT_GT(p.at(r, c), 0.0f);
+      s += p.at(r, c);
+    }
+    EXPECT_NEAR(s, 1.0, 1e-5);
+  }
+  // Monotone in logits.
+  EXPECT_LT(p.at(0, 0), p.at(0, 2));
+}
+
+TEST(SoftmaxRowsTest, StableForLargeLogits) {
+  Tensor logits = Tensor::FromVector({1, 2}, {1000.0f, 999.0f});
+  Tensor p = SoftmaxRows(logits);
+  EXPECT_TRUE(p.AllFinite());
+  EXPECT_NEAR(p.at(0, 0), 1.0 / (1.0 + std::exp(-1.0)), 1e-5);
+}
+
+TEST(LogSoftmaxRowsTest, MatchesLogOfSoftmax) {
+  Tensor logits = Tensor::FromVector({1, 4}, {0.3f, -1.2f, 2.0f, 0.0f});
+  Tensor p = SoftmaxRows(logits);
+  Tensor lp = LogSoftmaxRows(logits);
+  for (int64_t c = 0; c < 4; ++c) {
+    EXPECT_NEAR(lp.at(0, c), std::log(p.at(0, c)), 1e-5);
+  }
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace deepst

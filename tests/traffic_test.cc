@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "roadnet/grid_city.h"
+#include "traffic/congestion_field.h"
+#include "traffic/snapshot.h"
+
+namespace deepst {
+namespace traffic {
+namespace {
+
+std::unique_ptr<roadnet::RoadNetwork> SmallCity() {
+  roadnet::GridCityConfig cfg;
+  cfg.rows = 6;
+  cfg.cols = 6;
+  cfg.removal_prob = 0.0;
+  cfg.oneway_prob = 0.0;
+  cfg.seed = 5;
+  return roadnet::BuildGridCity(cfg);
+}
+
+TEST(CongestionFieldTest, FactorAtLeastOne) {
+  auto net = SmallCity();
+  CongestionField field(*net, {});
+  util::Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const auto s = static_cast<roadnet::SegmentId>(
+        rng.UniformInt(static_cast<uint64_t>(net->num_segments())));
+    const double t = rng.Uniform(0.0, 10 * kSecondsPerDay);
+    EXPECT_GE(field.CongestionFactor(s, t), 1.0);
+  }
+}
+
+TEST(CongestionFieldTest, RushHourSlowerThanNight) {
+  auto net = SmallCity();
+  CongestionConfig cfg;
+  cfg.noise_level = 0.0;
+  cfg.incident_prob = 0.0;
+  CongestionField field(*net, cfg);
+  // Average factor over all segments at 8am vs 3am, same day.
+  double rush = 0.0, night = 0.0;
+  for (roadnet::SegmentId s = 0; s < net->num_segments(); ++s) {
+    rush += field.CongestionFactor(s, 8 * 3600.0);
+    night += field.CongestionFactor(s, 3 * 3600.0);
+  }
+  EXPECT_GT(rush, night * 1.1);
+}
+
+TEST(CongestionFieldTest, RushLevelProfileShape) {
+  auto net = SmallCity();
+  CongestionField field(*net, {});
+  EXPECT_GT(field.RushLevel(8 * 3600.0), field.RushLevel(12 * 3600.0));
+  EXPECT_GT(field.RushLevel(18 * 3600.0), field.RushLevel(3 * 3600.0));
+  EXPECT_NEAR(field.RushLevel(8 * 3600.0), 1.0, 0.05);
+}
+
+TEST(CongestionFieldTest, HotspotsSlowerThanPeriphery) {
+  auto net = SmallCity();
+  CongestionConfig cfg;
+  cfg.noise_level = 0.0;
+  cfg.incident_prob = 0.0;
+  cfg.num_hotspots = 1;
+  CongestionField field(*net, cfg);
+  const geo::Point hub = field.hotspot_centers()[0];
+  // Closest and farthest segment from the hotspot.
+  roadnet::SegmentId close = 0, far = 0;
+  double dmin = 1e18, dmax = -1;
+  for (roadnet::SegmentId s = 0; s < net->num_segments(); ++s) {
+    const double d = net->SegmentMidpoint(s).DistanceTo(hub);
+    if (d < dmin) {
+      dmin = d;
+      close = s;
+    }
+    if (d > dmax) {
+      dmax = d;
+      far = s;
+    }
+  }
+  const double t = 8 * 3600.0;
+  EXPECT_GT(field.CongestionFactor(close, t),
+            field.CongestionFactor(far, t) + 0.2);
+}
+
+TEST(CongestionFieldTest, VariesAcrossDaysAtSameTimeOfDay) {
+  auto net = SmallCity();
+  CongestionConfig cfg;
+  cfg.noise_level = 0.0;
+  cfg.incident_prob = 0.0;
+  CongestionField field(*net, cfg);
+  // Same 8am slot on different days must differ somewhere (real-time-ness).
+  double max_diff = 0.0;
+  for (roadnet::SegmentId s = 0; s < net->num_segments(); ++s) {
+    const double a = field.CongestionFactor(s, 8 * 3600.0);
+    const double b =
+        field.CongestionFactor(s, kSecondsPerDay * 3 + 8 * 3600.0);
+    max_diff = std::max(max_diff, std::fabs(a - b));
+  }
+  EXPECT_GT(max_diff, 0.05);
+}
+
+TEST(CongestionFieldTest, SpeedAndTravelTimeConsistent) {
+  auto net = SmallCity();
+  CongestionField field(*net, {});
+  const roadnet::SegmentId s = 3;
+  const double t = 9 * 3600.0;
+  EXPECT_NEAR(field.TravelTime(s, t),
+              net->segment(s).length_m / field.SpeedAt(s, t), 1e-9);
+  EXPECT_LE(field.SpeedAt(s, t), net->segment(s).speed_limit_mps + 1e-9);
+}
+
+TEST(CongestionFieldTest, DeterministicForSeed) {
+  auto net = SmallCity();
+  CongestionField a(*net, {});
+  CongestionField b(*net, {});
+  EXPECT_EQ(a.CongestionFactor(5, 12345.0), b.CongestionFactor(5, 12345.0));
+}
+
+TEST(TrafficTensorBuilderTest, ShapeAndEmpty) {
+  geo::BoundingBox box;
+  box.Extend({0, 0});
+  box.Extend({1000, 1000});
+  geo::GridSpec grid(box, 250.0);
+  TrafficTensorBuilder builder(grid);
+  nn::Tensor t = builder.Build({});
+  EXPECT_EQ(t.ndim(), 3);
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(1), 4);
+  EXPECT_EQ(t.dim(2), 4);
+  EXPECT_DOUBLE_EQ(t.Sum(), 0.0);
+}
+
+TEST(TrafficTensorBuilderTest, AveragesSpeedsPerCell) {
+  geo::BoundingBox box;
+  box.Extend({0, 0});
+  box.Extend({400, 400});
+  geo::GridSpec grid(box, 200.0);
+  TrafficTensorBuilder builder(grid, /*speed_norm_mps=*/10.0);
+  std::vector<SpeedObservation> obs = {
+      {{50, 50}, 0.0, 5.0},   // cell (0,0)
+      {{60, 40}, 1.0, 15.0},  // cell (0,0)
+      {{350, 350}, 2.0, 10.0}  // cell (1,1)
+  };
+  nn::Tensor t = builder.Build(obs);
+  const int cols = grid.cols();
+  // Cell (0,0): avg 10 m/s -> 1.0 normalized.
+  EXPECT_NEAR(t[0 * cols + 0], 1.0f, 1e-5);
+  // Cell (1,1): avg 10 -> 1.0.
+  EXPECT_NEAR(t[1 * cols + 1], 1.0f, 1e-5);
+  // Count channel nonzero only where observed.
+  EXPECT_GT(t[grid.num_cells() + 0], 0.0f);
+  EXPECT_FLOAT_EQ(t[grid.num_cells() + 1], 0.0f);  // cell (0,1) empty
+}
+
+TEST(TrafficTensorBuilderTest, SpeedChannelSaturates) {
+  geo::BoundingBox box;
+  box.Extend({0, 0});
+  box.Extend({100, 100});
+  geo::GridSpec grid(box, 100.0);
+  TrafficTensorBuilder builder(grid, 10.0);
+  nn::Tensor t = builder.Build({{{50, 50}, 0.0, 1000.0}});
+  EXPECT_LE(t[0], 2.0f);
+}
+
+TEST(TrafficTensorCacheTest, SlotSharingAndWindow) {
+  geo::BoundingBox box;
+  box.Extend({0, 0});
+  box.Extend({400, 400});
+  geo::GridSpec grid(box, 200.0);
+  TrafficTensorCache cache(grid, /*slot_seconds=*/1200.0,
+                           /*window_seconds=*/1800.0);
+  // Observation at t=500 in cell (0,0).
+  cache.AddObservations({{{50, 50}, 500.0, 10.0}});
+  // Slot of t=1500 is [1200,2400); its window is [-600,1200) -> includes the
+  // observation.
+  const nn::Tensor& t1 = cache.TensorForTime(1500.0);
+  EXPECT_GT(t1.Sum(), 0.0);
+  // Two times in the same slot share the same tensor object.
+  const nn::Tensor& t2 = cache.TensorForTime(2000.0);
+  EXPECT_EQ(&t1, &t2);
+  // A much later slot has an empty window.
+  const nn::Tensor& t3 = cache.TensorForTime(10 * 3600.0);
+  EXPECT_DOUBLE_EQ(t3.Sum(), 0.0);
+}
+
+TEST(TrafficTensorCacheTest, ObservationInOwnSlotExcluded) {
+  // The window is [slot_start - w, slot_start): observations *inside* the
+  // current slot must not leak into its tensor.
+  geo::BoundingBox box;
+  box.Extend({0, 0});
+  box.Extend({100, 100});
+  geo::GridSpec grid(box, 100.0);
+  TrafficTensorCache cache(grid, 1200.0, 1800.0);
+  cache.AddObservations({{{50, 50}, 1300.0, 8.0}});
+  const nn::Tensor& t = cache.TensorForTime(1500.0);  // same slot [1200,2400)
+  EXPECT_DOUBLE_EQ(t.Sum(), 0.0);
+}
+
+}  // namespace
+}  // namespace traffic
+}  // namespace deepst

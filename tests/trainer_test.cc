@@ -1,0 +1,149 @@
+#include "core/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/neural_router.h"
+#include "eval/world.h"
+#include "traj/segment_stats.h"
+
+namespace deepst {
+namespace core {
+namespace {
+
+eval::World& TestWorld() {
+  static eval::World* world = [] {
+    eval::WorldConfig cfg = eval::ChengduMiniWorld(0.15);
+    cfg.name = "trainer-test-world";
+    cfg.city.rows = 7;
+    cfg.city.cols = 7;
+    cfg.generator.num_days = 4;
+    cfg.generator.max_route_m = 6000.0;
+    cfg.train_days = 2;
+    cfg.val_days = 1;
+    return new eval::World(cfg);
+  }();
+  return *world;
+}
+
+DeepSTConfig TinyConfig() {
+  DeepSTConfig cfg;
+  cfg.gru_hidden = 16;
+  cfg.gru_layers = 1;
+  cfg.segment_embedding_dim = 8;
+  cfg.dest_dim = 8;
+  cfg.num_proxies = 8;
+  cfg.mlp_hidden = 16;
+  cfg.use_traffic = false;
+  return cfg;
+}
+
+TEST(TrainerTest, EpochStatsPopulated) {
+  auto& world = TestWorld();
+  DeepSTModel model(world.net(), TinyConfig(), nullptr);
+  TrainerConfig tcfg;
+  tcfg.max_epochs = 2;
+  tcfg.verbose = false;
+  Trainer trainer(&model, tcfg);
+  auto result = trainer.Fit(world.split().train, world.split().validation);
+  ASSERT_EQ(result.epochs.size(), 2u);
+  for (const auto& e : result.epochs) {
+    EXPECT_GT(e.train_loss, -1e6);
+    EXPECT_GT(e.train_route_ce, 0.0);
+    EXPECT_GT(e.val_route_ce, 0.0);
+    EXPECT_GT(e.seconds, 0.0);
+  }
+  EXPECT_GE(result.total_seconds,
+            result.epochs[0].seconds + result.epochs[1].seconds - 0.5);
+}
+
+TEST(TrainerTest, EarlyStoppingTriggers) {
+  // With patience 1 and a huge learning rate the validation CE cannot keep
+  // improving for many epochs; training must stop before max_epochs.
+  auto& world = TestWorld();
+  DeepSTModel model(world.net(), TinyConfig(), nullptr);
+  TrainerConfig tcfg;
+  tcfg.max_epochs = 30;
+  tcfg.patience = 1;
+  tcfg.learning_rate = 0.5f;  // destabilizes on purpose
+  tcfg.verbose = false;
+  Trainer trainer(&model, tcfg);
+  auto result = trainer.Fit(world.split().train, world.split().validation);
+  EXPECT_LT(result.epochs.size(), 30u);
+}
+
+TEST(TrainerTest, BestEpochTracksValidation) {
+  auto& world = TestWorld();
+  DeepSTModel model(world.net(), TinyConfig(), nullptr);
+  TrainerConfig tcfg;
+  tcfg.max_epochs = 4;
+  tcfg.verbose = false;
+  Trainer trainer(&model, tcfg);
+  auto result = trainer.Fit(world.split().train, world.split().validation);
+  ASSERT_FALSE(result.epochs.empty());
+  EXPECT_GE(result.best_epoch, 0);
+  EXPECT_LT(result.best_epoch, static_cast<int>(result.epochs.size()));
+  // best_epoch's validation CE is the minimum seen.
+  double best = 1e18;
+  for (const auto& e : result.epochs) best = std::min(best, e.val_route_ce);
+  EXPECT_NEAR(result.epochs[static_cast<size_t>(result.best_epoch)]
+                  .val_route_ce,
+              best, 1e-9);
+}
+
+TEST(TrainerTest, EvaluateRouteCeDeterministic) {
+  auto& world = TestWorld();
+  DeepSTModel model(world.net(), TinyConfig(), nullptr);
+  TrainerConfig tcfg;
+  tcfg.verbose = false;
+  Trainer trainer(&model, tcfg);
+  const double a = trainer.EvaluateRouteCe(world.split().validation);
+  const double b = trainer.EvaluateRouteCe(world.split().validation);
+  EXPECT_DOUBLE_EQ(a, b);
+  EXPECT_DOUBLE_EQ(trainer.EvaluateRouteCe({}), 0.0);
+}
+
+TEST(SegmentStatsTest, ObservedAndFallback) {
+  auto& world = TestWorld();
+  const auto& stats = world.segment_stats();
+  EXPECT_GT(stats.num_observed_segments(), 10);
+  int observed = 0;
+  for (roadnet::SegmentId s = 0; s < world.net().num_segments(); ++s) {
+    EXPECT_GT(stats.MeanTime(s), 0.0);
+    EXPECT_GT(stats.TimeVariance(s), 0.0);
+    if (stats.stats(s).num_observations > 0) {
+      ++observed;
+      EXPECT_GT(stats.stats(s).mean_speed_mps, 0.0);
+      // Observed mean speed cannot exceed 1.1x the speed limit (simulator
+      // jitter bound).
+      EXPECT_LE(stats.stats(s).mean_speed_mps,
+                world.net().segment(s).speed_limit_mps * 1.15);
+    } else {
+      // Fallback equals free flow.
+      EXPECT_DOUBLE_EQ(stats.MeanTime(s), world.net().FreeFlowTime(s));
+    }
+  }
+  EXPECT_EQ(observed, stats.num_observed_segments());
+}
+
+TEST(SegmentStatsTest, RouteAggregatesAreSums) {
+  auto& world = TestWorld();
+  const auto& stats = world.segment_stats();
+  const auto& route = world.split().test.front()->trip.route;
+  double mean = 0.0, var = 0.0;
+  for (auto s : route) {
+    mean += stats.MeanTime(s);
+    var += stats.TimeVariance(s);
+  }
+  EXPECT_DOUBLE_EQ(stats.RouteMeanTime(route), mean);
+  EXPECT_DOUBLE_EQ(stats.RouteTimeVariance(route), var);
+}
+
+TEST(CheckDeathTest, ShapeMismatchAborts) {
+  nn::Tensor a = nn::Tensor::Zeros({2, 2});
+  nn::Tensor b = nn::Tensor::Zeros({3});
+  EXPECT_DEATH(a.AddInPlace(b), "DEEPST_CHECK failed");
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace deepst

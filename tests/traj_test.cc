@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "roadnet/grid_city.h"
+#include "roadnet/shortest_path.h"
+#include "traj/dataset.h"
+#include "traj/generator.h"
+
+namespace deepst {
+namespace traj {
+namespace {
+
+struct World {
+  std::unique_ptr<roadnet::RoadNetwork> net;
+  std::unique_ptr<traffic::CongestionField> field;
+  std::unique_ptr<TripGenerator> gen;
+  GeneratorConfig cfg;
+};
+
+World MakeWorld(int days = 3, int trips_per_day = 40) {
+  World w;
+  roadnet::GridCityConfig city;
+  city.rows = 8;
+  city.cols = 8;
+  city.seed = 77;
+  w.net = roadnet::BuildGridCity(city);
+  w.field = std::make_unique<traffic::CongestionField>(
+      *w.net, traffic::CongestionConfig{});
+  w.cfg.num_days = days;
+  w.cfg.trips_per_day = trips_per_day;
+  w.cfg.seed = 11;
+  w.gen = std::make_unique<TripGenerator>(*w.net, *w.field, w.cfg);
+  return w;
+}
+
+TEST(TripGeneratorTest, GeneratesValidRoutes) {
+  World w = MakeWorld();
+  auto records = w.gen->GenerateDataset();
+  ASSERT_EQ(records.size(), 120u);
+  for (const auto& rec : records) {
+    EXPECT_TRUE(w.net->ValidateRoute(rec.trip.route).ok());
+    const double len = w.net->RouteLength(rec.trip.route);
+    EXPECT_GE(len, w.cfg.min_route_m);
+    EXPECT_LE(len, w.cfg.max_route_m);
+  }
+}
+
+TEST(TripGeneratorTest, SortedByStartTimeAndDayConsistent) {
+  World w = MakeWorld();
+  auto records = w.gen->GenerateDataset();
+  for (size_t i = 1; i < records.size(); ++i) {
+    EXPECT_LE(records[i - 1].trip.start_time_s, records[i].trip.start_time_s);
+  }
+  for (const auto& rec : records) {
+    EXPECT_EQ(rec.trip.day,
+              static_cast<int>(rec.trip.start_time_s /
+                               traffic::kSecondsPerDay));
+  }
+}
+
+TEST(TripGeneratorTest, RoughDestinationNearRouteEnd) {
+  World w = MakeWorld();
+  auto records = w.gen->GenerateDataset();
+  double total = 0.0;
+  for (const auto& rec : records) {
+    const geo::Point end = w.net->SegmentEnd(rec.trip.final_segment());
+    total += end.DistanceTo(rec.trip.destination);
+  }
+  const double mean = total / static_cast<double>(records.size());
+  // dest_noise_m = 80 -> mean 2D Gaussian distance ~ 80 * sqrt(pi/2) ~ 100.
+  EXPECT_LT(mean, 250.0);
+  EXPECT_GT(mean, 20.0);
+}
+
+TEST(TripGeneratorTest, GpsTraceFollowsRoute) {
+  World w = MakeWorld();
+  auto records = w.gen->GenerateDataset();
+  const auto& rec = records[records.size() / 2];
+  ASSERT_FALSE(rec.gps.empty());
+  // Timestamps increase and start near the trip start.
+  EXPECT_NEAR(rec.gps.front().time_s, rec.trip.start_time_s, 1e-6);
+  for (size_t i = 1; i < rec.gps.size(); ++i) {
+    EXPECT_GT(rec.gps[i].time_s, rec.gps[i - 1].time_s);
+  }
+  // Every GPS point lies near some segment of the route.
+  for (const auto& p : rec.gps) {
+    double best = 1e18;
+    for (auto s : rec.trip.route) {
+      best = std::min(best, w.net->ProjectToSegment(p.pos, s).distance);
+    }
+    EXPECT_LT(best, 100.0);
+  }
+}
+
+TEST(TripGeneratorTest, DestinationsClusterAroundHubs) {
+  World w = MakeWorld(2, 100);
+  auto records = w.gen->GenerateDataset();
+  const auto& hubs = w.gen->hub_centers();
+  int near_hub = 0;
+  for (const auto& rec : records) {
+    for (const auto& hub : hubs) {
+      if (rec.trip.destination.DistanceTo(hub) < 3.0 * 300.0) {
+        ++near_hub;
+        break;
+      }
+    }
+  }
+  // Most destinations are hub-clustered (p_uniform_dest = 0.15).
+  EXPECT_GT(near_hub, static_cast<int>(records.size()) / 2);
+}
+
+TEST(TripGeneratorTest, DeterministicForSeed) {
+  World a = MakeWorld();
+  World b = MakeWorld();
+  auto ra = a.gen->GenerateDataset();
+  auto rb = b.gen->GenerateDataset();
+  ASSERT_EQ(ra.size(), rb.size());
+  for (size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].trip.route, rb[i].trip.route);
+  }
+}
+
+TEST(TripGeneratorTest, TrafficAwareDriversDetour) {
+  // With heavy congestion on the direct corridor, the chosen route at rush
+  // hour should sometimes differ from the free-flow route for the same OD.
+  World w = MakeWorld();
+  util::Rng rng(123);
+  int differs = 0, total = 0;
+  for (int i = 0; i < 40; ++i) {
+    TripRecord rec = w.gen->GenerateTrip(0, &rng);
+    if (rec.trip.route.empty()) continue;
+    ++total;
+    // Re-plan the same OD with free-flow costs (no noise, no style).
+    auto freeflow = roadnet::ShortestPath(
+        *w.net, rec.trip.origin_segment(), rec.trip.final_segment(),
+        roadnet::FreeFlowTimeCost(*w.net));
+    if (freeflow.ok() && freeflow.value().path != rec.trip.route) ++differs;
+  }
+  ASSERT_GT(total, 20);
+  EXPECT_GT(differs, 0);
+}
+
+TEST(CollectObservationsTest, OnePerGpsPoint) {
+  World w = MakeWorld(1, 10);
+  auto records = w.gen->GenerateDataset();
+  auto obs = CollectObservations(records);
+  size_t expect = 0;
+  for (const auto& rec : records) expect += rec.gps.size();
+  EXPECT_EQ(obs.size(), expect);
+  for (const auto& o : obs) EXPECT_GT(o.speed_mps, 0.0);
+}
+
+TEST(DownsampleTest, RespectsIntervalAndEndpoints) {
+  GpsTrajectory gps;
+  for (int i = 0; i <= 100; ++i) {
+    gps.push_back({{static_cast<double>(i), 0.0}, i * 15.0, 10.0});
+  }
+  GpsTrajectory sparse = DownsampleByInterval(gps, 120.0);
+  EXPECT_EQ(sparse.front().time_s, gps.front().time_s);
+  EXPECT_EQ(sparse.back().time_s, gps.back().time_s);
+  for (size_t i = 1; i + 1 < sparse.size(); ++i) {
+    EXPECT_GE(sparse[i].time_s - sparse[i - 1].time_s, 120.0 - 1e-9);
+  }
+  EXPECT_LT(sparse.size(), gps.size() / 4);
+}
+
+TEST(DownsampleTest, DegenerateInputs) {
+  EXPECT_TRUE(DownsampleByInterval({}, 60.0).empty());
+  GpsTrajectory one = {{{0, 0}, 5.0, 1.0}};
+  auto out = DownsampleByInterval(one, 60.0);
+  ASSERT_EQ(out.size(), 1u);
+}
+
+TEST(SplitByDayTest, PartitionsAllRecords) {
+  World w = MakeWorld(5, 20);
+  auto records = w.gen->GenerateDataset();
+  auto split = SplitByDay(records, 3, 1);
+  EXPECT_EQ(split.train.size() + split.validation.size() + split.test.size(),
+            records.size());
+  for (auto* r : split.train) EXPECT_LT(r->trip.day, 3);
+  for (auto* r : split.validation) EXPECT_EQ(r->trip.day, 3);
+  for (auto* r : split.test) EXPECT_GE(r->trip.day, 4);
+  EXPECT_FALSE(split.train.empty());
+  EXPECT_FALSE(split.test.empty());
+}
+
+TEST(StatisticsTest, TableThreeFields) {
+  World w = MakeWorld(2, 30);
+  auto records = w.gen->GenerateDataset();
+  auto stats = ComputeStatistics(*w.net, records);
+  EXPECT_EQ(stats.num_trips, 60);
+  EXPECT_GT(stats.min_distance_km, 0.0);
+  EXPECT_GE(stats.max_distance_km, stats.mean_distance_km);
+  EXPECT_GE(stats.mean_distance_km, stats.min_distance_km);
+  EXPECT_GE(stats.max_segments, stats.min_segments);
+  EXPECT_GT(stats.mean_segments, 1.0);
+}
+
+TEST(StatisticsTest, EmptyDataset) {
+  World w = MakeWorld(1, 1);
+  auto stats = ComputeStatistics(*w.net, {});
+  EXPECT_EQ(stats.num_trips, 0);
+}
+
+TEST(HistogramTest, CountsAndClamping) {
+  auto h = Histogram({0.5, 1.5, 2.6, 9.9, -5.0, 100.0}, 0.0, 10.0, 5);
+  ASSERT_EQ(h.size(), 5u);
+  EXPECT_EQ(h[0], 3);  // 0.5, 1.5, clamped -5 in [0,2)
+  EXPECT_EQ(h[1], 1);  // 2.6 in [2,4)
+  EXPECT_EQ(h[4], 2);  // 9.9 and clamped 100 in [8,10)
+  int total = 0;
+  for (int c : h) total += c;
+  EXPECT_EQ(total, 6);
+}
+
+TEST(SpatialOccupancyTest, AllPointsCounted) {
+  World w = MakeWorld(1, 15);
+  auto records = w.gen->GenerateDataset();
+  auto occ = SpatialOccupancy(*w.net, records, 4, 4);
+  ASSERT_EQ(occ.size(), 16u);
+  size_t total_points = 0;
+  for (const auto& rec : records) total_points += rec.gps.size();
+  int total_counts = 0;
+  for (int c : occ) total_counts += c;
+  EXPECT_EQ(static_cast<size_t>(total_counts), total_points);
+}
+
+}  // namespace
+}  // namespace traj
+}  // namespace deepst

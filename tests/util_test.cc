@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <set>
+
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace deepst {
+namespace util {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "Ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad K");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad K");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad K");
+}
+
+TEST(StatusTest, AllCodesRender) {
+  EXPECT_EQ(Status::NotFound("x").ToString(), "NotFound: x");
+  EXPECT_EQ(Status::OutOfRange("x").ToString(), "OutOfRange: x");
+  EXPECT_EQ(Status::FailedPrecondition("x").ToString(),
+            "FailedPrecondition: x");
+  EXPECT_EQ(Status::IoError("x").ToString(), "IoError: x");
+  EXPECT_EQ(Status::Internal("x").ToString(), "Internal: x");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("missing");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), Status::Code::kNotFound);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntBounds) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.UniformInt(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(11);
+  const int n = 200000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, GumbelMean) {
+  // Gumbel(0,1) mean is the Euler-Mascheroni constant 0.5772.
+  Rng rng(13);
+  const int n = 200000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Gumbel();
+  EXPECT_NEAR(sum / n, 0.5772, 0.02);
+}
+
+TEST(RngTest, CategoricalProportions) {
+  Rng rng(17);
+  std::vector<double> w = {1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.Categorical(w)];
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.015);
+  EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.6, 0.015);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(5);
+  Rng child = a.Fork(0);
+  Rng a2(5);
+  Rng child2 = a2.Fork(0);
+  // Same parent+id -> same stream.
+  EXPECT_EQ(child.NextUint64(), child2.NextUint64());
+  // Different id -> different stream.
+  Rng a3(5);
+  Rng child3 = a3.Fork(1);
+  EXPECT_NE(child.NextUint64(), child3.NextUint64());
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(23);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.25)) ++hits;
+  }
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.25, 0.01);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(29);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  rng.Shuffle(&v);
+  std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(HashToUnitTest, InUnitIntervalAndDeterministic) {
+  for (uint64_t x = 0; x < 1000; ++x) {
+    const double u = HashToUnit(x);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    EXPECT_EQ(u, HashToUnit(x));
+  }
+}
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s-%.2f", 3, "ab", 1.5), "3-ab-1.50");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StringUtilTest, SplitAndJoin) {
+  auto parts = StrSplit("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(StrJoin(parts, "|"), "a|b||c");
+}
+
+TEST(StringUtilTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(0.63721, 3), "0.637");
+  EXPECT_EQ(FormatDouble(2.0, 1), "2.0");
+}
+
+TEST(TableTest, AlignedRendering) {
+  Table t({"Method", "acc"});
+  t.AddRow({"DeepST", "0.612"});
+  t.AddRow("MMI", {0.2811}, 3);
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("DeepST"), std::string::npos);
+  EXPECT_NE(s.find("0.281"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(FlagsTest, ParsesKeyValueForms) {
+  // Note the grammar: "--key token" consumes `token` as the value unless it
+  // is itself an option, so bool flags must precede another option or end
+  // the line; positionals otherwise come before any space-separated option.
+  const char* argv[] = {"prog",    "pos1", "--a=1", "--b",
+                        "2",       "--d",  "--e=",  "--c=x=y",
+                        "--flag"};
+  auto flags = Flags::Parse(9, argv);
+  ASSERT_TRUE(flags.ok());
+  const Flags& f = flags.value();
+  EXPECT_EQ(f.GetString("a"), "1");
+  EXPECT_EQ(f.GetString("b"), "2");
+  EXPECT_TRUE(f.GetBool("flag"));
+  EXPECT_TRUE(f.GetBool("d"));
+  EXPECT_EQ(f.GetString("c"), "x=y");  // first '=' splits
+  EXPECT_EQ(f.GetString("e"), "");
+  ASSERT_EQ(f.positional().size(), 1u);
+  EXPECT_EQ(f.positional()[0], "pos1");
+  EXPECT_FALSE(f.Has("missing"));
+  EXPECT_EQ(f.GetString("missing", "dflt"), "dflt");
+}
+
+TEST(FlagsTest, TypedGettersAndErrors) {
+  const char* argv[] = {"prog", "--n=42", "--x=2.5", "--bad=abc",
+                        "--off=false"};
+  auto flags = Flags::Parse(5, argv);
+  ASSERT_TRUE(flags.ok());
+  const Flags& f = flags.value();
+  EXPECT_EQ(f.GetInt("n", 0).value(), 42);
+  EXPECT_DOUBLE_EQ(f.GetDouble("x", 0.0).value(), 2.5);
+  EXPECT_EQ(f.GetInt("missing", 7).value(), 7);
+  EXPECT_FALSE(f.GetInt("bad", 0).ok());
+  EXPECT_FALSE(f.GetDouble("bad", 0.0).ok());
+  EXPECT_FALSE(f.GetBool("off", true));
+}
+
+TEST(FlagsTest, RejectsBareDoubleDash) {
+  const char* argv[] = {"prog", "--"};
+  auto flags = Flags::Parse(2, argv);
+  EXPECT_FALSE(flags.ok());
+}
+
+TEST(TableTest, CsvRoundTripQuoting) {
+  Table t({"a", "b"});
+  t.AddRow({"x,y", "plain"});
+  const std::string path = testing::TempDir() + "/deepst_table_test.csv";
+  ASSERT_TRUE(t.WriteCsv(path).ok());
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"x,y\",plain");
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace deepst

@@ -1,0 +1,148 @@
+// Scratch diagnostic binary (not installed): trains DeepST on a small world
+// and prints generation diagnostics. Used during bring-up; kept for future
+// debugging.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "baselines/mmi.h"
+#include "baselines/neural_router.h"
+#include "baselines/wsp.h"
+#include "eval/world.h"
+#include "roadnet/shortest_path.h"
+
+using namespace deepst;
+
+int main(int argc, char** argv) {
+  int epochs = argc > 1 ? std::atoi(argv[1]) : 10;
+  double scale = argc > 2 ? std::atof(argv[2]) : 0.3;
+
+  eval::WorldConfig cfg = eval::ChengduMiniWorld(scale);
+  cfg.city.rows = 8;
+  cfg.city.cols = 8;
+  cfg.generator.num_days = 6;
+  cfg.generator.max_route_m = 7000.0;
+  cfg.train_days = 4;
+  cfg.val_days = 1;
+  if (const char* days = std::getenv("DAYS")) {
+    cfg.generator.num_days = std::atoi(days);
+    cfg.train_days = cfg.generator.num_days - 2 - 1;
+    cfg.val_days = 1;
+  }
+  if (const char* tpd = std::getenv("TPD")) {
+    cfg.generator.trips_per_day = std::atoi(tpd);
+  }
+  eval::World world(cfg);
+
+  core::DeepSTConfig base;
+  base.segment_embedding_dim = 16;
+  base.gru_hidden = 32;
+  base.gru_layers = 2;
+  base.dest_dim = 16;
+  base.traffic_dim = 8;
+  base.cnn_channels = 8;
+  base.num_proxies = 12;
+  if (const char* k = std::getenv("K")) base.num_proxies = std::atoi(k);
+  if (const char* tau = std::getenv("TAU")) {
+    base.gumbel_tau = static_cast<float>(std::atof(tau));
+  }
+  if (const char* sd = std::getenv("STOP")) {
+    base.stop_distance_m = std::atof(sd);
+  }
+  if (const char* klw = std::getenv("KLW")) {
+    base.kl_weight = static_cast<float>(std::atof(klw));
+  }
+  if (const char* td = std::getenv("TDIM")) {
+    base.traffic_dim = std::atoi(td);
+  }
+  if (const char* ch = std::getenv("CH")) {
+    base.cnn_channels = std::atoi(ch);
+  }
+  base.mlp_hidden = 32;
+  if (std::getenv("DET")) base.deterministic_traffic_latent = true;
+
+  core::TrainerConfig tcfg;
+  tcfg.max_epochs = epochs;
+  tcfg.verbose = true;
+  tcfg.patience = 8;
+  if (const char* lr = std::getenv("LR")) {
+    tcfg.learning_rate = std::atof(lr);
+  }
+  if (const char* clip = std::getenv("CLIP")) {
+    tcfg.grad_clip = std::atof(clip);
+  }
+  if (const char* seed = std::getenv("SEED")) {
+    tcfg.seed = static_cast<uint64_t>(std::atoll(seed));
+    base.seed = tcfg.seed ^ 0xabc;
+  }
+
+  if (std::getenv("MEASURE_TRAFFIC")) {
+    // How often does current traffic change the preferred route for the same
+    // OD pair (no noise, no style)? Upper bound on what any traffic-aware
+    // model can gain.
+    int diff = 0, tot = 0;
+    double seg_overlap = 0.0;
+    for (const auto* rec : world.split().test) {
+      if (tot >= 200) break;
+      const auto& trip = rec->trip;
+      auto congested = roadnet::ShortestPath(
+          world.net(), trip.origin_segment(), trip.final_segment(),
+          [&](roadnet::SegmentId s) {
+            return world.field().TravelTime(s, trip.start_time_s);
+          });
+      auto freeflow = roadnet::ShortestPath(
+          world.net(), trip.origin_segment(), trip.final_segment(),
+          roadnet::FreeFlowTimeCost(world.net()));
+      if (!congested.ok() || !freeflow.ok()) continue;
+      ++tot;
+      if (congested.value().path != freeflow.value().path) ++diff;
+      seg_overlap += eval::Accuracy(congested.value().path,
+                                    freeflow.value().path);
+    }
+    std::printf("traffic-changes-route: %.2f overlap %.2f (n=%d)\n",
+                static_cast<double>(diff) / tot, seg_overlap / tot, tot);
+  }
+
+  const std::string variant = argc > 3 ? argv[3] : "deepst";
+  core::DeepSTConfig model_cfg = baselines::DeepStConfigOf(base);
+  if (variant == "cssrnn") model_cfg = baselines::CssrnnConfigOf(base);
+  if (variant == "rnn") model_cfg = baselines::RnnConfigOf(base);
+  if (variant == "deepst_c") model_cfg = baselines::DeepStCConfigOf(base);
+  auto model = eval::TrainModel(&world, model_cfg, tcfg);
+
+  util::Rng rng(7);
+  double len_pred = 0, len_truth = 0, reached = 0;
+  eval::MetricAccumulator acc;
+  int n = 0;
+  for (const auto* rec : world.split().test) {
+    if (n >= 400) break;
+    ++n;
+    auto q = eval::QueryFor(rec->trip);
+    auto route = model->PredictRoute(q, &rng);
+    acc.Add(rec->trip.route, route);
+    len_pred += route.size();
+    len_truth += rec->trip.route.size();
+    const double d =
+        world.net().ProjectToSegment(q.destination, route.back()).distance;
+    if (d < 400) reached += 1;
+  }
+  std::printf("pred_len %.1f truth_len %.1f reached %.2f recall %.3f acc %.3f\n",
+              len_pred / n, len_truth / n, reached / n, acc.mean_recall(),
+              acc.mean_accuracy());
+
+  if (std::getenv("WSP")) {
+    baselines::WspRouter wsp(world.net(), world.index(),
+                             world.segment_stats());
+    eval::MetricAccumulator wacc;
+    int m = 0;
+    for (const auto* rec : world.split().test) {
+      if (m >= 400) break;
+      ++m;
+      auto route = wsp.PredictRoute(eval::QueryFor(rec->trip), &rng);
+      wacc.Add(rec->trip.route, route);
+    }
+    std::printf("WSP recall %.3f acc %.3f\n", wacc.mean_recall(),
+                wacc.mean_accuracy());
+  }
+  return 0;
+}
