@@ -107,4 +107,4 @@ BENCHMARK(BM_Ablations)->Unit(benchmark::kSecond)->Iterations(1);
 }  // namespace bench
 }  // namespace deepst
 
-BENCHMARK_MAIN();
+DEEPST_BENCHMARK_MAIN();

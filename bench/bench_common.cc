@@ -3,7 +3,9 @@
 #include <sys/stat.h>
 
 #include <cstdlib>
+#include <string>
 
+#include "nn/backend.h"
 #include "nn/serialize.h"
 #include "util/logging.h"
 
@@ -98,12 +100,18 @@ MethodSuite BuildMethodSuite(eval::World* world,
 
 std::vector<MethodResult> EvaluateSuite(const eval::World& world,
                                         MethodSuite* suite, int max_trips) {
-  util::Rng rng(4242);
+  // Test trips fan out over the nn backend; every predictor below is
+  // read-only during prediction, and each trip draws from its own rng
+  // stream, so the scores match the sequential evaluation for every thread
+  // count.
+  const uint64_t kEvalSeed = 4242;
   auto eval_model = [&](core::DeepSTModel* model) {
-    return eval::EvaluatePrediction(
+    return eval::EvaluatePredictionParallel(
         world,
-        [&](const core::RouteQuery& q) { return model->PredictRoute(q, &rng); },
-        max_trips);
+        [model](const core::RouteQuery& q, util::Rng* rng) {
+          return model->PredictRoute(q, rng);
+        },
+        max_trips, kEvalSeed);
   };
   std::vector<MethodResult> results;
   results.push_back({"DeepST", eval_model(suite->deepst.get())});
@@ -111,23 +119,46 @@ std::vector<MethodResult> EvaluateSuite(const eval::World& world,
   results.push_back({"CSSRNN", eval_model(suite->cssrnn.get())});
   results.push_back({"RNN", eval_model(suite->rnn.get())});
   results.push_back(
-      {"MMI", eval::EvaluatePrediction(
+      {"MMI", eval::EvaluatePredictionParallel(
                   world,
-                  [&](const core::RouteQuery& q) {
-                    return suite->mmi->PredictRoute(q, &rng);
+                  [&](const core::RouteQuery& q, util::Rng* rng) {
+                    return suite->mmi->PredictRoute(q, rng);
                   },
-                  max_trips)});
+                  max_trips, kEvalSeed)});
   results.push_back(
-      {"WSP", eval::EvaluatePrediction(
+      {"WSP", eval::EvaluatePredictionParallel(
                   world,
-                  [&](const core::RouteQuery& q) {
-                    return suite->wsp->PredictRoute(q, &rng);
+                  [&](const core::RouteQuery& q, util::Rng* rng) {
+                    return suite->wsp->PredictRoute(q, rng);
                   },
-                  max_trips)});
+                  max_trips, kEvalSeed)});
   return results;
 }
 
 int MaxEvalTrips() { return eval::FastMode() ? 60 : 1000; }
+
+void InitBackendFromArgs(int* argc, char** argv) {
+  int threads = 0;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0) {
+      threads = std::atoi(arg.c_str() + 10);
+      continue;
+    }
+    if (arg == "--threads" && i + 1 < *argc) {
+      threads = std::atoi(argv[++i]);
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  if (threads > 0) {
+    nn::SetBackendThreads(threads);
+    DEEPST_LOG(Info) << "nn backend: " << nn::GetBackend()->name() << " ("
+                     << nn::GetBackendThreads() << " threads)";
+  }
+}
 
 std::string OutDir() {
   std::string path = "bench_out";

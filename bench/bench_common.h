@@ -59,7 +59,25 @@ int MaxEvalTrips();
 // Output directory for CSV exports ("bench_out/", created on demand).
 std::string OutDir();
 
+// Consumes a `--threads=N` / `--threads N` argument (removing it from argv,
+// since google-benchmark rejects flags it does not know) and installs an
+// N-thread nn backend. Without the flag the backend is left serial.
+void InitBackendFromArgs(int* argc, char** argv);
+
 }  // namespace bench
 }  // namespace deepst
+
+// BENCHMARK_MAIN() plus the --threads flag. The translation unit must
+// include <benchmark/benchmark.h> before using it.
+#define DEEPST_BENCHMARK_MAIN()                                             \
+  int main(int argc, char** argv) {                                         \
+    ::deepst::bench::InitBackendFromArgs(&argc, argv);                      \
+    ::benchmark::Initialize(&argc, argv);                                   \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;     \
+    ::benchmark::RunSpecifiedBenchmarks();                                  \
+    ::benchmark::Shutdown();                                                \
+    return 0;                                                               \
+  }                                                                         \
+  static_assert(true, "require a trailing semicolon")
 
 #endif  // DEEPST_BENCH_BENCH_COMMON_H_

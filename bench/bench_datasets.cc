@@ -80,4 +80,4 @@ BENCHMARK(BM_DatasetArtifacts)->Unit(benchmark::kSecond)->Iterations(1);
 }  // namespace bench
 }  // namespace deepst
 
-BENCHMARK_MAIN();
+DEEPST_BENCHMARK_MAIN();

@@ -50,4 +50,4 @@ BENCHMARK(BM_Fig7Distance)->Unit(benchmark::kSecond)->Iterations(1);
 }  // namespace bench
 }  // namespace deepst
 
-BENCHMARK_MAIN();
+DEEPST_BENCHMARK_MAIN();

@@ -52,4 +52,4 @@ BENCHMARK(BM_Fig8Scalability)->Unit(benchmark::kSecond)->Iterations(1);
 }  // namespace bench
 }  // namespace deepst
 
-BENCHMARK_MAIN();
+DEEPST_BENCHMARK_MAIN();

@@ -4,13 +4,22 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <fstream>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
 
 #include "baselines/neural_router.h"
+#include "bench/bench_common.h"
 #include "eval/world.h"
 #include "mapmatch/hmm_matcher.h"
+#include "nn/backend.h"
+#include "nn/kernels.h"
 #include "nn/layers.h"
 #include "nn/ops.h"
 #include "roadnet/shortest_path.h"
+#include "util/stopwatch.h"
 
 namespace deepst {
 namespace bench {
@@ -65,6 +74,117 @@ void BM_LinearForwardBackward(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LinearForwardBackward);
+
+// -- backend kernels -------------------------------------------------------------
+
+// GEMM through the backend at the thread count given by the benchmark arg.
+// The --threads flag is ignored here on purpose: the sweep sets the backend
+// itself so one run covers all counts.
+void BM_MatmulKernel(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const int64_t n = state.range(1);
+  const int prev = nn::GetBackendThreads();
+  nn::SetBackendThreads(threads);
+  util::Rng rng(7);
+  const nn::Tensor a = nn::Tensor::Uniform({n, n}, -1, 1, &rng);
+  const nn::Tensor b = nn::Tensor::Uniform({n, n}, -1, 1, &rng);
+  nn::Tensor c = nn::Tensor::Zeros({n, n});
+  for (auto _ : state) {
+    nn::kernels::GemmAcc(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+  nn::SetBackendThreads(prev);
+}
+BENCHMARK(BM_MatmulKernel)->ArgsProduct({{1, 2, 4}, {64, 256}});
+
+void BM_Conv2dKernel(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const int prev = nn::GetBackendThreads();
+  nn::SetBackendThreads(threads);
+  util::Rng rng(8);
+  const nn::Tensor x = nn::Tensor::Uniform({8, 8, 24, 24}, -1, 1, &rng);
+  const nn::Tensor w = nn::Tensor::Uniform({16, 8, 3, 3}, -1, 1, &rng);
+  nn::Tensor out = nn::Tensor::Zeros({8, 16, 24, 24});
+  for (auto _ : state) {
+    nn::kernels::Conv2dForward(x, w, /*bias=*/nullptr, /*stride=*/1,
+                               /*pad=*/1, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * out.numel());
+  nn::SetBackendThreads(prev);
+}
+BENCHMARK(BM_Conv2dKernel)->Arg(1)->Arg(2)->Arg(4);
+
+// One-shot sweep of the two FLOP-dominant kernels over thread counts,
+// exported as bench_out/BENCH_kernels.json (seconds per call and speedup
+// over the single-thread run, per kernel and thread count).
+void BM_KernelThreadSweep(benchmark::State& state) {
+  const int64_t n = eval::FastMode() ? 128 : 256;
+  const int reps = eval::FastMode() ? 5 : 10;
+  util::Rng rng(9);
+  const nn::Tensor a = nn::Tensor::Uniform({n, n}, -1, 1, &rng);
+  const nn::Tensor b = nn::Tensor::Uniform({n, n}, -1, 1, &rng);
+  nn::Tensor c = nn::Tensor::Zeros({n, n});
+  const nn::Tensor x = nn::Tensor::Uniform({8, 8, 24, 24}, -1, 1, &rng);
+  const nn::Tensor w = nn::Tensor::Uniform({16, 8, 3, 3}, -1, 1, &rng);
+  nn::Tensor out = nn::Tensor::Zeros({8, 16, 24, 24});
+
+  auto time_best = [reps](const std::function<void()>& fn) {
+    fn();  // warmup
+    double best = std::numeric_limits<double>::infinity();
+    for (int round = 0; round < 3; ++round) {
+      util::Stopwatch watch;
+      for (int i = 0; i < reps; ++i) fn();
+      best = std::min(best, watch.ElapsedSeconds() / reps);
+    }
+    return best;
+  };
+
+  struct Row {
+    const char* kernel;
+    int threads;
+    double seconds;
+  };
+  std::vector<Row> rows;
+  const int prev = nn::GetBackendThreads();
+  for (auto _ : state) {
+    rows.clear();
+    for (int threads : {1, 2, 4}) {
+      nn::SetBackendThreads(threads);
+      rows.push_back({"matmul", threads, time_best([&] {
+                        nn::kernels::GemmAcc(a.data(), b.data(), c.data(), n,
+                                             n, n);
+                      })});
+      rows.push_back({"conv2d", threads, time_best([&] {
+                        nn::kernels::Conv2dForward(x, w, nullptr, 1, 1, &out);
+                      })});
+    }
+  }
+  nn::SetBackendThreads(prev);
+
+  auto baseline = [&rows](const char* kernel) {
+    for (const Row& r : rows) {
+      if (r.threads == 1 && std::string(kernel) == r.kernel) return r.seconds;
+    }
+    return 0.0;
+  };
+  std::ofstream json(OutDir() + "/BENCH_kernels.json");
+  json << "[\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    json << "  {\"kernel\": \"" << r.kernel << "\", \"threads\": " << r.threads
+         << ", \"seconds_per_call\": " << r.seconds
+         << ", \"speedup_vs_1\": " << baseline(r.kernel) / r.seconds << "}"
+         << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  json << "]\n";
+  for (const Row& r : rows) {
+    state.counters[std::string(r.kernel) + "_t" + std::to_string(r.threads) +
+                   "_speedup"] = baseline(r.kernel) / r.seconds;
+  }
+}
+BENCHMARK(BM_KernelThreadSweep)->Iterations(1)->Unit(benchmark::kMillisecond);
 
 // -- roadnet ---------------------------------------------------------------------
 
@@ -162,4 +282,4 @@ BENCHMARK(BM_PredictRoute);
 }  // namespace bench
 }  // namespace deepst
 
-BENCHMARK_MAIN();
+DEEPST_BENCHMARK_MAIN();

@@ -38,4 +38,4 @@ BENCHMARK(BM_Table4Overall)->Unit(benchmark::kSecond)->Iterations(1);
 }  // namespace bench
 }  // namespace deepst
 
-BENCHMARK_MAIN();
+DEEPST_BENCHMARK_MAIN();

@@ -12,6 +12,9 @@
 //   deepst_cli recover --data-dir data --model model.bin --trip INDEX
 //       [--interval-s SECONDS]
 //
+// Every command accepts `--threads N` (default 1): compute threads for the
+// nn backend. Results are identical for every N; see docs/parallelism.md.
+//
 // `generate` writes network.bin + dataset.bin (+ CSV exports); the other
 // commands load them, so experiments are reproducible without regenerating.
 #include <cstdio>
@@ -23,6 +26,7 @@
 #include "core/trainer.h"
 #include "eval/metrics.h"
 #include "eval/world.h"
+#include "nn/backend.h"
 #include "nn/serialize.h"
 #include "recovery/strs.h"
 #include "roadnet/io.h"
@@ -279,6 +283,9 @@ int Main(int argc, const char* const* argv) {
   if (argc < 2) return Usage();
   auto flags = util::Flags::Parse(argc - 1, argv + 1);
   if (!flags.ok()) return Fail(flags.status());
+  auto threads = flags.value().GetInt("threads", 1);
+  if (!threads.ok()) return Fail(threads.status());
+  nn::SetBackendThreads(static_cast<int>(threads.value()));
   const std::string command = argv[1];
   if (command == "generate") return CmdGenerate(flags.value());
   if (command == "train") return CmdTrain(flags.value());

@@ -80,6 +80,11 @@ struct DeepSTConfig {
   bool map_prediction = true;
 
   uint64_t seed = 1234;
+
+  // Compute threads for the nn backend during model construction and
+  // prediction. 0 leaves the process-wide backend untouched; N >= 1 installs
+  // an N-thread backend (1 = serial). Thread count never changes results.
+  int num_threads = 0;
 };
 
 }  // namespace core

@@ -5,6 +5,7 @@
 #include <limits>
 #include <map>
 
+#include "nn/backend.h"
 #include "nn/ops.h"
 
 namespace deepst {
@@ -21,6 +22,7 @@ DeepSTModel::DeepSTModel(const roadnet::RoadNetwork& net,
       traffic_cache_(traffic_cache),
       init_rng_(config.seed) {
   DEEPST_CHECK(net.finalized());
+  if (config.num_threads > 0) nn::SetBackendThreads(config.num_threads);
   util::Rng* rng = &init_rng_;
   const int nmax = net.MaxOutDegree();
   DEEPST_CHECK_GE(nmax, 2);

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
+#include "nn/backend.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -45,8 +47,21 @@ TrainResult Trainer::Fit(
     const std::vector<const traj::TripRecord*>& train,
     const std::vector<const traj::TripRecord*>& validation) {
   DEEPST_CHECK(!train.empty());
+  if (config_.num_threads > 0) nn::SetBackendThreads(config_.num_threads);
   util::Rng rng(config_.seed);
   nn::Adam optimizer(model_->Parameters(), config_.learning_rate);
+
+  // Trips with fewer than two segments have no transition to predict and are
+  // dropped by MakeBatches; if nothing survives, there is no epoch to run.
+  int64_t eligible = 0;
+  for (const auto* rec : train) {
+    if (rec->trip.route.size() >= 2) ++eligible;
+  }
+  if (eligible == 0) {
+    DEEPST_LOG(Warning)
+        << "no trainable trips (every route has < 2 segments); skipping fit";
+    return TrainResult{};
+  }
 
   TrainResult result;
   util::Stopwatch total_watch;
@@ -110,20 +125,38 @@ TrainResult Trainer::Fit(
 double Trainer::EvaluateRouteCe(
     const std::vector<const traj::TripRecord*>& data) {
   if (data.empty()) return 0.0;
-  util::Rng rng(config_.seed ^ 0xe4a1ULL);
+  if (config_.num_threads > 0) nn::SetBackendThreads(config_.num_threads);
   auto batches = MakeBatches(data, config_.batch_size, nullptr);
-  double ce_sum = 0.0;
-  int64_t transitions = 0;
-  for (const auto& batch : batches) {
+  if (batches.empty()) return 0.0;
+  // Batches are independent forward passes (MAP latents, batch-norm running
+  // stats; the graph is built but never backwarded), so they fan out over the
+  // backend. Each batch gets its own rng stream derived statelessly from its
+  // index, so the draws -- and thus the CE -- are the same for every thread
+  // count; under the default map_prediction config evaluation consumes no
+  // randomness at all.
+  const uint64_t eval_seed = config_.seed ^ 0xe4a1ULL;
+  const int64_t nbatches = static_cast<int64_t>(batches.size());
+  std::vector<double> ce(batches.size(), 0.0);
+  std::vector<int64_t> transitions(batches.size(), 0);
+  nn::GetBackend()->Run(nbatches, [&](int64_t i) {
+    util::Rng rng(eval_seed ^
+                  (0x9e3779b97f4a7c15ULL * (static_cast<uint64_t>(i) + 1)));
     LossStats stats;
-    // Forward-only evaluation pass (MAP latents, batch-norm running stats);
-    // the graph is built but never backwarded.
-    nn::VarPtr loss = model_->Loss(batch, &rng, &stats, /*training=*/false);
+    nn::VarPtr loss = model_->Loss(batches[static_cast<size_t>(i)], &rng,
+                                   &stats, /*training=*/false);
     (void)loss;
-    ce_sum += stats.route_ce * static_cast<double>(batch.size());
-    transitions += stats.num_transitions;
+    ce[static_cast<size_t>(i)] =
+        stats.route_ce * static_cast<double>(batches[static_cast<size_t>(i)].size());
+    transitions[static_cast<size_t>(i)] = stats.num_transitions;
+  });
+  // Combine in batch order: the sum is independent of task scheduling.
+  double ce_sum = 0.0;
+  int64_t total_transitions = 0;
+  for (int64_t i = 0; i < nbatches; ++i) {
+    ce_sum += ce[static_cast<size_t>(i)];
+    total_transitions += transitions[static_cast<size_t>(i)];
   }
-  return ce_sum / std::max<double>(1.0, static_cast<double>(transitions));
+  return ce_sum / std::max<double>(1.0, static_cast<double>(total_transitions));
 }
 
 }  // namespace core

@@ -22,6 +22,11 @@ struct TrainerConfig {
   int patience = 7;
   bool verbose = true;
   uint64_t seed = 99;
+  // Compute threads for kernels and batch-parallel evaluation. 0 leaves the
+  // process-wide nn::Backend untouched; N >= 1 installs an N-thread backend
+  // before training/evaluation (1 = serial). Results are bitwise identical
+  // for every value (see docs/parallelism.md).
+  int num_threads = 0;
 };
 
 struct EpochStats {

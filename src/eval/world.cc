@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace deepst {
@@ -106,6 +107,42 @@ core::TrainerConfig DefaultTrainerConfig() {
     cfg.patience = 2;
   }
   return cfg;
+}
+
+std::vector<const traj::TripRecord*> EligibleTestTrips(const World& world,
+                                                       int max_trips) {
+  std::vector<const traj::TripRecord*> trips;
+  for (const auto* rec : world.split().test) {
+    if (static_cast<int>(trips.size()) >= max_trips) break;
+    if (rec->trip.route.size() < 2) continue;
+    trips.push_back(rec);
+  }
+  return trips;
+}
+
+EvalResult AccumulateEval(const World& world,
+                          const std::vector<const traj::TripRecord*>& trips,
+                          const std::vector<traj::Route>& predicted) {
+  DEEPST_CHECK_EQ(trips.size(), predicted.size());
+  EvalResult result;
+  MetricAccumulator acc;
+  std::vector<MetricAccumulator> buckets(
+      static_cast<size_t>(NumDistanceBuckets()));
+  for (size_t i = 0; i < trips.size(); ++i) {
+    const traj::Route& truth = trips[i]->trip.route;
+    acc.Add(truth, predicted[i]);
+    const double km = world.net().RouteLength(truth) / 1000.0;
+    const int b = DistanceBucket(km);
+    if (b >= 0) buckets[static_cast<size_t>(b)].Add(truth, predicted[i]);
+  }
+  result.recall_at_n = acc.mean_recall();
+  result.accuracy = acc.mean_accuracy();
+  result.num_trips = acc.count;
+  for (const auto& b : buckets) {
+    result.bucket_accuracy.push_back(b.count ? b.mean_accuracy() : -1.0);
+    result.bucket_counts.push_back(b.count);
+  }
+  return result;
 }
 
 core::RouteQuery QueryFor(const traj::Trip& trip) {

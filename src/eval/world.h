@@ -1,12 +1,14 @@
 #ifndef DEEPST_EVAL_WORLD_H_
 #define DEEPST_EVAL_WORLD_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/trainer.h"
 #include "eval/metrics.h"
+#include "nn/backend.h"
 #include "roadnet/grid_city.h"
 #include "roadnet/spatial_index.h"
 #include "traffic/congestion_field.h"
@@ -90,33 +92,47 @@ struct EvalResult {
   std::vector<int> bucket_counts;
 };
 
+// Test-split trips with a scorable route (>= 2 segments), capped at
+// `max_trips`, in split order.
+std::vector<const traj::TripRecord*> EligibleTestTrips(const World& world,
+                                                       int max_trips);
+
+// Folds per-trip predictions into metrics, in trip order (so the result is
+// independent of how the predictions were scheduled).
+EvalResult AccumulateEval(const World& world,
+                          const std::vector<const traj::TripRecord*>& trips,
+                          const std::vector<traj::Route>& predicted);
+
+// Sequential evaluation. `predict` maps a query to a route and may carry
+// mutable state (it is called once per eligible trip, in split order).
 template <typename PredictFn>
 EvalResult EvaluatePrediction(const World& world, PredictFn&& predict,
                               int max_trips) {
-  EvalResult result;
-  MetricAccumulator acc;
-  std::vector<MetricAccumulator> buckets(
-      static_cast<size_t>(NumDistanceBuckets()));
-  int used = 0;
-  for (const auto* rec : world.split().test) {
-    if (used >= max_trips) break;
-    if (rec->trip.route.size() < 2) continue;
-    ++used;
-    const traj::Route predicted = predict(QueryFor(rec->trip));
-    acc.Add(rec->trip.route, predicted);
-    const double km = world.net().RouteLength(rec->trip.route) / 1000.0;
-    const int b = DistanceBucket(km);
-    if (b >= 0) buckets[static_cast<size_t>(b)].Add(rec->trip.route,
-                                                    predicted);
+  const auto trips = EligibleTestTrips(world, max_trips);
+  std::vector<traj::Route> predicted(trips.size());
+  for (size_t i = 0; i < trips.size(); ++i) {
+    predicted[i] = predict(QueryFor(trips[i]->trip));
   }
-  result.recall_at_n = acc.mean_recall();
-  result.accuracy = acc.mean_accuracy();
-  result.num_trips = acc.count;
-  for (const auto& b : buckets) {
-    result.bucket_accuracy.push_back(b.count ? b.mean_accuracy() : -1.0);
-    result.bucket_counts.push_back(b.count);
-  }
-  return result;
+  return AccumulateEval(world, trips, predicted);
+}
+
+// Parallel evaluation over the global nn::Backend. `predict` is called as
+// predict(query, &rng) from concurrent tasks, so it must be stateless apart
+// from the rng; each trip's rng stream is derived from (seed, trip index)
+// alone, making the result identical for every thread count. Metrics are
+// accumulated in trip order after all predictions complete.
+template <typename PredictFn>
+EvalResult EvaluatePredictionParallel(const World& world, PredictFn&& predict,
+                                      int max_trips, uint64_t seed) {
+  const auto trips = EligibleTestTrips(world, max_trips);
+  std::vector<traj::Route> predicted(trips.size());
+  nn::GetBackend()->Run(static_cast<int64_t>(trips.size()), [&](int64_t i) {
+    util::Rng rng(seed ^
+                  (0x9e3779b97f4a7c15ULL * (static_cast<uint64_t>(i) + 1)));
+    predicted[static_cast<size_t>(i)] =
+        predict(QueryFor(trips[static_cast<size_t>(i)]->trip), &rng);
+  });
+  return AccumulateEval(world, trips, predicted);
 }
 
 }  // namespace eval

@@ -1,0 +1,43 @@
+#include "nn/backend.h"
+
+#include <memory>
+
+namespace deepst {
+namespace nn {
+namespace {
+
+SerialBackend* Serial() {
+  static SerialBackend* serial = new SerialBackend();
+  return serial;
+}
+
+// Current global backend plus the ParallelBackend it points at (if any).
+// Intentionally leaked; pool threads live for the process lifetime.
+Backend* g_backend = nullptr;
+std::unique_ptr<ParallelBackend>* ParallelSlot() {
+  static std::unique_ptr<ParallelBackend>* slot =
+      new std::unique_ptr<ParallelBackend>();
+  return slot;
+}
+
+}  // namespace
+
+Backend* GetBackend() { return g_backend != nullptr ? g_backend : Serial(); }
+
+int GetBackendThreads() { return GetBackend()->num_threads(); }
+
+void SetBackendThreads(int num_threads) {
+  if (num_threads <= 1) {
+    g_backend = Serial();
+    ParallelSlot()->reset();
+    return;
+  }
+  if (GetBackendThreads() == num_threads) return;
+  auto* slot = ParallelSlot();
+  g_backend = Serial();  // Never leave a dangling backend installed.
+  slot->reset(new ParallelBackend(num_threads));
+  g_backend = slot->get();
+}
+
+}  // namespace nn
+}  // namespace deepst

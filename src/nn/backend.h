@@ -1,0 +1,131 @@
+#ifndef DEEPST_NN_BACKEND_H_
+#define DEEPST_NN_BACKEND_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace deepst {
+namespace nn {
+
+// Execution backend for nn kernels and batch-level fan-out (trainer
+// validation, test-set prediction). All FLOPs in ops.cc / conv_ops.cc
+// dispatch through the process-global Backend via the helpers below, so
+// swapping the backend swaps the execution strategy for the whole stack.
+//
+// Determinism contract (see docs/parallelism.md): results must be bitwise
+// identical for every backend and thread count. Run() may execute tasks in
+// any order and concurrently, so callers only hand it work whose float
+// accumulation order does not depend on the schedule: either tasks write
+// disjoint outputs with a fixed per-task inner order, or they fill per-task
+// partial buffers that the caller combines in ascending task order.
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  virtual const char* name() const = 0;
+  virtual int num_threads() const = 0;
+
+  // Invokes task(i) exactly once for each i in [0, n), possibly
+  // concurrently; returns after all invocations completed. Nested Run calls
+  // (from inside a task) execute inline on the calling thread.
+  virtual void Run(int64_t n, const std::function<void(int64_t)>& task) = 0;
+};
+
+// Runs every task inline, in ascending order. The default backend.
+class SerialBackend : public Backend {
+ public:
+  const char* name() const override { return "serial"; }
+  int num_threads() const override { return 1; }
+  void Run(int64_t n, const std::function<void(int64_t)>& task) override {
+    for (int64_t i = 0; i < n; ++i) task(i);
+  }
+};
+
+// Fans tasks out over a util::ThreadPool; the calling thread participates.
+class ParallelBackend : public Backend {
+ public:
+  explicit ParallelBackend(int num_threads) : pool_(num_threads) {}
+  const char* name() const override { return "parallel"; }
+  int num_threads() const override { return pool_.num_threads(); }
+  void Run(int64_t n, const std::function<void(int64_t)>& task) override {
+    pool_.ParallelFor(n, task);
+  }
+
+ private:
+  util::ThreadPool pool_;
+};
+
+// Process-global backend. Never null; defaults to a SerialBackend.
+// SetBackendThreads(n) installs a ParallelBackend(n) for n >= 2 and restores
+// the serial backend for n <= 1; it is idempotent for the current value.
+// Not safe to call concurrently with running work — configure the backend
+// from the main thread between graph executions (cli/bench/trainer entry
+// points do exactly that).
+Backend* GetBackend();
+void SetBackendThreads(int num_threads);
+int GetBackendThreads();
+
+// ---------------------------------------------------------------------------
+// Deterministic chunking helpers. Chunk boundaries are a pure function of
+// (n, grain) — never of the thread count — which is what makes chunked
+// reductions reproducible across backends.
+
+inline int64_t NumChunks(int64_t n, int64_t grain) {
+  return n <= 0 ? 0 : (n + grain - 1) / grain;
+}
+
+// Parallel loop over [0, n) in chunks of `grain`, calling fn(begin, end) for
+// each chunk. Only for DISJOINT-WRITE bodies: the serial path merges all
+// chunks into one fn(0, n) call, so the result must not depend on chunk
+// boundaries (each output element must be produced by exactly one iteration
+// with a fixed inner accumulation order).
+template <typename Fn>
+void ParallelFor(int64_t n, int64_t grain, Fn&& fn) {
+  if (n <= 0) return;
+  Backend* backend = GetBackend();
+  if (backend->num_threads() <= 1 || n <= grain) {
+    fn(0, n);
+    return;
+  }
+  const int64_t chunks = NumChunks(n, grain);
+  backend->Run(chunks, [&](int64_t c) {
+    const int64_t begin = c * grain;
+    fn(begin, std::min(n, begin + grain));
+  });
+}
+
+// Chunked reduction: partial(begin, end) -> double per fixed chunk, partials
+// combined in ascending chunk order. Both the serial and the parallel path
+// use the same chunk boundaries and the same combine order, so the result
+// is bitwise identical for every thread count.
+template <typename PartialFn>
+double OrderedReduce(int64_t n, int64_t grain, PartialFn&& partial) {
+  if (n <= 0) return 0.0;
+  Backend* backend = GetBackend();
+  const int64_t chunks = NumChunks(n, grain);
+  if (backend->num_threads() <= 1 || chunks == 1) {
+    double acc = 0.0;
+    for (int64_t c = 0; c < chunks; ++c) {
+      const int64_t begin = c * grain;
+      acc += partial(begin, std::min(n, begin + grain));
+    }
+    return acc;
+  }
+  std::vector<double> partials(static_cast<size_t>(chunks), 0.0);
+  backend->Run(chunks, [&](int64_t c) {
+    const int64_t begin = c * grain;
+    partials[static_cast<size_t>(c)] = partial(begin, std::min(n, begin + grain));
+  });
+  double acc = 0.0;
+  for (double p : partials) acc += p;
+  return acc;
+}
+
+}  // namespace nn
+}  // namespace deepst
+
+#endif  // DEEPST_NN_BACKEND_H_

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "nn/kernels.h"
+
 namespace deepst {
 namespace nn {
 namespace ops {
@@ -26,8 +28,7 @@ VarPtr Conv2d(const VarPtr& x, const VarPtr& w, const VarPtr& b, int stride,
   DEEPST_CHECK_EQ(xv.dim(1), wv.dim(1));
   DEEPST_CHECK_GE(stride, 1);
   DEEPST_CHECK_GE(pad, 0);
-  const int64_t batch = xv.dim(0), cin = xv.dim(1), h = xv.dim(2),
-                w_in = xv.dim(3);
+  const int64_t batch = xv.dim(0), h = xv.dim(2), w_in = xv.dim(3);
   const int64_t cout = wv.dim(0), kh = wv.dim(2), kw = wv.dim(3);
   const int64_t h_out = (h + 2 * pad - kh) / stride + 1;
   const int64_t w_out = (w_in + 2 * pad - kw) / stride + 1;
@@ -35,92 +36,26 @@ VarPtr Conv2d(const VarPtr& x, const VarPtr& w, const VarPtr& b, int stride,
   DEEPST_CHECK_GT(w_out, 0);
 
   Tensor out = Tensor::Zeros({batch, cout, h_out, w_out});
-  for (int64_t n = 0; n < batch; ++n) {
-    for (int64_t oc = 0; oc < cout; ++oc) {
-      for (int64_t oh = 0; oh < h_out; ++oh) {
-        for (int64_t ow = 0; ow < w_out; ++ow) {
-          double acc = 0.0;
-          for (int64_t ic = 0; ic < cin; ++ic) {
-            for (int64_t r = 0; r < kh; ++r) {
-              const int64_t ih = oh * stride - pad + r;
-              if (ih < 0 || ih >= h) continue;
-              for (int64_t c = 0; c < kw; ++c) {
-                const int64_t iw = ow * stride - pad + c;
-                if (iw < 0 || iw >= w_in) continue;
-                acc += xv.at4(n, ic, ih, iw) * wv.at4(oc, ic, r, c);
-              }
-            }
-          }
-          out.at4(n, oc, oh, ow) = static_cast<float>(acc);
-        }
-      }
-    }
-  }
   std::vector<VarPtr> parents = {x, w};
+  const Tensor* bias = nullptr;
   if (b != nullptr) {
-    const Tensor& bv = b->value();
-    DEEPST_CHECK_EQ(bv.numel(), cout);
-    for (int64_t n = 0; n < batch; ++n) {
-      for (int64_t oc = 0; oc < cout; ++oc) {
-        for (int64_t oh = 0; oh < h_out; ++oh) {
-          for (int64_t ow = 0; ow < w_out; ++ow) {
-            out.at4(n, oc, oh, ow) += bv[oc];
-          }
-        }
-      }
-    }
+    DEEPST_CHECK_EQ(b->value().numel(), cout);
+    bias = &b->value();
     parents.push_back(b);
   }
+  kernels::Conv2dForward(xv, wv, bias, stride, pad, &out);
   const bool has_bias = b != nullptr;
   return MakeNode(
-      std::move(out), std::move(parents),
-      [=](Variable* node) {
+      std::move(out), std::move(parents), [=](Variable* node) {
         const Tensor& g = node->grad();
         const auto& ps = node->parents();
         const Tensor& xv = ps[0]->value();
         const Tensor& wv = ps[1]->value();
-        const bool need_dx = ps[0]->requires_grad();
-        const bool need_dw = ps[1]->requires_grad();
-        Tensor* dx = need_dx ? &ps[0]->grad() : nullptr;
-        Tensor* dw = need_dw ? &ps[1]->grad() : nullptr;
-        for (int64_t n = 0; n < batch; ++n) {
-          for (int64_t oc = 0; oc < cout; ++oc) {
-            for (int64_t oh = 0; oh < h_out; ++oh) {
-              for (int64_t ow = 0; ow < w_out; ++ow) {
-                const float go = g.at4(n, oc, oh, ow);
-                if (go == 0.0f) continue;
-                for (int64_t ic = 0; ic < cin; ++ic) {
-                  for (int64_t r = 0; r < kh; ++r) {
-                    const int64_t ih = oh * stride - pad + r;
-                    if (ih < 0 || ih >= h) continue;
-                    for (int64_t c = 0; c < kw; ++c) {
-                      const int64_t iw = ow * stride - pad + c;
-                      if (iw < 0 || iw >= w_in) continue;
-                      if (need_dx) {
-                        dx->at4(n, ic, ih, iw) += go * wv.at4(oc, ic, r, c);
-                      }
-                      if (need_dw) {
-                        dw->at4(oc, ic, r, c) += go * xv.at4(n, ic, ih, iw);
-                      }
-                    }
-                  }
-                }
-              }
-            }
-          }
-        }
-        if (has_bias && ps[2]->requires_grad()) {
-          Tensor& db = ps[2]->grad();
-          for (int64_t n = 0; n < batch; ++n) {
-            for (int64_t oc = 0; oc < cout; ++oc) {
-              for (int64_t oh = 0; oh < h_out; ++oh) {
-                for (int64_t ow = 0; ow < w_out; ++ow) {
-                  db[oc] += g.at4(n, oc, oh, ow);
-                }
-              }
-            }
-          }
-        }
+        Tensor* dx = ps[0]->requires_grad() ? &ps[0]->grad() : nullptr;
+        Tensor* dw = ps[1]->requires_grad() ? &ps[1]->grad() : nullptr;
+        Tensor* db = has_bias && ps[2]->requires_grad() ? &ps[2]->grad()
+                                                        : nullptr;
+        kernels::Conv2dBackward(xv, wv, g, stride, pad, dx, dw, db);
       });
 }
 
@@ -136,36 +71,37 @@ VarPtr BatchNorm2d(const VarPtr& x, const VarPtr& gamma, const VarPtr& beta,
   const int64_t count = batch * h * w;
   DEEPST_CHECK_GT(count, 0);
   const float eps = state->eps;
+  const int64_t plane = h * w;
 
+  // All loops below partition over channels: each channel owns its stats,
+  // running-stat slots, and strided x/out planes, so the partition is
+  // race-free and deterministic.
   Tensor mean({ch}), var({ch});
   if (training) {
-    for (int64_t c = 0; c < ch; ++c) {
+    kernels::HeavyLoop(ch, [&](int64_t c) {
       double m = 0.0;
       for (int64_t n = 0; n < batch; ++n) {
-        for (int64_t i = 0; i < h; ++i) {
-          for (int64_t j = 0; j < w; ++j) m += xv.at4(n, c, i, j);
-        }
+        const float* plane_p = xv.data() + (n * ch + c) * plane;
+        for (int64_t i = 0; i < plane; ++i) m += plane_p[i];
       }
       m /= static_cast<double>(count);
       double v = 0.0;
       for (int64_t n = 0; n < batch; ++n) {
-        for (int64_t i = 0; i < h; ++i) {
-          for (int64_t j = 0; j < w; ++j) {
-            const double d = xv.at4(n, c, i, j) - m;
-            v += d * d;
-          }
+        const float* plane_p = xv.data() + (n * ch + c) * plane;
+        for (int64_t i = 0; i < plane; ++i) {
+          const double d = plane_p[i] - m;
+          v += d * d;
         }
       }
       v /= static_cast<double>(count);
       mean[c] = static_cast<float>(m);
       var[c] = static_cast<float>(v);
-      state->running_mean[c] = (1.0f - state->momentum) *
-                                   state->running_mean[c] +
-                               state->momentum * mean[c];
-      state->running_var[c] =
-          (1.0f - state->momentum) * state->running_var[c] +
-          state->momentum * var[c];
-    }
+      state->running_mean[c] =
+          (1.0f - state->momentum) * state->running_mean[c] +
+          state->momentum * mean[c];
+      state->running_var[c] = (1.0f - state->momentum) * state->running_var[c] +
+                              state->momentum * var[c];
+    });
   } else {
     mean = state->running_mean;
     var = state->running_var;
@@ -176,34 +112,34 @@ VarPtr BatchNorm2d(const VarPtr& x, const VarPtr& gamma, const VarPtr& beta,
   Tensor out(xv.shape());
   const Tensor& gv = gamma->value();
   const Tensor& bv = beta->value();
-  for (int64_t n = 0; n < batch; ++n) {
-    for (int64_t c = 0; c < ch; ++c) {
-      const float inv_std = 1.0f / std::sqrt(var[c] + eps);
-      for (int64_t i = 0; i < h; ++i) {
-        for (int64_t j = 0; j < w; ++j) {
-          const float xh = (xv.at4(n, c, i, j) - mean[c]) * inv_std;
-          xhat.at4(n, c, i, j) = xh;
-          out.at4(n, c, i, j) = gv[c] * xh + bv[c];
-        }
+  kernels::HeavyLoop(ch, [&](int64_t c) {
+    const float inv_std = 1.0f / std::sqrt(var[c] + eps);
+    for (int64_t n = 0; n < batch; ++n) {
+      const float* xp = xv.data() + (n * ch + c) * plane;
+      float* xhp = xhat.data() + (n * ch + c) * plane;
+      float* op = out.data() + (n * ch + c) * plane;
+      for (int64_t i = 0; i < plane; ++i) {
+        const float xh = (xp[i] - mean[c]) * inv_std;
+        xhp[i] = xh;
+        op[i] = gv[c] * xh + bv[c];
       }
     }
-  }
+  });
   return MakeNode(
-      std::move(out), {x, gamma, beta},
-      [=](Variable* node) {
+      std::move(out), {x, gamma, beta}, [=](Variable* node) {
         const Tensor& g = node->grad();
         const auto& ps = node->parents();
         const Tensor& gv = ps[1]->value();
         // d_beta, d_gamma.
         if (ps[1]->requires_grad() || ps[2]->requires_grad()) {
-          for (int64_t c = 0; c < ch; ++c) {
+          kernels::HeavyLoop(ch, [&](int64_t c) {
             double dg = 0.0, db = 0.0;
             for (int64_t n = 0; n < batch; ++n) {
-              for (int64_t i = 0; i < h; ++i) {
-                for (int64_t j = 0; j < w; ++j) {
-                  dg += g.at4(n, c, i, j) * xhat.at4(n, c, i, j);
-                  db += g.at4(n, c, i, j);
-                }
+              const float* gp = g.data() + (n * ch + c) * plane;
+              const float* xhp = xhat.data() + (n * ch + c) * plane;
+              for (int64_t i = 0; i < plane; ++i) {
+                dg += gp[i] * xhp[i];
+                db += gp[i];
               }
             }
             if (ps[1]->requires_grad()) {
@@ -212,48 +148,46 @@ VarPtr BatchNorm2d(const VarPtr& x, const VarPtr& gamma, const VarPtr& beta,
             if (ps[2]->requires_grad()) {
               ps[2]->grad()[c] += static_cast<float>(db);
             }
-          }
+          });
         }
         if (!ps[0]->requires_grad()) return;
         Tensor& dx = ps[0]->grad();
         if (training) {
           // Full batch-norm backward (batch statistics participate).
-          for (int64_t c = 0; c < ch; ++c) {
+          kernels::HeavyLoop(ch, [&](int64_t c) {
             const float inv_std = 1.0f / std::sqrt(var[c] + eps);
             double sum_dy = 0.0, sum_dy_xhat = 0.0;
             for (int64_t n = 0; n < batch; ++n) {
-              for (int64_t i = 0; i < h; ++i) {
-                for (int64_t j = 0; j < w; ++j) {
-                  sum_dy += g.at4(n, c, i, j);
-                  sum_dy_xhat += g.at4(n, c, i, j) * xhat.at4(n, c, i, j);
-                }
+              const float* gp = g.data() + (n * ch + c) * plane;
+              const float* xhp = xhat.data() + (n * ch + c) * plane;
+              for (int64_t i = 0; i < plane; ++i) {
+                sum_dy += gp[i];
+                sum_dy_xhat += gp[i] * xhp[i];
               }
             }
             const float m = static_cast<float>(count);
             for (int64_t n = 0; n < batch; ++n) {
-              for (int64_t i = 0; i < h; ++i) {
-                for (int64_t j = 0; j < w; ++j) {
-                  const float dy = g.at4(n, c, i, j);
-                  dx.at4(n, c, i, j) +=
-                      gv[c] * inv_std / m *
-                      (m * dy - static_cast<float>(sum_dy) -
-                       xhat.at4(n, c, i, j) *
-                           static_cast<float>(sum_dy_xhat));
-                }
+              const float* gp = g.data() + (n * ch + c) * plane;
+              const float* xhp = xhat.data() + (n * ch + c) * plane;
+              float* dxp = dx.data() + (n * ch + c) * plane;
+              for (int64_t i = 0; i < plane; ++i) {
+                dxp[i] += gv[c] * inv_std / m *
+                          (m * gp[i] - static_cast<float>(sum_dy) -
+                           xhp[i] * static_cast<float>(sum_dy_xhat));
               }
             }
-          }
+          });
         } else {
-          for (int64_t c = 0; c < ch; ++c) {
+          kernels::HeavyLoop(ch, [&](int64_t c) {
             const float inv_std = 1.0f / std::sqrt(var[c] + eps);
             for (int64_t n = 0; n < batch; ++n) {
-              for (int64_t i = 0; i < h; ++i) {
-                for (int64_t j = 0; j < w; ++j) {
-                  dx.at4(n, c, i, j) += g.at4(n, c, i, j) * gv[c] * inv_std;
-                }
+              const float* gp = g.data() + (n * ch + c) * plane;
+              float* dxp = dx.data() + (n * ch + c) * plane;
+              for (int64_t i = 0; i < plane; ++i) {
+                dxp[i] += gp[i] * gv[c] * inv_std;
               }
             }
-          }
+          });
         }
       });
 }
@@ -263,30 +197,30 @@ VarPtr GlobalAvgPool2d(const VarPtr& x) {
   DEEPST_CHECK_EQ(xv.ndim(), 4);
   const int64_t batch = xv.dim(0), ch = xv.dim(1), h = xv.dim(2),
                 w = xv.dim(3);
-  const float inv = 1.0f / static_cast<float>(h * w);
+  const int64_t plane = h * w;
+  const float inv = 1.0f / static_cast<float>(plane);
   Tensor out({batch, ch});
-  for (int64_t n = 0; n < batch; ++n) {
-    for (int64_t c = 0; c < ch; ++c) {
+  {
+    const float* xp = xv.data();
+    float* op = out.data();
+    kernels::HeavyLoop(batch * ch, [xp, op, plane, inv](int64_t nc) {
+      const float* pp = xp + nc * plane;
       double acc = 0.0;
-      for (int64_t i = 0; i < h; ++i) {
-        for (int64_t j = 0; j < w; ++j) acc += xv.at4(n, c, i, j);
-      }
-      out.at(n, c) = static_cast<float>(acc) * inv;
-    }
+      for (int64_t i = 0; i < plane; ++i) acc += pp[i];
+      op[nc] = static_cast<float>(acc) * inv;
+    });
   }
-  return MakeNode(std::move(out), {x}, [batch, ch, h, w, inv](Variable* node) {
+  return MakeNode(std::move(out), {x}, [batch, ch, plane, inv](Variable* node) {
     auto& p = node->parents()[0];
     if (!p->requires_grad()) return;
     const Tensor& g = node->grad();
-    Tensor& dx = p->grad();
-    for (int64_t n = 0; n < batch; ++n) {
-      for (int64_t c = 0; c < ch; ++c) {
-        const float gv = g.at(n, c) * inv;
-        for (int64_t i = 0; i < h; ++i) {
-          for (int64_t j = 0; j < w; ++j) dx.at4(n, c, i, j) += gv;
-        }
-      }
-    }
+    const float* gp = g.data();
+    float* dxp = p->grad().data();
+    kernels::HeavyLoop(batch * ch, [gp, dxp, plane, inv](int64_t nc) {
+      const float gv = gp[nc] * inv;
+      float* pp = dxp + nc * plane;
+      for (int64_t i = 0; i < plane; ++i) pp[i] += gv;
+    });
   });
 }
 
@@ -299,51 +233,55 @@ VarPtr AvgPool2d(const VarPtr& x, int kernel) {
   const int64_t h_out = (h + kernel - 1) / kernel;
   const int64_t w_out = (w + kernel - 1) / kernel;
   Tensor out({batch, ch, h_out, w_out});
-  for (int64_t n = 0; n < batch; ++n) {
-    for (int64_t c = 0; c < ch; ++c) {
+  {
+    const float* xp = xv.data();
+    float* op = out.data();
+    kernels::HeavyLoop(batch * ch, [=](int64_t nc) {
+      const float* pp = xp + nc * h * w;
+      float* orow = op + nc * h_out * w_out;
       for (int64_t oh = 0; oh < h_out; ++oh) {
         for (int64_t ow = 0; ow < w_out; ++ow) {
           double acc = 0.0;
           int cnt = 0;
-          for (int64_t i = oh * kernel; i < std::min<int64_t>(h, (oh + 1) * kernel);
-               ++i) {
-            for (int64_t j = ow * kernel;
-                 j < std::min<int64_t>(w, (ow + 1) * kernel); ++j) {
-              acc += xv.at4(n, c, i, j);
+          const int64_t i_end = std::min<int64_t>(h, (oh + 1) * kernel);
+          const int64_t j_end = std::min<int64_t>(w, (ow + 1) * kernel);
+          for (int64_t i = oh * kernel; i < i_end; ++i) {
+            for (int64_t j = ow * kernel; j < j_end; ++j) {
+              acc += pp[i * w + j];
               ++cnt;
             }
           }
-          out.at4(n, c, oh, ow) = static_cast<float>(acc / cnt);
+          orow[oh * w_out + ow] = static_cast<float>(acc / cnt);
         }
       }
-    }
+    });
   }
-  return MakeNode(
-      std::move(out), {x}, [batch, ch, h, w, h_out, w_out, kernel](
-                               Variable* node) {
-        auto& p = node->parents()[0];
-        if (!p->requires_grad()) return;
-        const Tensor& g = node->grad();
-        Tensor& dx = p->grad();
-        for (int64_t n = 0; n < batch; ++n) {
-          for (int64_t c = 0; c < ch; ++c) {
-            for (int64_t oh = 0; oh < h_out; ++oh) {
-              for (int64_t ow = 0; ow < w_out; ++ow) {
-                const int64_t i_end = std::min<int64_t>(h, (oh + 1) * kernel);
-                const int64_t j_end = std::min<int64_t>(w, (ow + 1) * kernel);
-                const int cnt = static_cast<int>((i_end - oh * kernel) *
-                                                 (j_end - ow * kernel));
-                const float gv = g.at4(n, c, oh, ow) / cnt;
-                for (int64_t i = oh * kernel; i < i_end; ++i) {
-                  for (int64_t j = ow * kernel; j < j_end; ++j) {
-                    dx.at4(n, c, i, j) += gv;
-                  }
-                }
-              }
+  return MakeNode(std::move(out), {x}, [batch, ch, h, w, h_out, w_out,
+                                        kernel](Variable* node) {
+    auto& p = node->parents()[0];
+    if (!p->requires_grad()) return;
+    const Tensor& g = node->grad();
+    const float* gp = g.data();
+    float* dxp = p->grad().data();
+    kernels::HeavyLoop(batch * ch, [=](int64_t nc) {
+      const float* grow = gp + nc * h_out * w_out;
+      float* pp = dxp + nc * h * w;
+      for (int64_t oh = 0; oh < h_out; ++oh) {
+        for (int64_t ow = 0; ow < w_out; ++ow) {
+          const int64_t i_end = std::min<int64_t>(h, (oh + 1) * kernel);
+          const int64_t j_end = std::min<int64_t>(w, (ow + 1) * kernel);
+          const int cnt = static_cast<int>((i_end - oh * kernel) *
+                                           (j_end - ow * kernel));
+          const float gv = grow[oh * w_out + ow] / cnt;
+          for (int64_t i = oh * kernel; i < i_end; ++i) {
+            for (int64_t j = ow * kernel; j < j_end; ++j) {
+              pp[i * w + j] += gv;
             }
           }
         }
-      });
+      }
+    });
+  });
 }
 
 }  // namespace ops

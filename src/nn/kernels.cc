@@ -1,0 +1,326 @@
+#include "nn/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace deepst {
+namespace nn {
+namespace kernels {
+
+void GemmAcc(const float* a, const float* b, float* c, int64_t m, int64_t k,
+             int64_t n) {
+  // Cache-friendly ikj loop, partitioned over output rows. Each row's
+  // accumulation order is fixed, so the partition is invisible to the result.
+  ParallelFor(m, kGemmRowGrain, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      const float* arow = a + i * k;
+      float* crow = c + i * n;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float av = arow[kk];
+        if (av == 0.0f) continue;
+        const float* brow = b + kk * n;
+        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  });
+}
+
+void GemmAccBT(const float* a, const float* b, float* c, int64_t m, int64_t k,
+               int64_t n) {
+  ParallelFor(m, kGemmRowGrain, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      const float* arow = a + i * k;
+      float* crow = c + i * n;
+      for (int64_t j = 0; j < n; ++j) {
+        const float* brow = b + j * k;
+        double acc = 0.0;
+        for (int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+        crow[j] += static_cast<float>(acc);
+      }
+    }
+  });
+}
+
+void GemmAccAT(const float* a, const float* b, float* c, int64_t m, int64_t k,
+               int64_t n) {
+  // Output-row partition of C += A^T @ B. Per element the sum still runs
+  // over kk ascending, matching the former kk-outer loop bit for bit.
+  ParallelFor(m, kGemmRowGrain, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      float* crow = c + i * n;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float av = a[kk * m + i];
+        if (av == 0.0f) continue;
+        const float* brow = b + kk * n;
+        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  });
+}
+
+void AddRowBroadcast(float* out, const float* row, int64_t rows, int64_t cols,
+                     float sign) {
+  RowLoop(rows, [&](int64_t r) {
+    float* orow = out + r * cols;
+    for (int64_t c = 0; c < cols; ++c) orow[c] += sign * row[c];
+  });
+}
+
+void ColSumAcc(const float* g, float* out, int64_t rows, int64_t cols,
+               float sign) {
+  if (rows <= 0 || cols <= 0) return;
+  const int64_t chunks = NumChunks(rows, kRowGrain);
+  // Fixed row chunks on both paths; per-chunk double partials combined in
+  // ascending chunk order keep the result thread-count invariant.
+  Backend* backend = GetBackend();
+  if (backend->num_threads() <= 1 || chunks == 1) {
+    std::vector<double> partial(static_cast<size_t>(cols));
+    for (int64_t ck = 0; ck < chunks; ++ck) {
+      std::fill(partial.begin(), partial.end(), 0.0);
+      const int64_t r_end = std::min(rows, (ck + 1) * kRowGrain);
+      for (int64_t r = ck * kRowGrain; r < r_end; ++r) {
+        const float* grow = g + r * cols;
+        for (int64_t c = 0; c < cols; ++c) partial[c] += grow[c];
+      }
+      for (int64_t c = 0; c < cols; ++c) {
+        out[c] += sign * static_cast<float>(partial[c]);
+      }
+    }
+    return;
+  }
+  std::vector<double> partials(static_cast<size_t>(chunks * cols), 0.0);
+  backend->Run(chunks, [&](int64_t ck) {
+    double* partial = partials.data() + ck * cols;
+    const int64_t r_end = std::min(rows, (ck + 1) * kRowGrain);
+    for (int64_t r = ck * kRowGrain; r < r_end; ++r) {
+      const float* grow = g + r * cols;
+      for (int64_t c = 0; c < cols; ++c) partial[c] += grow[c];
+    }
+  });
+  for (int64_t ck = 0; ck < chunks; ++ck) {
+    const double* partial = partials.data() + ck * cols;
+    for (int64_t c = 0; c < cols; ++c) {
+      out[c] += sign * static_cast<float>(partial[c]);
+    }
+  }
+}
+
+void AxpyAcc(float* dst, const float* src, int64_t n, float scale) {
+  ParallelFor(n, kEwiseGrain, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) dst[i] += scale * src[i];
+  });
+}
+
+void AddScalarAcc(float* dst, float s, int64_t n) {
+  ParallelFor(n, kEwiseGrain, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) dst[i] += s;
+  });
+}
+
+double ReduceSum(const float* x, int64_t n) {
+  return OrderedReduce(n, kReduceGrain, [&](int64_t begin, int64_t end) {
+    double acc = 0.0;
+    for (int64_t i = begin; i < end; ++i) acc += x[i];
+    return acc;
+  });
+}
+
+double ReduceDot(const float* x, const float* y, int64_t n) {
+  return OrderedReduce(n, kReduceGrain, [&](int64_t begin, int64_t end) {
+    double acc = 0.0;
+    for (int64_t i = begin; i < end; ++i) acc += x[i] * y[i];
+    return acc;
+  });
+}
+
+void SoftmaxRowsTo(const float* in, float* out, int64_t rows, int64_t cols) {
+  RowLoop(rows, [&](int64_t r) {
+    const float* irow = in + r * cols;
+    float* orow = out + r * cols;
+    float mx = irow[0];
+    for (int64_t c = 1; c < cols; ++c) mx = std::max(mx, irow[c]);
+    double denom = 0.0;
+    for (int64_t c = 0; c < cols; ++c) {
+      const float e = std::exp(irow[c] - mx);
+      orow[c] = e;
+      denom += e;
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (int64_t c = 0; c < cols; ++c) orow[c] *= inv;
+  });
+}
+
+void LogSoftmaxRowsTo(const float* in, float* out, int64_t rows,
+                      int64_t cols) {
+  RowLoop(rows, [&](int64_t r) {
+    const float* irow = in + r * cols;
+    float* orow = out + r * cols;
+    float mx = irow[0];
+    for (int64_t c = 1; c < cols; ++c) mx = std::max(mx, irow[c]);
+    double denom = 0.0;
+    for (int64_t c = 0; c < cols; ++c) denom += std::exp(irow[c] - mx);
+    const float log_denom = static_cast<float>(std::log(denom)) + mx;
+    for (int64_t c = 0; c < cols; ++c) orow[c] = irow[c] - log_denom;
+  });
+}
+
+namespace {
+
+// Gathers the receptive fields of batch item n into col, laid out as
+// [P, K] with P = h_out*w_out output positions and K = cin*kh*kw taps, so
+// the conv GEMM reads both operands contiguously. Padding taps become 0,
+// which a double accumulator absorbs exactly — results match the former
+// bounds-checked direct loops bit for bit.
+void Im2Col(const Tensor& x, int64_t n, int64_t kh, int64_t kw, int stride,
+            int pad, int64_t h_out, int64_t w_out, float* col) {
+  const int64_t cin = x.dim(1), h = x.dim(2), w_in = x.dim(3);
+  const float* xn = x.data() + n * cin * h * w_in;
+  for (int64_t oh = 0; oh < h_out; ++oh) {
+    for (int64_t ow = 0; ow < w_out; ++ow) {
+      float* crow = col + (oh * w_out + ow) * cin * kh * kw;
+      int64_t kidx = 0;
+      for (int64_t ic = 0; ic < cin; ++ic) {
+        const float* xc = xn + ic * h * w_in;
+        for (int64_t r = 0; r < kh; ++r) {
+          const int64_t ih = oh * stride - pad + r;
+          for (int64_t c = 0; c < kw; ++c, ++kidx) {
+            const int64_t iw = ow * stride - pad + c;
+            crow[kidx] = (ih < 0 || ih >= h || iw < 0 || iw >= w_in)
+                             ? 0.0f
+                             : xc[ih * w_in + iw];
+          }
+        }
+      }
+    }
+  }
+}
+
+// Scatter-adds the [P, K] gradient columns of batch item n back into dx.
+// Within one item the (p, k) visit order is fixed, and items own disjoint
+// dx slices, so the batch partition stays deterministic.
+void Col2ImAcc(const float* dcol, int64_t n, int64_t kh, int64_t kw,
+               int stride, int pad, int64_t h_out, int64_t w_out, Tensor* dx) {
+  const int64_t cin = dx->dim(1), h = dx->dim(2), w_in = dx->dim(3);
+  float* xn = dx->data() + n * cin * h * w_in;
+  for (int64_t oh = 0; oh < h_out; ++oh) {
+    for (int64_t ow = 0; ow < w_out; ++ow) {
+      const float* crow = dcol + (oh * w_out + ow) * cin * kh * kw;
+      int64_t kidx = 0;
+      for (int64_t ic = 0; ic < cin; ++ic) {
+        float* xc = xn + ic * h * w_in;
+        for (int64_t r = 0; r < kh; ++r) {
+          const int64_t ih = oh * stride - pad + r;
+          for (int64_t c = 0; c < kw; ++c, ++kidx) {
+            const int64_t iw = ow * stride - pad + c;
+            if (ih < 0 || ih >= h || iw < 0 || iw >= w_in) continue;
+            xc[ih * w_in + iw] += crow[kidx];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void Conv2dForward(const Tensor& x, const Tensor& w, const Tensor* bias,
+                   int stride, int pad, Tensor* out) {
+  const int64_t batch = x.dim(0), cin = x.dim(1);
+  const int64_t cout = w.dim(0), kh = w.dim(2), kw = w.dim(3);
+  const int64_t h_out = out->dim(2), w_out = out->dim(3);
+  const int64_t K = cin * kh * kw;
+  const int64_t P = h_out * w_out;
+  ParallelFor(batch, 1, [&](int64_t begin, int64_t end) {
+    std::vector<float> col(static_cast<size_t>(P * K));
+    for (int64_t n = begin; n < end; ++n) {
+      Im2Col(x, n, kh, kw, stride, pad, h_out, w_out, col.data());
+      for (int64_t oc = 0; oc < cout; ++oc) {
+        const float* wrow = w.data() + oc * K;
+        const float bval = bias != nullptr ? (*bias)[oc] : 0.0f;
+        float* orow = out->data() + (n * cout + oc) * P;
+        for (int64_t p = 0; p < P; ++p) {
+          const float* crow = col.data() + p * K;
+          double acc = 0.0;
+          for (int64_t kk = 0; kk < K; ++kk) acc += wrow[kk] * crow[kk];
+          orow[p] = static_cast<float>(acc) + bval;
+        }
+      }
+    }
+  });
+}
+
+void Conv2dBackward(const Tensor& x, const Tensor& w, const Tensor& g,
+                    int stride, int pad, Tensor* dx, Tensor* dw, Tensor* db) {
+  const int64_t batch = x.dim(0), cin = x.dim(1);
+  const int64_t cout = w.dim(0), kh = w.dim(2), kw = w.dim(3);
+  const int64_t h_out = g.dim(2), w_out = g.dim(3);
+  const int64_t K = cin * kh * kw;
+  const int64_t P = h_out * w_out;
+  // dw/db per-item partials, combined below in ascending item order.
+  std::vector<float> dw_part(
+      dw != nullptr ? static_cast<size_t>(batch * cout * K) : 0, 0.0f);
+  std::vector<double> db_part(
+      db != nullptr ? static_cast<size_t>(batch * cout) : 0, 0.0);
+  ParallelFor(batch, 1, [&](int64_t begin, int64_t end) {
+    std::vector<float> col;
+    std::vector<float> dcol;
+    if (dw != nullptr) col.resize(static_cast<size_t>(P * K));
+    if (dx != nullptr) dcol.resize(static_cast<size_t>(P * K));
+    for (int64_t n = begin; n < end; ++n) {
+      if (dw != nullptr) {
+        Im2Col(x, n, kh, kw, stride, pad, h_out, w_out, col.data());
+      }
+      for (int64_t oc = 0; oc < cout; ++oc) {
+        const float* grow = g.data() + (n * cout + oc) * P;
+        if (dw != nullptr) {
+          float* dwp = dw_part.data() + (n * cout + oc) * K;
+          for (int64_t p = 0; p < P; ++p) {
+            const float gv = grow[p];
+            if (gv == 0.0f) continue;
+            const float* crow = col.data() + p * K;
+            for (int64_t kk = 0; kk < K; ++kk) dwp[kk] += gv * crow[kk];
+          }
+        }
+        if (db != nullptr) {
+          double acc = 0.0;
+          for (int64_t p = 0; p < P; ++p) acc += grow[p];
+          db_part[static_cast<size_t>(n * cout + oc)] = acc;
+        }
+      }
+      if (dx != nullptr) {
+        std::fill(dcol.begin(), dcol.end(), 0.0f);
+        for (int64_t p = 0; p < P; ++p) {
+          float* drow = dcol.data() + p * K;
+          for (int64_t oc = 0; oc < cout; ++oc) {
+            const float gv = g.data()[(n * cout + oc) * P + p];
+            if (gv == 0.0f) continue;
+            const float* wrow = w.data() + oc * K;
+            for (int64_t kk = 0; kk < K; ++kk) drow[kk] += gv * wrow[kk];
+          }
+        }
+        Col2ImAcc(dcol.data(), n, kh, kw, stride, pad, h_out, w_out, dx);
+      }
+    }
+  });
+  if (dw != nullptr) {
+    const int64_t wsz = cout * K;
+    for (int64_t n = 0; n < batch; ++n) {
+      const float* dwp = dw_part.data() + n * wsz;
+      float* dst = dw->data();
+      for (int64_t i = 0; i < wsz; ++i) dst[i] += dwp[i];
+    }
+  }
+  if (db != nullptr) {
+    for (int64_t n = 0; n < batch; ++n) {
+      for (int64_t oc = 0; oc < cout; ++oc) {
+        (*db)[oc] +=
+            static_cast<float>(db_part[static_cast<size_t>(n * cout + oc)]);
+      }
+    }
+  }
+}
+
+}  // namespace kernels
+}  // namespace nn
+}  // namespace deepst

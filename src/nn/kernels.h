@@ -1,0 +1,109 @@
+#ifndef DEEPST_NN_KERNELS_H_
+#define DEEPST_NN_KERNELS_H_
+
+#include <cstdint>
+
+#include "nn/backend.h"
+#include "nn/tensor.h"
+
+namespace deepst {
+namespace nn {
+namespace kernels {
+
+// Hot loops of ops.cc / conv_ops.cc, hoisted out of the op closures and
+// dispatched through the global nn::Backend. Every kernel honors the
+// determinism contract of backend.h: bitwise-identical results for every
+// thread count. Disjoint-write kernels partition the output space with a
+// fixed per-element accumulation order; reduction kernels combine fixed
+// chunk partials in ascending chunk order on both the serial and the
+// parallel path.
+
+// Work-partitioning grains: minimum iterations per chunk, chosen so chunk
+// bookkeeping is negligible next to the chunk body. Chunk boundaries depend
+// only on (n, grain), never on the thread count.
+inline constexpr int64_t kEwiseGrain = 16384;  // elementwise maps
+inline constexpr int64_t kRowGrain = 8;        // per-row loops over [B, C]
+inline constexpr int64_t kGemmRowGrain = 4;    // GEMM output rows
+inline constexpr int64_t kReduceGrain = 8192;  // flat reductions
+
+// -- GEMM accumulate kernels (row-partitioned) -------------------------------
+// C[M,N] += A[M,K] @ B[K,N].
+void GemmAcc(const float* a, const float* b, float* c, int64_t m, int64_t k,
+             int64_t n);
+// C[M,N] += A[M,K] @ B^T where B is [N,K].
+void GemmAccBT(const float* a, const float* b, float* c, int64_t m, int64_t k,
+               int64_t n);
+// C[M,N] += A^T @ B where A is [K,M], B is [K,N].
+void GemmAccAT(const float* a, const float* b, float* c, int64_t m, int64_t k,
+               int64_t n);
+
+// -- Broadcast / accumulate helpers ------------------------------------------
+// out[r*cols + c] += sign * row[c] for every r.
+void AddRowBroadcast(float* out, const float* row, int64_t rows, int64_t cols,
+                     float sign);
+// out[c] += sign * sum_r g[r*cols + c], reduced over fixed row chunks
+// combined in ascending chunk order.
+void ColSumAcc(const float* g, float* out, int64_t rows, int64_t cols,
+               float sign);
+// dst[i] += scale * src[i].
+void AxpyAcc(float* dst, const float* src, int64_t n, float scale);
+// dst[i] += s.
+void AddScalarAcc(float* dst, float s, int64_t n);
+
+// -- Reductions (fixed-chunk, double partials) -------------------------------
+double ReduceSum(const float* x, int64_t n);
+double ReduceDot(const float* x, const float* y, int64_t n);
+
+// -- Row-wise softmax ---------------------------------------------------------
+// out and in may alias; rows are processed independently.
+void SoftmaxRowsTo(const float* in, float* out, int64_t rows, int64_t cols);
+void LogSoftmaxRowsTo(const float* in, float* out, int64_t rows, int64_t cols);
+
+// -- Elementwise / per-row loop templates ------------------------------------
+// y[i] = f(x[i]). Disjoint writes.
+template <typename F>
+void UnaryMap(const float* x, float* y, int64_t n, F f) {
+  ParallelFor(n, kEwiseGrain, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) y[i] = f(x[i]);
+  });
+}
+
+// f(i) for i in [0, n); f must only write state owned by iteration i.
+template <typename F>
+void ElementLoop(int64_t n, F f) {
+  ParallelFor(n, kEwiseGrain, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) f(i);
+  });
+}
+
+// f(i) for i in [0, n) where each iteration is heavyweight (a channel, an
+// image plane, a batch item); partitioned one iteration per chunk.
+template <typename F>
+void HeavyLoop(int64_t n, F f) {
+  ParallelFor(n, 1, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) f(i);
+  });
+}
+
+// f(r) for r in [0, rows); f must only write state owned by row r.
+template <typename F>
+void RowLoop(int64_t rows, F f) {
+  ParallelFor(rows, kRowGrain, [&](int64_t begin, int64_t end) {
+    for (int64_t r = begin; r < end; ++r) f(r);
+  });
+}
+
+// -- Conv2d (im2col, partitioned over batch items) ---------------------------
+// out must be pre-shaped to [N, Cout, Hout, Wout]; overwritten.
+void Conv2dForward(const Tensor& x, const Tensor& w, const Tensor* bias,
+                   int stride, int pad, Tensor* out);
+// Accumulates into whichever of dx/dw/db is non-null. dw/db gradients are
+// reduced from per-batch-item partials combined in ascending item order.
+void Conv2dBackward(const Tensor& x, const Tensor& w, const Tensor& g,
+                    int stride, int pad, Tensor* dx, Tensor* dw, Tensor* db);
+
+}  // namespace kernels
+}  // namespace nn
+}  // namespace deepst
+
+#endif  // DEEPST_NN_KERNELS_H_

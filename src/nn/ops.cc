@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "nn/kernels.h"
+
 namespace deepst {
 namespace nn {
 namespace ops {
@@ -28,28 +30,29 @@ VarPtr Add(const VarPtr& a, const VarPtr& b) {
   const Tensor& bv = b->value();
   Tensor out = av;
   if (av.SameShape(bv)) {
-    out.AddInPlace(bv);
+    kernels::AxpyAcc(out.data(), bv.data(), out.numel(), 1.0f);
     return MakeNode(std::move(out), {a, b}, [](Variable* node) {
       const Tensor& g = node->grad();
       const auto& ps = node->parents();
-      if (ps[0]->requires_grad()) ps[0]->grad().AddInPlace(g);
-      if (ps[1]->requires_grad()) ps[1]->grad().AddInPlace(g);
+      if (ps[0]->requires_grad()) {
+        kernels::AxpyAcc(ps[0]->grad().data(), g.data(), g.numel(), 1.0f);
+      }
+      if (ps[1]->requires_grad()) {
+        kernels::AxpyAcc(ps[1]->grad().data(), g.data(), g.numel(), 1.0f);
+      }
     });
   }
   DEEPST_CHECK_MSG(IsRowBroadcast(av, bv), "Add: incompatible shapes");
   const int64_t rows = av.dim(0), cols = av.dim(1);
-  for (int64_t r = 0; r < rows; ++r) {
-    for (int64_t c = 0; c < cols; ++c) out.at(r, c) += bv[c];
-  }
+  kernels::AddRowBroadcast(out.data(), bv.data(), rows, cols, 1.0f);
   return MakeNode(std::move(out), {a, b}, [rows, cols](Variable* node) {
     const Tensor& g = node->grad();
     const auto& ps = node->parents();
-    if (ps[0]->requires_grad()) ps[0]->grad().AddInPlace(g);
+    if (ps[0]->requires_grad()) {
+      kernels::AxpyAcc(ps[0]->grad().data(), g.data(), g.numel(), 1.0f);
+    }
     if (ps[1]->requires_grad()) {
-      Tensor& gb = ps[1]->grad();
-      for (int64_t r = 0; r < rows; ++r) {
-        for (int64_t c = 0; c < cols; ++c) gb[c] += g.at(r, c);
-      }
+      kernels::ColSumAcc(g.data(), ps[1]->grad().data(), rows, cols, 1.0f);
     }
   });
 }
@@ -59,31 +62,29 @@ VarPtr Sub(const VarPtr& a, const VarPtr& b) {
   const Tensor& bv = b->value();
   Tensor out = av;
   if (av.SameShape(bv)) {
-    for (int64_t i = 0; i < out.numel(); ++i) out[i] -= bv[i];
+    kernels::AxpyAcc(out.data(), bv.data(), out.numel(), -1.0f);
     return MakeNode(std::move(out), {a, b}, [](Variable* node) {
       const Tensor& g = node->grad();
       const auto& ps = node->parents();
-      if (ps[0]->requires_grad()) ps[0]->grad().AddInPlace(g);
+      if (ps[0]->requires_grad()) {
+        kernels::AxpyAcc(ps[0]->grad().data(), g.data(), g.numel(), 1.0f);
+      }
       if (ps[1]->requires_grad()) {
-        Tensor& gb = ps[1]->grad();
-        for (int64_t i = 0; i < g.numel(); ++i) gb[i] -= g[i];
+        kernels::AxpyAcc(ps[1]->grad().data(), g.data(), g.numel(), -1.0f);
       }
     });
   }
   DEEPST_CHECK_MSG(IsRowBroadcast(av, bv), "Sub: incompatible shapes");
   const int64_t rows = av.dim(0), cols = av.dim(1);
-  for (int64_t r = 0; r < rows; ++r) {
-    for (int64_t c = 0; c < cols; ++c) out.at(r, c) -= bv[c];
-  }
+  kernels::AddRowBroadcast(out.data(), bv.data(), rows, cols, -1.0f);
   return MakeNode(std::move(out), {a, b}, [rows, cols](Variable* node) {
     const Tensor& g = node->grad();
     const auto& ps = node->parents();
-    if (ps[0]->requires_grad()) ps[0]->grad().AddInPlace(g);
+    if (ps[0]->requires_grad()) {
+      kernels::AxpyAcc(ps[0]->grad().data(), g.data(), g.numel(), 1.0f);
+    }
     if (ps[1]->requires_grad()) {
-      Tensor& gb = ps[1]->grad();
-      for (int64_t r = 0; r < rows; ++r) {
-        for (int64_t c = 0; c < cols; ++c) gb[c] -= g.at(r, c);
-      }
+      kernels::ColSumAcc(g.data(), ps[1]->grad().data(), rows, cols, -1.0f);
     }
   });
 }
@@ -93,19 +94,29 @@ VarPtr Mul(const VarPtr& a, const VarPtr& b) {
   const Tensor& bv = b->value();
   DEEPST_CHECK_MSG(av.SameShape(bv), "Mul: shape mismatch");
   Tensor out = av;
-  for (int64_t i = 0; i < out.numel(); ++i) out[i] *= bv[i];
+  {
+    float* o = out.data();
+    const float* bp = bv.data();
+    kernels::ElementLoop(out.numel(), [o, bp](int64_t i) { o[i] *= bp[i]; });
+  }
   return MakeNode(std::move(out), {a, b}, [](Variable* node) {
     const Tensor& g = node->grad();
     const auto& ps = node->parents();
     const Tensor& av = ps[0]->value();
     const Tensor& bv = ps[1]->value();
     if (ps[0]->requires_grad()) {
-      Tensor& ga = ps[0]->grad();
-      for (int64_t i = 0; i < g.numel(); ++i) ga[i] += g[i] * bv[i];
+      float* ga = ps[0]->grad().data();
+      const float* gp = g.data();
+      const float* bp = bv.data();
+      kernels::ElementLoop(g.numel(),
+                           [ga, gp, bp](int64_t i) { ga[i] += gp[i] * bp[i]; });
     }
     if (ps[1]->requires_grad()) {
-      Tensor& gb = ps[1]->grad();
-      for (int64_t i = 0; i < g.numel(); ++i) gb[i] += g[i] * av[i];
+      float* gb = ps[1]->grad().data();
+      const float* gp = g.data();
+      const float* ap = av.data();
+      kernels::ElementLoop(g.numel(),
+                           [gb, gp, ap](int64_t i) { gb[i] += gp[i] * ap[i]; });
     }
   });
 }
@@ -115,21 +126,31 @@ VarPtr Div(const VarPtr& a, const VarPtr& b) {
   const Tensor& bv = b->value();
   DEEPST_CHECK_MSG(av.SameShape(bv), "Div: shape mismatch");
   Tensor out = av;
-  for (int64_t i = 0; i < out.numel(); ++i) out[i] /= bv[i];
+  {
+    float* o = out.data();
+    const float* bp = bv.data();
+    kernels::ElementLoop(out.numel(), [o, bp](int64_t i) { o[i] /= bp[i]; });
+  }
   return MakeNode(std::move(out), {a, b}, [](Variable* node) {
     const Tensor& g = node->grad();
     const auto& ps = node->parents();
     const Tensor& av = ps[0]->value();
     const Tensor& bv = ps[1]->value();
     if (ps[0]->requires_grad()) {
-      Tensor& ga = ps[0]->grad();
-      for (int64_t i = 0; i < g.numel(); ++i) ga[i] += g[i] / bv[i];
+      float* ga = ps[0]->grad().data();
+      const float* gp = g.data();
+      const float* bp = bv.data();
+      kernels::ElementLoop(g.numel(),
+                           [ga, gp, bp](int64_t i) { ga[i] += gp[i] / bp[i]; });
     }
     if (ps[1]->requires_grad()) {
-      Tensor& gb = ps[1]->grad();
-      for (int64_t i = 0; i < g.numel(); ++i) {
-        gb[i] -= g[i] * av[i] / (bv[i] * bv[i]);
-      }
+      float* gb = ps[1]->grad().data();
+      const float* gp = g.data();
+      const float* ap = av.data();
+      const float* bp = bv.data();
+      kernels::ElementLoop(g.numel(), [gb, gp, ap, bp](int64_t i) {
+        gb[i] -= gp[i] * ap[i] / (bp[i] * bp[i]);
+      });
     }
   });
 }
@@ -138,35 +159,42 @@ VarPtr Neg(const VarPtr& a) { return ScalarMul(a, -1.0f); }
 
 VarPtr ScalarMul(const VarPtr& a, float s) {
   Tensor out = a->value();
-  out.ScaleInPlace(s);
+  {
+    float* o = out.data();
+    kernels::ElementLoop(out.numel(), [o, s](int64_t i) { o[i] *= s; });
+  }
   return MakeNode(std::move(out), {a}, [s](Variable* node) {
     const Tensor& g = node->grad();
     auto& p = node->parents()[0];
     if (p->requires_grad()) {
-      Tensor& ga = p->grad();
-      for (int64_t i = 0; i < g.numel(); ++i) ga[i] += g[i] * s;
+      kernels::AxpyAcc(p->grad().data(), g.data(), g.numel(), s);
     }
   });
 }
 
 VarPtr ScalarAdd(const VarPtr& a, float s) {
   Tensor out = a->value();
-  for (int64_t i = 0; i < out.numel(); ++i) out[i] += s;
+  kernels::AddScalarAcc(out.data(), s, out.numel());
   return MakeNode(std::move(out), {a}, [](Variable* node) {
     auto& p = node->parents()[0];
-    if (p->requires_grad()) p->grad().AddInPlace(node->grad());
+    if (p->requires_grad()) {
+      const Tensor& g = node->grad();
+      kernels::AxpyAcc(p->grad().data(), g.data(), g.numel(), 1.0f);
+    }
   });
 }
 
 VarPtr RSubScalar(float s, const VarPtr& a) {
   Tensor out = a->value();
-  for (int64_t i = 0; i < out.numel(); ++i) out[i] = s - out[i];
+  {
+    float* o = out.data();
+    kernels::ElementLoop(out.numel(), [o, s](int64_t i) { o[i] = s - o[i]; });
+  }
   return MakeNode(std::move(out), {a}, [](Variable* node) {
     const Tensor& g = node->grad();
     auto& p = node->parents()[0];
     if (p->requires_grad()) {
-      Tensor& ga = p->grad();
-      for (int64_t i = 0; i < g.numel(); ++i) ga[i] -= g[i];
+      kernels::AxpyAcc(p->grad().data(), g.data(), g.numel(), -1.0f);
     }
   });
 }
@@ -178,33 +206,37 @@ namespace {
 template <typename Fwd, typename BwdFromOut>
 VarPtr UnaryFromOutput(const VarPtr& a, Fwd fwd, BwdFromOut bwd) {
   Tensor out = a->value();
-  for (int64_t i = 0; i < out.numel(); ++i) out[i] = fwd(out[i]);
+  kernels::UnaryMap(a->value().data(), out.data(), out.numel(), fwd);
   // Capture output values by copying the tensor into the closure.
   Tensor out_copy = out;
-  return MakeNode(std::move(out), {a},
-                  [bwd, out_copy](Variable* node) {
-                    const Tensor& g = node->grad();
-                    auto& p = node->parents()[0];
-                    if (!p->requires_grad()) return;
-                    Tensor& ga = p->grad();
-                    for (int64_t i = 0; i < g.numel(); ++i) {
-                      ga[i] += g[i] * bwd(out_copy[i]);
-                    }
-                  });
+  return MakeNode(std::move(out), {a}, [bwd, out_copy](Variable* node) {
+    const Tensor& g = node->grad();
+    auto& p = node->parents()[0];
+    if (!p->requires_grad()) return;
+    float* ga = p->grad().data();
+    const float* gp = g.data();
+    const float* op = out_copy.data();
+    kernels::ElementLoop(g.numel(), [ga, gp, op, bwd](int64_t i) {
+      ga[i] += gp[i] * bwd(op[i]);
+    });
+  });
 }
 
 // Unary elementwise with gradient computed from the *input* value.
 template <typename Fwd, typename BwdFromIn>
 VarPtr UnaryFromInput(const VarPtr& a, Fwd fwd, BwdFromIn bwd) {
   Tensor out = a->value();
-  for (int64_t i = 0; i < out.numel(); ++i) out[i] = fwd(out[i]);
+  kernels::UnaryMap(a->value().data(), out.data(), out.numel(), fwd);
   return MakeNode(std::move(out), {a}, [bwd](Variable* node) {
     const Tensor& g = node->grad();
     auto& p = node->parents()[0];
     if (!p->requires_grad()) return;
-    const Tensor& in = p->value();
-    Tensor& ga = p->grad();
-    for (int64_t i = 0; i < g.numel(); ++i) ga[i] += g[i] * bwd(in[i]);
+    float* ga = p->grad().data();
+    const float* gp = g.data();
+    const float* in = p->value().data();
+    kernels::ElementLoop(g.numel(), [ga, gp, in, bwd](int64_t i) {
+      ga[i] += gp[i] * bwd(in[i]);
+    });
   });
 }
 
@@ -259,55 +291,6 @@ VarPtr Square(const VarPtr& a) {
                         [](float x) { return 2.0f * x; });
 }
 
-namespace {
-
-// C[M,N] += A[M,K] @ B[K,N], cache-friendly ikj loop.
-void GemmAcc(const float* a, const float* b, float* c, int64_t m, int64_t k,
-             int64_t n) {
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    float* crow = c + i * n;
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const float av = arow[kk];
-      if (av == 0.0f) continue;
-      const float* brow = b + kk * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
-}
-
-// C[M,N] += A[M,K] @ B^T where B is [N,K].
-void GemmAccBT(const float* a, const float* b, float* c, int64_t m, int64_t k,
-               int64_t n) {
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    float* crow = c + i * n;
-    for (int64_t j = 0; j < n; ++j) {
-      const float* brow = b + j * k;
-      double acc = 0.0;
-      for (int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-      crow[j] += static_cast<float>(acc);
-    }
-  }
-}
-
-// C[M,N] += A^T @ B where A is [K,M], B is [K,N].
-void GemmAccAT(const float* a, const float* b, float* c, int64_t m, int64_t k,
-               int64_t n) {
-  for (int64_t kk = 0; kk < k; ++kk) {
-    const float* arow = a + kk * m;
-    const float* brow = b + kk * n;
-    for (int64_t i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* crow = c + i * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
-}
-
-}  // namespace
-
 VarPtr MatMul(const VarPtr& a, const VarPtr& b) {
   const Tensor& av = a->value();
   const Tensor& bv = b->value();
@@ -316,7 +299,7 @@ VarPtr MatMul(const VarPtr& a, const VarPtr& b) {
   DEEPST_CHECK_EQ(av.dim(1), bv.dim(0));
   const int64_t m = av.dim(0), k = av.dim(1), n = bv.dim(1);
   Tensor out = Tensor::Zeros({m, n});
-  GemmAcc(av.data(), bv.data(), out.data(), m, k, n);
+  kernels::GemmAcc(av.data(), bv.data(), out.data(), m, k, n);
   return MakeNode(std::move(out), {a, b}, [m, k, n](Variable* node) {
     const Tensor& g = node->grad();
     const auto& ps = node->parents();
@@ -324,11 +307,11 @@ VarPtr MatMul(const VarPtr& a, const VarPtr& b) {
     const Tensor& bv = ps[1]->value();
     if (ps[0]->requires_grad()) {
       // dA = dC @ B^T : [M,N] @ [N,K]^T-of-[K,N]
-      GemmAccBT(g.data(), bv.data(), ps[0]->grad().data(), m, n, k);
+      kernels::GemmAccBT(g.data(), bv.data(), ps[0]->grad().data(), m, n, k);
     }
     if (ps[1]->requires_grad()) {
       // dB = A^T @ dC : [K,M]^T-of-[M,K] @ [M,N]
-      GemmAccAT(av.data(), g.data(), ps[1]->grad().data(), k, m, n);
+      kernels::GemmAccAT(av.data(), g.data(), ps[1]->grad().data(), k, m, n);
     }
   });
 }
@@ -342,15 +325,13 @@ VarPtr Linear(const VarPtr& x, const VarPtr& w, const VarPtr& b) {
   const int64_t batch = xv.dim(0), in = xv.dim(1), out_dim = wv.dim(0);
   Tensor out = Tensor::Zeros({batch, out_dim});
   // out = x @ w^T
-  GemmAccBT(xv.data(), wv.data(), out.data(), batch, in, out_dim);
+  kernels::GemmAccBT(xv.data(), wv.data(), out.data(), batch, in, out_dim);
   std::vector<VarPtr> parents = {x, w};
   if (b != nullptr) {
     const Tensor& bv = b->value();
     DEEPST_CHECK_EQ(bv.ndim(), 1);
     DEEPST_CHECK_EQ(bv.dim(0), out_dim);
-    for (int64_t r = 0; r < batch; ++r) {
-      for (int64_t c = 0; c < out_dim; ++c) out.at(r, c) += bv[c];
-    }
+    kernels::AddRowBroadcast(out.data(), bv.data(), batch, out_dim, 1.0f);
     parents.push_back(b);
   }
   const bool has_bias = b != nullptr;
@@ -363,19 +344,17 @@ VarPtr Linear(const VarPtr& x, const VarPtr& w, const VarPtr& b) {
         const Tensor& wv = ps[1]->value();
         if (ps[0]->requires_grad()) {
           // dX = dY @ W : [B,Out] @ [Out,In]
-          GemmAcc(g.data(), wv.data(), ps[0]->grad().data(), batch, out_dim,
-                  in);
+          kernels::GemmAcc(g.data(), wv.data(), ps[0]->grad().data(), batch,
+                           out_dim, in);
         }
         if (ps[1]->requires_grad()) {
           // dW = dY^T @ X : [Out,B] @ [B,In]
-          GemmAccAT(g.data(), xv.data(), ps[1]->grad().data(), out_dim, batch,
-                    in);
+          kernels::GemmAccAT(g.data(), xv.data(), ps[1]->grad().data(),
+                             out_dim, batch, in);
         }
         if (has_bias && ps[2]->requires_grad()) {
-          Tensor& gb = ps[2]->grad();
-          for (int64_t r = 0; r < batch; ++r) {
-            for (int64_t c = 0; c < out_dim; ++c) gb[c] += g.at(r, c);
-          }
+          kernels::ColSumAcc(g.data(), ps[2]->grad().data(), batch, out_dim,
+                             1.0f);
         }
       });
 }
@@ -390,15 +369,18 @@ VarPtr ConcatCols(const std::vector<VarPtr>& parts) {
     total_cols += p->value().dim(1);
   }
   Tensor out({rows, total_cols});
-  int64_t col0 = 0;
-  for (const auto& p : parts) {
-    const Tensor& pv = p->value();
-    const int64_t cols = pv.dim(1);
-    for (int64_t r = 0; r < rows; ++r) {
-      std::copy(pv.data() + r * cols, pv.data() + (r + 1) * cols,
-                out.data() + r * total_cols + col0);
+  {
+    int64_t col0 = 0;
+    for (const auto& p : parts) {
+      const Tensor& pv = p->value();
+      const int64_t cols = pv.dim(1);
+      const float* src = pv.data();
+      float* dst = out.data() + col0;
+      kernels::RowLoop(rows, [src, dst, cols, total_cols](int64_t r) {
+        std::copy(src + r * cols, src + (r + 1) * cols, dst + r * total_cols);
+      });
+      col0 += cols;
     }
-    col0 += cols;
   }
   return MakeNode(std::move(out), parts, [rows, total_cols](Variable* node) {
     const Tensor& g = node->grad();
@@ -406,12 +388,13 @@ VarPtr ConcatCols(const std::vector<VarPtr>& parts) {
     for (const auto& p : node->parents()) {
       const int64_t cols = p->value().dim(1);
       if (p->requires_grad()) {
-        Tensor& gp = p->grad();
-        for (int64_t r = 0; r < rows; ++r) {
-          for (int64_t c = 0; c < cols; ++c) {
-            gp.at(r, c) += g[r * total_cols + col0 + c];
-          }
-        }
+        float* gp = p->grad().data();
+        const float* src = g.data() + col0;
+        kernels::RowLoop(rows, [gp, src, cols, total_cols](int64_t r) {
+          const float* grow = src + r * total_cols;
+          float* prow = gp + r * cols;
+          for (int64_t c = 0; c < cols; ++c) prow[c] += grow[c];
+        });
       }
       col0 += cols;
     }
@@ -424,22 +407,26 @@ VarPtr SliceCols(const VarPtr& a, int64_t start, int64_t len) {
   DEEPST_CHECK(start >= 0 && len > 0 && start + len <= av.dim(1));
   const int64_t rows = av.dim(0), cols = av.dim(1);
   Tensor out({rows, len});
-  for (int64_t r = 0; r < rows; ++r) {
-    std::copy(av.data() + r * cols + start, av.data() + r * cols + start + len,
-              out.data() + r * len);
+  {
+    const float* src = av.data() + start;
+    float* dst = out.data();
+    kernels::RowLoop(rows, [src, dst, cols, len](int64_t r) {
+      std::copy(src + r * cols, src + r * cols + len, dst + r * len);
+    });
   }
-  return MakeNode(std::move(out), {a}, [start, len, rows, cols](
-                                           Variable* node) {
-    const Tensor& g = node->grad();
-    auto& p = node->parents()[0];
-    if (!p->requires_grad()) return;
-    Tensor& gp = p->grad();
-    for (int64_t r = 0; r < rows; ++r) {
-      for (int64_t c = 0; c < len; ++c) {
-        gp[r * cols + start + c] += g[r * len + c];
-      }
-    }
-  });
+  return MakeNode(std::move(out), {a},
+                  [start, len, rows, cols](Variable* node) {
+                    const Tensor& g = node->grad();
+                    auto& p = node->parents()[0];
+                    if (!p->requires_grad()) return;
+                    float* gp = p->grad().data() + start;
+                    const float* src = g.data();
+                    kernels::RowLoop(rows, [gp, src, cols, len](int64_t r) {
+                      const float* grow = src + r * len;
+                      float* prow = gp + r * cols;
+                      for (int64_t c = 0; c < len; ++c) prow[c] += grow[c];
+                    });
+                  });
 }
 
 VarPtr EmbeddingLookup(const VarPtr& table, const std::vector<int>& ids) {
@@ -447,18 +434,24 @@ VarPtr EmbeddingLookup(const VarPtr& table, const std::vector<int>& ids) {
   DEEPST_CHECK_EQ(tv.ndim(), 2);
   const int64_t vocab = tv.dim(0), dim = tv.dim(1);
   const int64_t batch = static_cast<int64_t>(ids.size());
+  for (int id : ids) DEEPST_CHECK(id >= 0 && id < vocab);
   Tensor out({batch, dim});
-  for (int64_t b = 0; b < batch; ++b) {
-    const int id = ids[static_cast<size_t>(b)];
-    DEEPST_CHECK(id >= 0 && id < vocab);
-    std::copy(tv.data() + id * dim, tv.data() + (id + 1) * dim,
-              out.data() + b * dim);
+  {
+    const float* src = tv.data();
+    float* dst = out.data();
+    const int* idp = ids.data();
+    kernels::RowLoop(batch, [src, dst, idp, dim](int64_t b) {
+      const int id = idp[b];
+      std::copy(src + id * dim, src + (id + 1) * dim, dst + b * dim);
+    });
   }
   return MakeNode(std::move(out), {table}, [ids, dim](Variable* node) {
     const Tensor& g = node->grad();
     auto& p = node->parents()[0];
     if (!p->requires_grad()) return;
     Tensor& gt = p->grad();
+    // Scatter-add stays serial: duplicate ids in one batch alias the same
+    // table row, so a partition over b would race.
     for (size_t b = 0; b < ids.size(); ++b) {
       const int id = ids[b];
       for (int64_t d = 0; d < dim; ++d) {
@@ -474,20 +467,20 @@ VarPtr Reshape(const VarPtr& a, std::vector<int64_t> shape) {
     auto& p = node->parents()[0];
     if (!p->requires_grad()) return;
     const Tensor& g = node->grad();
-    Tensor& gp = p->grad();
-    for (int64_t i = 0; i < g.numel(); ++i) gp[i] += g[i];
+    kernels::AxpyAcc(p->grad().data(), g.data(), g.numel(), 1.0f);
   });
 }
 
 VarPtr Sum(const VarPtr& a) {
   Tensor out({1});
-  out[0] = static_cast<float>(a->value().Sum());
+  out[0] = static_cast<float>(
+      kernels::ReduceSum(a->value().data(), a->value().numel()));
   return MakeNode(std::move(out), {a}, [](Variable* node) {
     auto& p = node->parents()[0];
     if (!p->requires_grad()) return;
     const float g = node->grad()[0];
     Tensor& gp = p->grad();
-    for (int64_t i = 0; i < gp.numel(); ++i) gp[i] += g;
+    kernels::AddScalarAcc(gp.data(), g, gp.numel());
   });
 }
 
@@ -502,19 +495,26 @@ VarPtr RowSum(const VarPtr& a) {
   DEEPST_CHECK_EQ(av.ndim(), 2);
   const int64_t rows = av.dim(0), cols = av.dim(1);
   Tensor out({rows});
-  for (int64_t r = 0; r < rows; ++r) {
-    double acc = 0.0;
-    for (int64_t c = 0; c < cols; ++c) acc += av.at(r, c);
-    out[r] = static_cast<float>(acc);
+  {
+    const float* src = av.data();
+    float* dst = out.data();
+    kernels::RowLoop(rows, [src, dst, cols](int64_t r) {
+      const float* arow = src + r * cols;
+      double acc = 0.0;
+      for (int64_t c = 0; c < cols; ++c) acc += arow[c];
+      dst[r] = static_cast<float>(acc);
+    });
   }
   return MakeNode(std::move(out), {a}, [rows, cols](Variable* node) {
     auto& p = node->parents()[0];
     if (!p->requires_grad()) return;
     const Tensor& g = node->grad();
-    Tensor& gp = p->grad();
-    for (int64_t r = 0; r < rows; ++r) {
-      for (int64_t c = 0; c < cols; ++c) gp[r * cols + c] += g[r];
-    }
+    float* gp = p->grad().data();
+    const float* grow = g.data();
+    kernels::RowLoop(rows, [gp, grow, cols](int64_t r) {
+      float* prow = gp + r * cols;
+      for (int64_t c = 0; c < cols; ++c) prow[c] += grow[r];
+    });
   });
 }
 
@@ -522,15 +522,13 @@ VarPtr WeightedSum(const VarPtr& a, const Tensor& weights) {
   const Tensor& av = a->value();
   DEEPST_CHECK_EQ(av.numel(), weights.numel());
   Tensor out({1});
-  double acc = 0.0;
-  for (int64_t i = 0; i < av.numel(); ++i) acc += av[i] * weights[i];
-  out[0] = static_cast<float>(acc);
+  out[0] = static_cast<float>(
+      kernels::ReduceDot(av.data(), weights.data(), av.numel()));
   return MakeNode(std::move(out), {a}, [weights](Variable* node) {
     auto& p = node->parents()[0];
     if (!p->requires_grad()) return;
     const float g = node->grad()[0];
-    Tensor& gp = p->grad();
-    for (int64_t i = 0; i < gp.numel(); ++i) gp[i] += g * weights[i];
+    kernels::AxpyAcc(p->grad().data(), weights.data(), weights.numel(), g);
   });
 }
 
@@ -541,18 +539,20 @@ VarPtr Softmax(const VarPtr& logits) {
     auto& p = node->parents()[0];
     if (!p->requires_grad()) return;
     const Tensor& g = node->grad();
-    Tensor& gp = p->grad();
     const int64_t rows = out_copy.dim(0), cols = out_copy.dim(1);
-    for (int64_t r = 0; r < rows; ++r) {
+    float* gp = p->grad().data();
+    const float* gr = g.data();
+    const float* yp = out_copy.data();
+    kernels::RowLoop(rows, [gp, gr, yp, cols](int64_t r) {
+      const float* grow = gr + r * cols;
+      const float* yrow = yp + r * cols;
+      float* prow = gp + r * cols;
       double dot = 0.0;
+      for (int64_t c = 0; c < cols; ++c) dot += grow[c] * yrow[c];
       for (int64_t c = 0; c < cols; ++c) {
-        dot += g.at(r, c) * out_copy.at(r, c);
+        prow[c] += yrow[c] * (grow[c] - static_cast<float>(dot));
       }
-      for (int64_t c = 0; c < cols; ++c) {
-        gp.at(r, c) +=
-            out_copy.at(r, c) * (g.at(r, c) - static_cast<float>(dot));
-      }
-    }
+    });
   });
 }
 
@@ -563,16 +563,20 @@ VarPtr LogSoftmax(const VarPtr& logits) {
     auto& p = node->parents()[0];
     if (!p->requires_grad()) return;
     const Tensor& g = node->grad();
-    Tensor& gp = p->grad();
     const int64_t rows = out_copy.dim(0), cols = out_copy.dim(1);
-    for (int64_t r = 0; r < rows; ++r) {
+    float* gp = p->grad().data();
+    const float* gr = g.data();
+    const float* yp = out_copy.data();
+    kernels::RowLoop(rows, [gp, gr, yp, cols](int64_t r) {
+      const float* grow = gr + r * cols;
+      const float* yrow = yp + r * cols;
+      float* prow = gp + r * cols;
       double gsum = 0.0;
-      for (int64_t c = 0; c < cols; ++c) gsum += g.at(r, c);
+      for (int64_t c = 0; c < cols; ++c) gsum += grow[c];
       for (int64_t c = 0; c < cols; ++c) {
-        gp.at(r, c) += g.at(r, c) -
-                       static_cast<float>(gsum) * std::exp(out_copy.at(r, c));
+        prow[c] += grow[c] - static_cast<float>(gsum) * std::exp(yrow[c]);
       }
-    }
+    });
   });
 }
 
@@ -585,14 +589,18 @@ VarPtr CrossEntropyLoss(const VarPtr& logits, const std::vector<int>& targets,
   DEEPST_CHECK_EQ(rows, static_cast<int64_t>(weights.size()));
   Tensor probs = SoftmaxRows(lv);
   Tensor out({1});
-  double loss = 0.0;
-  for (int64_t r = 0; r < rows; ++r) {
-    const float w = weights[static_cast<size_t>(r)];
-    if (w == 0.0f) continue;
-    const int t = targets[static_cast<size_t>(r)];
-    DEEPST_CHECK(t >= 0 && t < cols);
-    loss -= w * std::log(std::max(probs.at(r, t), 1e-12f));
-  }
+  const double loss = OrderedReduce(
+      rows, kernels::kRowGrain, [&](int64_t begin, int64_t end) {
+        double acc = 0.0;
+        for (int64_t r = begin; r < end; ++r) {
+          const float w = weights[static_cast<size_t>(r)];
+          if (w == 0.0f) continue;
+          const int t = targets[static_cast<size_t>(r)];
+          DEEPST_CHECK(t >= 0 && t < cols);
+          acc -= w * std::log(std::max(probs.at(r, t), 1e-12f));
+        }
+        return acc;
+      });
   out[0] = static_cast<float>(loss);
   return MakeNode(
       std::move(out), {logits},
@@ -600,17 +608,22 @@ VarPtr CrossEntropyLoss(const VarPtr& logits, const std::vector<int>& targets,
         auto& p = node->parents()[0];
         if (!p->requires_grad()) return;
         const float g = node->grad()[0];
-        Tensor& gp = p->grad();
-        for (int64_t r = 0; r < rows; ++r) {
-          const float w = weights[static_cast<size_t>(r)];
-          if (w == 0.0f) continue;
-          const int t = targets[static_cast<size_t>(r)];
+        float* gp = p->grad().data();
+        const float* pp = probs.data();
+        const int* tp = targets.data();
+        const float* wp = weights.data();
+        kernels::RowLoop(rows, [gp, pp, tp, wp, cols, g](int64_t r) {
+          const float w = wp[r];
+          if (w == 0.0f) return;
+          const int t = tp[r];
+          const float* prow = pp + r * cols;
+          float* grow = gp + r * cols;
           for (int64_t c = 0; c < cols; ++c) {
-            float d = probs.at(r, c);
+            float d = prow[c];
             if (c == t) d -= 1.0f;
-            gp.at(r, c) += g * w * d;
+            grow[c] += g * w * d;
           }
-        }
+        });
       });
 }
 
@@ -620,23 +633,34 @@ VarPtr GaussianReparameterize(const VarPtr& mu, const VarPtr& logvar,
   const Tensor& lv = logvar->value();
   DEEPST_CHECK(mv.SameShape(lv));
   Tensor eps(mv.shape());
+  // Noise draws stay serial: the rng stream order is part of the
+  // reproducibility contract.
   for (int64_t i = 0; i < eps.numel(); ++i) {
     eps[i] = static_cast<float>(rng->Gaussian());
   }
   Tensor out = mv;
-  for (int64_t i = 0; i < out.numel(); ++i) {
-    out[i] += std::exp(0.5f * lv[i]) * eps[i];
+  {
+    float* o = out.data();
+    const float* lp = lv.data();
+    const float* ep = eps.data();
+    kernels::ElementLoop(out.numel(), [o, lp, ep](int64_t i) {
+      o[i] += std::exp(0.5f * lp[i]) * ep[i];
+    });
   }
   return MakeNode(std::move(out), {mu, logvar}, [eps](Variable* node) {
     const Tensor& g = node->grad();
     const auto& ps = node->parents();
-    if (ps[0]->requires_grad()) ps[0]->grad().AddInPlace(g);
+    if (ps[0]->requires_grad()) {
+      kernels::AxpyAcc(ps[0]->grad().data(), g.data(), g.numel(), 1.0f);
+    }
     if (ps[1]->requires_grad()) {
-      const Tensor& lv = ps[1]->value();
-      Tensor& gl = ps[1]->grad();
-      for (int64_t i = 0; i < g.numel(); ++i) {
-        gl[i] += g[i] * 0.5f * std::exp(0.5f * lv[i]) * eps[i];
-      }
+      const float* lp = ps[1]->value().data();
+      float* gl = ps[1]->grad().data();
+      const float* gp = g.data();
+      const float* ep = eps.data();
+      kernels::ElementLoop(g.numel(), [gl, gp, lp, ep](int64_t i) {
+        gl[i] += gp[i] * 0.5f * std::exp(0.5f * lp[i]) * ep[i];
+      });
     }
   });
 }
@@ -646,11 +670,17 @@ VarPtr KlStandardNormal(const VarPtr& mu, const VarPtr& logvar) {
   const Tensor& lv = logvar->value();
   DEEPST_CHECK(mv.SameShape(lv));
   Tensor out({1});
-  double acc = 0.0;
-  for (int64_t i = 0; i < mv.numel(); ++i) {
-    acc += 0.5 * (static_cast<double>(mv[i]) * mv[i] + std::exp(lv[i]) -
-                  lv[i] - 1.0);
-  }
+  const float* mp = mv.data();
+  const float* lp = lv.data();
+  const double acc = OrderedReduce(
+      mv.numel(), kernels::kReduceGrain, [mp, lp](int64_t begin, int64_t end) {
+        double a = 0.0;
+        for (int64_t i = begin; i < end; ++i) {
+          a += 0.5 * (static_cast<double>(mp[i]) * mp[i] + std::exp(lp[i]) -
+                      lp[i] - 1.0);
+        }
+        return a;
+      });
   out[0] = static_cast<float>(acc);
   return MakeNode(std::move(out), {mu, logvar}, [](Variable* node) {
     const float g = node->grad()[0];
@@ -658,14 +688,14 @@ VarPtr KlStandardNormal(const VarPtr& mu, const VarPtr& logvar) {
     const Tensor& mv = ps[0]->value();
     const Tensor& lv = ps[1]->value();
     if (ps[0]->requires_grad()) {
-      Tensor& gm = ps[0]->grad();
-      for (int64_t i = 0; i < mv.numel(); ++i) gm[i] += g * mv[i];
+      kernels::AxpyAcc(ps[0]->grad().data(), mv.data(), mv.numel(), g);
     }
     if (ps[1]->requires_grad()) {
-      Tensor& gl = ps[1]->grad();
-      for (int64_t i = 0; i < lv.numel(); ++i) {
-        gl[i] += g * 0.5f * (std::exp(lv[i]) - 1.0f);
-      }
+      float* gl = ps[1]->grad().data();
+      const float* lp = lv.data();
+      kernels::ElementLoop(lv.numel(), [gl, lp, g](int64_t i) {
+        gl[i] += g * 0.5f * (std::exp(lp[i]) - 1.0f);
+      });
     }
   });
 }
@@ -681,18 +711,22 @@ VarPtr GaussianLogProb(const Tensor& x, const VarPtr& mean, const VarPtr& var,
   DEEPST_CHECK_EQ(row_weights.numel(), rows);
   constexpr double kLog2Pi = 1.8378770664093453;
   Tensor out({1});
-  double acc = 0.0;
-  for (int64_t r = 0; r < rows; ++r) {
-    const double w = row_weights[r];
-    if (w == 0.0) continue;
-    double lp = 0.0;
-    for (int64_t c = 0; c < cols; ++c) {
-      const double v = std::max<double>(vv.at(r, c), 1e-8);
-      const double d = static_cast<double>(x.at(r, c)) - mv.at(r, c);
-      lp += -0.5 * (kLog2Pi + std::log(v) + d * d / v);
-    }
-    acc += w * lp;
-  }
+  const double acc = OrderedReduce(
+      rows, kernels::kRowGrain, [&](int64_t begin, int64_t end) {
+        double a = 0.0;
+        for (int64_t r = begin; r < end; ++r) {
+          const double w = row_weights[r];
+          if (w == 0.0) continue;
+          double lp = 0.0;
+          for (int64_t c = 0; c < cols; ++c) {
+            const double v = std::max<double>(vv.at(r, c), 1e-8);
+            const double d = static_cast<double>(x.at(r, c)) - mv.at(r, c);
+            lp += -0.5 * (kLog2Pi + std::log(v) + d * d / v);
+          }
+          a += w * lp;
+        }
+        return a;
+      });
   out[0] = static_cast<float>(acc);
   return MakeNode(
       std::move(out), {mean, var},
@@ -701,21 +735,22 @@ VarPtr GaussianLogProb(const Tensor& x, const VarPtr& mean, const VarPtr& var,
         const auto& ps = node->parents();
         const Tensor& mv = ps[0]->value();
         const Tensor& vv = ps[1]->value();
-        for (int64_t r = 0; r < rows; ++r) {
+        const bool need_dm = ps[0]->requires_grad();
+        const bool need_dv = ps[1]->requires_grad();
+        float* dm = need_dm ? ps[0]->grad().data() : nullptr;
+        float* dv = need_dv ? ps[1]->grad().data() : nullptr;
+        kernels::RowLoop(rows, [&](int64_t r) {
           const float w = row_weights[r];
-          if (w == 0.0f) continue;
+          if (w == 0.0f) return;
           for (int64_t c = 0; c < cols; ++c) {
             const float v = std::max(vv.at(r, c), 1e-8f);
             const float d = x.at(r, c) - mv.at(r, c);
-            if (ps[0]->requires_grad()) {
-              ps[0]->grad().at(r, c) += g * w * d / v;
-            }
-            if (ps[1]->requires_grad()) {
-              ps[1]->grad().at(r, c) +=
-                  g * w * 0.5f * (d * d / (v * v) - 1.0f / v);
+            if (need_dm) dm[r * cols + c] += g * w * d / v;
+            if (need_dv) {
+              dv[r * cols + c] += g * w * 0.5f * (d * d / (v * v) - 1.0f / v);
             }
           }
-        }
+        });
       });
 }
 
@@ -728,33 +763,39 @@ VarPtr CategoricalKlToUniform(const VarPtr& logits) {
   Tensor logq = LogSoftmaxRows(lv);
   const float log_k = std::log(static_cast<float>(cols));
   Tensor out({1});
-  double acc = 0.0;
-  for (int64_t r = 0; r < rows; ++r) {
-    for (int64_t c = 0; c < cols; ++c) {
-      const double q = std::exp(logq.at(r, c));
-      acc += q * (logq.at(r, c) + log_k);
-    }
-  }
+  const double acc = OrderedReduce(
+      rows, kernels::kRowGrain, [&](int64_t begin, int64_t end) {
+        double a = 0.0;
+        for (int64_t r = begin; r < end; ++r) {
+          for (int64_t c = 0; c < cols; ++c) {
+            const double q = std::exp(logq.at(r, c));
+            a += q * (logq.at(r, c) + log_k);
+          }
+        }
+        return a;
+      });
   out[0] = static_cast<float>(acc);
   return MakeNode(
       std::move(out), {logits}, [logq, rows, cols, log_k](Variable* node) {
         auto& p = node->parents()[0];
         if (!p->requires_grad()) return;
         const float g = node->grad()[0];
-        Tensor& gp = p->grad();
+        float* gp = p->grad().data();
+        const float* qp = logq.data();
         // d/dlogit_j sum_k q_k(logq_k + logK)
         //   = q_j (logq_j + logK) - q_j * sum_k q_k (logq_k + logK)
-        for (int64_t r = 0; r < rows; ++r) {
+        kernels::RowLoop(rows, [gp, qp, cols, log_k, g](int64_t r) {
+          const float* qrow = qp + r * cols;
+          float* grow = gp + r * cols;
           double kl_r = 0.0;
           for (int64_t c = 0; c < cols; ++c) {
-            kl_r += std::exp(logq.at(r, c)) * (logq.at(r, c) + log_k);
+            kl_r += std::exp(qrow[c]) * (qrow[c] + log_k);
           }
           for (int64_t c = 0; c < cols; ++c) {
-            const float q = std::exp(logq.at(r, c));
-            gp.at(r, c) += g * q *
-                           (logq.at(r, c) + log_k - static_cast<float>(kl_r));
+            const float q = std::exp(qrow[c]);
+            grow[c] += g * q * (qrow[c] + log_k - static_cast<float>(kl_r));
           }
-        }
+        });
       });
 }
 
@@ -764,30 +805,32 @@ VarPtr GumbelSoftmaxSample(const VarPtr& logits, float tau, util::Rng* rng) {
   DEEPST_CHECK_GT(tau, 0.0f);
   const int64_t rows = lv.dim(0), cols = lv.dim(1);
   Tensor perturbed({rows, cols});
+  // Serial: Gumbel draws consume the rng stream in element order.
   for (int64_t i = 0; i < perturbed.numel(); ++i) {
     perturbed[i] = (lv[i] + static_cast<float>(rng->Gumbel())) / tau;
   }
   Tensor y = SoftmaxRows(perturbed);
   Tensor y_copy = y;
-  return MakeNode(std::move(y), {logits},
-                  [y_copy, tau, rows, cols](Variable* node) {
-                    auto& p = node->parents()[0];
-                    if (!p->requires_grad()) return;
-                    const Tensor& g = node->grad();
-                    Tensor& gp = p->grad();
-                    // Same Jacobian as softmax, scaled by 1/tau.
-                    for (int64_t r = 0; r < rows; ++r) {
-                      double dot = 0.0;
-                      for (int64_t c = 0; c < cols; ++c) {
-                        dot += g.at(r, c) * y_copy.at(r, c);
-                      }
-                      for (int64_t c = 0; c < cols; ++c) {
-                        gp.at(r, c) += y_copy.at(r, c) *
-                                       (g.at(r, c) - static_cast<float>(dot)) /
-                                       tau;
-                      }
-                    }
-                  });
+  return MakeNode(
+      std::move(y), {logits}, [y_copy, tau, rows, cols](Variable* node) {
+        auto& p = node->parents()[0];
+        if (!p->requires_grad()) return;
+        const Tensor& g = node->grad();
+        float* gp = p->grad().data();
+        const float* gr = g.data();
+        const float* yp = y_copy.data();
+        // Same Jacobian as softmax, scaled by 1/tau.
+        kernels::RowLoop(rows, [gp, gr, yp, cols, tau](int64_t r) {
+          const float* grow = gr + r * cols;
+          const float* yrow = yp + r * cols;
+          float* prow = gp + r * cols;
+          double dot = 0.0;
+          for (int64_t c = 0; c < cols; ++c) dot += grow[c] * yrow[c];
+          for (int64_t c = 0; c < cols; ++c) {
+            prow[c] += yrow[c] * (grow[c] - static_cast<float>(dot)) / tau;
+          }
+        });
+      });
 }
 
 VarPtr StopGradient(const VarPtr& a) {

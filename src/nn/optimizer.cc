@@ -2,23 +2,28 @@
 
 #include <cmath>
 
+#include "nn/kernels.h"
+
 namespace deepst {
 namespace nn {
 
 double Optimizer::ClipGradNorm(double max_norm) {
+  // Per-parameter chunked reductions combined in fixed parameter order keep
+  // the norm (and thus the clip decision) thread-count invariant.
   double sq = 0.0;
   for (auto& p : params_) {
     if (!p.var->has_grad()) continue;
     const Tensor& g = p.var->grad();
-    for (int64_t i = 0; i < g.numel(); ++i) {
-      sq += static_cast<double>(g[i]) * g[i];
-    }
+    sq += kernels::ReduceDot(g.data(), g.data(), g.numel());
   }
   const double norm = std::sqrt(sq);
   if (norm > max_norm && norm > 0.0) {
     const float scale = static_cast<float>(max_norm / norm);
     for (auto& p : params_) {
-      if (p.var->has_grad()) p.var->grad().ScaleInPlace(scale);
+      if (!p.var->has_grad()) continue;
+      float* gp = p.var->grad().data();
+      kernels::ElementLoop(p.var->grad().numel(),
+                           [gp, scale](int64_t i) { gp[i] *= scale; });
     }
   }
   return norm;
@@ -41,13 +46,17 @@ void Sgd::Step() {
     Tensor& val = p->value();
     const Tensor& g = p->grad();
     if (momentum_ > 0.0f) {
-      Tensor& v = velocity_[i];
-      for (int64_t j = 0; j < val.numel(); ++j) {
-        v[j] = momentum_ * v[j] + g[j];
-        val[j] -= lr_ * v[j];
-      }
+      float* vp = velocity_[i].data();
+      float* valp = val.data();
+      const float* gp = g.data();
+      const float momentum = momentum_, lr = lr_;
+      kernels::ElementLoop(val.numel(), [vp, valp, gp, momentum,
+                                         lr](int64_t j) {
+        vp[j] = momentum * vp[j] + gp[j];
+        valp[j] -= lr * vp[j];
+      });
     } else {
-      for (int64_t j = 0; j < val.numel(); ++j) val[j] -= lr_ * g[j];
+      kernels::AxpyAcc(val.data(), g.data(), val.numel(), -lr_);
     }
   }
 }
@@ -77,18 +86,22 @@ void Adam::Step() {
     if (!p->has_grad()) continue;
     Tensor& val = p->value();
     const Tensor& g = p->grad();
-    Tensor& m = m_[i];
-    Tensor& v = v_[i];
-    for (int64_t j = 0; j < val.numel(); ++j) {
-      const float gj = g[j];
-      m[j] = beta1_ * m[j] + (1.0f - beta1_) * gj;
-      v[j] = beta2_ * v[j] + (1.0f - beta2_) * gj * gj;
-      const float mhat = m[j] / bc1;
-      const float vhat = v[j] / bc2;
-      float update = mhat / (std::sqrt(vhat) + eps_);
-      if (weight_decay_ > 0.0f) update += weight_decay_ * val[j];
-      val[j] -= lr_ * update;
-    }
+    float* mp = m_[i].data();
+    float* vp = v_[i].data();
+    float* valp = val.data();
+    const float* gp = g.data();
+    const float beta1 = beta1_, beta2 = beta2_, eps = eps_, lr = lr_,
+                weight_decay = weight_decay_;
+    kernels::ElementLoop(val.numel(), [=](int64_t j) {
+      const float gj = gp[j];
+      mp[j] = beta1 * mp[j] + (1.0f - beta1) * gj;
+      vp[j] = beta2 * vp[j] + (1.0f - beta2) * gj * gj;
+      const float mhat = mp[j] / bc1;
+      const float vhat = vp[j] / bc2;
+      float update = mhat / (std::sqrt(vhat) + eps);
+      if (weight_decay > 0.0f) update += weight_decay * valp[j];
+      valp[j] -= lr * update;
+    });
   }
 }
 

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "nn/kernels.h"
+
 namespace deepst {
 namespace nn {
 namespace {
@@ -98,11 +100,14 @@ void Tensor::Fill(float value) {
 
 void Tensor::AddInPlace(const Tensor& other) {
   DEEPST_CHECK(SameShape(other));
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  kernels::AxpyAcc(data_.data(), other.data_.data(),
+                   static_cast<int64_t>(data_.size()), 1.0f);
 }
 
 void Tensor::ScaleInPlace(float s) {
-  for (auto& v : data_) v *= s;
+  float* p = data_.data();
+  kernels::ElementLoop(static_cast<int64_t>(data_.size()),
+                       [p, s](int64_t i) { p[i] *= s; });
 }
 
 double Tensor::Sum() const {
@@ -155,37 +160,17 @@ std::string Tensor::ToString(int64_t max_elems) const {
 
 Tensor SoftmaxRows(const Tensor& logits) {
   DEEPST_CHECK_EQ(logits.ndim(), 2);
-  const int64_t rows = logits.dim(0);
-  const int64_t cols = logits.dim(1);
   Tensor out = logits;
-  for (int64_t r = 0; r < rows; ++r) {
-    float mx = out.at(r, 0);
-    for (int64_t c = 1; c < cols; ++c) mx = std::max(mx, out.at(r, c));
-    double denom = 0.0;
-    for (int64_t c = 0; c < cols; ++c) {
-      const float e = std::exp(out.at(r, c) - mx);
-      out.at(r, c) = e;
-      denom += e;
-    }
-    const float inv = static_cast<float>(1.0 / denom);
-    for (int64_t c = 0; c < cols; ++c) out.at(r, c) *= inv;
-  }
+  kernels::SoftmaxRowsTo(logits.data(), out.data(), logits.dim(0),
+                         logits.dim(1));
   return out;
 }
 
 Tensor LogSoftmaxRows(const Tensor& logits) {
   DEEPST_CHECK_EQ(logits.ndim(), 2);
-  const int64_t rows = logits.dim(0);
-  const int64_t cols = logits.dim(1);
   Tensor out = logits;
-  for (int64_t r = 0; r < rows; ++r) {
-    float mx = out.at(r, 0);
-    for (int64_t c = 1; c < cols; ++c) mx = std::max(mx, out.at(r, c));
-    double denom = 0.0;
-    for (int64_t c = 0; c < cols; ++c) denom += std::exp(out.at(r, c) - mx);
-    const float log_denom = static_cast<float>(std::log(denom)) + mx;
-    for (int64_t c = 0; c < cols; ++c) out.at(r, c) -= log_denom;
-  }
+  kernels::LogSoftmaxRowsTo(logits.data(), out.data(), logits.dim(0),
+                            logits.dim(1));
   return out;
 }
 

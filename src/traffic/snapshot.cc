@@ -65,8 +65,13 @@ void TrafficTensorCache::AddObservations(
 
 const nn::Tensor& TrafficTensorCache::TensorForTime(double time_s) {
   const int slot = SlotOf(time_s);
-  auto it = cache_.find(slot);
-  if (it != cache_.end()) return it->second;
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = cache_.find(slot);
+    if (it != cache_.end()) return it->second;
+  }
+  // Build outside the lock (the expensive part); concurrent builders of the
+  // same slot produce identical tensors and the first insert wins.
   // Window [slot_start - window, slot_start).
   const double slot_start = slot * slot_seconds_;
   const double window_start = slot_start - window_seconds_;
@@ -81,8 +86,10 @@ const nn::Tensor& TrafficTensorCache::TensorForTime(double time_s) {
       }
     }
   }
-  auto [pos, inserted] = cache_.emplace(slot, builder_.Build(window_obs));
-  DEEPST_CHECK(inserted);
+  nn::Tensor built = builder_.Build(window_obs);
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  auto [pos, inserted] = cache_.emplace(slot, std::move(built));
+  (void)inserted;  // A racing builder may have inserted the same content.
   return pos->second;
 }
 

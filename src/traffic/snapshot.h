@@ -2,6 +2,7 @@
 #define DEEPST_TRAFFIC_SNAPSHOT_H_
 
 #include <map>
+#include <mutex>
 #include <vector>
 
 #include "geo/grid.h"
@@ -55,7 +56,8 @@ class TrafficTensorCache {
   void AddObservations(const std::vector<SpeedObservation>& observations);
 
   // Tensor for the slot containing `time_s`, built lazily from observations
-  // in [slot_start - window, slot_start) and memoized.
+  // in [slot_start - window, slot_start) and memoized. Safe to call from
+  // concurrent eval workers; the slot content is independent of build order.
   const nn::Tensor& TensorForTime(double time_s);
 
   int SlotOf(double time_s) const {
@@ -71,6 +73,9 @@ class TrafficTensorCache {
   double window_seconds_;
   // Observations bucketed by slot index for fast window queries.
   std::map<int, std::vector<SpeedObservation>> by_slot_;
+  // Guards cache_ (lazily grown; node-based, so returned references stay
+  // valid across later insertions).
+  std::mutex cache_mu_;
   std::map<int, nn::Tensor> cache_;
 };
 

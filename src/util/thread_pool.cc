@@ -1,0 +1,102 @@
+#include "util/thread_pool.h"
+
+#include "util/check.h"
+
+namespace deepst {
+namespace util {
+namespace {
+
+thread_local bool t_on_pool_worker = false;
+// Set on a thread while it is inside a top-level ParallelFor. Tasks run on
+// the submitting thread as well as on workers, so a nested call must check
+// this flag too, not just t_on_pool_worker -- otherwise it would try to
+// re-lock submit_mu_ and deadlock.
+thread_local bool t_in_parallel_for = false;
+
+}  // namespace
+
+bool ThreadPool::OnWorkerThread() { return t_on_pool_worker; }
+
+ThreadPool::ThreadPool(int num_threads) {
+  DEEPST_CHECK_GE(num_threads, 1);
+  num_threads_ = num_threads;
+  workers_.reserve(static_cast<size_t>(num_threads - 1));
+  for (int i = 0; i < num_threads - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Drain(Job* job) {
+  for (;;) {
+    const int64_t i = job->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job->n) return;
+    (*job->fn)(i);
+    if (job->done.fetch_add(1, std::memory_order_acq_rel) + 1 == job->n) {
+      // Last task finished: wake the submitting thread. Taking the lock
+      // orders the notify after the waiter's predicate check.
+      std::lock_guard<std::mutex> lock(mu_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  t_on_pool_worker = true;
+  uint64_t seen_generation = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || (job_ != nullptr && generation_ != seen_generation);
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      job = job_;
+    }
+    Drain(job.get());
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t n,
+                             const std::function<void(int64_t)>& fn) {
+  if (n <= 0) return;
+  if (workers_.empty() || n == 1 || OnWorkerThread() || t_in_parallel_for) {
+    // Sequential fallback; nested calls run inline here to avoid deadlock.
+    for (int64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  t_in_parallel_for = true;
+  std::lock_guard<std::mutex> submit_lock(submit_mu_);
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->n = n;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = job;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  Drain(job.get());
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return job->done.load() == job->n; });
+    job_.reset();
+  }
+  t_in_parallel_for = false;
+}
+
+}  // namespace util
+}  // namespace deepst

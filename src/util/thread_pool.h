@@ -1,0 +1,77 @@
+#ifndef DEEPST_UTIL_THREAD_POOL_H_
+#define DEEPST_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace deepst {
+namespace util {
+
+// Fixed-size worker pool. This is the only place in the codebase that is
+// allowed to spawn std::thread; everything above it (nn kernels, trainer,
+// eval fan-out) parallelizes through nn::Backend, which owns one of these.
+//
+// The pool runs one job at a time. ParallelFor publishes the job, the
+// calling thread participates in draining it, and workers go back to sleep
+// when the index space is exhausted. Nested ParallelFor calls (issued from
+// inside a task) run inline on the calling thread, so kernels may use the
+// pool unconditionally without deadlocking or oversubscribing.
+class ThreadPool {
+ public:
+  // Spawns num_threads - 1 workers; the thread calling ParallelFor is the
+  // remaining participant. num_threads <= 1 spawns nothing and ParallelFor
+  // degenerates to a sequential loop.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  // Invokes fn(i) exactly once for every i in [0, n), possibly concurrently
+  // and in no particular order, and blocks until all invocations returned.
+  // fn must not throw.
+  void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn);
+
+  // True when the current thread is a worker of any ThreadPool. Used to
+  // detect (and inline) nested parallelism.
+  static bool OnWorkerThread();
+
+ private:
+  // One published job. Heap-held via shared_ptr so that a straggler worker
+  // whose final index claim lost the race can still touch the counters
+  // after ParallelFor returned.
+  struct Job {
+    const std::function<void(int64_t)>* fn = nullptr;
+    int64_t n = 0;
+    std::atomic<int64_t> next{0};
+    std::atomic<int64_t> done{0};
+  };
+
+  void WorkerLoop();
+  void Drain(Job* job);
+
+  int num_threads_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::shared_ptr<Job> job_;    // Guarded by mu_.
+  uint64_t generation_ = 0;     // Guarded by mu_; bumped per published job.
+  bool shutdown_ = false;       // Guarded by mu_.
+
+  std::mutex submit_mu_;  // Serializes top-level ParallelFor calls.
+};
+
+}  // namespace util
+}  // namespace deepst
+
+#endif  // DEEPST_UTIL_THREAD_POOL_H_

@@ -1,0 +1,304 @@
+// ThreadPool / Backend coverage plus the determinism regression of the
+// parallel compute backend: every kernel and the full training loop must be
+// bitwise identical for every thread count (docs/parallelism.md).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "core/trainer.h"
+#include "eval/world.h"
+#include "nn/backend.h"
+#include "nn/kernels.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace deepst {
+namespace {
+
+// Restores the serial backend when a test scope ends, so thread settings
+// cannot leak between tests.
+struct BackendGuard {
+  ~BackendGuard() { nn::SetBackendThreads(1); }
+};
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  util::ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  constexpr int64_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h.store(0);
+  pool.ParallelFor(kN, [&](int64_t i) { hits[static_cast<size_t>(i)]++; });
+  for (int64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[static_cast<size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ReusableAcrossCalls) {
+  util::ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int64_t> sum{0};
+    pool.ParallelFor(100, [&](int64_t i) { sum += i; });
+    ASSERT_EQ(sum.load(), 100 * 99 / 2);
+  }
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  util::ThreadPool pool(4);
+  std::atomic<int> outer{0};
+  std::atomic<int> inner{0};
+  pool.ParallelFor(8, [&](int64_t) {
+    outer++;
+    // A nested call must not deadlock, whether the task landed on a worker
+    // or on the submitting thread; it degrades to a sequential loop.
+    pool.ParallelFor(8, [&](int64_t) { inner++; });
+  });
+  EXPECT_EQ(outer.load(), 8);
+  EXPECT_EQ(inner.load(), 64);
+  EXPECT_FALSE(util::ThreadPool::OnWorkerThread());
+}
+
+TEST(ThreadPoolTest, EmptyAndSingleThread) {
+  util::ThreadPool serial(1);
+  EXPECT_EQ(serial.num_threads(), 1);
+  int calls = 0;
+  serial.ParallelFor(0, [&](int64_t) { calls++; });
+  serial.ParallelFor(-3, [&](int64_t) { calls++; });
+  EXPECT_EQ(calls, 0);
+  serial.ParallelFor(5, [&](int64_t) { calls++; });
+  EXPECT_EQ(calls, 5);
+}
+
+TEST(BackendTest, SetBackendThreadsInstallsAndRestores) {
+  BackendGuard guard;
+  EXPECT_STREQ(nn::GetBackend()->name(), "serial");
+  EXPECT_EQ(nn::GetBackendThreads(), 1);
+  nn::SetBackendThreads(4);
+  EXPECT_STREQ(nn::GetBackend()->name(), "parallel");
+  EXPECT_EQ(nn::GetBackendThreads(), 4);
+  nn::SetBackendThreads(1);
+  EXPECT_STREQ(nn::GetBackend()->name(), "serial");
+  EXPECT_EQ(nn::GetBackendThreads(), 1);
+}
+
+// -- kernel bitwise equivalence ----------------------------------------------
+
+nn::Tensor RandomTensor(const std::vector<int64_t>& shape, uint64_t seed) {
+  util::Rng rng(seed);
+  return nn::Tensor::Uniform(shape, -1.0f, 1.0f, &rng);
+}
+
+bool BitwiseEqual(const nn::Tensor& a, const nn::Tensor& b) {
+  return a.numel() == b.numel() &&
+         std::memcmp(a.data(), b.data(),
+                     static_cast<size_t>(a.numel()) * sizeof(float)) == 0;
+}
+
+// Runs `fn` once on the serial backend and once on a 4-thread backend and
+// checks the outputs match bit for bit.
+template <typename Fn>
+void ExpectThreadCountInvariant(Fn&& fn) {
+  BackendGuard guard;
+  nn::SetBackendThreads(1);
+  const nn::Tensor serial = fn();
+  nn::SetBackendThreads(4);
+  const nn::Tensor parallel = fn();
+  EXPECT_TRUE(BitwiseEqual(serial, parallel));
+}
+
+TEST(KernelBitwiseTest, GemmAcc) {
+  const int64_t m = 37, k = 53, n = 29;  // awkward sizes straddle the grain
+  const nn::Tensor a = RandomTensor({m, k}, 1);
+  const nn::Tensor b = RandomTensor({k, n}, 2);
+  ExpectThreadCountInvariant([&] {
+    nn::Tensor c = nn::Tensor::Zeros({m, n});
+    nn::kernels::GemmAcc(a.data(), b.data(), c.data(), m, k, n);
+    return c;
+  });
+}
+
+TEST(KernelBitwiseTest, GemmAccBT) {
+  const int64_t m = 37, k = 53, n = 29;
+  const nn::Tensor a = RandomTensor({m, k}, 3);
+  const nn::Tensor b = RandomTensor({n, k}, 4);
+  ExpectThreadCountInvariant([&] {
+    nn::Tensor c = nn::Tensor::Zeros({m, n});
+    nn::kernels::GemmAccBT(a.data(), b.data(), c.data(), m, k, n);
+    return c;
+  });
+}
+
+TEST(KernelBitwiseTest, GemmAccAT) {
+  const int64_t m = 37, k = 53, n = 29;
+  const nn::Tensor a = RandomTensor({k, m}, 5);
+  const nn::Tensor b = RandomTensor({k, n}, 6);
+  ExpectThreadCountInvariant([&] {
+    nn::Tensor c = nn::Tensor::Zeros({m, n});
+    nn::kernels::GemmAccAT(a.data(), b.data(), c.data(), m, k, n);
+    return c;
+  });
+}
+
+TEST(KernelBitwiseTest, ColSumAndReductions) {
+  const int64_t rows = 203, cols = 17;  // rows straddle the row grain
+  const nn::Tensor g = RandomTensor({rows, cols}, 7);
+  ExpectThreadCountInvariant([&] {
+    nn::Tensor out = nn::Tensor::Zeros({cols});
+    nn::kernels::ColSumAcc(g.data(), out.data(), rows, cols, 1.0f);
+    return out;
+  });
+  const nn::Tensor x = RandomTensor({100000}, 8);
+  const nn::Tensor y = RandomTensor({100000}, 9);
+  ExpectThreadCountInvariant([&] {
+    nn::Tensor out = nn::Tensor::Zeros({2});
+    out.data()[0] =
+        static_cast<float>(nn::kernels::ReduceSum(x.data(), x.numel()));
+    out.data()[1] = static_cast<float>(
+        nn::kernels::ReduceDot(x.data(), y.data(), x.numel()));
+    return out;
+  });
+}
+
+TEST(KernelBitwiseTest, SoftmaxRows) {
+  const int64_t rows = 61, cols = 13;
+  const nn::Tensor x = RandomTensor({rows, cols}, 10);
+  ExpectThreadCountInvariant([&] {
+    nn::Tensor out = nn::Tensor::Zeros({rows, cols});
+    nn::kernels::SoftmaxRowsTo(x.data(), out.data(), rows, cols);
+    return out;
+  });
+  ExpectThreadCountInvariant([&] {
+    nn::Tensor out = nn::Tensor::Zeros({rows, cols});
+    nn::kernels::LogSoftmaxRowsTo(x.data(), out.data(), rows, cols);
+    return out;
+  });
+}
+
+TEST(KernelBitwiseTest, Conv2dForwardBackward) {
+  const nn::Tensor x = RandomTensor({5, 3, 9, 9}, 11);
+  const nn::Tensor w = RandomTensor({4, 3, 3, 3}, 12);
+  const nn::Tensor bias = RandomTensor({4}, 13);
+  const nn::Tensor g = RandomTensor({5, 4, 9, 9}, 14);
+  ExpectThreadCountInvariant([&] {
+    nn::Tensor out = nn::Tensor::Zeros({5, 4, 9, 9});
+    nn::kernels::Conv2dForward(x, w, &bias, /*stride=*/1, /*pad=*/1, &out);
+    return out;
+  });
+  ExpectThreadCountInvariant([&] {
+    nn::Tensor dx = nn::Tensor::Zeros({5, 3, 9, 9});
+    nn::Tensor dw = nn::Tensor::Zeros({4, 3, 3, 3});
+    nn::Tensor db = nn::Tensor::Zeros({4});
+    nn::kernels::Conv2dBackward(x, w, g, /*stride=*/1, /*pad=*/1, &dx, &dw,
+                                &db);
+    // Pack all three gradients into one tensor for the comparison.
+    nn::Tensor packed =
+        nn::Tensor::Zeros({dx.numel() + dw.numel() + db.numel()});
+    std::memcpy(packed.data(), dx.data(),
+                static_cast<size_t>(dx.numel()) * sizeof(float));
+    std::memcpy(packed.data() + dx.numel(), dw.data(),
+                static_cast<size_t>(dw.numel()) * sizeof(float));
+    std::memcpy(packed.data() + dx.numel() + dw.numel(), db.data(),
+                static_cast<size_t>(db.numel()) * sizeof(float));
+    return packed;
+  });
+}
+
+// -- end-to-end determinism regression ---------------------------------------
+
+eval::World& ParallelTestWorld() {
+  static eval::World* world = [] {
+    eval::WorldConfig cfg = eval::ChengduMiniWorld(0.1);
+    cfg.name = "parallel-test-world";
+    cfg.city.rows = 6;
+    cfg.city.cols = 6;
+    cfg.generator.num_days = 4;
+    cfg.generator.max_route_m = 5000.0;
+    cfg.train_days = 2;
+    cfg.val_days = 1;
+    return new eval::World(cfg);
+  }();
+  return *world;
+}
+
+core::DeepSTConfig ParallelTinyConfig() {
+  core::DeepSTConfig cfg;
+  cfg.gru_hidden = 16;
+  cfg.gru_layers = 1;
+  cfg.segment_embedding_dim = 8;
+  cfg.dest_dim = 8;
+  cfg.num_proxies = 8;
+  cfg.mlp_hidden = 16;
+  cfg.cnn_channels = 4;
+  return cfg;
+}
+
+struct TrainedRun {
+  std::vector<double> losses;
+  std::vector<std::vector<float>> params;
+  std::vector<traj::Route> routes;
+};
+
+TrainedRun TrainWithThreads(int num_threads) {
+  auto& world = ParallelTestWorld();
+  core::DeepSTModel model(world.net(), ParallelTinyConfig(),
+                          world.traffic_cache());
+  core::TrainerConfig tcfg;
+  tcfg.max_epochs = 2;
+  tcfg.verbose = false;
+  tcfg.num_threads = num_threads;
+  core::Trainer trainer(&model, tcfg);
+  auto result = trainer.Fit(world.split().train, world.split().validation);
+
+  TrainedRun run;
+  for (const auto& e : result.epochs) {
+    run.losses.push_back(e.train_loss);
+    run.losses.push_back(e.train_route_ce);
+    run.losses.push_back(e.val_route_ce);
+  }
+  for (const auto& p : model.Parameters()) {
+    const nn::Tensor& v = p.var->value();
+    run.params.emplace_back(v.data(), v.data() + v.numel());
+  }
+  util::Rng rng(77);
+  int used = 0;
+  for (const auto* rec : world.split().test) {
+    if (rec->trip.route.size() < 2 || used >= 5) continue;
+    ++used;
+    run.routes.push_back(
+        model.PredictRoute(eval::QueryFor(rec->trip), &rng));
+  }
+  return run;
+}
+
+TEST(ParallelDeterminismTest, TrainingIsThreadCountInvariant) {
+  BackendGuard guard;
+  const TrainedRun serial = TrainWithThreads(1);
+  const TrainedRun parallel = TrainWithThreads(4);
+
+  ASSERT_EQ(serial.losses.size(), parallel.losses.size());
+  ASSERT_FALSE(serial.losses.empty());
+  for (size_t i = 0; i < serial.losses.size(); ++i) {
+    // Bitwise: any schedule-dependent float reassociation shows up here.
+    EXPECT_EQ(serial.losses[i], parallel.losses[i]) << "loss " << i;
+  }
+
+  ASSERT_EQ(serial.params.size(), parallel.params.size());
+  for (size_t p = 0; p < serial.params.size(); ++p) {
+    ASSERT_EQ(serial.params[p].size(), parallel.params[p].size());
+    EXPECT_EQ(0, std::memcmp(serial.params[p].data(),
+                             parallel.params[p].data(),
+                             serial.params[p].size() * sizeof(float)))
+        << "parameter tensor " << p;
+  }
+
+  ASSERT_EQ(serial.routes.size(), parallel.routes.size());
+  ASSERT_FALSE(serial.routes.empty());
+  for (size_t i = 0; i < serial.routes.size(); ++i) {
+    EXPECT_EQ(serial.routes[i], parallel.routes[i]) << "route " << i;
+  }
+}
+
+}  // namespace
+}  // namespace deepst

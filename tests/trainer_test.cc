@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "baselines/neural_router.h"
 #include "eval/world.h"
 #include "traj/segment_stats.h"
@@ -100,6 +102,42 @@ TEST(TrainerTest, EvaluateRouteCeDeterministic) {
   const double b = trainer.EvaluateRouteCe(world.split().validation);
   EXPECT_DOUBLE_EQ(a, b);
   EXPECT_DOUBLE_EQ(trainer.EvaluateRouteCe({}), 0.0);
+}
+
+TEST(TrainerTest, AllTripsTooShortYieldsEmptyFit) {
+  // Single-segment routes carry no transition, so every batch candidate is
+  // filtered out and Fit must return cleanly instead of dividing by zero.
+  auto& world = TestWorld();
+  DeepSTModel model(world.net(), TinyConfig(), nullptr);
+  TrainerConfig tcfg;
+  tcfg.max_epochs = 3;
+  tcfg.verbose = false;
+  Trainer trainer(&model, tcfg);
+  traj::TripRecord rec;
+  rec.trip.route = {0};
+  rec.trip.destination = world.net().SegmentEnd(0);
+  std::vector<const traj::TripRecord*> data = {&rec, &rec, &rec};
+  auto result = trainer.Fit(data, {});
+  EXPECT_TRUE(result.epochs.empty());
+  EXPECT_EQ(result.best_epoch, 0);
+  EXPECT_DOUBLE_EQ(trainer.EvaluateRouteCe(data), 0.0);
+}
+
+TEST(TrainerTest, BatchSizeLargerThanDataset) {
+  // One epoch with a batch size exceeding the dataset: exactly one batch
+  // containing every eligible trip, finite stats.
+  auto& world = TestWorld();
+  DeepSTModel model(world.net(), TinyConfig(), nullptr);
+  TrainerConfig tcfg;
+  tcfg.max_epochs = 1;
+  tcfg.batch_size = 1000000;
+  tcfg.verbose = false;
+  Trainer trainer(&model, tcfg);
+  auto result = trainer.Fit(world.split().train, world.split().validation);
+  ASSERT_EQ(result.epochs.size(), 1u);
+  EXPECT_TRUE(std::isfinite(result.epochs[0].train_loss));
+  EXPECT_GT(result.epochs[0].train_route_ce, 0.0);
+  EXPECT_GT(result.epochs[0].val_route_ce, 0.0);
 }
 
 TEST(SegmentStatsTest, ObservedAndFallback) {
