@@ -4,7 +4,8 @@
 //       [--trips-per-day N] [--seed S]
 //   deepst_cli train --data-dir data --model model.bin
 //       [--variant deepst|deepst_c|cssrnn|rnn] [--epochs N] [--hidden N]
-//       [--proxies K]
+//       [--proxies K] [--seed S]
+//       [--checkpoint-dir D] [--checkpoint-every N] [--resume]
 //   deepst_cli evaluate --data-dir data --model model.bin [--variant ...]
 //       [--max-trips N]
 //   deepst_cli predict --data-dir data --model model.bin --trip INDEX
@@ -168,15 +169,34 @@ int CmdTrain(const util::Flags& flags) {
   auto epochs = flags.GetInt("epochs", tcfg.max_epochs);
   if (!epochs.ok()) return Fail(epochs.status());
   tcfg.max_epochs = static_cast<int>(epochs.value());
+  auto seed = flags.GetInt("seed", static_cast<int64_t>(tcfg.seed));
+  if (!seed.ok()) return Fail(seed.status());
+  tcfg.seed = static_cast<uint64_t>(seed.value());
+  tcfg.checkpoint_dir = flags.GetString("checkpoint-dir");
+  auto every = flags.GetInt("checkpoint-every", tcfg.checkpoint_every);
+  if (!every.ok()) return Fail(every.status());
+  tcfg.checkpoint_every = static_cast<int>(every.value());
+  tcfg.resume = flags.GetBool("resume");
+  if (tcfg.resume && tcfg.checkpoint_dir.empty()) {
+    return Fail(util::Status::InvalidArgument(
+        "--resume requires --checkpoint-dir"));
+  }
   tcfg.verbose = true;
   core::Trainer trainer(&model, tcfg);
   core::TrainResult result =
       trainer.Fit(data.value().split.train, data.value().split.validation);
+  if (!result.status.ok()) {
+    // The model still holds the last good parameters; save them so the run
+    // is not a total loss, but report the failure.
+    (void)nn::SaveParameters(model, model_path);
+    return Fail(result.status);
+  }
   util::Status s = nn::SaveParameters(model, model_path);
   if (!s.ok()) return Fail(s);
-  std::printf("trained %lld params in %.1fs (%zu epochs), saved to %s\n",
+  std::printf("trained %lld params in %.1fs (%zu epochs, best %d), "
+              "saved to %s\n",
               static_cast<long long>(model.NumParams()),
-              result.total_seconds, result.epochs.size(),
+              result.total_seconds, result.epochs.size(), result.best_epoch,
               model_path.c_str());
   return 0;
 }

@@ -1,0 +1,311 @@
+#include "core/checkpoint.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/crc32.h"
+#include "util/logging.h"
+
+namespace deepst {
+namespace core {
+namespace {
+
+constexpr uint32_t kCkptMagic = 0xDEE5C4B7;
+constexpr uint32_t kCkptVersion = 1;
+
+// Bounds on the variable-length payload fields; a flipped byte in a count
+// must fail cleanly, not drive an allocation (the CRC already catches these,
+// but the parser must also stand alone -- see checkpoint_test.cc).
+constexpr uint64_t kMaxHistory = uint64_t{1} << 24;
+constexpr uint64_t kMaxSlots = uint64_t{1} << 20;
+constexpr uint64_t kMaxKindLen = 64;
+
+template <typename T>
+void WritePod(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+template <typename T>
+bool ReadPod(std::istream& in, T* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return in.good();
+}
+
+void WritePayload(std::ostream& out, const TrainingCheckpoint& ckpt) {
+  WritePod(out, ckpt.next_epoch);
+  WritePod(out, ckpt.best_epoch);
+  WritePod(out, ckpt.best_val);
+  WritePod(out, ckpt.since_best);
+  WritePod(out, ckpt.retries_used);
+
+  for (uint64_t s : ckpt.rng.s) WritePod(out, s);
+  WritePod(out, ckpt.rng.has_cached_gaussian);
+  WritePod(out, ckpt.rng.cached_gaussian);
+
+  WritePod(out, static_cast<uint64_t>(ckpt.history.size()));
+  for (const auto& e : ckpt.history) {
+    WritePod(out, static_cast<int64_t>(e.epoch));
+    WritePod(out, e.train_loss);
+    WritePod(out, e.train_route_ce);
+    WritePod(out, e.val_route_ce);
+    WritePod(out, e.seconds);
+  }
+
+  WritePod(out, static_cast<uint64_t>(ckpt.optimizer.kind.size()));
+  out.write(ckpt.optimizer.kind.data(),
+            static_cast<std::streamsize>(ckpt.optimizer.kind.size()));
+  WritePod(out, ckpt.optimizer.step);
+  WritePod(out, ckpt.optimizer.lr);
+  WritePod(out, static_cast<uint64_t>(ckpt.optimizer.slots.size()));
+  for (const auto& t : ckpt.optimizer.slots) {
+    (void)nn::WriteTensor(out, t);
+  }
+
+  (void)nn::WriteNamedTensors(out, ckpt.params);
+  (void)nn::WriteNamedTensors(out, ckpt.best_params);
+  (void)nn::WriteNamedTensors(out, ckpt.buffers);
+  (void)nn::WriteNamedTensors(out, ckpt.best_buffers);
+}
+
+util::Status ReadPayload(std::istream& in, TrainingCheckpoint* ckpt) {
+  if (!ReadPod(in, &ckpt->next_epoch) || !ReadPod(in, &ckpt->best_epoch) ||
+      !ReadPod(in, &ckpt->best_val) || !ReadPod(in, &ckpt->since_best) ||
+      !ReadPod(in, &ckpt->retries_used)) {
+    return util::Status::IoError("truncated checkpoint header");
+  }
+  if (ckpt->next_epoch < 0 || ckpt->best_epoch < 0 || ckpt->since_best < 0 ||
+      ckpt->retries_used < 0) {
+    return util::Status::IoError("corrupt checkpoint: negative counter");
+  }
+  for (auto& s : ckpt->rng.s) {
+    if (!ReadPod(in, &s)) return util::Status::IoError("truncated rng state");
+  }
+  if (!ReadPod(in, &ckpt->rng.has_cached_gaussian) ||
+      !ReadPod(in, &ckpt->rng.cached_gaussian)) {
+    return util::Status::IoError("truncated rng state");
+  }
+
+  uint64_t history_count = 0;
+  if (!ReadPod(in, &history_count)) {
+    return util::Status::IoError("truncated history");
+  }
+  if (history_count > kMaxHistory) {
+    return util::Status::IoError("corrupt checkpoint: history count");
+  }
+  ckpt->history.resize(history_count);
+  for (auto& e : ckpt->history) {
+    int64_t epoch = 0;
+    if (!ReadPod(in, &epoch) || !ReadPod(in, &e.train_loss) ||
+        !ReadPod(in, &e.train_route_ce) || !ReadPod(in, &e.val_route_ce) ||
+        !ReadPod(in, &e.seconds)) {
+      return util::Status::IoError("truncated history row");
+    }
+    e.epoch = static_cast<int>(epoch);
+  }
+
+  uint64_t kind_len = 0;
+  if (!ReadPod(in, &kind_len)) {
+    return util::Status::IoError("truncated optimizer state");
+  }
+  if (kind_len > kMaxKindLen) {
+    return util::Status::IoError("corrupt checkpoint: optimizer kind length");
+  }
+  ckpt->optimizer.kind.assign(kind_len, '\0');
+  in.read(ckpt->optimizer.kind.data(),
+          static_cast<std::streamsize>(kind_len));
+  uint64_t slot_count = 0;
+  if (!in.good() || !ReadPod(in, &ckpt->optimizer.step) ||
+      !ReadPod(in, &ckpt->optimizer.lr) || !ReadPod(in, &slot_count)) {
+    return util::Status::IoError("truncated optimizer state");
+  }
+  if (slot_count > kMaxSlots) {
+    return util::Status::IoError("corrupt checkpoint: optimizer slot count");
+  }
+  ckpt->optimizer.slots.resize(slot_count);
+  for (auto& t : ckpt->optimizer.slots) {
+    DEEPST_RETURN_IF_ERROR(nn::ReadTensor(in, &t));
+  }
+
+  auto params = nn::ReadNamedTensors(in);
+  if (!params.ok()) return params.status();
+  ckpt->params = std::move(params).value();
+  auto best = nn::ReadNamedTensors(in);
+  if (!best.ok()) return best.status();
+  ckpt->best_params = std::move(best).value();
+  auto buffers = nn::ReadNamedTensors(in);
+  if (!buffers.ok()) return buffers.status();
+  ckpt->buffers = std::move(buffers).value();
+  auto best_buffers = nn::ReadNamedTensors(in);
+  if (!best_buffers.ok()) return best_buffers.status();
+  ckpt->best_buffers = std::move(best_buffers).value();
+  return util::Status::Ok();
+}
+
+// Durable atomic file replace: stage to path.tmp, flush + fsync, rename over
+// path, then fsync the parent directory so the rename itself survives a
+// power cut. A crash at any point leaves either the old file or the new one
+// under `path`, never a torn mix.
+util::Status AtomicWriteFile(const std::string& path,
+                             const std::string& bytes) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return util::Status::IoError("cannot open " + tmp + ": " +
+                                 std::strerror(errno));
+  }
+  const size_t written = bytes.empty()
+                             ? 0
+                             : std::fwrite(bytes.data(), 1, bytes.size(), f);
+  bool ok = written == bytes.size();
+  ok = std::fflush(f) == 0 && ok;
+  ok = ::fsync(::fileno(f)) == 0 && ok;
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return util::Status::IoError("write failed for " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return util::Status::IoError("rename " + tmp + " -> " + path + ": " +
+                                 std::strerror(errno));
+  }
+  // Best-effort directory fsync; failure here does not un-write the file.
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+  return util::Status::Ok();
+}
+
+// mkdir -p: creates each missing component of `dir`.
+util::Status MakeDirs(const std::string& dir) {
+  if (dir.empty()) return util::Status::InvalidArgument("empty directory");
+  std::string prefix;
+  std::istringstream parts(dir);
+  std::string part;
+  if (dir[0] == '/') prefix = "/";
+  while (std::getline(parts, part, '/')) {
+    if (part.empty()) continue;
+    prefix += part;
+    if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+      return util::Status::IoError("mkdir " + prefix + ": " +
+                                   std::strerror(errno));
+    }
+    prefix += "/";
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace
+
+util::Status SaveTrainingCheckpoint(const TrainingCheckpoint& ckpt,
+                                    const std::string& path) {
+  std::ostringstream buf(std::ios::binary);
+  WritePod(buf, kCkptMagic);
+  WritePod(buf, kCkptVersion);
+  WritePayload(buf, ckpt);
+  std::string bytes = std::move(buf).str();
+  const uint32_t crc = util::Crc32(bytes.data(), bytes.size());
+  bytes.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  return AtomicWriteFile(path, bytes);
+}
+
+util::StatusOr<TrainingCheckpoint> LoadTrainingCheckpoint(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return util::Status::NotFound("cannot open " + path);
+  std::ostringstream raw;
+  raw << in.rdbuf();
+  const std::string bytes = std::move(raw).str();
+  if (bytes.size() < 2 * sizeof(uint32_t) + sizeof(uint32_t)) {
+    return util::Status::IoError("checkpoint too short: " + path);
+  }
+  const size_t body = bytes.size() - sizeof(uint32_t);
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, bytes.data() + body, sizeof(stored_crc));
+  const uint32_t crc = util::Crc32(bytes.data(), body);
+  if (crc != stored_crc) {
+    return util::Status::IoError("checkpoint CRC mismatch in " + path +
+                                 " (corrupt or truncated)");
+  }
+  std::istringstream parse(bytes.substr(0, body), std::ios::binary);
+  uint32_t magic = 0, version = 0;
+  if (!ReadPod(parse, &magic) || magic != kCkptMagic) {
+    return util::Status::IoError("bad checkpoint magic in " + path);
+  }
+  if (!ReadPod(parse, &version) || version != kCkptVersion) {
+    return util::Status::IoError("unsupported checkpoint version in " + path);
+  }
+  TrainingCheckpoint ckpt;
+  util::Status s = ReadPayload(parse, &ckpt);
+  if (!s.ok()) {
+    return util::Status::IoError(s.message() + " in " + path);
+  }
+  return ckpt;
+}
+
+CheckpointManager::CheckpointManager(std::string dir) : dir_(std::move(dir)) {
+  dir_status_ = MakeDirs(dir_);
+  if (!dir_status_.ok()) {
+    DEEPST_LOG(Warning) << "checkpoint dir unusable: "
+                        << dir_status_.ToString();
+  }
+}
+
+util::Status CheckpointManager::WriteLatest(const TrainingCheckpoint& ckpt) {
+  DEEPST_RETURN_IF_ERROR(dir_status_);
+  // Rotate the current latest out of the way first. If the process dies
+  // between the rotation and the new write, `latest` is missing but `prev`
+  // is intact and LoadLatestGood falls back to it.
+  std::ifstream exists(LatestPath(), std::ios::binary);
+  if (exists.is_open()) {
+    exists.close();
+    if (std::rename(LatestPath().c_str(), PrevPath().c_str()) != 0) {
+      return util::Status::IoError("rotate " + LatestPath() + " -> " +
+                                   PrevPath() + ": " + std::strerror(errno));
+    }
+  }
+  return SaveTrainingCheckpoint(ckpt, LatestPath());
+}
+
+util::Status CheckpointManager::WriteBest(const TrainingCheckpoint& ckpt) {
+  DEEPST_RETURN_IF_ERROR(dir_status_);
+  return SaveTrainingCheckpoint(ckpt, BestPath());
+}
+
+util::StatusOr<TrainingCheckpoint> CheckpointManager::LoadLatestGood(
+    std::string* loaded_path) const {
+  auto latest = LoadTrainingCheckpoint(LatestPath());
+  if (latest.ok()) {
+    if (loaded_path != nullptr) *loaded_path = LatestPath();
+    return latest;
+  }
+  if (latest.status().code() != util::Status::Code::kNotFound) {
+    DEEPST_LOG(Warning) << "skipping bad checkpoint: "
+                        << latest.status().ToString();
+  }
+  auto prev = LoadTrainingCheckpoint(PrevPath());
+  if (prev.ok()) {
+    if (loaded_path != nullptr) *loaded_path = PrevPath();
+    return prev;
+  }
+  return util::Status::NotFound("no usable checkpoint in " + dir_ +
+                                " (latest: " + latest.status().message() +
+                                "; prev: " + prev.status().message() + ")");
+}
+
+}  // namespace core
+}  // namespace deepst

@@ -1,0 +1,107 @@
+#ifndef DEEPST_CORE_CHECKPOINT_H_
+#define DEEPST_CORE_CHECKPOINT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/trainer.h"
+#include "nn/optimizer.h"
+#include "nn/serialize.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace deepst {
+namespace core {
+
+// Everything a killed training run needs to continue bitwise identically to
+// an uninterrupted one: model parameters, optimizer moments, the RNG stream,
+// the epoch cursor and early-stopping bookkeeping, the per-epoch history (so
+// the resumed TrainResult covers the whole run), and the best-epoch
+// parameter snapshot. See docs/checkpointing.md for the file layout.
+struct TrainingCheckpoint {
+  // Epoch the resumed run should execute next (epochs [0, next_epoch) are
+  // already done and recorded in `history`).
+  int64_t next_epoch = 0;
+
+  // Early-stopping bookkeeping.
+  int64_t best_epoch = 0;
+  double best_val = 0.0;  // +inf when no epoch has finished yet
+  int64_t since_best = 0;
+
+  // Divergence-guard bookkeeping (retries already consumed).
+  int64_t retries_used = 0;
+
+  util::Rng::State rng;
+
+  // Per-epoch stats of completed epochs (the resumed run's TrainResult
+  // covers the whole run, not just the tail).
+  std::vector<EpochStats> history;
+
+  nn::OptimizerState optimizer;
+
+  // Live model parameters at the epoch boundary.
+  std::vector<nn::NamedTensor> params;
+  // Snapshot of the best-validation epoch's parameters (empty until the
+  // first completed epoch).
+  std::vector<nn::NamedTensor> best_params;
+  // Non-trainable module state (batch-norm running statistics): evolves
+  // every training batch and feeds eval-mode validation, so omitting it
+  // would make a resumed run's val metrics -- and thus early stopping --
+  // drift from the uninterrupted run's.
+  std::vector<nn::NamedTensor> buffers;
+  std::vector<nn::NamedTensor> best_buffers;
+};
+
+// Serializes `ckpt` to `path` atomically: the bytes are staged to
+// `path.tmp`, fsync'd, then renamed over `path` (and the parent directory
+// fsync'd), so a crash mid-save never leaves a half-written file under the
+// final name. The file carries a magic/version header and a trailing CRC32
+// over everything before it.
+util::Status SaveTrainingCheckpoint(const TrainingCheckpoint& ckpt,
+                                    const std::string& path);
+
+// Loads and verifies `path`. Truncation, a bad magic/version, or any bit
+// flip fails the CRC (or a bounds check) and returns an error -- never a
+// crash or a partially-applied checkpoint.
+util::StatusOr<TrainingCheckpoint> LoadTrainingCheckpoint(
+    const std::string& path);
+
+// Rotating latest/prev/best checkpoint files under one directory. The
+// rotation means there is always at least one intact checkpoint on disk even
+// if the process dies during a save, and a corrupt `latest` (torn write,
+// disk error) is skipped in favor of `prev`.
+class CheckpointManager {
+ public:
+  // Creates `dir` (and missing parents) if needed; Ok to construct against
+  // an existing directory with checkpoints in it.
+  explicit CheckpointManager(std::string dir);
+
+  // Directory creation outcome from the constructor (saves also re-report
+  // failures, but callers can fail fast on an unusable directory).
+  const util::Status& dir_status() const { return dir_status_; }
+
+  std::string LatestPath() const { return dir_ + "/ckpt_latest.bin"; }
+  std::string PrevPath() const { return dir_ + "/ckpt_prev.bin"; }
+  std::string BestPath() const { return dir_ + "/ckpt_best.bin"; }
+
+  // Rotates latest -> prev, then atomically writes `ckpt` as latest.
+  util::Status WriteLatest(const TrainingCheckpoint& ckpt);
+
+  // Atomically writes `ckpt` as best (no rotation).
+  util::Status WriteBest(const TrainingCheckpoint& ckpt);
+
+  // Loads `latest`, falling back to `prev` when `latest` is missing,
+  // truncated, or fails its CRC. NotFound when neither file yields a valid
+  // checkpoint. `loaded_path`, when non-null, receives the file used.
+  util::StatusOr<TrainingCheckpoint> LoadLatestGood(
+      std::string* loaded_path = nullptr) const;
+
+ private:
+  std::string dir_;
+  util::Status dir_status_;
+};
+
+}  // namespace core
+}  // namespace deepst
+
+#endif  // DEEPST_CORE_CHECKPOINT_H_

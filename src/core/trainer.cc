@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <memory>
 
+#include "core/checkpoint.h"
 #include "nn/backend.h"
+#include "nn/serialize.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -34,6 +37,13 @@ std::vector<std::vector<const traj::Trip*>> MakeBatches(
   }
   if (rng != nullptr) rng->Shuffle(&batches);
   return batches;
+}
+
+bool AllParamsFinite(const DeepSTModel& model) {
+  for (const auto& p : model.Parameters()) {
+    if (!p.var->value().AllFinite()) return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -67,8 +77,78 @@ TrainResult Trainer::Fit(
   util::Stopwatch total_watch;
   double best_val = std::numeric_limits<double>::infinity();
   int since_best = 0;
+  int retries_used = 0;
+  int epoch = 0;
+  std::vector<nn::NamedTensor> best_params;
+  std::vector<nn::NamedTensor> best_buffers;
 
-  for (int epoch = 0; epoch < config_.max_epochs; ++epoch) {
+  std::unique_ptr<CheckpointManager> ckpts;
+  if (!config_.checkpoint_dir.empty()) {
+    ckpts = std::make_unique<CheckpointManager>(config_.checkpoint_dir);
+  }
+  const int every = config_.checkpoint_every <= 0 ? 1 : config_.checkpoint_every;
+
+  // Freezes the full training state as of the start of epoch `next_epoch`.
+  // The same snapshot serves the on-disk checkpoints and the in-memory
+  // divergence rollback.
+  auto snapshot = [&](int next_epoch) {
+    TrainingCheckpoint ckpt;
+    ckpt.next_epoch = next_epoch;
+    ckpt.best_epoch = result.best_epoch;
+    ckpt.best_val = best_val;
+    ckpt.since_best = since_best;
+    ckpt.retries_used = retries_used;
+    ckpt.rng = rng.GetState();
+    ckpt.history = result.epochs;
+    ckpt.optimizer = optimizer.ExportState();
+    ckpt.params = nn::SnapshotParameters(*model_);
+    ckpt.best_params = best_params;
+    ckpt.buffers = nn::SnapshotBuffers(*model_);
+    ckpt.best_buffers = best_buffers;
+    return ckpt;
+  };
+  auto restore = [&](const TrainingCheckpoint& ckpt) -> util::Status {
+    DEEPST_RETURN_IF_ERROR(nn::ApplyNamedTensors(model_, ckpt.params));
+    DEEPST_RETURN_IF_ERROR(nn::ApplyNamedBuffers(model_, ckpt.buffers));
+    DEEPST_RETURN_IF_ERROR(optimizer.ImportState(ckpt.optimizer));
+    rng.SetState(ckpt.rng);
+    result.epochs = ckpt.history;
+    result.best_epoch = static_cast<int>(ckpt.best_epoch);
+    best_val = ckpt.best_val;
+    since_best = static_cast<int>(ckpt.since_best);
+    retries_used = static_cast<int>(ckpt.retries_used);
+    best_params = ckpt.best_params;
+    best_buffers = ckpt.best_buffers;
+    epoch = static_cast<int>(ckpt.next_epoch);
+    return util::Status::Ok();
+  };
+
+  if (config_.resume && ckpts != nullptr) {
+    std::string path;
+    auto loaded = ckpts->LoadLatestGood(&path);
+    if (loaded.ok()) {
+      util::Status s = restore(loaded.value());
+      if (!s.ok()) {
+        // A checkpoint for a different model/optimizer: fail instead of
+        // silently retraining from scratch over the operator's run.
+        result.status = s;
+        return result;
+      }
+      result.start_epoch = epoch;
+      if (config_.verbose) {
+        DEEPST_LOG(Info) << "resumed from " << path << " at epoch " << epoch;
+      }
+    } else if (config_.verbose) {
+      DEEPST_LOG(Info) << "no usable checkpoint ("
+                       << loaded.status().message()
+                       << "); training from scratch";
+    }
+  }
+
+  TrainingCheckpoint last_good = snapshot(epoch);
+
+  bool stop_early = false;
+  while (epoch < config_.max_epochs && !stop_early) {
     util::Stopwatch epoch_watch;
     auto batches = MakeBatches(train, config_.batch_size, &rng);
     double loss_sum = 0.0;
@@ -94,6 +174,50 @@ TrainResult Trainer::Fit(
     // ce_sum accumulated per-trip route CE; renormalize per transition.
     es.train_route_ce =
         ce_sum / std::max<double>(1.0, static_cast<double>(transitions));
+
+    // Divergence guard: non-finite loss/params or a loss spike rolls the run
+    // back to the last good epoch boundary and retries with a smaller step.
+    double guard_loss = es.train_loss;
+    if (config_.divergence_loss_hook) {
+      guard_loss =
+          config_.divergence_loss_hook(epoch, retries_used, es.train_loss);
+    }
+    const double prev_loss =
+        result.epochs.empty() ? std::numeric_limits<double>::quiet_NaN()
+                              : result.epochs.back().train_loss;
+    bool diverged = !std::isfinite(guard_loss);
+    if (!diverged && std::isfinite(prev_loss)) {
+      diverged = guard_loss - prev_loss >
+                 config_.divergence_spike_factor *
+                     std::max(1.0, std::abs(prev_loss));
+    }
+    if (!diverged) diverged = !AllParamsFinite(*model_);
+    if (diverged) {
+      if (retries_used >= config_.divergence_max_retries) {
+        (void)restore(last_good);
+        result.status = util::Status::Internal(
+            "training diverged at epoch " + std::to_string(es.epoch) +
+            " after " + std::to_string(retries_used) +
+            " rollback retries; model left at last good epoch boundary");
+        DEEPST_LOG(Warning) << result.status.ToString();
+        break;
+      }
+      const int retries_after = retries_used + 1;
+      (void)restore(last_good);
+      retries_used = retries_after;
+      const float backed_off = optimizer.lr() * config_.divergence_lr_backoff;
+      optimizer.set_lr(backed_off);
+      // Future rollbacks must resurrect the reduced rate, not the original.
+      last_good.retries_used = retries_after;
+      last_good.optimizer.lr = backed_off;
+      DEEPST_LOG(Warning) << "divergence at epoch " << es.epoch
+                          << " (loss " << guard_loss
+                          << "); rolled back, lr -> " << backed_off
+                          << " (retry " << retries_after << "/"
+                          << config_.divergence_max_retries << ")";
+      continue;
+    }
+
     es.val_route_ce =
         validation.empty() ? 0.0 : EvaluateRouteCe(validation);
     es.seconds = epoch_watch.ElapsedSeconds();
@@ -107,16 +231,47 @@ TrainResult Trainer::Fit(
 
     const double val_metric =
         validation.empty() ? es.train_route_ce : es.val_route_ce;
+    bool improved = false;
     if (val_metric < best_val - 1e-4) {
       best_val = val_metric;
       result.best_epoch = epoch;
       since_best = 0;
+      best_params = nn::SnapshotParameters(*model_);
+      best_buffers = nn::SnapshotBuffers(*model_);
+      improved = true;
     } else if (++since_best >= config_.patience) {
       if (config_.verbose) {
         DEEPST_LOG(Info) << "early stopping at epoch " << epoch;
       }
-      break;
+      stop_early = true;
     }
+
+    ++epoch;
+    last_good = snapshot(epoch);
+    if (ckpts != nullptr) {
+      if (epoch % every == 0 || stop_early || epoch >= config_.max_epochs) {
+        util::Status s = ckpts->WriteLatest(last_good);
+        if (!s.ok()) {
+          DEEPST_LOG(Warning) << "checkpoint write failed: " << s.ToString();
+        }
+      }
+      if (improved) {
+        util::Status s = ckpts->WriteBest(last_good);
+        if (!s.ok()) {
+          DEEPST_LOG(Warning) << "best-checkpoint write failed: "
+                              << s.ToString();
+        }
+      }
+    }
+  }
+
+  // Leave the model at the best-validation epoch's weights. Early stopping
+  // runs `patience` epochs past the optimum, and even a full run rarely ends
+  // on its best epoch, so returning the last epoch's weights (the old
+  // behavior) silently shipped a worse model.
+  if (!best_params.empty()) {
+    (void)nn::ApplyNamedTensors(model_, best_params);
+    (void)nn::ApplyNamedBuffers(model_, best_buffers);
   }
   result.total_seconds = total_watch.ElapsedSeconds();
   return result;

@@ -1,11 +1,14 @@
 #ifndef DEEPST_CORE_TRAINER_H_
 #define DEEPST_CORE_TRAINER_H_
 
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "core/deepst_model.h"
 #include "nn/optimizer.h"
 #include "traj/types.h"
+#include "util/status.h"
 
 namespace deepst {
 namespace core {
@@ -27,6 +30,36 @@ struct TrainerConfig {
   // before training/evaluation (1 = serial). Results are bitwise identical
   // for every value (see docs/parallelism.md).
   int num_threads = 0;
+
+  // --- Crash safety (docs/checkpointing.md) --------------------------------
+  // Directory for the rotating latest/prev/best checkpoint files; empty
+  // disables on-disk checkpointing (the in-memory divergence guard below
+  // still runs).
+  std::string checkpoint_dir;
+  // Write a `latest` checkpoint every N completed epochs (plus always at the
+  // end of training); <= 0 means every epoch.
+  int checkpoint_every = 1;
+  // Resume from the newest good checkpoint in checkpoint_dir; when none is
+  // usable, trains from scratch. A resumed run continues the RNG stream,
+  // optimizer moments, and early-stopping state, so it is bitwise identical
+  // to an uninterrupted run with the same seed.
+  bool resume = false;
+
+  // --- Divergence guard ----------------------------------------------------
+  // An epoch is diverged when its training loss is non-finite, any parameter
+  // goes non-finite, or the loss jumps by more than
+  // spike_factor * max(1, |previous epoch loss|). A diverged epoch is rolled
+  // back to the last good state and retried with the learning rate scaled by
+  // divergence_lr_backoff, at most divergence_max_retries times per run;
+  // after that Fit restores the last good parameters and returns an error
+  // status instead of corrupting the run.
+  double divergence_spike_factor = 10.0;
+  float divergence_lr_backoff = 0.5f;
+  int divergence_max_retries = 3;
+  // Test hook: maps (epoch, retries_used, observed loss) to the loss the
+  // divergence guard sees. Used by tests to inject NaN; leave empty in
+  // production.
+  std::function<double(int, int, double)> divergence_loss_hook;
 };
 
 struct EpochStats {
@@ -41,11 +74,19 @@ struct TrainResult {
   std::vector<EpochStats> epochs;
   double total_seconds = 0.0;
   int best_epoch = 0;
+  // First epoch this Fit call actually executed (> 0 after a resume; the
+  // earlier entries of `epochs` come from the checkpoint history).
+  int start_epoch = 0;
+  // Non-OK when training had to stop (e.g. the divergence retry budget was
+  // exhausted). The model then holds the last good / best parameters, never
+  // non-finite ones.
+  util::Status status;
 };
 
 // Minibatch SGD driver for DeepSTModel (Algorithm 1). Trips are bucketed by
 // route length to limit padding waste, and batch order is shuffled per
-// epoch.
+// epoch. After Fit returns, the model holds the parameters of the
+// best-validation epoch (not the last epoch's).
 class Trainer {
  public:
   Trainer(DeepSTModel* model, const TrainerConfig& config);

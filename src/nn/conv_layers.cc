@@ -29,6 +29,8 @@ BatchNorm2dLayer::BatchNorm2dLayer(int64_t channels, util::Rng* rng) {
   beta_ = AddParameter("beta", Tensor::Zeros({channels}));
   state_.running_mean = Tensor::Zeros({channels});
   state_.running_var = Tensor::Full({channels}, 1.0f);
+  AddBuffer("running_mean", &state_.running_mean);
+  AddBuffer("running_var", &state_.running_var);
 }
 
 VarPtr BatchNorm2dLayer::Forward(const VarPtr& x, bool training) {

@@ -16,9 +16,20 @@ struct NamedParam {
   VarPtr var;
 };
 
+// A named non-trainable state tensor (e.g. batch-norm running statistics).
+// The tensor stays owned by the registering layer; the registry only points
+// at it so snapshots/restores see the live value.
+struct NamedBuffer {
+  std::string name;
+  Tensor* tensor;
+};
+
 // Base class for neural-net building blocks. Subclasses register parameters
 // (and sub-modules) in their constructors; `Parameters()` then yields the
-// flat list consumed by optimizers and the serializer.
+// flat list consumed by optimizers and the serializer. State that evolves
+// during training without receiving gradients registers via `AddBuffer` and
+// surfaces through `Buffers()` — training checkpoints must capture it for
+// resume to reproduce evaluation-mode behavior.
 //
 // Modules are neither copyable nor movable: parameters are shared_ptrs and
 // layers hold raw pointers to each other in composite models.
@@ -31,6 +42,7 @@ class Module {
   Module& operator=(const Module&) = delete;
 
   const std::vector<NamedParam>& Parameters() const { return params_; }
+  const std::vector<NamedBuffer>& Buffers() const { return buffers_; }
 
   // Total number of scalar parameters.
   int64_t NumParams() const {
@@ -51,15 +63,25 @@ class Module {
     return v;
   }
 
-  // Re-exports a child's parameters under `prefix/`.
+  // Registers layer-owned non-trainable state; `tensor` must outlive the
+  // module tree.
+  void AddBuffer(const std::string& name, Tensor* tensor) {
+    buffers_.push_back({name, tensor});
+  }
+
+  // Re-exports a child's parameters and buffers under `prefix/`.
   void AddSubmodule(const std::string& prefix, Module* child) {
     for (const auto& p : child->params_) {
       params_.push_back({prefix + "/" + p.name, p.var});
+    }
+    for (const auto& b : child->buffers_) {
+      buffers_.push_back({prefix + "/" + b.name, b.tensor});
     }
   }
 
  private:
   std::vector<NamedParam> params_;
+  std::vector<NamedBuffer> buffers_;
 };
 
 }  // namespace nn

@@ -6,6 +6,31 @@
 
 namespace deepst {
 namespace nn {
+namespace {
+
+// Shared slot validation for ImportState: checkpointed slot tensors must
+// match this optimizer's parameter shapes slot-for-slot.
+util::Status CheckSlots(const std::vector<NamedParam>& params,
+                        const std::vector<Tensor>& slots,
+                        size_t slots_per_param, const char* kind) {
+  if (slots.size() != params.size() * slots_per_param) {
+    return util::Status::InvalidArgument(
+        std::string(kind) + " state has " + std::to_string(slots.size()) +
+        " slots for " + std::to_string(params.size()) + " parameters");
+  }
+  for (size_t i = 0; i < slots.size(); ++i) {
+    const Tensor& expect = params[i % params.size()].var->value();
+    if (!slots[i].SameShape(expect)) {
+      return util::Status::InvalidArgument(
+          std::string(kind) + " slot " + std::to_string(i) +
+          " shape " + slots[i].ShapeString() + " does not match parameter " +
+          expect.ShapeString());
+    }
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace
 
 double Optimizer::ClipGradNorm(double max_norm) {
   // Per-parameter chunked reductions combined in fixed parameter order keep
@@ -37,6 +62,27 @@ Sgd::Sgd(std::vector<NamedParam> params, float lr, float momentum)
       velocity_.push_back(Tensor::Zeros(p.var->value().shape()));
     }
   }
+}
+
+OptimizerState Sgd::ExportState() const {
+  OptimizerState state;
+  state.kind = "sgd";
+  state.lr = lr_;
+  state.slots = velocity_;
+  return state;
+}
+
+util::Status Sgd::ImportState(const OptimizerState& state) {
+  if (state.kind != "sgd") {
+    return util::Status::InvalidArgument("optimizer kind mismatch: expected "
+                                         "sgd, got " + state.kind);
+  }
+  const size_t slots_per_param = momentum_ > 0.0f ? 1 : 0;
+  DEEPST_RETURN_IF_ERROR(
+      CheckSlots(params_, state.slots, slots_per_param, "sgd"));
+  velocity_ = state.slots;
+  lr_ = state.lr;
+  return util::Status::Ok();
 }
 
 void Sgd::Step() {
@@ -75,6 +121,34 @@ Adam::Adam(std::vector<NamedParam> params, float lr, float beta1, float beta2,
     m_.push_back(Tensor::Zeros(p.var->value().shape()));
     v_.push_back(Tensor::Zeros(p.var->value().shape()));
   }
+}
+
+OptimizerState Adam::ExportState() const {
+  OptimizerState state;
+  state.kind = "adam";
+  state.step = t_;
+  state.lr = lr_;
+  state.slots.reserve(m_.size() + v_.size());
+  state.slots.insert(state.slots.end(), m_.begin(), m_.end());
+  state.slots.insert(state.slots.end(), v_.begin(), v_.end());
+  return state;
+}
+
+util::Status Adam::ImportState(const OptimizerState& state) {
+  if (state.kind != "adam") {
+    return util::Status::InvalidArgument("optimizer kind mismatch: expected "
+                                         "adam, got " + state.kind);
+  }
+  if (state.step < 0) {
+    return util::Status::InvalidArgument("adam state has negative step count");
+  }
+  DEEPST_RETURN_IF_ERROR(CheckSlots(params_, state.slots, 2, "adam"));
+  const size_t n = params_.size();
+  m_.assign(state.slots.begin(), state.slots.begin() + static_cast<long>(n));
+  v_.assign(state.slots.begin() + static_cast<long>(n), state.slots.end());
+  t_ = state.step;
+  lr_ = state.lr;
+  return util::Status::Ok();
 }
 
 void Adam::Step() {

@@ -1,12 +1,25 @@
 #ifndef DEEPST_NN_OPTIMIZER_H_
 #define DEEPST_NN_OPTIMIZER_H_
 
+#include <string>
 #include <vector>
 
 #include "nn/module.h"
+#include "util/status.h"
 
 namespace deepst {
 namespace nn {
+
+// Detached optimizer state for training checkpoints: everything beyond the
+// parameters themselves that a resumed run needs to continue bitwise
+// identically (Adam moment vectors and step count, SGD velocity, current
+// learning rate after any scheduler/backoff adjustments).
+struct OptimizerState {
+  std::string kind;           // "sgd" or "adam"
+  int64_t step = 0;           // Adam bias-correction step count
+  float lr = 0.0f;
+  std::vector<Tensor> slots;  // Adam: m then v; SGD: velocity (may be empty)
+};
 
 // Optimizer interface over a fixed parameter list.
 class Optimizer {
@@ -20,6 +33,11 @@ class Optimizer {
 
   // Applies one update from the accumulated gradients.
   virtual void Step() = 0;
+
+  // Checkpoint support: snapshot / restore the full update state. Import
+  // rejects a state whose kind or slot shapes do not match this optimizer.
+  virtual OptimizerState ExportState() const = 0;
+  virtual util::Status ImportState(const OptimizerState& state) = 0;
 
   void ZeroGrad() {
     for (auto& p : params_) p.var->ZeroGrad();
@@ -40,7 +58,10 @@ class Sgd : public Optimizer {
  public:
   Sgd(std::vector<NamedParam> params, float lr, float momentum = 0.0f);
   void Step() override;
+  OptimizerState ExportState() const override;
+  util::Status ImportState(const OptimizerState& state) override;
   void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
 
  private:
   float lr_;
@@ -55,6 +76,8 @@ class Adam : public Optimizer {
   Adam(std::vector<NamedParam> params, float lr, float beta1 = 0.9f,
        float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
   void Step() override;
+  OptimizerState ExportState() const override;
+  util::Status ImportState(const OptimizerState& state) override;
   void set_lr(float lr) { lr_ = lr; }
   float lr() const { return lr_; }
 

@@ -1,7 +1,9 @@
 #ifndef DEEPST_NN_SERIALIZE_H_
 #define DEEPST_NN_SERIALIZE_H_
 
+#include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "nn/module.h"
@@ -13,7 +15,54 @@ namespace nn {
 // Binary parameter checkpointing. The format is a simple
 // magic/count/[name, shape, data]* container; loading matches by name and
 // requires identical shapes. This lets benches train a model once and reuse
-// it, and lets examples ship tiny pretrained checkpoints.
+// it, and lets examples ship tiny pretrained checkpoints. The same
+// named-tensor blob is embedded (twice: live + best-epoch params) inside the
+// training-checkpoint format built on top (see core/checkpoint.h).
+//
+// Readers are hardened against corrupt or truncated input: every length and
+// dimension field is bounded before any allocation, so a flipped byte yields
+// a clean util::Status error, never a multi-gigabyte allocation, an integer
+// wrap, or a crash.
+
+// A parameter snapshot detached from any module.
+using NamedTensor = std::pair<std::string, Tensor>;
+
+// -- Stream-level building blocks -------------------------------------------
+
+// Writes one tensor (ndim, dims, float payload) to `out`.
+util::Status WriteTensor(std::ostream& out, const Tensor& t);
+
+// Reads one tensor written by WriteTensor. Rejects ndim > 8, non-positive or
+// overflow-prone dims, and element counts above ~2^28 before allocating.
+util::Status ReadTensor(std::istream& in, Tensor* t);
+
+// Writes count + [name, tensor]* to `out`.
+util::Status WriteNamedTensors(std::ostream& out,
+                               const std::vector<NamedTensor>& tensors);
+
+// Reads a blob written by WriteNamedTensors. Bounds the entry count and each
+// name length; any truncation or out-of-bounds field is a clean error.
+util::StatusOr<std::vector<NamedTensor>> ReadNamedTensors(std::istream& in);
+
+// Copies `tensors` into `module` by name. Every module parameter must be
+// present with a matching shape.
+util::Status ApplyNamedTensors(Module* module,
+                               const std::vector<NamedTensor>& tensors);
+
+// Copies every parameter of `module` out into a detached snapshot.
+std::vector<NamedTensor> SnapshotParameters(const Module& module);
+
+// Copies `tensors` into the module's registered buffers by name (batch-norm
+// running stats and the like). Every buffer must be present with a matching
+// shape — except that an empty `tensors` list is a no-op, so checkpoints
+// from buffer-less models stay loadable.
+util::Status ApplyNamedBuffers(Module* module,
+                               const std::vector<NamedTensor>& tensors);
+
+// Copies every registered buffer of `module` out into a detached snapshot.
+std::vector<NamedTensor> SnapshotBuffers(const Module& module);
+
+// -- File-level API ----------------------------------------------------------
 
 // Saves every parameter of `module` to `path`.
 util::Status SaveParameters(const Module& module, const std::string& path);

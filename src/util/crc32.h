@@ -1,0 +1,33 @@
+#ifndef DEEPST_UTIL_CRC32_H_
+#define DEEPST_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace deepst {
+namespace util {
+
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) -- the integrity footer of the
+// training-checkpoint format (see docs/checkpointing.md). Small, table-driven
+// and dependency-free; the same checksum zlib/gzip/PNG use, so values can be
+// cross-checked with standard tools.
+
+// One-shot checksum of `n` bytes. `seed` chains calls: passing the result of
+// a previous Crc32 continues the same stream.
+uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
+
+// Incremental accumulator for streamed writes.
+class Crc32Accumulator {
+ public:
+  void Update(const void* data, size_t n) { crc_ = Crc32(data, n, crc_); }
+  uint32_t value() const { return crc_; }
+  void Reset() { crc_ = 0; }
+
+ private:
+  uint32_t crc_ = 0;
+};
+
+}  // namespace util
+}  // namespace deepst
+
+#endif  // DEEPST_UTIL_CRC32_H_

@@ -97,6 +97,20 @@ int Rng::Categorical(const std::vector<double>& weights) {
   return 0;
 }
 
+Rng::State Rng::GetState() const {
+  State st;
+  for (int i = 0; i < 4; ++i) st.s[i] = state_[i];
+  st.has_cached_gaussian = has_cached_gaussian_ ? 1 : 0;
+  st.cached_gaussian = cached_gaussian_;
+  return st;
+}
+
+void Rng::SetState(const State& state) {
+  for (int i = 0; i < 4; ++i) state_[i] = state.s[i];
+  has_cached_gaussian_ = state.has_cached_gaussian != 0;
+  cached_gaussian_ = state.cached_gaussian;
+}
+
 Rng Rng::Fork(uint64_t stream_id) {
   // Mix the child id with fresh output so forks are independent streams.
   return Rng(NextUint64() ^ (0xd1342543de82ef95ULL * (stream_id + 1)));

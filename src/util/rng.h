@@ -55,6 +55,18 @@ class Rng {
   // deterministic substreams).
   Rng Fork(uint64_t stream_id);
 
+  // Complete generator state, exposed so training checkpoints can freeze and
+  // resume a stream mid-run with bitwise-identical continuation. The cached
+  // Box-Muller half is part of the state: dropping it would desynchronize
+  // every Gaussian draw after resume.
+  struct State {
+    uint64_t s[4] = {0, 0, 0, 0};
+    uint64_t has_cached_gaussian = 0;  // 0 or 1
+    double cached_gaussian = 0.0;
+  };
+  State GetState() const;
+  void SetState(const State& state);
+
  private:
   uint64_t state_[4];
   bool has_cached_gaussian_ = false;

@@ -1,0 +1,528 @@
+// Crash-safety subsystem tests: checkpoint format integrity (truncation /
+// bit-flip corpus), latest/prev rotation and fallback, bitwise resume
+// determinism, and the divergence guard's rollback + learning-rate backoff.
+#include "core/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "core/trainer.h"
+#include "eval/world.h"
+#include "nn/serialize.h"
+
+namespace deepst {
+namespace core {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return std::move(buf).str();
+}
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// A unique fresh directory per test case (gtest TempDir is shared).
+std::string FreshDir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "/deepst_" + name;
+  std::remove((dir + "/ckpt_latest.bin").c_str());
+  std::remove((dir + "/ckpt_prev.bin").c_str());
+  std::remove((dir + "/ckpt_best.bin").c_str());
+  return dir;
+}
+
+struct ToyModule : nn::Module {
+  ToyModule() {
+    util::Rng rng(42);
+    AddParameter("w", nn::Tensor::Uniform({4, 3}, -1.0f, 1.0f, &rng));
+    AddParameter("b", nn::Tensor::Uniform({3}, -1.0f, 1.0f, &rng));
+    AddParameter("deep/u", nn::Tensor::Uniform({2, 2, 2}, -1.0f, 1.0f, &rng));
+    running = nn::Tensor::Uniform({3}, 0.0f, 1.0f, &rng);
+    AddBuffer("bn/running", &running);
+  }
+  nn::Tensor running;
+};
+
+TrainingCheckpoint MakeToyCheckpoint(const ToyModule& module) {
+  TrainingCheckpoint ckpt;
+  ckpt.next_epoch = 7;
+  ckpt.best_epoch = 5;
+  ckpt.best_val = 0.125;
+  ckpt.since_best = 2;
+  ckpt.retries_used = 1;
+  util::Rng rng(99);
+  (void)rng.Gaussian();  // populate the cached half
+  ckpt.rng = rng.GetState();
+  for (int e = 0; e < 7; ++e) {
+    EpochStats es;
+    es.epoch = e;
+    es.train_loss = 10.0 - e;
+    es.train_route_ce = 2.0 - 0.1 * e;
+    es.val_route_ce = 2.1 - 0.1 * e;
+    es.seconds = 0.5;
+    ckpt.history.push_back(es);
+  }
+  nn::Adam adam(module.Parameters(), 1e-3f);
+  ckpt.optimizer = adam.ExportState();
+  ckpt.optimizer.step = 31;
+  ckpt.params = nn::SnapshotParameters(module);
+  ckpt.best_params = nn::SnapshotParameters(module);
+  ckpt.buffers = nn::SnapshotBuffers(module);
+  ckpt.best_buffers = nn::SnapshotBuffers(module);
+  return ckpt;
+}
+
+void ExpectSameTensors(const std::vector<nn::NamedTensor>& a,
+                       const std::vector<nn::NamedTensor>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].first, b[i].first);
+    ASSERT_TRUE(a[i].second.SameShape(b[i].second));
+    for (int64_t j = 0; j < a[i].second.numel(); ++j) {
+      EXPECT_EQ(a[i].second[j], b[i].second[j]) << a[i].first << "[" << j
+                                                << "]";
+    }
+  }
+}
+
+TEST(TrainingCheckpointTest, SaveLoadRoundTrip) {
+  ToyModule module;
+  const TrainingCheckpoint ckpt = MakeToyCheckpoint(module);
+  const std::string path = testing::TempDir() + "/deepst_ckpt_rt.bin";
+  ASSERT_TRUE(SaveTrainingCheckpoint(ckpt, path).ok());
+
+  auto loaded = LoadTrainingCheckpoint(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const TrainingCheckpoint& got = loaded.value();
+  EXPECT_EQ(got.next_epoch, ckpt.next_epoch);
+  EXPECT_EQ(got.best_epoch, ckpt.best_epoch);
+  EXPECT_DOUBLE_EQ(got.best_val, ckpt.best_val);
+  EXPECT_EQ(got.since_best, ckpt.since_best);
+  EXPECT_EQ(got.retries_used, ckpt.retries_used);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(got.rng.s[i], ckpt.rng.s[i]);
+  EXPECT_EQ(got.rng.has_cached_gaussian, ckpt.rng.has_cached_gaussian);
+  EXPECT_DOUBLE_EQ(got.rng.cached_gaussian, ckpt.rng.cached_gaussian);
+  ASSERT_EQ(got.history.size(), ckpt.history.size());
+  for (size_t i = 0; i < got.history.size(); ++i) {
+    EXPECT_EQ(got.history[i].epoch, ckpt.history[i].epoch);
+    EXPECT_DOUBLE_EQ(got.history[i].train_loss, ckpt.history[i].train_loss);
+    EXPECT_DOUBLE_EQ(got.history[i].val_route_ce,
+                     ckpt.history[i].val_route_ce);
+  }
+  EXPECT_EQ(got.optimizer.kind, "adam");
+  EXPECT_EQ(got.optimizer.step, 31);
+  EXPECT_EQ(got.optimizer.slots.size(), ckpt.optimizer.slots.size());
+  ExpectSameTensors(got.params, ckpt.params);
+  ExpectSameTensors(got.best_params, ckpt.best_params);
+  ExpectSameTensors(got.buffers, ckpt.buffers);
+  ExpectSameTensors(got.best_buffers, ckpt.best_buffers);
+}
+
+TEST(TrainingCheckpointTest, BuffersRestoreIntoModule) {
+  ToyModule source;
+  const TrainingCheckpoint ckpt = MakeToyCheckpoint(source);
+
+  ToyModule target;
+  for (int64_t j = 0; j < target.running.numel(); ++j) target.running[j] = -5;
+  ASSERT_TRUE(nn::ApplyNamedBuffers(&target, ckpt.buffers).ok());
+  for (int64_t j = 0; j < target.running.numel(); ++j) {
+    EXPECT_EQ(target.running[j], source.running[j]);
+  }
+
+  // An empty list is a no-op (checkpoints from buffer-less models), but a
+  // present-yet-mismatched one is rejected.
+  EXPECT_TRUE(nn::ApplyNamedBuffers(&target, {}).ok());
+  std::vector<nn::NamedTensor> wrong_name = {
+      {"bn/other", nn::Tensor::Zeros({3})}};
+  EXPECT_FALSE(nn::ApplyNamedBuffers(&target, wrong_name).ok());
+  std::vector<nn::NamedTensor> wrong_shape = {
+      {"bn/running", nn::Tensor::Zeros({4})}};
+  EXPECT_FALSE(nn::ApplyNamedBuffers(&target, wrong_shape).ok());
+}
+
+TEST(TrainingCheckpointTest, RestoredOptimizerStateImports) {
+  ToyModule module;
+  const TrainingCheckpoint ckpt = MakeToyCheckpoint(module);
+  const std::string path = testing::TempDir() + "/deepst_ckpt_opt.bin";
+  ASSERT_TRUE(SaveTrainingCheckpoint(ckpt, path).ok());
+  auto loaded = LoadTrainingCheckpoint(path);
+  ASSERT_TRUE(loaded.ok());
+
+  nn::Adam adam(module.Parameters(), 5e-2f);
+  ASSERT_TRUE(adam.ImportState(loaded.value().optimizer).ok());
+
+  // Kind and shape mismatches are rejected, not silently accepted.
+  nn::Sgd sgd(module.Parameters(), 1e-2f);
+  EXPECT_FALSE(sgd.ImportState(loaded.value().optimizer).ok());
+  nn::OptimizerState bad = loaded.value().optimizer;
+  bad.slots.pop_back();
+  EXPECT_FALSE(adam.ImportState(bad).ok());
+}
+
+TEST(TrainingCheckpointTest, MissingFileIsNotFound) {
+  auto loaded = LoadTrainingCheckpoint(testing::TempDir() +
+                                       "/deepst_no_such_ckpt.bin");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::Status::Code::kNotFound);
+}
+
+// Every truncation and every single-bit flip of a checkpoint must be
+// rejected with a clean error -- the CRC footer (or a bounds check) catches
+// them all; none may crash or return a half-parsed checkpoint.
+TEST(TrainingCheckpointTest, CorruptionCorpus) {
+  ToyModule module;
+  const std::string path = testing::TempDir() + "/deepst_ckpt_corpus.bin";
+  ASSERT_TRUE(SaveTrainingCheckpoint(MakeToyCheckpoint(module), path).ok());
+  const std::string clean = ReadFile(path);
+  ASSERT_GT(clean.size(), 16u);
+
+  const std::string victim = testing::TempDir() + "/deepst_ckpt_victim.bin";
+  for (size_t len = 0; len < clean.size(); ++len) {
+    WriteFile(victim, clean.substr(0, len));
+    auto loaded = LoadTrainingCheckpoint(victim);
+    EXPECT_FALSE(loaded.ok()) << "truncation at byte " << len;
+  }
+  for (size_t byte = 0; byte < clean.size(); ++byte) {
+    std::string flipped = clean;
+    flipped[byte] = static_cast<char>(flipped[byte] ^ 0x01);
+    WriteFile(victim, flipped);
+    auto loaded = LoadTrainingCheckpoint(victim);
+    EXPECT_FALSE(loaded.ok()) << "bit flip at byte " << byte;
+  }
+}
+
+// The raw parameter-file reader has no CRC, so a bit flip in the float
+// payload is not detectable -- but no corruption may ever crash it, and any
+// truncation must surface as an error.
+TEST(SerializeHardeningTest, ParameterFileCorpus) {
+  ToyModule module;
+  const std::string path = testing::TempDir() + "/deepst_params_corpus.bin";
+  ASSERT_TRUE(nn::SaveParameters(module, path).ok());
+  const std::string clean = ReadFile(path);
+
+  const std::string victim = testing::TempDir() + "/deepst_params_victim.bin";
+  for (size_t len = 0; len < clean.size(); ++len) {
+    WriteFile(victim, clean.substr(0, len));
+    ToyModule target;
+    EXPECT_FALSE(nn::LoadParameters(&target, victim).ok())
+        << "truncation at byte " << len;
+  }
+  for (size_t byte = 0; byte < clean.size(); ++byte) {
+    std::string flipped = clean;
+    // Flip a high bit: length/dim fields become huge, floats become
+    // garbage; either way the loader must return, not crash or allocate
+    // unboundedly.
+    flipped[byte] = static_cast<char>(flipped[byte] ^ 0x80);
+    WriteFile(victim, flipped);
+    ToyModule target;
+    (void)nn::LoadParameters(&target, victim);  // must not crash
+  }
+}
+
+TEST(SerializeHardeningTest, RejectsOversizeFields) {
+  // Hand-build a header claiming a multi-exabyte tensor: count 1, name "w",
+  // ndim 2, dims that overflow int64 when multiplied.
+  std::ostringstream out(std::ios::binary);
+  const uint32_t magic = 0xDEE59701;
+  out.write(reinterpret_cast<const char*>(&magic), 4);
+  auto w64 = [&](uint64_t v) {
+    out.write(reinterpret_cast<const char*>(&v), 8);
+  };
+  w64(1);          // count
+  w64(1);          // name_len
+  out.write("w", 1);
+  w64(2);          // ndim
+  w64(uint64_t{1} << 40);
+  w64(uint64_t{1} << 40);
+  const std::string path = testing::TempDir() + "/deepst_params_huge.bin";
+  WriteFile(path, std::move(out).str());
+  ToyModule target;
+  auto s = nn::LoadParameters(&target, path);
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(CheckpointManagerTest, RotationKeepsPreviousCheckpoint) {
+  ToyModule module;
+  CheckpointManager mgr(FreshDir("rotate"));
+  ASSERT_TRUE(mgr.dir_status().ok());
+
+  TrainingCheckpoint first = MakeToyCheckpoint(module);
+  first.next_epoch = 1;
+  TrainingCheckpoint second = MakeToyCheckpoint(module);
+  second.next_epoch = 2;
+  ASSERT_TRUE(mgr.WriteLatest(first).ok());
+  ASSERT_TRUE(mgr.WriteLatest(second).ok());
+
+  auto latest = LoadTrainingCheckpoint(mgr.LatestPath());
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(latest.value().next_epoch, 2);
+  auto prev = LoadTrainingCheckpoint(mgr.PrevPath());
+  ASSERT_TRUE(prev.ok());
+  EXPECT_EQ(prev.value().next_epoch, 1);
+}
+
+TEST(CheckpointManagerTest, CorruptLatestFallsBackToPrev) {
+  ToyModule module;
+  CheckpointManager mgr(FreshDir("fallback"));
+  TrainingCheckpoint first = MakeToyCheckpoint(module);
+  first.next_epoch = 1;
+  TrainingCheckpoint second = MakeToyCheckpoint(module);
+  second.next_epoch = 2;
+  ASSERT_TRUE(mgr.WriteLatest(first).ok());
+  ASSERT_TRUE(mgr.WriteLatest(second).ok());
+
+  // Truncate latest mid-file, as a crash during a non-atomic write would.
+  const std::string bytes = ReadFile(mgr.LatestPath());
+  WriteFile(mgr.LatestPath(), bytes.substr(0, bytes.size() / 2));
+
+  std::string used;
+  auto loaded = mgr.LoadLatestGood(&used);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(used, mgr.PrevPath());
+  EXPECT_EQ(loaded.value().next_epoch, 1);
+
+  // With both gone, a clean NotFound.
+  std::remove(mgr.LatestPath().c_str());
+  std::remove(mgr.PrevPath().c_str());
+  auto none = mgr.LoadLatestGood();
+  ASSERT_FALSE(none.ok());
+  EXPECT_EQ(none.status().code(), util::Status::Code::kNotFound);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end trainer integration: resume determinism + divergence guard.
+
+eval::World& TestWorld() {
+  static eval::World* world = [] {
+    eval::WorldConfig cfg = eval::ChengduMiniWorld(0.15);
+    cfg.name = "checkpoint-test-world";
+    cfg.city.rows = 7;
+    cfg.city.cols = 7;
+    cfg.generator.num_days = 4;
+    cfg.generator.max_route_m = 6000.0;
+    cfg.train_days = 2;
+    cfg.val_days = 1;
+    return new eval::World(cfg);
+  }();
+  return *world;
+}
+
+DeepSTConfig TinyConfig() {
+  DeepSTConfig cfg;
+  cfg.gru_hidden = 16;
+  cfg.gru_layers = 1;
+  cfg.segment_embedding_dim = 8;
+  cfg.dest_dim = 8;
+  cfg.num_proxies = 8;
+  cfg.mlp_hidden = 16;
+  cfg.use_traffic = false;
+  return cfg;
+}
+
+TrainerConfig BaseTrainerConfig() {
+  TrainerConfig tcfg;
+  tcfg.verbose = false;
+  tcfg.patience = 100;  // determinism tests must not stop early
+  return tcfg;
+}
+
+// The traffic variant adds the CNN posterior encoder, whose batch-norm
+// layers carry running statistics outside the parameter list. Those buffers
+// feed eval-mode validation CE (and through it early stopping), so resume
+// determinism must cover them too.
+DeepSTConfig TinyTrafficConfig() {
+  DeepSTConfig cfg = TinyConfig();
+  cfg.use_traffic = true;
+  return cfg;
+}
+
+void ExpectSameModelParams(const DeepSTModel& a, const DeepSTModel& b) {
+  const auto pa = nn::SnapshotParameters(a);
+  const auto pb = nn::SnapshotParameters(b);
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    ASSERT_EQ(pa[i].first, pb[i].first);
+    for (int64_t j = 0; j < pa[i].second.numel(); ++j) {
+      ASSERT_EQ(pa[i].second[j], pb[i].second[j])
+          << pa[i].first << "[" << j << "]";
+    }
+  }
+  const auto ba = nn::SnapshotBuffers(a);
+  const auto bb = nn::SnapshotBuffers(b);
+  ASSERT_EQ(ba.size(), bb.size());
+  for (size_t i = 0; i < ba.size(); ++i) {
+    ASSERT_EQ(ba[i].first, bb[i].first);
+    for (int64_t j = 0; j < ba[i].second.numel(); ++j) {
+      ASSERT_EQ(ba[i].second[j], bb[i].second[j])
+          << ba[i].first << "[" << j << "]";
+    }
+  }
+}
+
+TEST(TrainerCheckpointTest, ResumeIsBitwiseIdenticalToUninterrupted) {
+  auto& world = TestWorld();
+
+  // Reference: 6 epochs in one go, no checkpointing.
+  DeepSTModel ref_model(world.net(), TinyTrafficConfig(),
+                        world.traffic_cache());
+  TrainerConfig ref_cfg = BaseTrainerConfig();
+  ref_cfg.max_epochs = 6;
+  Trainer ref_trainer(&ref_model, ref_cfg);
+  auto ref = ref_trainer.Fit(world.split().train, world.split().validation);
+  ASSERT_EQ(ref.epochs.size(), 6u);
+  ASSERT_FALSE(ref_model.Buffers().empty())
+      << "traffic variant should register batch-norm buffers";
+
+  // Interrupted: 3 epochs with checkpoints, then a fresh model + trainer
+  // resumes to 6 (as a new process would after a kill).
+  const std::string dir = FreshDir("resume");
+  DeepSTModel half_model(world.net(), TinyTrafficConfig(),
+                         world.traffic_cache());
+  TrainerConfig half_cfg = BaseTrainerConfig();
+  half_cfg.max_epochs = 3;
+  half_cfg.checkpoint_dir = dir;
+  half_cfg.checkpoint_every = 1;
+  Trainer half_trainer(&half_model, half_cfg);
+  auto half = half_trainer.Fit(world.split().train,
+                               world.split().validation);
+  ASSERT_EQ(half.epochs.size(), 3u);
+
+  DeepSTModel resumed_model(world.net(), TinyTrafficConfig(),
+                            world.traffic_cache());
+  TrainerConfig resume_cfg = BaseTrainerConfig();
+  resume_cfg.max_epochs = 6;
+  resume_cfg.checkpoint_dir = dir;
+  resume_cfg.resume = true;
+  Trainer resume_trainer(&resumed_model, resume_cfg);
+  auto resumed = resume_trainer.Fit(world.split().train,
+                                    world.split().validation);
+  ASSERT_TRUE(resumed.status.ok()) << resumed.status.ToString();
+  EXPECT_EQ(resumed.start_epoch, 3);
+
+  // Whole-run history matches the uninterrupted reference bit for bit.
+  ASSERT_EQ(resumed.epochs.size(), ref.epochs.size());
+  for (size_t i = 0; i < ref.epochs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(resumed.epochs[i].train_loss, ref.epochs[i].train_loss)
+        << "epoch " << i;
+    EXPECT_DOUBLE_EQ(resumed.epochs[i].train_route_ce,
+                     ref.epochs[i].train_route_ce) << "epoch " << i;
+    EXPECT_DOUBLE_EQ(resumed.epochs[i].val_route_ce,
+                     ref.epochs[i].val_route_ce) << "epoch " << i;
+  }
+  EXPECT_EQ(resumed.best_epoch, ref.best_epoch);
+  ExpectSameModelParams(resumed_model, ref_model);
+}
+
+TEST(TrainerCheckpointTest, ResumeWithCorruptLatestUsesPrev) {
+  auto& world = TestWorld();
+  const std::string dir = FreshDir("resume_corrupt");
+
+  DeepSTModel model(world.net(), TinyConfig(), nullptr);
+  TrainerConfig cfg = BaseTrainerConfig();
+  cfg.max_epochs = 3;
+  cfg.checkpoint_dir = dir;
+  cfg.checkpoint_every = 1;
+  Trainer trainer(&model, cfg);
+  (void)trainer.Fit(world.split().train, world.split().validation);
+
+  // Simulate a torn write of the newest checkpoint.
+  CheckpointManager mgr(dir);
+  const std::string bytes = ReadFile(mgr.LatestPath());
+  WriteFile(mgr.LatestPath(), bytes.substr(0, bytes.size() - 7));
+
+  DeepSTModel resumed(world.net(), TinyConfig(), nullptr);
+  TrainerConfig rcfg = BaseTrainerConfig();
+  rcfg.max_epochs = 4;
+  rcfg.checkpoint_dir = dir;
+  rcfg.resume = true;
+  Trainer rtrainer(&resumed, rcfg);
+  auto result = rtrainer.Fit(world.split().train, world.split().validation);
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  // prev holds the epoch-2 boundary, so the resumed run starts at epoch 2.
+  EXPECT_EQ(result.start_epoch, 2);
+  EXPECT_EQ(result.epochs.size(), 4u);
+}
+
+TEST(TrainerCheckpointTest, NanLossRollsBackAndCompletes) {
+  auto& world = TestWorld();
+  DeepSTModel model(world.net(), TinyConfig(), nullptr);
+  TrainerConfig cfg = BaseTrainerConfig();
+  cfg.max_epochs = 4;
+  int injections = 0;
+  cfg.divergence_loss_hook = [&](int epoch, int retries, double loss) {
+    if (epoch == 2 && retries == 0) {
+      ++injections;
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+    return loss;
+  };
+  Trainer trainer(&model, cfg);
+  auto result = trainer.Fit(world.split().train, world.split().validation);
+  EXPECT_EQ(injections, 1);
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  ASSERT_EQ(result.epochs.size(), 4u);
+  for (const auto& e : result.epochs) {
+    EXPECT_TRUE(std::isfinite(e.train_loss));
+  }
+  for (const auto& p : model.Parameters()) {
+    ASSERT_TRUE(p.var->value().AllFinite()) << p.name;
+  }
+}
+
+TEST(TrainerCheckpointTest, PersistentDivergenceFailsGracefully) {
+  auto& world = TestWorld();
+  DeepSTModel model(world.net(), TinyConfig(), nullptr);
+  const auto initial = nn::SnapshotParameters(model);
+  TrainerConfig cfg = BaseTrainerConfig();
+  cfg.max_epochs = 4;
+  cfg.divergence_max_retries = 2;
+  cfg.divergence_loss_hook = [](int, int, double) {
+    return std::numeric_limits<double>::quiet_NaN();
+  };
+  Trainer trainer(&model, cfg);
+  auto result = trainer.Fit(world.split().train, world.split().validation);
+  EXPECT_FALSE(result.status.ok());
+  EXPECT_EQ(result.status.code(), util::Status::Code::kInternal);
+  EXPECT_TRUE(result.epochs.empty());
+  // The model is left at the last good boundary -- here the initial
+  // weights -- not at whatever the diverged epoch produced.
+  const auto final_params = nn::SnapshotParameters(model);
+  ASSERT_EQ(final_params.size(), initial.size());
+  for (size_t i = 0; i < initial.size(); ++i) {
+    for (int64_t j = 0; j < initial[i].second.numel(); ++j) {
+      ASSERT_EQ(final_params[i].second[j], initial[i].second[j]);
+    }
+  }
+}
+
+TEST(TrainerCheckpointTest, SpikeTriggersLrBackoff) {
+  auto& world = TestWorld();
+  DeepSTModel model(world.net(), TinyConfig(), nullptr);
+  TrainerConfig cfg = BaseTrainerConfig();
+  cfg.max_epochs = 3;
+  int rollbacks_seen = 0;
+  cfg.divergence_loss_hook = [&](int epoch, int retries, double loss) {
+    if (epoch == 1 && retries == 0) return loss + 1e9;  // absurd spike
+    if (retries > 0) ++rollbacks_seen;
+    return loss;
+  };
+  Trainer trainer(&model, cfg);
+  auto result = trainer.Fit(world.split().train, world.split().validation);
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_EQ(result.epochs.size(), 3u);
+  EXPECT_GT(rollbacks_seen, 0);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace deepst

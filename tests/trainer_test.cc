@@ -92,6 +92,27 @@ TEST(TrainerTest, BestEpochTracksValidation) {
               best, 1e-9);
 }
 
+TEST(TrainerTest, FitRestoresBestEpochWeights) {
+  // Regression: Fit used to return with the *last* epoch's weights even when
+  // an earlier epoch won on validation (early stopping runs `patience`
+  // epochs past the optimum by construction). The model must come back at
+  // the best epoch: its post-Fit validation CE equals the recorded best
+  // epoch's, not the final epoch's.
+  auto& world = TestWorld();
+  DeepSTModel model(world.net(), TinyConfig(), nullptr);
+  TrainerConfig tcfg;
+  tcfg.max_epochs = 12;
+  tcfg.patience = 2;
+  tcfg.learning_rate = 0.05f;  // overshoots, so late epochs get worse
+  tcfg.verbose = false;
+  Trainer trainer(&model, tcfg);
+  auto result = trainer.Fit(world.split().train, world.split().validation);
+  ASSERT_FALSE(result.epochs.empty());
+  const double post_fit_ce = trainer.EvaluateRouteCe(world.split().validation);
+  const auto& best = result.epochs[static_cast<size_t>(result.best_epoch)];
+  EXPECT_DOUBLE_EQ(post_fit_ce, best.val_route_ce);
+}
+
 TEST(TrainerTest, EvaluateRouteCeDeterministic) {
   auto& world = TestWorld();
   DeepSTModel model(world.net(), TinyConfig(), nullptr);

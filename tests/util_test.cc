@@ -4,6 +4,7 @@
 #include <fstream>
 #include <set>
 
+#include "util/crc32.h"
 #include "util/flags.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -149,6 +150,51 @@ TEST(RngTest, ShufflePreservesElements) {
   rng.Shuffle(&v);
   std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
   EXPECT_EQ(a, b);
+}
+
+TEST(RngTest, StateRoundTripContinuesStream) {
+  Rng a(1234);
+  // Burn an odd number of Gaussian draws so the cached Box-Muller half is
+  // populated -- the state must carry it.
+  for (int i = 0; i < 7; ++i) (void)a.Gaussian();
+  for (int i = 0; i < 5; ++i) (void)a.NextUint64();
+  const Rng::State st = a.GetState();
+  Rng b(999);  // unrelated seed, fully overwritten by SetState
+  b.SetState(st);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_DOUBLE_EQ(a.Gaussian(), b.Gaussian());
+  }
+}
+
+TEST(Crc32Test, KnownVectors) {
+  // The zlib/PNG check value.
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32("", 0), 0u);
+  EXPECT_EQ(Crc32("a", 1), 0xE8B7BE43u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  Crc32Accumulator acc;
+  acc.Update(data.data(), 10);
+  acc.Update(data.data() + 10, data.size() - 10);
+  EXPECT_EQ(acc.value(), Crc32(data.data(), data.size()));
+  // Seed-chaining form agrees too.
+  const uint32_t first = Crc32(data.data(), 10);
+  EXPECT_EQ(Crc32(data.data() + 10, data.size() - 10, first), acc.value());
+}
+
+TEST(Crc32Test, DetectsSingleBitFlips) {
+  std::string data(64, '\x5a');
+  const uint32_t clean = Crc32(data.data(), data.size());
+  for (size_t byte = 0; byte < data.size(); ++byte) {
+    data[byte] ^= 1;
+    EXPECT_NE(Crc32(data.data(), data.size()), clean) << "byte " << byte;
+    data[byte] ^= 1;
+  }
 }
 
 TEST(HashToUnitTest, InUnitIntervalAndDeterministic) {

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Builds the concurrency-sensitive tests under a sanitizer and runs them.
+#
+#   tools/check_sanitize.sh [thread|address] [build-dir]
+#
+# The sanitizer (default: thread) maps to the DEEPST_SANITIZE CMake option;
+# the instrumented tree lives in its own build directory (default
+# build-<sanitizer>/) so it never collides with the regular build.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+SANITIZER="${1:-${DEEPST_SANITIZE:-thread}}"
+case "$SANITIZER" in
+  thread|address) ;;
+  *) echo "usage: tools/check_sanitize.sh [thread|address] [build-dir]" >&2
+     exit 2 ;;
+esac
+BUILD_DIR="${2:-build-$SANITIZER}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DDEEPST_SANITIZE="$SANITIZER" \
+  -DDEEPST_BUILD_BENCHES=OFF \
+  -DDEEPST_BUILD_EXAMPLES=OFF
+cmake --build "$BUILD_DIR" -j"$(nproc)" \
+  --target parallel_test trainer_test checkpoint_test
+
+# halt_on_error makes a reported race/issue fail the script, not just print.
+export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
+export ASAN_OPTIONS="halt_on_error=1 ${ASAN_OPTIONS:-}"
+export DEEPST_FAST=1
+
+"$BUILD_DIR"/tests/parallel_test
+"$BUILD_DIR"/tests/trainer_test
+"$BUILD_DIR"/tests/checkpoint_test
+
+echo "OK: ThreadPool/backend/checkpoint tests clean under $SANITIZER sanitizer"

@@ -1,29 +1,4 @@
 #!/usr/bin/env bash
-# Builds the ThreadPool / backend tests under ThreadSanitizer and runs them.
-#
-#   tools/check_tsan.sh [build-dir]
-#
-# The sanitized tree lives in its own build directory (default build-tsan/)
-# so it never collides with the regular build. Pass DEEPST_SANITIZE=address
-# through the environment to run the same set under ASan instead.
-set -euo pipefail
-
-cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build-tsan}"
-SANITIZER="${DEEPST_SANITIZE:-thread}"
-
-cmake -B "$BUILD_DIR" -S . \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DDEEPST_SANITIZE="$SANITIZER" \
-  -DDEEPST_BUILD_BENCHES=OFF \
-  -DDEEPST_BUILD_EXAMPLES=OFF
-cmake --build "$BUILD_DIR" -j"$(nproc)" --target parallel_test trainer_test
-
-# halt_on_error makes a reported race fail the script, not just print.
-export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
-export DEEPST_FAST=1
-
-"$BUILD_DIR"/tests/parallel_test
-"$BUILD_DIR"/tests/trainer_test
-
-echo "OK: ThreadPool/backend tests clean under $SANITIZER sanitizer"
+# Back-compat shim: the TSan check generalized into check_sanitize.sh
+# (thread|address). This keeps existing invocations working.
+exec "$(dirname "$0")/check_sanitize.sh" thread "${1:-build-tsan}"
