@@ -229,14 +229,10 @@ BENCHMARK(BM_HmmMatch);
 
 // -- DeepST prediction/scoring: O(|r|) (paper IV-F) --------------------------------
 
-// Scores a synthetic straight-line route of the requested length; time per
-// iteration should grow linearly with the length argument.
-void BM_ScoreRouteByLength(benchmark::State& state) {
+// A route of the requested length: the prefix of the longest shortest path
+// rooted at segment 0 (paths in an 11x11 grid reach ~20+ segments).
+traj::Route SyntheticRoute(int target_len) {
   auto& world = MicroWorld();
-  auto& model = MicroModel();
-  const int target_len = static_cast<int>(state.range(0));
-  // A route of the requested length: the prefix of the longest shortest
-  // path rooted at segment 0 (paths in an 11x11 grid reach ~20+ segments).
   const auto cost = roadnet::LengthCost(world.net());
   const auto dist = roadnet::ShortestPathTree(world.net(), 0, cost);
   roadnet::SegmentId far = 0;
@@ -251,6 +247,15 @@ void BM_ScoreRouteByLength(benchmark::State& state) {
   if (static_cast<int>(route.size()) > target_len) {
     route.resize(static_cast<size_t>(target_len));
   }
+  return route;
+}
+
+// Scores a synthetic straight-line route of the requested length; time per
+// iteration should grow linearly with the length argument.
+void BM_ScoreRouteByLength(benchmark::State& state) {
+  auto& world = MicroWorld();
+  auto& model = MicroModel();
+  traj::Route route = SyntheticRoute(static_cast<int>(state.range(0)));
   util::Rng rng(5);
   core::RouteQuery query;
   query.origin = route.front();
@@ -277,6 +282,157 @@ void BM_PredictRoute(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PredictRoute);
+
+void BM_PredictRouteBeam(benchmark::State& state) {
+  auto& world = MicroWorld();
+  auto& model = MicroModel();
+  util::Rng rng(6);
+  const auto* rec = world.split().test.front();
+  core::RouteQuery query = eval::QueryFor(rec->trip);
+  core::PredictionContext ctx = model.MakeContext(query, &rng);
+  for (auto _ : state) {
+    util::Rng step_rng(7);
+    benchmark::DoNotOptimize(
+        model.PredictRouteBeam(ctx, query.origin, &step_rng));
+  }
+}
+BENCHMARK(BM_PredictRouteBeam);
+
+// Batched candidate-set scoring (the route-ranking / recovery hot path):
+// one padded batch through the engine vs `batch` sequential ScoreRoute
+// calls' worth of work.
+void BM_ScoreRoutesBatched(benchmark::State& state) {
+  auto& model = MicroModel();
+  const int batch = static_cast<int>(state.range(0));
+  const traj::Route route = SyntheticRoute(19);
+  std::vector<traj::Route> candidates;
+  for (int i = 0; i < batch; ++i) {
+    candidates.emplace_back(route.begin(),
+                            route.end() - (i % 4));  // mixed lengths
+  }
+  util::Rng rng(5);
+  core::RouteQuery query;
+  query.origin = route.front();
+  query.destination = MicroWorld().net().SegmentEnd(route.back());
+  core::PredictionContext ctx = model.MakeContext(query, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.ScoreRoutes(ctx, candidates));
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_ScoreRoutesBatched)->Arg(1)->Arg(8)->Arg(32);
+
+// One-shot sweep comparing the autodiff graph path against the graph-free
+// engine on the two prediction-time workloads, over backend thread counts.
+// Exported as bench_out/BENCH_inference.json; tools/check_perf.sh asserts
+// the single-thread fast-path speedups from it.
+void BM_InferenceSweep(benchmark::State& state) {
+  auto& world = MicroWorld();
+  core::DeepSTConfig fast_cfg =
+      baselines::DeepStCConfigOf(eval::DefaultModelConfig(world));
+  core::DeepSTConfig graph_cfg = fast_cfg;
+  graph_cfg.graph_inference = true;
+  // Same config seed, so both models hold identical weights.
+  core::DeepSTModel fast_model(world.net(), fast_cfg, nullptr);
+  core::DeepSTModel graph_model(world.net(), graph_cfg, nullptr);
+
+  const traj::Route route = SyntheticRoute(19);
+  core::RouteQuery score_query;
+  score_query.origin = route.front();
+  score_query.destination = world.net().SegmentEnd(route.back());
+  core::RouteQuery pred_query = eval::QueryFor(world.split().test.front()->trip);
+  util::Rng rng_f(5), rng_g(5);
+  core::PredictionContext score_ctx_f = fast_model.MakeContext(score_query, &rng_f);
+  core::PredictionContext score_ctx_g = graph_model.MakeContext(score_query, &rng_g);
+  core::PredictionContext pred_ctx_f = fast_model.MakeContext(pred_query, &rng_f);
+  core::PredictionContext pred_ctx_g = graph_model.MakeContext(pred_query, &rng_g);
+
+  const int reps = eval::FastMode() ? 10 : 30;
+  auto time_best = [reps](const std::function<void()>& fn) {
+    fn();  // warmup
+    double best = std::numeric_limits<double>::infinity();
+    for (int round = 0; round < 3; ++round) {
+      util::Stopwatch watch;
+      for (int i = 0; i < reps; ++i) fn();
+      best = std::min(best, watch.ElapsedSeconds() / reps);
+    }
+    return best;
+  };
+
+  struct Row {
+    const char* engine;
+    const char* workload;
+    int threads;
+    double seconds;
+  };
+  std::vector<Row> rows;
+  const int prev = nn::GetBackendThreads();
+  for (auto _ : state) {
+    rows.clear();
+    for (int threads : {1, 2, 4}) {
+      nn::SetBackendThreads(threads);
+      struct Engine {
+        const char* name;
+        core::DeepSTModel* model;
+        core::PredictionContext* score_ctx;
+        core::PredictionContext* pred_ctx;
+      };
+      const Engine engines[2] = {
+          {"graph", &graph_model, &score_ctx_g, &pred_ctx_g},
+          {"fast", &fast_model, &score_ctx_f, &pred_ctx_f}};
+      for (const Engine& e : engines) {
+        rows.push_back({e.name, "score_route_len19", threads, time_best([&] {
+                          benchmark::DoNotOptimize(
+                              e.model->ScoreRoute(*e.score_ctx, route));
+                        })});
+        rows.push_back({e.name, "predict_route", threads, time_best([&] {
+                          util::Rng r(7);
+                          benchmark::DoNotOptimize(e.model->PredictRouteBeam(
+                              *e.pred_ctx, pred_query.origin, &r));
+                        })});
+      }
+    }
+  }
+  nn::SetBackendThreads(prev);
+
+  // Cross-engine agreement on the timed workloads (also parity-tested at
+  // 1e-5 in tests/inference_test.cc; recorded here for the bench artifact).
+  const double score_diff =
+      std::abs(fast_model.ScoreRoute(score_ctx_f, route) -
+               graph_model.ScoreRoute(score_ctx_g, route));
+
+  auto seconds_of = [&rows](const char* engine, const char* workload,
+                            int threads) {
+    for (const Row& r : rows) {
+      if (std::string(engine) == r.engine &&
+          std::string(workload) == r.workload && r.threads == threads) {
+        return r.seconds;
+      }
+    }
+    return 0.0;
+  };
+  std::ofstream json(OutDir() + "/BENCH_inference.json");
+  json << "[\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    json << "  {\"engine\": \"" << r.engine << "\", \"workload\": \""
+         << r.workload << "\", \"threads\": " << r.threads
+         << ", \"seconds_per_call\": " << r.seconds << ", \"speedup_vs_graph\": "
+         << seconds_of("graph", r.workload, r.threads) / r.seconds
+         << ", \"speedup_vs_1\": "
+         << seconds_of(r.engine, r.workload, 1) / r.seconds
+         << ", \"score_abs_diff\": " << score_diff << "}"
+         << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  json << "]\n";
+  for (const Row& r : rows) {
+    if (std::string(r.engine) != "fast") continue;
+    state.counters[std::string(r.workload) + "_t" + std::to_string(r.threads) +
+                   "_speedup"] =
+        seconds_of("graph", r.workload, r.threads) / r.seconds;
+  }
+}
+BENCHMARK(BM_InferenceSweep)->Iterations(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace bench

@@ -10,6 +10,11 @@
 //       [--max-trips N]
 //   deepst_cli predict --data-dir data --model model.bin --trip INDEX
 //       [--variant ...] [--map]
+//   deepst_cli predict --data-dir data --model model.bin --queries FILE
+//       [--variant ...]
+//     FILE holds one test-trip index per line ('#' comments and blank lines
+//     ignored); the model is loaded once and every query is predicted in
+//     sequence, with a per-query line and an aggregate summary.
 //   deepst_cli recover --data-dir data --model model.bin --trip INDEX
 //       [--interval-s SECONDS]
 //
@@ -18,9 +23,13 @@
 //
 // `generate` writes network.bin + dataset.bin (+ CSV exports); the other
 // commands load them, so experiments are reproducible without regenerating.
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "baselines/mmi.h"
 #include "baselines/neural_router.h"
@@ -37,6 +46,7 @@
 #include "traj/segment_stats.h"
 #include "util/flags.h"
 #include "util/logging.h"
+#include "util/stopwatch.h"
 #include "util/string_util.h"
 
 namespace deepst {
@@ -234,11 +244,65 @@ int CmdEvaluate(const util::Flags& flags) {
   return 0;
 }
 
+// Batch prediction: one model load amortized over a file of test-trip
+// indices. Each line prints the query's accuracy; the footer aggregates.
+int PredictBatch(const LoadedData& data, core::DeepSTModel* model,
+                 const std::string& queries_path) {
+  std::ifstream in(queries_path);
+  if (!in) {
+    return Fail(util::Status::NotFound("cannot open --queries file '" +
+                                       queries_path + "'"));
+  }
+  const auto& test = data.split.test;
+  if (test.empty()) return Fail(util::Status::NotFound("empty test split"));
+  std::vector<size_t> indices;
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t b = line.find_first_not_of(" \t\r\n");
+    if (b == std::string::npos || line[b] == '#') continue;
+    const size_t e = line.find_last_not_of(" \t\r\n");
+    const std::string trimmed = line.substr(b, e - b + 1);
+    char* endp = nullptr;
+    const long long idx = std::strtoll(trimmed.c_str(), &endp, 10);
+    if (endp == trimmed.c_str() || *endp != '\0' || idx < 0) {
+      return Fail(util::Status::InvalidArgument(
+          "bad trip index '" + trimmed + "' in " + queries_path));
+    }
+    indices.push_back(static_cast<size_t>(idx) % test.size());
+  }
+  if (indices.empty()) {
+    return Fail(util::Status::InvalidArgument(
+        "no trip indices in '" + queries_path + "'"));
+  }
+  util::Rng rng(7);
+  util::Stopwatch watch;
+  eval::MetricAccumulator acc;
+  for (size_t idx : indices) {
+    const auto* rec = test[idx];
+    core::RouteQuery query = eval::QueryFor(rec->trip);
+    auto route = model->PredictRoute(query, &rng);
+    acc.Add(rec->trip.route, route);
+    std::printf("trip %4zu: truth %2zu predicted %2zu accuracy %.3f\n", idx,
+                rec->trip.route.size(), route.size(),
+                eval::Accuracy(rec->trip.route, route));
+  }
+  const double seconds = watch.ElapsedSeconds();
+  std::printf("queries: %zu\nrecall@n: %.3f\naccuracy: %.3f\n"
+              "prediction time: %.3fs (%.1f queries/s)\n",
+              indices.size(), acc.mean_recall(), acc.mean_accuracy(), seconds,
+              static_cast<double>(indices.size()) / std::max(seconds, 1e-9));
+  return 0;
+}
+
 int CmdPredict(const util::Flags& flags) {
   auto data = LoadData(flags);
   if (!data.ok()) return Fail(data.status());
   auto model = LoadModel(flags, data.value());
   if (!model.ok()) return Fail(model.status());
+  const std::string queries_path = flags.GetString("queries");
+  if (!queries_path.empty()) {
+    return PredictBatch(data.value(), model.value().get(), queries_path);
+  }
   auto trip_index = flags.GetInt("trip", 0);
   if (!trip_index.ok()) return Fail(trip_index.status());
   const auto& test = data.value().split.test;

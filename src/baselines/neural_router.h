@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "baselines/router.h"
 #include "core/trainer.h"
@@ -32,6 +33,16 @@ class NeuralRouter : public Router {
   double ScoreRoute(const core::RouteQuery& query, const traj::Route& route,
                     util::Rng* rng) override {
     return model_->ScoreRoute(query, route, rng);
+  }
+
+  // Batched scoring: one MakeContext for the whole candidate set (one rng
+  // draw sequence instead of one per route), then a single padded batch
+  // through the graph-free engine.
+  std::vector<double> ScoreRoutes(const core::RouteQuery& query,
+                                  const std::vector<traj::Route>& routes,
+                                  util::Rng* rng) override {
+    core::PredictionContext ctx = model_->MakeContext(query, rng);
+    return model_->ScoreRoutes(ctx, routes);
   }
 
   core::DeepSTModel* model() { return model_; }

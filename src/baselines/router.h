@@ -2,6 +2,7 @@
 #define DEEPST_BASELINES_ROUTER_H_
 
 #include <string>
+#include <vector>
 
 #include "core/deepst_model.h"
 #include "traj/types.h"
@@ -29,6 +30,21 @@ class Router {
   // meaningful, documented per subclass).
   virtual double ScoreRoute(const core::RouteQuery& query,
                             const traj::Route& route, util::Rng* rng) = 0;
+
+  // Scores a whole candidate set under one query. The default loops
+  // ScoreRoute (re-deriving the query context per route); routers with a
+  // batched engine override it to build the context once and score all
+  // candidates together.
+  virtual std::vector<double> ScoreRoutes(
+      const core::RouteQuery& query, const std::vector<traj::Route>& routes,
+      util::Rng* rng) {
+    std::vector<double> scores;
+    scores.reserve(routes.size());
+    for (const traj::Route& route : routes) {
+      scores.push_back(ScoreRoute(query, route, rng));
+    }
+    return scores;
+  }
 };
 
 }  // namespace baselines

@@ -78,6 +78,10 @@ struct DeepSTConfig {
   // Use posterior means / modes for latents at prediction (deterministic);
   // when false, sample as in Algorithm 2.
   bool map_prediction = true;
+  // Route generation / scoring through the autodiff graph instead of the
+  // graph-free fast path (src/core/infer). The graph path is the reference
+  // implementation; the fast path matches it within 1e-5 (docs/inference.md).
+  bool graph_inference = false;
 
   uint64_t seed = 1234;
 

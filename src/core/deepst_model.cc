@@ -4,7 +4,9 @@
 #include <cmath>
 #include <limits>
 #include <map>
+#include <utility>
 
+#include "core/infer/session.h"
 #include "nn/backend.h"
 #include "nn/ops.h"
 
@@ -75,6 +77,48 @@ DeepSTModel::DeepSTModel(const roadnet::RoadNetwork& net,
     AddSubmodule("gamma", gamma_.get());
   }
 }
+
+DeepSTModel::~DeepSTModel() = default;
+
+std::unique_ptr<infer::InferenceSession> DeepSTModel::AcquireSession() {
+  {
+    std::lock_guard<std::mutex> lock(session_mu_);
+    if (!session_pool_.empty()) {
+      std::unique_ptr<infer::InferenceSession> session =
+          std::move(session_pool_.back());
+      session_pool_.pop_back();
+      return session;
+    }
+  }
+  return std::make_unique<infer::InferenceSession>(this);
+}
+
+void DeepSTModel::ReleaseSession(
+    std::unique_ptr<infer::InferenceSession> session) {
+  std::lock_guard<std::mutex> lock(session_mu_);
+  session_pool_.push_back(std::move(session));
+}
+
+size_t DeepSTModel::num_pooled_sessions() {
+  std::lock_guard<std::mutex> lock(session_mu_);
+  return session_pool_.size();
+}
+
+// RAII lease: returns the session to the pool at scope exit so its warm
+// scratch buffers are reused by the next call.
+class DeepSTModel::SessionLease {
+ public:
+  explicit SessionLease(DeepSTModel* model)
+      : model_(model), session_(model->AcquireSession()) {}
+  ~SessionLease() { model_->ReleaseSession(std::move(session_)); }
+  SessionLease(const SessionLease&) = delete;
+  SessionLease& operator=(const SessionLease&) = delete;
+  infer::InferenceSession* operator->() { return session_.get(); }
+
+ private:
+  DeepSTModel* model_;
+  std::unique_ptr<infer::InferenceSession> session_;
+};
 
 nn::VarPtr DeepSTModel::StepLogits(const nn::VarPtr& h,
                                    const nn::VarPtr& dest_term,
@@ -307,6 +351,9 @@ nn::VarPtr DeepSTModel::Loss(const std::vector<const traj::Trip*>& batch,
 
 PredictionContext DeepSTModel::MakeContext(const RouteQuery& query,
                                            util::Rng* rng) {
+  // Inference-only forward: no tape nodes, so the extracted context tensors
+  // never anchor parameter subgraphs.
+  nn::NoGradGuard no_grad;
   // Reuse the batch-context machinery with a synthetic single-trip batch.
   traj::Trip probe;
   probe.destination = query.destination;
@@ -340,17 +387,7 @@ PredictionContext DeepSTModel::MakeContext(const RouteQuery& query,
   return out;
 }
 
-namespace {
-
-// Log-probability of transitioning into neighbor slot `slot`, normalized
-// over the *valid* neighbor slots of `cur` only. Training uses the unmasked
-// N_max-way softmax (the paper's choice), but likelihood scoring and
-// generation both restrict to true neighbors (Algorithm 2 draws from the
-// adjacent road segments), so the measure must renormalize accordingly --
-// otherwise mass leaked onto invalid slots (which varies with out-degree)
-// biases cross-route comparisons.
-double ValidSlotLogProb(const nn::Tensor& logits_row, int num_valid,
-                        int slot) {
+double ValidSlotLogProb(const float* logits_row, int num_valid, int slot) {
   DEEPST_CHECK(slot >= 0 && slot < num_valid);
   double mx = logits_row[0];
   for (int s = 1; s < num_valid; ++s) {
@@ -362,6 +399,8 @@ double ValidSlotLogProb(const nn::Tensor& logits_row, int num_valid,
   }
   return logits_row[slot] - mx - std::log(denom);
 }
+
+namespace {
 
 // One hypothesis of the beam search.
 struct Beam {
@@ -381,8 +420,10 @@ struct Beam {
 
 }  // namespace
 
-traj::Route DeepSTModel::PredictRouteBeam(const PredictionContext& ctx,
-                                          SegmentId origin, util::Rng* rng) {
+traj::Route DeepSTModel::PredictRouteBeamReference(const PredictionContext& ctx,
+                                                   SegmentId origin,
+                                                   util::Rng* rng) {
+  nn::NoGradGuard no_grad;
   const int width = config_.beam_width;
   nn::VarPtr dest_term =
       ctx.has_dest ? nn::Constant(ctx.dest_term) : nullptr;
@@ -430,7 +471,8 @@ traj::Route DeepSTModel::PredictRouteBeam(const PredictionContext& ctx,
         if (beam.visited[static_cast<size_t>(outs[static_cast<size_t>(s)])]) {
           continue;
         }
-        ranked.emplace_back(ValidSlotLogProb(logits->value(), deg, s), s);
+        ranked.emplace_back(ValidSlotLogProb(logits->value().data(), deg, s),
+                            s);
       }
       if (ranked.empty()) {  // boxed in: terminate this hypothesis
         beam.done = true;
@@ -479,11 +521,13 @@ traj::Route DeepSTModel::PredictRouteBeam(const PredictionContext& ctx,
   return best->route;
 }
 
-traj::Route DeepSTModel::PredictRoute(const PredictionContext& ctx,
-                                      SegmentId origin, util::Rng* rng) {
+traj::Route DeepSTModel::PredictRouteReference(const PredictionContext& ctx,
+                                               SegmentId origin,
+                                               util::Rng* rng) {
+  nn::NoGradGuard no_grad;
   DEEPST_CHECK(origin >= 0 && origin < net_.num_segments());
   if (config_.map_prediction && config_.beam_width > 1) {
-    return PredictRouteBeam(ctx, origin, rng);
+    return PredictRouteBeamReference(ctx, origin, rng);
   }
   traj::Route route = {origin};
   auto state = gru_->InitialState(1);
@@ -551,10 +595,11 @@ traj::Route DeepSTModel::PredictRoute(const RouteQuery& query,
   return PredictRoute(ctx, query.origin, rng);
 }
 
-double DeepSTModel::ScoreContinuation(const PredictionContext& ctx,
-                                      const traj::Route& prefix,
-                                      const traj::Route& continuation) {
-  if (prefix.empty()) return ScoreRoute(ctx, continuation);
+double DeepSTModel::ScoreContinuationReference(
+    const PredictionContext& ctx, const traj::Route& prefix,
+    const traj::Route& continuation) {
+  nn::NoGradGuard no_grad;
+  if (prefix.empty()) return ScoreRouteReference(ctx, continuation);
   DEEPST_CHECK(!continuation.empty());
   DEEPST_CHECK_EQ(continuation.front(), prefix.back());
   traj::Route full = prefix;
@@ -583,14 +628,15 @@ double DeepSTModel::ScoreContinuation(const PredictionContext& ctx,
     nn::VarPtr logits = StepLogits(h, dest_term, traffic_term);
     const int slot = net_.NeighborSlot(full[i], full[i + 1]);
     DEEPST_CHECK_GE(slot, 0);
-    log_lik += ValidSlotLogProb(logits->value(), net_.OutDegree(full[i]),
-                                slot);
+    log_lik += ValidSlotLogProb(logits->value().data(),
+                                net_.OutDegree(full[i]), slot);
   }
   return log_lik;
 }
 
-double DeepSTModel::ScoreRoute(const PredictionContext& ctx,
-                               const traj::Route& route) {
+double DeepSTModel::ScoreRouteReference(const PredictionContext& ctx,
+                                        const traj::Route& route) {
+  nn::NoGradGuard no_grad;
   if (route.size() < 2) return 0.0;
   if (!net_.ValidateRoute(route).ok()) {
     return -std::numeric_limits<double>::infinity();
@@ -613,8 +659,8 @@ double DeepSTModel::ScoreRoute(const PredictionContext& ctx,
     nn::VarPtr logits = StepLogits(h, dest_term, traffic_term);
     const int slot = net_.NeighborSlot(route[i], route[i + 1]);
     DEEPST_CHECK_GE(slot, 0);
-    log_lik += ValidSlotLogProb(logits->value(), net_.OutDegree(route[i]),
-                                slot);
+    log_lik += ValidSlotLogProb(logits->value().data(),
+                                net_.OutDegree(route[i]), slot);
   }
   return log_lik;
 }
@@ -623,6 +669,72 @@ double DeepSTModel::ScoreRoute(const RouteQuery& query,
                                const traj::Route& route, util::Rng* rng) {
   PredictionContext ctx = MakeContext(query, rng);
   return ScoreRoute(ctx, route);
+}
+
+// -- Fast-path dispatch --------------------------------------------------------
+// The public prediction/scoring API routes through the graph-free engine
+// unless config.graph_inference pins the autodiff reference path.
+
+traj::Route DeepSTModel::PredictRoute(const PredictionContext& ctx,
+                                      SegmentId origin, util::Rng* rng) {
+  if (config_.graph_inference) return PredictRouteReference(ctx, origin, rng);
+  SessionLease session(this);
+  return session->PredictRoute(ctx, origin, rng);
+}
+
+traj::Route DeepSTModel::PredictRouteBeam(const PredictionContext& ctx,
+                                          SegmentId origin, util::Rng* rng) {
+  if (config_.graph_inference) {
+    return PredictRouteBeamReference(ctx, origin, rng);
+  }
+  SessionLease session(this);
+  return session->PredictRouteBeam(ctx, origin, rng);
+}
+
+double DeepSTModel::ScoreRoute(const PredictionContext& ctx,
+                               const traj::Route& route) {
+  if (config_.graph_inference) return ScoreRouteReference(ctx, route);
+  SessionLease session(this);
+  return session->ScoreRoute(ctx, route);
+}
+
+std::vector<double> DeepSTModel::ScoreRoutes(
+    const PredictionContext& ctx, const std::vector<traj::Route>& routes) {
+  if (config_.graph_inference) {
+    std::vector<double> scores;
+    scores.reserve(routes.size());
+    for (const traj::Route& route : routes) {
+      scores.push_back(ScoreRouteReference(ctx, route));
+    }
+    return scores;
+  }
+  SessionLease session(this);
+  return session->ScoreRoutes(ctx, routes);
+}
+
+double DeepSTModel::ScoreContinuation(const PredictionContext& ctx,
+                                      const traj::Route& prefix,
+                                      const traj::Route& continuation) {
+  if (config_.graph_inference) {
+    return ScoreContinuationReference(ctx, prefix, continuation);
+  }
+  SessionLease session(this);
+  return session->ScoreContinuation(ctx, prefix, continuation);
+}
+
+std::vector<double> DeepSTModel::ScoreContinuations(
+    const PredictionContext& ctx, const traj::Route& prefix,
+    const std::vector<traj::Route>& candidates) {
+  if (config_.graph_inference) {
+    std::vector<double> scores;
+    scores.reserve(candidates.size());
+    for (const traj::Route& cand : candidates) {
+      scores.push_back(ScoreContinuationReference(ctx, prefix, cand));
+    }
+    return scores;
+  }
+  SessionLease session(this);
+  return session->ScoreContinuations(ctx, prefix, candidates);
 }
 
 bool ShouldStop(const roadnet::RoadNetwork& net, const geo::Point& dest,

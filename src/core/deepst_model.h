@@ -2,6 +2,7 @@
 #define DEEPST_CORE_DEEPST_MODEL_H_
 
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/config.h"
@@ -15,6 +16,10 @@
 
 namespace deepst {
 namespace core {
+
+namespace infer {
+class InferenceSession;
+}  // namespace infer
 
 // A route prediction / scoring query: initial road segment, rough
 // destination coordinate, start time (used to look up the real-time traffic
@@ -64,6 +69,7 @@ class DeepSTModel : public nn::Module {
   // model and must cover both training and query times.
   DeepSTModel(const roadnet::RoadNetwork& net, const DeepSTConfig& config,
               traffic::TrafficTensorCache* traffic_cache);
+  ~DeepSTModel() override;
 
   // -- Training ---------------------------------------------------------------
   // Scalar ELBO-derived loss (mean per trip) for a minibatch; backward-able.
@@ -73,6 +79,11 @@ class DeepSTModel : public nn::Module {
                   LossStats* stats = nullptr, bool training = true);
 
   // -- Prediction (Algorithm 2) -------------------------------------------------
+  // Generation and scoring run on the graph-free inference engine
+  // (core/infer) unless config.graph_inference selects the autodiff
+  // reference path; the two agree within 1e-5 (docs/inference.md). All
+  // prediction/scoring entry points are safe to call concurrently: each call
+  // leases a scratch session from a mutex-guarded pool.
   PredictionContext MakeContext(const RouteQuery& query, util::Rng* rng);
   // Most-likely-route generation: beam search of config.beam_width when
   // map_prediction (greedy when beam_width == 1), sampled per Algorithm 2
@@ -89,6 +100,12 @@ class DeepSTModel : public nn::Module {
   double ScoreRoute(const PredictionContext& ctx, const traj::Route& route);
   double ScoreRoute(const RouteQuery& query, const traj::Route& route,
                     util::Rng* rng);
+  // Scores a whole candidate set as one padded batch (one GRU step per
+  // position for all candidates at once). Bitwise identical to calling
+  // ScoreRoute per route; routes shorter than 2 segments score 0,
+  // non-contiguous ones -inf.
+  std::vector<double> ScoreRoutes(const PredictionContext& ctx,
+                                  const std::vector<traj::Route>& routes);
   // Log-likelihood of `continuation` given that `prefix` was already
   // traveled: the GRU state is warmed over the prefix (unscored), then the
   // continuation's transitions are scored. continuation.front() must equal
@@ -97,10 +114,41 @@ class DeepSTModel : public nn::Module {
   double ScoreContinuation(const PredictionContext& ctx,
                            const traj::Route& prefix,
                            const traj::Route& continuation);
+  // Batched variant: warms the shared prefix once, then scores every
+  // candidate continuation as one padded batch. Bitwise identical to
+  // calling ScoreContinuation per candidate.
+  std::vector<double> ScoreContinuations(
+      const PredictionContext& ctx, const traj::Route& prefix,
+      const std::vector<traj::Route>& candidates);
+
+  // -- Autodiff reference implementations ---------------------------------------
+  // The original graph-building paths, kept as the specification the fast
+  // path is parity-tested against (tests/inference_test.cc) and benchmarked
+  // against (bench_micro --inference_sweep).
+  traj::Route PredictRouteReference(const PredictionContext& ctx,
+                                    roadnet::SegmentId origin,
+                                    util::Rng* rng);
+  traj::Route PredictRouteBeamReference(const PredictionContext& ctx,
+                                        roadnet::SegmentId origin,
+                                        util::Rng* rng);
+  double ScoreRouteReference(const PredictionContext& ctx,
+                             const traj::Route& route);
+  double ScoreContinuationReference(const PredictionContext& ctx,
+                                    const traj::Route& prefix,
+                                    const traj::Route& continuation);
 
   const DeepSTConfig& config() const { return config_; }
   const roadnet::RoadNetwork& network() const { return net_; }
   DestinationProxyModel* proxy_model() { return proxy_.get(); }
+
+  // Raw-weight views consumed by the graph-free engine (core/infer).
+  const nn::EmbeddingLayer& segment_embedding() const { return *segment_emb_; }
+  const nn::StackedGru& gru() const { return *gru_; }
+  const nn::LinearLayer& alpha_layer() const { return *alpha_; }
+
+  // Number of pooled inference sessions currently alive (test/debug hook;
+  // grows up to the peak number of concurrent prediction calls).
+  size_t num_pooled_sessions();
 
  private:
   // Next-slot logits [B, N_max] for the current hidden state plus context
@@ -129,6 +177,13 @@ class DeepSTModel : public nn::Module {
                                 std::vector<nn::VarPtr>* extra_loss_terms,
                                 LossStats* stats);
 
+  // Lease management for the graph-free engine: every prediction/scoring
+  // call takes a session exclusively (sessions own scratch state), returning
+  // it when done so the buffers stay warm for the next call.
+  std::unique_ptr<infer::InferenceSession> AcquireSession();
+  void ReleaseSession(std::unique_ptr<infer::InferenceSession> session);
+  class SessionLease;
+
   const roadnet::RoadNetwork& net_;
   DeepSTConfig config_;
   traffic::TrafficTensorCache* traffic_cache_;
@@ -142,7 +197,20 @@ class DeepSTModel : public nn::Module {
   std::unique_ptr<DestinationProxyModel> proxy_;
   std::unique_ptr<nn::EmbeddingLayer> final_segment_emb_;  // CSSRNN mode
   std::unique_ptr<TrafficEncoder> traffic_encoder_;
+
+  std::mutex session_mu_;
+  std::vector<std::unique_ptr<infer::InferenceSession>> session_pool_;
 };
+
+// Log-probability of transitioning into neighbor slot `slot`, normalized
+// over the *valid* neighbor slots of the current segment only. Training uses
+// the unmasked N_max-way softmax (the paper's choice), but likelihood
+// scoring and generation both restrict to true neighbors (Algorithm 2 draws
+// from the adjacent road segments), so the measure must renormalize
+// accordingly -- otherwise mass leaked onto invalid slots (which varies with
+// out-degree) biases cross-route comparisons. Shared by the autodiff
+// reference path and the graph-free engine so both normalize identically.
+double ValidSlotLogProb(const float* logits_row, int num_valid, int slot);
 
 // Shared stop rule of the generative process: the paper's
 // f_s(r, x) = 1 / (1 + ||p(x, r) - x||_2) Bernoulli parameter (distance in

@@ -1,0 +1,499 @@
+#include "core/infer/session.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace deepst {
+namespace core {
+namespace infer {
+
+using roadnet::SegmentId;
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+}  // namespace
+
+double InferenceSession::Hyp::Score() const {
+  const size_t n = route.size() > 1 ? route.size() - 1 : 1;
+  return log_prob / std::sqrt(static_cast<double>(n));
+}
+
+InferenceSession::InferenceSession(const DeepSTModel* model)
+    : model_(model),
+      net_(model->network()),
+      config_(model->config()),
+      gru_(nn::infer::GruStackView::Of(model->gru())),
+      alpha_b_(model->alpha_layer().bias()),
+      emb_dim_(model->segment_embedding().dim()),
+      nmax_(model->network().MaxOutDegree()),
+      arena_(kPerLayer + 2 * model->gru().num_layers()) {
+  const nn::Tensor& emb = model->segment_embedding().table()->value();
+  emb_table_d_.resize(static_cast<size_t>(emb.numel()));
+  nn::infer::ToDouble(emb.data(), emb_table_d_.data(), emb.numel());
+  const nn::Tensor& aw = model->alpha_layer().weight();
+  alpha_w_d_.resize(static_cast<size_t>(aw.numel()));
+  nn::infer::ToDouble(aw.data(), alpha_w_d_.data(), aw.numel());
+  // Fixed-capacity hypothesis pools: one beam step produces at most
+  // width carried-over hypotheses plus width expansions per active beam.
+  const int width = std::max(config_.beam_width, 1);
+  const size_t nseg = static_cast<size_t>(net_.num_segments());
+  const size_t route_cap = static_cast<size_t>(config_.max_route_steps) + 2;
+  beams_.resize(static_cast<size_t>(width));
+  pool_.resize(static_cast<size_t>(width) * static_cast<size_t>(width + 1));
+  for (Hyp& h : beams_) {
+    h.route.reserve(route_cap);
+    h.visited.resize(nseg, 0);
+  }
+  for (Hyp& h : pool_) {
+    h.route.reserve(route_cap);
+    h.visited.resize(nseg, 0);
+  }
+}
+
+void InferenceSession::PrepareContext(const PredictionContext& ctx) {
+  const int64_t dest_dim = ctx.has_dest ? ctx.dest_repr.dim(1) : 0;
+  const int64_t traffic_dim = ctx.has_traffic ? ctx.traffic_repr.dim(1) : 0;
+  const int64_t ctx_dim = dest_dim + traffic_dim;
+  const nn::infer::GruCellView& cell0 = gru_.cells[0];
+  DEEPST_CHECK_EQ(emb_dim_ + ctx_dim, cell0.input_dim);
+  ctxd_.resize(static_cast<size_t>(ctx_dim));
+  if (dest_dim > 0) {
+    nn::infer::ToDouble(ctx.dest_repr.data(), ctxd_.data(), dest_dim);
+  }
+  if (traffic_dim > 0) {
+    nn::infer::ToDouble(ctx.traffic_repr.data(), ctxd_.data() + dest_dim,
+                        traffic_dim);
+  }
+  // Layer-0 split input: fold the context's input-to-hidden product and
+  // b_ih into one per-query bias; steps then only multiply the embedding
+  // columns of w_ih.
+  const int64_t h3 = 3 * cell0.hidden_dim;
+  nn::Tensor* ctx_ih = arena_.Acquire(kCtxIh, {1, h3});
+  nn::infer::LinearForward(ctxd_.data(), ctx_dim,
+                           cell0.w_ih.data() + emb_dim_, cell0.input_dim,
+                           cell0.b_ih->data(), nullptr, ctx_ih->data(), 1,
+                           ctx_dim, h3);
+  // alpha bias + additive context logit terms, one row.
+  nn::Tensor* lb = arena_.Acquire(kLogitBias, {1, nmax_});
+  const float* ab = alpha_b_ != nullptr ? alpha_b_->data() : nullptr;
+  const float* dt = ctx.has_dest ? ctx.dest_term.data() : nullptr;
+  const float* tt = ctx.has_traffic ? ctx.traffic_term.data() : nullptr;
+  float* lbp = lb->data();
+  for (int64_t j = 0; j < nmax_; ++j) {
+    float v = ab != nullptr ? ab[j] : 0.0f;
+    if (dt != nullptr) v += dt[j];
+    if (tt != nullptr) v += tt[j];
+    lbp[j] = v;
+  }
+}
+
+void InferenceSession::ResetState(int64_t batch) {
+  for (int l = 0; l < gru_.num_layers(); ++l) {
+    arena_.Acquire(kPerLayer + 2 * l, {batch, gru_.hidden_dim})->Fill(0.0f);
+  }
+}
+
+void InferenceSession::StepBatch(const int* tokens, int64_t batch,
+                                 bool want_logits) {
+  const nn::infer::GruCellView& cell0 = gru_.cells[0];
+  const int64_t hd = gru_.hidden_dim;
+  const int64_t h3 = 3 * hd;
+  embd_.resize(static_cast<size_t>(batch * emb_dim_));
+  xd_.resize(static_cast<size_t>(batch * hd));
+  for (int64_t b = 0; b < batch; ++b) {
+    std::copy_n(
+        emb_table_d_.data() + static_cast<int64_t>(tokens[b]) * emb_dim_,
+        emb_dim_, embd_.data() + b * emb_dim_);
+  }
+  nn::Tensor* gi = arena_.Acquire(kGi, {batch, h3});
+  nn::Tensor* gh = arena_.Acquire(kGh, {batch, h3});
+  nn::Tensor* h0 = StateSlot(0);
+  nn::infer::LinearForward(embd_.data(), emb_dim_, cell0.w_ih.data(),
+                           cell0.input_dim, arena_.Get(kCtxIh)->data(),
+                           nullptr, gi->data(), batch, emb_dim_, h3);
+  nn::infer::ToDouble(h0->data(), xd_.data(), batch * hd);
+  nn::infer::LinearForward(xd_.data(), hd, cell0.w_hh.data(), hd,
+                           cell0.b_hh->data(), nullptr, gh->data(), batch, hd,
+                           h3);
+  nn::infer::GruGates(*gi, *gh, *h0, h0);
+  for (int l = 1; l < gru_.num_layers(); ++l) {
+    const nn::infer::GruCellView& cell = gru_.cells[static_cast<size_t>(l)];
+    const nn::Tensor* below = StateSlot(l - 1);
+    nn::Tensor* h = StateSlot(l);
+    nn::infer::ToDouble(below->data(), xd_.data(), batch * hd);
+    nn::infer::LinearForward(xd_.data(), hd, cell.w_ih.data(), hd,
+                             cell.b_ih->data(), nullptr, gi->data(), batch,
+                             hd, h3);
+    nn::infer::ToDouble(h->data(), xd_.data(), batch * hd);
+    nn::infer::LinearForward(xd_.data(), hd, cell.w_hh.data(), hd,
+                             cell.b_hh->data(), nullptr, gh->data(), batch,
+                             hd, h3);
+    nn::infer::GruGates(*gi, *gh, *h, h);
+  }
+  if (want_logits) {
+    nn::Tensor* logits = arena_.Acquire(kLogits, {batch, nmax_});
+    nn::infer::ToDouble(StateSlot(gru_.num_layers() - 1)->data(), xd_.data(),
+                        batch * hd);
+    nn::infer::LinearForward(xd_.data(), hd, alpha_w_d_.data(), hd,
+                             arena_.Get(kLogitBias)->data(), nullptr,
+                             logits->data(), batch, hd, nmax_);
+  }
+}
+
+traj::Route InferenceSession::PredictRoute(const PredictionContext& ctx,
+                                           SegmentId origin, util::Rng* rng) {
+  DEEPST_CHECK(origin >= 0 && origin < net_.num_segments());
+  if (config_.map_prediction && config_.beam_width > 1) {
+    return PredictRouteBeam(ctx, origin, rng);
+  }
+  PrepareContext(ctx);
+  ResetState(1);
+  traj::Route route;
+  route.reserve(static_cast<size_t>(config_.max_route_steps) + 2);
+  route.push_back(origin);
+  visited_.assign(static_cast<size_t>(net_.num_segments()), 0);
+  visited_[static_cast<size_t>(origin)] = 1;
+  SegmentId cur = origin;
+  for (int step = 0; step < config_.max_route_steps; ++step) {
+    const auto& outs = net_.OutSegments(cur);
+    if (outs.empty()) break;
+    const int token = static_cast<int>(cur);
+    StepBatch(&token, 1, /*want_logits=*/true);
+    const float* lv = arena_.Get(kLogits)->data();
+    int best = -1;
+    if (config_.map_prediction) {
+      for (int s = 0; s < static_cast<int>(outs.size()); ++s) {
+        if (visited_[static_cast<size_t>(outs[static_cast<size_t>(s)])]) {
+          continue;
+        }
+        if (best < 0 || lv[s] > lv[best]) best = s;
+      }
+    } else {
+      weights_.assign(outs.size(), 0.0);
+      double mx = -1e30;
+      bool any = false;
+      for (size_t s = 0; s < outs.size(); ++s) {
+        if (visited_[static_cast<size_t>(outs[s])]) continue;
+        mx = std::max(mx, static_cast<double>(lv[s]));
+        any = true;
+      }
+      if (any) {
+        for (size_t s = 0; s < outs.size(); ++s) {
+          if (visited_[static_cast<size_t>(outs[s])]) continue;
+          weights_[s] = std::exp(lv[s] - mx);
+        }
+        best = rng->Categorical(weights_);
+      }
+    }
+    if (best < 0) break;  // boxed in by visited segments
+    const SegmentId next = outs[static_cast<size_t>(best)];
+    route.push_back(next);
+    visited_[static_cast<size_t>(next)] = 1;
+    if (ShouldStop(net_, ctx.destination, next, config_, rng)) break;
+    cur = next;
+  }
+  return route;
+}
+
+void InferenceSession::CopyHyp(const Hyp& src, Hyp* dst) {
+  dst->route.assign(src.route.begin(), src.route.end());
+  dst->visited.assign(src.visited.begin(), src.visited.end());
+  dst->log_prob = src.log_prob;
+  dst->done = src.done;
+  dst->src_row = src.src_row;
+}
+
+traj::Route InferenceSession::PredictRouteBeam(const PredictionContext& ctx,
+                                               SegmentId origin,
+                                               util::Rng* rng) {
+  const int width = std::max(config_.beam_width, 1);
+  const int64_t hd = gru_.hidden_dim;
+  PrepareContext(ctx);
+  Hyp& root = beams_[0];
+  root.route.clear();
+  root.route.push_back(origin);
+  std::fill(root.visited.begin(), root.visited.end(), 0);
+  root.visited[static_cast<size_t>(origin)] = 1;
+  root.log_prob = 0.0;
+  root.done = false;
+  root.src_row = -1;
+  for (int l = 0; l < gru_.num_layers(); ++l) {
+    arena_.Acquire(kPerLayer + 2 * l + 1, {1, hd})->Fill(0.0f);
+  }
+  int num_beams = 1;
+
+  for (int step = 0; step < config_.max_route_steps; ++step) {
+    // Pass 1: one batched GRU step over every hypothesis that can expand
+    // (row-local kernels make this bitwise identical to stepping each
+    // hypothesis alone).
+    tokens_.clear();
+    active_row_.assign(static_cast<size_t>(num_beams), -1);
+    for (int i = 0; i < num_beams; ++i) {
+      const Hyp& b = beams_[static_cast<size_t>(i)];
+      if (b.done) continue;
+      if (net_.OutSegments(b.route.back()).empty()) continue;
+      active_row_[static_cast<size_t>(i)] = static_cast<int>(tokens_.size());
+      tokens_.push_back(static_cast<int>(b.route.back()));
+    }
+    const int64_t active = static_cast<int64_t>(tokens_.size());
+    const bool any_active = active > 0;
+    if (any_active) {
+      for (int l = 0; l < gru_.num_layers(); ++l) {
+        nn::Tensor* st = arena_.Acquire(kPerLayer + 2 * l, {active, hd});
+        const nn::Tensor* bs = GatherSlot(l);
+        for (int i = 0; i < num_beams; ++i) {
+          const int a = active_row_[static_cast<size_t>(i)];
+          if (a < 0) continue;
+          std::copy_n(bs->data() + static_cast<int64_t>(i) * hd, hd,
+                      st->data() + static_cast<int64_t>(a) * hd);
+        }
+      }
+      StepBatch(tokens_.data(), active, /*want_logits=*/true);
+    }
+    const float* logits = any_active ? arena_.Get(kLogits)->data() : nullptr;
+
+    // Pass 2: expand in beam order (so the ShouldStop rng call order matches
+    // the reference exactly).
+    pool_size_ = 0;
+    for (int i = 0; i < num_beams; ++i) {
+      Hyp& beam = beams_[static_cast<size_t>(i)];
+      if (beam.done) {
+        beam.src_row = -1;
+        CopyHyp(beam, &pool_[pool_size_++]);
+        continue;
+      }
+      const SegmentId cur = beam.route.back();
+      const auto& outs = net_.OutSegments(cur);
+      if (outs.empty()) {
+        beam.done = true;
+        beam.src_row = -1;
+        CopyHyp(beam, &pool_[pool_size_++]);
+        continue;
+      }
+      const int a = active_row_[static_cast<size_t>(i)];
+      const float* lrow = logits + static_cast<int64_t>(a) * nmax_;
+      const int deg = static_cast<int>(outs.size());
+      ranked_.clear();
+      for (int s = 0; s < deg; ++s) {
+        if (beam.visited[static_cast<size_t>(outs[static_cast<size_t>(s)])]) {
+          continue;
+        }
+        ranked_.emplace_back(ValidSlotLogProb(lrow, deg, s), s);
+      }
+      if (ranked_.empty()) {  // boxed in: terminate this hypothesis
+        beam.done = true;
+        beam.src_row = -1;
+        CopyHyp(beam, &pool_[pool_size_++]);
+        continue;
+      }
+      std::sort(ranked_.rbegin(), ranked_.rend());
+      const int expand =
+          std::min<int>(width, static_cast<int>(ranked_.size()));
+      for (int e = 0; e < expand; ++e) {
+        Hyp& nxt = pool_[pool_size_++];
+        CopyHyp(beam, &nxt);
+        nxt.src_row = a;
+        nxt.log_prob += ranked_[static_cast<size_t>(e)].first;
+        const SegmentId seg =
+            outs[static_cast<size_t>(ranked_[static_cast<size_t>(e)].second)];
+        nxt.route.push_back(seg);
+        nxt.visited[static_cast<size_t>(seg)] = 1;
+        nxt.done = ShouldStop(net_, ctx.destination, seg, config_, rng);
+      }
+    }
+
+    // Keep the best `width` hypotheses by normalized score; gather the
+    // survivors' stepped states back into the per-beam state rows.
+    pool_order_.resize(pool_size_);
+    std::iota(pool_order_.begin(), pool_order_.end(), 0);
+    std::sort(pool_order_.begin(), pool_order_.end(), [this](int x, int y) {
+      return pool_[static_cast<size_t>(x)].Score() >
+             pool_[static_cast<size_t>(y)].Score();
+    });
+    const int keep = std::min<int>(width, static_cast<int>(pool_size_));
+    for (int l = 0; l < gru_.num_layers(); ++l) {
+      arena_.Acquire(kPerLayer + 2 * l + 1, {keep, hd});
+    }
+    for (int w = 0; w < keep; ++w) {
+      const Hyp& src = pool_[static_cast<size_t>(pool_order_[w])];
+      CopyHyp(src, &beams_[static_cast<size_t>(w)]);
+      if (src.src_row >= 0) {
+        for (int l = 0; l < gru_.num_layers(); ++l) {
+          std::copy_n(StateSlot(l)->data() +
+                          static_cast<int64_t>(src.src_row) * hd,
+                      hd,
+                      GatherSlot(l)->data() + static_cast<int64_t>(w) * hd);
+        }
+      }
+    }
+    num_beams = keep;
+    if (!any_active) break;
+    bool all_done = true;
+    for (int i = 0; i < num_beams; ++i) {
+      if (!beams_[static_cast<size_t>(i)].done) all_done = false;
+    }
+    if (all_done) break;
+  }
+
+  // Prefer completed hypotheses.
+  const Hyp* best = nullptr;
+  for (int i = 0; i < num_beams; ++i) {
+    const Hyp& b = beams_[static_cast<size_t>(i)];
+    if (!b.done) continue;
+    if (best == nullptr || b.Score() > best->Score()) best = &b;
+  }
+  if (best == nullptr) {
+    for (int i = 0; i < num_beams; ++i) {
+      const Hyp& b = beams_[static_cast<size_t>(i)];
+      if (best == nullptr || b.Score() > best->Score()) best = &b;
+    }
+  }
+  DEEPST_CHECK(best != nullptr);
+  return best->route;
+}
+
+void InferenceSession::ScorePaddedBatch(
+    const std::vector<const traj::Route*>& rows, size_t first_scored,
+    std::vector<double>* out) {
+  const int64_t batch = static_cast<int64_t>(rows.size());
+  size_t max_len = 0;
+  for (const traj::Route* r : rows) max_len = std::max(max_len, r->size());
+  tokens_.resize(static_cast<size_t>(batch));
+  for (size_t t = first_scored; t + 1 < max_len; ++t) {
+    for (int64_t b = 0; b < batch; ++b) {
+      const traj::Route& r = *rows[static_cast<size_t>(b)];
+      // Finished rows re-feed their last input token; their state keeps
+      // evolving but nothing more is recorded for them, and every kernel is
+      // row-local, so the padding never affects other rows.
+      const size_t i = std::min(t, r.size() - 2);
+      tokens_[static_cast<size_t>(b)] = static_cast<int>(r[i]);
+    }
+    StepBatch(tokens_.data(), batch, /*want_logits=*/true);
+    const float* logits = arena_.Get(kLogits)->data();
+    for (int64_t b = 0; b < batch; ++b) {
+      const traj::Route& r = *rows[static_cast<size_t>(b)];
+      if (t + 1 >= r.size()) continue;
+      const int slot = net_.NeighborSlot(r[t], r[t + 1]);
+      DEEPST_DCHECK(slot >= 0);
+      (*out)[static_cast<size_t>(b)] += ValidSlotLogProb(
+          logits + b * nmax_, net_.OutDegree(r[t]), slot);
+    }
+  }
+}
+
+double InferenceSession::ScoreRoute(const PredictionContext& ctx,
+                                    const traj::Route& route) {
+  if (route.size() < 2) return 0.0;
+  if (!net_.ValidateRoute(route).ok()) return kNegInf;
+  PrepareContext(ctx);
+  ResetState(1);
+  rows_.assign(1, &route);
+  batch_out_.assign(1, 0.0);
+  ScorePaddedBatch(rows_, 0, &batch_out_);
+  return batch_out_[0];
+}
+
+std::vector<double> InferenceSession::ScoreRoutes(
+    const PredictionContext& ctx, const std::vector<traj::Route>& routes) {
+  std::vector<double> result(routes.size(), 0.0);
+  rows_.clear();
+  row_index_.clear();
+  for (size_t i = 0; i < routes.size(); ++i) {
+    if (routes[i].size() < 2) continue;  // score 0 by convention
+    if (!net_.ValidateRoute(routes[i]).ok()) {
+      result[i] = kNegInf;
+      continue;
+    }
+    rows_.push_back(&routes[i]);
+    row_index_.push_back(static_cast<int>(i));
+  }
+  if (rows_.empty()) return result;
+  PrepareContext(ctx);
+  ResetState(static_cast<int64_t>(rows_.size()));
+  batch_out_.assign(rows_.size(), 0.0);
+  ScorePaddedBatch(rows_, 0, &batch_out_);
+  for (size_t b = 0; b < rows_.size(); ++b) {
+    result[static_cast<size_t>(row_index_[b])] = batch_out_[b];
+  }
+  return result;
+}
+
+double InferenceSession::ScoreContinuation(const PredictionContext& ctx,
+                                           const traj::Route& prefix,
+                                           const traj::Route& continuation) {
+  if (prefix.empty()) return ScoreRoute(ctx, continuation);
+  DEEPST_CHECK(!continuation.empty());
+  DEEPST_CHECK_EQ(continuation.front(), prefix.back());
+  full_.assign(prefix.begin(), prefix.end());
+  full_.insert(full_.end(), continuation.begin() + 1, continuation.end());
+  if (!net_.ValidateRoute(full_).ok()) return kNegInf;
+  PrepareContext(ctx);
+  ResetState(1);
+  const size_t first_scored = prefix.size() - 1;
+  for (size_t t = 0; t < first_scored; ++t) {
+    const int token = static_cast<int>(full_[t]);
+    StepBatch(&token, 1, /*want_logits=*/false);  // warm, unscored
+  }
+  rows_.assign(1, &full_);
+  batch_out_.assign(1, 0.0);
+  ScorePaddedBatch(rows_, first_scored, &batch_out_);
+  return batch_out_[0];
+}
+
+std::vector<double> InferenceSession::ScoreContinuations(
+    const PredictionContext& ctx, const traj::Route& prefix,
+    const std::vector<traj::Route>& candidates) {
+  if (prefix.empty()) return ScoreRoutes(ctx, candidates);
+  std::vector<double> result(candidates.size(), 0.0);
+  if (fulls_.size() < candidates.size()) fulls_.resize(candidates.size());
+  rows_.clear();
+  row_index_.clear();
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const traj::Route& cont = candidates[i];
+    DEEPST_CHECK(!cont.empty());
+    DEEPST_CHECK_EQ(cont.front(), prefix.back());
+    traj::Route& full = fulls_[i];
+    full.assign(prefix.begin(), prefix.end());
+    full.insert(full.end(), cont.begin() + 1, cont.end());
+    if (!net_.ValidateRoute(full).ok()) {
+      result[i] = kNegInf;
+      continue;
+    }
+    rows_.push_back(&full);
+    row_index_.push_back(static_cast<int>(i));
+  }
+  if (rows_.empty()) return result;
+  PrepareContext(ctx);
+  // The prefix is shared: warm the state once at batch 1, then broadcast
+  // the warmed rows to every candidate.
+  ResetState(1);
+  const size_t first_scored = prefix.size() - 1;
+  for (size_t t = 0; t < first_scored; ++t) {
+    const int token = static_cast<int>(prefix[t]);
+    StepBatch(&token, 1, /*want_logits=*/false);
+  }
+  const int64_t batch = static_cast<int64_t>(rows_.size());
+  const int64_t hd = gru_.hidden_dim;
+  for (int l = 0; l < gru_.num_layers(); ++l) {
+    nn::Tensor* warm = arena_.Acquire(kPerLayer + 2 * l + 1, {1, hd});
+    std::copy_n(StateSlot(l)->data(), hd, warm->data());
+    nn::Tensor* st = arena_.Acquire(kPerLayer + 2 * l, {batch, hd});
+    for (int64_t b = 0; b < batch; ++b) {
+      std::copy_n(warm->data(), hd, st->data() + b * hd);
+    }
+  }
+  batch_out_.assign(rows_.size(), 0.0);
+  ScorePaddedBatch(rows_, first_scored, &batch_out_);
+  for (size_t b = 0; b < rows_.size(); ++b) {
+    result[static_cast<size_t>(row_index_[b])] = batch_out_[b];
+  }
+  return result;
+}
+
+}  // namespace infer
+}  // namespace core
+}  // namespace deepst

@@ -1,0 +1,143 @@
+#ifndef DEEPST_CORE_INFER_SESSION_H_
+#define DEEPST_CORE_INFER_SESSION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/deepst_model.h"
+#include "nn/infer/forward.h"
+
+namespace deepst {
+namespace core {
+namespace infer {
+
+// Graph-free inference engine for one DeepSTModel. A session owns every
+// scratch buffer the generation and scoring loops need (a nn::infer::Arena
+// plus preallocated hypothesis pools), so after warmup a call performs zero
+// heap allocation. Sessions are NOT thread-safe; DeepSTModel keeps a
+// mutex-guarded pool of them and leases one per call, which is what makes
+// the public model API safe under EvaluatePredictionParallel.
+//
+// Semantics mirror the model's *Reference methods exactly: the same valid-
+// slot renormalization, visit guards, beam bookkeeping and ShouldStop rng
+// call order. Numerics differ from the reference only through the forward
+// kernels' 4-lane accumulation (~1e-7 per logit, parity-tested at 1e-5);
+// the fast path itself is bitwise identical for every thread count and for
+// batched vs one-at-a-time scoring.
+//
+// Per-query precomputation (PrepareContext): the GRU input is
+// [token_embedding, dest_repr, traffic_repr] where the context part is
+// constant for a whole query, so its layer-0 input-to-hidden product
+// (+ b_ih) is folded into a per-query bias and each step only multiplies
+// the embedding columns. Likewise alpha's bias, dest_term and traffic_term
+// collapse into one per-query logit bias row.
+class InferenceSession {
+ public:
+  explicit InferenceSession(const DeepSTModel* model);
+
+  // Counterparts of the DeepSTModel prediction API (same contracts).
+  traj::Route PredictRoute(const PredictionContext& ctx,
+                           roadnet::SegmentId origin, util::Rng* rng);
+  traj::Route PredictRouteBeam(const PredictionContext& ctx,
+                               roadnet::SegmentId origin, util::Rng* rng);
+  double ScoreRoute(const PredictionContext& ctx, const traj::Route& route);
+  double ScoreContinuation(const PredictionContext& ctx,
+                           const traj::Route& prefix,
+                           const traj::Route& continuation);
+
+  // Batched scoring: all candidates advance through one padded
+  // [batch, max_len] sequence of GRU steps. Results are bitwise identical
+  // to scoring each route individually through this session.
+  std::vector<double> ScoreRoutes(const PredictionContext& ctx,
+                                  const std::vector<traj::Route>& routes);
+  // Shared-prefix variant for recovery: warms the state over `prefix` once
+  // (batch 1), broadcasts it, then scores all continuations as one batch.
+  std::vector<double> ScoreContinuations(
+      const PredictionContext& ctx, const traj::Route& prefix,
+      const std::vector<traj::Route>& candidates);
+
+  // Number of scratch-storage growths so far; constant across calls once
+  // the session is warm (the zero-allocation steady state).
+  int64_t arena_grow_count() const { return arena_.grow_count(); }
+
+ private:
+  // Scratch arena slot map. Per-layer slots follow the fixed block.
+  enum Slot {
+    kCtxIh = 0,     // [1, 3H] layer-0 context input product + b_ih
+    kLogitBias,     // [1, N_max] alpha bias + dest_term + traffic_term
+    kGi,            // [B, 3H]
+    kGh,            // [B, 3H]
+    kLogits,        // [B, N_max]
+    kPerLayer,      // first of 2 slots per GRU layer: state, beam gather
+  };
+  nn::Tensor* StateSlot(int layer) { return arena_.Get(kPerLayer + 2 * layer); }
+  nn::Tensor* GatherSlot(int layer) {
+    return arena_.Get(kPerLayer + 2 * layer + 1);
+  }
+
+  // Folds the per-query context into kCtxVec/kCtxIh/kLogitBias.
+  void PrepareContext(const PredictionContext& ctx);
+  // Re-shapes the per-layer state slots to [batch, H] and zero-fills them.
+  void ResetState(int64_t batch);
+  // One batched GRU step: reads tokens, updates the state slots in place
+  // and (when `want_logits`) fills kLogits with [batch, N_max] rows.
+  void StepBatch(const int* tokens, int64_t batch, bool want_logits);
+
+  // One beam-search hypothesis; fixed-capacity, reused across calls.
+  struct Hyp {
+    traj::Route route;
+    std::vector<uint8_t> visited;  // by SegmentId
+    double log_prob = 0.0;
+    bool done = false;
+    int src_row = -1;  // row in the stepped batch this hyp's state lives in
+
+    double Score() const;
+  };
+  void CopyHyp(const Hyp& src, Hyp* dst);
+  // Scores one padded batch of routes (shared tail of ScoreRoutes /
+  // ScoreContinuations); `first_scored` transitions only warm the state.
+  void ScorePaddedBatch(const std::vector<const traj::Route*>& rows,
+                        size_t first_scored, std::vector<double>* out);
+
+  const DeepSTModel* model_;
+  const roadnet::RoadNetwork& net_;
+  const DeepSTConfig& config_;
+  nn::infer::GruStackView gru_;
+  // Weights pre-converted to double for the GEMV kernel (exact, see
+  // nn/infer/forward.h); biases stay float.
+  std::vector<double> emb_table_d_;  // [V, emb_dim]
+  std::vector<double> alpha_w_d_;    // [N_max, H]
+  const nn::Tensor* alpha_b_;        // [N_max]
+  int64_t emb_dim_;
+  int64_t nmax_;
+
+  nn::infer::Arena arena_;
+  // Double-precision activation scratch fed to the GEMV kernel: gathered
+  // token embeddings, converted state rows, and the per-query context
+  // vector. Grow-only, like the arena.
+  std::vector<double> embd_;  // [B, emb_dim]
+  std::vector<double> xd_;    // [B, H]
+  std::vector<double> ctxd_;  // [ctx_dim]
+  // Beam pools: beams_ holds the current width hypotheses, pool_ the
+  // candidate set of one step (carried-over done beams + expansions).
+  std::vector<Hyp> beams_;
+  std::vector<Hyp> pool_;
+  size_t pool_size_ = 0;
+  std::vector<int> pool_order_;            // sort permutation over pool_
+  std::vector<std::pair<double, int>> ranked_;  // slot ranking scratch
+  std::vector<int> tokens_;
+  std::vector<int> active_row_;            // beam index -> batch row or -1
+  std::vector<double> weights_;            // sampled-prediction scratch
+  std::vector<uint8_t> visited_;           // greedy-path loop guard
+  std::vector<const traj::Route*> rows_;   // batched-scoring row set
+  std::vector<int> row_index_;             // batch row -> caller index
+  std::vector<double> batch_out_;
+  traj::Route full_;                       // prefix + continuation scratch
+  std::vector<traj::Route> fulls_;
+};
+
+}  // namespace infer
+}  // namespace core
+}  // namespace deepst
+
+#endif  // DEEPST_CORE_INFER_SESSION_H_

@@ -28,12 +28,15 @@ std::vector<RankedRoute> RankRoutes(DeepSTModel* model,
                                     const std::vector<traj::Route>& candidates,
                                     util::Rng* rng) {
   PredictionContext ctx = model->MakeContext(query, rng);
+  // One padded batch: every candidate advances through the same GRU step
+  // instead of re-running the sequence per route.
+  const std::vector<double> scores = model->ScoreRoutes(ctx, candidates);
   std::vector<RankedRoute> out;
   out.reserve(candidates.size());
-  for (const auto& route : candidates) {
+  for (size_t i = 0; i < candidates.size(); ++i) {
     RankedRoute r;
-    r.route = route;
-    r.log_likelihood = model->ScoreRoute(ctx, route);
+    r.route = candidates[i];
+    r.log_likelihood = scores[i];
     out.push_back(std::move(r));
   }
   std::sort(out.begin(), out.end(),

@@ -12,6 +12,7 @@ namespace {
 VarPtr MakeNode(Tensor value, std::vector<VarPtr> parents,
                 std::function<void(Variable*)> backward) {
   VarPtr out = MakeVar(std::move(value));
+  if (!GradEnabled()) return out;  // inference: plain value node
   out->SetParents(std::move(parents));
   if (out->requires_grad()) out->SetBackwardFn(std::move(backward));
   return out;

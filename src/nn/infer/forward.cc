@@ -1,0 +1,137 @@
+#include "nn/infer/forward.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "nn/backend.h"
+#include "nn/kernels.h"
+
+// Runtime ISA dispatch for the GEMV kernel: the 8-lane double loop is plain
+// IEEE arithmetic with a source-fixed accumulation order, so every clone
+// computes bitwise-identical results and the dispatch only affects speed.
+// Disabled under sanitizers (ifunc resolvers run before their runtimes
+// initialize) and off x86-64 ELF targets.
+#if defined(__GNUC__) && defined(__x86_64__) && defined(__ELF__) && \
+    !defined(__SANITIZE_ADDRESS__) && !defined(__SANITIZE_THREAD__)
+#define DEEPST_INFER_CLONES \
+  __attribute__((target_clones("avx512f", "avx2,fma", "default")))
+#else
+#define DEEPST_INFER_CLONES
+#endif
+
+namespace deepst {
+namespace nn {
+namespace infer {
+namespace {
+
+typedef double Vec8 __attribute__((vector_size(64)));
+
+// One output element: an 8-lane double dot over k, lanes combined pairwise
+// in a fixed order, plus the optional biases. Inlined into each ISA clone
+// of LinearChunk so the lane arithmetic picks up the clone's vector width.
+inline float DotBias(const double* xrow, const double* wrow, int64_t k,
+                     const float* bias, const float* bias2, int64_t j) {
+  Vec8 acc = {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+  int64_t kk = 0;
+  for (; kk + 8 <= k; kk += 8) {
+    Vec8 xv, wv;
+    std::memcpy(&xv, xrow + kk, sizeof(xv));
+    std::memcpy(&wv, wrow + kk, sizeof(wv));
+    acc += xv * wv;
+  }
+  double tail = 0.0;
+  for (; kk < k; ++kk) tail += xrow[kk] * wrow[kk];
+  const double sum = (((acc[0] + acc[1]) + (acc[2] + acc[3])) +
+                      ((acc[4] + acc[5]) + (acc[6] + acc[7]))) +
+                     tail;
+  float v = static_cast<float>(sum);
+  if (bias != nullptr) v += bias[j];
+  if (bias2 != nullptr) v += bias2[j];
+  return v;
+}
+
+// One contiguous run [begin, end) of the flat row-major output; (i, j) are
+// tracked incrementally to keep integer divisions out of the loop.
+DEEPST_INFER_CLONES
+void LinearChunk(const double* x, int64_t ldx, const double* w, int64_t ldw,
+                 const float* bias, const float* bias2, float* out, int64_t k,
+                 int64_t n, int64_t begin, int64_t end) {
+  int64_t i = begin / n;
+  int64_t j = begin % n;
+  for (int64_t e = begin; e < end; ++e) {
+    out[e] = DotBias(x + i * ldx, w + j * ldw, k, bias, bias2, j);
+    if (++j == n) {
+      j = 0;
+      ++i;
+    }
+  }
+}
+
+}  // namespace
+
+void ToDouble(const float* src, double* dst, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) dst[i] = static_cast<double>(src[i]);
+}
+
+void LinearForward(const double* x, int64_t ldx, const double* w, int64_t ldw,
+                   const float* bias, const float* bias2, float* out,
+                   int64_t m, int64_t k, int64_t n) {
+  // Flat partition over output elements (i, j): chunk boundaries depend only
+  // on (m*n, kDotGrain) and each element's accumulation order is fixed, so
+  // the schedule is invisible in the result.
+  ParallelFor(m * n, kDotGrain, [&](int64_t begin, int64_t end) {
+    LinearChunk(x, ldx, w, ldw, bias, bias2, out, k, n, begin, end);
+  });
+}
+
+void GruGates(const Tensor& gi, const Tensor& gh, const Tensor& h_prev,
+              Tensor* h_out) {
+  const int64_t batch = gi.dim(0);
+  const int64_t hd = h_prev.dim(1);
+  DEEPST_DCHECK(gi.dim(1) == 3 * hd && gh.dim(1) == 3 * hd);
+  DEEPST_DCHECK(h_out->dim(0) == batch && h_out->dim(1) == hd);
+  const float* gip = gi.data();
+  const float* ghp = gh.data();
+  const float* hp = h_prev.data();
+  float* op = h_out->data();
+  kernels::RowLoop(batch, [gip, ghp, hp, op, hd](int64_t b) {
+    const float* gi_r = gip + b * 3 * hd;
+    const float* gi_z = gi_r + hd;
+    const float* gi_n = gi_r + 2 * hd;
+    const float* gh_r = ghp + b * 3 * hd;
+    const float* gh_z = gh_r + hd;
+    const float* gh_n = gh_r + 2 * hd;
+    const float* hrow = hp + b * hd;
+    float* orow = op + b * hd;
+    for (int64_t j = 0; j < hd; ++j) {
+      const float r = 1.0f / (1.0f + std::exp(-(gi_r[j] + gh_r[j])));
+      const float z = 1.0f / (1.0f + std::exp(-(gi_z[j] + gh_z[j])));
+      const float n = std::tanh(gi_n[j] + r * gh_n[j]);
+      orow[j] = (1.0f - z) * n + z * hrow[j];
+    }
+  });
+}
+
+GruStackView GruStackView::Of(const StackedGru& gru) {
+  GruStackView view;
+  view.hidden_dim = gru.hidden_dim();
+  view.cells.reserve(static_cast<size_t>(gru.num_layers()));
+  for (int l = 0; l < gru.num_layers(); ++l) {
+    const GruCell& cell = gru.cell(l);
+    GruCellView v;
+    v.b_ih = &cell.b_ih();
+    v.b_hh = &cell.b_hh();
+    v.input_dim = cell.input_dim();
+    v.hidden_dim = cell.hidden_dim();
+    v.w_ih.resize(static_cast<size_t>(cell.w_ih().numel()));
+    ToDouble(cell.w_ih().data(), v.w_ih.data(), cell.w_ih().numel());
+    v.w_hh.resize(static_cast<size_t>(cell.w_hh().numel()));
+    ToDouble(cell.w_hh().data(), v.w_hh.data(), cell.w_hh().numel());
+    view.cells.push_back(std::move(v));
+  }
+  return view;
+}
+
+}  // namespace infer
+}  // namespace nn
+}  // namespace deepst

@@ -1,0 +1,115 @@
+#ifndef DEEPST_NN_INFER_FORWARD_H_
+#define DEEPST_NN_INFER_FORWARD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/tensor.h"
+
+namespace deepst {
+namespace nn {
+namespace infer {
+
+// Graph-free forward kernels for the inference fast path. Unlike the ops in
+// nn/ops.h these never construct autodiff Variables: they read raw weight
+// tensors (via the layer accessors of nn/layers.h) and write into
+// caller-provided scratch tensors, so a generation loop performs zero heap
+// allocation at steady state.
+//
+// The GEMV kernel works on double-precision inputs: weights are converted
+// once per session (they are fixed at inference time) and the small
+// activation rows per step. A float*float product is exactly representable
+// in double, so converting up front loses nothing and removes every
+// conversion from the inner loop, which then vectorizes to pure double
+// multiply-adds (8 fixed lanes, dispatched to the widest available vector
+// ISA at runtime; every ISA computes the identical correctly-rounded
+// result).
+//
+// Determinism contract (docs/parallelism.md): every kernel partitions work
+// with chunk boundaries that depend only on the problem size, and each
+// output element is accumulated in a fixed order — results are bitwise
+// identical for every backend and thread count. The 8-lane accumulation
+// deviates from the strictly sequential reference GEMM at the ~1e-7 level;
+// parity tests bound the end-to-end deviation at 1e-5.
+
+// Work grain: outputs (dot products) per chunk.
+inline constexpr int64_t kDotGrain = 32;
+
+// dst[i] = double(src[i]); exact for every float.
+void ToDouble(const float* src, double* dst, int64_t n);
+
+// out[i, j] = sum_kk x[i*ldx + kk] * w[j*ldw + kk] + (bias ? bias[j] : 0)
+//             + (bias2 ? bias2[j] : 0)
+// for i in [0, m), j in [0, n), kk in [0, k). `ldx`/`ldw` are the row
+// strides of x and w (>= k), so callers can multiply against a column slice
+// of a [Out, In] weight matrix without materializing it. Overwrites out.
+// The optional second bias folds a per-query context term (e.g. the
+// destination logit bias) into the same pass.
+void LinearForward(const double* x, int64_t ldx, const double* w, int64_t ldw,
+                   const float* bias, const float* bias2, float* out,
+                   int64_t m, int64_t k, int64_t n);
+
+// Fused GRU gate update (PyTorch gate layout, matching nn::GruCell::Step):
+//   r = sigmoid(gi[:, 0:H]  + gh[:, 0:H])
+//   z = sigmoid(gi[:, H:2H] + gh[:, H:2H])
+//   n = tanh  (gi[:, 2H:3H] + r * gh[:, 2H:3H])
+//   h_out = (1 - z) * n + z * h_prev
+// gi/gh are [B, 3H] pre-activation batches, h_prev/h_out [B, H]; h_out may
+// not alias gi/gh but may alias h_prev.
+void GruGates(const Tensor& gi, const Tensor& gh, const Tensor& h_prev,
+              Tensor* h_out);
+
+// Per-layer GRU weights, pre-converted to double for the GEMV kernel (the
+// biases stay float; they are added after the accumulation). Layer 0
+// supports the split-input optimization: the GRU input is
+// [token_embedding, context] where context is constant per query, so the
+// context's input-to-hidden product (+ b_ih) is precomputed once per query
+// and passed as the layer-0 bias.
+struct GruCellView {
+  std::vector<double> w_ih;  // [3H, In] row-major
+  std::vector<double> w_hh;  // [3H, H]
+  const Tensor* b_ih;        // [3H]
+  const Tensor* b_hh;        // [3H]
+  int64_t input_dim;
+  int64_t hidden_dim;
+};
+
+struct GruStackView {
+  std::vector<GruCellView> cells;
+  int64_t hidden_dim = 0;
+
+  static GruStackView Of(const StackedGru& gru);
+  int num_layers() const { return static_cast<int>(cells.size()); }
+};
+
+// Scratch-buffer arena: a fixed set of slots whose tensors are re-shaped in
+// place per use, reusing storage capacity. After warmup (the first call at
+// the largest batch/shape), Acquire never allocates; grow_count() exposes
+// the number of storage growths so tests can assert the steady state.
+class Arena {
+ public:
+  explicit Arena(int num_slots) : slots_(static_cast<size_t>(num_slots)) {}
+
+  // Returns the slot's tensor re-shaped to `shape` (contents unspecified).
+  Tensor* Acquire(int slot, std::vector<int64_t> shape) {
+    Tensor* t = &slots_[static_cast<size_t>(slot)];
+    if (t->ResetShape(std::move(shape))) ++grow_count_;
+    return t;
+  }
+  // Slot tensor with whatever shape it last had (for state that persists
+  // across steps).
+  Tensor* Get(int slot) { return &slots_[static_cast<size_t>(slot)]; }
+
+  int64_t grow_count() const { return grow_count_; }
+
+ private:
+  std::vector<Tensor> slots_;
+  int64_t grow_count_ = 0;
+};
+
+}  // namespace infer
+}  // namespace nn
+}  // namespace deepst
+
+#endif  // DEEPST_NN_INFER_FORWARD_H_

@@ -22,6 +22,10 @@ class LinearLayer : public Module {
   int64_t in_dim() const { return in_dim_; }
   int64_t out_dim() const { return out_dim_; }
 
+  // Raw weight views for the graph-free inference path (nn/infer).
+  const Tensor& weight() const { return w_->value(); }
+  const Tensor* bias() const { return b_ ? &b_->value() : nullptr; }
+
  private:
   int64_t in_dim_;
   int64_t out_dim_;
@@ -83,6 +87,12 @@ class GruCell : public Module {
   int64_t hidden_dim() const { return hidden_dim_; }
   int64_t input_dim() const { return input_dim_; }
 
+  // Raw weight views for the graph-free inference path (nn/infer).
+  const Tensor& w_ih() const { return w_ih_->value(); }
+  const Tensor& w_hh() const { return w_hh_->value(); }
+  const Tensor& b_ih() const { return b_ih_->value(); }
+  const Tensor& b_hh() const { return b_hh_->value(); }
+
  private:
   int64_t input_dim_;
   int64_t hidden_dim_;
@@ -107,6 +117,9 @@ class StackedGru : public Module {
 
   int num_layers() const { return static_cast<int>(cells_.size()); }
   int64_t hidden_dim() const { return hidden_dim_; }
+  const GruCell& cell(int layer) const {
+    return *cells_[static_cast<size_t>(layer)];
+  }
 
  private:
   int64_t hidden_dim_;

@@ -10,10 +10,13 @@ namespace nn {
 namespace ops {
 namespace {
 
-// Builds a result node with parents + backward closure.
+// Builds a result node with parents + backward closure. With gradients
+// disabled (NoGradGuard) the node is a plain value leaf: no parents, no
+// closure, requires_grad=false.
 VarPtr MakeNode(Tensor value, std::vector<VarPtr> parents,
                 std::function<void(Variable*)> backward) {
   VarPtr out = MakeVar(std::move(value));
+  if (!GradEnabled()) return out;
   out->SetParents(std::move(parents));
   if (out->requires_grad()) out->SetBackwardFn(std::move(backward));
   return out;

@@ -84,6 +84,14 @@ Tensor Tensor::Reshape(std::vector<int64_t> new_shape) const {
   return out;
 }
 
+bool Tensor::ResetShape(std::vector<int64_t> new_shape) {
+  const int64_t n = NumelOf(new_shape);
+  const bool grew = static_cast<size_t>(n) > data_.capacity();
+  data_.resize(static_cast<size_t>(n));
+  shape_ = std::move(new_shape);
+  return grew;
+}
+
 float& Tensor::at4(int64_t n, int64_t c, int64_t h, int64_t w) {
   DEEPST_DCHECK(ndim() == 4);
   DEEPST_DCHECK(n >= 0 && n < shape_[0]);

@@ -43,6 +43,13 @@ class Tensor {
   // Returns a copy with a new shape of identical element count.
   Tensor Reshape(std::vector<int64_t> new_shape) const;
 
+  // Re-shapes this tensor in place to an arbitrary new shape, reusing the
+  // existing storage capacity (no allocation when the new element count fits
+  // in capacity). Contents are unspecified afterwards. Returns true when the
+  // storage had to grow — scratch arenas use this to verify they reach a
+  // zero-allocation steady state.
+  bool ResetShape(std::vector<int64_t> new_shape);
+
   // -- Element access --------------------------------------------------------
   float* data() { return data_.data(); }
   const float* data() const { return data_.data(); }

@@ -34,6 +34,16 @@ VarPtr MakeVar(Tensor value, bool requires_grad) {
 VarPtr Constant(Tensor value) { return MakeVar(std::move(value), false); }
 
 namespace {
+thread_local bool g_grad_enabled = true;
+}  // namespace
+
+bool GradEnabled() { return g_grad_enabled; }
+
+NoGradGuard::NoGradGuard() : prev_(g_grad_enabled) { g_grad_enabled = false; }
+
+NoGradGuard::~NoGradGuard() { g_grad_enabled = prev_; }
+
+namespace {
 
 // Iterative post-order DFS producing a topological order (parents after
 // children in `order` means we can walk `order` backwards... here we emit

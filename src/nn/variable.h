@@ -63,6 +63,24 @@ class Variable {
 VarPtr MakeVar(Tensor value, bool requires_grad = false);
 VarPtr Constant(Tensor value);
 
+// Thread-local gradient mode. While disabled, ops produce plain value nodes:
+// no parents, no backward closures, requires_grad=false even downstream of
+// parameters — so inference-built graphs hold no references into the
+// parameter subgraph and TopoSort never walks it. Inference entry points
+// (scoring, prediction, context building) run under a NoGradGuard.
+bool GradEnabled();
+
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
 // Runs reverse-mode accumulation from `root`, which must be a scalar
 // (numel()==1) unless `seed_with_ones` tensors of other shapes are wanted.
 // Root gradient is seeded with ones. Visits each reachable grad-requiring

@@ -51,15 +51,20 @@ util::StatusOr<traj::Route> StrsRecovery::RecoverGap(
   if (candidates.empty()) {
     return util::Status::NotFound("no candidate route between segments");
   }
+  // One batched spatial-prior call per gap (DeepST warms the prefix once
+  // and scores every candidate in a single padded batch).
+  std::vector<traj::Route> paths;
+  paths.reserve(candidates.size());
+  for (auto& cand : candidates) paths.push_back(std::move(cand.path));
+  const std::vector<double> priors = scorer_->LogPriorBatch(prefix, paths);
   double best_score = -std::numeric_limits<double>::infinity();
   const traj::Route* best = nullptr;
-  for (const auto& cand : candidates) {
-    const double score =
-        TemporalLogLik(cand.path, travel_time_s) +
-        config_.spatial_weight * scorer_->LogPrior(prefix, cand.path);
+  for (size_t i = 0; i < paths.size(); ++i) {
+    const double score = TemporalLogLik(paths[i], travel_time_s) +
+                         config_.spatial_weight * priors[i];
     if (score > best_score) {
       best_score = score;
-      best = &cand.path;
+      best = &paths[i];
     }
   }
   DEEPST_CHECK(best != nullptr);

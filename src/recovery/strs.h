@@ -34,6 +34,18 @@ class SpatialScorer {
   // candidate.front() equals prefix.back() when prefix is non-empty.
   virtual double LogPrior(const traj::Route& prefix,
                           const traj::Route& candidate) = 0;
+  // Scores a whole candidate set for one gap. The default loops LogPrior;
+  // scorers with a batched engine (DeepST) override it to share the prefix
+  // warm-up and step all candidates at once.
+  virtual std::vector<double> LogPriorBatch(
+      const traj::Route& prefix, const std::vector<traj::Route>& candidates) {
+    std::vector<double> priors;
+    priors.reserve(candidates.size());
+    for (const traj::Route& cand : candidates) {
+      priors.push_back(LogPrior(prefix, cand));
+    }
+    return priors;
+  }
 };
 
 // First-order Markov spatial prior (the STRS spatial module stand-in; see
@@ -73,6 +85,11 @@ class DeepStSpatialScorer : public SpatialScorer {
   double LogPrior(const traj::Route& prefix,
                   const traj::Route& candidate) override {
     return model_->ScoreContinuation(ctx_, prefix, candidate);
+  }
+  std::vector<double> LogPriorBatch(
+      const traj::Route& prefix,
+      const std::vector<traj::Route>& candidates) override {
+    return model_->ScoreContinuations(ctx_, prefix, candidates);
   }
 
  private:

@@ -1,0 +1,346 @@
+// Coverage of the graph-free inference engine (core/infer): parity with the
+// autodiff reference path across every ablation config, beam/greedy
+// equivalence, bitwise thread-count invariance, batched-vs-individual
+// scoring identity, the zero-allocation steady state, and concurrent use of
+// the model's session pool.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "baselines/neural_router.h"
+#include "core/deepst_model.h"
+#include "core/infer/session.h"
+#include "core/route_ranking.h"
+#include "eval/world.h"
+#include "nn/backend.h"
+#include "nn/variable.h"
+
+namespace deepst {
+namespace core {
+namespace {
+
+// Fast-path scores accumulate up to ~100 transition terms, each within
+// ~1e-7 of the reference (4-lane vs sequential accumulation), so 1e-5
+// bounds the end-to-end deviation comfortably.
+constexpr double kParityTol = 1e-5;
+
+struct BackendGuard {
+  ~BackendGuard() { nn::SetBackendThreads(1); }
+};
+
+eval::World& TestWorld() {
+  static eval::World* world = [] {
+    eval::WorldConfig cfg = eval::ChengduMiniWorld(0.15);
+    cfg.name = "inference-test-world";
+    cfg.city.rows = 7;
+    cfg.city.cols = 7;
+    cfg.generator.num_days = 4;
+    cfg.generator.max_route_m = 6000.0;
+    cfg.train_days = 2;
+    cfg.val_days = 1;
+    return new eval::World(cfg);
+  }();
+  return *world;
+}
+
+DeepSTConfig SmallConfig() {
+  DeepSTConfig cfg;
+  cfg.segment_embedding_dim = 12;
+  cfg.gru_hidden = 24;
+  cfg.gru_layers = 2;
+  cfg.dest_dim = 12;
+  cfg.traffic_dim = 8;
+  cfg.num_proxies = 8;
+  cfg.cnn_channels = 6;
+  cfg.mlp_hidden = 24;
+  return cfg;
+}
+
+// The four paper methods as ablation configs of the shared base.
+std::vector<std::pair<std::string, DeepSTConfig>> AblationConfigs() {
+  const DeepSTConfig base = SmallConfig();
+  return {{"deepst", baselines::DeepStConfigOf(base)},
+          {"deepst-c", baselines::DeepStCConfigOf(base)},
+          {"cssrnn", baselines::CssrnnConfigOf(base)},
+          {"rnn", baselines::RnnConfigOf(base)}};
+}
+
+traffic::TrafficTensorCache* CacheFor(const DeepSTConfig& cfg) {
+  return cfg.use_traffic ? TestWorld().traffic_cache() : nullptr;
+}
+
+std::vector<const traj::TripRecord*> TestTrips(int n) {
+  std::vector<const traj::TripRecord*> out;
+  for (const auto* rec : TestWorld().split().test) {
+    if (static_cast<int>(out.size()) >= n) break;
+    if (rec->trip.route.size() >= 3) out.push_back(rec);
+  }
+  return out;
+}
+
+TEST(NoGradGuardTest, DisablesAndRestoresTapeRecording) {
+  EXPECT_TRUE(nn::GradEnabled());
+  {
+    nn::NoGradGuard outer;
+    EXPECT_FALSE(nn::GradEnabled());
+    {
+      nn::NoGradGuard inner;
+      EXPECT_FALSE(nn::GradEnabled());
+    }
+    EXPECT_FALSE(nn::GradEnabled());
+  }
+  EXPECT_TRUE(nn::GradEnabled());
+}
+
+TEST(InferenceParityTest, ScoresMatchReferenceAcrossAblations) {
+  auto& world = TestWorld();
+  const auto trips = TestTrips(6);
+  ASSERT_GE(trips.size(), 3u);
+  for (const auto& [name, cfg] : AblationConfigs()) {
+    DeepSTModel model(world.net(), cfg, CacheFor(cfg));
+    util::Rng rng(21);
+    for (const auto* rec : trips) {
+      RouteQuery query = eval::QueryFor(rec->trip);
+      PredictionContext ctx = model.MakeContext(query, &rng);
+      const double fast = model.ScoreRoute(ctx, rec->trip.route);
+      const double ref = model.ScoreRouteReference(ctx, rec->trip.route);
+      EXPECT_TRUE(std::isfinite(fast)) << name;
+      EXPECT_NEAR(fast, ref, kParityTol) << name;
+      // Continuation scoring: split the route into prefix + gap candidate.
+      const traj::Route& route = rec->trip.route;
+      const size_t cut = route.size() / 2;
+      traj::Route prefix(route.begin(), route.begin() + cut + 1);
+      traj::Route cont(route.begin() + cut, route.end());
+      EXPECT_NEAR(model.ScoreContinuation(ctx, prefix, cont),
+                  model.ScoreContinuationReference(ctx, prefix, cont),
+                  kParityTol)
+          << name;
+    }
+  }
+}
+
+TEST(InferenceParityTest, PredictedRoutesMatchReferenceAcrossAblations) {
+  auto& world = TestWorld();
+  const auto trips = TestTrips(4);
+  for (const auto& [name, cfg] : AblationConfigs()) {
+    DeepSTModel model(world.net(), cfg, CacheFor(cfg));
+    util::Rng rng(22);
+    for (const auto* rec : trips) {
+      RouteQuery query = eval::QueryFor(rec->trip);
+      PredictionContext ctx = model.MakeContext(query, &rng);
+      util::Rng rng_fast(7), rng_ref(7);
+      const traj::Route fast = model.PredictRoute(ctx, query.origin, &rng_fast);
+      const traj::Route ref =
+          model.PredictRouteReference(ctx, query.origin, &rng_ref);
+      EXPECT_EQ(fast, ref) << name;
+    }
+  }
+}
+
+TEST(InferenceRegressionTest, BeamWidthOneEqualsGreedy) {
+  auto& world = TestWorld();
+  const auto trips = TestTrips(6);
+  DeepSTConfig cfg = SmallConfig();
+  cfg.use_traffic = false;
+  cfg.beam_width = 1;
+  for (const bool graph : {false, true}) {
+    cfg.graph_inference = graph;
+    DeepSTModel model(world.net(), cfg, nullptr);
+    for (uint64_t seed : {3u, 17u, 99u}) {
+      util::Rng rng(seed);
+      for (const auto* rec : trips) {
+        RouteQuery query = eval::QueryFor(rec->trip);
+        PredictionContext ctx = model.MakeContext(query, &rng);
+        util::Rng rng_greedy(seed + 1), rng_beam(seed + 1);
+        EXPECT_EQ(model.PredictRoute(ctx, query.origin, &rng_greedy),
+                  model.PredictRouteBeam(ctx, query.origin, &rng_beam))
+            << "graph_inference=" << graph << " seed=" << seed;
+      }
+    }
+  }
+}
+
+TEST(InferenceDeterminismTest, ThreadCountInvariant) {
+  BackendGuard guard;
+  auto& world = TestWorld();
+  const auto trips = TestTrips(4);
+  DeepSTConfig cfg = SmallConfig();
+  DeepSTModel model(world.net(), cfg, world.traffic_cache());
+  std::vector<traj::Route> routes_by_threads[2];
+  std::vector<double> scores_by_threads[2];
+  const int thread_counts[2] = {1, 4};
+  for (int t = 0; t < 2; ++t) {
+    nn::SetBackendThreads(thread_counts[t]);
+    util::Rng rng(31);
+    for (const auto* rec : trips) {
+      RouteQuery query = eval::QueryFor(rec->trip);
+      PredictionContext ctx = model.MakeContext(query, &rng);
+      util::Rng prng(5);
+      routes_by_threads[t].push_back(
+          model.PredictRouteBeam(ctx, query.origin, &prng));
+      scores_by_threads[t].push_back(model.ScoreRoute(ctx, rec->trip.route));
+    }
+  }
+  EXPECT_EQ(routes_by_threads[0], routes_by_threads[1]);
+  ASSERT_EQ(scores_by_threads[0].size(), scores_by_threads[1].size());
+  for (size_t i = 0; i < scores_by_threads[0].size(); ++i) {
+    // Bitwise, not approximate: the fast path's chunk boundaries and
+    // accumulation order are thread-count independent.
+    EXPECT_EQ(scores_by_threads[0][i], scores_by_threads[1][i]);
+  }
+}
+
+TEST(InferenceBatchTest, BatchedScoresBitwiseEqualIndividual) {
+  auto& world = TestWorld();
+  DeepSTConfig cfg = SmallConfig();
+  DeepSTModel model(world.net(), cfg, world.traffic_cache());
+  util::Rng rng(41);
+  const auto trips = TestTrips(6);
+  ASSERT_GE(trips.size(), 3u);
+  RouteQuery query = eval::QueryFor(trips[0]->trip);
+  PredictionContext ctx = model.MakeContext(query, &rng);
+  // Candidate set with deliberately degenerate rows mixed in: a too-short
+  // route (scores 0) and a non-contiguous one (scores -inf).
+  std::vector<traj::Route> candidates;
+  for (const auto* rec : trips) candidates.push_back(rec->trip.route);
+  candidates.push_back({trips[0]->trip.route.front()});
+  traj::Route bad = {trips[0]->trip.route.front(),
+                     trips[0]->trip.route.front()};
+  if (!world.net().AreConsecutive(bad[0], bad[1])) candidates.push_back(bad);
+  const std::vector<double> batched = model.ScoreRoutes(ctx, candidates);
+  ASSERT_EQ(batched.size(), candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    EXPECT_EQ(batched[i], model.ScoreRoute(ctx, candidates[i])) << i;
+  }
+}
+
+TEST(InferenceBatchTest, BatchedContinuationsBitwiseEqualIndividual) {
+  auto& world = TestWorld();
+  DeepSTConfig cfg = SmallConfig();
+  cfg.use_traffic = false;
+  DeepSTModel model(world.net(), cfg, nullptr);
+  util::Rng rng(42);
+  const auto trips = TestTrips(6);
+  const traj::Route& route = trips[0]->trip.route;
+  RouteQuery query = eval::QueryFor(trips[0]->trip);
+  PredictionContext ctx = model.MakeContext(query, &rng);
+  const size_t cut = route.size() / 2;
+  traj::Route prefix(route.begin(), route.begin() + cut + 1);
+  // Candidates: the true tail plus every distinct one-step continuation.
+  std::vector<traj::Route> candidates;
+  candidates.emplace_back(route.begin() + cut, route.end());
+  for (roadnet::SegmentId next : world.net().OutSegments(prefix.back())) {
+    candidates.push_back({prefix.back(), next});
+  }
+  const std::vector<double> batched =
+      model.ScoreContinuations(ctx, prefix, candidates);
+  ASSERT_EQ(batched.size(), candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    EXPECT_EQ(batched[i], model.ScoreContinuation(ctx, prefix, candidates[i]))
+        << i;
+  }
+}
+
+TEST(InferenceBatchTest, RankRoutesUsesBatchedScoresConsistently) {
+  auto& world = TestWorld();
+  DeepSTConfig cfg = SmallConfig();
+  DeepSTModel model(world.net(), cfg, world.traffic_cache());
+  util::Rng rng(43);
+  const auto trips = TestTrips(4);
+  RouteQuery query = eval::QueryFor(trips[0]->trip);
+  std::vector<traj::Route> candidates;
+  for (const auto* rec : trips) candidates.push_back(rec->trip.route);
+  util::Rng rng_rank(43);
+  const auto ranked = RankRoutes(&model, query, candidates, &rng_rank);
+  ASSERT_EQ(ranked.size(), candidates.size());
+  util::Rng rng_ctx(43);
+  PredictionContext ctx = model.MakeContext(query, &rng_ctx);
+  double prob_sum = 0.0;
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    EXPECT_EQ(ranked[i].log_likelihood, model.ScoreRoute(ctx, ranked[i].route));
+    if (i > 0) {
+      EXPECT_GE(ranked[i - 1].log_likelihood, ranked[i].log_likelihood);
+    }
+    prob_sum += ranked[i].probability;
+  }
+  EXPECT_NEAR(prob_sum, 1.0, 1e-9);
+}
+
+TEST(InferenceArenaTest, ZeroAllocationSteadyState) {
+  auto& world = TestWorld();
+  DeepSTConfig cfg = SmallConfig();
+  DeepSTModel model(world.net(), cfg, world.traffic_cache());
+  util::Rng rng(51);
+  const auto trips = TestTrips(4);
+  infer::InferenceSession session(&model);
+  RouteQuery query = eval::QueryFor(trips[0]->trip);
+  PredictionContext ctx = model.MakeContext(query, &rng);
+  std::vector<traj::Route> candidates;
+  for (const auto* rec : trips) candidates.push_back(rec->trip.route);
+  // Warmup pass grows the scratch arena to its high-water mark...
+  util::Rng r1(9);
+  session.PredictRouteBeam(ctx, query.origin, &r1);
+  session.ScoreRoutes(ctx, candidates);
+  const int64_t warm = session.arena_grow_count();
+  // ...after which identical work allocates nothing.
+  util::Rng r2(9);
+  session.PredictRouteBeam(ctx, query.origin, &r2);
+  session.ScoreRoutes(ctx, candidates);
+  session.ScoreRoute(ctx, candidates[0]);
+  EXPECT_EQ(session.arena_grow_count(), warm);
+}
+
+TEST(InferenceConcurrencyTest, SessionPoolSafeUnderConcurrentCalls) {
+  auto& world = TestWorld();
+  DeepSTConfig cfg = SmallConfig();
+  cfg.use_traffic = false;
+  DeepSTModel model(world.net(), cfg, nullptr);
+  util::Rng rng(61);
+  const auto trips = TestTrips(4);
+  ASSERT_GE(trips.size(), 2u);
+  // Reference results, computed serially.
+  std::vector<PredictionContext> ctxs;
+  std::vector<traj::Route> expected_routes;
+  std::vector<double> expected_scores;
+  for (const auto* rec : trips) {
+    RouteQuery query = eval::QueryFor(rec->trip);
+    ctxs.push_back(model.MakeContext(query, &rng));
+    util::Rng prng(3);
+    expected_routes.push_back(
+        model.PredictRouteBeam(ctxs.back(), query.origin, &prng));
+    expected_scores.push_back(model.ScoreRoute(ctxs.back(), rec->trip.route));
+  }
+  // Hammer the same queries from several threads at once.
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 8;
+  std::vector<std::thread> workers;
+  std::vector<int> failures(kThreads, 0);
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w] {
+      for (int round = 0; round < kRounds; ++round) {
+        const size_t i = static_cast<size_t>((w + round) % trips.size());
+        RouteQuery query = eval::QueryFor(trips[i]->trip);
+        util::Rng prng(3);
+        if (model.PredictRouteBeam(ctxs[i], query.origin, &prng) !=
+            expected_routes[i]) {
+          failures[static_cast<size_t>(w)]++;
+        }
+        if (model.ScoreRoute(ctxs[i], trips[i]->trip.route) !=
+            expected_scores[i]) {
+          failures[static_cast<size_t>(w)]++;
+        }
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  for (int w = 0; w < kThreads; ++w) EXPECT_EQ(failures[w], 0) << w;
+  // The pool retains one session per peak-concurrent caller at most.
+  EXPECT_GE(model.num_pooled_sessions(), 1u);
+  EXPECT_LE(model.num_pooled_sessions(), static_cast<size_t>(kThreads));
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace deepst

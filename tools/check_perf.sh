@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Gate on the graph-free inference engine's speedup and parity.
+#
+#   tools/check_perf.sh [build-dir] [min-speedup]
+#
+# Builds bench_micro + inference_test, runs the inference sweep (which
+# writes <build-dir>/bench_out/BENCH_inference.json comparing the autodiff
+# graph path against the fast path over thread counts), asserts the fast
+# path's single-thread speedup on both timed workloads (ScoreRoute on a
+# 19-segment route, beam PredictRoute) is at least min-speedup (default 3),
+# and runs the parity/regression test suite. DEEPST_FAST=1 keeps the run
+# small; the speedup also holds at the full model size (docs/inference.md).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+MIN_SPEEDUP="${2:-3.0}"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target bench_micro inference_test
+
+export DEEPST_FAST=1
+
+echo "== inference sweep (graph vs fast, threads 1/2/4) =="
+"$BUILD_DIR"/bench/bench_micro --benchmark_filter='BM_InferenceSweep'
+
+JSON="$BUILD_DIR/bench_out/BENCH_inference.json"
+[[ -f "$JSON" ]] || { echo "FAIL: $JSON not written" >&2; exit 1; }
+
+fail=0
+for workload in score_route_len19 predict_route; do
+  speedup=$(jq -r --arg w "$workload" \
+    '.[] | select(.engine == "fast" and .workload == $w and .threads == 1)
+         | .speedup_vs_graph' "$JSON")
+  ok=$(jq -n --argjson s "$speedup" --argjson min "$MIN_SPEEDUP" '$s >= $min')
+  if [[ "$ok" != "true" ]]; then
+    echo "FAIL: $workload single-thread speedup ${speedup}x < ${MIN_SPEEDUP}x" >&2
+    fail=1
+  else
+    echo "OK: $workload single-thread speedup ${speedup}x >= ${MIN_SPEEDUP}x"
+  fi
+done
+[[ "$fail" == 0 ]] || exit 1
+
+echo "== parity / regression tests =="
+"$BUILD_DIR"/tests/inference_test
+
+echo "OK: fast path >= ${MIN_SPEEDUP}x over the graph path and parity holds"
