@@ -4,14 +4,17 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <cstring>
 #include <fstream>
 #include <functional>
 #include <limits>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "baselines/neural_router.h"
 #include "bench/bench_common.h"
+#include "core/trainer.h"
 #include "eval/world.h"
 #include "mapmatch/hmm_matcher.h"
 #include "nn/backend.h"
@@ -433,6 +436,112 @@ void BM_InferenceSweep(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_InferenceSweep)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+// One-shot sweep of the training engine: the legacy single-graph tape
+// ("serial", one batch = one autodiff graph) against data-parallel
+// micro-sharding (docs/training-perf.md) on 1, 2 and 4 backend threads.
+// Exported as bench_out/BENCH_training.json; tools/check_perf.sh gates the
+// single-thread sharding overhead everywhere and the 4-thread epoch speedup
+// on machines that actually have >= 4 cores. Sharded runs must train
+// bitwise identical parameters for every thread count (the
+// `bitwise_identical_params` field records the cross-thread comparison).
+void BM_TrainingSweep(benchmark::State& state) {
+  auto& world = MicroWorld();
+  const core::DeepSTConfig mcfg =
+      baselines::DeepStConfigOf(eval::DefaultModelConfig(world));
+  const int epochs = eval::FastMode() ? 2 : 3;
+
+  struct Run {
+    double epoch_seconds = std::numeric_limits<double>::infinity();
+    double transitions_per_sec = 0.0;
+    std::vector<std::vector<float>> params;
+  };
+  // Fresh model per run (same config seed, so every run starts from the
+  // same initialization). Epoch time is the best epoch's batch-loop
+  // wall-clock, reconstructed from the trainer's throughput stats so
+  // validation-free Fit overhead stays out of the measurement.
+  auto train = [&](int shard_size, int threads) {
+    core::DeepSTModel model(world.net(), mcfg, world.traffic_cache());
+    core::TrainerConfig tcfg;
+    tcfg.max_epochs = epochs;
+    tcfg.patience = 100;
+    tcfg.verbose = false;
+    tcfg.num_threads = threads;
+    tcfg.micro_shard_size = shard_size;
+    core::Trainer trainer(&model, tcfg);
+    auto result = trainer.Fit(world.split().train, {});
+    Run run;
+    for (const auto& e : result.epochs) {
+      if (e.transitions_per_sec <= 0.0) continue;
+      const double sec =
+          static_cast<double>(e.transitions) / e.transitions_per_sec;
+      if (sec < run.epoch_seconds) {
+        run.epoch_seconds = sec;
+        run.transitions_per_sec = e.transitions_per_sec;
+      }
+    }
+    for (const auto& p : model.Parameters()) {
+      const nn::Tensor& v = p.var->value();
+      run.params.emplace_back(v.data(), v.data() + v.numel());
+    }
+    return run;
+  };
+
+  struct Row {
+    const char* mode;
+    int threads;
+    Run run;
+  };
+  std::vector<Row> rows;
+  for (auto _ : state) {
+    rows.clear();
+    rows.push_back({"serial", 1, train(/*shard_size=*/0, /*threads=*/1)});
+    for (int threads : {1, 2, 4}) {
+      rows.push_back({"sharded", threads, train(/*shard_size=*/16, threads)});
+    }
+  }
+
+  // The determinism contract, measured on the artifact itself: every
+  // sharded run trains the same parameters bit for bit.
+  bool bitwise = true;
+  const Row* sharded1 = nullptr;
+  for (const Row& r : rows) {
+    if (std::string(r.mode) != "sharded") continue;
+    if (sharded1 == nullptr) {
+      sharded1 = &r;
+      continue;
+    }
+    for (size_t p = 0; p < sharded1->run.params.size() && bitwise; ++p) {
+      bitwise = r.run.params[p].size() == sharded1->run.params[p].size() &&
+                std::memcmp(r.run.params[p].data(),
+                            sharded1->run.params[p].data(),
+                            r.run.params[p].size() * sizeof(float)) == 0;
+    }
+  }
+
+  const double serial_seconds = rows.front().run.epoch_seconds;
+  std::ofstream json(OutDir() + "/BENCH_training.json");
+  json << "[\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    json << "  {\"mode\": \"" << r.mode << "\", \"threads\": " << r.threads
+         << ", \"epoch_seconds\": " << r.run.epoch_seconds
+         << ", \"transitions_per_sec\": " << r.run.transitions_per_sec
+         << ", \"speedup_vs_serial\": "
+         << serial_seconds / r.run.epoch_seconds
+         << ", \"bitwise_identical_params\": " << (bitwise ? "true" : "false")
+         << ", \"hardware_concurrency\": "
+         << std::thread::hardware_concurrency() << "}"
+         << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  json << "]\n";
+  for (const Row& r : rows) {
+    state.counters[std::string(r.mode) + "_t" + std::to_string(r.threads) +
+                   "_speedup"] = serial_seconds / r.run.epoch_seconds;
+  }
+  state.counters["bitwise_identical_params"] = bitwise ? 1.0 : 0.0;
+}
+BENCHMARK(BM_TrainingSweep)->Iterations(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace bench

@@ -19,7 +19,9 @@ namespace core {
 namespace {
 
 constexpr uint32_t kCkptMagic = 0xDEE5C4B7;
-constexpr uint32_t kCkptVersion = 1;
+// Version 2 added the per-epoch transitions / throughput fields to the
+// history rows (EpochStats).
+constexpr uint32_t kCkptVersion = 2;
 
 // Bounds on the variable-length payload fields; a flipped byte in a count
 // must fail cleanly, not drive an allocation (the CRC already catches these,
@@ -57,6 +59,8 @@ void WritePayload(std::ostream& out, const TrainingCheckpoint& ckpt) {
     WritePod(out, e.train_route_ce);
     WritePod(out, e.val_route_ce);
     WritePod(out, e.seconds);
+    WritePod(out, e.transitions);
+    WritePod(out, e.transitions_per_sec);
   }
 
   WritePod(out, static_cast<uint64_t>(ckpt.optimizer.kind.size()));
@@ -105,7 +109,8 @@ util::Status ReadPayload(std::istream& in, TrainingCheckpoint* ckpt) {
     int64_t epoch = 0;
     if (!ReadPod(in, &epoch) || !ReadPod(in, &e.train_loss) ||
         !ReadPod(in, &e.train_route_ce) || !ReadPod(in, &e.val_route_ce) ||
-        !ReadPod(in, &e.seconds)) {
+        !ReadPod(in, &e.seconds) || !ReadPod(in, &e.transitions) ||
+        !ReadPod(in, &e.transitions_per_sec)) {
       return util::Status::IoError("truncated history row");
     }
     e.epoch = static_cast<int>(epoch);

@@ -4,9 +4,12 @@
 #include <cmath>
 #include <cstdint>
 #include <memory>
+#include <numeric>
 
 #include "core/checkpoint.h"
+#include "nn/arena.h"
 #include "nn/backend.h"
+#include "nn/conv_ops.h"
 #include "nn/serialize.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
@@ -16,10 +19,11 @@ namespace core {
 namespace {
 
 // Trips sorted by route length, then chunked -- batches have homogeneous
-// lengths so padding is cheap.
+// lengths so padding is cheap. Built once per dataset; per-epoch shuffling
+// permutes only the batch visit order (see Fit).
 std::vector<std::vector<const traj::Trip*>> MakeBatches(
-    const std::vector<const traj::TripRecord*>& data, int batch_size,
-    util::Rng* rng) {
+    const std::vector<const traj::TripRecord*>& data, int batch_size) {
+  // Trips with fewer than two segments have no transition to predict.
   std::vector<const traj::Trip*> trips;
   trips.reserve(data.size());
   for (const auto* rec : data) {
@@ -35,7 +39,6 @@ std::vector<std::vector<const traj::Trip*>> MakeBatches(
     batches.emplace_back(trips.begin() + static_cast<long>(i),
                          trips.begin() + static_cast<long>(end));
   }
-  if (rng != nullptr) rng->Shuffle(&batches);
   return batches;
 }
 
@@ -46,32 +49,170 @@ bool AllParamsFinite(const DeepSTModel& model) {
   return true;
 }
 
+// Deterministic per-shard rng sub-stream: a pure function of the batch seed
+// and the shard index (same derivation idiom as EvaluateRouteCe's per-batch
+// streams), so sampling is independent of which thread runs the shard.
+uint64_t ShardSeed(uint64_t batch_seed, int64_t shard) {
+  return batch_seed ^
+         (0x9e3779b97f4a7c15ULL * (static_cast<uint64_t>(shard) + 1));
+}
+
 }  // namespace
+
+// Data-parallel batch engine. RunBatch splits the minibatch into fixed
+// micro-shards, fans forward+backward out over the backend's workers, and
+// reduces per-shard gradients into the parameters in ascending shard order
+// (nn::AccumulateShardGrads), so the accumulated gradient — and with it the
+// whole training trajectory — is bitwise identical for every thread count.
+//
+// Every resource is per shard *slot*, not per thread: shard s of every batch
+// reuses slot s's arena, gradient sink and batch-norm log no matter which
+// worker runs it, which keeps the recycling pools closed (a tensor leased
+// from slot s's arena is always returned to it) and the steady state
+// allocation-free once shapes are warm.
+class Trainer::ShardEngine {
+ public:
+  ShardEngine(DeepSTModel* model, int shard_size)
+      : model_(model), shard_size_(shard_size) {
+    DEEPST_CHECK_GT(shard_size_, 0);
+    nn::BindParamSlots(model_->Parameters());
+  }
+
+  // Accumulates the batch-mean gradient into the model's parameter grads
+  // (+=; callers zero beforehand) and returns the batch's loss stats,
+  // combined in shard order.
+  LossStats RunBatch(const std::vector<const traj::Trip*>& batch,
+                     uint64_t batch_seed) {
+    const int64_t bsz = static_cast<int64_t>(batch.size());
+    DEEPST_CHECK_GT(bsz, 0);
+    const int64_t nshards = (bsz + shard_size_ - 1) / shard_size_;
+    while (static_cast<int64_t>(slots_.size()) < nshards) {
+      slots_.push_back(std::make_unique<ShardSlot>());
+    }
+    const size_t nparams = model_->Parameters().size();
+
+    nn::GetBackend()->Run(nshards, [&](int64_t s) {
+      ShardSlot& slot = *slots_[static_cast<size_t>(s)];
+      const int64_t begin = s * shard_size_;
+      const int64_t end = std::min<int64_t>(bsz, begin + shard_size_);
+      slot.trips.assign(batch.begin() + begin, batch.begin() + end);
+      slot.grads.Bind(nparams);
+      slot.grads.Begin();
+      slot.bn_log.Clear();
+      util::Rng rng(ShardSeed(batch_seed, s));
+      // Activate the slot's sinks on whichever thread runs this shard: ops
+      // lease graph nodes and tensor storage from the arena, parameter
+      // grad() calls land in the private shard sink, and batch-norm
+      // running-stat updates are logged for ordered replay.
+      nn::ScopedAutodiffArena arena_scope(&slot.arena);
+      nn::ScopedGradShard grad_scope(&slot.grads);
+      nn::ops::ScopedBnStatsLog bn_scope(&slot.bn_log);
+      slot.arena.BeginStep();
+      LossStats stats;
+      nn::VarPtr loss = model_->Loss(slot.trips, &rng, &stats,
+                                     /*training=*/true);
+      // Loss is the mean over the shard's trips; seeding backward with
+      // (shard size / batch size) makes the shard gradients sum exactly to
+      // the batch-mean gradient.
+      nn::Backward(loss, static_cast<float>(end - begin) /
+                             static_cast<float>(bsz));
+      slot.stats = stats;
+    });
+
+    // Deterministic reduction: ascending shard order throughout.
+    shard_ptrs_.clear();
+    for (int64_t s = 0; s < nshards; ++s) {
+      shard_ptrs_.push_back(&slots_[static_cast<size_t>(s)]->grads);
+    }
+    nn::AccumulateShardGrads(model_->Parameters(), shard_ptrs_);
+    LossStats total;
+    for (int64_t s = 0; s < nshards; ++s) {
+      const ShardSlot& slot = *slots_[static_cast<size_t>(s)];
+      slot.bn_log.Apply();
+      const double w = static_cast<double>(slot.trips.size()) /
+                       static_cast<double>(bsz);
+      total.total += slot.stats.total * w;
+      total.route_ce += slot.stats.route_ce * w;
+      total.dest_nll += slot.stats.dest_nll * w;
+      total.kl_traffic += slot.stats.kl_traffic * w;
+      total.kl_proxy += slot.stats.kl_proxy * w;
+      total.num_transitions += slot.stats.num_transitions;
+    }
+    return total;
+  }
+
+  Trainer::ArenaCounters counters() const {
+    Trainer::ArenaCounters c;
+    for (const auto& slot : slots_) {
+      c.buffer_misses += slot->arena.buffer_miss_count();
+      c.node_growths += slot->arena.node_grow_count();
+    }
+    return c;
+  }
+
+ private:
+  struct ShardSlot {
+    nn::AutodiffArena arena;
+    nn::GradShard grads;
+    nn::ops::BnStatsLog bn_log;
+    std::vector<const traj::Trip*> trips;
+    LossStats stats;
+  };
+
+  DeepSTModel* model_;
+  int shard_size_;
+  std::vector<std::unique_ptr<ShardSlot>> slots_;
+  std::vector<const nn::GradShard*> shard_ptrs_;
+};
 
 Trainer::Trainer(DeepSTModel* model, const TrainerConfig& config)
     : model_(model), config_(config) {
   DEEPST_CHECK(model != nullptr);
 }
 
+Trainer::~Trainer() = default;
+
+Trainer::ShardEngine* Trainer::engine() {
+  if (engine_ == nullptr) {
+    engine_ = std::make_unique<ShardEngine>(model_, config_.micro_shard_size);
+  }
+  return engine_.get();
+}
+
+Trainer::ArenaCounters Trainer::arena_counters() const {
+  return engine_ == nullptr ? ArenaCounters{} : engine_->counters();
+}
+
+LossStats Trainer::ComputeBatchGradients(
+    const std::vector<const traj::Trip*>& batch, uint64_t batch_seed) {
+  model_->ZeroGrad();
+  if (config_.micro_shard_size > 0) {
+    return engine()->RunBatch(batch, batch_seed);
+  }
+  util::Rng rng(batch_seed);
+  LossStats stats;
+  nn::VarPtr loss = model_->Loss(batch, &rng, &stats);
+  nn::Backward(loss);
+  return stats;
+}
+
 TrainResult Trainer::Fit(
     const std::vector<const traj::TripRecord*>& train,
     const std::vector<const traj::TripRecord*>& validation) {
   DEEPST_CHECK(!train.empty());
-  if (config_.num_threads > 0) nn::SetBackendThreads(config_.num_threads);
+  nn::ScopedBackendThreads scoped_threads(config_.num_threads);
   util::Rng rng(config_.seed);
   nn::Adam optimizer(model_->Parameters(), config_.learning_rate);
 
-  // Trips with fewer than two segments have no transition to predict and are
-  // dropped by MakeBatches; if nothing survives, there is no epoch to run.
-  int64_t eligible = 0;
-  for (const auto* rec : train) {
-    if (rec->trip.route.size() >= 2) ++eligible;
-  }
-  if (eligible == 0) {
+  // Sort/bucket once; epochs only permute the visit order below.
+  const auto batches = MakeBatches(train, config_.batch_size);
+  if (batches.empty()) {
     DEEPST_LOG(Warning)
         << "no trainable trips (every route has < 2 segments); skipping fit";
     return TrainResult{};
   }
+  std::vector<size_t> batch_order(batches.size());
+  const bool sharded = config_.micro_shard_size > 0;
 
   TrainResult result;
   util::Stopwatch total_watch;
@@ -150,16 +291,32 @@ TrainResult Trainer::Fit(
   bool stop_early = false;
   while (epoch < config_.max_epochs && !stop_early) {
     util::Stopwatch epoch_watch;
-    auto batches = MakeBatches(train, config_.batch_size, &rng);
+    // Shuffle the identity permutation each epoch: the rng draw count and
+    // the resulting order match the old per-epoch MakeBatches rebuild
+    // exactly (a fresh sorted list shuffled once), so training trajectories
+    // and checkpoint resume stay bitwise identical — without re-sorting the
+    // dataset every epoch.
+    std::iota(batch_order.begin(), batch_order.end(), size_t{0});
+    rng.Shuffle(&batch_order);
     double loss_sum = 0.0;
     double ce_sum = 0.0;
     int64_t transitions = 0;
     int64_t trips = 0;
-    for (const auto& batch : batches) {
+    for (const size_t bi : batch_order) {
+      const auto& batch = batches[bi];
       optimizer.ZeroGrad();
       LossStats stats;
-      nn::VarPtr loss = model_->Loss(batch, &rng, &stats);
-      nn::Backward(loss);
+      if (sharded) {
+        // One sequential draw per batch keeps the main stream's rng
+        // bookkeeping identical for every thread count (and checkpoints
+        // keep resuming it at epoch boundaries); the shards derive their
+        // own sub-streams from it.
+        const uint64_t batch_seed = rng.NextUint64();
+        stats = engine()->RunBatch(batch, batch_seed);
+      } else {
+        nn::VarPtr loss = model_->Loss(batch, &rng, &stats);
+        nn::Backward(loss);
+      }
       optimizer.ClipGradNorm(config_.grad_clip);
       optimizer.Step();
       loss_sum += stats.total * static_cast<double>(batch.size());
@@ -167,6 +324,7 @@ TrainResult Trainer::Fit(
       transitions += stats.num_transitions;
       trips += static_cast<int64_t>(batch.size());
     }
+    const double train_seconds = epoch_watch.ElapsedSeconds();
 
     EpochStats es;
     es.epoch = epoch;
@@ -174,6 +332,10 @@ TrainResult Trainer::Fit(
     // ce_sum accumulated per-trip route CE; renormalize per transition.
     es.train_route_ce =
         ce_sum / std::max<double>(1.0, static_cast<double>(transitions));
+    es.transitions = transitions;
+    es.transitions_per_sec =
+        train_seconds > 0.0 ? static_cast<double>(transitions) / train_seconds
+                            : 0.0;
 
     // Divergence guard: non-finite loss/params or a loss spike rolls the run
     // back to the last good epoch boundary and retries with a smaller step.
@@ -226,7 +388,9 @@ TrainResult Trainer::Fit(
       DEEPST_LOG(Info) << "epoch " << epoch << " train_loss "
                        << es.train_loss << " train_ce/step "
                        << es.train_route_ce << " val_ce/step "
-                       << es.val_route_ce << " (" << es.seconds << "s)";
+                       << es.val_route_ce << " (" << es.seconds << "s, "
+                       << static_cast<int64_t>(es.transitions_per_sec)
+                       << " transitions/s)";
     }
 
     const double val_metric =
@@ -280,8 +444,8 @@ TrainResult Trainer::Fit(
 double Trainer::EvaluateRouteCe(
     const std::vector<const traj::TripRecord*>& data) {
   if (data.empty()) return 0.0;
-  if (config_.num_threads > 0) nn::SetBackendThreads(config_.num_threads);
-  auto batches = MakeBatches(data, config_.batch_size, nullptr);
+  nn::ScopedBackendThreads scoped_threads(config_.num_threads);
+  auto batches = MakeBatches(data, config_.batch_size);
   if (batches.empty()) return 0.0;
   // Batches are independent forward passes (MAP latents, batch-norm running
   // stats; the graph is built but never backwarded), so they fan out over the

@@ -1,7 +1,9 @@
 #ifndef DEEPST_CORE_TRAINER_H_
 #define DEEPST_CORE_TRAINER_H_
 
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -25,11 +27,28 @@ struct TrainerConfig {
   int patience = 7;
   bool verbose = true;
   uint64_t seed = 99;
-  // Compute threads for kernels and batch-parallel evaluation. 0 leaves the
-  // process-wide nn::Backend untouched; N >= 1 installs an N-thread backend
-  // before training/evaluation (1 = serial). Results are bitwise identical
-  // for every value (see docs/parallelism.md).
+  // Compute threads for training, kernels and batch-parallel evaluation. 0
+  // leaves the process-wide nn::Backend untouched; N >= 1 installs an
+  // N-thread backend for the duration of the call (scoped: Fit/Evaluate
+  // restore the previous backend on return; 1 = serial). Results are
+  // bitwise identical for every value (see docs/parallelism.md).
   int num_threads = 0;
+  // Data-parallel micro-sharding (docs/training-perf.md): each minibatch is
+  // split into fixed shards of this many trips; shards run forward+backward
+  // concurrently on the backend's workers — each with a deterministically
+  // derived rng sub-stream and a private gradient sink — and are reduced in
+  // ascending shard order, so trained parameters are bitwise identical for
+  // every thread count. Shard graphs build inside recycling arenas, so the
+  // epoch loop allocates nothing at steady state.
+  //
+  // Opt-in (0 = off, the single-graph tape per batch): sharding keeps every
+  // thread count bitwise identical to every other, but it is a *different*
+  // training trajectory than the unsharded one — latent draws come from
+  // per-shard rng sub-streams and the traffic conv pipeline normalizes over
+  // shard-local batch statistics — so it is not enabled behind anyone's
+  // back. Enable together with num_threads for multi-core speedups
+  // (16 pairs well with batch_size 64 on 4 cores).
+  int micro_shard_size = 0;
 
   // --- Crash safety (docs/checkpointing.md) --------------------------------
   // Directory for the rotating latest/prev/best checkpoint files; empty
@@ -67,7 +86,11 @@ struct EpochStats {
   double train_loss = 0.0;      // mean per-trip loss
   double train_route_ce = 0.0;  // mean per-transition route CE
   double val_route_ce = 0.0;    // mean per-transition validation CE
-  double seconds = 0.0;
+  double seconds = 0.0;         // wall-clock for the epoch (incl. validation)
+  int64_t transitions = 0;      // route transitions trained on this epoch
+  // Training throughput: transitions / training wall-clock (the batch loop
+  // only, excluding validation).
+  double transitions_per_sec = 0.0;
 };
 
 struct TrainResult {
@@ -84,12 +107,13 @@ struct TrainResult {
 };
 
 // Minibatch SGD driver for DeepSTModel (Algorithm 1). Trips are bucketed by
-// route length to limit padding waste, and batch order is shuffled per
-// epoch. After Fit returns, the model holds the parameters of the
-// best-validation epoch (not the last epoch's).
+// route length to limit padding waste (once, up front), and batch order is
+// shuffled per epoch. After Fit returns, the model holds the parameters of
+// the best-validation epoch (not the last epoch's).
 class Trainer {
  public:
   Trainer(DeepSTModel* model, const TrainerConfig& config);
+  ~Trainer();
 
   TrainResult Fit(const std::vector<const traj::TripRecord*>& train,
                   const std::vector<const traj::TripRecord*>& validation);
@@ -97,9 +121,31 @@ class Trainer {
   // Mean per-transition route cross-entropy on a dataset (no grad).
   double EvaluateRouteCe(const std::vector<const traj::TripRecord*>& data);
 
+  // Test/diagnostic hook: zeroes the model's gradients, then accumulates the
+  // gradients of one batch — through the sharded engine when
+  // config.micro_shard_size > 0, else through the legacy single-graph tape
+  // with util::Rng(batch_seed). No optimizer step. Returns the batch's loss
+  // stats.
+  LossStats ComputeBatchGradients(const std::vector<const traj::Trip*>& batch,
+                                  uint64_t batch_seed);
+
+  // Steady-state allocation telemetry of the sharded engine, summed over its
+  // shard slots (zero while no sharded batch ran yet). Counters that stay
+  // flat across further batches/epochs mean the autodiff arenas reached the
+  // zero-allocation steady state (docs/training-perf.md).
+  struct ArenaCounters {
+    int64_t buffer_misses = 0;
+    int64_t node_growths = 0;
+  };
+  ArenaCounters arena_counters() const;
+
  private:
+  class ShardEngine;
+  ShardEngine* engine();  // lazily constructed sharded-training engine
+
   DeepSTModel* model_;
   TrainerConfig config_;
+  std::unique_ptr<ShardEngine> engine_;
 };
 
 }  // namespace core

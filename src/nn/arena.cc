@@ -1,0 +1,142 @@
+#include "nn/arena.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "util/check.h"
+
+namespace deepst {
+namespace nn {
+namespace {
+
+thread_local AutodiffArena* t_arena = nullptr;
+thread_local GradShard* t_grad_shard = nullptr;
+
+// Smallest b with 2^b >= n (n >= 1).
+int CeilLog2(size_t n) {
+  int b = 0;
+  while ((size_t{1} << b) < n) ++b;
+  return b;
+}
+
+// Largest b with 2^b <= cap (cap >= 1).
+int FloorLog2(size_t cap) {
+  int b = 0;
+  while ((size_t{1} << (b + 1)) <= cap) ++b;
+  return b;
+}
+
+}  // namespace
+
+void BufferPool::Acquire(size_t n, std::vector<float>* out) {
+  DEEPST_DCHECK(out->capacity() == 0);
+  if (n == 0) return;
+  const int b = CeilLog2(n);
+  DEEPST_CHECK_LT(b, kNumBuckets);
+  auto& bucket = buckets_[b];
+  if (!bucket.empty()) {
+    *out = std::move(bucket.back());
+    bucket.pop_back();
+    ++reuse_count_;
+  } else {
+    out->reserve(size_t{1} << b);
+    ++miss_count_;
+  }
+  out->resize(n);
+}
+
+void BufferPool::Release(std::vector<float>* buf) {
+  const size_t cap = buf->capacity();
+  if (cap == 0) return;
+  // Bucketed by floor(log2(capacity)): a buffer filed under b always has
+  // capacity >= 2^b, so Acquire can hand it out for any n <= 2^b. Buffers
+  // allocated outside the pool (donated on destruction inside the scope) may
+  // have non-power-of-two capacities; the floor keeps them usable.
+  buckets_[FloorLog2(cap)].push_back(std::move(*buf));
+  buf->clear();
+  buf->shrink_to_fit();
+}
+
+void AutodiffArena::BeginStep() {
+#ifndef NDEBUG
+  // Recycling a node that something still references would corrupt the
+  // retained graph. Trainer steps drop the whole tape before the next
+  // BeginStep, so every leased node must be back to pool-only ownership.
+  for (size_t i = 0; i < cursor_; ++i) {
+    DEEPST_DCHECK(nodes_[i].use_count() == 1);
+  }
+#endif
+  cursor_ = 0;
+}
+
+VarPtr AutodiffArena::Lease(Tensor value, bool requires_grad) {
+  if (cursor_ == nodes_.size()) {
+    nodes_.push_back(std::make_shared<Variable>(Tensor(), false));
+    nodes_.back()->set_arena_index(static_cast<int64_t>(cursor_));
+    ++node_grow_count_;
+  }
+  VarPtr& node = nodes_[cursor_++];
+  node->ResetForReuse(std::move(value), requires_grad);
+  return node;
+}
+
+ScopedAutodiffArena::ScopedAutodiffArena(AutodiffArena* arena)
+    : prev_(t_arena) {
+  t_arena = arena;
+}
+
+ScopedAutodiffArena::~ScopedAutodiffArena() { t_arena = prev_; }
+
+AutodiffArena* ActiveArena() { return t_arena; }
+
+void GradShard::Bind(size_t num_params) {
+  if (slots_.size() != num_params) {
+    slots_.resize(num_params);
+    touched_.assign(num_params, 0);
+  }
+}
+
+void GradShard::Begin() {
+  std::fill(touched_.begin(), touched_.end(), static_cast<uint8_t>(0));
+}
+
+Tensor& GradShard::Slot(int slot, const Tensor& like) {
+  DEEPST_DCHECK(slot >= 0 && static_cast<size_t>(slot) < slots_.size());
+  Tensor& t = slots_[static_cast<size_t>(slot)];
+  if (touched_[static_cast<size_t>(slot)] == 0) {
+    // ResetShapeLike reuses both the shape and data capacity, so after the
+    // first batch this is a plain zero-fill.
+    t.ResetShapeLike(like);
+    t.Fill(0.0f);
+    touched_[static_cast<size_t>(slot)] = 1;
+  }
+  return t;
+}
+
+ScopedGradShard::ScopedGradShard(GradShard* shard) : prev_(t_grad_shard) {
+  t_grad_shard = shard;
+}
+
+ScopedGradShard::~ScopedGradShard() { t_grad_shard = prev_; }
+
+GradShard* ActiveGradShard() { return t_grad_shard; }
+
+namespace detail {
+
+void AcquireBuffer(size_t n, std::vector<float>* out) {
+  if (t_arena != nullptr) {
+    t_arena->buffers()->Acquire(n, out);
+    return;
+  }
+  out->resize(n);
+}
+
+void ReleaseBuffer(std::vector<float>* buf) {
+  if (t_arena != nullptr) t_arena->buffers()->Release(buf);
+}
+
+}  // namespace detail
+
+}  // namespace nn
+}  // namespace deepst

@@ -1,0 +1,165 @@
+#ifndef DEEPST_NN_ARENA_H_
+#define DEEPST_NN_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.h"
+#include "nn/variable.h"
+
+namespace deepst {
+namespace nn {
+
+// Recycling pools for the training hot loop. The define-by-run tape discards
+// every graph node and intermediate tensor after each backward pass; without
+// recycling that is two heap allocations per op per step (the Variable node
+// and its value storage), repeated millions of times per epoch. An
+// AutodiffArena keeps both alive across steps instead — the same slot-arena
+// idea as nn::infer::Arena, extended to the autodiff graph:
+//
+//   * BufferPool recycles tensor float storage in power-of-two size
+//     classes. Tensor's storage lifecycle (see detail::AcquireBuffer /
+//     ReleaseBuffer) leases from the thread-active pool, so tensors created
+//     and destroyed inside the arena scope stop touching the allocator once
+//     every size class is warm.
+//   * The node pool recycles shared_ptr<Variable> graph nodes behind
+//     MakeVar. BeginStep() rewinds the cursor; Lease() hands back the next
+//     node with its old value tensor, gradient, parents and backward
+//     closure recycled into the pools.
+//
+// miss/grow counters expose the steady state: after a warmup step at the
+// largest shapes, a training step performs zero pool misses and zero node
+// growths. (Residual small allocations remain — shape vectors built at op
+// call sites and std::function closure storage — but all tensor data and
+// graph nodes, the dominant allocations by bytes, are recycled; see
+// docs/training-perf.md.)
+//
+// Arenas are not thread-safe; exactly one thread uses an arena at a time.
+// The sharded trainer owns one arena per shard slot and activates it inside
+// the shard's task, so the recycling loop stays closed within one arena no
+// matter which worker thread runs the shard.
+class BufferPool {
+ public:
+  // Makes *out an n-element buffer (contents unspecified), reusing a
+  // recycled buffer of sufficient capacity when one is available. *out must
+  // be empty (default-constructed or released).
+  void Acquire(size_t n, std::vector<float>* out);
+
+  // Donates buf's storage to the pool and leaves *buf empty.
+  void Release(std::vector<float>* buf);
+
+  int64_t miss_count() const { return miss_count_; }
+  int64_t reuse_count() const { return reuse_count_; }
+
+ private:
+  static constexpr int kNumBuckets = 48;  // up to 2^47 floats — plenty
+  std::vector<std::vector<float>> buckets_[kNumBuckets];
+  int64_t miss_count_ = 0;
+  int64_t reuse_count_ = 0;
+};
+
+class AutodiffArena {
+ public:
+  AutodiffArena() = default;
+  ~AutodiffArena() = default;
+  AutodiffArena(const AutodiffArena&) = delete;
+  AutodiffArena& operator=(const AutodiffArena&) = delete;
+
+  // Rewinds the node cursor: the previous step's graph must already be
+  // dropped (no live references besides the pool's own).
+  void BeginStep();
+
+  // Next recycled node, re-initialized to a fresh leaf holding `value`.
+  VarPtr Lease(Tensor value, bool requires_grad);
+
+  BufferPool* buffers() { return &buffers_; }
+
+  // Steady-state telemetry: node pool growths and buffer pool misses since
+  // construction. Flat counters across steps == zero-allocation steady
+  // state for graph nodes and tensor storage.
+  int64_t node_grow_count() const { return node_grow_count_; }
+  int64_t buffer_miss_count() const { return buffers_.miss_count(); }
+  int64_t nodes_in_use() const { return static_cast<int64_t>(cursor_); }
+
+ private:
+  BufferPool buffers_;
+  std::vector<VarPtr> nodes_;
+  size_t cursor_ = 0;
+  int64_t node_grow_count_ = 0;
+};
+
+// Thread-local arena activation. While a scope is live on a thread, MakeVar
+// leases nodes from the arena and every Tensor storage acquire/release on
+// that thread goes through the arena's BufferPool.
+class ScopedAutodiffArena {
+ public:
+  explicit ScopedAutodiffArena(AutodiffArena* arena);
+  ~ScopedAutodiffArena();
+  ScopedAutodiffArena(const ScopedAutodiffArena&) = delete;
+  ScopedAutodiffArena& operator=(const ScopedAutodiffArena&) = delete;
+
+ private:
+  AutodiffArena* prev_;
+};
+
+// The thread's active arena, or nullptr.
+AutodiffArena* ActiveArena();
+
+// Per-shard parameter-gradient sink for data-parallel training. While a
+// ScopedGradShard is live on a thread, Variable::grad() on a slot-bound
+// parameter (Variable::set_param_slot) resolves to the shard's private slot
+// tensor instead of the parameter's own gradient, so concurrent shards
+// accumulate without racing; the trainer then reduces the shards into the
+// real gradients in ascending shard order (nn::AccumulateShardGrads), which
+// keeps the sum bitwise identical for every thread count.
+class GradShard {
+ public:
+  // Sizes the shard for `num_params` slots. Idempotent; keeps storage.
+  void Bind(size_t num_params);
+
+  // Marks every slot untouched. Slot storage is kept and re-zeroed lazily on
+  // first touch, so steady-state batches allocate nothing.
+  void Begin();
+
+  // The slot's gradient tensor, zeroed and shaped like `like` on the first
+  // touch after Begin().
+  Tensor& Slot(int slot, const Tensor& like);
+
+  bool touched(size_t slot) const { return touched_[slot] != 0; }
+  const Tensor& slot_grad(size_t slot) const { return slots_[slot]; }
+  size_t num_params() const { return slots_.size(); }
+
+ private:
+  std::vector<Tensor> slots_;
+  std::vector<uint8_t> touched_;
+};
+
+class ScopedGradShard {
+ public:
+  explicit ScopedGradShard(GradShard* shard);
+  ~ScopedGradShard();
+  ScopedGradShard(const ScopedGradShard&) = delete;
+  ScopedGradShard& operator=(const ScopedGradShard&) = delete;
+
+ private:
+  GradShard* prev_;
+};
+
+// The thread's active gradient shard, or nullptr.
+GradShard* ActiveGradShard();
+
+namespace detail {
+
+// Tensor storage lifecycle hooks (called from nn::Tensor). With an active
+// arena on the thread they lease/recycle through its BufferPool; otherwise
+// Acquire is a plain resize and Release clears the vector (freeing storage).
+void AcquireBuffer(size_t n, std::vector<float>* out);
+void ReleaseBuffer(std::vector<float>* buf);
+
+}  // namespace detail
+
+}  // namespace nn
+}  // namespace deepst
+
+#endif  // DEEPST_NN_ARENA_H_

@@ -69,6 +69,29 @@ Backend* GetBackend();
 void SetBackendThreads(int num_threads);
 int GetBackendThreads();
 
+// RAII guard: installs an N-thread backend for the scope (num_threads >= 1)
+// and restores the previous thread count on destruction, so entry points
+// that configure the backend for themselves (trainer fit/eval) no longer
+// silently reconfigure subsequent callers. num_threads <= 0 leaves the
+// backend untouched. SetBackendThreads is idempotent, so nesting guards
+// with the same count costs nothing.
+class ScopedBackendThreads {
+ public:
+  explicit ScopedBackendThreads(int num_threads)
+      : prev_(GetBackendThreads()), active_(num_threads >= 1) {
+    if (active_) SetBackendThreads(num_threads);
+  }
+  ~ScopedBackendThreads() {
+    if (active_) SetBackendThreads(prev_);
+  }
+  ScopedBackendThreads(const ScopedBackendThreads&) = delete;
+  ScopedBackendThreads& operator=(const ScopedBackendThreads&) = delete;
+
+ private:
+  int prev_;
+  bool active_;
+};
+
 // ---------------------------------------------------------------------------
 // Deterministic chunking helpers. Chunk boundaries are a pure function of
 // (n, grain) — never of the thread count — which is what makes chunked

@@ -18,7 +18,41 @@ VarPtr MakeNode(Tensor value, std::vector<VarPtr> parents,
   return out;
 }
 
+thread_local BnStatsLog* t_bn_log = nullptr;
+
 }  // namespace
+
+void BnStatsLog::Record(BatchNormState* state, const Tensor& mean,
+                        const Tensor& var) {
+  if (used_ == entries_.size()) entries_.emplace_back();
+  Entry& e = entries_[used_++];
+  e.state = state;
+  e.mean.assign(mean.data(), mean.data() + mean.numel());
+  e.var.assign(var.data(), var.data() + var.numel());
+}
+
+void BnStatsLog::Apply() const {
+  for (size_t i = 0; i < used_; ++i) {
+    const Entry& e = entries_[i];
+    BatchNormState* state = e.state;
+    const float momentum = state->momentum;
+    for (size_t c = 0; c < e.mean.size(); ++c) {
+      const int64_t ci = static_cast<int64_t>(c);
+      state->running_mean[ci] = (1.0f - momentum) * state->running_mean[ci] +
+                                momentum * e.mean[c];
+      state->running_var[ci] = (1.0f - momentum) * state->running_var[ci] +
+                               momentum * e.var[c];
+    }
+  }
+}
+
+ScopedBnStatsLog::ScopedBnStatsLog(BnStatsLog* log) : prev_(t_bn_log) {
+  t_bn_log = log;
+}
+
+ScopedBnStatsLog::~ScopedBnStatsLog() { t_bn_log = prev_; }
+
+BnStatsLog* ActiveBnStatsLog() { return t_bn_log; }
 
 VarPtr Conv2d(const VarPtr& x, const VarPtr& w, const VarPtr& b, int stride,
               int pad) {
@@ -97,12 +131,22 @@ VarPtr BatchNorm2d(const VarPtr& x, const VarPtr& gamma, const VarPtr& beta,
       v /= static_cast<double>(count);
       mean[c] = static_cast<float>(m);
       var[c] = static_cast<float>(v);
-      state->running_mean[c] =
-          (1.0f - state->momentum) * state->running_mean[c] +
-          state->momentum * mean[c];
-      state->running_var[c] = (1.0f - state->momentum) * state->running_var[c] +
-                              state->momentum * var[c];
     });
+    // Running-stat EMA update. The running stats never enter the
+    // training-mode math above/below, so the update can be deferred: a
+    // sharded trainer logs it (and replays the logs in shard order after
+    // the join); otherwise it applies in place, same values either way.
+    if (BnStatsLog* log = ActiveBnStatsLog()) {
+      log->Record(state, mean, var);
+    } else {
+      const float momentum = state->momentum;
+      for (int64_t c = 0; c < ch; ++c) {
+        state->running_mean[c] = (1.0f - momentum) * state->running_mean[c] +
+                                 momentum * mean[c];
+        state->running_var[c] = (1.0f - momentum) * state->running_var[c] +
+                                momentum * var[c];
+      }
+    }
   } else {
     mean = state->running_mean;
     var = state->running_var;

@@ -1,6 +1,9 @@
 #ifndef DEEPST_NN_CONV_OPS_H_
 #define DEEPST_NN_CONV_OPS_H_
 
+#include <cstddef>
+#include <vector>
+
 #include "nn/variable.h"
 
 namespace deepst {
@@ -24,6 +27,50 @@ struct BatchNormState {
 };
 VarPtr BatchNorm2d(const VarPtr& x, const VarPtr& gamma, const VarPtr& beta,
                    BatchNormState* state, bool training);
+
+// Deferred batch-norm running-stat updates for data-parallel training.
+// BatchNormState is shared mutable model state: concurrent shards running
+// training-mode BatchNorm2d would race on the in-place EMA update. While a
+// ScopedBnStatsLog is active on the thread, BatchNorm2d records the batch
+// statistics here instead of updating the state; the trainer replays the
+// logs with Apply() in ascending shard order after the join, so the running
+// stats are race-free and bitwise identical for every thread count. The
+// running stats never feed the training-mode forward/backward math, so
+// deferring the update does not change any activation or gradient.
+// Entry storage is recycled across batches (Clear rewinds, Record reuses).
+class BnStatsLog {
+ public:
+  void Clear() { used_ = 0; }
+
+  // Logs one training-mode BatchNorm2d call's per-channel batch mean/var.
+  void Record(BatchNormState* state, const Tensor& mean, const Tensor& var);
+
+  // Applies the logged EMA updates in record order.
+  void Apply() const;
+
+ private:
+  struct Entry {
+    BatchNormState* state = nullptr;
+    std::vector<float> mean;
+    std::vector<float> var;
+  };
+  std::vector<Entry> entries_;
+  size_t used_ = 0;
+};
+
+class ScopedBnStatsLog {
+ public:
+  explicit ScopedBnStatsLog(BnStatsLog* log);
+  ~ScopedBnStatsLog();
+  ScopedBnStatsLog(const ScopedBnStatsLog&) = delete;
+  ScopedBnStatsLog& operator=(const ScopedBnStatsLog&) = delete;
+
+ private:
+  BnStatsLog* prev_;
+};
+
+// The thread's active log, or nullptr.
+BnStatsLog* ActiveBnStatsLog();
 
 // Global average pooling: [B, C, H, W] -> [B, C].
 VarPtr GlobalAvgPool2d(const VarPtr& x);

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "nn/backend.h"
 #include "nn/kernels.h"
 
 namespace deepst {
@@ -31,6 +32,27 @@ util::Status CheckSlots(const std::vector<NamedParam>& params,
 }
 
 }  // namespace
+
+void BindParamSlots(const std::vector<NamedParam>& params) {
+  for (size_t i = 0; i < params.size(); ++i) {
+    params[i].var->set_param_slot(static_cast<int64_t>(i));
+  }
+}
+
+void AccumulateShardGrads(const std::vector<NamedParam>& params,
+                          const std::vector<const GradShard*>& shards) {
+  GetBackend()->Run(static_cast<int64_t>(params.size()), [&](int64_t i) {
+    Variable* p = params[static_cast<size_t>(i)].var.get();
+    for (const GradShard* shard : shards) {
+      if (!shard->touched(static_cast<size_t>(i))) continue;
+      const Tensor& g = shard->slot_grad(static_cast<size_t>(i));
+      // grad() lazily allocates on first touch; no GradShard is active on
+      // this thread, so it resolves to the parameter's own gradient.
+      Tensor& dst = p->grad();
+      kernels::AxpyAcc(dst.data(), g.data(), dst.numel(), 1.0f);
+    }
+  });
+}
 
 double Optimizer::ClipGradNorm(double max_norm) {
   // Per-parameter chunked reductions combined in fixed parameter order keep

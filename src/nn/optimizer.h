@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "nn/arena.h"
 #include "nn/module.h"
 #include "util/status.h"
 
@@ -52,6 +53,21 @@ class Optimizer {
  protected:
   std::vector<NamedParam> params_;
 };
+
+// --- Sharded gradient accumulation (data-parallel training) ----------------
+// Binds each parameter to its index in `params`, so Variable::grad() under
+// an active GradShard resolves to the shard's slot for that parameter.
+// Idempotent; call once per model before sharded training.
+void BindParamSlots(const std::vector<NamedParam>& params);
+
+// Reduces per-shard gradients into the parameters' own gradient tensors:
+// for every parameter, the touched shards are added in ascending shard
+// order, so the accumulated gradient is bitwise identical for every thread
+// count and shard schedule. Parameters fan out over the backend (disjoint
+// writes). Parameters no shard touched keep has_grad() == false, matching
+// the single-graph path. Call with no GradShard active on the thread.
+void AccumulateShardGrads(const std::vector<NamedParam>& params,
+                          const std::vector<const GradShard*>& shards);
 
 // Plain SGD with optional momentum.
 class Sgd : public Optimizer {

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "nn/arena.h"
 #include "nn/kernels.h"
 
 namespace deepst {
@@ -22,8 +23,25 @@ int64_t NumelOf(const std::vector<int64_t>& shape) {
 }  // namespace
 
 Tensor::Tensor(std::vector<int64_t> shape) : shape_(std::move(shape)) {
-  data_.assign(static_cast<size_t>(NumelOf(shape_)), 0.0f);
+  detail::AcquireBuffer(static_cast<size_t>(NumelOf(shape_)), &data_);
+  std::fill(data_.begin(), data_.end(), 0.0f);
 }
+
+Tensor::Tensor(const Tensor& other) : shape_(other.shape_) {
+  detail::AcquireBuffer(other.data_.size(), &data_);
+  std::copy(other.data_.begin(), other.data_.end(), data_.begin());
+}
+
+Tensor& Tensor::operator=(Tensor&& other) noexcept {
+  if (this != &other) {
+    detail::ReleaseBuffer(&data_);
+    shape_ = std::move(other.shape_);
+    data_ = std::move(other.data_);
+  }
+  return *this;
+}
+
+Tensor::~Tensor() { detail::ReleaseBuffer(&data_); }
 
 Tensor Tensor::Zeros(std::vector<int64_t> shape) {
   return Tensor(std::move(shape));
@@ -89,6 +107,14 @@ bool Tensor::ResetShape(std::vector<int64_t> new_shape) {
   const bool grew = static_cast<size_t>(n) > data_.capacity();
   data_.resize(static_cast<size_t>(n));
   shape_ = std::move(new_shape);
+  return grew;
+}
+
+bool Tensor::ResetShapeLike(const Tensor& like) {
+  const int64_t n = like.numel();
+  const bool grew = static_cast<size_t>(n) > data_.capacity();
+  data_.resize(static_cast<size_t>(n));
+  shape_ = like.shape_;
   return grew;
 }
 

@@ -20,6 +20,19 @@ class Tensor {
   Tensor() = default;
   explicit Tensor(std::vector<int64_t> shape);
 
+  // Storage lifecycle routes through nn::detail::AcquireBuffer /
+  // ReleaseBuffer (see nn/arena.h): inside an active AutodiffArena scope the
+  // float storage is leased from and recycled into the arena's BufferPool,
+  // so training steps stop allocating once the pool is warm; outside a scope
+  // these are ordinary vector operations.
+  Tensor(const Tensor& other);
+  // Copy-assign reuses this tensor's own capacity when it fits (vector
+  // copy-assignment semantics), so it needs no pool hook.
+  Tensor& operator=(const Tensor& other) = default;
+  Tensor(Tensor&& other) noexcept = default;
+  Tensor& operator=(Tensor&& other) noexcept;  // recycles replaced storage
+  ~Tensor();
+
   // -- Factories ------------------------------------------------------------
   static Tensor Zeros(std::vector<int64_t> shape);
   static Tensor Full(std::vector<int64_t> shape, float value);
@@ -49,6 +62,11 @@ class Tensor {
   // storage had to grow — scratch arenas use this to verify they reach a
   // zero-allocation steady state.
   bool ResetShape(std::vector<int64_t> new_shape);
+
+  // ResetShape to `like`'s shape without constructing a shape vector at the
+  // call site: the shape is copy-assigned, so a reused tensor re-shapes with
+  // zero allocations. Same return contract as ResetShape.
+  bool ResetShapeLike(const Tensor& like);
 
   // -- Element access --------------------------------------------------------
   float* data() { return data_.data(); }

@@ -1,19 +1,43 @@
 #include "nn/variable.h"
 
 #include <unordered_set>
+#include <utility>
+
+#include "nn/arena.h"
 
 namespace deepst {
 namespace nn {
 
 Tensor& Variable::grad() {
+  if (param_slot_ >= 0) {
+    GradShard* shard = ActiveGradShard();
+    if (shard != nullptr) {
+      return shard->Slot(static_cast<int>(param_slot_), value_);
+    }
+  }
   if (grad_.numel() == 0 && value_.numel() > 0) {
-    grad_ = Tensor::Zeros(value_.shape());
+    // ResetShapeLike keeps previously leased grad storage (cleared, not
+    // freed, by ResetForReuse), so recycled nodes re-grow their gradient
+    // without allocating.
+    grad_.ResetShapeLike(value_);
+    grad_.Fill(0.0f);
   }
   return grad_;
 }
 
 void Variable::ZeroGrad() {
   if (grad_.numel() > 0) grad_.Fill(0.0f);
+}
+
+void Variable::ResetForReuse(Tensor value, bool requires_grad) {
+  value_ = std::move(value);
+  // Empty the gradient (has_grad() -> false) but keep its shape/data
+  // capacity for the next backward pass.
+  static const Tensor kEmpty;
+  grad_.ResetShapeLike(kEmpty);
+  requires_grad_ = requires_grad;
+  parents_.clear();
+  backward_fn_ = nullptr;
 }
 
 void Variable::SetParents(std::vector<VarPtr> parents) {
@@ -28,6 +52,8 @@ void Variable::SetParents(std::vector<VarPtr> parents) {
 }
 
 VarPtr MakeVar(Tensor value, bool requires_grad) {
+  AutodiffArena* arena = ActiveArena();
+  if (arena != nullptr) return arena->Lease(std::move(value), requires_grad);
   return std::make_shared<Variable>(std::move(value), requires_grad);
 }
 
@@ -45,44 +71,79 @@ NoGradGuard::~NoGradGuard() { g_grad_enabled = prev_; }
 
 namespace {
 
+// Reused traversal scratch. Arena-pooled nodes carry a dense per-arena index
+// (one graph is always built inside a single arena, so the indices are
+// unique within a traversal) and are tracked by a flat stamp vector; the few
+// remaining heap nodes — parameters, model-owned constants, or every node on
+// the legacy non-arena path — fall back to a hash set. This keeps the hot
+// sharded-training traversal free of per-node hash allocations.
+struct TraversalScratch {
+  std::vector<std::pair<Variable*, size_t>> stack;
+  std::vector<Variable*> order;
+  std::vector<uint64_t> arena_stamps;
+  std::unordered_set<Variable*> heap_visited;
+  uint64_t traversal_id = 0;
+};
+
+thread_local TraversalScratch t_scratch;
+
+// Marks `v` visited for the current traversal; false if it already was.
+bool MarkVisited(Variable* v, TraversalScratch* s) {
+  const int64_t ai = v->arena_index();
+  if (ai >= 0) {
+    if (s->arena_stamps.size() <= static_cast<size_t>(ai)) {
+      s->arena_stamps.resize(static_cast<size_t>(ai) + 1, 0);
+    }
+    if (s->arena_stamps[static_cast<size_t>(ai)] == s->traversal_id) {
+      return false;
+    }
+    s->arena_stamps[static_cast<size_t>(ai)] = s->traversal_id;
+    return true;
+  }
+  return s->heap_visited.insert(v).second;
+}
+
 // Iterative post-order DFS producing a topological order (parents after
 // children in `order` means we can walk `order` backwards... here we emit
 // nodes so that each node appears after all nodes that depend on it when the
 // vector is traversed in reverse).
-void TopoSort(Variable* root, std::vector<Variable*>* order) {
-  std::unordered_set<Variable*> visited;
+void TopoSort(Variable* root, TraversalScratch* s) {
+  ++s->traversal_id;
+  s->stack.clear();
+  s->order.clear();
+  s->heap_visited.clear();
   // Each stack frame: (node, next parent index to visit).
-  std::vector<std::pair<Variable*, size_t>> stack;
-  stack.emplace_back(root, 0);
-  visited.insert(root);
-  while (!stack.empty()) {
-    auto& [node, idx] = stack.back();
+  s->stack.emplace_back(root, 0);
+  MarkVisited(root, s);
+  while (!s->stack.empty()) {
+    auto& [node, idx] = s->stack.back();
     if (idx < node->parents().size()) {
       Variable* parent = node->parents()[idx].get();
       ++idx;
-      if (parent->requires_grad() && !visited.count(parent)) {
-        visited.insert(parent);
-        stack.emplace_back(parent, 0);
+      if (parent->requires_grad() && MarkVisited(parent, s)) {
+        s->stack.emplace_back(parent, 0);
       }
     } else {
-      order->push_back(node);
-      stack.pop_back();
+      s->order.push_back(node);
+      s->stack.pop_back();
     }
   }
 }
 
 }  // namespace
 
-void Backward(const VarPtr& root) {
+void Backward(const VarPtr& root) { Backward(root, 1.0f); }
+
+void Backward(const VarPtr& root, float seed) {
   DEEPST_CHECK(root != nullptr);
   if (!root->requires_grad()) return;
-  std::vector<Variable*> order;
-  TopoSort(root.get(), &order);
-  // Seed the root gradient with ones.
-  root->grad().Fill(1.0f);
+  TraversalScratch* s = &t_scratch;
+  TopoSort(root.get(), s);
+  // Seed the root gradient.
+  root->grad().Fill(seed);
   // `order` is post-order: parents appear before their consumers, so iterate
   // in reverse to process consumers first.
-  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+  for (auto it = s->order.rbegin(); it != s->order.rend(); ++it) {
     (*it)->RunBackward();
   }
 }

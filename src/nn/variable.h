@@ -30,10 +30,30 @@ class Variable {
   Tensor& value() { return value_; }
   const Tensor& value() const { return value_; }
 
-  // Gradient tensor, lazily allocated with the value's shape.
+  // Gradient tensor, lazily allocated with the value's shape. For a
+  // parameter bound to a gradient slot (set_param_slot), a thread with an
+  // active GradShard (nn/arena.h) gets the shard's private slot tensor
+  // instead, so concurrent training shards accumulate without racing.
   Tensor& grad();
   bool has_grad() const { return grad_.numel() > 0; }
   void ZeroGrad();
+
+  // Gradient-slot binding for data-parallel training. -1 (the default)
+  // means grad() always resolves to this node's own gradient.
+  int64_t param_slot() const { return param_slot_; }
+  void set_param_slot(int64_t slot) { param_slot_ = slot; }
+
+  // Internal: dense per-arena node id (nn::AutodiffArena). Lets Backward's
+  // topological sort track visited arena nodes with a flat stamp vector
+  // instead of a hash set.
+  int64_t arena_index() const { return arena_index_; }
+  void set_arena_index(int64_t index) { arena_index_ = index; }
+
+  // Internal: re-initializes a pooled node as a fresh leaf holding `value`.
+  // The previous value/gradient storage, parents and backward closure are
+  // dropped (recycled into the active arena's pools). Keeps arena_index;
+  // never called on parameters, so param_slot stays -1.
+  void ResetForReuse(Tensor value, bool requires_grad);
 
   bool requires_grad() const { return requires_grad_; }
   void set_requires_grad(bool v) { requires_grad_ = v; }
@@ -54,6 +74,8 @@ class Variable {
   Tensor value_;
   Tensor grad_;
   bool requires_grad_;
+  int64_t param_slot_ = -1;
+  int64_t arena_index_ = -1;
   std::vector<VarPtr> parents_;
   std::function<void(Variable*)> backward_fn_;
 };
@@ -86,6 +108,11 @@ class NoGradGuard {
 // Root gradient is seeded with ones. Visits each reachable grad-requiring
 // node exactly once in reverse topological order.
 void Backward(const VarPtr& root);
+
+// Same, seeding the root gradient with `seed` instead of 1. The sharded
+// trainer seeds each shard's mean loss with (shard size / batch size), so
+// the per-shard gradients sum exactly to the batch-mean gradient.
+void Backward(const VarPtr& root, float seed);
 
 }  // namespace nn
 }  // namespace deepst

@@ -1,28 +1,44 @@
 #!/usr/bin/env bash
-# Gate on the graph-free inference engine's speedup and parity.
+# Gate on the graph-free inference engine's speedup + parity, and on the
+# data-parallel training engine's speedup + determinism.
 #
-#   tools/check_perf.sh [build-dir] [min-speedup]
+#   tools/check_perf.sh [build-dir] [min-speedup] [min-train-speedup]
 #
-# Builds bench_micro + inference_test, runs the inference sweep (which
-# writes <build-dir>/bench_out/BENCH_inference.json comparing the autodiff
-# graph path against the fast path over thread counts), asserts the fast
-# path's single-thread speedup on both timed workloads (ScoreRoute on a
-# 19-segment route, beam PredictRoute) is at least min-speedup (default 3),
-# and runs the parity/regression test suite. DEEPST_FAST=1 keeps the run
-# small; the speedup also holds at the full model size (docs/inference.md).
+# Inference: builds bench_micro + inference_test, runs the inference sweep
+# (which writes <build-dir>/bench_out/BENCH_inference.json comparing the
+# autodiff graph path against the fast path over thread counts), asserts
+# the fast path's single-thread speedup on both timed workloads (ScoreRoute
+# on a 19-segment route, beam PredictRoute) is at least min-speedup
+# (default 3), and runs the parity/regression test suite.
+#
+# Training: runs the training sweep (serial single-graph tape vs
+# micro-sharded on 1/2/4 threads -> BENCH_training.json), asserts sharded
+# runs trained bitwise identical parameters across thread counts, that
+# single-thread sharding overhead stays under 30%, and — on machines with
+# >= 4 cores, where wall-clock parallel speedup is physically possible —
+# that the 4-thread epoch speedup is at least min-train-speedup
+# (default 1.8).
+#
+# DEEPST_FAST=1 keeps the run small; the speedups also hold at the full
+# model size (docs/inference.md, docs/training-perf.md).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 MIN_SPEEDUP="${2:-3.0}"
+MIN_TRAIN_SPEEDUP="${3:-1.8}"
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build "$BUILD_DIR" -j"$(nproc)" --target bench_micro inference_test
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target bench_micro inference_test \
+  train_sharded_test
 
 export DEEPST_FAST=1
 
 echo "== inference sweep (graph vs fast, threads 1/2/4) =="
-"$BUILD_DIR"/bench/bench_micro --benchmark_filter='BM_InferenceSweep'
+# The benches write bench_out/ relative to their working directory; run them
+# from the build dir so the JSON lands where this script (and .gitignore)
+# expect it.
+(cd "$BUILD_DIR" && bench/bench_micro --benchmark_filter='BM_InferenceSweep')
 
 JSON="$BUILD_DIR/bench_out/BENCH_inference.json"
 [[ -f "$JSON" ]] || { echo "FAIL: $JSON not written" >&2; exit 1; }
@@ -42,7 +58,51 @@ for workload in score_route_len19 predict_route; do
 done
 [[ "$fail" == 0 ]] || exit 1
 
+echo "== training sweep (serial vs sharded, threads 1/2/4) =="
+(cd "$BUILD_DIR" && bench/bench_micro --benchmark_filter='BM_TrainingSweep')
+
+TRAIN_JSON="$BUILD_DIR/bench_out/BENCH_training.json"
+[[ -f "$TRAIN_JSON" ]] || { echo "FAIL: $TRAIN_JSON not written" >&2; exit 1; }
+
+bitwise=$(jq -r '.[0].bitwise_identical_params' "$TRAIN_JSON")
+if [[ "$bitwise" != "true" ]]; then
+  echo "FAIL: sharded training parameters differ across thread counts" >&2
+  exit 1
+fi
+echo "OK: sharded parameters bitwise identical across 1/2/4 threads"
+
+# Single-thread sharding overhead gate: sharding swaps kernel-level for
+# shard-level parallelism, so on one thread it must stay within 30% of the
+# single-graph tape (arena recycling keeps it close). Runs on any machine.
+overhead=$(jq -r '.[] | select(.mode == "sharded" and .threads == 1)
+                      | .speedup_vs_serial' "$TRAIN_JSON")
+ok=$(jq -n --argjson s "$overhead" '$s >= 0.7')
+if [[ "$ok" != "true" ]]; then
+  echo "FAIL: sharded 1-thread runs at ${overhead}x of serial (< 0.7x)" >&2
+  exit 1
+fi
+echo "OK: sharded 1-thread at ${overhead}x of serial (>= 0.7x)"
+
+# Wall-clock speedup gate: only meaningful where 4 workers can actually run
+# in parallel; on smaller machines report the number instead of gating on
+# the weather.
+cores=$(nproc)
+speedup4=$(jq -r '.[] | select(.mode == "sharded" and .threads == 4)
+                      | .speedup_vs_serial' "$TRAIN_JSON")
+if [[ "$cores" -ge 4 ]]; then
+  ok=$(jq -n --argjson s "$speedup4" --argjson min "$MIN_TRAIN_SPEEDUP" \
+       '$s >= $min')
+  if [[ "$ok" != "true" ]]; then
+    echo "FAIL: sharded 4-thread epoch speedup ${speedup4}x < ${MIN_TRAIN_SPEEDUP}x" >&2
+    exit 1
+  fi
+  echo "OK: sharded 4-thread epoch speedup ${speedup4}x >= ${MIN_TRAIN_SPEEDUP}x"
+else
+  echo "SKIP: 4-thread speedup gate (${cores} core(s) available; measured ${speedup4}x)"
+fi
+
 echo "== parity / regression tests =="
 "$BUILD_DIR"/tests/inference_test
+"$BUILD_DIR"/tests/train_sharded_test
 
 echo "OK: fast path >= ${MIN_SPEEDUP}x over the graph path and parity holds"

@@ -23,7 +23,8 @@ cmake -B "$BUILD_DIR" -S . \
   -DDEEPST_BUILD_BENCHES=OFF \
   -DDEEPST_BUILD_EXAMPLES=OFF
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
-  --target parallel_test trainer_test checkpoint_test inference_test
+  --target parallel_test trainer_test checkpoint_test inference_test \
+           train_sharded_test
 
 # halt_on_error makes a reported race/issue fail the script, not just print.
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
@@ -34,5 +35,6 @@ export DEEPST_FAST=1
 "$BUILD_DIR"/tests/trainer_test
 "$BUILD_DIR"/tests/checkpoint_test
 "$BUILD_DIR"/tests/inference_test
+"$BUILD_DIR"/tests/train_sharded_test
 
-echo "OK: ThreadPool/backend/checkpoint/inference tests clean under $SANITIZER sanitizer"
+echo "OK: ThreadPool/backend/checkpoint/inference/sharded-training tests clean under $SANITIZER sanitizer"
