@@ -13,17 +13,26 @@
 //   deepst_cli evaluate --data-dir data --model model.bin [--variant ...]
 //       [--max-trips N]
 //   deepst_cli predict --data-dir data --model model.bin --trip INDEX
-//       [--variant ...] [--map]
+//       [--variant ...] [--map] [--deadline-ms MS] [--strict]
 //   deepst_cli predict --data-dir data --model model.bin --queries FILE
-//       [--variant ...]
+//       [--variant ...] [--deadline-ms MS] [--strict]
 //     FILE holds one test-trip index per line ('#' comments and blank lines
 //     ignored); the model is loaded once and every query is predicted in
 //     sequence, with a per-query line and an aggregate summary.
+//     Prediction runs through the fault-tolerant serving layer
+//     (docs/robustness.md): --deadline-ms caps per-query beam-search wall
+//     time (best-so-far route, flagged degraded), --strict turns graceful
+//     degradations (missing traffic, unresolvable destination) into errors.
 //   deepst_cli recover --data-dir data --model model.bin --trip INDEX
 //       [--interval-s SECONDS]
 //
 // Every command accepts `--threads N` (default 1): compute threads for the
 // nn backend. Results are identical for every N; see docs/parallelism.md.
+//
+// Fault injection (tools/check_fault.sh, docs/robustness.md): `--faults
+// SPEC` or the DEEPST_FAULTS environment variable arms deterministic fault
+// points before the command runs. SPEC is a comma-separated list of
+// point:kind[@after][xcount], e.g. `roadnet.load:io_error`.
 //
 // `generate` writes network.bin + dataset.bin (+ CSV exports); the other
 // commands load them, so experiments are reproducible without regenerating.
@@ -37,6 +46,7 @@
 
 #include "baselines/mmi.h"
 #include "baselines/neural_router.h"
+#include "core/serving.h"
 #include "core/trainer.h"
 #include "eval/metrics.h"
 #include "eval/world.h"
@@ -48,6 +58,7 @@
 #include "traj/dataset.h"
 #include "traj/io.h"
 #include "traj/segment_stats.h"
+#include "util/fault_injector.h"
 #include "util/flags.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
@@ -95,6 +106,9 @@ util::StatusOr<LoadedData> LoadData(const util::Flags& flags) {
   auto records = traj::LoadDataset(dir + "/dataset.bin");
   if (!records.ok()) return records.status();
   data.records = std::move(records).value();
+  // The two files load independently; cross-check the dataset's segment
+  // references against the network it will actually be used with.
+  DEEPST_RETURN_IF_ERROR(traj::ValidateDataset(data.records, *data.net));
 
   auto train_days = flags.GetInt("train-days", 12);
   if (!train_days.ok()) return train_days.status();
@@ -271,9 +285,19 @@ int CmdEvaluate(const util::Flags& flags) {
   return 0;
 }
 
+util::StatusOr<core::ServingConfig> ServingConfigFromFlags(
+    const util::Flags& flags) {
+  core::ServingConfig scfg;
+  auto deadline = flags.GetDouble("deadline-ms", 0.0);
+  if (!deadline.ok()) return deadline.status();
+  scfg.deadline_ms = deadline.value();
+  scfg.strict = flags.GetBool("strict");
+  return scfg;
+}
+
 // Batch prediction: one model load amortized over a file of test-trip
 // indices. Each line prints the query's accuracy; the footer aggregates.
-int PredictBatch(const LoadedData& data, core::DeepSTModel* model,
+int PredictBatch(const LoadedData& data, core::ServingContext* serving,
                  const std::string& queries_path) {
   std::ifstream in(queries_path);
   if (!in) {
@@ -301,17 +325,23 @@ int PredictBatch(const LoadedData& data, core::DeepSTModel* model,
     return Fail(util::Status::InvalidArgument(
         "no trip indices in '" + queries_path + "'"));
   }
-  util::Rng rng(7);
   util::Stopwatch watch;
   eval::MetricAccumulator acc;
   for (size_t idx : indices) {
     const auto* rec = test[idx];
     core::RouteQuery query = eval::QueryFor(rec->trip);
-    auto route = model->PredictRoute(query, &rng);
+    auto result = serving->Predict(query);
+    if (!result.ok()) return Fail(result.status());
+    const traj::Route& route = result.value().route;
     acc.Add(rec->trip.route, route);
-    std::printf("trip %4zu: truth %2zu predicted %2zu accuracy %.3f\n", idx,
-                rec->trip.route.size(), route.size(),
-                eval::Accuracy(rec->trip.route, route));
+    std::printf("trip %4zu: truth %2zu predicted %2zu accuracy %.3f%s%s\n",
+                idx, rec->trip.route.size(), route.size(),
+                eval::Accuracy(rec->trip.route, route),
+                result.value().degraded ? " degraded: " : "",
+                result.value().degraded
+                    ? core::DegradationsToString(result.value().degradations)
+                          .c_str()
+                    : "");
   }
   const double seconds = watch.ElapsedSeconds();
   std::printf("queries: %zu\nrecall@n: %.3f\naccuracy: %.3f\n"
@@ -326,9 +356,13 @@ int CmdPredict(const util::Flags& flags) {
   if (!data.ok()) return Fail(data.status());
   auto model = LoadModel(flags, data.value());
   if (!model.ok()) return Fail(model.status());
+  auto scfg = ServingConfigFromFlags(flags);
+  if (!scfg.ok()) return Fail(scfg.status());
+  core::ServingContext serving(model.value().get(),
+                               data.value().index.get(), scfg.value());
   const std::string queries_path = flags.GetString("queries");
   if (!queries_path.empty()) {
-    return PredictBatch(data.value(), model.value().get(), queries_path);
+    return PredictBatch(data.value(), &serving, queries_path);
   }
   auto trip_index = flags.GetInt("trip", 0);
   if (!trip_index.ok()) return Fail(trip_index.status());
@@ -337,8 +371,9 @@ int CmdPredict(const util::Flags& flags) {
   const auto* rec =
       test[static_cast<size_t>(trip_index.value()) % test.size()];
   core::RouteQuery query = eval::QueryFor(rec->trip);
-  util::Rng rng(7);
-  auto route = model.value()->PredictRoute(query, &rng);
+  auto result = serving.Predict(query);
+  if (!result.ok()) return Fail(result.status());
+  const traj::Route& route = result.value().route;
   std::printf("query: origin %d -> (%.0f, %.0f) at t=%.0fs\n", query.origin,
               query.destination.x, query.destination.y, query.start_time_s);
   std::printf("truth    (%2zu):", rec->trip.route.size());
@@ -347,6 +382,11 @@ int CmdPredict(const util::Flags& flags) {
   for (auto s : route) std::printf(" %d", s);
   std::printf("\naccuracy: %.3f\n",
               eval::Accuracy(rec->trip.route, route));
+  if (result.value().degraded) {
+    std::printf("degraded: %s\n",
+                core::DegradationsToString(result.value().degradations)
+                    .c_str());
+  }
   if (flags.GetBool("map")) {
     traj::AsciiMap map(*data.value().net, 22, 46);
     map.DrawNetwork();
@@ -397,6 +437,18 @@ int Main(int argc, const char* const* argv) {
   auto threads = flags.value().GetInt("threads", 1);
   if (!threads.ok()) return Fail(threads.status());
   nn::SetBackendThreads(static_cast<int>(threads.value()));
+  // Deterministic fault injection for robustness testing: both channels arm
+  // the same process-wide injector (the flag wins on conflicting points).
+  if (const char* env = std::getenv("DEEPST_FAULTS");
+      env != nullptr && env[0] != '\0') {
+    util::Status s = util::FaultInjector::Instance().ArmFromSpec(env);
+    if (!s.ok()) return Fail(s);
+  }
+  const std::string faults = flags.value().GetString("faults");
+  if (!faults.empty()) {
+    util::Status s = util::FaultInjector::Instance().ArmFromSpec(faults);
+    if (!s.ok()) return Fail(s);
+  }
   const std::string command = argv[1];
   if (command == "generate") return CmdGenerate(flags.value());
   if (command == "train") return CmdTrain(flags.value());

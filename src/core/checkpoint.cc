@@ -12,6 +12,7 @@
 #include <sstream>
 
 #include "util/crc32.h"
+#include "util/fault_injector.h"
 #include "util/logging.h"
 
 namespace deepst {
@@ -218,6 +219,7 @@ util::Status MakeDirs(const std::string& dir) {
 
 util::Status SaveTrainingCheckpoint(const TrainingCheckpoint& ckpt,
                                     const std::string& path) {
+  DEEPST_RETURN_IF_ERROR(util::CheckFaultPoint("checkpoint.save"));
   std::ostringstream buf(std::ios::binary);
   WritePod(buf, kCkptMagic);
   WritePod(buf, kCkptVersion);
@@ -230,6 +232,7 @@ util::Status SaveTrainingCheckpoint(const TrainingCheckpoint& ckpt,
 
 util::StatusOr<TrainingCheckpoint> LoadTrainingCheckpoint(
     const std::string& path) {
+  DEEPST_RETURN_IF_ERROR(util::CheckFaultPoint("checkpoint.load"));
   std::ifstream in(path, std::ios::binary);
   if (!in.is_open()) return util::Status::NotFound("cannot open " + path);
   std::ostringstream raw;

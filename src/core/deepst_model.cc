@@ -9,6 +9,8 @@
 #include "core/infer/session.h"
 #include "nn/backend.h"
 #include "nn/ops.h"
+#include "util/fault_injector.h"
+#include "util/stopwatch.h"
 
 namespace deepst {
 namespace core {
@@ -110,7 +112,16 @@ class DeepSTModel::SessionLease {
  public:
   explicit SessionLease(DeepSTModel* model)
       : model_(model), session_(model->AcquireSession()) {}
-  ~SessionLease() { model_->ReleaseSession(std::move(session_)); }
+  ~SessionLease() {
+    // Leases unwind through query failures (the serving layer converts the
+    // exception to a Status), so the destructor must neither leak the slot
+    // nor throw during unwind. If returning the session fails (pool
+    // push_back allocation), drop it: a fresh one is created on demand.
+    try {
+      model_->ReleaseSession(std::move(session_));
+    } catch (...) {
+    }
+  }
   SessionLease(const SessionLease&) = delete;
   SessionLease& operator=(const SessionLease&) = delete;
   infer::InferenceSession* operator->() { return session_.get(); }
@@ -387,6 +398,55 @@ PredictionContext DeepSTModel::MakeContext(const RouteQuery& query,
   return out;
 }
 
+PredictionContext DeepSTModel::MakeContext(const RouteQuery& query,
+                                           util::Rng* rng,
+                                           const ContextOptions& options) {
+  const bool drop_traffic = options.traffic_prior_mean && config_.use_traffic;
+  const bool uniform =
+      options.uniform_proxy &&
+      config_.destination_mode == DestinationMode::kProxies;
+  if (!drop_traffic && !uniform) return MakeContext(query, rng);
+
+  nn::NoGradGuard no_grad;
+  // The destination and traffic parts of the context are independent (the
+  // proxy term depends only on the destination, the traffic term only on
+  // the start time), so the regular path computes whatever is not being
+  // overridden. When the destination is the unusable input, it must never
+  // reach the proxy encoder -- run the regular path on a safe placeholder
+  // and overwrite its destination outputs below.
+  RouteQuery safe = query;
+  if (uniform) {
+    const geo::BoundingBox& box = net_.bounds();
+    safe.destination = geo::Point{(box.min.x + box.max.x) * 0.5,
+                                  (box.min.y + box.max.y) * 0.5};
+  }
+  PredictionContext out = MakeContext(safe, rng);
+  out.destination = query.destination;
+
+  if (drop_traffic) {
+    // Prior-mean substitution: c is a standard-normal latent, so its prior
+    // mean is the zero vector; gamma has no bias, so gamma(0) == 0 exactly
+    // and the logit term vanishes -- bitwise DeepST-C behavior. The tensors
+    // keep their shapes (the GRU input width includes traffic_dim).
+    out.has_traffic = true;
+    out.traffic_repr = nn::Tensor::Zeros({1, config_.traffic_dim});
+    out.traffic_term = nn::Tensor::Zeros({1, net_.MaxOutDegree()});
+  }
+  if (uniform) {
+    // Uniform proxy mixture: pi = 1/K over all proxies, embedded through the
+    // learned W so the representation stays on the trained manifold.
+    const int k = proxy_->num_proxies();
+    nn::Tensor pi({1, k});
+    const float w = 1.0f / static_cast<float>(k);
+    for (int i = 0; i < k; ++i) pi[i] = w;
+    nn::VarPtr repr = proxy_->Embed(nn::Constant(pi));
+    out.has_dest = true;
+    out.dest_repr = repr->value();
+    out.dest_term = beta_->Forward(repr)->value();
+  }
+  return out;
+}
+
 double ValidSlotLogProb(const float* logits_row, int num_valid, int slot) {
   DEEPST_CHECK(slot >= 0 && slot < num_valid);
   double mx = logits_row[0];
@@ -422,8 +482,12 @@ struct Beam {
 
 traj::Route DeepSTModel::PredictRouteBeamReference(const PredictionContext& ctx,
                                                    SegmentId origin,
-                                                   util::Rng* rng) {
+                                                   util::Rng* rng,
+                                                   double deadline_ms,
+                                                   bool* budget_hit) {
   nn::NoGradGuard no_grad;
+  if (budget_hit != nullptr) *budget_hit = false;
+  util::Stopwatch deadline_sw;
   const int width = config_.beam_width;
   nn::VarPtr dest_term =
       ctx.has_dest ? nn::Constant(ctx.dest_term) : nullptr;
@@ -505,6 +569,13 @@ traj::Route DeepSTModel::PredictRouteBeamReference(const PredictionContext& ctx,
     const bool all_done = std::all_of(beams.begin(), beams.end(),
                                       [](const Beam& b) { return b.done; });
     if (all_done) break;
+    // Deadline budget: checked only between completed expansion steps, so
+    // at least one step always runs and the returned route is always a
+    // valid (possibly short) hypothesis.
+    if (deadline_ms > 0.0 && deadline_sw.ElapsedMillis() >= deadline_ms) {
+      if (budget_hit != nullptr) *budget_hit = true;
+      break;
+    }
   }
   // Prefer completed hypotheses.
   const Beam* best = nullptr;
@@ -679,22 +750,28 @@ traj::Route DeepSTModel::PredictRoute(const PredictionContext& ctx,
                                       SegmentId origin, util::Rng* rng) {
   if (config_.graph_inference) return PredictRouteReference(ctx, origin, rng);
   SessionLease session(this);
+  util::ThrowIfFaultPoint("infer.query");
   return session->PredictRoute(ctx, origin, rng);
 }
 
 traj::Route DeepSTModel::PredictRouteBeam(const PredictionContext& ctx,
-                                          SegmentId origin, util::Rng* rng) {
+                                          SegmentId origin, util::Rng* rng,
+                                          double deadline_ms,
+                                          bool* budget_hit) {
   if (config_.graph_inference) {
-    return PredictRouteBeamReference(ctx, origin, rng);
+    return PredictRouteBeamReference(ctx, origin, rng, deadline_ms,
+                                     budget_hit);
   }
   SessionLease session(this);
-  return session->PredictRouteBeam(ctx, origin, rng);
+  util::ThrowIfFaultPoint("infer.query");
+  return session->PredictRouteBeam(ctx, origin, rng, deadline_ms, budget_hit);
 }
 
 double DeepSTModel::ScoreRoute(const PredictionContext& ctx,
                                const traj::Route& route) {
   if (config_.graph_inference) return ScoreRouteReference(ctx, route);
   SessionLease session(this);
+  util::ThrowIfFaultPoint("infer.query");
   return session->ScoreRoute(ctx, route);
 }
 
@@ -709,6 +786,7 @@ std::vector<double> DeepSTModel::ScoreRoutes(
     return scores;
   }
   SessionLease session(this);
+  util::ThrowIfFaultPoint("infer.query");
   return session->ScoreRoutes(ctx, routes);
 }
 
@@ -719,6 +797,7 @@ double DeepSTModel::ScoreContinuation(const PredictionContext& ctx,
     return ScoreContinuationReference(ctx, prefix, continuation);
   }
   SessionLease session(this);
+  util::ThrowIfFaultPoint("infer.query");
   return session->ScoreContinuation(ctx, prefix, continuation);
 }
 
@@ -734,6 +813,7 @@ std::vector<double> DeepSTModel::ScoreContinuations(
     return scores;
   }
   SessionLease session(this);
+  util::ThrowIfFaultPoint("infer.query");
   return session->ScoreContinuations(ctx, prefix, candidates);
 }
 

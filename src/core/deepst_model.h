@@ -31,6 +31,23 @@ struct RouteQuery {
   geo::Point destination;
   double start_time_s = 0.0;
   roadnet::SegmentId final_segment = roadnet::kInvalidSegment;
+  // Point-based origin for queries that arrive as raw coordinates: when
+  // `origin` is kInvalidSegment and this is set, the serving layer snaps to
+  // the nearest segment via the spatial index.
+  bool has_origin_point = false;
+  geo::Point origin_point;
+};
+
+// Degraded-context switches consumed by the MakeContext overload. Each
+// substitutes a well-defined prior for an unavailable input, reproducing the
+// paper's ablations at serving time: traffic_prior_mean serves DeepST-C
+// behavior (c fixed at the standard-normal prior mean, exactly zero since
+// gamma has no bias), uniform_proxy serves the DeepST-pi uniform proxy
+// mixture (pi = 1/K) when the destination coordinate is unusable. Both are
+// deterministic: no rng draws, bitwise reproducible.
+struct ContextOptions {
+  bool traffic_prior_mean = false;
+  bool uniform_proxy = false;
 };
 
 // Loss diagnostics for one minibatch (per-trip averages).
@@ -85,14 +102,23 @@ class DeepSTModel : public nn::Module {
   // prediction/scoring entry points are safe to call concurrently: each call
   // leases a scratch session from a mutex-guarded pool.
   PredictionContext MakeContext(const RouteQuery& query, util::Rng* rng);
+  // Degraded-context variant: substitutes priors for the inputs flagged in
+  // `options` (see ContextOptions) and computes the rest normally.
+  PredictionContext MakeContext(const RouteQuery& query, util::Rng* rng,
+                                const ContextOptions& options);
   // Most-likely-route generation: beam search of config.beam_width when
   // map_prediction (greedy when beam_width == 1), sampled per Algorithm 2
   // otherwise.
   traj::Route PredictRoute(const PredictionContext& ctx,
                            roadnet::SegmentId origin, util::Rng* rng);
-  // Explicit beam-search variant.
+  // Explicit beam-search variant. A positive `deadline_ms` caps wall time:
+  // the search always completes at least one expansion step, checks the
+  // clock between steps, and returns the best hypothesis so far when the
+  // budget runs out (setting *budget_hit when provided).
   traj::Route PredictRouteBeam(const PredictionContext& ctx,
-                               roadnet::SegmentId origin, util::Rng* rng);
+                               roadnet::SegmentId origin, util::Rng* rng,
+                               double deadline_ms = 0.0,
+                               bool* budget_hit = nullptr);
   traj::Route PredictRoute(const RouteQuery& query, util::Rng* rng);
 
   // -- Route likelihood score (Section IV-E) -------------------------------------
@@ -130,7 +156,9 @@ class DeepSTModel : public nn::Module {
                                     util::Rng* rng);
   traj::Route PredictRouteBeamReference(const PredictionContext& ctx,
                                         roadnet::SegmentId origin,
-                                        util::Rng* rng);
+                                        util::Rng* rng,
+                                        double deadline_ms = 0.0,
+                                        bool* budget_hit = nullptr);
   double ScoreRouteReference(const PredictionContext& ctx,
                              const traj::Route& route);
   double ScoreContinuationReference(const PredictionContext& ctx,
@@ -140,6 +168,10 @@ class DeepSTModel : public nn::Module {
   const DeepSTConfig& config() const { return config_; }
   const roadnet::RoadNetwork& network() const { return net_; }
   DestinationProxyModel* proxy_model() { return proxy_.get(); }
+  // Traffic cache backing MakeContext (null when !config.use_traffic). The
+  // serving layer reads its staleness signals to pick between live traffic
+  // and the prior-mean fallback.
+  traffic::TrafficTensorCache* traffic_cache() { return traffic_cache_; }
 
   // Raw-weight views consumed by the graph-free engine (core/infer).
   const nn::EmbeddingLayer& segment_embedding() const { return *segment_emb_; }

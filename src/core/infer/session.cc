@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "util/check.h"
+#include "util/stopwatch.h"
 
 namespace deepst {
 namespace core {
@@ -209,7 +210,11 @@ void InferenceSession::CopyHyp(const Hyp& src, Hyp* dst) {
 
 traj::Route InferenceSession::PredictRouteBeam(const PredictionContext& ctx,
                                                SegmentId origin,
-                                               util::Rng* rng) {
+                                               util::Rng* rng,
+                                               double deadline_ms,
+                                               bool* budget_hit) {
+  if (budget_hit != nullptr) *budget_hit = false;
+  util::Stopwatch deadline_sw;
   const int width = std::max(config_.beam_width, 1);
   const int64_t hd = gru_.hidden_dim;
   PrepareContext(ctx);
@@ -337,6 +342,13 @@ traj::Route InferenceSession::PredictRouteBeam(const PredictionContext& ctx,
       if (!beams_[static_cast<size_t>(i)].done) all_done = false;
     }
     if (all_done) break;
+    // Deadline budget: checked only between completed expansion steps (same
+    // rule as the reference path), so at least one step always runs and the
+    // result is the best full hypothesis so far.
+    if (deadline_ms > 0.0 && deadline_sw.ElapsedMillis() >= deadline_ms) {
+      if (budget_hit != nullptr) *budget_hit = true;
+      break;
+    }
   }
 
   // Prefer completed hypotheses.

@@ -39,7 +39,9 @@ class InferenceSession {
   traj::Route PredictRoute(const PredictionContext& ctx,
                            roadnet::SegmentId origin, util::Rng* rng);
   traj::Route PredictRouteBeam(const PredictionContext& ctx,
-                               roadnet::SegmentId origin, util::Rng* rng);
+                               roadnet::SegmentId origin, util::Rng* rng,
+                               double deadline_ms = 0.0,
+                               bool* budget_hit = nullptr);
   double ScoreRoute(const PredictionContext& ctx, const traj::Route& route);
   double ScoreContinuation(const PredictionContext& ctx,
                            const traj::Route& prefix,

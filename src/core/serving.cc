@@ -1,0 +1,200 @@
+#include "core/serving.h"
+
+#include <cmath>
+#include <exception>
+
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace deepst {
+namespace core {
+
+namespace {
+
+bool OutsideWithSlack(const geo::BoundingBox& box, const geo::Point& p,
+                      double slack_m) {
+  return p.x < box.min.x - slack_m || p.x > box.max.x + slack_m ||
+         p.y < box.min.y - slack_m || p.y > box.max.y + slack_m;
+}
+
+}  // namespace
+
+std::string DegradationsToString(uint8_t degradations) {
+  if (degradations == kDegradationNone) return "none";
+  std::string out;
+  auto append = [&out](const char* name) {
+    if (!out.empty()) out += "+";
+    out += name;
+  };
+  if (degradations & kDegradationTrafficPriorMean) append("traffic_prior_mean");
+  if (degradations & kDegradationUniformProxy) append("uniform_proxy");
+  if (degradations & kDegradationSnappedOrigin) append("snapped_origin");
+  if (degradations & kDegradationDeadlineBudget) append("deadline_budget");
+  return out;
+}
+
+ServingContext::ServingContext(DeepSTModel* model,
+                               const roadnet::SpatialIndex* index,
+                               const ServingConfig& config)
+    : model_(model), index_(index), config_(config) {}
+
+util::Status ServingContext::ResolveQuery(RouteQuery* query,
+                                          bool origin_required,
+                                          ContextOptions* options,
+                                          uint8_t* degradations) {
+  const roadnet::RoadNetwork& net = model_->network();
+  const DeepSTConfig& mc = model_->config();
+
+  // -- Snapshot window ---------------------------------------------------------
+  if (!std::isfinite(query->start_time_s) || query->start_time_s < 0.0) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "start_time_s %f is not a sane snapshot time", query->start_time_s));
+  }
+
+  // -- Origin ------------------------------------------------------------------
+  if (query->origin == roadnet::kInvalidSegment && query->has_origin_point) {
+    if (!std::isfinite(query->origin_point.x) ||
+        !std::isfinite(query->origin_point.y)) {
+      return util::Status::InvalidArgument("origin point is not finite");
+    }
+    if (config_.strict) {
+      return util::Status::FailedPrecondition(
+          "origin is not a network segment; strict mode refuses to snap");
+    }
+    const roadnet::SegmentCandidate snap = index_->Nearest(query->origin_point);
+    if (snap.segment == roadnet::kInvalidSegment ||
+        snap.projection.distance > config_.origin_snap_radius_m) {
+      return util::Status::NotFound(util::StrFormat(
+          "no segment within %.0f m of origin point (%.1f, %.1f)",
+          config_.origin_snap_radius_m, query->origin_point.x,
+          query->origin_point.y));
+    }
+    query->origin = snap.segment;
+    *degradations |= kDegradationSnappedOrigin;
+  }
+  if (origin_required &&
+      (query->origin < 0 || query->origin >= net.num_segments())) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "origin segment %d out of range (network has %d segments)",
+        static_cast<int>(query->origin), net.num_segments()));
+  }
+
+  // -- Destination -------------------------------------------------------------
+  if (mc.destination_mode == DestinationMode::kProxies) {
+    if (!std::isfinite(query->destination.x) ||
+        !std::isfinite(query->destination.y)) {
+      return util::Status::InvalidArgument("destination is not finite");
+    }
+    if (OutsideWithSlack(net.bounds(), query->destination,
+                         config_.bounds_slack_m)) {
+      if (config_.strict) {
+        return util::Status::FailedPrecondition(util::StrFormat(
+            "destination (%.1f, %.1f) outside the network; strict mode "
+            "refuses the uniform-proxy fallback",
+            query->destination.x, query->destination.y));
+      }
+      options->uniform_proxy = true;
+      *degradations |= kDegradationUniformProxy;
+    }
+  } else if (mc.destination_mode == DestinationMode::kFinalSegment) {
+    if (query->final_segment < 0 ||
+        query->final_segment >= net.num_segments()) {
+      return util::Status::InvalidArgument(util::StrFormat(
+          "final_segment %d out of range (kFinalSegment mode requires a "
+          "valid final segment)",
+          static_cast<int>(query->final_segment)));
+    }
+  }
+
+  // -- Traffic snapshot --------------------------------------------------------
+  if (mc.use_traffic) {
+    traffic::TrafficTensorCache* cache = model_->traffic_cache();
+    const bool missing = !cache->HasObservations(query->start_time_s);
+    const bool stale =
+        query->start_time_s - cache->latest_observation_time() >
+        config_.max_snapshot_age_s;
+    if (missing || stale) {
+      if (config_.strict) {
+        return util::Status::FailedPrecondition(util::StrFormat(
+            "traffic snapshot %s for t=%.0f; strict mode refuses the "
+            "prior-mean fallback",
+            missing ? "missing" : "stale", query->start_time_s));
+      }
+      options->traffic_prior_mean = true;
+      *degradations |= kDegradationTrafficPriorMean;
+    }
+  }
+  return util::Status::Ok();
+}
+
+util::StatusOr<ServingResult> ServingContext::Predict(const RouteQuery& query) {
+  util::Stopwatch sw;
+  ServingResult result;
+  RouteQuery resolved = query;
+  ContextOptions options;
+  DEEPST_RETURN_IF_ERROR(ResolveQuery(&resolved, /*origin_required=*/true,
+                                      &options, &result.degradations));
+  // Everything past this point runs model code that may throw (injected
+  // query faults, allocation failure); convert to Status so a single bad
+  // query can never take the process down.
+  try {
+    util::Rng rng(config_.rng_seed);
+    PredictionContext ctx = model_->MakeContext(resolved, &rng, options);
+    if (config_.deadline_ms > 0.0 && model_->config().map_prediction) {
+      bool budget_hit = false;
+      result.route = model_->PredictRouteBeam(ctx, resolved.origin, &rng,
+                                              config_.deadline_ms,
+                                              &budget_hit);
+      if (budget_hit) result.degradations |= kDegradationDeadlineBudget;
+    } else {
+      result.route = model_->PredictRoute(ctx, resolved.origin, &rng);
+    }
+  } catch (const std::exception& e) {
+    return util::Status::Internal(
+        util::StrFormat("query execution failed: %s", e.what()));
+  }
+  result.degraded = result.degradations != kDegradationNone;
+  result.latency_ms = sw.ElapsedMillis();
+  return result;
+}
+
+util::StatusOr<ServingResult> ServingContext::ScoreRoute(
+    const RouteQuery& query, const traj::Route& route) {
+  util::Stopwatch sw;
+  const roadnet::RoadNetwork& net = model_->network();
+  if (route.empty()) {
+    return util::Status::InvalidArgument("route is empty");
+  }
+  for (roadnet::SegmentId s : route) {
+    if (s < 0 || s >= net.num_segments()) {
+      return util::Status::InvalidArgument(util::StrFormat(
+          "route references segment %d out of range", static_cast<int>(s)));
+    }
+  }
+  ServingResult result;
+  RouteQuery resolved = query;
+  // Scoring does not generate from the origin; default it to the route head
+  // so callers can score without resolving one.
+  if (resolved.origin == roadnet::kInvalidSegment &&
+      !resolved.has_origin_point) {
+    resolved.origin = route.front();
+  }
+  ContextOptions options;
+  DEEPST_RETURN_IF_ERROR(ResolveQuery(&resolved, /*origin_required=*/false,
+                                      &options, &result.degradations));
+  try {
+    util::Rng rng(config_.rng_seed);
+    PredictionContext ctx = model_->MakeContext(resolved, &rng, options);
+    result.score = model_->ScoreRoute(ctx, route);
+  } catch (const std::exception& e) {
+    return util::Status::Internal(
+        util::StrFormat("query execution failed: %s", e.what()));
+  }
+  result.degraded = result.degradations != kDegradationNone;
+  result.latency_ms = sw.ElapsedMillis();
+  return result;
+}
+
+}  // namespace core
+}  // namespace deepst

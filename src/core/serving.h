@@ -1,0 +1,104 @@
+#ifndef DEEPST_CORE_SERVING_H_
+#define DEEPST_CORE_SERVING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/deepst_model.h"
+#include "roadnet/spatial_index.h"
+#include "util/status.h"
+
+namespace deepst {
+namespace core {
+
+// Ways a query can be served with reduced fidelity instead of failing.
+// Values are bitmask flags (a query can degrade along several axes at once).
+enum Degradation : uint8_t {
+  kDegradationNone = 0,
+  // Missing or stale traffic snapshot: c fixed at the prior mean (zero),
+  // which is exactly the paper's DeepST-C ablation at serving time.
+  kDegradationTrafficPriorMean = 1 << 0,
+  // Unresolvable destination proxy (destination far outside the network):
+  // uniform proxy mixture pi = 1/K, the DeepST-pi fallback.
+  kDegradationUniformProxy = 1 << 1,
+  // Off-network point origin snapped to the nearest segment.
+  kDegradationSnappedOrigin = 1 << 2,
+  // Beam search returned the best hypothesis so far at the deadline.
+  kDegradationDeadlineBudget = 1 << 3,
+};
+
+struct ServingConfig {
+  // Strict mode refuses model-quality fallbacks (traffic prior mean,
+  // uniform proxy, origin snapping) with FailedPrecondition instead of
+  // degrading. The deadline budget is exempt: it is explicit per-query
+  // configuration, and its best-so-far result is still reported degraded.
+  bool strict = false;
+  // Wall-clock budget for route generation; 0 disables the deadline.
+  double deadline_ms = 0.0;
+  // Traffic snapshots older than this relative to the query time count as
+  // stale and trigger the prior-mean fallback.
+  double max_snapshot_age_s = 3600.0;
+  // A destination may lie this far outside the network bounding box before
+  // the proxy encoder is considered unresolvable.
+  double bounds_slack_m = 2000.0;
+  // Point origins farther than this from any segment are rejected.
+  double origin_snap_radius_m = 500.0;
+  // Seed for the per-query rng; with the default MAP-prediction config no
+  // draws occur and results are bitwise reproducible regardless.
+  uint64_t rng_seed = 0x5eed;
+};
+
+struct ServingResult {
+  traj::Route route;        // Predict only
+  double score = 0.0;       // ScoreRoute only (log-likelihood)
+  bool degraded = false;
+  uint8_t degradations = kDegradationNone;  // bitmask of Degradation
+  double latency_ms = 0.0;
+};
+
+// Human-readable names of the set bits, for logs and CLI output.
+std::string DegradationsToString(uint8_t degradations);
+
+// Hardened front door for prediction and scoring. Validates every query
+// field against the network before the model sees it (the model layer
+// DEEPST_CHECKs its preconditions and must never be reached with bad
+// input), substitutes well-defined priors for unavailable context inputs,
+// and converts in-flight query failures (injected or real) into Status
+// instead of letting them escape. Thread-safe: all state is const after
+// construction and the model's own prediction API is concurrency-safe.
+class ServingContext {
+ public:
+  // `model` and `index` must outlive the context; `index` must be built
+  // over `model->network()`.
+  ServingContext(DeepSTModel* model, const roadnet::SpatialIndex* index,
+                 const ServingConfig& config = {});
+
+  // Route generation for one query. Non-OK only for invalid queries (bad
+  // ids, non-finite fields), strict-mode refusals, or query execution
+  // failures; degradable conditions come back OK with flags set.
+  util::StatusOr<ServingResult> Predict(const RouteQuery& query);
+
+  // Log-likelihood of `route` under the query's context. Routes with
+  // out-of-range segment ids are invalid queries; contiguity failures score
+  // -inf (a well-defined likelihood statement, not an error).
+  util::StatusOr<ServingResult> ScoreRoute(const RouteQuery& query,
+                                           const traj::Route& route);
+
+  const ServingConfig& config() const { return config_; }
+
+ private:
+  // Validates and resolves the query in place (origin snapping), collecting
+  // degradation flags and the context fallbacks to apply.
+  util::Status ResolveQuery(RouteQuery* query, bool origin_required,
+                            ContextOptions* options, uint8_t* degradations);
+
+  DeepSTModel* model_;
+  const roadnet::SpatialIndex* index_;
+  ServingConfig config_;
+};
+
+}  // namespace core
+}  // namespace deepst
+
+#endif  // DEEPST_CORE_SERVING_H_

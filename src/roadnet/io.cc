@@ -1,85 +1,66 @@
 #include "roadnet/io.h"
 
+#include <cmath>
 #include <cstdint>
 #include <fstream>
+#include <sstream>
+
+#include "geo/polyline.h"
+#include "util/byte_reader.h"
+#include "util/crc32.h"
+#include "util/fault_injector.h"
+#include "util/string_util.h"
 
 namespace deepst {
 namespace roadnet {
 namespace {
 
 constexpr uint32_t kMagic = 0x0AD2E701;
-constexpr uint32_t kVersion = 1;
+// v1: raw records. v2 appends a CRC32 footer over everything before it;
+// Load accepts both (v1 files predate the checksum).
+constexpr uint32_t kVersionLegacy = 1;
+constexpr uint32_t kVersion = 2;
+constexpr uint32_t kMaxPolylinePoints = 1u << 20;
 
 template <typename T>
-void WritePod(std::ofstream& out, const T& v) {
+void WritePod(std::ostream& out, const T& v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(v));
 }
 
-template <typename T>
-bool ReadPod(std::ifstream& in, T* v) {
-  in.read(reinterpret_cast<char*>(v), sizeof(*v));
-  return in.good();
-}
+// Per-record minimum sizes used to reject element counts that cannot fit in
+// the remaining bytes (bit-flipped counts must fail fast, not drive
+// gigabyte allocations).
+constexpr uint64_t kVertexBytes = 2 * sizeof(double);
+constexpr uint64_t kSegmentHeaderBytes = 2 * sizeof(VertexId) +
+                                         sizeof(double) + sizeof(uint8_t) +
+                                         sizeof(SegmentId) + sizeof(uint32_t);
+constexpr uint64_t kPointBytes = 2 * sizeof(double);
 
-}  // namespace
-
-util::Status SaveRoadNetwork(const RoadNetwork& net, const std::string& path) {
-  if (!net.finalized()) {
-    return util::Status::FailedPrecondition("network not finalized");
-  }
-  std::ofstream out(path, std::ios::binary);
-  if (!out.is_open()) return util::Status::IoError("cannot open " + path);
-  WritePod(out, kMagic);
-  WritePod(out, kVersion);
-  WritePod(out, static_cast<uint32_t>(net.num_vertices()));
-  for (VertexId v = 0; v < net.num_vertices(); ++v) {
-    WritePod(out, net.vertex(v).pos.x);
-    WritePod(out, net.vertex(v).pos.y);
-  }
-  WritePod(out, static_cast<uint32_t>(net.num_segments()));
-  for (SegmentId s = 0; s < net.num_segments(); ++s) {
-    const Segment& seg = net.segment(s);
-    WritePod(out, seg.from);
-    WritePod(out, seg.to);
-    WritePod(out, seg.speed_limit_mps);
-    WritePod(out, static_cast<uint8_t>(seg.road_class));
-    WritePod(out, seg.reverse);
-    WritePod(out, static_cast<uint32_t>(seg.polyline.size()));
-    for (const geo::Point& p : seg.polyline) {
-      WritePod(out, p.x);
-      WritePod(out, p.y);
-    }
-  }
-  if (!out.good()) return util::Status::IoError("write failed for " + path);
-  return util::Status::Ok();
-}
-
-util::StatusOr<std::unique_ptr<RoadNetwork>> LoadRoadNetwork(
-    const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in.is_open()) return util::Status::IoError("cannot open " + path);
-  uint32_t magic = 0, version = 0;
-  if (!ReadPod(in, &magic) || magic != kMagic) {
-    return util::Status::IoError("bad magic in " + path);
-  }
-  if (!ReadPod(in, &version) || version != kVersion) {
-    return util::Status::IoError("unsupported version in " + path);
-  }
-  auto net = std::make_unique<RoadNetwork>();
+util::Status ParseNetwork(util::ByteReader* in, RoadNetwork* net) {
   uint32_t num_vertices = 0;
-  if (!ReadPod(in, &num_vertices)) {
+  if (!in->Read(&num_vertices)) {
     return util::Status::IoError("truncated vertex count");
+  }
+  if (!in->CanHold(num_vertices, kVertexBytes)) {
+    return util::Status::IoError("vertex count exceeds file size");
   }
   for (uint32_t v = 0; v < num_vertices; ++v) {
     geo::Point p;
-    if (!ReadPod(in, &p.x) || !ReadPod(in, &p.y)) {
+    if (!in->Read(&p.x) || !in->Read(&p.y)) {
       return util::Status::IoError("truncated vertex");
+    }
+    if (!std::isfinite(p.x) || !std::isfinite(p.y)) {
+      return util::Status::InvalidArgument(
+          util::StrFormat("non-finite vertex %u coordinate", v));
     }
     net->AddVertex(p);
   }
   uint32_t num_segments = 0;
-  if (!ReadPod(in, &num_segments)) {
+  if (!in->Read(&num_segments)) {
     return util::Status::IoError("truncated segment count");
+  }
+  if (!in->CanHold(num_segments, kSegmentHeaderBytes)) {
+    return util::Status::IoError("segment count exceeds file size");
   }
   std::vector<SegmentId> reverse_of(num_segments, kInvalidSegment);
   for (uint32_t s = 0; s < num_segments; ++s) {
@@ -88,19 +69,53 @@ util::StatusOr<std::unique_ptr<RoadNetwork>> LoadRoadNetwork(
     uint8_t road_class = 0;
     SegmentId reverse = kInvalidSegment;
     uint32_t poly_len = 0;
-    if (!ReadPod(in, &from) || !ReadPod(in, &to) || !ReadPod(in, &speed) ||
-        !ReadPod(in, &road_class) || !ReadPod(in, &reverse) ||
-        !ReadPod(in, &poly_len)) {
+    if (!in->Read(&from) || !in->Read(&to) || !in->Read(&speed) ||
+        !in->Read(&road_class) || !in->Read(&reverse) ||
+        !in->Read(&poly_len)) {
       return util::Status::IoError("truncated segment header");
     }
-    if (poly_len < 2 || poly_len > 1u << 20) {
-      return util::Status::IoError("implausible polyline length");
+    // Referential and bounds validation up front: every construction call
+    // below DEEPST_CHECKs its preconditions, so a malformed record must be
+    // rejected here, before the abort sites are reachable.
+    if (from < 0 || from >= net->num_vertices() || to < 0 ||
+        to >= net->num_vertices()) {
+      return util::Status::InvalidArgument(
+          util::StrFormat("segment %u endpoint out of range (%d -> %d, %d "
+                          "vertices)",
+                          s, from, to, net->num_vertices()));
+    }
+    if (!std::isfinite(speed) || speed <= 0.0) {
+      return util::Status::InvalidArgument(
+          util::StrFormat("segment %u speed limit not positive", s));
+    }
+    if (road_class > static_cast<uint8_t>(RoadClass::kArterial)) {
+      return util::Status::InvalidArgument(
+          util::StrFormat("segment %u unknown road class %u", s, road_class));
+    }
+    if (reverse != kInvalidSegment &&
+        (reverse < 0 || static_cast<uint32_t>(reverse) >= num_segments)) {
+      return util::Status::InvalidArgument(
+          util::StrFormat("segment %u reverse link out of range", s));
+    }
+    if (poly_len < 2 || poly_len > kMaxPolylinePoints ||
+        !in->CanHold(poly_len, kPointBytes)) {
+      return util::Status::IoError(
+          util::StrFormat("segment %u implausible polyline length", s));
     }
     std::vector<geo::Point> polyline(poly_len);
     for (auto& p : polyline) {
-      if (!ReadPod(in, &p.x) || !ReadPod(in, &p.y)) {
+      if (!in->Read(&p.x) || !in->Read(&p.y)) {
         return util::Status::IoError("truncated polyline");
       }
+      if (!std::isfinite(p.x) || !std::isfinite(p.y)) {
+        return util::Status::InvalidArgument(
+            util::StrFormat("segment %u non-finite polyline point", s));
+      }
+    }
+    const double length_m = geo::PolylineLength(polyline);
+    if (!(length_m > 0.0)) {
+      return util::Status::InvalidArgument(
+          util::StrFormat("segment %u has zero-length polyline", s));
     }
     net->AddSegmentWithPolyline(from, to, std::move(polyline), speed,
                                 static_cast<RoadClass>(road_class));
@@ -109,13 +124,89 @@ util::StatusOr<std::unique_ptr<RoadNetwork>> LoadRoadNetwork(
   for (uint32_t s = 0; s < num_segments; ++s) {
     const SegmentId r = reverse_of[s];
     if (r != kInvalidSegment && r > static_cast<SegmentId>(s)) {
-      if (r >= static_cast<SegmentId>(num_segments)) {
-        return util::Status::IoError("reverse link out of range");
-      }
       net->LinkReverse(static_cast<SegmentId>(s), r);
     }
   }
   net->Finalize();
+  return util::Status::Ok();
+}
+
+}  // namespace
+
+util::Status SaveRoadNetwork(const RoadNetwork& net, const std::string& path) {
+  DEEPST_RETURN_IF_ERROR(util::CheckFaultPoint("roadnet.save"));
+  if (!net.finalized()) {
+    return util::Status::FailedPrecondition("network not finalized");
+  }
+  std::ostringstream buf(std::ios::binary);
+  WritePod(buf, kMagic);
+  WritePod(buf, kVersion);
+  WritePod(buf, static_cast<uint32_t>(net.num_vertices()));
+  for (VertexId v = 0; v < net.num_vertices(); ++v) {
+    WritePod(buf, net.vertex(v).pos.x);
+    WritePod(buf, net.vertex(v).pos.y);
+  }
+  WritePod(buf, static_cast<uint32_t>(net.num_segments()));
+  for (SegmentId s = 0; s < net.num_segments(); ++s) {
+    const Segment& seg = net.segment(s);
+    WritePod(buf, seg.from);
+    WritePod(buf, seg.to);
+    WritePod(buf, seg.speed_limit_mps);
+    WritePod(buf, static_cast<uint8_t>(seg.road_class));
+    WritePod(buf, seg.reverse);
+    WritePod(buf, static_cast<uint32_t>(seg.polyline.size()));
+    for (const geo::Point& p : seg.polyline) {
+      WritePod(buf, p.x);
+      WritePod(buf, p.y);
+    }
+  }
+  std::string bytes = std::move(buf).str();
+  const uint32_t crc = util::Crc32(bytes.data(), bytes.size());
+  bytes.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) return util::Status::IoError("cannot open " + path);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out.good()) return util::Status::IoError("write failed for " + path);
+  return util::Status::Ok();
+}
+
+util::StatusOr<std::unique_ptr<RoadNetwork>> LoadRoadNetwork(
+    const std::string& path) {
+  DEEPST_RETURN_IF_ERROR(util::CheckFaultPoint("roadnet.load"));
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return util::Status::IoError("cannot open " + path);
+  std::ostringstream raw;
+  raw << in.rdbuf();
+  std::string bytes = std::move(raw).str();
+  util::ByteReader reader(bytes);
+  uint32_t magic = 0, version = 0;
+  if (!reader.Read(&magic) || magic != kMagic) {
+    return util::Status::IoError("bad magic in " + path);
+  }
+  if (!reader.Read(&version) ||
+      (version != kVersionLegacy && version != kVersion)) {
+    return util::Status::IoError("unsupported version in " + path);
+  }
+  if (version == kVersion) {
+    if (bytes.size() < 3 * sizeof(uint32_t)) {
+      return util::Status::IoError("file too short: " + path);
+    }
+    const size_t body = bytes.size() - sizeof(uint32_t);
+    uint32_t stored_crc = 0;
+    std::memcpy(&stored_crc, bytes.data() + body, sizeof(stored_crc));
+    if (util::Crc32(bytes.data(), body) != stored_crc) {
+      return util::Status::DataLoss("road network CRC mismatch in " + path +
+                                    " (corrupt or truncated)");
+    }
+    bytes.resize(body);
+    reader = util::ByteReader(bytes);
+    uint32_t skip = 0;
+    (void)reader.Read(&skip);  // magic, re-verified above
+    (void)reader.Read(&skip);  // version
+  }
+  auto net = std::make_unique<RoadNetwork>();
+  util::Status parsed = ParseNetwork(&reader, net.get());
+  if (!parsed.ok()) return parsed;
   return net;
 }
 

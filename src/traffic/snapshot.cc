@@ -1,8 +1,14 @@
 #include "traffic/snapshot.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
 
 #include "util/check.h"
+#include "util/fault_injector.h"
+#include "util/string_util.h"
 
 namespace deepst {
 namespace traffic {
@@ -59,8 +65,26 @@ void TrafficTensorCache::AddObservations(
     const std::vector<SpeedObservation>& observations) {
   for (const auto& obs : observations) {
     by_slot_[SlotOf(obs.time_s)].push_back(obs);
+    latest_time_ = std::max(latest_time_, obs.time_s);
   }
   cache_.clear();
+}
+
+bool TrafficTensorCache::HasObservations(double time_s) const {
+  // Mirror of the window logic in TensorForTime: [slot_start - window,
+  // slot_start) over the slot containing time_s.
+  const int slot = SlotOf(time_s);
+  const double slot_start = slot * slot_seconds_;
+  const double window_start = slot_start - window_seconds_;
+  const int first_slot = SlotOf(std::max(0.0, window_start));
+  for (int k = first_slot; k <= slot; ++k) {
+    auto bucket = by_slot_.find(k);
+    if (bucket == by_slot_.end()) continue;
+    for (const auto& obs : bucket->second) {
+      if (obs.time_s >= window_start && obs.time_s < slot_start) return true;
+    }
+  }
+  return false;
 }
 
 const nn::Tensor& TrafficTensorCache::TensorForTime(double time_s) {
@@ -91,6 +115,57 @@ const nn::Tensor& TrafficTensorCache::TensorForTime(double time_s) {
   auto [pos, inserted] = cache_.emplace(slot, std::move(built));
   (void)inserted;  // A racing builder may have inserted the same content.
   return pos->second;
+}
+
+util::StatusOr<std::vector<SpeedObservation>> LoadObservationsCsv(
+    const std::string& path) {
+  DEEPST_RETURN_IF_ERROR(util::CheckFaultPoint("traffic.load"));
+  std::ifstream in(path);
+  if (!in.is_open()) return util::Status::IoError("cannot open " + path);
+  std::vector<SpeedObservation> observations;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line_no == 1 && line.rfind("trip_id", 0) == 0) continue;  // header
+    std::istringstream row(line);
+    std::string field;
+    double values[4];
+    // Field 0 is trip_id (ignored); fields 1..4 are time_s, x, y, speed_mps.
+    if (!std::getline(row, field, ',')) {
+      return util::Status::InvalidArgument(
+          util::StrFormat("%s:%d: empty row", path.c_str(), line_no));
+    }
+    for (int f = 0; f < 4; ++f) {
+      if (!std::getline(row, field, ',')) {
+        return util::Status::InvalidArgument(util::StrFormat(
+            "%s:%d: expected 5 fields", path.c_str(), line_no));
+      }
+      char* end = nullptr;
+      values[f] = std::strtod(field.c_str(), &end);
+      if (end == field.c_str() || *end != '\0' ||
+          !std::isfinite(values[f])) {
+        return util::Status::InvalidArgument(util::StrFormat(
+            "%s:%d: non-numeric field '%s'", path.c_str(), line_no,
+            field.c_str()));
+      }
+    }
+    if (std::getline(row, field, ',')) {
+      return util::Status::InvalidArgument(util::StrFormat(
+          "%s:%d: expected 5 fields, got more", path.c_str(), line_no));
+    }
+    if (values[0] < 0.0 || values[3] < 0.0) {
+      return util::Status::InvalidArgument(util::StrFormat(
+          "%s:%d: negative time or speed", path.c_str(), line_no));
+    }
+    SpeedObservation obs;
+    obs.time_s = values[0];
+    obs.pos = geo::Point{values[1], values[2]};
+    obs.speed_mps = values[3];
+    observations.push_back(obs);
+  }
+  return observations;
 }
 
 }  // namespace traffic

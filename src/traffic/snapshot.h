@@ -3,10 +3,12 @@
 
 #include <map>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "geo/grid.h"
 #include "nn/tensor.h"
+#include "util/status.h"
 
 namespace deepst {
 namespace traffic {
@@ -60,6 +62,15 @@ class TrafficTensorCache {
   // concurrent eval workers; the slot content is independent of build order.
   const nn::Tensor& TensorForTime(double time_s);
 
+  // True when the window feeding the slot of `time_s` has at least one
+  // observation. Serving uses this to decide between the live tensor and the
+  // prior-mean (DeepST-C) fallback.
+  bool HasObservations(double time_s) const;
+
+  // Latest observation time registered so far, or -inf when empty. Lets the
+  // serving layer detect a stale feed (latest << query time).
+  double latest_observation_time() const { return latest_time_; }
+
   int SlotOf(double time_s) const {
     return static_cast<int>(time_s / slot_seconds_);
   }
@@ -73,11 +84,20 @@ class TrafficTensorCache {
   double window_seconds_;
   // Observations bucketed by slot index for fast window queries.
   std::map<int, std::vector<SpeedObservation>> by_slot_;
+  double latest_time_ = -1e300;
   // Guards cache_ (lazily grown; node-based, so returned references stay
   // valid across later insertions).
   std::mutex cache_mu_;
   std::map<int, nn::Tensor> cache_;
 };
+
+// Loads probe observations from a GPS CSV in the ExportGpsCsv layout
+// (header `trip_id,time_s,x,y,speed_mps`, one observation per line).
+// Malformed rows — wrong field count, non-numeric or non-finite values,
+// negative speeds — yield a Status naming the line; nothing is partially
+// ingested on error.
+util::StatusOr<std::vector<SpeedObservation>> LoadObservationsCsv(
+    const std::string& path);
 
 }  // namespace traffic
 }  // namespace deepst

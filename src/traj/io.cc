@@ -1,8 +1,13 @@
 #include "traj/io.h"
 
+#include <cmath>
 #include <cstdint>
 #include <fstream>
+#include <sstream>
 
+#include "util/byte_reader.h"
+#include "util/crc32.h"
+#include "util/fault_injector.h"
 #include "util/string_util.h"
 
 namespace deepst {
@@ -10,88 +15,182 @@ namespace traj {
 namespace {
 
 constexpr uint32_t kMagic = 0x0DA7A701;
-constexpr uint32_t kVersion = 1;
+// v1: raw records. v2 appends a CRC32 footer over everything before it;
+// Load accepts both (v1 files predate the checksum).
+constexpr uint32_t kVersionLegacy = 1;
+constexpr uint32_t kVersion = 2;
 
 template <typename T>
-void WritePod(std::ofstream& out, const T& v) {
+void WritePod(std::ostream& out, const T& v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(v));
 }
 
-template <typename T>
-bool ReadPod(std::ifstream& in, T* v) {
-  in.read(reinterpret_cast<char*>(v), sizeof(*v));
-  return in.good();
+// Minimum on-disk sizes, used to reject counts that cannot fit in the
+// remaining bytes before any allocation is sized from them.
+constexpr uint64_t kTripHeaderBytes =
+    3 * sizeof(double) + sizeof(int32_t) + sizeof(uint32_t);
+constexpr uint64_t kGpsPointBytes = 4 * sizeof(double);
+
+util::Status ParseRecords(util::ByteReader* in,
+                          std::vector<TripRecord>* records) {
+  uint64_t count = 0;
+  if (!in->Read(&count)) return util::Status::IoError("truncated header");
+  if (!in->CanHold(count, kTripHeaderBytes + sizeof(uint32_t))) {
+    return util::Status::IoError("trip count exceeds file size");
+  }
+  records->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    TripRecord rec;
+    int32_t day = 0;
+    uint32_t route_len = 0;
+    if (!in->Read(&rec.trip.start_time_s) ||
+        !in->Read(&rec.trip.destination.x) ||
+        !in->Read(&rec.trip.destination.y) || !in->Read(&day) ||
+        !in->Read(&route_len)) {
+      return util::Status::IoError("truncated trip header");
+    }
+    if (!std::isfinite(rec.trip.start_time_s) ||
+        !std::isfinite(rec.trip.destination.x) ||
+        !std::isfinite(rec.trip.destination.y)) {
+      return util::Status::InvalidArgument(
+          util::StrFormat("trip %llu has non-finite header fields",
+                          static_cast<unsigned long long>(i)));
+    }
+    if (day < 0) {
+      return util::Status::InvalidArgument(
+          util::StrFormat("trip %llu has negative day",
+                          static_cast<unsigned long long>(i)));
+    }
+    rec.trip.day = day;
+    if (!in->CanHold(route_len, sizeof(roadnet::SegmentId))) {
+      return util::Status::IoError("route length exceeds file size");
+    }
+    rec.trip.route.resize(route_len);
+    for (auto& s : rec.trip.route) {
+      if (!in->Read(&s)) return util::Status::IoError("truncated route");
+      if (s < 0) {
+        return util::Status::InvalidArgument(
+            util::StrFormat("trip %llu has negative segment id",
+                            static_cast<unsigned long long>(i)));
+      }
+    }
+    uint32_t gps_len = 0;
+    if (!in->Read(&gps_len)) return util::Status::IoError("truncated gps");
+    if (!in->CanHold(gps_len, kGpsPointBytes)) {
+      return util::Status::IoError("gps length exceeds file size");
+    }
+    rec.gps.resize(gps_len);
+    for (auto& p : rec.gps) {
+      if (!in->Read(&p.pos.x) || !in->Read(&p.pos.y) ||
+          !in->Read(&p.time_s) || !in->Read(&p.speed_mps)) {
+        return util::Status::IoError("truncated gps point");
+      }
+      if (!std::isfinite(p.pos.x) || !std::isfinite(p.pos.y) ||
+          !std::isfinite(p.time_s) || !std::isfinite(p.speed_mps)) {
+        return util::Status::InvalidArgument(
+            util::StrFormat("trip %llu has non-finite gps point",
+                            static_cast<unsigned long long>(i)));
+      }
+    }
+    records->push_back(std::move(rec));
+  }
+  return util::Status::Ok();
 }
 
 }  // namespace
 
 util::Status SaveDataset(const std::vector<TripRecord>& records,
                          const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out.is_open()) return util::Status::IoError("cannot open " + path);
-  WritePod(out, kMagic);
-  WritePod(out, kVersion);
-  WritePod(out, static_cast<uint64_t>(records.size()));
+  DEEPST_RETURN_IF_ERROR(util::CheckFaultPoint("traj.save"));
+  std::ostringstream buf(std::ios::binary);
+  WritePod(buf, kMagic);
+  WritePod(buf, kVersion);
+  WritePod(buf, static_cast<uint64_t>(records.size()));
   for (const auto& rec : records) {
-    WritePod(out, rec.trip.start_time_s);
-    WritePod(out, rec.trip.destination.x);
-    WritePod(out, rec.trip.destination.y);
-    WritePod(out, static_cast<int32_t>(rec.trip.day));
-    WritePod(out, static_cast<uint32_t>(rec.trip.route.size()));
-    for (auto s : rec.trip.route) WritePod(out, s);
-    WritePod(out, static_cast<uint32_t>(rec.gps.size()));
+    WritePod(buf, rec.trip.start_time_s);
+    WritePod(buf, rec.trip.destination.x);
+    WritePod(buf, rec.trip.destination.y);
+    WritePod(buf, static_cast<int32_t>(rec.trip.day));
+    WritePod(buf, static_cast<uint32_t>(rec.trip.route.size()));
+    for (auto s : rec.trip.route) WritePod(buf, s);
+    WritePod(buf, static_cast<uint32_t>(rec.gps.size()));
     for (const auto& p : rec.gps) {
-      WritePod(out, p.pos.x);
-      WritePod(out, p.pos.y);
-      WritePod(out, p.time_s);
-      WritePod(out, p.speed_mps);
+      WritePod(buf, p.pos.x);
+      WritePod(buf, p.pos.y);
+      WritePod(buf, p.time_s);
+      WritePod(buf, p.speed_mps);
     }
   }
+  std::string bytes = std::move(buf).str();
+  const uint32_t crc = util::Crc32(bytes.data(), bytes.size());
+  bytes.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) return util::Status::IoError("cannot open " + path);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
   if (!out.good()) return util::Status::IoError("write failed for " + path);
   return util::Status::Ok();
 }
 
 util::StatusOr<std::vector<TripRecord>> LoadDataset(const std::string& path) {
+  DEEPST_RETURN_IF_ERROR(util::CheckFaultPoint("traj.load"));
   std::ifstream in(path, std::ios::binary);
   if (!in.is_open()) return util::Status::IoError("cannot open " + path);
+  std::ostringstream raw;
+  raw << in.rdbuf();
+  std::string bytes = std::move(raw).str();
+  util::ByteReader reader(bytes);
   uint32_t magic = 0, version = 0;
-  if (!ReadPod(in, &magic) || magic != kMagic) {
+  if (!reader.Read(&magic) || magic != kMagic) {
     return util::Status::IoError("bad magic in " + path);
   }
-  if (!ReadPod(in, &version) || version != kVersion) {
+  if (!reader.Read(&version) ||
+      (version != kVersionLegacy && version != kVersion)) {
     return util::Status::IoError("unsupported version in " + path);
   }
-  uint64_t count = 0;
-  if (!ReadPod(in, &count)) return util::Status::IoError("truncated header");
+  if (version == kVersion) {
+    if (bytes.size() < 3 * sizeof(uint32_t)) {
+      return util::Status::IoError("file too short: " + path);
+    }
+    const size_t body = bytes.size() - sizeof(uint32_t);
+    uint32_t stored_crc = 0;
+    std::memcpy(&stored_crc, bytes.data() + body, sizeof(stored_crc));
+    if (util::Crc32(bytes.data(), body) != stored_crc) {
+      return util::Status::DataLoss("dataset CRC mismatch in " + path +
+                                    " (corrupt or truncated)");
+    }
+    bytes.resize(body);
+    reader = util::ByteReader(bytes);
+    uint32_t skip = 0;
+    (void)reader.Read(&skip);  // magic, re-verified above
+    (void)reader.Read(&skip);  // version
+  }
   std::vector<TripRecord> records;
-  records.reserve(count);
-  for (uint64_t i = 0; i < count; ++i) {
-    TripRecord rec;
-    int32_t day = 0;
-    uint32_t route_len = 0;
-    if (!ReadPod(in, &rec.trip.start_time_s) ||
-        !ReadPod(in, &rec.trip.destination.x) ||
-        !ReadPod(in, &rec.trip.destination.y) || !ReadPod(in, &day) ||
-        !ReadPod(in, &route_len)) {
-      return util::Status::IoError("truncated trip header");
-    }
-    rec.trip.day = day;
-    rec.trip.route.resize(route_len);
-    for (auto& s : rec.trip.route) {
-      if (!ReadPod(in, &s)) return util::Status::IoError("truncated route");
-    }
-    uint32_t gps_len = 0;
-    if (!ReadPod(in, &gps_len)) return util::Status::IoError("truncated gps");
-    rec.gps.resize(gps_len);
-    for (auto& p : rec.gps) {
-      if (!ReadPod(in, &p.pos.x) || !ReadPod(in, &p.pos.y) ||
-          !ReadPod(in, &p.time_s) || !ReadPod(in, &p.speed_mps)) {
-        return util::Status::IoError("truncated gps point");
+  util::Status parsed = ParseRecords(&reader, &records);
+  if (!parsed.ok()) return parsed;
+  return records;
+}
+
+util::Status ValidateDataset(const std::vector<TripRecord>& records,
+                             const roadnet::RoadNetwork& net) {
+  for (size_t i = 0; i < records.size(); ++i) {
+    const Trip& trip = records[i].trip;
+    for (roadnet::SegmentId s : trip.route) {
+      if (s < 0 || s >= net.num_segments()) {
+        return util::Status::OutOfRange(
+            util::StrFormat("trip %zu references segment %d; network has %d",
+                            i, static_cast<int>(s), net.num_segments()));
       }
     }
-    records.push_back(std::move(rec));
+    for (size_t j = 0; j + 1 < trip.route.size(); ++j) {
+      if (!net.AreConsecutive(trip.route[j], trip.route[j + 1])) {
+        return util::Status::InvalidArgument(util::StrFormat(
+            "trip %zu route segments %d -> %d not adjacent", i,
+            static_cast<int>(trip.route[j]),
+            static_cast<int>(trip.route[j + 1])));
+      }
+    }
   }
-  return records;
+  return util::Status::Ok();
 }
 
 util::Status ExportGpsCsv(const std::vector<TripRecord>& records,

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "roadnet/road_network.h"
 #include "traj/types.h"
 #include "util/status.h"
 
@@ -18,6 +19,13 @@ namespace traj {
 util::Status SaveDataset(const std::vector<TripRecord>& records,
                          const std::string& path);
 util::StatusOr<std::vector<TripRecord>> LoadDataset(const std::string& path);
+
+// Referential-integrity check against a road network: every route segment id
+// must be in range and consecutive segments adjacent. Loaders validate
+// structure; this validates the dataset against the graph it will be used
+// with (they may come from different files).
+util::Status ValidateDataset(const std::vector<TripRecord>& records,
+                             const roadnet::RoadNetwork& net);
 
 // CSV of GPS points (one row per point).
 util::Status ExportGpsCsv(const std::vector<TripRecord>& records,

@@ -1,0 +1,50 @@
+#ifndef DEEPST_UTIL_BYTE_READER_H_
+#define DEEPST_UTIL_BYTE_READER_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+
+namespace deepst {
+namespace util {
+
+// Bounds-checked POD cursor over an in-memory file image. Loaders that parse
+// untrusted bytes read through this instead of raw ifstream reads: every
+// read either fits in the remaining buffer or fails without touching the
+// output, and `remaining()` lets callers reject element counts that could
+// not possibly fit in the file (the defense against bit-flipped counts
+// driving multi-gigabyte allocations before the truncation is noticed).
+class ByteReader {
+ public:
+  explicit ByteReader(const std::string& bytes)
+      : data_(bytes.data()), size_(bytes.size()) {}
+  ByteReader(const char* data, size_t size) : data_(data), size_(size) {}
+
+  template <typename T>
+  bool Read(T* out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (size_ - pos_ < sizeof(T)) return false;
+    std::memcpy(out, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  size_t remaining() const { return size_ - pos_; }
+  size_t position() const { return pos_; }
+
+  // True when `count` records of `record_bytes` each could still fit.
+  bool CanHold(uint64_t count, uint64_t record_bytes) const {
+    return record_bytes == 0 || count <= remaining() / record_bytes;
+  }
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace util
+}  // namespace deepst
+
+#endif  // DEEPST_UTIL_BYTE_READER_H_

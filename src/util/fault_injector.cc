@@ -1,0 +1,171 @@
+#include "util/fault_injector.h"
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "util/string_util.h"
+
+namespace deepst {
+namespace util {
+namespace {
+
+// Parses one kind token of the spec grammar.
+bool ParseKind(const std::string& token, FaultKind* kind) {
+  if (token == "io_error") {
+    *kind = FaultKind::kIoError;
+  } else if (token == "partial_read") {
+    *kind = FaultKind::kPartialRead;
+  } else if (token == "latency") {
+    *kind = FaultKind::kLatencySpike;
+  } else if (token == "alloc") {
+    *kind = FaultKind::kAllocFailure;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool ParseCount(const std::string& digits, int64_t* out) {
+  if (digits.empty()) return false;
+  int64_t v = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + (c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+std::string Trimmed(const std::string& s) {
+  const size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  const size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector* instance = new FaultInjector();
+  return *instance;
+}
+
+void FaultInjector::Arm(const std::string& point, FaultKind kind,
+                        int64_t after, int64_t count, int latency_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Arming arming;
+  arming.kind = kind;
+  arming.after = after;
+  arming.remaining = count;
+  arming.latency_ms = latency_ms;
+  armed_[point] = arming;
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+Status FaultInjector::ArmFromSpec(const std::string& spec) {
+  size_t start = 0;
+  while (start <= spec.size()) {
+    size_t end = spec.find(',', start);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = Trimmed(spec.substr(start, end - start));
+    start = end + 1;
+    if (entry.empty()) continue;
+    const size_t colon = entry.find(':');
+    if (colon == std::string::npos || colon == 0) {
+      return Status::InvalidArgument("fault spec entry '" + entry +
+                                     "' is not point:kind[@after][xcount]");
+    }
+    const std::string point = Trimmed(entry.substr(0, colon));
+    std::string rest = Trimmed(entry.substr(colon + 1));
+    int64_t after = 0;
+    int64_t count = 1;
+    const size_t x = rest.find('x');
+    if (x != std::string::npos) {
+      if (!ParseCount(rest.substr(x + 1), &count)) {
+        return Status::InvalidArgument("bad count in fault spec '" + entry +
+                                       "'");
+      }
+      rest = rest.substr(0, x);
+    }
+    const size_t at = rest.find('@');
+    if (at != std::string::npos) {
+      if (!ParseCount(rest.substr(at + 1), &after)) {
+        return Status::InvalidArgument("bad after in fault spec '" + entry +
+                                       "'");
+      }
+      rest = rest.substr(0, at);
+    }
+    FaultKind kind;
+    if (!ParseKind(rest, &kind)) {
+      return Status::InvalidArgument(
+          "unknown fault kind '" + rest +
+          "' (want io_error|partial_read|latency|alloc)");
+    }
+    Arm(point, kind, after, count);
+  }
+  return Status::Ok();
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.clear();
+  seen_.clear();
+  fires_.store(0, std::memory_order_relaxed);
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+Status FaultInjector::Check(const char* point) {
+  FaultKind kind;
+  int latency_ms = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++seen_[point];
+    auto it = armed_.find(point);
+    if (it == armed_.end()) return Status::Ok();
+    Arming& arming = it->second;
+    ++arming.hits;
+    if (arming.hits <= arming.after) return Status::Ok();
+    if (arming.remaining == 0) return Status::Ok();
+    if (arming.remaining > 0) --arming.remaining;
+    kind = arming.kind;
+    latency_ms = arming.latency_ms;
+  }
+  fires_.fetch_add(1, std::memory_order_relaxed);
+  switch (kind) {
+    case FaultKind::kIoError:
+      return Status::IoError(StrFormat("injected I/O error at %s", point));
+    case FaultKind::kPartialRead:
+      return Status::IoError(
+          StrFormat("injected partial read at %s", point));
+    case FaultKind::kLatencySpike:
+      std::this_thread::sleep_for(std::chrono::milliseconds(latency_ms));
+      return Status::Ok();
+    case FaultKind::kAllocFailure:
+      return Status::ResourceExhausted(
+          StrFormat("injected allocation failure at %s", point));
+  }
+  return Status::Internal("unreachable fault kind");
+}
+
+int64_t FaultInjector::hits(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = seen_.find(point);
+  return it == seen_.end() ? 0 : it->second;
+}
+
+std::vector<std::string> FaultInjector::SeenPoints() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> points;
+  points.reserve(seen_.size());
+  for (const auto& [name, count] : seen_) points.push_back(name);
+  return points;
+}
+
+void ThrowIfFaultPoint(const char* point) {
+  const Status status = CheckFaultPoint(point);
+  if (!status.ok()) throw std::runtime_error(status.ToString());
+}
+
+}  // namespace util
+}  // namespace deepst

@@ -1,0 +1,104 @@
+#ifndef DEEPST_UTIL_FAULT_INJECTOR_H_
+#define DEEPST_UTIL_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace deepst {
+namespace util {
+
+// What an armed fault point does when it fires.
+enum class FaultKind : uint8_t {
+  kIoError = 0,      // Status::IoError, as if the underlying device failed
+  kPartialRead,      // Status::IoError, as if the stream ended mid-record
+  kLatencySpike,     // sleep latency_ms, then succeed (exercises deadlines)
+  kAllocFailure,     // Status::ResourceExhausted, as if an allocation failed
+};
+
+// Deterministic fault injection for robustness testing. Code under test
+// declares named fault points (CheckFaultPoint below); tests and tools arm
+// them with a hit-count trigger, so the n-th traversal of a point fails the
+// same way on every run -- no wall clock, no randomness. Compiled in always:
+// the disabled fast path is a single relaxed atomic load, so production
+// builds pay nothing measurable and the exact binary under test is the one
+// that ships.
+//
+// The registry is process-global (faults cross library layers the same way
+// real faults do) and thread-safe; hit counting is serialized per point.
+class FaultInjector {
+ public:
+  static FaultInjector& Instance();
+
+  // Arms `point`: the first `after` traversals pass, the next `count`
+  // traversals fire, later ones pass again. count < 0 means fire forever.
+  // Re-arming a point replaces its previous arming.
+  void Arm(const std::string& point, FaultKind kind, int64_t after = 0,
+           int64_t count = 1, int latency_ms = 10);
+
+  // Arms from a comma-separated spec (CLI / DEEPST_FAULTS env syntax):
+  //   point:kind[@after][xcount]
+  // e.g. "roadnet.load:io_error, infer.query:alloc@2x3". Kinds: io_error,
+  // partial_read, latency, alloc.
+  Status ArmFromSpec(const std::string& spec);
+
+  // Disarms everything and zeroes all counters.
+  void Reset();
+
+  // True when at least one point is armed (the hot-path gate).
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Slow path of CheckFaultPoint; call only when enabled().
+  Status Check(const char* point);
+
+  // Total fires across all points / traversals of one point since the last
+  // Reset (test observability).
+  int64_t fires() const { return fires_.load(std::memory_order_relaxed); }
+  int64_t hits(const std::string& point);
+
+  // Every point name traversed since the last Reset, armed or not (lets
+  // tests assert a fault point actually sits on the path they exercise).
+  std::vector<std::string> SeenPoints();
+
+ private:
+  struct Arming {
+    FaultKind kind = FaultKind::kIoError;
+    int64_t after = 0;
+    int64_t remaining = 0;  // fires left; < 0 = unbounded
+    int latency_ms = 0;
+    int64_t hits = 0;
+  };
+
+  FaultInjector() = default;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<int64_t> fires_{0};
+  std::mutex mu_;
+  std::map<std::string, Arming> armed_;
+  std::map<std::string, int64_t> seen_;
+};
+
+// Declares a fault point. Returns Ok when the injector is disabled or the
+// point is not armed / not yet triggered; otherwise returns the armed
+// fault's Status (latency spikes sleep and return Ok). Intended use:
+//   DEEPST_RETURN_IF_ERROR(util::CheckFaultPoint("roadnet.load"));
+inline Status CheckFaultPoint(const char* point) {
+  FaultInjector& injector = FaultInjector::Instance();
+  if (!injector.enabled()) return Status::Ok();
+  return injector.Check(point);
+}
+
+// Fault point for code that reports failure by exception rather than Status
+// (deep inside call chains whose signatures return values). Throws
+// std::runtime_error carrying the Status text when the point fires.
+void ThrowIfFaultPoint(const char* point);
+
+}  // namespace util
+}  // namespace deepst
+
+#endif  // DEEPST_UTIL_FAULT_INJECTOR_H_

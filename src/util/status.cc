@@ -20,6 +20,12 @@ const char* CodeName(Status::Code code) {
       return "IoError";
     case Status::Code::kInternal:
       return "Internal";
+    case Status::Code::kResourceExhausted:
+      return "ResourceExhausted";
+    case Status::Code::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case Status::Code::kDataLoss:
+      return "DataLoss";
   }
   return "Unknown";
 }

@@ -22,6 +22,9 @@ class Status {
     kFailedPrecondition,
     kIoError,
     kInternal,
+    kResourceExhausted,
+    kDeadlineExceeded,
+    kDataLoss,
   };
 
   Status() : code_(Code::kOk) {}
@@ -44,6 +47,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(Code::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(Code::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(Code::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == Code::kOk; }

@@ -1,0 +1,355 @@
+// ServingContext coverage: query validation (nothing malformed reaches the
+// model's DEEPST_CHECK abort sites), graceful degradation (traffic prior
+// mean, uniform proxy, origin snapping, deadline budget) with bitwise
+// determinism, strict-mode refusals, and the session-pool failure paths
+// (injected query faults surface as Status and never leak pool slots).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "baselines/neural_router.h"
+#include "core/deepst_model.h"
+#include "core/serving.h"
+#include "eval/world.h"
+#include "util/fault_injector.h"
+
+namespace deepst {
+namespace core {
+namespace {
+
+eval::World& TestWorld() {
+  static eval::World* world = [] {
+    eval::WorldConfig cfg = eval::ChengduMiniWorld(0.15);
+    cfg.name = "serving-test-world";
+    cfg.city.rows = 7;
+    cfg.city.cols = 7;
+    cfg.generator.num_days = 4;
+    cfg.generator.max_route_m = 6000.0;
+    cfg.train_days = 2;
+    cfg.val_days = 1;
+    return new eval::World(cfg);
+  }();
+  return *world;
+}
+
+DeepSTConfig SmallConfig() {
+  DeepSTConfig cfg;
+  cfg.segment_embedding_dim = 12;
+  cfg.gru_hidden = 24;
+  cfg.gru_layers = 2;
+  cfg.dest_dim = 12;
+  cfg.traffic_dim = 8;
+  cfg.num_proxies = 8;
+  cfg.cnn_channels = 6;
+  cfg.mlp_hidden = 24;
+  return cfg;
+}
+
+// Shared model (untrained weights are fine: serving semantics do not depend
+// on parameter quality, and construction dominates test time).
+DeepSTModel& TestModel() {
+  static DeepSTModel* model =
+      new DeepSTModel(TestWorld().net(), baselines::DeepStConfigOf(SmallConfig()),
+                      TestWorld().traffic_cache());
+  return *model;
+}
+
+// A test trip whose query has live traffic coverage, so the undegraded path
+// is actually exercised.
+const traj::TripRecord& CoveredTrip() {
+  static const traj::TripRecord* covered = [] {
+    for (const auto* rec : TestWorld().split().test) {
+      if (rec->trip.route.size() < 3) continue;
+      const RouteQuery q = eval::QueryFor(rec->trip);
+      if (TestWorld().traffic_cache()->HasObservations(q.start_time_s)) {
+        return rec;
+      }
+    }
+    return static_cast<const traj::TripRecord*>(nullptr);
+  }();
+  EXPECT_NE(covered, nullptr) << "no test trip with traffic coverage";
+  return *covered;
+}
+
+class ServingTest : public testing::Test {
+ protected:
+  void TearDown() override { util::FaultInjector::Instance().Reset(); }
+};
+
+TEST_F(ServingTest, HappyPathStrictUndegradedAndDeterministic) {
+  ServingConfig scfg;
+  scfg.strict = true;
+  ServingContext serving(&TestModel(), &TestWorld().index(), scfg);
+  const RouteQuery query = eval::QueryFor(CoveredTrip().trip);
+  auto first = serving.Predict(query);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_FALSE(first.value().degraded);
+  EXPECT_EQ(first.value().degradations, kDegradationNone);
+  EXPECT_FALSE(first.value().route.empty());
+  EXPECT_TRUE(TestWorld().net().ValidateRoute(first.value().route).ok());
+  // Same query, same seed: the served route is bitwise reproducible.
+  auto second = serving.Predict(query);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first.value().route, second.value().route);
+}
+
+TEST_F(ServingTest, MalformedQueriesAreInvalidNotFatal) {
+  ServingContext serving(&TestModel(), &TestWorld().index());
+  const RouteQuery base = eval::QueryFor(CoveredTrip().trip);
+  const double kNan = std::numeric_limits<double>::quiet_NaN();
+
+  RouteQuery bad = base;
+  bad.start_time_s = kNan;
+  EXPECT_EQ(serving.Predict(bad).status().code(),
+            util::Status::Code::kInvalidArgument);
+  bad = base;
+  bad.start_time_s = -5.0;
+  EXPECT_EQ(serving.Predict(bad).status().code(),
+            util::Status::Code::kInvalidArgument);
+  bad = base;
+  bad.destination.x = kNan;
+  EXPECT_EQ(serving.Predict(bad).status().code(),
+            util::Status::Code::kInvalidArgument);
+  bad = base;
+  bad.origin = TestWorld().net().num_segments() + 17;
+  EXPECT_EQ(serving.Predict(bad).status().code(),
+            util::Status::Code::kInvalidArgument);
+  bad = base;
+  bad.origin = roadnet::kInvalidSegment;  // no origin at all
+  EXPECT_FALSE(serving.Predict(bad).ok());
+}
+
+TEST_F(ServingTest, OffNetworkOriginSnapsViaSpatialIndex) {
+  ServingContext serving(&TestModel(), &TestWorld().index());
+  RouteQuery query = eval::QueryFor(CoveredTrip().trip);
+  const roadnet::SegmentId expected = query.origin;
+  // Re-pose the query as raw coordinates just off the origin segment.
+  geo::Point near = TestWorld().net().SegmentMidpoint(expected);
+  near.y += 3.0;
+  query.origin = roadnet::kInvalidSegment;
+  query.has_origin_point = true;
+  query.origin_point = near;
+  auto result = serving.Predict(query);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result.value().degradations & kDegradationSnappedOrigin);
+  EXPECT_TRUE(result.value().degraded);
+  EXPECT_FALSE(result.value().route.empty());
+
+  // Strict mode refuses to snap.
+  ServingConfig strict_cfg;
+  strict_cfg.strict = true;
+  ServingContext strict(&TestModel(), &TestWorld().index(), strict_cfg);
+  EXPECT_EQ(strict.Predict(query).status().code(),
+            util::Status::Code::kFailedPrecondition);
+
+  // A finite point far beyond the snap radius is NotFound.
+  query.origin_point = geo::Point{1e7, 1e7};
+  EXPECT_EQ(serving.Predict(query).status().code(),
+            util::Status::Code::kNotFound);
+  // A non-finite point is an invalid query.
+  query.origin_point = geo::Point{std::numeric_limits<double>::quiet_NaN(), 0};
+  EXPECT_EQ(serving.Predict(query).status().code(),
+            util::Status::Code::kInvalidArgument);
+}
+
+TEST_F(ServingTest, FarDestinationFallsBackToUniformProxy) {
+  ServingContext serving(&TestModel(), &TestWorld().index());
+  RouteQuery query = eval::QueryFor(CoveredTrip().trip);
+  query.destination = geo::Point{1e6, -1e6};
+  auto first = serving.Predict(query);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_TRUE(first.value().degradations & kDegradationUniformProxy);
+  EXPECT_TRUE(first.value().degraded);
+  EXPECT_FALSE(first.value().route.empty());
+  EXPECT_TRUE(TestWorld().net().ValidateRoute(first.value().route).ok());
+  // The uniform-proxy fallback is deterministic: bitwise identical routes.
+  auto second = serving.Predict(query);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first.value().route, second.value().route);
+
+  ServingConfig strict_cfg;
+  strict_cfg.strict = true;
+  ServingContext strict(&TestModel(), &TestWorld().index(), strict_cfg);
+  EXPECT_EQ(strict.Predict(query).status().code(),
+            util::Status::Code::kFailedPrecondition);
+}
+
+// The degradation parity claim from docs/robustness.md: serving a query with
+// no usable traffic snapshot equals running the model with the traffic
+// context fixed at the prior mean -- which in turn equals hand-zeroing the
+// traffic terms of a normally built context. All three bitwise.
+TEST_F(ServingTest, MissingTrafficMatchesPriorMeanContextBitwise) {
+  DeepSTModel& model = TestModel();
+  ServingContext serving(&model, &TestWorld().index());
+  RouteQuery query = eval::QueryFor(CoveredTrip().trip);
+  // Far past the last observation: missing AND stale.
+  query.start_time_s =
+      TestWorld().traffic_cache()->latest_observation_time() + 90000.0;
+
+  auto served = serving.Predict(query);
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+  EXPECT_TRUE(served.value().degradations & kDegradationTrafficPriorMean);
+
+  // Reference 1: the degraded-context API driven directly.
+  ContextOptions options;
+  options.traffic_prior_mean = true;
+  util::Rng rng1(serving.config().rng_seed);
+  PredictionContext degraded = model.MakeContext(query, &rng1, options);
+  for (int64_t i = 0; i < degraded.traffic_repr.numel(); ++i) {
+    ASSERT_EQ(degraded.traffic_repr[i], 0.0f);
+  }
+  for (int64_t i = 0; i < degraded.traffic_term.numel(); ++i) {
+    ASSERT_EQ(degraded.traffic_term[i], 0.0f);
+  }
+  const traj::Route direct = model.PredictRoute(degraded, query.origin, &rng1);
+  EXPECT_EQ(served.value().route, direct);
+
+  // Reference 2: a normally built context with the traffic terms zeroed by
+  // hand scores routes identically to the degraded context.
+  util::Rng rng2(serving.config().rng_seed);
+  PredictionContext zeroed = model.MakeContext(query, &rng2);
+  zeroed.traffic_repr = nn::Tensor::Zeros(zeroed.traffic_repr.shape());
+  zeroed.traffic_term = nn::Tensor::Zeros(zeroed.traffic_term.shape());
+  const traj::Route& route = CoveredTrip().trip.route;
+  EXPECT_EQ(model.ScoreRoute(degraded, route), model.ScoreRoute(zeroed, route));
+
+  // Scoring through the serving layer agrees with the degraded context.
+  auto scored = serving.ScoreRoute(query, route);
+  ASSERT_TRUE(scored.ok()) << scored.status().ToString();
+  EXPECT_TRUE(scored.value().degradations & kDegradationTrafficPriorMean);
+  EXPECT_EQ(scored.value().score, model.ScoreRoute(degraded, route));
+
+  // Strict mode refuses the fallback.
+  ServingConfig strict_cfg;
+  strict_cfg.strict = true;
+  ServingContext strict(&model, &TestWorld().index(), strict_cfg);
+  EXPECT_EQ(strict.Predict(query).status().code(),
+            util::Status::Code::kFailedPrecondition);
+}
+
+TEST_F(ServingTest, DeadlineBudgetReturnsValidRouteWithFlag) {
+  // 10us budget: one beam expansion step costs more than this on any
+  // machine, so the first between-steps deadline check fires.
+  ServingConfig scfg;
+  scfg.deadline_ms = 0.01;
+  ServingContext serving(&TestModel(), &TestWorld().index(), scfg);
+  const RouteQuery query = eval::QueryFor(CoveredTrip().trip);
+  auto result = serving.Predict(query);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Best-so-far under budget is still a well-formed route from the origin.
+  EXPECT_FALSE(result.value().route.empty());
+  EXPECT_EQ(result.value().route.front(), query.origin);
+  EXPECT_TRUE(TestWorld().net().ValidateRoute(result.value().route).ok());
+  EXPECT_TRUE(result.value().degradations & kDegradationDeadlineBudget);
+  EXPECT_TRUE(result.value().degraded);
+
+  // The budget is explicit per-query configuration, so strict mode honors
+  // it rather than refusing (unlike the model-quality fallbacks).
+  ServingConfig strict_cfg = scfg;
+  strict_cfg.strict = true;
+  ServingContext strict(&TestModel(), &TestWorld().index(), strict_cfg);
+  auto strict_result = strict.Predict(query);
+  ASSERT_TRUE(strict_result.ok()) << strict_result.status().ToString();
+  EXPECT_TRUE(strict_result.value().degradations & kDegradationDeadlineBudget);
+}
+
+TEST_F(ServingTest, ScoreRouteValidatesInput) {
+  ServingContext serving(&TestModel(), &TestWorld().index());
+  const RouteQuery query = eval::QueryFor(CoveredTrip().trip);
+  EXPECT_EQ(serving.ScoreRoute(query, {}).status().code(),
+            util::Status::Code::kInvalidArgument);
+  EXPECT_EQ(serving
+                .ScoreRoute(query, {0, TestWorld().net().num_segments() + 5})
+                .status()
+                .code(),
+            util::Status::Code::kInvalidArgument);
+  auto ok = serving.ScoreRoute(query, CoveredTrip().trip.route);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_TRUE(std::isfinite(ok.value().score));
+
+  // Scoring works without an origin: it defaults to the route head.
+  RouteQuery no_origin = query;
+  no_origin.origin = roadnet::kInvalidSegment;
+  auto defaulted = serving.ScoreRoute(no_origin, CoveredTrip().trip.route);
+  ASSERT_TRUE(defaulted.ok()) << defaulted.status().ToString();
+  EXPECT_EQ(defaulted.value().score, ok.value().score);
+}
+
+TEST_F(ServingTest, DegradationsToStringNamesEveryAxis) {
+  EXPECT_EQ(DegradationsToString(kDegradationNone), "none");
+  EXPECT_EQ(DegradationsToString(kDegradationTrafficPriorMean),
+            "traffic_prior_mean");
+  EXPECT_EQ(DegradationsToString(static_cast<uint8_t>(
+                kDegradationUniformProxy | kDegradationSnappedOrigin |
+                kDegradationDeadlineBudget)),
+            "uniform_proxy+snapped_origin+deadline_budget");
+}
+
+TEST_F(ServingTest, InjectedQueryFaultSurfacesAsStatus) {
+  ServingContext serving(&TestModel(), &TestWorld().index());
+  const RouteQuery query = eval::QueryFor(CoveredTrip().trip);
+  util::FaultInjector::Instance().Arm("infer.query",
+                                      util::FaultKind::kIoError);
+  auto failed = serving.Predict(query);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), util::Status::Code::kInternal);
+  EXPECT_NE(failed.status().ToString().find("injected"), std::string::npos);
+  // The slot the failing query leased was returned: the next query works.
+  util::FaultInjector::Instance().Reset();
+  EXPECT_TRUE(serving.Predict(query).ok());
+}
+
+// Regression for the pool-slot leak: many threads hitting injected query
+// failures concurrently must all get Status back, and the pool must end no
+// larger than the number of concurrent queries (leaked slots would show up
+// as a session count far above the thread count, or as a deadlock once the
+// pool drained). Run under TSan via tools/check_sanitize.sh.
+TEST_F(ServingTest, ConcurrentPoolFailuresDoNotLeakSessions) {
+  DeepSTModel& model = TestModel();
+  ServingContext serving(&model, &TestWorld().index());
+  const RouteQuery query = eval::QueryFor(CoveredTrip().trip);
+  constexpr int kThreads = 8;
+  constexpr int kQueriesPerThread = 4;
+  util::FaultInjector::Instance().Arm("infer.query",
+                                      util::FaultKind::kIoError,
+                                      /*after=*/0, /*count=*/-1);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int q = 0; q < kQueriesPerThread; ++q) {
+        auto result = serving.Predict(query);
+        if (!result.ok()) failures.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), kThreads * kQueriesPerThread);
+  EXPECT_LE(model.num_pooled_sessions(), static_cast<size_t>(kThreads));
+
+  // After disarming, the same context serves successfully from every thread.
+  util::FaultInjector::Instance().Reset();
+  std::atomic<int> successes{0};
+  std::vector<std::thread> healthy;
+  healthy.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    healthy.emplace_back([&] {
+      auto result = serving.Predict(query);
+      if (result.ok() && !result.value().route.empty()) {
+        successes.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : healthy) t.join();
+  EXPECT_EQ(successes.load(), kThreads);
+  EXPECT_LE(model.num_pooled_sessions(), static_cast<size_t>(2 * kThreads));
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace deepst
