@@ -25,6 +25,17 @@
 //     degradations (missing traffic, unresolvable destination) into errors.
 //   deepst_cli recover --data-dir data --model model.bin --trip INDEX
 //       [--interval-s SECONDS]
+//   deepst_cli inspect FILE [FILE...]
+//     Reports each file's kind (road network / dataset / training checkpoint
+//     / model parameters), format version, element counts, CRC status and
+//     whether it loads zero-copy from an mmap (docs/formats.md).
+//   deepst_cli convert --in FILE --out FILE [--cell-size M]
+//     Rewrites a road network or dataset of any version as fixed-layout v3.
+//     Road networks embed a precomputed spatial index (cell size --cell-size,
+//     default 250 m) so loads skip index construction.
+//
+// `generate` takes `--format v2|v3` (default v2) to pick the on-disk format
+// of network.bin / dataset.bin.
 //
 // Every command accepts `--threads N` (default 1): compute threads for the
 // nn backend. Results are identical for every N; see docs/parallelism.md.
@@ -46,6 +57,7 @@
 
 #include "baselines/mmi.h"
 #include "baselines/neural_router.h"
+#include "core/checkpoint.h"
 #include "core/serving.h"
 #include "core/trainer.h"
 #include "eval/metrics.h"
@@ -75,7 +87,8 @@ int Fail(const util::Status& status) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: deepst_cli <generate|train|evaluate|predict|recover> "
+               "usage: deepst_cli "
+               "<generate|train|evaluate|predict|recover|inspect|convert> "
                "[options]\n"
                "see the header of cli/deepst_cli.cc for per-command "
                "options\n");
@@ -167,11 +180,24 @@ int CmdGenerate(const util::Flags& flags) {
   if (!seed.ok()) return Fail(seed.status());
   cfg.generator.seed = static_cast<uint64_t>(seed.value());
 
+  const std::string format = flags.GetString("format", "v2");
+  if (format != "v2" && format != "v3") {
+    return Fail(util::Status::InvalidArgument(
+        "--format must be v2 or v3, got '" + format + "'"));
+  }
+
   eval::World world(cfg);
-  util::Status s =
-      roadnet::SaveRoadNetwork(world.net(), dir + "/network.bin");
-  if (!s.ok()) return Fail(s);
-  s = traj::SaveDataset(world.records(), dir + "/dataset.bin");
+  util::Status s;
+  if (format == "v3") {
+    s = roadnet::SaveRoadNetworkV3(world.net(), dir + "/network.bin",
+                                   &world.index());
+    if (!s.ok()) return Fail(s);
+    s = traj::SaveDatasetV3(world.records(), dir + "/dataset.bin");
+  } else {
+    s = roadnet::SaveRoadNetwork(world.net(), dir + "/network.bin");
+    if (!s.ok()) return Fail(s);
+    s = traj::SaveDataset(world.records(), dir + "/dataset.bin");
+  }
   if (!s.ok()) return Fail(s);
   s = traj::ExportTripsCsv(world.records(), dir + "/trips.csv");
   if (!s.ok()) return Fail(s);
@@ -256,12 +282,10 @@ util::StatusOr<std::unique_ptr<core::DeepSTModel>> LoadModel(
     const util::Flags& flags, const LoadedData& data) {
   auto cfg = ModelConfigFromFlags(flags, data);
   if (!cfg.ok()) return cfg.status();
-  auto model = std::make_unique<core::DeepSTModel>(*data.net, cfg.value(),
-                                                   data.cache.get());
-  util::Status s = nn::LoadParameters(model.get(),
-                                      flags.GetString("model"));
-  if (!s.ok()) return s;
-  return model;
+  // O(params) path: no random-init draws for parameters the file overwrites.
+  return core::DeepSTModel::LoadFromFile(*data.net, cfg.value(),
+                                         data.cache.get(),
+                                         flags.GetString("model"));
 }
 
 int CmdEvaluate(const util::Flags& flags) {
@@ -430,6 +454,79 @@ int CmdRecover(const util::Flags& flags) {
   return 0;
 }
 
+// Probes the file against each known format in turn; a wrong-magic probe
+// returns InvalidArgument and falls through to the next kind.
+util::StatusOr<std::string> DescribeAnyFile(const std::string& path) {
+  auto probe = roadnet::DescribeRoadNetworkFile(path);
+  if (probe.ok() || probe.status().code() != util::Status::Code::kInvalidArgument)
+    return probe;
+  probe = traj::DescribeDatasetFile(path);
+  if (probe.ok() || probe.status().code() != util::Status::Code::kInvalidArgument)
+    return probe;
+  probe = core::DescribeCheckpointFile(path);
+  if (probe.ok() || probe.status().code() != util::Status::Code::kInvalidArgument)
+    return probe;
+  probe = nn::DescribeParamsFile(path);
+  if (probe.ok() || probe.status().code() != util::Status::Code::kInvalidArgument)
+    return probe;
+  return util::Status::InvalidArgument(
+      "unrecognized file (not a road network, dataset, checkpoint, or "
+      "parameter file): " + path);
+}
+
+int CmdInspect(const util::Flags& flags) {
+  if (flags.positional().empty()) {
+    return Fail(util::Status::InvalidArgument(
+        "inspect needs at least one file argument"));
+  }
+  int failures = 0;
+  for (const std::string& path : flags.positional()) {
+    auto report = DescribeAnyFile(path);
+    if (!report.ok()) {
+      std::fprintf(stderr, "error: %s\n", report.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    std::fputs(report.value().c_str(), stdout);
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+int CmdConvert(const util::Flags& flags) {
+  const std::string in_path = flags.GetString("in");
+  const std::string out_path = flags.GetString("out");
+  if (in_path.empty() || out_path.empty()) {
+    return Fail(util::Status::InvalidArgument(
+        "convert requires --in and --out"));
+  }
+  auto cell = flags.GetDouble("cell-size", 250.0);
+  if (!cell.ok()) return Fail(cell.status());
+  // Kind detection by magic: try the network loader first, then the dataset
+  // loader. Wrong-magic errors fall through; real corruption fails loudly.
+  auto city = roadnet::LoadCity(in_path, cell.value());
+  if (city.ok()) {
+    util::Status s = roadnet::SaveRoadNetworkV3(*city.value().net, out_path,
+                                                city.value().index.get());
+    if (!s.ok()) return Fail(s);
+    std::printf("wrote %s: road network v3, %d segments, spatial cells of "
+                "%.0f m\n",
+                out_path.c_str(), city.value().net->num_segments(),
+                cell.value());
+    return 0;
+  }
+  auto records = traj::LoadDataset(in_path);
+  if (records.ok()) {
+    util::Status s = traj::SaveDatasetV3(records.value(), out_path);
+    if (!s.ok()) return Fail(s);
+    std::printf("wrote %s: trajectory dataset v3, %zu trips\n",
+                out_path.c_str(), records.value().size());
+    return 0;
+  }
+  // Neither loader accepted it: report the network loader's error (the more
+  // common input) unless the dataset loader got further than bad magic.
+  return Fail(city.status());
+}
+
 int Main(int argc, const char* const* argv) {
   if (argc < 2) return Usage();
   auto flags = util::Flags::Parse(argc - 1, argv + 1);
@@ -455,6 +552,8 @@ int Main(int argc, const char* const* argv) {
   if (command == "evaluate") return CmdEvaluate(flags.value());
   if (command == "predict") return CmdPredict(flags.value());
   if (command == "recover") return CmdRecover(flags.value());
+  if (command == "inspect") return CmdInspect(flags.value());
+  if (command == "convert") return CmdConvert(flags.value());
   return Usage();
 }
 

@@ -14,6 +14,7 @@
 #include "util/crc32.h"
 #include "util/fault_injector.h"
 #include "util/logging.h"
+#include "util/string_util.h"
 
 namespace deepst {
 namespace core {
@@ -263,6 +264,40 @@ util::StatusOr<TrainingCheckpoint> LoadTrainingCheckpoint(
     return util::Status::IoError(s.message() + " in " + path);
   }
   return ckpt;
+}
+
+util::StatusOr<std::string> DescribeCheckpointFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return util::Status::NotFound("cannot open " + path);
+  uint32_t magic = 0, version = 0;
+  if (!ReadPod(in, &magic) || magic != kCkptMagic) {
+    return util::Status::InvalidArgument("not a training checkpoint: " + path);
+  }
+  const bool have_version = ReadPod(in, &version);
+  in.seekg(0, std::ios::end);
+  const auto size = static_cast<unsigned long long>(in.tellg());
+  std::string out = util::StrFormat(
+      "training checkpoint  %s\n  format: v%u  size: %llu bytes\n",
+      path.c_str(), have_version ? version : 0, size);
+  // The CRC spans the whole payload, so validity is established by the
+  // normal load path (which is what a resume would run anyway).
+  auto loaded = LoadTrainingCheckpoint(path);
+  if (!loaded.ok()) {
+    out += util::StrFormat("  crc: %s\n", loaded.status().ToString().c_str());
+    return out;
+  }
+  const TrainingCheckpoint& ckpt = loaded.value();
+  int64_t num_params = 0;
+  for (const auto& [name, tensor] : ckpt.params) num_params += tensor.numel();
+  out += util::StrFormat(
+      "  crc: ok\n  next epoch: %lld  best epoch: %lld  history: %zu\n"
+      "  params: %zu tensors (%lld elements), best snapshot: %zu tensors\n",
+      static_cast<long long>(ckpt.next_epoch),
+      static_cast<long long>(ckpt.best_epoch), ckpt.history.size(),
+      ckpt.params.size(), static_cast<long long>(num_params),
+      ckpt.best_params.size());
+  out += "  zero-copy: no (streaming format)\n";
+  return out;
 }
 
 CheckpointManager::CheckpointManager(std::string dir) : dir_(std::move(dir)) {

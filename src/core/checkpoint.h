@@ -66,6 +66,11 @@ util::Status SaveTrainingCheckpoint(const TrainingCheckpoint& ckpt,
 util::StatusOr<TrainingCheckpoint> LoadTrainingCheckpoint(
     const std::string& path);
 
+// Human-readable report for `deepst_cli inspect`: version, CRC status, epoch
+// cursor and parameter-tensor counts. InvalidArgument on a non-checkpoint
+// magic.
+util::StatusOr<std::string> DescribeCheckpointFile(const std::string& path);
+
 // Rotating latest/prev/best checkpoint files under one directory. The
 // rotation means there is always at least one intact checkpoint on disk even
 // if the process dies during a save, and a corrupt `latest` (torn write,

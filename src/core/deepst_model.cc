@@ -82,6 +82,31 @@ DeepSTModel::DeepSTModel(const roadnet::RoadNetwork& net,
 
 DeepSTModel::~DeepSTModel() = default;
 
+util::StatusOr<std::unique_ptr<DeepSTModel>> DeepSTModel::LoadFromParams(
+    const roadnet::RoadNetwork& net, const DeepSTConfig& config,
+    traffic::TrafficTensorCache* traffic_cache,
+    const std::vector<nn::NamedTensor>& params) {
+  std::unique_ptr<DeepSTModel> model;
+  {
+    nn::ScopedDeferInit defer_init;
+    model = std::make_unique<DeepSTModel>(net, config, traffic_cache);
+  }
+  DEEPST_RETURN_IF_ERROR(nn::ApplyNamedTensors(model.get(), params));
+  return model;
+}
+
+util::StatusOr<std::unique_ptr<DeepSTModel>> DeepSTModel::LoadFromFile(
+    const roadnet::RoadNetwork& net, const DeepSTConfig& config,
+    traffic::TrafficTensorCache* traffic_cache, const std::string& path) {
+  std::unique_ptr<DeepSTModel> model;
+  {
+    nn::ScopedDeferInit defer_init;
+    model = std::make_unique<DeepSTModel>(net, config, traffic_cache);
+  }
+  DEEPST_RETURN_IF_ERROR(nn::LoadParameters(model.get(), path));
+  return model;
+}
+
 std::unique_ptr<infer::InferenceSession> DeepSTModel::AcquireSession() {
   {
     std::lock_guard<std::mutex> lock(session_mu_);

@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "core/config.h"
@@ -10,6 +11,7 @@
 #include "core/traffic_encoder.h"
 #include "nn/layers.h"
 #include "nn/module.h"
+#include "nn/serialize.h"
 #include "roadnet/road_network.h"
 #include "traffic/snapshot.h"
 #include "traj/types.h"
@@ -87,6 +89,21 @@ class DeepSTModel : public nn::Module {
   DeepSTModel(const roadnet::RoadNetwork& net, const DeepSTConfig& config,
               traffic::TrafficTensorCache* traffic_cache);
   ~DeepSTModel() override;
+
+  // O(params) construction from a saved parameter snapshot: the model is
+  // built under nn::ScopedDeferInit (storage allocated, no random draws --
+  // random init over a 100k-segment city costs more than the copy that
+  // immediately overwrites it), then `params` is applied by name. Fails if
+  // any parameter is missing or shape-mismatched, so a half-initialized
+  // model never escapes.
+  static util::StatusOr<std::unique_ptr<DeepSTModel>> LoadFromParams(
+      const roadnet::RoadNetwork& net, const DeepSTConfig& config,
+      traffic::TrafficTensorCache* traffic_cache,
+      const std::vector<nn::NamedTensor>& params);
+  // Same, reading the snapshot from an nn::SaveParameters file.
+  static util::StatusOr<std::unique_ptr<DeepSTModel>> LoadFromFile(
+      const roadnet::RoadNetwork& net, const DeepSTConfig& config,
+      traffic::TrafficTensorCache* traffic_cache, const std::string& path);
 
   // -- Training ---------------------------------------------------------------
   // Scalar ELBO-derived loss (mean per trip) for a minibatch; backward-able.

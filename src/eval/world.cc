@@ -47,13 +47,31 @@ WorldConfig HarbinMiniWorld(double scale) {
   return cfg;
 }
 
+WorldConfig ChengduFullWorld(double scale) {
+  WorldConfig cfg;
+  cfg.name = "chengdu-full";
+  cfg.full_city = roadnet::ChengduFullCityConfig();
+  cfg.traffic.seed = 105;
+  cfg.traffic.num_hotspots = 8;
+  cfg.generator.seed = 206;
+  cfg.generator.num_days = 4;
+  cfg.generator.trips_per_day = std::max(10, static_cast<int>(60 * scale));
+  cfg.generator.max_route_m = 12000.0;
+  cfg.train_days = 2;
+  cfg.val_days = 1;
+  cfg.traffic_cell_m = 500.0;
+  return cfg;
+}
+
 bool FastMode() {
   const char* v = std::getenv("DEEPST_FAST");
   return v != nullptr && v[0] != '\0' && v[0] != '0';
 }
 
 World::World(const WorldConfig& config) : config_(config) {
-  net_ = roadnet::BuildGridCity(config.city);
+  net_ = config.full_city.has_value()
+             ? roadnet::BuildChengduFull(*config.full_city)
+             : roadnet::BuildGridCity(config.city);
   index_ = std::make_unique<roadnet::SpatialIndex>(*net_);
   field_ = std::make_unique<traffic::CongestionField>(*net_, config.traffic);
   traj::TripGenerator generator(*net_, *field_, config.generator);

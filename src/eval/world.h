@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,9 @@ namespace eval {
 struct WorldConfig {
   std::string name = "city";
   roadnet::GridCityConfig city;
+  // When set, the network comes from the full-scale generator
+  // (BuildChengduFull) and `city` is ignored.
+  std::optional<roadnet::ChengduFullConfig> full_city;
   traffic::CongestionConfig traffic;
   traj::GeneratorConfig generator;
   int train_days = 6;
@@ -40,6 +44,13 @@ struct WorldConfig {
 // shrinks trip counts (for quick tests / DEEPST_FAST runs).
 WorldConfig ChengduMiniWorld(double scale = 1.0);
 WorldConfig HarbinMiniWorld(double scale = 1.0);
+
+// Full-scale city (> 100k segments; see ChengduFullCityConfig). Trip counts
+// stay modest by default -- the point of this world is the network scale,
+// which exercises the mmap v3 format and tile-sharded spatial serving.
+// Constructing the World still generates trips over the whole city; for
+// network-only workloads build the city directly via BuildChengduFull.
+WorldConfig ChengduFullWorld(double scale = 1.0);
 
 // Reads the DEEPST_FAST env var; when set benches shrink their workloads.
 bool FastMode();

@@ -7,7 +7,7 @@
 namespace deepst {
 namespace geo {
 
-double PolylineLength(const std::vector<Point>& pts) {
+double PolylineLength(PointSpan pts) {
   double len = 0.0;
   for (size_t i = 1; i < pts.size(); ++i) {
     len += pts[i - 1].DistanceTo(pts[i]);
@@ -25,7 +25,7 @@ Point ProjectOntoSegment(const Point& p, const Point& a, const Point& b) {
 }
 
 Projection ProjectOntoPolyline(const Point& p,
-                               const std::vector<Point>& pts) {
+                               PointSpan pts) {
   DEEPST_CHECK_GE(pts.size(), 1u);
   Projection best;
   if (pts.size() == 1) {
@@ -49,7 +49,7 @@ Projection ProjectOntoPolyline(const Point& p,
   return best;
 }
 
-Point InterpolateAlong(const std::vector<Point>& pts, double offset) {
+Point InterpolateAlong(PointSpan pts, double offset) {
   DEEPST_CHECK_GE(pts.size(), 1u);
   if (pts.size() == 1 || offset <= 0.0) return pts.front();
   double remaining = offset;
@@ -64,13 +64,13 @@ Point InterpolateAlong(const std::vector<Point>& pts, double offset) {
   return pts.back();
 }
 
-double HeadingAtStart(const std::vector<Point>& pts) {
+double HeadingAtStart(PointSpan pts) {
   DEEPST_CHECK_GE(pts.size(), 2u);
   const Point d = pts[1] - pts[0];
   return std::atan2(d.y, d.x);
 }
 
-double HeadingAtEnd(const std::vector<Point>& pts) {
+double HeadingAtEnd(PointSpan pts) {
   DEEPST_CHECK_GE(pts.size(), 2u);
   const Point d = pts[pts.size() - 1] - pts[pts.size() - 2];
   return std::atan2(d.y, d.x);

@@ -4,9 +4,15 @@
 #include <vector>
 
 #include "geo/point.h"
+#include "util/span.h"
 
 namespace deepst {
 namespace geo {
+
+// Read-only polyline view. Backed either by a std::vector (implicit
+// conversion) or by points mapped straight out of a format-v3 file, so the
+// geometry kernels below run identically over both.
+using PointSpan = util::Span<Point>;
 
 // Result of projecting a point onto a polyline.
 struct Projection {
@@ -18,20 +24,20 @@ struct Projection {
 
 // Total arc length of a polyline (>= 2 points required by callers that need
 // a positive length; a single point yields 0).
-double PolylineLength(const std::vector<Point>& pts);
+double PolylineLength(PointSpan pts);
 
 // Closest point on segment [a, b] to p.
 Point ProjectOntoSegment(const Point& p, const Point& a, const Point& b);
 
 // Projects `p` onto the polyline, minimizing Euclidean distance.
-Projection ProjectOntoPolyline(const Point& p, const std::vector<Point>& pts);
+Projection ProjectOntoPolyline(const Point& p, PointSpan pts);
 
 // Point at arc-length `offset` from the start (clamped to [0, length]).
-Point InterpolateAlong(const std::vector<Point>& pts, double offset);
+Point InterpolateAlong(PointSpan pts, double offset);
 
 // Heading (radians, atan2 convention) of the polyline at its start / end.
-double HeadingAtStart(const std::vector<Point>& pts);
-double HeadingAtEnd(const std::vector<Point>& pts);
+double HeadingAtStart(PointSpan pts);
+double HeadingAtEnd(PointSpan pts);
 
 // Absolute angular difference in [0, pi].
 double AngleDiff(double a, double b);

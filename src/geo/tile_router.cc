@@ -1,0 +1,43 @@
+#include "geo/tile_router.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace deepst {
+namespace geo {
+
+TileRouter::TileRouter(const GridSpec& grid, int target_shards)
+    : grid_(grid) {
+  DEEPST_CHECK_GE(target_shards, 1);
+  // Aim for tiles square in cell counts: tiles_r / tiles_c ~ rows / cols.
+  const double rows = grid_.rows();
+  const double cols = grid_.cols();
+  const double aspect = rows / cols;
+  int tr = static_cast<int>(std::lround(std::sqrt(target_shards * aspect)));
+  tr = std::clamp(tr, 1, grid_.rows());
+  int tc = (target_shards + tr - 1) / tr;
+  tc = std::clamp(tc, 1, grid_.cols());
+  tiles_r_ = tr;
+  tiles_c_ = tc;
+}
+
+TileRouter::CellRange TileRouter::RangeOf(int shard) const {
+  DEEPST_CHECK(shard >= 0 && shard < num_shards());
+  const int tr = shard / tiles_c_;
+  const int tc = shard % tiles_c_;
+  CellRange r;
+  r.r0 = static_cast<int>(static_cast<long long>(tr) * grid_.rows() /
+                          tiles_r_);
+  r.r1 = static_cast<int>(static_cast<long long>(tr + 1) * grid_.rows() /
+                          tiles_r_);
+  r.c0 = static_cast<int>(static_cast<long long>(tc) * grid_.cols() /
+                          tiles_c_);
+  r.c1 = static_cast<int>(static_cast<long long>(tc + 1) * grid_.cols() /
+                          tiles_c_);
+  return r;
+}
+
+}  // namespace geo
+}  // namespace deepst

@@ -1,0 +1,71 @@
+#ifndef DEEPST_GEO_TILE_ROUTER_H_
+#define DEEPST_GEO_TILE_ROUTER_H_
+
+#include "geo/grid.h"
+#include "geo/point.h"
+
+namespace deepst {
+namespace geo {
+
+// Partitions a grid's row/col space into rectangular region tiles and routes
+// cells (and points) to the shard that owns them. Sharded spatial serving
+// (ShardedSpatialIndex, TrafficTensorCache) keys its per-shard storage off
+// this, so a lookup touches exactly one shard's arrays -- shard-affine
+// routing. Tiles are contiguous row/col blocks, so cell -> shard and cell ->
+// local-slot are pure arithmetic.
+class TileRouter {
+ public:
+  // Splits `grid` into about `target_shards` tiles (at least 1), keeping
+  // tiles roughly square in cell counts. The actual shard count is
+  // tiles_x * tiles_y and may differ slightly from the target.
+  TileRouter(const GridSpec& grid, int target_shards);
+
+  int num_shards() const { return tiles_r_ * tiles_c_; }
+
+  // Shard owning grid cell (row, col).
+  int ShardOfCell(int row, int col) const {
+    return TileOfRow(row) * tiles_c_ + TileOfCol(col);
+  }
+  // Shard owning the cell containing p (clamped to the grid).
+  int ShardOf(const Point& p) const {
+    return ShardOfCell(grid_.RowOf(p), grid_.ColOf(p));
+  }
+
+  // Row/col block owned by a shard: rows [r0, r1) x cols [c0, c1).
+  struct CellRange {
+    int r0 = 0, r1 = 0, c0 = 0, c1 = 0;
+    int rows() const { return r1 - r0; }
+    int cols() const { return c1 - c0; }
+    int num_cells() const { return rows() * cols(); }
+  };
+  CellRange RangeOf(int shard) const;
+
+  // Local cell slot of (row, col) inside its owning shard's range.
+  int LocalCell(int shard, int row, int col) const {
+    const CellRange r = RangeOf(shard);
+    return (row - r.r0) * r.cols() + (col - r.c0);
+  }
+
+  const GridSpec& grid() const { return grid_; }
+
+ private:
+  int TileOfRow(int row) const {
+    // Inverse of the split in RangeOf: block t owns rows
+    // [t * rows / tiles_r, (t+1) * rows / tiles_r).
+    return static_cast<int>((static_cast<long long>(row) + 1) * tiles_r_ - 1) /
+           grid_.rows();
+  }
+  int TileOfCol(int col) const {
+    return static_cast<int>((static_cast<long long>(col) + 1) * tiles_c_ - 1) /
+           grid_.cols();
+  }
+
+  GridSpec grid_;
+  int tiles_r_ = 1;
+  int tiles_c_ = 1;
+};
+
+}  // namespace geo
+}  // namespace deepst
+
+#endif  // DEEPST_GEO_TILE_ROUTER_H_

@@ -6,6 +6,8 @@
 #include <ostream>
 #include <unordered_map>
 
+#include "util/string_util.h"
+
 namespace deepst {
 namespace nn {
 namespace {
@@ -205,6 +207,30 @@ util::Status LoadParameters(Module* module, const std::string& path) {
   auto tensors = ReadNamedTensors(in);
   if (!tensors.ok()) return tensors.status();
   return ApplyNamedTensors(module, tensors.value());
+}
+
+util::StatusOr<std::string> DescribeParamsFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return util::Status::NotFound("cannot open " + path);
+  uint32_t magic = 0;
+  if (!ReadU32(in, &magic) || magic != kMagic) {
+    return util::Status::InvalidArgument("not a parameter file: " + path);
+  }
+  std::string out = "model parameters  " + path + "\n";
+  auto tensors = ReadNamedTensors(in);
+  if (!tensors.ok()) {
+    out += "  payload: " + tensors.status().ToString() + "\n";
+    return out;
+  }
+  int64_t elements = 0;
+  for (const auto& [name, t] : tensors.value()) elements += t.numel();
+  out += util::StrFormat(
+      "  tensors: %zu (%lld elements, %.1f MiB)\n"
+      "  crc: none (parameter files rely on shape/name validation)\n"
+      "  zero-copy: no (streaming format)\n",
+      tensors.value().size(), static_cast<long long>(elements),
+      static_cast<double>(elements) * sizeof(float) / (1024.0 * 1024.0));
+  return out;
 }
 
 }  // namespace nn

@@ -71,6 +71,10 @@ util::Status SaveParameters(const Module& module, const std::string& path);
 // module must be found in the file with a matching shape.
 util::Status LoadParameters(Module* module, const std::string& path);
 
+// Human-readable report for `deepst_cli inspect`: tensor and element counts
+// of a SaveParameters file. InvalidArgument on a non-parameter-file magic.
+util::StatusOr<std::string> DescribeParamsFile(const std::string& path);
+
 }  // namespace nn
 }  // namespace deepst
 

@@ -61,9 +61,19 @@ Tensor Tensor::FromVector(std::vector<int64_t> shape,
   return t;
 }
 
+namespace {
+// Nesting depth of live ScopedDeferInit guards on this thread.
+thread_local int defer_init_depth = 0;
+}  // namespace
+
+ScopedDeferInit::ScopedDeferInit() { ++defer_init_depth; }
+ScopedDeferInit::~ScopedDeferInit() { --defer_init_depth; }
+bool ScopedDeferInit::active() { return defer_init_depth > 0; }
+
 Tensor Tensor::Uniform(std::vector<int64_t> shape, float lo, float hi,
                        util::Rng* rng) {
   Tensor t(std::move(shape));
+  if (ScopedDeferInit::active()) return t;
   for (auto& v : t.data_) {
     v = static_cast<float>(rng->Uniform(lo, hi));
   }
@@ -73,6 +83,7 @@ Tensor Tensor::Uniform(std::vector<int64_t> shape, float lo, float hi,
 Tensor Tensor::Gaussian(std::vector<int64_t> shape, float mean, float stddev,
                         util::Rng* rng) {
   Tensor t(std::move(shape));
+  if (ScopedDeferInit::active()) return t;
   for (auto& v : t.data_) {
     v = static_cast<float>(rng->Gaussian(mean, stddev));
   }

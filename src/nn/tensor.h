@@ -11,6 +11,24 @@
 namespace deepst {
 namespace nn {
 
+// While an instance is alive on this thread, Tensor::Uniform / Gaussian
+// allocate zero-filled storage instead of drawing from the rng (and do not
+// advance the rng stream). Checkpoint/parameter loading constructs models
+// under this guard: every parameter is about to be overwritten by the saved
+// values, so drawing O(params) random numbers first -- the dominant cost of
+// constructing a model over a 100k-segment city -- is pure waste. Only use
+// it when *all* randomly-initialized parameters are subsequently replaced.
+class ScopedDeferInit {
+ public:
+  ScopedDeferInit();
+  ~ScopedDeferInit();
+  ScopedDeferInit(const ScopedDeferInit&) = delete;
+  ScopedDeferInit& operator=(const ScopedDeferInit&) = delete;
+
+  // True when any instance is alive on the current thread.
+  static bool active();
+};
+
 // Dense row-major float32 n-dimensional array. This is the storage type of
 // the from-scratch autodiff engine that replaces PyTorch in this
 // reproduction (see DESIGN.md, substitution table). It is deliberately

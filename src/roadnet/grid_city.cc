@@ -1,5 +1,6 @@
 #include "roadnet/grid_city.h"
 
+#include <cmath>
 #include <vector>
 
 namespace deepst {
@@ -85,6 +86,168 @@ std::unique_ptr<RoadNetwork> BuildGridCity(const GridCityConfig& config) {
 
   net->Finalize();
   return net;
+}
+
+std::unique_ptr<RoadNetwork> BuildChengduFull(const ChengduFullConfig& config) {
+  const GridCityConfig& g = config.base;
+  DEEPST_CHECK_GE(g.rows, 8);
+  DEEPST_CHECK_GE(g.cols, 8);
+  DEEPST_CHECK_GE(config.bridge_every, 1);
+  util::Rng rng(g.seed);
+  auto net = std::make_unique<RoadNetwork>();
+
+  const double width = (g.cols - 1) * g.spacing_m;
+  const double height = (g.rows - 1) * g.spacing_m;
+  const geo::Point center{width / 2.0, height / 2.0};
+
+  std::vector<VertexId> vid(static_cast<size_t>(g.rows) * g.cols);
+  std::vector<geo::Point> pos(vid.size());
+  for (int r = 0; r < g.rows; ++r) {
+    for (int c = 0; c < g.cols; ++c) {
+      const double jx = rng.Gaussian(0.0, g.jitter_m);
+      const double jy = rng.Gaussian(0.0, g.jitter_m);
+      const geo::Point p{c * g.spacing_m + jx, r * g.spacing_m + jy};
+      const size_t i = static_cast<size_t>(r) * g.cols + c;
+      pos[i] = p;
+      vid[i] = net->AddVertex(p);
+    }
+  }
+  auto idx = [&](int r, int c) { return static_cast<size_t>(r) * g.cols + c; };
+
+  // Ring radii: evenly spaced annuli out to just inside the lattice edge.
+  const double r_max = 0.48 * std::min(width, height);
+  std::vector<double> ring_r;
+  for (int k = 0; k < config.num_rings; ++k) {
+    ring_r.push_back((k + 1) * r_max / (config.num_rings + 1));
+  }
+  // Rivers: y_i(x) = base_i + A sin(2 pi x / lambda + phase_i), stacked
+  // north to south.
+  std::vector<double> river_base, river_phase;
+  for (int i = 0; i < config.num_rivers; ++i) {
+    river_base.push_back(height * (i + 1) / (config.num_rivers + 1));
+    river_phase.push_back(i * 1.7);
+  }
+  auto river_y = [&](int i, double x) {
+    return river_base[static_cast<size_t>(i)] +
+           config.river_amplitude_m *
+               std::sin(2.0 * M_PI * x / config.river_wavelength_m +
+                        river_phase[static_cast<size_t>(i)]);
+  };
+
+  // Classifies the street (a, b) by the city's macro-structure. Order of
+  // precedence: ring highway > radial arterial > arterial lattice row/col >
+  // local.
+  auto classify = [&](const geo::Point& a, const geo::Point& b,
+                      bool lattice_arterial) {
+    const geo::Point mid{(a.x + b.x) / 2.0, (a.y + b.y) / 2.0};
+    const double dx = b.x - a.x, dy = b.y - a.y;
+    const double len = std::hypot(dx, dy);
+    const double rx = mid.x - center.x, ry = mid.y - center.y;
+    const double dist = std::hypot(rx, ry);
+    if (len > 1e-9 && dist > 1e-9) {
+      // Alignment of the street with the radial direction at its midpoint.
+      const double along = (dx * rx + dy * ry) / (len * dist);
+      for (double r : ring_r) {
+        if (std::abs(dist - r) < 0.6 * g.spacing_m && std::abs(along) < 0.45) {
+          return RoadClass::kHighway;  // tangential street on a ring annulus
+        }
+      }
+      const double theta = std::atan2(ry, rx);
+      for (int j = 0; j < config.num_radials; ++j) {
+        const double phi = 2.0 * M_PI * j / config.num_radials;
+        double dtheta = theta - phi;
+        while (dtheta > M_PI) dtheta -= 2.0 * M_PI;
+        while (dtheta < -M_PI) dtheta += 2.0 * M_PI;
+        if (std::abs(dtheta) < M_PI / 2 &&
+            dist * std::abs(std::sin(dtheta)) < 0.55 * g.spacing_m &&
+            std::abs(along) > 0.8) {
+          return RoadClass::kArterial;  // street along a radial corridor
+        }
+      }
+    }
+    return lattice_arterial ? RoadClass::kArterial : RoadClass::kLocal;
+  };
+
+  std::vector<int> bridge_counter(static_cast<size_t>(config.num_rivers), 0);
+  auto add_street = [&](int ra, int ca, int rb, int cb,
+                        bool lattice_arterial) {
+    const geo::Point& a = pos[idx(ra, ca)];
+    const geo::Point& b = pos[idx(rb, cb)];
+    RoadClass rc = classify(a, b, lattice_arterial);
+    // Rivers sever crossing streets; every bridge_every-th crossing per
+    // river is kept as a highway bridge.
+    for (int i = 0; i < config.num_rivers; ++i) {
+      const bool a_north = a.y < river_y(i, a.x);
+      const bool b_north = b.y < river_y(i, b.x);
+      if (a_north != b_north) {
+        if (++bridge_counter[static_cast<size_t>(i)] % config.bridge_every !=
+            0) {
+          return;  // severed by the river
+        }
+        rc = RoadClass::kHighway;
+        break;
+      }
+    }
+    if (rc == RoadClass::kLocal && rng.Uniform() < g.removal_prob) return;
+    const double speed = rc == RoadClass::kHighway ? config.highway_speed_mps
+                         : rc == RoadClass::kArterial ? g.arterial_speed_mps
+                                                      : g.local_speed_mps;
+    const VertexId va = vid[idx(ra, ca)];
+    const VertexId vb = vid[idx(rb, cb)];
+    if (rc == RoadClass::kLocal && rng.Uniform() < g.oneway_prob) {
+      if (rng.Bernoulli(0.5)) {
+        net->AddSegment(va, vb, speed, rc);
+      } else {
+        net->AddSegment(vb, va, speed, rc);
+      }
+      return;
+    }
+    const SegmentId fwd = net->AddSegment(va, vb, speed, rc);
+    const SegmentId bwd = net->AddSegment(vb, va, speed, rc);
+    net->LinkReverse(fwd, bwd);
+  };
+
+  auto lattice_arterial = [&](int line) {
+    return g.arterial_every > 0 && line % g.arterial_every == 0;
+  };
+  for (int r = 0; r < g.rows; ++r) {
+    for (int c = 0; c + 1 < g.cols; ++c) {
+      add_street(r, c, r, c + 1, lattice_arterial(r));
+    }
+  }
+  for (int c = 0; c < g.cols; ++c) {
+    for (int r = 0; r + 1 < g.rows; ++r) {
+      add_street(r, c, r + 1, c, lattice_arterial(c));
+    }
+  }
+  for (int r = 0; r + 1 < g.rows; ++r) {
+    for (int c = 0; c + 1 < g.cols; ++c) {
+      if (rng.Uniform() < g.diagonal_prob) {
+        if (rng.Bernoulli(0.5)) {
+          add_street(r, c, r + 1, c + 1, false);
+        } else {
+          add_street(r, c + 1, r + 1, c, false);
+        }
+      }
+    }
+  }
+
+  net->Finalize();
+  return net;
+}
+
+ChengduFullConfig ChengduFullCityConfig() {
+  ChengduFullConfig cfg;
+  cfg.base.rows = 172;
+  cfg.base.cols = 172;
+  cfg.base.spacing_m = 150.0;
+  cfg.base.jitter_m = 25.0;
+  cfg.base.arterial_every = 8;
+  cfg.base.diagonal_prob = 0.04;
+  cfg.base.removal_prob = 0.05;
+  cfg.base.oneway_prob = 0.06;
+  cfg.base.seed = 20200403;
+  return cfg;
 }
 
 GridCityConfig ChengduMiniConfig() {

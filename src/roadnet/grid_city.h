@@ -41,6 +41,29 @@ std::unique_ptr<RoadNetwork> BuildGridCity(const GridCityConfig& config);
 GridCityConfig ChengduMiniConfig();
 GridCityConfig HarbinMiniConfig();
 
+// Full-scale procedural city: the jittered lattice of BuildGridCity plus the
+// macro-structure of a real Chengdu-sized road network -- concentric ring
+// roads (lattice streets tangential to one of the ring radii become
+// highways), radial arterials fanning out from the center, and rivers
+// (sinusoidal east-west bands that sever every crossing street except
+// periodic bridges). The default preset yields > 100k directed segments,
+// the scale regime the mmap v3 format (docs/formats.md) is built for.
+struct ChengduFullConfig {
+  GridCityConfig base;        // large lattice; see ChengduFullCityConfig()
+  int num_rings = 4;          // concentric ring roads
+  int num_radials = 10;       // radial arterial corridors
+  int num_rivers = 2;         // sinusoidal rivers crossing the city
+  int bridge_every = 6;       // every k-th severed street becomes a bridge
+  double river_amplitude_m = 900.0;
+  double river_wavelength_m = 14000.0;
+  double highway_speed_mps = 22.2;  // ~80 km/h rings/bridges
+};
+
+// Preset sized to >= 100k directed segments (ISSUE 6 scale gate).
+ChengduFullConfig ChengduFullCityConfig();
+
+std::unique_ptr<RoadNetwork> BuildChengduFull(const ChengduFullConfig& config);
+
 }  // namespace roadnet
 }  // namespace deepst
 

@@ -1,6 +1,7 @@
 #include "roadnet/road_network.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/string_util.h"
 
@@ -9,18 +10,18 @@ namespace roadnet {
 
 VertexId RoadNetwork::AddVertex(geo::Point pos) {
   DEEPST_CHECK(!finalized_);
-  vertices_.push_back({pos});
-  return static_cast<VertexId>(vertices_.size() - 1);
+  vertices_.vec().push_back({pos});
+  return static_cast<VertexId>(vertices_.vec().size() - 1);
 }
 
 SegmentId RoadNetwork::AddSegment(VertexId from, VertexId to,
                                   double speed_limit_mps,
                                   RoadClass road_class) {
-  DEEPST_CHECK(from >= 0 && from < num_vertices());
-  DEEPST_CHECK(to >= 0 && to < num_vertices());
+  DEEPST_CHECK(from >= 0 && from < static_cast<int>(vertices_.vec().size()));
+  DEEPST_CHECK(to >= 0 && to < static_cast<int>(vertices_.vec().size()));
   return AddSegmentWithPolyline(
-      from, to, {vertices_[from].pos, vertices_[to].pos}, speed_limit_mps,
-      road_class);
+      from, to, {vertices_.vec()[from].pos, vertices_.vec()[to].pos},
+      speed_limit_mps, road_class);
 }
 
 SegmentId RoadNetwork::AddSegmentWithPolyline(VertexId from, VertexId to,
@@ -28,52 +29,100 @@ SegmentId RoadNetwork::AddSegmentWithPolyline(VertexId from, VertexId to,
                                               double speed_limit_mps,
                                               RoadClass road_class) {
   DEEPST_CHECK(!finalized_);
-  DEEPST_CHECK(from >= 0 && from < num_vertices());
-  DEEPST_CHECK(to >= 0 && to < num_vertices());
+  DEEPST_CHECK(from >= 0 && from < static_cast<int>(vertices_.vec().size()));
+  DEEPST_CHECK(to >= 0 && to < static_cast<int>(vertices_.vec().size()));
   DEEPST_CHECK_GE(polyline.size(), 2u);
   DEEPST_CHECK_GT(speed_limit_mps, 0.0);
   Segment seg;
   seg.from = from;
   seg.to = to;
   seg.length_m = geo::PolylineLength(polyline);
-  seg.polyline = std::move(polyline);
+  seg.poly_start = points_.vec().size();
+  seg.poly_len = static_cast<uint32_t>(polyline.size());
   seg.speed_limit_mps = speed_limit_mps;
   seg.road_class = road_class;
   DEEPST_CHECK_GT(seg.length_m, 0.0);
-  segments_.push_back(std::move(seg));
-  return static_cast<SegmentId>(segments_.size() - 1);
+  points_.vec().insert(points_.vec().end(), polyline.begin(), polyline.end());
+  segments_.vec().push_back(seg);
+  return static_cast<SegmentId>(segments_.vec().size() - 1);
 }
 
 void RoadNetwork::LinkReverse(SegmentId a, SegmentId b) {
-  DEEPST_CHECK(a >= 0 && a < num_segments());
-  DEEPST_CHECK(b >= 0 && b < num_segments());
-  segments_[a].reverse = b;
-  segments_[b].reverse = a;
+  DEEPST_CHECK(!finalized_);
+  DEEPST_CHECK(a >= 0 && a < static_cast<int>(segments_.vec().size()));
+  DEEPST_CHECK(b >= 0 && b < static_cast<int>(segments_.vec().size()));
+  segments_.vec()[a].reverse = b;
+  segments_.vec()[b].reverse = a;
 }
 
 void RoadNetwork::Finalize() {
   DEEPST_CHECK(!finalized_);
-  vertex_out_.assign(vertices_.size(), {});
-  in_segments_.assign(segments_.size(), {});
-  for (SegmentId s = 0; s < num_segments(); ++s) {
-    vertex_out_[segments_[s].from].push_back(s);
+  vertices_.Freeze();
+  segments_.Freeze();
+  points_.Freeze();
+  const size_t nv = vertices_.size();
+  const size_t ns = segments_.size();
+
+  // CSR adjacency: counting pass, prefix sum, fill. Filling with s ascending
+  // leaves every per-vertex id run sorted -- the slot ordering the softmax
+  // head depends on -- with no per-vertex sort.
+  auto& vout_off = vout_off_.vec();
+  auto& vin_off = vin_off_.vec();
+  vout_off.assign(nv + 1, 0);
+  vin_off.assign(nv + 1, 0);
+  for (size_t s = 0; s < ns; ++s) {
+    ++vout_off[static_cast<size_t>(segments_[s].from) + 1];
+    ++vin_off[static_cast<size_t>(segments_[s].to) + 1];
   }
-  for (auto& outs : vertex_out_) {
-    std::sort(outs.begin(), outs.end());
+  for (size_t v = 0; v < nv; ++v) {
+    vout_off[v + 1] += vout_off[v];
+    vin_off[v + 1] += vin_off[v];
   }
-  for (SegmentId s = 0; s < num_segments(); ++s) {
-    for (SegmentId succ : vertex_out_[segments_[s].to]) {
-      in_segments_[succ].push_back(s);
-    }
+  vout_ids_.vec().resize(ns);
+  vin_ids_.vec().resize(ns);
+  std::vector<uint64_t> out_cursor(vout_off.begin(), vout_off.end() - 1);
+  std::vector<uint64_t> in_cursor(vin_off.begin(), vin_off.end() - 1);
+  for (size_t s = 0; s < ns; ++s) {
+    vout_ids_.vec()[out_cursor[segments_[s].from]++] =
+        static_cast<SegmentId>(s);
+    vin_ids_.vec()[in_cursor[segments_[s].to]++] = static_cast<SegmentId>(s);
   }
-  // Adjacency is complete; queries (used below for max out-degree) are now
-  // legal.
+  vout_off_.Freeze();
+  vout_ids_.Freeze();
+  vin_off_.Freeze();
+  vin_ids_.Freeze();
+
   finalized_ = true;
   max_out_degree_ = 0;
-  for (SegmentId s = 0; s < num_segments(); ++s) {
-    max_out_degree_ = std::max(max_out_degree_, OutDegree(s));
+  for (size_t v = 0; v < nv; ++v) {
+    max_out_degree_ = std::max(
+        max_out_degree_, static_cast<int>(vout_off_[v + 1] - vout_off_[v]));
   }
-  for (const auto& v : vertices_) bounds_.Extend(v.pos);
+  for (size_t v = 0; v < nv; ++v) bounds_.Extend(vertices_[v].pos);
+}
+
+void RoadNetwork::AdoptFlatStorage(const FlatStorageRefs& refs,
+                                   std::shared_ptr<const void> backing) {
+  DEEPST_CHECK(!finalized_);
+  vertices_.Adopt(refs.vertices, refs.num_vertices);
+  segments_.Adopt(refs.segments, refs.num_segments);
+  points_.Adopt(refs.points, refs.num_points);
+  vout_off_.Adopt(refs.vout_off, refs.num_vertices + 1);
+  vout_ids_.Adopt(refs.vout_ids, refs.num_segments);
+  vin_off_.Adopt(refs.vin_off, refs.num_vertices + 1);
+  vin_ids_.Adopt(refs.vin_ids, refs.num_segments);
+  backing_ = std::move(backing);
+  finalized_ = true;
+  // Derived scalars are recomputed with alloc-free scans; everything else is
+  // served straight out of the borrowed arrays.
+  max_out_degree_ = 0;
+  for (uint64_t v = 0; v < refs.num_vertices; ++v) {
+    max_out_degree_ = std::max(
+        max_out_degree_, static_cast<int>(vout_off_[v + 1] - vout_off_[v]));
+  }
+  for (uint64_t v = 0; v < refs.num_vertices; ++v) {
+    bounds_.Extend(vertices_[v].pos);
+  }
 }
 
 const Vertex& RoadNetwork::vertex(VertexId v) const {
@@ -86,26 +135,32 @@ const Segment& RoadNetwork::segment(SegmentId s) const {
   return segments_[s];
 }
 
-const std::vector<SegmentId>& RoadNetwork::OutSegments(SegmentId s) const {
-  DEEPST_CHECK(finalized_);
-  return vertex_out_[segment(s).to];
+geo::PointSpan RoadNetwork::polyline(SegmentId s) const {
+  const Segment& seg = segment(s);
+  return geo::PointSpan(points_.data() + seg.poly_start, seg.poly_len);
 }
 
-const std::vector<SegmentId>& RoadNetwork::InSegments(SegmentId s) const {
+util::Span<SegmentId> RoadNetwork::OutSegments(SegmentId s) const {
   DEEPST_CHECK(finalized_);
-  DEEPST_CHECK(s >= 0 && s < num_segments());
-  return in_segments_[s];
+  return SegmentsFromVertex(segment(s).to);
 }
 
-const std::vector<SegmentId>& RoadNetwork::SegmentsFromVertex(
-    VertexId v) const {
+util::Span<SegmentId> RoadNetwork::InSegments(SegmentId s) const {
+  DEEPST_CHECK(finalized_);
+  const VertexId v = segment(s).from;
+  return util::Span<SegmentId>(vin_ids_.data() + vin_off_[v],
+                               vin_off_[v + 1] - vin_off_[v]);
+}
+
+util::Span<SegmentId> RoadNetwork::SegmentsFromVertex(VertexId v) const {
   DEEPST_CHECK(finalized_);
   DEEPST_CHECK(v >= 0 && v < num_vertices());
-  return vertex_out_[v];
+  return util::Span<SegmentId>(vout_ids_.data() + vout_off_[v],
+                               vout_off_[v + 1] - vout_off_[v]);
 }
 
 int RoadNetwork::NeighborSlot(SegmentId from, SegmentId to) const {
-  const auto& outs = OutSegments(from);
+  const auto outs = OutSegments(from);
   const auto it = std::lower_bound(outs.begin(), outs.end(), to);
   if (it != outs.end() && *it == to) {
     return static_cast<int>(it - outs.begin());
@@ -114,7 +169,7 @@ int RoadNetwork::NeighborSlot(SegmentId from, SegmentId to) const {
 }
 
 SegmentId RoadNetwork::SlotToSegment(SegmentId from, int slot) const {
-  const auto& outs = OutSegments(from);
+  const auto outs = OutSegments(from);
   if (slot < 0 || slot >= static_cast<int>(outs.size())) {
     return kInvalidSegment;
   }
@@ -122,21 +177,20 @@ SegmentId RoadNetwork::SlotToSegment(SegmentId from, int slot) const {
 }
 
 geo::Point RoadNetwork::SegmentStart(SegmentId s) const {
-  return segment(s).polyline.front();
+  return polyline(s).front();
 }
 
 geo::Point RoadNetwork::SegmentEnd(SegmentId s) const {
-  return segment(s).polyline.back();
+  return polyline(s).back();
 }
 
 geo::Point RoadNetwork::SegmentMidpoint(SegmentId s) const {
-  const Segment& seg = segment(s);
-  return geo::InterpolateAlong(seg.polyline, seg.length_m / 2.0);
+  return geo::InterpolateAlong(polyline(s), segment(s).length_m / 2.0);
 }
 
 geo::Projection RoadNetwork::ProjectToSegment(const geo::Point& p,
                                               SegmentId s) const {
-  return geo::ProjectOntoPolyline(p, segment(s).polyline);
+  return geo::ProjectOntoPolyline(p, polyline(s));
 }
 
 double RoadNetwork::FreeFlowTime(SegmentId s) const {

@@ -2,11 +2,14 @@
 #define DEEPST_ROADNET_ROAD_NETWORK_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "geo/point.h"
 #include "geo/polyline.h"
+#include "util/span.h"
 #include "util/status.h"
 
 namespace deepst {
@@ -21,21 +24,32 @@ constexpr VertexId kInvalidVertex = -1;
 // "highway-loving" drivers in the trip generator -- this is what creates the
 // long-range sequential dependency in routes that the paper's GRU encoder
 // exploits (DESIGN.md, substitution table).
-enum class RoadClass : uint8_t { kLocal = 0, kArterial = 1 };
+enum class RoadClass : uint8_t { kLocal = 0, kArterial = 1, kHighway = 2 };
 
 struct Vertex {
   geo::Point pos;
 };
+static_assert(sizeof(Vertex) == 16);
 
+// Fixed-layout segment record. This struct doubles as the on-disk format-v3
+// record (docs/formats.md), so it is a POD with explicit padding: zeroed pad
+// bytes keep serialized images byte-deterministic for the CRC footer. The
+// polyline lives in the network's shared point pool at
+// [poly_start, poly_start + poly_len).
 struct Segment {
   VertexId from = kInvalidVertex;
   VertexId to = kInvalidVertex;
-  std::vector<geo::Point> polyline;  // >= 2 points, polyline[0] at `from`
+  SegmentId reverse = kInvalidSegment;  // opposite-direction twin, if any
+  RoadClass road_class = RoadClass::kLocal;
+  uint8_t pad0[3] = {0, 0, 0};
   double length_m = 0.0;
   double speed_limit_mps = 13.9;  // ~50 km/h
-  RoadClass road_class = RoadClass::kLocal;
-  SegmentId reverse = kInvalidSegment;  // opposite-direction twin, if any
+  uint64_t poly_start = 0;        // first point in the network point pool
+  uint32_t poly_len = 0;          // >= 2 points, [0] at `from`
+  uint32_t pad1 = 0;
 };
+static_assert(sizeof(Segment) == 48);
+static_assert(std::is_trivially_copyable_v<Segment>);
 
 // Directed road-network graph. Vertices are crossroads; directed segments
 // (edges) are the tokens of routes (paper Definition 1). After all
@@ -43,6 +57,12 @@ struct Segment {
 // neighbor-slot indexing that DeepST's softmax head uses: the successors of
 // segment e (segments leaving e's end vertex) are sorted by id, and the
 // position of a successor in that list is its "slot" in [0, MaxOutDegree).
+//
+// Storage is flat: vertices, segments, the polyline point pool and the CSR
+// adjacency arrays are each one contiguous array. They are either heap-owned
+// (incremental construction + Finalize) or borrowed zero-copy from an
+// mmap'ed format-v3 file via AdoptFlatStorage -- queries are identical over
+// both.
 class RoadNetwork {
  public:
   RoadNetwork() = default;
@@ -64,19 +84,40 @@ class RoadNetwork {
   void Finalize();
   bool finalized() const { return finalized_; }
 
+  // Flat borrowed storage for zero-copy loads. All arrays must stay alive
+  // for the lifetime of the network; `backing` (e.g. the mmap'ed file) is
+  // held to guarantee that. Adjacency must satisfy the same invariants
+  // Finalize() establishes; the format-v3 loader validates before adopting.
+  struct FlatStorageRefs {
+    const Vertex* vertices = nullptr;
+    uint64_t num_vertices = 0;
+    const Segment* segments = nullptr;
+    uint64_t num_segments = 0;
+    const geo::Point* points = nullptr;
+    uint64_t num_points = 0;
+    const uint64_t* vout_off = nullptr;   // num_vertices + 1 offsets
+    const SegmentId* vout_ids = nullptr;  // vout_off[num_vertices] ids
+    const uint64_t* vin_off = nullptr;    // num_vertices + 1 offsets
+    const SegmentId* vin_ids = nullptr;   // vin_off[num_vertices] ids
+  };
+  void AdoptFlatStorage(const FlatStorageRefs& refs,
+                        std::shared_ptr<const void> backing);
+
   // -- Topology --------------------------------------------------------------
   int num_vertices() const { return static_cast<int>(vertices_.size()); }
   int num_segments() const { return static_cast<int>(segments_.size()); }
   const Vertex& vertex(VertexId v) const;
   const Segment& segment(SegmentId s) const;
+  // Polyline of segment `s` as a view into the shared point pool.
+  geo::PointSpan polyline(SegmentId s) const;
 
   // Successor segments of `s` (sorted by id), i.e. segments starting at
   // s.to.
-  const std::vector<SegmentId>& OutSegments(SegmentId s) const;
-  // Predecessor segments of `s` (segments ending at s.from).
-  const std::vector<SegmentId>& InSegments(SegmentId s) const;
+  util::Span<SegmentId> OutSegments(SegmentId s) const;
+  // Predecessor segments of `s` (segments ending at s.from), sorted by id.
+  util::Span<SegmentId> InSegments(SegmentId s) const;
   // Segments leaving vertex v.
-  const std::vector<SegmentId>& SegmentsFromVertex(VertexId v) const;
+  util::Span<SegmentId> SegmentsFromVertex(VertexId v) const;
 
   int OutDegree(SegmentId s) const {
     return static_cast<int>(OutSegments(s).size());
@@ -109,14 +150,31 @@ class RoadNetwork {
   // Total length of a route in meters.
   double RouteLength(const std::vector<SegmentId>& route) const;
 
+  // -- Raw flat sections (format-v3 writer, docs/formats.md) -----------------
+  util::Span<Vertex> vertices_span() const { return vertices_.span(); }
+  util::Span<Segment> segments_span() const { return segments_.span(); }
+  util::Span<geo::Point> points_span() const { return points_.span(); }
+  util::Span<uint64_t> vout_offsets_span() const { return vout_off_.span(); }
+  util::Span<SegmentId> vout_ids_span() const { return vout_ids_.span(); }
+  util::Span<uint64_t> vin_offsets_span() const { return vin_off_.span(); }
+  util::Span<SegmentId> vin_ids_span() const { return vin_ids_.span(); }
+  // True when topology is borrowed from a mapped file rather than heap-owned.
+  bool zero_copy() const { return backing_ != nullptr; }
+
  private:
-  std::vector<Vertex> vertices_;
-  std::vector<Segment> segments_;
-  std::vector<std::vector<SegmentId>> vertex_out_;  // per-vertex out segments
-  std::vector<std::vector<SegmentId>> in_segments_;
+  util::ArrayView<Vertex> vertices_;
+  util::ArrayView<Segment> segments_;
+  util::ArrayView<geo::Point> points_;  // shared polyline point pool
+  // CSR adjacency over vertices: out/in segment ids of vertex v live at
+  // ids[off[v], off[v+1]), ascending.
+  util::ArrayView<uint64_t> vout_off_;
+  util::ArrayView<SegmentId> vout_ids_;
+  util::ArrayView<uint64_t> vin_off_;
+  util::ArrayView<SegmentId> vin_ids_;
   geo::BoundingBox bounds_;
   int max_out_degree_ = 0;
   bool finalized_ = false;
+  std::shared_ptr<const void> backing_;  // keeps borrowed storage alive
 };
 
 }  // namespace roadnet

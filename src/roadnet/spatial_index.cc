@@ -2,43 +2,51 @@
 
 #include <algorithm>
 #include <unordered_set>
+#include <utility>
 
 namespace deepst {
 namespace roadnet {
 namespace {
 
-geo::BoundingBox PaddedBounds(const RoadNetwork& net) {
+// Cells covered by segment `s`: every cell its polyline bounding box
+// overlaps. Calls fn(row, col) for each.
+template <typename Fn>
+void ForEachCoveredCell(const RoadNetwork& net, const geo::GridSpec& grid,
+                        SegmentId s, Fn&& fn) {
+  geo::BoundingBox sb;
+  for (const geo::Point& p : net.polyline(s)) sb.Extend(p);
+  const int r0 = grid.RowOf(sb.min);
+  const int r1 = grid.RowOf(sb.max);
+  const int c0 = grid.ColOf(sb.min);
+  const int c1 = grid.ColOf(sb.max);
+  for (int r = r0; r <= r1; ++r) {
+    for (int c = c0; c <= c1; ++c) {
+      fn(r, c);
+    }
+  }
+}
+
+}  // namespace
+
+geo::BoundingBox SpatialIndexPaddedBounds(const RoadNetwork& net) {
   geo::BoundingBox box = net.bounds();
+  if (box.min.x > box.max.x || box.min.y > box.max.y) {
+    // Empty network: bounds() is still the inverted sentinel box, and
+    // padding it would produce a ~2e18 m wide grid. Any small grid serves
+    // the (necessarily empty) queries.
+    box = geo::BoundingBox();
+    box.Extend({-1.0, -1.0});
+    box.Extend({1.0, 1.0});
+    return box;
+  }
   // Guard against degenerate boxes.
   box.Extend({box.min.x - 1.0, box.min.y - 1.0});
   box.Extend({box.max.x + 1.0, box.max.y + 1.0});
   return box;
 }
 
-}  // namespace
-
-SpatialIndex::SpatialIndex(const RoadNetwork& net, double cell_size_m)
-    : net_(net), grid_(PaddedBounds(net), cell_size_m) {
-  DEEPST_CHECK(net.finalized());
-  cells_.assign(static_cast<size_t>(grid_.num_cells()), {});
-  for (SegmentId s = 0; s < net.num_segments(); ++s) {
-    geo::BoundingBox sb;
-    for (const geo::Point& p : net.segment(s).polyline) sb.Extend(p);
-    const int r0 = grid_.RowOf(sb.min);
-    const int r1 = grid_.RowOf(sb.max);
-    const int c0 = grid_.ColOf(sb.min);
-    const int c1 = grid_.ColOf(sb.max);
-    for (int r = r0; r <= r1; ++r) {
-      for (int c = c0; c <= c1; ++c) {
-        cells_[static_cast<size_t>(r) * grid_.cols() + c].push_back(s);
-      }
-    }
-  }
-}
-
-std::vector<SegmentCandidate> SpatialIndex::CollectRing(const geo::Point& p,
-                                                        int ring) const {
-  std::vector<SegmentCandidate> out;
+void SpatialIndexBase::CollectRing(const geo::Point& p, int ring,
+                                   std::vector<SegmentCandidate>* out) const {
   const int pr = grid_.RowOf(p);
   const int pc = grid_.ColOf(p);
   for (int r = pr - ring; r <= pr + ring; ++r) {
@@ -49,22 +57,24 @@ std::vector<SegmentCandidate> SpatialIndex::CollectRing(const geo::Point& p,
       if (ring > 0 && std::abs(r - pr) != ring && std::abs(c - pc) != ring) {
         continue;
       }
-      for (SegmentId s : cells_[static_cast<size_t>(r) * grid_.cols() + c]) {
-        out.push_back({s, net_.ProjectToSegment(p, s)});
+      for (SegmentId s : CellSegments(r, c)) {
+        out->push_back({s, net_.ProjectToSegment(p, s)});
       }
     }
   }
-  return out;
 }
 
-std::vector<SegmentCandidate> SpatialIndex::SegmentsNear(
+std::vector<SegmentCandidate> SpatialIndexBase::SegmentsNear(
     const geo::Point& p, double radius_m) const {
   const int max_ring =
       static_cast<int>(radius_m / grid_.cell_size()) + 1;
   std::unordered_set<SegmentId> seen;
   std::vector<SegmentCandidate> out;
+  std::vector<SegmentCandidate> ring_out;
   for (int ring = 0; ring <= max_ring; ++ring) {
-    for (auto& cand : CollectRing(p, ring)) {
+    ring_out.clear();
+    CollectRing(p, ring, &ring_out);
+    for (auto& cand : ring_out) {
       if (!seen.insert(cand.segment).second) continue;
       if (cand.projection.distance <= radius_m) {
         out.push_back(std::move(cand));
@@ -78,14 +88,17 @@ std::vector<SegmentCandidate> SpatialIndex::SegmentsNear(
   return out;
 }
 
-std::vector<SegmentCandidate> SpatialIndex::NearestSegments(
+std::vector<SegmentCandidate> SpatialIndexBase::NearestSegments(
     const geo::Point& p, int k) const {
   DEEPST_CHECK_GE(k, 1);
   std::unordered_set<SegmentId> seen;
   std::vector<SegmentCandidate> out;
+  std::vector<SegmentCandidate> ring_out;
   const int max_ring = std::max(grid_.rows(), grid_.cols());
   for (int ring = 0; ring <= max_ring; ++ring) {
-    for (auto& cand : CollectRing(p, ring)) {
+    ring_out.clear();
+    CollectRing(p, ring, &ring_out);
+    for (auto& cand : ring_out) {
       if (seen.insert(cand.segment).second) out.push_back(std::move(cand));
     }
     // Once we have k candidates AND the next ring cannot contain anything
@@ -108,10 +121,102 @@ std::vector<SegmentCandidate> SpatialIndex::NearestSegments(
   return out;
 }
 
-SegmentCandidate SpatialIndex::Nearest(const geo::Point& p) const {
+SegmentCandidate SpatialIndexBase::Nearest(const geo::Point& p) const {
   auto v = NearestSegments(p, 1);
   if (v.empty()) return {};
   return v.front();
+}
+
+SpatialIndex::SpatialIndex(const RoadNetwork& net, double cell_size_m)
+    : SpatialIndexBase(
+          net, geo::GridSpec(SpatialIndexPaddedBounds(net), cell_size_m)) {
+  DEEPST_CHECK(net.finalized());
+  const size_t nc = static_cast<size_t>(grid_.num_cells());
+  // Two-pass CSR build: count, prefix-sum, fill. Filling with s ascending
+  // keeps every per-cell list sorted by id, matching the order queries (and
+  // the v2 per-cell-vector layout) always saw.
+  auto& off = cell_off_.vec();
+  off.assign(nc + 1, 0);
+  for (SegmentId s = 0; s < net.num_segments(); ++s) {
+    ForEachCoveredCell(net, grid_, s, [&](int r, int c) {
+      ++off[static_cast<size_t>(r) * grid_.cols() + c + 1];
+    });
+  }
+  for (size_t cell = 0; cell < nc; ++cell) off[cell + 1] += off[cell];
+  auto& ids = cell_ids_.vec();
+  ids.resize(off[nc]);
+  std::vector<uint64_t> cursor(off.begin(), off.end() - 1);
+  for (SegmentId s = 0; s < net.num_segments(); ++s) {
+    ForEachCoveredCell(net, grid_, s, [&](int r, int c) {
+      ids[cursor[static_cast<size_t>(r) * grid_.cols() + c]++] = s;
+    });
+  }
+  cell_off_.Freeze();
+  cell_ids_.Freeze();
+}
+
+SpatialIndex::SpatialIndex(const RoadNetwork& net, double cell_size_m,
+                           const uint64_t* cell_off, const SegmentId* cell_ids,
+                           std::shared_ptr<const void> backing)
+    : SpatialIndexBase(
+          net, geo::GridSpec(SpatialIndexPaddedBounds(net), cell_size_m)) {
+  DEEPST_CHECK(net.finalized());
+  const size_t nc = static_cast<size_t>(grid_.num_cells());
+  cell_off_.Adopt(cell_off, nc + 1);
+  cell_ids_.Adopt(cell_ids, cell_off[nc]);
+  backing_ = std::move(backing);
+}
+
+util::Span<SegmentId> SpatialIndex::CellSegments(int row, int col) const {
+  const size_t cell = static_cast<size_t>(row) * grid_.cols() + col;
+  return util::Span<SegmentId>(cell_ids_.data() + cell_off_[cell],
+                               cell_off_[cell + 1] - cell_off_[cell]);
+}
+
+ShardedSpatialIndex::ShardedSpatialIndex(const RoadNetwork& net,
+                                         double cell_size_m, int target_shards)
+    : SpatialIndexBase(
+          net, geo::GridSpec(SpatialIndexPaddedBounds(net), cell_size_m)),
+      router_(grid_, target_shards) {
+  DEEPST_CHECK(net.finalized());
+  shards_.resize(static_cast<size_t>(router_.num_shards()));
+  for (int sh = 0; sh < router_.num_shards(); ++sh) {
+    shards_[sh].cell_off.assign(
+        static_cast<size_t>(router_.RangeOf(sh).num_cells()) + 1, 0);
+  }
+  for (SegmentId s = 0; s < net.num_segments(); ++s) {
+    ForEachCoveredCell(net, grid_, s, [&](int r, int c) {
+      const int sh = router_.ShardOfCell(r, c);
+      ++shards_[sh].cell_off[static_cast<size_t>(
+                                 router_.LocalCell(sh, r, c)) +
+                             1];
+    });
+  }
+  std::vector<std::vector<uint64_t>> cursors(shards_.size());
+  for (size_t sh = 0; sh < shards_.size(); ++sh) {
+    auto& off = shards_[sh].cell_off;
+    for (size_t cell = 0; cell + 1 < off.size(); ++cell) {
+      off[cell + 1] += off[cell];
+    }
+    shards_[sh].cell_ids.resize(off.back());
+    cursors[sh].assign(off.begin(), off.end() - 1);
+  }
+  for (SegmentId s = 0; s < net.num_segments(); ++s) {
+    ForEachCoveredCell(net, grid_, s, [&](int r, int c) {
+      const int sh = router_.ShardOfCell(r, c);
+      shards_[sh].cell_ids[cursors[sh][router_.LocalCell(sh, r, c)]++] = s;
+    });
+  }
+}
+
+util::Span<SegmentId> ShardedSpatialIndex::CellSegments(int row,
+                                                        int col) const {
+  const int sh = router_.ShardOfCell(row, col);
+  const Shard& shard = shards_[sh];
+  const size_t local = static_cast<size_t>(router_.LocalCell(sh, row, col));
+  return util::Span<SegmentId>(shard.cell_ids.data() + shard.cell_off[local],
+                               shard.cell_off[local + 1] -
+                                   shard.cell_off[local]);
 }
 
 }  // namespace roadnet

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstdlib>
+#include <utility>
 #include <fstream>
 #include <sstream>
 
@@ -53,21 +55,79 @@ nn::Tensor TrafficTensorBuilder::Build(
 TrafficTensorCache::TrafficTensorCache(const geo::GridSpec& grid,
                                        double slot_seconds,
                                        double window_seconds,
-                                       double speed_norm_mps)
+                                       double speed_norm_mps,
+                                       int target_shards)
     : builder_(grid, speed_norm_mps),
       slot_seconds_(slot_seconds),
-      window_seconds_(window_seconds) {
+      window_seconds_(window_seconds),
+      router_(grid, target_shards),
+      shards_(static_cast<size_t>(router_.num_shards())) {
   DEEPST_CHECK_GT(slot_seconds, 0.0);
   DEEPST_CHECK_GT(window_seconds, 0.0);
 }
 
 void TrafficTensorCache::AddObservations(
     const std::vector<SpeedObservation>& observations) {
-  for (const auto& obs : observations) {
-    by_slot_[SlotOf(obs.time_s)].push_back(obs);
+  if (observations.empty()) return;
+  // Route every observation to (shard, slot), then stable-sort the keys so
+  // each touched bucket gets one reserve and one contiguous append.
+  // Stability keeps arrival order inside a bucket -- the accumulation order
+  // the tensors are built in.
+  std::vector<std::pair<uint64_t, uint32_t>> keyed;
+  keyed.reserve(observations.size());
+  for (uint32_t i = 0; i < observations.size(); ++i) {
+    const auto& obs = observations[i];
+    const uint64_t shard =
+        static_cast<uint64_t>(router_.ShardOf(obs.pos));
+    // Order-preserving mapping of the (possibly negative) slot index.
+    const uint32_t slot_key =
+        static_cast<uint32_t>(SlotOf(obs.time_s)) ^ 0x80000000u;
+    keyed.emplace_back((shard << 32) | slot_key, i);
     latest_time_ = std::max(latest_time_, obs.time_s);
   }
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [](const std::pair<uint64_t, uint32_t>& a,
+                      const std::pair<uint64_t, uint32_t>& b) {
+                     return a.first < b.first;
+                   });
+  size_t i = 0;
+  while (i < keyed.size()) {
+    size_t j = i;
+    while (j < keyed.size() && keyed[j].first == keyed[i].first) ++j;
+    const int shard = static_cast<int>(keyed[i].first >> 32);
+    const int slot = SlotOf(observations[keyed[i].second].time_s);
+    auto& buckets = shards_[static_cast<size_t>(shard)].buckets;
+    auto it = std::lower_bound(
+        buckets.begin(), buckets.end(), slot,
+        [](const SlotBucket& b, int s) { return b.slot < s; });
+    if (it == buckets.end() || it->slot != slot) {
+      it = buckets.insert(it, SlotBucket{slot, {}});
+    }
+    it->obs.reserve(it->obs.size() + (j - i));
+    for (size_t k = i; k < j; ++k) {
+      it->obs.push_back(observations[keyed[k].second]);
+    }
+    i = j;
+  }
+  std::lock_guard<std::mutex> lock(cache_mu_);
   cache_.clear();
+}
+
+template <typename Fn>
+void TrafficTensorCache::ForEachInWindow(double window_start,
+                                         double window_end, Fn&& fn) const {
+  const int first_slot = SlotOf(std::max(0.0, window_start));
+  const int last_slot = SlotOf(window_end);
+  for (const Shard& shard : shards_) {
+    auto it = std::lower_bound(
+        shard.buckets.begin(), shard.buckets.end(), first_slot,
+        [](const SlotBucket& b, int s) { return b.slot < s; });
+    for (; it != shard.buckets.end() && it->slot <= last_slot; ++it) {
+      for (const auto& obs : it->obs) {
+        if (obs.time_s >= window_start && obs.time_s < window_end) fn(obs);
+      }
+    }
+  }
 }
 
 bool TrafficTensorCache::HasObservations(double time_s) const {
@@ -76,15 +136,10 @@ bool TrafficTensorCache::HasObservations(double time_s) const {
   const int slot = SlotOf(time_s);
   const double slot_start = slot * slot_seconds_;
   const double window_start = slot_start - window_seconds_;
-  const int first_slot = SlotOf(std::max(0.0, window_start));
-  for (int k = first_slot; k <= slot; ++k) {
-    auto bucket = by_slot_.find(k);
-    if (bucket == by_slot_.end()) continue;
-    for (const auto& obs : bucket->second) {
-      if (obs.time_s >= window_start && obs.time_s < slot_start) return true;
-    }
-  }
-  return false;
+  bool found = false;
+  ForEachInWindow(window_start, slot_start,
+                  [&](const SpeedObservation&) { found = true; });
+  return found;
 }
 
 const nn::Tensor& TrafficTensorCache::TensorForTime(double time_s) {
@@ -100,16 +155,9 @@ const nn::Tensor& TrafficTensorCache::TensorForTime(double time_s) {
   const double slot_start = slot * slot_seconds_;
   const double window_start = slot_start - window_seconds_;
   std::vector<SpeedObservation> window_obs;
-  const int first_slot = SlotOf(std::max(0.0, window_start));
-  for (int k = first_slot; k <= slot; ++k) {
-    auto bucket = by_slot_.find(k);
-    if (bucket == by_slot_.end()) continue;
-    for (const auto& obs : bucket->second) {
-      if (obs.time_s >= window_start && obs.time_s < slot_start) {
-        window_obs.push_back(obs);
-      }
-    }
-  }
+  ForEachInWindow(window_start, slot_start, [&](const SpeedObservation& obs) {
+    window_obs.push_back(obs);
+  });
   nn::Tensor built = builder_.Build(window_obs);
   std::lock_guard<std::mutex> lock(cache_mu_);
   auto [pos, inserted] = cache_.emplace(slot, std::move(built));

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "geo/grid.h"
+#include "geo/tile_router.h"
 #include "nn/tensor.h"
 #include "util/status.h"
 
@@ -49,12 +50,21 @@ class TrafficTensorBuilder {
 // time falls into the slot (paper Section IV-D: "discretize the temporal
 // dimension into slots and let the trips whose start times fall into the
 // same slot share one C"). Observations must be added before querying.
+// Observation storage is sharded by region tile (geo::TileRouter over the
+// traffic grid): each shard holds a flat vector of slot buckets sorted by
+// slot index, looked up by binary search. Ingestion routes every observation
+// to its tile's shard -- shard-affine routing -- and bulk-reserves each
+// touched bucket once. Because a grid cell belongs to exactly one tile, the
+// per-cell accumulation order (and hence every tensor, bit for bit) is
+// independent of the sharding.
 class TrafficTensorCache {
  public:
   TrafficTensorCache(const geo::GridSpec& grid, double slot_seconds,
-                     double window_seconds, double speed_norm_mps = 20.0);
+                     double window_seconds, double speed_norm_mps = 20.0,
+                     int target_shards = 16);
 
-  // Registers probe observations (any order).
+  // Registers probe observations (any order). Not thread-safe with respect
+  // to concurrent queries; ingest before serving.
   void AddObservations(const std::vector<SpeedObservation>& observations);
 
   // Tensor for the slot containing `time_s`, built lazily from observations
@@ -78,12 +88,30 @@ class TrafficTensorCache {
   int rows() const { return builder_.grid().rows(); }
   int cols() const { return builder_.grid().cols(); }
 
+  int num_shards() const { return router_.num_shards(); }
+  // Shard that observations (and per-region lookups) at `p` route to.
+  int ShardOf(const geo::Point& p) const { return router_.ShardOf(p); }
+
  private:
+  // One time slot's observations within a shard, in arrival order.
+  struct SlotBucket {
+    int slot = 0;
+    std::vector<SpeedObservation> obs;
+  };
+  struct Shard {
+    std::vector<SlotBucket> buckets;  // sorted by slot
+  };
+
+  // Calls fn(obs) for every stored observation with time in
+  // [window_start, window_end), shard by shard, slots ascending.
+  template <typename Fn>
+  void ForEachInWindow(double window_start, double window_end, Fn&& fn) const;
+
   TrafficTensorBuilder builder_;
   double slot_seconds_;
   double window_seconds_;
-  // Observations bucketed by slot index for fast window queries.
-  std::map<int, std::vector<SpeedObservation>> by_slot_;
+  geo::TileRouter router_;
+  std::vector<Shard> shards_;
   double latest_time_ = -1e300;
   // Guards cache_ (lazily grown; node-based, so returned references stay
   // valid across later insertions).

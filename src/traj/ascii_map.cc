@@ -32,7 +32,7 @@ void AsciiMap::Plot(const geo::Point& p, char ch) {
   if (rank(ch) >= rank(cell)) cell = ch;
 }
 
-void AsciiMap::DrawPolyline(const std::vector<geo::Point>& pts, char ch) {
+void AsciiMap::DrawPolyline(geo::PointSpan pts, char ch) {
   for (size_t i = 0; i + 1 < pts.size(); ++i) {
     const geo::Point a = pts[i];
     const geo::Point b = pts[i + 1];
@@ -49,13 +49,13 @@ void AsciiMap::DrawPolyline(const std::vector<geo::Point>& pts, char ch) {
 
 void AsciiMap::DrawNetwork() {
   for (roadnet::SegmentId s = 0; s < net_.num_segments(); ++s) {
-    DrawPolyline(net_.segment(s).polyline, '.');
+    DrawPolyline(net_.polyline(s), '.');
   }
 }
 
 void AsciiMap::DrawRoute(const Route& route, char ch) {
   for (roadnet::SegmentId s : route) {
-    DrawPolyline(net_.segment(s).polyline, ch);
+    DrawPolyline(net_.polyline(s), ch);
   }
 }
 

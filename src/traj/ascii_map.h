@@ -26,7 +26,7 @@ class AsciiMap {
   std::string Render() const;
 
  private:
-  void DrawPolyline(const std::vector<geo::Point>& pts, char ch);
+  void DrawPolyline(geo::PointSpan pts, char ch);
   void Plot(const geo::Point& p, char ch);
 
   const roadnet::RoadNetwork& net_;

@@ -84,7 +84,7 @@ TripRecord TripGenerator::GenerateTrip(int day, util::Rng* rng) const {
       const auto& seg = net_.segment(s);
       double t = traffic_aware ? field_.TravelTime(s, start_time)
                                : net_.FreeFlowTime(s);
-      if (seg.road_class == RoadClass::kArterial) t *= arterial_factor;
+      if (seg.road_class != RoadClass::kLocal) t *= arterial_factor;
       const double g =
           util::HashToUnit(trip_salt ^ (static_cast<uint64_t>(s) * 2654435761ULL));
       // Lognormal-ish noise via inverse-transform of a uniform through a
@@ -94,8 +94,8 @@ TripRecord TripGenerator::GenerateTrip(int day, util::Rng* rng) const {
     };
     auto turn_cost = [this](SegmentId prev, SegmentId next) {
       if (net_.segment(prev).reverse == next) return config_.uturn_penalty_s;
-      const double a = geo::HeadingAtEnd(net_.segment(prev).polyline);
-      const double b = geo::HeadingAtStart(net_.segment(next).polyline);
+      const double a = geo::HeadingAtEnd(net_.polyline(prev));
+      const double b = geo::HeadingAtStart(net_.polyline(next));
       return config_.turn_penalty_s * geo::AngleDiff(a, b) / (M_PI / 2.0);
     };
     roadnet::PathQueryOptions opts;
@@ -136,7 +136,7 @@ GpsTrajectory TripGenerator::SimulateGps(const Route& route,
     // Emit samples while inside this segment.
     while (next_sample < t + seg_time) {
       const double offset = (next_sample - t) * speed;
-      geo::Point p = geo::InterpolateAlong(seg.polyline, offset);
+      geo::Point p = geo::InterpolateAlong(net_.polyline(s), offset);
       p = p + geo::Point{rng->Gaussian(0.0, config_.gps_noise_m),
                          rng->Gaussian(0.0, config_.gps_noise_m)};
       gps.push_back({p, next_sample, speed});
@@ -147,7 +147,7 @@ GpsTrajectory TripGenerator::SimulateGps(const Route& route,
   // Final point at the route end.
   if (!route.empty()) {
     const auto& seg = net_.segment(route.back());
-    geo::Point p = seg.polyline.back() +
+    geo::Point p = net_.polyline(route.back()).back() +
                    geo::Point{rng->Gaussian(0.0, config_.gps_noise_m),
                               rng->Gaussian(0.0, config_.gps_noise_m)};
     gps.push_back({p, t, field_.SpeedAt(route.back(), t)});

@@ -8,6 +8,8 @@
 #include "util/byte_reader.h"
 #include "util/crc32.h"
 #include "util/fault_injector.h"
+#include "util/fixed_format.h"
+#include "util/mapped_file.h"
 #include "util/string_util.h"
 
 namespace deepst {
@@ -15,10 +17,12 @@ namespace traj {
 namespace {
 
 constexpr uint32_t kMagic = 0x0DA7A701;
-// v1: raw records. v2 appends a CRC32 footer over everything before it;
-// Load accepts both (v1 files predate the checksum).
+// v1: raw records. v2 appends a CRC32 footer over everything before it.
+// v3: fixed-layout mmap-able sections (docs/formats.md). Load accepts all
+// three (v1 files predate the checksum).
 constexpr uint32_t kVersionLegacy = 1;
 constexpr uint32_t kVersion = 2;
+constexpr uint32_t kVersionV3 = 3;
 
 template <typename T>
 void WritePod(std::ostream& out, const T& v) {
@@ -97,7 +101,159 @@ util::Status ParseRecords(util::ByteReader* in,
   return util::Status::Ok();
 }
 
+// -- Format v3 ---------------------------------------------------------------
+//
+// Fixed 40-byte header, section table, 8-aligned payloads, CRC footer
+// (util/fixed_format.h). Trips are fixed 56-byte records indexing into
+// shared route-id and GPS-point pools. Byte layout in docs/formats.md.
+struct TrajHeaderV3 {
+  uint32_t magic = kMagic;
+  uint32_t version = kVersionV3;
+  uint64_t num_trips = 0;
+  uint64_t num_route_ids = 0;
+  uint64_t num_gps_points = 0;
+  uint32_t num_sections = 0;
+  uint32_t pad = 0;
+};
+static_assert(sizeof(TrajHeaderV3) == 40);
+
+struct TripRecV3 {
+  double start_time_s = 0.0;
+  double dest_x = 0.0;
+  double dest_y = 0.0;
+  uint64_t route_start = 0;  // into the route-id pool
+  uint64_t gps_start = 0;    // into the GPS-point pool
+  int32_t day = 0;
+  uint32_t route_len = 0;
+  uint32_t gps_len = 0;
+  uint32_t pad = 0;
+};
+static_assert(sizeof(TripRecV3) == 56);
+
+// GpsPoint is written as a raw struct view; its memory layout must equal the
+// v1/v2 field order (x, y, time_s, speed_mps).
+static_assert(sizeof(GpsPoint) == 32);
+static_assert(std::is_trivially_copyable_v<GpsPoint>);
+
+constexpr uint32_t kSecTrips = 1;
+constexpr uint32_t kSecRouteIds = 2;
+constexpr uint32_t kSecGpsPoints = 3;
+
+util::Status LoadDatasetV3(const util::MappedFile& file,
+                           const std::string& path,
+                           std::vector<TripRecord>* records) {
+  const char* data = file.data();
+  const size_t size = file.size();
+  DEEPST_RETURN_IF_ERROR(util::CheckCrcFooter(data, size, path));
+  if (size < sizeof(TrajHeaderV3) + util::kFooterBytes) {
+    return util::Status::IoError("file too short: " + path);
+  }
+  TrajHeaderV3 hdr;
+  std::memcpy(&hdr, data, sizeof(hdr));
+  if (hdr.num_trips >= (1ull << 40) || hdr.num_route_ids >= (1ull << 40) ||
+      hdr.num_gps_points >= (1ull << 40)) {
+    return util::Status::InvalidArgument("implausible element counts in " +
+                                         path);
+  }
+  auto sections = util::SectionMap::Parse(data, size, sizeof(TrajHeaderV3),
+                                          hdr.num_sections, path);
+  DEEPST_RETURN_IF_ERROR(sections.status());
+  const util::SectionMap& map = sections.value();
+  const TripRecV3* trips = nullptr;
+  const roadnet::SegmentId* route_ids = nullptr;
+  const GpsPoint* gps = nullptr;
+  DEEPST_RETURN_IF_ERROR(map.View(kSecTrips, hdr.num_trips, &trips));
+  DEEPST_RETURN_IF_ERROR(map.View(kSecRouteIds, hdr.num_route_ids,
+                                  &route_ids));
+  DEEPST_RETURN_IF_ERROR(map.View(kSecGpsPoints, hdr.num_gps_points, &gps));
+  // Validate the pools and records against the mapping first, then
+  // materialize each trip with two bulk copies.
+  for (uint64_t i = 0; i < hdr.num_route_ids; ++i) {
+    if (route_ids[i] < 0) {
+      return util::Status::InvalidArgument("negative segment id in " + path);
+    }
+  }
+  for (uint64_t i = 0; i < hdr.num_gps_points; ++i) {
+    if (!std::isfinite(gps[i].pos.x) || !std::isfinite(gps[i].pos.y) ||
+        !std::isfinite(gps[i].time_s) || !std::isfinite(gps[i].speed_mps)) {
+      return util::Status::InvalidArgument("non-finite gps point in " + path);
+    }
+  }
+  for (uint64_t i = 0; i < hdr.num_trips; ++i) {
+    const TripRecV3& t = trips[i];
+    if (!std::isfinite(t.start_time_s) || !std::isfinite(t.dest_x) ||
+        !std::isfinite(t.dest_y) || t.day < 0) {
+      return util::Status::InvalidArgument(
+          util::StrFormat("trip %llu has bad header fields in %s",
+                          static_cast<unsigned long long>(i), path.c_str()));
+    }
+    if (t.route_start > hdr.num_route_ids ||
+        t.route_len > hdr.num_route_ids - t.route_start ||
+        t.gps_start > hdr.num_gps_points ||
+        t.gps_len > hdr.num_gps_points - t.gps_start) {
+      return util::Status::IoError(
+          util::StrFormat("trip %llu pool range out of bounds in %s",
+                          static_cast<unsigned long long>(i), path.c_str()));
+    }
+  }
+  records->reserve(hdr.num_trips);
+  for (uint64_t i = 0; i < hdr.num_trips; ++i) {
+    const TripRecV3& t = trips[i];
+    TripRecord rec;
+    rec.trip.start_time_s = t.start_time_s;
+    rec.trip.destination = geo::Point{t.dest_x, t.dest_y};
+    rec.trip.day = t.day;
+    rec.trip.route.assign(route_ids + t.route_start,
+                          route_ids + t.route_start + t.route_len);
+    rec.gps.assign(gps + t.gps_start, gps + t.gps_start + t.gps_len);
+    records->push_back(std::move(rec));
+  }
+  return util::Status::Ok();
+}
+
 }  // namespace
+
+util::Status SaveDatasetV3(const std::vector<TripRecord>& records,
+                           const std::string& path) {
+  DEEPST_RETURN_IF_ERROR(util::CheckFaultPoint("traj.save"));
+  TrajHeaderV3 hdr;
+  hdr.num_trips = records.size();
+  hdr.num_sections = 3;
+  std::vector<TripRecV3> trips;
+  trips.reserve(records.size());
+  std::vector<roadnet::SegmentId> route_pool;
+  std::vector<GpsPoint> gps_pool;
+  for (const auto& rec : records) {
+    TripRecV3 t;
+    t.start_time_s = rec.trip.start_time_s;
+    t.dest_x = rec.trip.destination.x;
+    t.dest_y = rec.trip.destination.y;
+    t.day = rec.trip.day;
+    t.route_start = route_pool.size();
+    t.route_len = static_cast<uint32_t>(rec.trip.route.size());
+    t.gps_start = gps_pool.size();
+    t.gps_len = static_cast<uint32_t>(rec.gps.size());
+    route_pool.insert(route_pool.end(), rec.trip.route.begin(),
+                      rec.trip.route.end());
+    gps_pool.insert(gps_pool.end(), rec.gps.begin(), rec.gps.end());
+    trips.push_back(t);
+  }
+  hdr.num_route_ids = route_pool.size();
+  hdr.num_gps_points = gps_pool.size();
+  util::SectionWriter sections(sizeof(hdr), hdr.num_sections);
+  sections.Add(kSecTrips, trips.data(), trips.size());
+  sections.Add(kSecRouteIds, route_pool.data(), route_pool.size());
+  sections.Add(kSecGpsPoints, gps_pool.data(), gps_pool.size());
+  std::string bytes;
+  util::AppendPod(&bytes, &hdr, 1);
+  sections.AppendTo(&bytes);
+  util::AppendCrcFooter(&bytes);
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) return util::Status::IoError("cannot open " + path);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out.good()) return util::Status::IoError("write failed for " + path);
+  return util::Status::Ok();
+}
 
 util::Status SaveDataset(const std::vector<TripRecord>& records,
                          const std::string& path) {
@@ -133,41 +289,101 @@ util::Status SaveDataset(const std::vector<TripRecord>& records,
 
 util::StatusOr<std::vector<TripRecord>> LoadDataset(const std::string& path) {
   DEEPST_RETURN_IF_ERROR(util::CheckFaultPoint("traj.load"));
-  std::ifstream in(path, std::ios::binary);
-  if (!in.is_open()) return util::Status::IoError("cannot open " + path);
-  std::ostringstream raw;
-  raw << in.rdbuf();
-  std::string bytes = std::move(raw).str();
-  util::ByteReader reader(bytes);
+  auto opened = util::MappedFile::Open(path);
+  DEEPST_RETURN_IF_ERROR(opened.status());
+  const util::MappedFile file = std::move(opened).value();
+  const char* data = file.data();
+  const size_t size = file.size();
+  util::ByteReader reader(data, size);
   uint32_t magic = 0, version = 0;
   if (!reader.Read(&magic) || magic != kMagic) {
     return util::Status::IoError("bad magic in " + path);
   }
-  if (!reader.Read(&version) ||
-      (version != kVersionLegacy && version != kVersion)) {
+  if (!reader.Read(&version)) {
+    return util::Status::IoError("file too short: " + path);
+  }
+  std::vector<TripRecord> records;
+  if (version == kVersionV3) {
+    DEEPST_RETURN_IF_ERROR(LoadDatasetV3(file, path, &records));
+    return records;
+  }
+  if (version != kVersionLegacy && version != kVersion) {
     return util::Status::IoError("unsupported version in " + path);
   }
+  size_t body = size;
   if (version == kVersion) {
-    if (bytes.size() < 3 * sizeof(uint32_t)) {
+    if (size < 3 * sizeof(uint32_t)) {
       return util::Status::IoError("file too short: " + path);
     }
-    const size_t body = bytes.size() - sizeof(uint32_t);
+    body = size - sizeof(uint32_t);
     uint32_t stored_crc = 0;
-    std::memcpy(&stored_crc, bytes.data() + body, sizeof(stored_crc));
-    if (util::Crc32(bytes.data(), body) != stored_crc) {
+    std::memcpy(&stored_crc, data + body, sizeof(stored_crc));
+    if (util::Crc32(data, body) != stored_crc) {
       return util::Status::DataLoss("dataset CRC mismatch in " + path +
                                     " (corrupt or truncated)");
     }
-    bytes.resize(body);
-    reader = util::ByteReader(bytes);
-    uint32_t skip = 0;
-    (void)reader.Read(&skip);  // magic, re-verified above
-    (void)reader.Read(&skip);  // version
   }
-  std::vector<TripRecord> records;
-  util::Status parsed = ParseRecords(&reader, &records);
+  util::ByteReader body_reader(data + 2 * sizeof(uint32_t),
+                               body - 2 * sizeof(uint32_t));
+  util::Status parsed = ParseRecords(&body_reader, &records);
   if (!parsed.ok()) return parsed;
   return records;
+}
+
+util::StatusOr<std::string> DescribeDatasetFile(const std::string& path) {
+  auto opened = util::MappedFile::Open(path);
+  DEEPST_RETURN_IF_ERROR(opened.status());
+  const util::MappedFile& file = std::move(opened).value();
+  const char* data = file.data();
+  const size_t size = file.size();
+  util::ByteReader reader(data, size);
+  uint32_t magic = 0, version = 0;
+  if (!reader.Read(&magic) || magic != kMagic) {
+    return util::Status::InvalidArgument("not a dataset file: " + path);
+  }
+  if (!reader.Read(&version)) {
+    return util::Status::IoError("file too short: " + path);
+  }
+  std::string out = util::StrFormat(
+      "trajectory dataset  %s\n  format: v%u  size: %llu bytes\n",
+      path.c_str(), version, static_cast<unsigned long long>(size));
+  if (version == kVersionV3) {
+    const util::Status crc = util::CheckCrcFooter(data, size, path);
+    out += util::StrFormat("  crc: %s\n",
+                           crc.ok() ? "ok" : crc.ToString().c_str());
+    if (crc.ok() && size >= sizeof(TrajHeaderV3) + util::kFooterBytes) {
+      TrajHeaderV3 hdr;
+      std::memcpy(&hdr, data, sizeof(hdr));
+      out += util::StrFormat(
+          "  trips: %llu  route ids: %llu  gps points: %llu\n",
+          static_cast<unsigned long long>(hdr.num_trips),
+          static_cast<unsigned long long>(hdr.num_route_ids),
+          static_cast<unsigned long long>(hdr.num_gps_points));
+      out += util::StrFormat(
+          "  zero-copy pools: yes (%s this open)\n",
+          file.is_mapped() ? "mmap'ed" : "buffered fallback");
+    }
+  } else if (version == kVersion || version == kVersionLegacy) {
+    if (version == kVersion && size >= 3 * sizeof(uint32_t)) {
+      const size_t body = size - sizeof(uint32_t);
+      uint32_t stored_crc = 0;
+      std::memcpy(&stored_crc, data + body, sizeof(stored_crc));
+      out += util::StrFormat(
+          "  crc: %s\n",
+          util::Crc32(data, body) == stored_crc ? "ok" : "MISMATCH");
+    } else {
+      out += "  crc: none (v1 predates the checksum)\n";
+    }
+    uint64_t num_trips = 0;
+    if (reader.Read(&num_trips)) {
+      out += util::StrFormat("  trips: %llu\n",
+                             static_cast<unsigned long long>(num_trips));
+    }
+    out += "  zero-copy pools: no (streaming format; convert to v3)\n";
+  } else {
+    out += "  unsupported version\n";
+  }
+  return out;
 }
 
 util::Status ValidateDataset(const std::vector<TripRecord>& records,

@@ -33,6 +33,13 @@ class ByteReader {
   size_t remaining() const { return size_ - pos_; }
   size_t position() const { return pos_; }
 
+  // Advances past `bytes` bytes; false (cursor untouched) when fewer remain.
+  bool Skip(uint64_t bytes) {
+    if (bytes > remaining()) return false;
+    pos_ += static_cast<size_t>(bytes);
+    return true;
+  }
+
   // True when `count` records of `record_bytes` each could still fit.
   bool CanHold(uint64_t count, uint64_t record_bytes) const {
     return record_bytes == 0 || count <= remaining() / record_bytes;

@@ -1,6 +1,13 @@
 #include "util/crc32.h"
 
 #include <array>
+#include <bit>
+#include <cstring>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define DEEPST_CRC32_PCLMUL 1
+#include <immintrin.h>
+#endif
 
 namespace deepst {
 namespace util {
@@ -8,27 +15,171 @@ namespace {
 
 constexpr uint32_t kPoly = 0xEDB88320u;
 
-constexpr std::array<uint32_t, 256> MakeTable() {
-  std::array<uint32_t, 256> table{};
+// Slicing-by-8 tables: table[0] is the classic byte-at-a-time table, and
+// table[k][b] = table[0]-step applied k extra times. Produces bit-identical
+// results to the bytewise loop while processing 8 bytes per iteration.
+// Format-v3 loads checksum the whole mapped file, so CRC throughput is the
+// dominant cost of a zero-copy cold load (docs/formats.md); on x86-64 with
+// carry-less multiply the PCLMUL kernel below takes over for long buffers
+// and these tables only handle short inputs and tails.
+struct Tables {
+  uint32_t t[8][256];
+};
+
+constexpr Tables MakeTables() {
+  Tables tables{};
   for (uint32_t i = 0; i < 256; ++i) {
     uint32_t c = i;
     for (int k = 0; k < 8; ++k) {
       c = (c & 1u) ? (kPoly ^ (c >> 1)) : (c >> 1);
     }
-    table[i] = c;
+    tables.t[0][i] = c;
   }
-  return table;
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = tables.t[0][i];
+    for (int k = 1; k < 8; ++k) {
+      c = tables.t[0][c & 0xFFu] ^ (c >> 8);
+      tables.t[k][i] = c;
+    }
+  }
+  return tables;
 }
 
-constexpr std::array<uint32_t, 256> kTable = MakeTable();
+constexpr Tables kTables = MakeTables();
+
+#if defined(DEEPST_CRC32_PCLMUL)
+
+// Carry-less-multiply folding (Gopal et al., "Fast CRC Computation for
+// Generic Polynomials Using PCLMULQDQ"): four 128-bit lanes fold 64 bytes
+// per iteration, then reduce to the same 32-bit state the tables produce.
+// Identical polynomial, bit order and result as the loops below -- this is
+// purely a throughput path, dispatched at runtime.
+//
+// Fold/reduction constants are the usual x^k mod P values for the
+// reflected polynomial (P' = 0x1DB710641):
+//   k1 = x^(4*128+32) mod P = 0x154442bd4   k2 = x^(4*128-32) = 0x1c6e41596
+//   k3 = x^(128+32)   mod P = 0x1751997d0   k4 = x^(128-32)   = 0x0ccaa009e
+//   k5 = x^64         mod P = 0x163cd6124   mu (Barrett)      = 0x1f7011641
+//
+// `crc` is the in-flight (pre-final-xor) state; `len` must be a multiple of
+// 16 and at least 64. Returns the new in-flight state.
+__attribute__((target("pclmul,sse4.1"))) uint32_t Crc32Pclmul(
+    const unsigned char* buf, size_t len, uint32_t crc) {
+  const __m128i k1k2 = _mm_set_epi64x(0x01c6e41596, 0x0154442bd4);
+  const __m128i k3k4 = _mm_set_epi64x(0x00ccaa009e, 0x01751997d0);
+  const __m128i k5 = _mm_set_epi64x(0, 0x0163cd6124);
+  const __m128i poly_mu = _mm_set_epi64x(0x01f7011641, 0x01db710641);
+
+  __m128i x1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 0x00));
+  __m128i x2 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 0x10));
+  __m128i x3 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 0x20));
+  __m128i x4 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 0x30));
+  x1 = _mm_xor_si128(x1, _mm_cvtsi32_si128(static_cast<int>(crc)));
+  buf += 64;
+  len -= 64;
+
+  // Fold 64 bytes at a time across the four lanes.
+  while (len >= 64) {
+    const __m128i f1 = _mm_clmulepi64_si128(x1, k1k2, 0x00);
+    const __m128i f2 = _mm_clmulepi64_si128(x2, k1k2, 0x00);
+    const __m128i f3 = _mm_clmulepi64_si128(x3, k1k2, 0x00);
+    const __m128i f4 = _mm_clmulepi64_si128(x4, k1k2, 0x00);
+    x1 = _mm_clmulepi64_si128(x1, k1k2, 0x11);
+    x2 = _mm_clmulepi64_si128(x2, k1k2, 0x11);
+    x3 = _mm_clmulepi64_si128(x3, k1k2, 0x11);
+    x4 = _mm_clmulepi64_si128(x4, k1k2, 0x11);
+    x1 = _mm_xor_si128(
+        _mm_xor_si128(x1, f1),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 0x00)));
+    x2 = _mm_xor_si128(
+        _mm_xor_si128(x2, f2),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 0x10)));
+    x3 = _mm_xor_si128(
+        _mm_xor_si128(x3, f3),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 0x20)));
+    x4 = _mm_xor_si128(
+        _mm_xor_si128(x4, f4),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 0x30)));
+    buf += 64;
+    len -= 64;
+  }
+
+  // Fold the four lanes into one.
+  __m128i f = _mm_clmulepi64_si128(x1, k3k4, 0x00);
+  x1 = _mm_clmulepi64_si128(x1, k3k4, 0x11);
+  x1 = _mm_xor_si128(_mm_xor_si128(x1, f), x2);
+  f = _mm_clmulepi64_si128(x1, k3k4, 0x00);
+  x1 = _mm_clmulepi64_si128(x1, k3k4, 0x11);
+  x1 = _mm_xor_si128(_mm_xor_si128(x1, f), x3);
+  f = _mm_clmulepi64_si128(x1, k3k4, 0x00);
+  x1 = _mm_clmulepi64_si128(x1, k3k4, 0x11);
+  x1 = _mm_xor_si128(_mm_xor_si128(x1, f), x4);
+
+  // Fold any remaining 16-byte blocks into the single lane.
+  while (len >= 16) {
+    f = _mm_clmulepi64_si128(x1, k3k4, 0x00);
+    x1 = _mm_clmulepi64_si128(x1, k3k4, 0x11);
+    x1 = _mm_xor_si128(
+        _mm_xor_si128(x1, f),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf)));
+    buf += 16;
+    len -= 16;
+  }
+
+  // Reduce 128 -> 64 bits, then Barrett-reduce 64 -> 32 bits.
+  const __m128i mask32 = _mm_setr_epi32(~0, 0, ~0, 0);
+  __m128i t = _mm_clmulepi64_si128(x1, k3k4, 0x10);
+  x1 = _mm_xor_si128(_mm_srli_si128(x1, 8), t);
+  t = _mm_srli_si128(x1, 4);
+  x1 = _mm_and_si128(x1, mask32);
+  x1 = _mm_clmulepi64_si128(x1, k5, 0x00);
+  x1 = _mm_xor_si128(x1, t);
+  t = _mm_and_si128(x1, mask32);
+  t = _mm_clmulepi64_si128(t, poly_mu, 0x10);
+  t = _mm_and_si128(t, mask32);
+  t = _mm_clmulepi64_si128(t, poly_mu, 0x00);
+  x1 = _mm_xor_si128(x1, t);
+  return static_cast<uint32_t>(_mm_extract_epi32(x1, 1));
+}
+
+bool HasPclmul() {
+  static const bool ok =
+      __builtin_cpu_supports("pclmul") && __builtin_cpu_supports("sse4.1");
+  return ok;
+}
+
+#endif  // DEEPST_CRC32_PCLMUL
 
 }  // namespace
 
 uint32_t Crc32(const void* data, size_t n, uint32_t seed) {
   const auto* p = static_cast<const unsigned char*>(data);
   uint32_t c = seed ^ 0xFFFFFFFFu;
+#if defined(DEEPST_CRC32_PCLMUL)
+  if (n >= 64 && HasPclmul()) {
+    const size_t chunk = n & ~static_cast<size_t>(15);
+    c = Crc32Pclmul(p, chunk, c);
+    p += chunk;
+    n -= chunk;
+  }
+#endif
+  const auto& t = kTables.t;
+  // The 8-byte inner loop folds words in little-endian order; on a
+  // big-endian host fall through to the (identical-result) bytewise tail.
+  while (std::endian::native == std::endian::little && n >= 8) {
+    uint32_t lo;
+    uint32_t hi;
+    std::memcpy(&lo, p, sizeof(lo));
+    std::memcpy(&hi, p + 4, sizeof(hi));
+    lo ^= c;
+    c = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^
+        t[5][(lo >> 16) & 0xFFu] ^ t[4][lo >> 24] ^ t[3][hi & 0xFFu] ^
+        t[2][(hi >> 8) & 0xFFu] ^ t[1][(hi >> 16) & 0xFFu] ^ t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
   for (size_t i = 0; i < n; ++i) {
-    c = kTable[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+    c = t[0][(c ^ p[i]) & 0xFFu] ^ (c >> 8);
   }
   return c ^ 0xFFFFFFFFu;
 }

@@ -1,0 +1,122 @@
+#include "util/mapped_file.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define DEEPST_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+#include "util/fault_injector.h"
+
+namespace deepst {
+namespace util {
+namespace {
+
+bool MmapDisabledByEnv() {
+  const char* v = std::getenv("DEEPST_NO_MMAP");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+Status ReadWholeFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::IoError("cannot open " + path);
+  std::ostringstream raw;
+  raw << in.rdbuf();
+  if (in.bad()) return Status::IoError("read failed for " + path);
+  *out = std::move(raw).str();
+  return Status::Ok();
+}
+
+}  // namespace
+
+MappedFile::~MappedFile() {
+#ifdef DEEPST_HAVE_MMAP
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<char*>(data_), size_);
+  }
+#endif
+}
+
+MappedFile::MappedFile(MappedFile&& other) noexcept {
+  *this = std::move(other);
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this == &other) return *this;
+#ifdef DEEPST_HAVE_MMAP
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<char*>(data_), size_);
+  }
+#endif
+  buffer_ = std::move(other.buffer_);
+  mapped_ = other.mapped_;
+  size_ = other.size_;
+  // The fallback buffer's data pointer moves with the string.
+  data_ = mapped_ ? other.data_ : buffer_.data();
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.mapped_ = false;
+  return *this;
+}
+
+StatusOr<MappedFile> MappedFile::Open(const std::string& path) {
+  DEEPST_RETURN_IF_ERROR(CheckFaultPoint("mmap.open"));
+  MappedFile file;
+#ifdef DEEPST_HAVE_MMAP
+  const bool try_map =
+      !MmapDisabledByEnv() && CheckFaultPoint("mmap.map").ok();
+  if (try_map) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return Status::IoError("cannot open " + path);
+    struct stat st;
+    if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+      ::close(fd);
+      return Status::IoError("cannot stat " + path);
+    }
+    const size_t size = static_cast<size_t>(st.st_size);
+    if (size == 0) {
+      ::close(fd);
+      file.data_ = file.buffer_.data();
+      return file;
+    }
+    // MAP_POPULATE (Linux) prefaults the whole file in one syscall: loaders
+    // immediately CRC-sweep the full image, so paying thousands of soft
+    // faults lazily would only add latency and jitter to cold loads.
+    int flags = MAP_PRIVATE;
+#ifdef MAP_POPULATE
+    flags |= MAP_POPULATE;
+#endif
+    void* addr = ::mmap(nullptr, size, PROT_READ, flags, fd, 0);
+#ifdef MAP_POPULATE
+    if (addr == MAP_FAILED) {
+      // Some filesystems reject MAP_POPULATE; retry with the plain mapping.
+      addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    }
+#endif
+    ::close(fd);  // the mapping keeps its own reference
+    if (addr != MAP_FAILED) {
+      file.data_ = static_cast<const char*>(addr);
+      file.size_ = size;
+      file.mapped_ = true;
+      return file;
+    }
+    // mmap itself failed (e.g. a filesystem without mapping support); fall
+    // through to the buffered path below.
+  }
+#endif
+  DEEPST_RETURN_IF_ERROR(ReadWholeFile(path, &file.buffer_));
+  file.data_ = file.buffer_.data();
+  file.size_ = file.buffer_.size();
+  file.mapped_ = false;
+  return file;
+}
+
+}  // namespace util
+}  // namespace deepst

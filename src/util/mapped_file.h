@@ -1,0 +1,48 @@
+#ifndef DEEPST_UTIL_MAPPED_FILE_H_
+#define DEEPST_UTIL_MAPPED_FILE_H_
+
+#include <memory>
+#include <string>
+
+#include "util/status.h"
+
+namespace deepst {
+namespace util {
+
+// Read-only view of a whole file, preferably via mmap so N processes share
+// one page-cache copy (the format-v3 zero-copy load path, docs/formats.md).
+// Falls back to a buffered heap read when mmap is unavailable -- the mapping
+// syscall failed, the platform has no mmap, or DEEPST_NO_MMAP is set -- so
+// callers always get the same bytes, just without page sharing.
+//
+// Fault points (docs/robustness.md): "mmap.open" fails the whole open (as if
+// the file were unreadable); "mmap.map" fails only the mapping attempt,
+// forcing the buffered fallback.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile();
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  static StatusOr<MappedFile> Open(const std::string& path);
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  // True when the contents are an actual mmap'ed region (shared page cache),
+  // false when the buffered fallback was taken.
+  bool is_mapped() const { return mapped_; }
+
+ private:
+  const char* data_ = nullptr;
+  size_t size_ = 0;
+  bool mapped_ = false;
+  std::string buffer_;  // backing storage in fallback mode
+};
+
+}  // namespace util
+}  // namespace deepst
+
+#endif  // DEEPST_UTIL_MAPPED_FILE_H_

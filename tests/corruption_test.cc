@@ -17,9 +17,12 @@
 #include "core/checkpoint.h"
 #include "roadnet/io.h"
 #include "roadnet/road_network.h"
+#include "roadnet/spatial_index.h"
 #include "traffic/snapshot.h"
 #include "traj/io.h"
+#include "util/crc32.h"
 #include "util/fault_injector.h"
+#include "util/fixed_format.h"
 
 namespace deepst {
 namespace {
@@ -328,6 +331,107 @@ TEST(RoadnetCorpusTest, MalformedRecordsReturnStatusNotAbort) {
     Append(&b.bytes, static_cast<int32_t>(-1));
     Append(&b.bytes, static_cast<uint32_t>(1u << 28));
     EXPECT_FALSE(LoadV1(b, "v1_hugepoly.bin").ok());
+  }
+}
+
+// -- Format-v3 corpus (docs/formats.md) -------------------------------------
+// The mmap'ed fixed-layout format has its own failure surface: the whole
+// file is validated against the mapping, so truncation, bit flips and
+// malformed section tables must all fail before any struct view is handed
+// out.
+
+std::string SaveTinyNetworkV3(const std::string& name) {
+  const roadnet::RoadNetwork net = MakeTinyNetwork();
+  const roadnet::SpatialIndex index(net, /*cell_size_m=*/250.0);
+  const std::string path = TempPath(name);
+  EXPECT_TRUE(roadnet::SaveRoadNetworkV3(net, path, &index).ok());
+  return path;
+}
+
+TEST(FormatV3CorpusTest, EveryTruncatedMappingFailsCleanly) {
+  const std::string bytes = ReadFile(SaveTinyNetworkV3("v3_trunc.bin"));
+  ASSERT_GT(bytes.size(), 64u);
+  const std::string trunc_path = TempPath("v3_trunc_case.bin");
+  for (size_t keep = 0; keep < bytes.size(); keep += 3) {
+    WriteFile(trunc_path, bytes.substr(0, keep));
+    EXPECT_FALSE(roadnet::LoadRoadNetwork(trunc_path).ok()) << keep;
+  }
+}
+
+TEST(FormatV3CorpusTest, EveryBitFlipIsCaughtByCrcFooter) {
+  const std::string bytes = ReadFile(SaveTinyNetworkV3("v3_flip.bin"));
+  const std::string flip_path = TempPath("v3_flip_case.bin");
+  // Step through header, section table, payloads and the footer itself --
+  // including the stored CRC (last 8 bytes), which is outside the checksummed
+  // range but must still invalidate the file.
+  for (size_t i = 8; i < bytes.size(); i += 5) {
+    std::string mutated = bytes;
+    mutated[i] = static_cast<char>(mutated[i] ^ 0x10);
+    WriteFile(flip_path, mutated);
+    EXPECT_FALSE(roadnet::LoadRoadNetwork(flip_path).ok()) << i;
+  }
+}
+
+TEST(FormatV3CorpusTest, MisalignedSectionOffsetIsRejectedDespiteValidCrc) {
+  const std::string path = SaveTinyNetworkV3("v3_misalign.bin");
+  std::string bytes = ReadFile(path);
+  // Section table starts right after the 48-byte header; entry 0's absolute
+  // offset lives at bytes [56, 64). Knock it off 8-byte alignment, then
+  // re-seal the CRC so only the alignment check can reject the file.
+  ASSERT_GT(bytes.size(), 64u + util::kFooterBytes);
+  uint64_t off = 0;
+  std::memcpy(&off, bytes.data() + 56, sizeof(off));
+  off += 4;
+  std::memcpy(bytes.data() + 56, &off, sizeof(off));
+  const uint32_t crc =
+      util::Crc32(bytes.data(), bytes.size() - util::kFooterBytes);
+  std::memcpy(bytes.data() + bytes.size() - util::kFooterBytes, &crc,
+              sizeof(crc));
+  const std::string bad_path = TempPath("v3_misalign_case.bin");
+  WriteFile(bad_path, bytes);
+  auto loaded = roadnet::LoadRoadNetwork(bad_path);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST(FormatV3CorpusTest, TrajV3TruncationAndBitFlipFailCleanly) {
+  const roadnet::RoadNetwork net = MakeTinyNetwork();
+  const std::string path = TempPath("v3_traj.bin");
+  ASSERT_TRUE(traj::SaveDatasetV3(MakeTinyDataset(net), path).ok());
+  const std::string bytes = ReadFile(path);
+  const std::string case_path = TempPath("v3_traj_case.bin");
+  for (size_t keep = 0; keep < bytes.size(); keep += 3) {
+    WriteFile(case_path, bytes.substr(0, keep));
+    EXPECT_FALSE(traj::LoadDataset(case_path).ok()) << "keep=" << keep;
+  }
+  for (size_t i = 8; i < bytes.size(); i += 5) {
+    std::string mutated = bytes;
+    mutated[i] = static_cast<char>(mutated[i] ^ 0x40);
+    WriteFile(case_path, mutated);
+    EXPECT_FALSE(traj::LoadDataset(case_path).ok()) << "flip=" << i;
+  }
+}
+
+TEST(FormatV3CorpusTest, MmapFaultFallsBackToBufferedLoad) {
+  util::FaultInjector& fi = util::FaultInjector::Instance();
+  const std::string path = SaveTinyNetworkV3("v3_fault.bin");
+
+  // mmap.open failing means no bytes at all: the load must error out.
+  fi.Arm("mmap.open", util::FaultKind::kIoError);
+  EXPECT_FALSE(roadnet::LoadRoadNetwork(path).ok());
+  fi.Reset();
+
+  // mmap.map failing only loses the zero-copy mapping: the buffered fallback
+  // must still produce an identical network.
+  fi.Arm("mmap.map", util::FaultKind::kIoError, /*after=*/0, /*count=*/100);
+  auto buffered = roadnet::LoadRoadNetwork(path);
+  fi.Reset();
+  ASSERT_TRUE(buffered.ok()) << buffered.status().ToString();
+  auto mapped = roadnet::LoadRoadNetwork(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  ASSERT_EQ(buffered.value()->num_segments(), mapped.value()->num_segments());
+  for (int s = 0; s < mapped.value()->num_segments(); ++s) {
+    EXPECT_EQ(buffered.value()->segment(s).from, mapped.value()->segment(s).from);
+    EXPECT_EQ(buffered.value()->segment(s).to, mapped.value()->segment(s).to);
   }
 }
 

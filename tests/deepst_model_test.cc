@@ -323,6 +323,54 @@ TEST(ShouldStopTest, SampledBernoulliRate) {
   EXPECT_NEAR(rate, 0.5, 0.06);
 }
 
+void ExpectSameParameters(const DeepSTModel& a, const DeepSTModel& b) {
+  const auto pa = nn::SnapshotParameters(a);
+  const auto pb = nn::SnapshotParameters(b);
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    ASSERT_EQ(pa[i].first, pb[i].first);
+    ASSERT_TRUE(pa[i].second.SameShape(pb[i].second)) << pa[i].first;
+    for (int64_t j = 0; j < pa[i].second.numel(); ++j) {
+      ASSERT_EQ(pa[i].second.data()[j], pb[i].second.data()[j])
+          << pa[i].first << "[" << j << "]";
+    }
+  }
+}
+
+TEST(DeepSTModelLoadTest, LoadFromParamsMatchesConstructThenApply) {
+  eval::World& world = TestWorld();
+  DeepSTModel donor(world.net(), SmallConfig(), world.traffic_cache());
+  const auto params = nn::SnapshotParameters(donor);
+  // The factory skips random initialization (nn::ScopedDeferInit) and then
+  // applies the snapshot; the result must be bitwise equal to the donor.
+  auto loaded = DeepSTModel::LoadFromParams(world.net(), SmallConfig(),
+                                            world.traffic_cache(), params);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectSameParameters(donor, *loaded.value());
+}
+
+TEST(DeepSTModelLoadTest, LoadFromFileMatchesSavedModel) {
+  eval::World& world = TestWorld();
+  DeepSTModel donor(world.net(), SmallConfig(), world.traffic_cache());
+  const std::string path = testing::TempDir() + "/deepst_model_load.bin";
+  ASSERT_TRUE(nn::SaveParameters(donor, path).ok());
+  auto loaded = DeepSTModel::LoadFromFile(world.net(), SmallConfig(),
+                                          world.traffic_cache(), path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectSameParameters(donor, *loaded.value());
+}
+
+TEST(DeepSTModelLoadTest, LoadFromParamsRejectsShapeMismatch) {
+  eval::World& world = TestWorld();
+  DeepSTModel donor(world.net(), SmallConfig(), world.traffic_cache());
+  auto params = nn::SnapshotParameters(donor);
+  ASSERT_FALSE(params.empty());
+  params[0].second = nn::Tensor({1, 1});
+  auto loaded = DeepSTModel::LoadFromParams(world.net(), SmallConfig(),
+                                            world.traffic_cache(), params);
+  EXPECT_FALSE(loaded.ok());
+}
+
 }  // namespace
 }  // namespace core
 }  // namespace deepst

@@ -122,6 +122,40 @@ TEST(LogSoftmaxRowsTest, MatchesLogOfSoftmax) {
   }
 }
 
+TEST(ScopedDeferInitTest, SkipsRandomDrawsAndLeavesRngUntouched) {
+  util::Rng rng(7);
+  {
+    ScopedDeferInit guard;
+    EXPECT_TRUE(ScopedDeferInit::active());
+    Tensor g = Tensor::Gaussian({3, 4}, 0.0f, 0.1f, &rng);
+    Tensor u = Tensor::Uniform({2, 5}, -1.0f, 1.0f, &rng);
+    for (int64_t i = 0; i < g.numel(); ++i) EXPECT_EQ(g.data()[i], 0.0f);
+    for (int64_t i = 0; i < u.numel(); ++i) EXPECT_EQ(u.data()[i], 0.0f);
+  }
+  EXPECT_FALSE(ScopedDeferInit::active());
+  // The deferred factories must not have advanced the stream: the next draw
+  // matches a fresh generator with the same seed.
+  util::Rng fresh(7);
+  EXPECT_EQ(rng.Uniform(), fresh.Uniform());
+  // Outside the guard the factories draw again.
+  Tensor g = Tensor::Gaussian({64}, 0.0f, 0.1f, &rng);
+  bool any_nonzero = false;
+  for (int64_t i = 0; i < g.numel(); ++i) any_nonzero |= g.data()[i] != 0.0f;
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST(ScopedDeferInitTest, NestsAndRestores) {
+  {
+    ScopedDeferInit outer;
+    {
+      ScopedDeferInit inner;
+      EXPECT_TRUE(ScopedDeferInit::active());
+    }
+    EXPECT_TRUE(ScopedDeferInit::active());
+  }
+  EXPECT_FALSE(ScopedDeferInit::active());
+}
+
 }  // namespace
 }  // namespace nn
 }  // namespace deepst

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <fstream>
 #include <set>
+#include <vector>
 
 #include "util/crc32.h"
 #include "util/flags.h"
@@ -194,6 +195,45 @@ TEST(Crc32Test, DetectsSingleBitFlips) {
     data[byte] ^= 1;
     EXPECT_NE(Crc32(data.data(), data.size()), clean) << "byte " << byte;
     data[byte] ^= 1;
+  }
+}
+
+// The production Crc32 dispatches to a PCLMUL folding kernel for long
+// buffers where the CPU supports it; every path must agree bit-for-bit with
+// the definitional one-bit-at-a-time CRC, for any length, alignment and
+// seed split (including splits that cross the SIMD/table boundary).
+TEST(Crc32Test, MatchesBytewiseReferenceAcrossSizesAndAlignments) {
+  const auto reference = [](const unsigned char* p, size_t n) {
+    uint32_t c = 0xFFFFFFFFu;
+    for (size_t i = 0; i < n; ++i) {
+      c ^= p[i];
+      for (int b = 0; b < 8; ++b) {
+        c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+    }
+    return c ^ 0xFFFFFFFFu;
+  };
+  std::vector<unsigned char> data(4103);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<unsigned char>((i * 131u) ^ (i >> 3));
+  }
+  for (const size_t n : {size_t{0}, size_t{1}, size_t{7}, size_t{15},
+                         size_t{16}, size_t{63}, size_t{64}, size_t{65},
+                         size_t{79}, size_t{80}, size_t{127}, size_t{128},
+                         size_t{129}, size_t{255}, size_t{256}, size_t{1000},
+                         size_t{4096}, size_t{4100}}) {
+    for (const size_t off : {size_t{0}, size_t{1}, size_t{3}}) {
+      ASSERT_EQ(Crc32(data.data() + off, n), reference(data.data() + off, n))
+          << "n=" << n << " off=" << off;
+    }
+  }
+  // Seed chaining across the dispatch boundary: short head (table path)
+  // continued by a long tail (SIMD path), and vice versa.
+  const uint32_t whole = Crc32(data.data(), data.size());
+  for (const size_t split : {size_t{5}, size_t{64}, size_t{100}, size_t{4097}}) {
+    const uint32_t head = Crc32(data.data(), split);
+    ASSERT_EQ(Crc32(data.data() + split, data.size() - split, head), whole)
+        << "split=" << split;
   }
 }
 

@@ -19,18 +19,26 @@
 # that the 4-thread epoch speedup is at least min-train-speedup
 # (default 1.8).
 #
-# DEEPST_FAST=1 keeps the run small; the speedups also hold at the full
-# model size (docs/inference.md, docs/training-perf.md).
+# Scale: runs the cold-load sweep (bench_scale -> BENCH_scale.json, v2
+# streaming heap vs v3 mmap at ~10k and ~100k directed segments) and asserts
+# the v3 path reaches query-ready at least min-scale-speedup (default 5)
+# times faster than v2 at the 100k scale. This sweep runs at full size even
+# under DEEPST_FAST, since 100k segments is the claim being gated
+# (docs/formats.md).
+#
+# DEEPST_FAST=1 keeps the other runs small; the speedups also hold at the
+# full model size (docs/inference.md, docs/training-perf.md).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 MIN_SPEEDUP="${2:-3.0}"
 MIN_TRAIN_SPEEDUP="${3:-1.8}"
+MIN_SCALE_SPEEDUP="${4:-5.0}"
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build "$BUILD_DIR" -j"$(nproc)" --target bench_micro inference_test \
-  train_sharded_test
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target bench_micro bench_scale \
+  inference_test train_sharded_test
 
 export DEEPST_FAST=1
 
@@ -100,6 +108,30 @@ if [[ "$cores" -ge 4 ]]; then
 else
   echo "SKIP: 4-thread speedup gate (${cores} core(s) available; measured ${speedup4}x)"
 fi
+
+echo "== scale sweep (cold load to query-ready, v2 heap vs v3 mmap) =="
+# Full-size on purpose: the gate is about the 100k-segment regime.
+(cd "$BUILD_DIR" && DEEPST_FAST=0 bench/bench_scale)
+
+SCALE_JSON="$BUILD_DIR/bench_out/BENCH_scale.json"
+[[ -f "$SCALE_JSON" ]] || { echo "FAIL: $SCALE_JSON not written" >&2; exit 1; }
+
+segs=$(jq -r 'map(.segments) | max' "$SCALE_JSON")
+ok=$(jq -n --argjson s "$segs" '$s >= 100000')
+if [[ "$ok" != "true" ]]; then
+  echo "FAIL: largest scale has $segs segments (< 100000)" >&2
+  exit 1
+fi
+scale_speedup=$(jq -r --argjson s "$segs" \
+  '.[] | select(.format == "v3" and .segments == $s) | .speedup_vs_v2' \
+  "$SCALE_JSON")
+ok=$(jq -n --argjson s "$scale_speedup" --argjson min "$MIN_SCALE_SPEEDUP" \
+     '$s >= $min')
+if [[ "$ok" != "true" ]]; then
+  echo "FAIL: v3 cold load at ${segs} segments is ${scale_speedup}x vs v2 (< ${MIN_SCALE_SPEEDUP}x)" >&2
+  exit 1
+fi
+echo "OK: v3 cold load at ${segs} segments is ${scale_speedup}x vs v2 (>= ${MIN_SCALE_SPEEDUP}x)"
 
 echo "== parity / regression tests =="
 "$BUILD_DIR"/tests/inference_test

@@ -24,7 +24,8 @@ cmake -B "$BUILD_DIR" -S . \
   -DDEEPST_BUILD_EXAMPLES=OFF
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
   --target parallel_test trainer_test checkpoint_test inference_test \
-           train_sharded_test corruption_test serving_test
+           train_sharded_test corruption_test serving_test \
+           format_v3_test spatial_index_test
 
 # halt_on_error makes a reported race/issue fail the script, not just print.
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
@@ -38,5 +39,7 @@ export DEEPST_FAST=1
 "$BUILD_DIR"/tests/train_sharded_test
 "$BUILD_DIR"/tests/corruption_test
 "$BUILD_DIR"/tests/serving_test
+"$BUILD_DIR"/tests/format_v3_test
+"$BUILD_DIR"/tests/spatial_index_test
 
-echo "OK: ThreadPool/backend/checkpoint/inference/sharded-training/robustness tests clean under $SANITIZER sanitizer"
+echo "OK: ThreadPool/backend/checkpoint/inference/sharded-training/robustness/format-v3 tests clean under $SANITIZER sanitizer"
