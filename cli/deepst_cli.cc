@@ -25,10 +25,29 @@
 //     degradations (missing traffic, unresolvable destination) into errors.
 //   deepst_cli recover --data-dir data --model model.bin --trip INDEX
 //       [--interval-s SECONDS]
+//   deepst_cli serve --data-dir data --model model.bin [--variant ...]
+//       [--workers N] [--queue-capacity N] [--max-batch N]
+//       [--batch-window-us N] [--deadline-ms MS] [--strict]
+//       [--watchdog-ms MS] [--hung-ms MS] [--retry-after-ms MS]
+//     Long-lived serving daemon (docs/serving.md): requests arrive on stdin
+//     (one per line), responses leave on stdout tagged `#<id>`. Commands:
+//       predict <origin> <dest_x> <dest_y> <start_t>
+//       predict_trip <test trip index>
+//       score_trip <test trip index>
+//       stats | quit
+//     Requests from the stdin stream are pipelined: up to --queue-capacity
+//     are in flight at once, so worker batches coalesce across them. The
+//     daemon health-checks its input files at startup (exiting nonzero on a
+//     failed probe, like `inspect`), sheds load when the bounded queue
+//     fills, enforces --deadline-ms end-to-end (queue wait included), and
+//     drains gracefully on SIGTERM/SIGINT or `quit` (exit 0).
 //   deepst_cli inspect FILE [FILE...]
 //     Reports each file's kind (road network / dataset / training checkpoint
 //     / model parameters), format version, element counts, CRC status and
-//     whether it loads zero-copy from an mmap (docs/formats.md).
+//     whether it loads zero-copy from an mmap (docs/formats.md). Exits
+//     nonzero when any probed file fails validation (CRC mismatch,
+//     unsupported version, unreadable payload), so startup health checks
+//     can gate on it.
 //   deepst_cli convert --in FILE --out FILE [--cell-size M]
 //     Rewrites a road network or dataset of any version as fixed-layout v3.
 //     Road networks embed a precomputed spatial index (cell size --cell-size,
@@ -48,11 +67,17 @@
 // `generate` writes network.bin + dataset.bin (+ CSV exports); the other
 // commands load them, so experiments are reproducible without regenerating.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <deque>
 #include <fstream>
+#include <future>
+#include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "baselines/mmi.h"
@@ -66,6 +91,7 @@
 #include "nn/serialize.h"
 #include "recovery/strs.h"
 #include "roadnet/io.h"
+#include "serve/server.h"
 #include "traj/ascii_map.h"
 #include "traj/dataset.h"
 #include "traj/io.h"
@@ -73,6 +99,7 @@
 #include "util/fault_injector.h"
 #include "util/flags.h"
 #include "util/logging.h"
+#include "util/shutdown.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
 
@@ -88,8 +115,8 @@ int Fail(const util::Status& status) {
 int Usage() {
   std::fprintf(stderr,
                "usage: deepst_cli "
-               "<generate|train|evaluate|predict|recover|inspect|convert> "
-               "[options]\n"
+               "<generate|train|evaluate|predict|recover|serve|inspect|"
+               "convert> [options]\n"
                "see the header of cli/deepst_cli.cc for per-command "
                "options\n");
   return 2;
@@ -242,6 +269,11 @@ int CmdTrain(const util::Flags& flags) {
   }
   tcfg.micro_shard_size = static_cast<int>(shard.value());
   tcfg.verbose = true;
+  // Graceful stop: SIGTERM/SIGINT rolls the partial epoch back to the last
+  // epoch boundary, flushes a final checkpoint, and exits 0 -- the same
+  // signal plumbing the serve daemon drains on (util/shutdown.h).
+  util::InstallShutdownHandlers();
+  tcfg.stop_requested = [] { return util::ShutdownRequested(); };
   core::Trainer trainer(&model, tcfg);
   core::TrainResult result =
       trainer.Fit(data.value().split.train, data.value().split.validation);
@@ -253,6 +285,18 @@ int CmdTrain(const util::Flags& flags) {
   }
   util::Status s = nn::SaveParameters(model, model_path);
   if (!s.ok()) return Fail(s);
+  if (result.interrupted) {
+    const std::string flushed =
+        tcfg.checkpoint_dir.empty()
+            ? std::string("no checkpoint flushed (no --checkpoint-dir)")
+            : "flushed " + tcfg.checkpoint_dir + "/ckpt_latest.bin";
+    std::printf("interrupted (signal %d) after %zu epochs: rolled back to "
+                "the last epoch boundary, %s, saved params to %s; rerun "
+                "with --resume to continue\n",
+                util::ShutdownSignal(), result.epochs.size(), flushed.c_str(),
+                model_path.c_str());
+    return 0;
+  }
   // Aggregate training throughput across the run (batch loops only, no
   // validation): each epoch reports transitions and transitions/sec.
   int64_t transitions = 0;
@@ -455,20 +499,27 @@ int CmdRecover(const util::Flags& flags) {
 }
 
 // Probes the file against each known format in turn; a wrong-magic probe
-// returns InvalidArgument and falls through to the next kind.
-util::StatusOr<std::string> DescribeAnyFile(const std::string& path) {
-  auto probe = roadnet::DescribeRoadNetworkFile(path);
+// returns InvalidArgument and falls through to the next kind. `healthy`
+// (optional) is set false when the file is recognized and describable but
+// fails validation (CRC mismatch, unsupported version, unloadable payload)
+// -- each probe re-initializes it, so only the winning probe's verdict
+// sticks.
+util::StatusOr<std::string> DescribeAnyFile(const std::string& path,
+                                            bool* healthy = nullptr) {
+  if (healthy != nullptr) *healthy = true;
+  auto probe = roadnet::DescribeRoadNetworkFile(path, healthy);
   if (probe.ok() || probe.status().code() != util::Status::Code::kInvalidArgument)
     return probe;
-  probe = traj::DescribeDatasetFile(path);
+  probe = traj::DescribeDatasetFile(path, healthy);
   if (probe.ok() || probe.status().code() != util::Status::Code::kInvalidArgument)
     return probe;
-  probe = core::DescribeCheckpointFile(path);
+  probe = core::DescribeCheckpointFile(path, healthy);
   if (probe.ok() || probe.status().code() != util::Status::Code::kInvalidArgument)
     return probe;
-  probe = nn::DescribeParamsFile(path);
+  probe = nn::DescribeParamsFile(path, healthy);
   if (probe.ok() || probe.status().code() != util::Status::Code::kInvalidArgument)
     return probe;
+  if (healthy != nullptr) *healthy = true;  // unrecognized, not unhealthy
   return util::Status::InvalidArgument(
       "unrecognized file (not a road network, dataset, checkpoint, or "
       "parameter file): " + path);
@@ -481,15 +532,250 @@ int CmdInspect(const util::Flags& flags) {
   }
   int failures = 0;
   for (const std::string& path : flags.positional()) {
-    auto report = DescribeAnyFile(path);
+    bool healthy = true;
+    auto report = DescribeAnyFile(path, &healthy);
     if (!report.ok()) {
       std::fprintf(stderr, "error: %s\n", report.status().ToString().c_str());
       ++failures;
       continue;
     }
     std::fputs(report.value().c_str(), stdout);
+    if (!healthy) {
+      // The report itself names what failed (CRC mismatch, version); the
+      // exit status is what health checks gate on.
+      std::fprintf(stderr, "error: %s failed validation\n", path.c_str());
+      ++failures;
+    }
   }
   return failures == 0 ? 0 : 1;
+}
+
+// -- serve -------------------------------------------------------------------
+
+bool ParseI64(const std::string& s, int64_t* out) {
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool ParseF64(const std::string& s, double* out) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+// One response line per request, tagged with the request id so pipelined
+// clients can match them up: `#<id> ok ...` or `#<id> error ...`.
+void PrintServeResult(int64_t id,
+                      util::StatusOr<core::ServingResult> outcome) {
+  if (!outcome.ok()) {
+    std::printf("#%lld error %s\n", static_cast<long long>(id),
+                outcome.status().ToString().c_str());
+    std::fflush(stdout);
+    return;
+  }
+  const core::ServingResult& res = outcome.value();
+  std::string line = util::StrFormat("#%lld ok", static_cast<long long>(id));
+  if (!res.route.empty()) {
+    line += util::StrFormat(" route_len=%zu route=", res.route.size());
+    for (size_t i = 0; i < res.route.size(); ++i) {
+      if (i > 0) line += ',';
+      line += std::to_string(res.route[i]);
+    }
+  }
+  if (!res.scores.empty()) {
+    line += " scores=";
+    for (size_t i = 0; i < res.scores.size(); ++i) {
+      if (i > 0) line += ',';
+      line += util::StrFormat("%.6f", res.scores[i]);
+    }
+  }
+  line += util::StrFormat(" latency_ms=%.3f", res.latency_ms);
+  if (res.degraded) {
+    line += " degraded=" + core::DegradationsToString(res.degradations);
+  }
+  std::printf("%s\n", line.c_str());
+  std::fflush(stdout);
+}
+
+// Long-lived serving daemon: bounded queue + cross-client batching workers
+// (serve::Server) behind a stdin line protocol. See the header comment for
+// the protocol and docs/serving.md for the architecture.
+int CmdServe(const util::Flags& flags) {
+  const std::string dir = flags.GetString("data-dir");
+  const std::string model_path = flags.GetString("model");
+  if (dir.empty() || model_path.empty()) {
+    return Fail(util::Status::InvalidArgument(
+        "serve requires --data-dir and --model"));
+  }
+  // Startup health check: refuse to serve from files `deepst inspect` would
+  // flag (CRC mismatch, unsupported version, unreadable payload).
+  for (const std::string& path :
+       {dir + "/network.bin", dir + "/dataset.bin", model_path}) {
+    bool healthy = true;
+    auto report = DescribeAnyFile(path, &healthy);
+    if (!report.ok()) return Fail(report.status());
+    if (!healthy) {
+      std::fprintf(stderr,
+                   "error: startup health check failed for %s:\n%s",
+                   path.c_str(), report.value().c_str());
+      return 1;
+    }
+  }
+  auto data = LoadData(flags);
+  if (!data.ok()) return Fail(data.status());
+  auto model = LoadModel(flags, data.value());
+  if (!model.ok()) return Fail(model.status());
+  auto scfg = ServingConfigFromFlags(flags);
+  if (!scfg.ok()) return Fail(scfg.status());
+  // The server owns the deadline end-to-end (queue wait counts against it)
+  // and forwards each request's remaining budget, so the context itself
+  // runs without a second, overlapping budget.
+  core::ServingConfig sc = scfg.value();
+  const double deadline_ms = sc.deadline_ms;
+  sc.deadline_ms = 0.0;
+  core::ServingContext serving(model.value().get(), data.value().index.get(),
+                               sc);
+
+  serve::ServeOptions opts;
+  auto workers = flags.GetInt("workers", opts.workers);
+  if (!workers.ok()) return Fail(workers.status());
+  opts.workers = static_cast<int>(workers.value());
+  auto capacity = flags.GetInt("queue-capacity",
+                               static_cast<int64_t>(opts.queue_capacity));
+  if (!capacity.ok()) return Fail(capacity.status());
+  auto max_batch =
+      flags.GetInt("max-batch", static_cast<int64_t>(opts.max_batch));
+  if (!max_batch.ok()) return Fail(max_batch.status());
+  auto window = flags.GetInt("batch-window-us", opts.batch_window_us);
+  if (!window.ok()) return Fail(window.status());
+  auto retry_after = flags.GetDouble("retry-after-ms", opts.retry_after_ms);
+  if (!retry_after.ok()) return Fail(retry_after.status());
+  auto watchdog = flags.GetDouble("watchdog-ms", opts.watchdog_period_ms);
+  if (!watchdog.ok()) return Fail(watchdog.status());
+  auto hung = flags.GetDouble("hung-ms", opts.hung_query_ms);
+  if (!hung.ok()) return Fail(hung.status());
+  if (workers.value() < 1 || capacity.value() < 1 || max_batch.value() < 1) {
+    return Fail(util::Status::InvalidArgument(
+        "--workers, --queue-capacity and --max-batch must be >= 1"));
+  }
+  opts.queue_capacity = static_cast<size_t>(capacity.value());
+  opts.max_batch = static_cast<size_t>(max_batch.value());
+  opts.batch_window_us = window.value();
+  opts.retry_after_ms = retry_after.value();
+  opts.watchdog_period_ms = watchdog.value();
+  opts.hung_query_ms = hung.value();
+  opts.default_deadline_ms = deadline_ms;
+
+  serve::Server server(&serving, opts);
+  util::InstallShutdownHandlers();
+  server.Start();
+  std::fprintf(stderr,
+               "serving: %d workers, queue %zu, batch <=%zu (window %lld us)"
+               ", deadline %.1f ms, watchdog hung>%.1f ms\n",
+               opts.workers, opts.queue_capacity, opts.max_batch,
+               static_cast<long long>(opts.batch_window_us),
+               opts.default_deadline_ms, opts.hung_query_ms);
+
+  const auto& test = data.value().split.test;
+  struct InFlight {
+    int64_t id = 0;
+    std::future<util::StatusOr<core::ServingResult>> future;
+  };
+  std::deque<InFlight> inflight;
+  // Print every already-resolved response in submission order (all = block
+  // for the rest too, the drain path).
+  auto flush_responses = [&inflight](bool all) {
+    while (!inflight.empty()) {
+      InFlight& f = inflight.front();
+      if (!all && f.future.wait_for(std::chrono::seconds(0)) !=
+                      std::future_status::ready) {
+        break;
+      }
+      PrintServeResult(f.id, f.future.get());
+      inflight.pop_front();
+    }
+  };
+  int64_t next_id = 0;
+  std::string line;
+  while (!util::ShutdownRequested()) {
+    if (!std::getline(std::cin, line)) {
+      if (util::ShutdownRequested() || std::cin.eof() || std::cin.bad()) {
+        break;
+      }
+      std::cin.clear();  // EINTR from an unrelated signal: retry the read
+      continue;
+    }
+    std::istringstream iss(line);
+    std::vector<std::string> tok;
+    for (std::string t; iss >> t;) tok.push_back(t);
+    if (tok.empty() || tok[0][0] == '#') continue;
+    const std::string& cmd = tok[0];
+    if (cmd == "quit") break;
+    if (cmd == "stats") {
+      const core::ServingStats st = serving.stats();
+      std::printf("%s\n", server.snapshot().ToJson().c_str());
+      std::printf("{\"queries\": %lld, \"failures\": %lld, \"degraded\": "
+                  "%lld, \"outstanding_leases\": %lld}\n",
+                  static_cast<long long>(st.queries),
+                  static_cast<long long>(st.failures),
+                  static_cast<long long>(st.degraded),
+                  static_cast<long long>(
+                      model.value()->outstanding_session_leases()));
+      std::fflush(stdout);
+      continue;
+    }
+    const int64_t id = next_id++;
+    core::ServingRequest req;
+    bool parsed = false;
+    int64_t trip = 0;
+    if (cmd == "predict" && tok.size() == 5) {
+      int64_t origin = 0;
+      parsed = ParseI64(tok[1], &origin) &&
+               ParseF64(tok[2], &req.query.destination.x) &&
+               ParseF64(tok[3], &req.query.destination.y) &&
+               ParseF64(tok[4], &req.query.start_time_s);
+      req.query.origin = static_cast<roadnet::SegmentId>(origin);
+    } else if ((cmd == "predict_trip" || cmd == "score_trip") &&
+               tok.size() == 2 && !test.empty() &&
+               ParseI64(tok[1], &trip) && trip >= 0) {
+      const auto* rec = test[static_cast<size_t>(trip) % test.size()];
+      req.query = eval::QueryFor(rec->trip);
+      if (cmd == "score_trip") {
+        req.kind = core::ServingRequest::Kind::kScore;
+        req.routes = {rec->trip.route};
+      }
+      parsed = true;
+    }
+    if (!parsed) {
+      std::printf("#%lld error bad request '%s'\n",
+                  static_cast<long long>(id), line.c_str());
+      std::fflush(stdout);
+      continue;
+    }
+    inflight.push_back({id, server.Submit(std::move(req))});
+    flush_responses(/*all=*/false);
+    // Backpressure: cap outstanding responses at the queue depth so the
+    // pipeline still coalesces batches without growing without bound.
+    while (inflight.size() > opts.queue_capacity) {
+      PrintServeResult(inflight.front().id, inflight.front().future.get());
+      inflight.pop_front();
+    }
+  }
+  flush_responses(/*all=*/true);
+  server.Shutdown();
+  std::fprintf(stderr, "drained: %s\n", server.snapshot().ToJson().c_str());
+  const int64_t leaked = model.value()->outstanding_session_leases();
+  if (leaked != 0) {
+    std::fprintf(stderr, "error: %lld session leases leaked\n",
+                 static_cast<long long>(leaked));
+    return 1;
+  }
+  return 0;
 }
 
 int CmdConvert(const util::Flags& flags) {
@@ -552,6 +838,7 @@ int Main(int argc, const char* const* argv) {
   if (command == "evaluate") return CmdEvaluate(flags.value());
   if (command == "predict") return CmdPredict(flags.value());
   if (command == "recover") return CmdRecover(flags.value());
+  if (command == "serve") return CmdServe(flags.value());
   if (command == "inspect") return CmdInspect(flags.value());
   if (command == "convert") return CmdConvert(flags.value());
   return Usage();

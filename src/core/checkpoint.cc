@@ -266,7 +266,9 @@ util::StatusOr<TrainingCheckpoint> LoadTrainingCheckpoint(
   return ckpt;
 }
 
-util::StatusOr<std::string> DescribeCheckpointFile(const std::string& path) {
+util::StatusOr<std::string> DescribeCheckpointFile(const std::string& path,
+                                                   bool* healthy) {
+  if (healthy != nullptr) *healthy = true;
   std::ifstream in(path, std::ios::binary);
   if (!in.is_open()) return util::Status::NotFound("cannot open " + path);
   uint32_t magic = 0, version = 0;
@@ -283,6 +285,7 @@ util::StatusOr<std::string> DescribeCheckpointFile(const std::string& path) {
   // normal load path (which is what a resume would run anyway).
   auto loaded = LoadTrainingCheckpoint(path);
   if (!loaded.ok()) {
+    if (healthy != nullptr) *healthy = false;
     out += util::StrFormat("  crc: %s\n", loaded.status().ToString().c_str());
     return out;
   }

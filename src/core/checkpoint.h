@@ -68,8 +68,10 @@ util::StatusOr<TrainingCheckpoint> LoadTrainingCheckpoint(
 
 // Human-readable report for `deepst_cli inspect`: version, CRC status, epoch
 // cursor and parameter-tensor counts. InvalidArgument on a non-checkpoint
-// magic.
-util::StatusOr<std::string> DescribeCheckpointFile(const std::string& path);
+// magic. `healthy` (optional) is set false when the checkpoint describes but
+// would not load (CRC or structural failure).
+util::StatusOr<std::string> DescribeCheckpointFile(const std::string& path,
+                                                   bool* healthy = nullptr);
 
 // Rotating latest/prev/best checkpoint files under one directory. The
 // rotation means there is always at least one intact checkpoint on disk even

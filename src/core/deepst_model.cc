@@ -121,7 +121,13 @@ std::unique_ptr<infer::InferenceSession> DeepSTModel::AcquireSession() {
 }
 
 void DeepSTModel::ReleaseSession(
-    std::unique_ptr<infer::InferenceSession> session) {
+    std::unique_ptr<infer::InferenceSession> session, uint64_t generation) {
+  // A retire that ran while this session was leased makes it stale: its
+  // scratch state may reflect whatever the (possibly hung) query left
+  // behind, so destroy it here instead of re-pooling.
+  if (generation != session_generation_.load(std::memory_order_acquire)) {
+    return;
+  }
   std::lock_guard<std::mutex> lock(session_mu_);
   session_pool_.push_back(std::move(session));
 }
@@ -131,21 +137,41 @@ size_t DeepSTModel::num_pooled_sessions() {
   return session_pool_.size();
 }
 
+void DeepSTModel::RetirePooledSessions() {
+  std::vector<std::unique_ptr<infer::InferenceSession>> doomed;
+  {
+    std::lock_guard<std::mutex> lock(session_mu_);
+    session_generation_.fetch_add(1, std::memory_order_acq_rel);
+    doomed.swap(session_pool_);
+  }
+  // Session destructors run outside the lock.
+}
+
+int64_t DeepSTModel::outstanding_session_leases() const {
+  return outstanding_leases_.load(std::memory_order_relaxed);
+}
+
 // RAII lease: returns the session to the pool at scope exit so its warm
 // scratch buffers are reused by the next call.
 class DeepSTModel::SessionLease {
  public:
   explicit SessionLease(DeepSTModel* model)
-      : model_(model), session_(model->AcquireSession()) {}
+      : model_(model),
+        generation_(
+            model->session_generation_.load(std::memory_order_acquire)),
+        session_(model->AcquireSession()) {
+    model_->outstanding_leases_.fetch_add(1, std::memory_order_relaxed);
+  }
   ~SessionLease() {
     // Leases unwind through query failures (the serving layer converts the
     // exception to a Status), so the destructor must neither leak the slot
     // nor throw during unwind. If returning the session fails (pool
     // push_back allocation), drop it: a fresh one is created on demand.
     try {
-      model_->ReleaseSession(std::move(session_));
+      model_->ReleaseSession(std::move(session_), generation_);
     } catch (...) {
     }
+    model_->outstanding_leases_.fetch_sub(1, std::memory_order_relaxed);
   }
   SessionLease(const SessionLease&) = delete;
   SessionLease& operator=(const SessionLease&) = delete;
@@ -153,6 +179,7 @@ class DeepSTModel::SessionLease {
 
  private:
   DeepSTModel* model_;
+  uint64_t generation_;
   std::unique_ptr<infer::InferenceSession> session_;
 };
 
@@ -840,6 +867,40 @@ std::vector<double> DeepSTModel::ScoreContinuations(
   SessionLease session(this);
   util::ThrowIfFaultPoint("infer.query");
   return session->ScoreContinuations(ctx, prefix, candidates);
+}
+
+void DeepSTModel::PredictRoutesBeamMulti(std::vector<PredictItem>* items,
+                                         util::Rng* rng) {
+  if (items->empty()) return;
+  // Lock-step batching requires the graph-free engine and the deterministic
+  // MAP beam (no rng draws); other configs fall back to per-item calls,
+  // which produce the same per-item results by construction.
+  const bool eligible = !config_.graph_inference && config_.map_prediction &&
+                        !config_.sample_stop;
+  if (!eligible) {
+    for (PredictItem& item : *items) {
+      item.budget_hit = false;
+      item.route = PredictRouteBeam(*item.ctx, item.origin, rng,
+                                    item.deadline_ms, &item.budget_hit);
+    }
+    return;
+  }
+  SessionLease session(this);
+  util::ThrowIfFaultPoint("infer.query");
+  session->PredictRoutesBeamMulti(items);
+}
+
+void DeepSTModel::ScoreRoutesMulti(std::vector<ScoreItem>* items) {
+  if (items->empty()) return;
+  if (config_.graph_inference) {
+    for (ScoreItem& item : *items) {
+      item.scores = ScoreRoutes(*item.ctx, *item.routes);
+    }
+    return;
+  }
+  SessionLease session(this);
+  util::ThrowIfFaultPoint("infer.query");
+  session->ScoreRoutesMulti(items);
 }
 
 bool ShouldStop(const roadnet::RoadNetwork& net, const geo::Point& dest,

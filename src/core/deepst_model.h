@@ -1,6 +1,8 @@
 #ifndef DEEPST_CORE_DEEPST_MODEL_H_
 #define DEEPST_CORE_DEEPST_MODEL_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -72,6 +74,25 @@ struct PredictionContext {
   nn::Tensor traffic_term;  // [1, N_max]
   nn::Tensor traffic_repr;  // [1, traffic_dim] c
   geo::Point destination;
+};
+
+// -- Cross-query batching work items -------------------------------------------
+// One prediction / scoring query inside a coalesced batch. The serve
+// daemon's scheduler fills these from *different* clients and runs them
+// through one padded batch on a single leased session; per item the result
+// is bitwise identical to the corresponding single-query call (see
+// core/infer/session.h for the kernel-level argument).
+struct PredictItem {
+  const PredictionContext* ctx = nullptr;
+  roadnet::SegmentId origin = roadnet::kInvalidSegment;
+  double deadline_ms = 0.0;  // per-item wall budget; 0 disables
+  bool budget_hit = false;   // out: deadline returned best-so-far
+  traj::Route route;         // out
+};
+struct ScoreItem {
+  const PredictionContext* ctx = nullptr;
+  const std::vector<traj::Route>* routes = nullptr;
+  std::vector<double> scores;  // out; same conventions as ScoreRoutes
 };
 
 // DeepST (Section IV): a deep probabilistic generative model of routes,
@@ -164,6 +185,17 @@ class DeepSTModel : public nn::Module {
       const PredictionContext& ctx, const traj::Route& prefix,
       const std::vector<traj::Route>& candidates);
 
+  // -- Cross-query batched entry points (serve scheduler) ------------------------
+  // Run every item through ONE leased session as one padded batch when the
+  // config permits lock-step batching (graph-free engine + deterministic MAP
+  // beam for prediction); fall back to per-item single-query calls
+  // otherwise. Either way each item's result is bitwise identical to the
+  // corresponding single-query call. `rng` is only consulted on the
+  // fallback path (sampled-stop configs); the batched path draws nothing.
+  void PredictRoutesBeamMulti(std::vector<PredictItem>* items,
+                              util::Rng* rng = nullptr);
+  void ScoreRoutesMulti(std::vector<ScoreItem>* items);
+
   // -- Autodiff reference implementations ---------------------------------------
   // The original graph-building paths, kept as the specification the fast
   // path is parity-tested against (tests/inference_test.cc) and benchmarked
@@ -199,6 +231,16 @@ class DeepSTModel : public nn::Module {
   // grows up to the peak number of concurrent prediction calls).
   size_t num_pooled_sessions();
 
+  // Retires the session pool: pooled sessions are destroyed now, and every
+  // session currently leased out is dropped instead of re-pooled when its
+  // lease ends. The serve watchdog calls this to recycle scratch state a
+  // hung or fault-poisoned worker may have left behind, without touching
+  // the threads themselves; subsequent calls build fresh sessions on demand.
+  void RetirePooledSessions();
+  // Sessions currently leased out (zero once a drain completes; the chaos
+  // soak asserts no lease is ever leaked).
+  int64_t outstanding_session_leases() const;
+
  private:
   // Next-slot logits [B, N_max] for the current hidden state plus context
   // terms.
@@ -230,7 +272,11 @@ class DeepSTModel : public nn::Module {
   // call takes a session exclusively (sessions own scratch state), returning
   // it when done so the buffers stay warm for the next call.
   std::unique_ptr<infer::InferenceSession> AcquireSession();
-  void ReleaseSession(std::unique_ptr<infer::InferenceSession> session);
+  // Returns a session to the pool -- unless the pool generation advanced
+  // since `generation` (RetirePooledSessions ran while it was leased), in
+  // which case the stale session is destroyed instead.
+  void ReleaseSession(std::unique_ptr<infer::InferenceSession> session,
+                      uint64_t generation);
   class SessionLease;
 
   const roadnet::RoadNetwork& net_;
@@ -249,6 +295,8 @@ class DeepSTModel : public nn::Module {
 
   std::mutex session_mu_;
   std::vector<std::unique_ptr<infer::InferenceSession>> session_pool_;
+  std::atomic<uint64_t> session_generation_{0};
+  std::atomic<int64_t> outstanding_leases_{0};
 };
 
 // Log-probability of transitioning into neighbor slot `slot`, normalized

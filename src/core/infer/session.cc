@@ -92,6 +92,47 @@ void InferenceSession::PrepareContext(const PredictionContext& ctx) {
   }
 }
 
+void InferenceSession::PrepareContexts(
+    const std::vector<const PredictionContext*>& ctxs) {
+  const int64_t q_count = static_cast<int64_t>(ctxs.size());
+  const nn::infer::GruCellView& cell0 = gru_.cells[0];
+  const int64_t h3 = 3 * cell0.hidden_dim;
+  nn::Tensor* ctx_ih = arena_.Acquire(kCtxIh, {q_count, h3});
+  nn::Tensor* lb = arena_.Acquire(kLogitBias, {q_count, nmax_});
+  const float* ab = alpha_b_ != nullptr ? alpha_b_->data() : nullptr;
+  for (int64_t q = 0; q < q_count; ++q) {
+    const PredictionContext& ctx = *ctxs[static_cast<size_t>(q)];
+    const int64_t dest_dim = ctx.has_dest ? ctx.dest_repr.dim(1) : 0;
+    const int64_t traffic_dim = ctx.has_traffic ? ctx.traffic_repr.dim(1) : 0;
+    const int64_t ctx_dim = dest_dim + traffic_dim;
+    DEEPST_CHECK_EQ(emb_dim_ + ctx_dim, cell0.input_dim);
+    ctxd_.resize(static_cast<size_t>(ctx_dim));
+    if (dest_dim > 0) {
+      nn::infer::ToDouble(ctx.dest_repr.data(), ctxd_.data(), dest_dim);
+    }
+    if (traffic_dim > 0) {
+      nn::infer::ToDouble(ctx.traffic_repr.data(), ctxd_.data() + dest_dim,
+                          traffic_dim);
+    }
+    // One LinearForward call per row, same operands as PrepareContext, so
+    // each row of the [Q, 3H] block is bitwise identical to preparing that
+    // context alone.
+    nn::infer::LinearForward(ctxd_.data(), ctx_dim,
+                             cell0.w_ih.data() + emb_dim_, cell0.input_dim,
+                             cell0.b_ih->data(), nullptr,
+                             ctx_ih->data() + q * h3, 1, ctx_dim, h3);
+    const float* dt = ctx.has_dest ? ctx.dest_term.data() : nullptr;
+    const float* tt = ctx.has_traffic ? ctx.traffic_term.data() : nullptr;
+    float* lbp = lb->data() + q * nmax_;
+    for (int64_t j = 0; j < nmax_; ++j) {
+      float v = ab != nullptr ? ab[j] : 0.0f;
+      if (dt != nullptr) v += dt[j];
+      if (tt != nullptr) v += tt[j];
+      lbp[j] = v;
+    }
+  }
+}
+
 void InferenceSession::ResetState(int64_t batch) {
   for (int l = 0; l < gru_.num_layers(); ++l) {
     arena_.Acquire(kPerLayer + 2 * l, {batch, gru_.hidden_dim})->Fill(0.0f);
@@ -142,6 +183,59 @@ void InferenceSession::StepBatch(const int* tokens, int64_t batch,
     nn::infer::LinearForward(xd_.data(), hd, alpha_w_d_.data(), hd,
                              arena_.Get(kLogitBias)->data(), nullptr,
                              logits->data(), batch, hd, nmax_);
+  }
+}
+
+void InferenceSession::StepBatchMulti(const int* tokens, const int* row_ctx,
+                                      int64_t batch, bool want_logits) {
+  // Mirrors StepBatch; only the layer-0 input bias and the logit bias are
+  // row-mapped into the [Q, .] blocks PrepareContexts filled. Every other
+  // operand is query-independent, so each row's arithmetic is exactly the
+  // single-context step's.
+  const nn::infer::GruCellView& cell0 = gru_.cells[0];
+  const int64_t hd = gru_.hidden_dim;
+  const int64_t h3 = 3 * hd;
+  embd_.resize(static_cast<size_t>(batch * emb_dim_));
+  xd_.resize(static_cast<size_t>(batch * hd));
+  for (int64_t b = 0; b < batch; ++b) {
+    std::copy_n(
+        emb_table_d_.data() + static_cast<int64_t>(tokens[b]) * emb_dim_,
+        emb_dim_, embd_.data() + b * emb_dim_);
+  }
+  nn::Tensor* gi = arena_.Acquire(kGi, {batch, h3});
+  nn::Tensor* gh = arena_.Acquire(kGh, {batch, h3});
+  nn::Tensor* h0 = StateSlot(0);
+  nn::infer::LinearForwardRowBias(embd_.data(), emb_dim_, cell0.w_ih.data(),
+                                  cell0.input_dim, arena_.Get(kCtxIh)->data(),
+                                  nullptr, row_ctx, gi->data(), batch,
+                                  emb_dim_, h3);
+  nn::infer::ToDouble(h0->data(), xd_.data(), batch * hd);
+  nn::infer::LinearForward(xd_.data(), hd, cell0.w_hh.data(), hd,
+                           cell0.b_hh->data(), nullptr, gh->data(), batch, hd,
+                           h3);
+  nn::infer::GruGates(*gi, *gh, *h0, h0);
+  for (int l = 1; l < gru_.num_layers(); ++l) {
+    const nn::infer::GruCellView& cell = gru_.cells[static_cast<size_t>(l)];
+    const nn::Tensor* below = StateSlot(l - 1);
+    nn::Tensor* h = StateSlot(l);
+    nn::infer::ToDouble(below->data(), xd_.data(), batch * hd);
+    nn::infer::LinearForward(xd_.data(), hd, cell.w_ih.data(), hd,
+                             cell.b_ih->data(), nullptr, gi->data(), batch,
+                             hd, h3);
+    nn::infer::ToDouble(h->data(), xd_.data(), batch * hd);
+    nn::infer::LinearForward(xd_.data(), hd, cell.w_hh.data(), hd,
+                             cell.b_hh->data(), nullptr, gh->data(), batch,
+                             hd, h3);
+    nn::infer::GruGates(*gi, *gh, *h, h);
+  }
+  if (want_logits) {
+    nn::Tensor* logits = arena_.Acquire(kLogits, {batch, nmax_});
+    nn::infer::ToDouble(StateSlot(gru_.num_layers() - 1)->data(), xd_.data(),
+                        batch * hd);
+    nn::infer::LinearForwardRowBias(xd_.data(), hd, alpha_w_d_.data(), hd,
+                                    arena_.Get(kLogitBias)->data(), nullptr,
+                                    row_ctx, logits->data(), batch, hd,
+                                    nmax_);
   }
 }
 
@@ -366,6 +460,301 @@ traj::Route InferenceSession::PredictRouteBeam(const PredictionContext& ctx,
   }
   DEEPST_CHECK(best != nullptr);
   return best->route;
+}
+
+void InferenceSession::EnsureQueryBeams(size_t count) {
+  if (query_beams_.size() >= count) return;
+  const int width = std::max(config_.beam_width, 1);
+  const size_t nseg = static_cast<size_t>(net_.num_segments());
+  const size_t route_cap = static_cast<size_t>(config_.max_route_steps) + 2;
+  const size_t old = query_beams_.size();
+  query_beams_.resize(count);
+  for (size_t q = old; q < count; ++q) {
+    QueryBeam& qb = query_beams_[q];
+    qb.beams.resize(static_cast<size_t>(width));
+    qb.pool.resize(static_cast<size_t>(width) * static_cast<size_t>(width + 1));
+    for (Hyp& h : qb.beams) {
+      h.route.reserve(route_cap);
+      h.visited.resize(nseg, 0);
+    }
+    for (Hyp& h : qb.pool) {
+      h.route.reserve(route_cap);
+      h.visited.resize(nseg, 0);
+    }
+  }
+}
+
+void InferenceSession::FinalizeQuery(const QueryBeam& qb, PredictItem* item) {
+  const Hyp* best = nullptr;
+  for (int i = 0; i < qb.num_beams; ++i) {
+    const Hyp& b = qb.beams[static_cast<size_t>(i)];
+    if (!b.done) continue;
+    if (best == nullptr || b.Score() > best->Score()) best = &b;
+  }
+  if (best == nullptr) {
+    for (int i = 0; i < qb.num_beams; ++i) {
+      const Hyp& b = qb.beams[static_cast<size_t>(i)];
+      if (best == nullptr || b.Score() > best->Score()) best = &b;
+    }
+  }
+  DEEPST_CHECK(best != nullptr);
+  item->route = best->route;
+}
+
+void InferenceSession::PredictRoutesBeamMulti(
+    std::vector<PredictItem>* items) {
+  // Lock-step beam search needs the deterministic MAP config: ShouldStop
+  // then draws nothing, so interleaving queries cannot shift any rng stream.
+  DEEPST_CHECK(config_.map_prediction && !config_.sample_stop);
+  const int64_t q_count = static_cast<int64_t>(items->size());
+  if (q_count == 0) return;
+  const int width = std::max(config_.beam_width, 1);
+  const int64_t hd = gru_.hidden_dim;
+
+  ctx_ptrs_.clear();
+  for (PredictItem& item : *items) {
+    DEEPST_CHECK(item.origin >= 0 && item.origin < net_.num_segments());
+    item.budget_hit = false;
+    ctx_ptrs_.push_back(item.ctx);
+  }
+  PrepareContexts(ctx_ptrs_);
+  EnsureQueryBeams(static_cast<size_t>(q_count));
+  for (int l = 0; l < gru_.num_layers(); ++l) {
+    arena_.Acquire(kPerLayer + 2 * l + 1, {q_count * width, hd})->Fill(0.0f);
+  }
+  for (int64_t q = 0; q < q_count; ++q) {
+    QueryBeam& qb = query_beams_[static_cast<size_t>(q)];
+    const SegmentId origin = (*items)[static_cast<size_t>(q)].origin;
+    Hyp& root = qb.beams[0];
+    root.route.clear();
+    root.route.push_back(origin);
+    std::fill(root.visited.begin(), root.visited.end(), 0);
+    root.visited[static_cast<size_t>(origin)] = 1;
+    root.log_prob = 0.0;
+    root.done = false;
+    root.src_row = -1;
+    qb.num_beams = 1;
+    qb.finished = false;
+    qb.watch.Reset();
+  }
+
+  int64_t live = q_count;
+  for (int step = 0; step < config_.max_route_steps && live > 0; ++step) {
+    // Pass 1: one padded GRU step over every expandable hypothesis of every
+    // live query; row_ctx_ routes each row to its query's context biases.
+    tokens_.clear();
+    row_ctx_.clear();
+    for (int64_t q = 0; q < q_count; ++q) {
+      QueryBeam& qb = query_beams_[static_cast<size_t>(q)];
+      if (qb.finished) continue;
+      qb.active_row.assign(static_cast<size_t>(qb.num_beams), -1);
+      for (int i = 0; i < qb.num_beams; ++i) {
+        const Hyp& b = qb.beams[static_cast<size_t>(i)];
+        if (b.done) continue;
+        if (net_.OutSegments(b.route.back()).empty()) continue;
+        qb.active_row[static_cast<size_t>(i)] =
+            static_cast<int>(tokens_.size());
+        tokens_.push_back(static_cast<int>(b.route.back()));
+        row_ctx_.push_back(static_cast<int>(q));
+      }
+    }
+    const int64_t active = static_cast<int64_t>(tokens_.size());
+    if (active > 0) {
+      for (int l = 0; l < gru_.num_layers(); ++l) {
+        nn::Tensor* st = arena_.Acquire(kPerLayer + 2 * l, {active, hd});
+        const nn::Tensor* bs = GatherSlot(l);
+        for (int64_t q = 0; q < q_count; ++q) {
+          const QueryBeam& qb = query_beams_[static_cast<size_t>(q)];
+          if (qb.finished) continue;
+          for (int i = 0; i < qb.num_beams; ++i) {
+            const int a = qb.active_row[static_cast<size_t>(i)];
+            if (a < 0) continue;
+            std::copy_n(bs->data() + (q * width + i) * hd, hd,
+                        st->data() + static_cast<int64_t>(a) * hd);
+          }
+        }
+      }
+      StepBatchMulti(tokens_.data(), row_ctx_.data(), active,
+                     /*want_logits=*/true);
+    }
+    const float* logits = active > 0 ? arena_.Get(kLogits)->data() : nullptr;
+
+    // Pass 2: per-query expansion, keep, and termination — the single-query
+    // PredictRouteBeam body verbatim, indexed into the shared batch.
+    for (int64_t q = 0; q < q_count; ++q) {
+      QueryBeam& qb = query_beams_[static_cast<size_t>(q)];
+      if (qb.finished) continue;
+      PredictItem& item = (*items)[static_cast<size_t>(q)];
+      bool q_any_active = false;
+      qb.pool_size = 0;
+      for (int i = 0; i < qb.num_beams; ++i) {
+        Hyp& beam = qb.beams[static_cast<size_t>(i)];
+        if (beam.done) {
+          beam.src_row = -1;
+          CopyHyp(beam, &qb.pool[qb.pool_size++]);
+          continue;
+        }
+        const SegmentId cur = beam.route.back();
+        const auto& outs = net_.OutSegments(cur);
+        if (outs.empty()) {
+          beam.done = true;
+          beam.src_row = -1;
+          CopyHyp(beam, &qb.pool[qb.pool_size++]);
+          continue;
+        }
+        q_any_active = true;
+        const int a = qb.active_row[static_cast<size_t>(i)];
+        const float* lrow = logits + static_cast<int64_t>(a) * nmax_;
+        const int deg = static_cast<int>(outs.size());
+        ranked_.clear();
+        for (int s = 0; s < deg; ++s) {
+          if (beam.visited[static_cast<size_t>(
+                  outs[static_cast<size_t>(s)])]) {
+            continue;
+          }
+          ranked_.emplace_back(ValidSlotLogProb(lrow, deg, s), s);
+        }
+        if (ranked_.empty()) {
+          beam.done = true;
+          beam.src_row = -1;
+          CopyHyp(beam, &qb.pool[qb.pool_size++]);
+          continue;
+        }
+        std::sort(ranked_.rbegin(), ranked_.rend());
+        const int expand =
+            std::min<int>(width, static_cast<int>(ranked_.size()));
+        for (int e = 0; e < expand; ++e) {
+          Hyp& nxt = qb.pool[qb.pool_size++];
+          CopyHyp(beam, &nxt);
+          nxt.src_row = a;
+          nxt.log_prob += ranked_[static_cast<size_t>(e)].first;
+          const SegmentId seg = outs[static_cast<size_t>(
+              ranked_[static_cast<size_t>(e)].second)];
+          nxt.route.push_back(seg);
+          nxt.visited[static_cast<size_t>(seg)] = 1;
+          nxt.done = ShouldStop(net_, item.ctx->destination, seg, config_,
+                                /*rng=*/nullptr);
+        }
+      }
+
+      qb.pool_order.resize(qb.pool_size);
+      std::iota(qb.pool_order.begin(), qb.pool_order.end(), 0);
+      std::sort(qb.pool_order.begin(), qb.pool_order.end(),
+                [&qb](int x, int y) {
+                  return qb.pool[static_cast<size_t>(x)].Score() >
+                         qb.pool[static_cast<size_t>(y)].Score();
+                });
+      const int keep = std::min<int>(width, static_cast<int>(qb.pool_size));
+      for (int w = 0; w < keep; ++w) {
+        const Hyp& src = qb.pool[static_cast<size_t>(qb.pool_order[w])];
+        CopyHyp(src, &qb.beams[static_cast<size_t>(w)]);
+        if (src.src_row >= 0) {
+          for (int l = 0; l < gru_.num_layers(); ++l) {
+            std::copy_n(StateSlot(l)->data() +
+                            static_cast<int64_t>(src.src_row) * hd,
+                        hd, GatherSlot(l)->data() + (q * width + w) * hd);
+          }
+        }
+      }
+      qb.num_beams = keep;
+
+      // Same termination order as the single-query loop: boxed-in, then
+      // all-done, then the per-item deadline between completed steps.
+      bool q_done = !q_any_active;
+      if (!q_done) {
+        bool all_done = true;
+        for (int i = 0; i < qb.num_beams; ++i) {
+          if (!qb.beams[static_cast<size_t>(i)].done) all_done = false;
+        }
+        q_done = all_done;
+        if (!q_done && item.deadline_ms > 0.0 &&
+            qb.watch.ElapsedMillis() >= item.deadline_ms) {
+          item.budget_hit = true;
+          q_done = true;
+        }
+      }
+      if (q_done) {
+        qb.finished = true;
+        --live;
+        FinalizeQuery(qb, &item);
+      }
+    }
+  }
+  // Queries that ran out the step budget with live hypotheses.
+  for (int64_t q = 0; q < q_count; ++q) {
+    QueryBeam& qb = query_beams_[static_cast<size_t>(q)];
+    if (qb.finished) continue;
+    qb.finished = true;
+    FinalizeQuery(qb, &(*items)[static_cast<size_t>(q)]);
+  }
+}
+
+void InferenceSession::ScoreRoutesMulti(std::vector<ScoreItem>* items) {
+  ctx_ptrs_.clear();
+  rows_.clear();
+  row_index_.clear();
+  row_ctx_.clear();
+  int flat = 0;
+  for (size_t i = 0; i < items->size(); ++i) {
+    ScoreItem& item = (*items)[i];
+    const std::vector<traj::Route>& routes = *item.routes;
+    item.scores.assign(routes.size(), 0.0);
+    for (size_t j = 0; j < routes.size(); ++j, ++flat) {
+      if (routes[j].size() < 2) continue;  // score 0 by convention
+      if (!net_.ValidateRoute(routes[j]).ok()) {
+        item.scores[j] = kNegInf;
+        continue;
+      }
+      rows_.push_back(&routes[j]);
+      row_index_.push_back(flat);
+      row_ctx_.push_back(static_cast<int>(ctx_ptrs_.size()));
+    }
+    ctx_ptrs_.push_back(item.ctx);
+  }
+  if (rows_.empty()) return;
+  PrepareContexts(ctx_ptrs_);
+  ResetState(static_cast<int64_t>(rows_.size()));
+  batch_out_.assign(rows_.size(), 0.0);
+  ScorePaddedBatchMulti(rows_, row_ctx_, &batch_out_);
+  for (size_t b = 0; b < rows_.size(); ++b) {
+    // Invert the flat index back to (item, route).
+    int remaining = row_index_[b];
+    size_t i = 0;
+    while (remaining >= static_cast<int>((*items)[i].routes->size())) {
+      remaining -= static_cast<int>((*items)[i].routes->size());
+      ++i;
+    }
+    (*items)[i].scores[static_cast<size_t>(remaining)] = batch_out_[b];
+  }
+}
+
+void InferenceSession::ScorePaddedBatchMulti(
+    const std::vector<const traj::Route*>& rows, const std::vector<int>& row_ctx,
+    std::vector<double>* out) {
+  const int64_t batch = static_cast<int64_t>(rows.size());
+  size_t max_len = 0;
+  for (const traj::Route* r : rows) max_len = std::max(max_len, r->size());
+  tokens_.resize(static_cast<size_t>(batch));
+  for (size_t t = 0; t + 1 < max_len; ++t) {
+    for (int64_t b = 0; b < batch; ++b) {
+      const traj::Route& r = *rows[static_cast<size_t>(b)];
+      // Finished rows re-feed their last input token, exactly like
+      // ScorePaddedBatch: row-local kernels keep the padding invisible.
+      const size_t i = std::min(t, r.size() - 2);
+      tokens_[static_cast<size_t>(b)] = static_cast<int>(r[i]);
+    }
+    StepBatchMulti(tokens_.data(), row_ctx.data(), batch,
+                   /*want_logits=*/true);
+    const float* logits = arena_.Get(kLogits)->data();
+    for (int64_t b = 0; b < batch; ++b) {
+      const traj::Route& r = *rows[static_cast<size_t>(b)];
+      if (t + 1 >= r.size()) continue;
+      const int slot = net_.NeighborSlot(r[t], r[t + 1]);
+      DEEPST_DCHECK(slot >= 0);
+      (*out)[static_cast<size_t>(b)] += ValidSlotLogProb(
+          logits + b * nmax_, net_.OutDegree(r[t]), slot);
+    }
+  }
 }
 
 void InferenceSession::ScorePaddedBatch(

@@ -6,6 +6,7 @@
 
 #include "core/deepst_model.h"
 #include "nn/infer/forward.h"
+#include "util/stopwatch.h"
 
 namespace deepst {
 namespace core {
@@ -58,6 +59,26 @@ class InferenceSession {
       const PredictionContext& ctx, const traj::Route& prefix,
       const std::vector<traj::Route>& candidates);
 
+  // -- Cross-query batching (the serve daemon's scheduler) --------------------
+  // Work items are core::PredictItem / core::ScoreItem (deepst_model.h).
+  // Each item carries its own folded context; the queries share every padded
+  // GRU step, with each batch row reading its own query's context biases
+  // through the row-mapped kernel (nn::infer::LinearForwardRowBias). Kernels
+  // are row-local, so each item's result is bitwise identical to the
+  // corresponding single-query call on this session.
+  //
+  // Lock-step beam search over several queries: every expansion step runs
+  // one padded StepBatch across all live hypotheses of all queries. Requires
+  // the deterministic MAP config (map_prediction && !sample_stop, checked):
+  // no rng draws occur, so batch composition cannot perturb any stream. A
+  // query whose deadline expires drops out of the batch with its best
+  // hypothesis so far; the others keep stepping.
+  void PredictRoutesBeamMulti(std::vector<PredictItem>* items);
+  // Batched scoring across queries: every candidate route of every item
+  // advances through one padded [rows, max_len] step sequence. Bitwise
+  // identical per item to ScoreRoutes(*item.ctx, *item.routes).
+  void ScoreRoutesMulti(std::vector<ScoreItem>* items);
+
   // Number of scratch-storage growths so far; constant across calls once
   // the session is warm (the zero-allocation steady state).
   int64_t arena_grow_count() const { return arena_.grow_count(); }
@@ -79,11 +100,21 @@ class InferenceSession {
 
   // Folds the per-query context into kCtxVec/kCtxIh/kLogitBias.
   void PrepareContext(const PredictionContext& ctx);
+  // Multi-query variant: folds each context into its own row of kCtxIh
+  // ([Q, 3H]) and kLogitBias ([Q, N_max]); each row is produced by the same
+  // arithmetic as PrepareContext, so row q is bitwise identical to preparing
+  // context q alone.
+  void PrepareContexts(const std::vector<const PredictionContext*>& ctxs);
   // Re-shapes the per-layer state slots to [batch, H] and zero-fills them.
   void ResetState(int64_t batch);
   // One batched GRU step: reads tokens, updates the state slots in place
   // and (when `want_logits`) fills kLogits with [batch, N_max] rows.
   void StepBatch(const int* tokens, int64_t batch, bool want_logits);
+  // Multi-context step: row b reads the context biases of query row_ctx[b]
+  // (kCtxIh / kLogitBias as prepared by PrepareContexts). Row-for-row
+  // bitwise identical to StepBatch under that row's own context.
+  void StepBatchMulti(const int* tokens, const int* row_ctx, int64_t batch,
+                      bool want_logits);
 
   // One beam-search hypothesis; fixed-capacity, reused across calls.
   struct Hyp {
@@ -100,6 +131,27 @@ class InferenceSession {
   // ScoreContinuations); `first_scored` transitions only warm the state.
   void ScorePaddedBatch(const std::vector<const traj::Route*>& rows,
                         size_t first_scored, std::vector<double>* out);
+  // Multi-context counterpart: row b steps under row_ctx[b]'s biases.
+  void ScorePaddedBatchMulti(const std::vector<const traj::Route*>& rows,
+                             const std::vector<int>& row_ctx,
+                             std::vector<double>* out);
+
+  // Per-query beam bookkeeping for PredictRoutesBeamMulti; pools sized like
+  // the single-query beams_/pool_ and grown once to the largest batch seen.
+  struct QueryBeam {
+    std::vector<Hyp> beams;
+    std::vector<Hyp> pool;
+    size_t pool_size = 0;
+    std::vector<int> pool_order;
+    std::vector<int> active_row;  // beam index -> batch row or -1
+    int num_beams = 0;
+    bool finished = false;
+    util::Stopwatch watch;  // per-item deadline budget
+  };
+  void EnsureQueryBeams(size_t count);
+  // Copies the best hypothesis (preferring completed ones, like the single-
+  // query epilogue) into the item's route.
+  void FinalizeQuery(const QueryBeam& qb, PredictItem* item);
 
   const DeepSTModel* model_;
   const roadnet::RoadNetwork& net_;
@@ -134,6 +186,10 @@ class InferenceSession {
   std::vector<const traj::Route*> rows_;   // batched-scoring row set
   std::vector<int> row_index_;             // batch row -> caller index
   std::vector<double> batch_out_;
+  // Cross-query batching scratch.
+  std::vector<int> row_ctx_;               // batch row -> query index
+  std::vector<const PredictionContext*> ctx_ptrs_;
+  std::vector<QueryBeam> query_beams_;
   traj::Route full_;                       // prefix + continuation scratch
   std::vector<traj::Route> fulls_;
 };

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <exception>
+#include <utility>
 
 #include "util/rng.h"
 #include "util/stopwatch.h"
@@ -128,7 +129,8 @@ util::Status ServingContext::ResolveQuery(RouteQuery* query,
   return util::Status::Ok();
 }
 
-util::StatusOr<ServingResult> ServingContext::Predict(const RouteQuery& query) {
+util::StatusOr<ServingResult> ServingContext::PredictInternal(
+    const RouteQuery& query, double deadline_ms) {
   util::Stopwatch sw;
   ServingResult result;
   RouteQuery resolved = query;
@@ -141,11 +143,10 @@ util::StatusOr<ServingResult> ServingContext::Predict(const RouteQuery& query) {
   try {
     util::Rng rng(config_.rng_seed);
     PredictionContext ctx = model_->MakeContext(resolved, &rng, options);
-    if (config_.deadline_ms > 0.0 && model_->config().map_prediction) {
+    if (deadline_ms > 0.0 && model_->config().map_prediction) {
       bool budget_hit = false;
       result.route = model_->PredictRouteBeam(ctx, resolved.origin, &rng,
-                                              config_.deadline_ms,
-                                              &budget_hit);
+                                              deadline_ms, &budget_hit);
       if (budget_hit) result.degradations |= kDegradationDeadlineBudget;
     } else {
       result.route = model_->PredictRoute(ctx, resolved.origin, &rng);
@@ -159,17 +160,29 @@ util::StatusOr<ServingResult> ServingContext::Predict(const RouteQuery& query) {
   return result;
 }
 
+util::StatusOr<ServingResult> ServingContext::Predict(const RouteQuery& query) {
+  util::StatusOr<ServingResult> outcome =
+      PredictInternal(query, config_.deadline_ms);
+  RecordOutcome(outcome);
+  return outcome;
+}
+
 util::StatusOr<ServingResult> ServingContext::ScoreRoute(
     const RouteQuery& query, const traj::Route& route) {
   util::Stopwatch sw;
   const roadnet::RoadNetwork& net = model_->network();
+  auto fail = [this](util::Status status) -> util::StatusOr<ServingResult> {
+    util::StatusOr<ServingResult> outcome(std::move(status));
+    RecordOutcome(outcome);
+    return outcome;
+  };
   if (route.empty()) {
-    return util::Status::InvalidArgument("route is empty");
+    return fail(util::Status::InvalidArgument("route is empty"));
   }
   for (roadnet::SegmentId s : route) {
     if (s < 0 || s >= net.num_segments()) {
-      return util::Status::InvalidArgument(util::StrFormat(
-          "route references segment %d out of range", static_cast<int>(s)));
+      return fail(util::Status::InvalidArgument(util::StrFormat(
+          "route references segment %d out of range", static_cast<int>(s))));
     }
   }
   ServingResult result;
@@ -181,19 +194,250 @@ util::StatusOr<ServingResult> ServingContext::ScoreRoute(
     resolved.origin = route.front();
   }
   ContextOptions options;
-  DEEPST_RETURN_IF_ERROR(ResolveQuery(&resolved, /*origin_required=*/false,
-                                      &options, &result.degradations));
+  {
+    util::Status status = ResolveQuery(&resolved, /*origin_required=*/false,
+                                       &options, &result.degradations);
+    if (!status.ok()) return fail(std::move(status));
+  }
   try {
     util::Rng rng(config_.rng_seed);
     PredictionContext ctx = model_->MakeContext(resolved, &rng, options);
     result.score = model_->ScoreRoute(ctx, route);
   } catch (const std::exception& e) {
-    return util::Status::Internal(
-        util::StrFormat("query execution failed: %s", e.what()));
+    return fail(util::Status::Internal(
+        util::StrFormat("query execution failed: %s", e.what())));
   }
   result.degraded = result.degradations != kDegradationNone;
   result.latency_ms = sw.ElapsedMillis();
+  util::StatusOr<ServingResult> outcome(std::move(result));
+  RecordOutcome(outcome);
+  return outcome;
+}
+
+util::Status ServingContext::ValidateScoreRoutes(
+    const std::vector<traj::Route>& routes) {
+  if (routes.empty()) {
+    return util::Status::InvalidArgument("score request has no routes");
+  }
+  const roadnet::RoadNetwork& net = model_->network();
+  for (const traj::Route& route : routes) {
+    if (route.empty()) {
+      return util::Status::InvalidArgument("route is empty");
+    }
+    for (roadnet::SegmentId s : route) {
+      if (s < 0 || s >= net.num_segments()) {
+        return util::Status::InvalidArgument(util::StrFormat(
+            "route references segment %d out of range", static_cast<int>(s)));
+      }
+    }
+  }
+  return util::Status::Ok();
+}
+
+util::StatusOr<ServingResult> ServingContext::ExecuteOne(
+    const ServingRequest& request) {
+  const double deadline =
+      request.deadline_ms > 0.0 ? request.deadline_ms : config_.deadline_ms;
+  if (request.kind == ServingRequest::Kind::kPredict) {
+    return PredictInternal(request.query, deadline);
+  }
+  util::Stopwatch sw;
+  DEEPST_RETURN_IF_ERROR(ValidateScoreRoutes(request.routes));
+  ServingResult result;
+  RouteQuery resolved = request.query;
+  if (resolved.origin == roadnet::kInvalidSegment &&
+      !resolved.has_origin_point) {
+    resolved.origin = request.routes.front().front();
+  }
+  ContextOptions options;
+  DEEPST_RETURN_IF_ERROR(ResolveQuery(&resolved, /*origin_required=*/false,
+                                      &options, &result.degradations));
+  try {
+    util::Rng rng(config_.rng_seed);
+    PredictionContext ctx = model_->MakeContext(resolved, &rng, options);
+    result.scores = model_->ScoreRoutes(ctx, request.routes);
+  } catch (const std::exception& e) {
+    return util::Status::Internal(
+        util::StrFormat("query execution failed: %s", e.what()));
+  }
+  result.score = result.scores.empty() ? 0.0 : result.scores.front();
+  result.degraded = result.degradations != kDegradationNone;
+  result.latency_ms = sw.ElapsedMillis();
   return result;
+}
+
+std::vector<util::StatusOr<ServingResult>> ServingContext::ExecuteBatch(
+    std::vector<ServingRequest>* requests) {
+  util::Stopwatch sw;
+  const size_t n = requests->size();
+  std::vector<util::StatusOr<ServingResult>> results(n, ServingResult{});
+  if (n == 0) return results;
+
+  // Cross-query coalescing requires the graph-free deterministic MAP config
+  // (no rng draws in generation, so batch composition cannot perturb any
+  // stream). Other configs execute request by request -- same per-request
+  // results, just without the shared batch.
+  const DeepSTConfig& mc = model_->config();
+  const bool batchable =
+      !mc.graph_inference && mc.map_prediction && !mc.sample_stop;
+  if (!batchable) {
+    for (size_t i = 0; i < n; ++i) {
+      results[i] = ExecuteOne((*requests)[i]);
+      RecordOutcome(results[i]);
+    }
+    return results;
+  }
+
+  // Stage 1: validate, resolve and build every request's context
+  // individually. A request that fails here only fails its own slot.
+  struct Prepared {
+    RouteQuery resolved;
+    ContextOptions options;
+    PredictionContext ctx;
+    uint8_t degradations = kDegradationNone;
+  };
+  std::vector<Prepared> prep(n);
+  std::vector<size_t> predict_ix;
+  std::vector<size_t> score_ix;
+  for (size_t i = 0; i < n; ++i) {
+    const ServingRequest& req = (*requests)[i];
+    Prepared& p = prep[i];
+    const bool is_score = req.kind == ServingRequest::Kind::kScore;
+    p.resolved = req.query;
+    if (is_score) {
+      util::Status status = ValidateScoreRoutes(req.routes);
+      if (!status.ok()) {
+        results[i] = std::move(status);
+        RecordOutcome(results[i]);
+        continue;
+      }
+      if (p.resolved.origin == roadnet::kInvalidSegment &&
+          !p.resolved.has_origin_point) {
+        p.resolved.origin = req.routes.front().front();
+      }
+    }
+    util::Status status = ResolveQuery(&p.resolved, !is_score, &p.options,
+                                       &p.degradations);
+    if (!status.ok()) {
+      results[i] = std::move(status);
+      RecordOutcome(results[i]);
+      continue;
+    }
+    try {
+      util::Rng rng(config_.rng_seed);
+      p.ctx = model_->MakeContext(p.resolved, &rng, p.options);
+      (is_score ? score_ix : predict_ix).push_back(i);
+    } catch (const std::exception& e) {
+      results[i] = util::Status::Internal(
+          util::StrFormat("query execution failed: %s", e.what()));
+      RecordOutcome(results[i]);
+    }
+  }
+
+  // Stage 2: one coalesced batch per kind. If the shared call throws (an
+  // injected fault, allocation failure), re-execute every rider
+  // individually: only the poisoned request fails, with its own Status.
+  if (!predict_ix.empty()) {
+    std::vector<PredictItem> items(predict_ix.size());
+    for (size_t k = 0; k < predict_ix.size(); ++k) {
+      const size_t i = predict_ix[k];
+      const ServingRequest& req = (*requests)[i];
+      items[k].ctx = &prep[i].ctx;
+      items[k].origin = prep[i].resolved.origin;
+      items[k].deadline_ms =
+          req.deadline_ms > 0.0 ? req.deadline_ms : config_.deadline_ms;
+    }
+    bool batch_ok = true;
+    try {
+      model_->PredictRoutesBeamMulti(&items);
+    } catch (const std::exception&) {
+      batch_ok = false;
+    }
+    for (size_t k = 0; k < predict_ix.size(); ++k) {
+      const size_t i = predict_ix[k];
+      if (batch_ok) {
+        ServingResult result;
+        result.degradations = prep[i].degradations;
+        if (items[k].budget_hit) {
+          result.degradations |= kDegradationDeadlineBudget;
+        }
+        result.route = std::move(items[k].route);
+        result.degraded = result.degradations != kDegradationNone;
+        result.latency_ms = sw.ElapsedMillis();
+        results[i] = std::move(result);
+      } else {
+        results[i] = ExecuteOne((*requests)[i]);
+      }
+      RecordOutcome(results[i]);
+    }
+  }
+  if (!score_ix.empty()) {
+    std::vector<ScoreItem> items(score_ix.size());
+    for (size_t k = 0; k < score_ix.size(); ++k) {
+      const size_t i = score_ix[k];
+      items[k].ctx = &prep[i].ctx;
+      items[k].routes = &(*requests)[i].routes;
+    }
+    bool batch_ok = true;
+    try {
+      model_->ScoreRoutesMulti(&items);
+    } catch (const std::exception&) {
+      batch_ok = false;
+    }
+    for (size_t k = 0; k < score_ix.size(); ++k) {
+      const size_t i = score_ix[k];
+      if (batch_ok) {
+        ServingResult result;
+        result.degradations = prep[i].degradations;
+        result.scores = std::move(items[k].scores);
+        result.score = result.scores.empty() ? 0.0 : result.scores.front();
+        result.degraded = result.degradations != kDegradationNone;
+        result.latency_ms = sw.ElapsedMillis();
+        results[i] = std::move(result);
+      } else {
+        results[i] = ExecuteOne((*requests)[i]);
+      }
+      RecordOutcome(results[i]);
+    }
+  }
+  return results;
+}
+
+void ServingContext::RecordOutcome(
+    const util::StatusOr<ServingResult>& outcome) {
+  if (!outcome.ok()) {
+    n_failures_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const ServingResult& r = outcome.value();
+  n_queries_.fetch_add(1, std::memory_order_relaxed);
+  if (r.degradations != kDegradationNone) {
+    n_degraded_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (r.degradations & kDegradationTrafficPriorMean) {
+    n_traffic_prior_mean_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (r.degradations & kDegradationUniformProxy) {
+    n_uniform_proxy_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (r.degradations & kDegradationSnappedOrigin) {
+    n_snapped_origin_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (r.degradations & kDegradationDeadlineBudget) {
+    n_deadline_budget_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+ServingStats ServingContext::stats() const {
+  ServingStats s;
+  s.queries = n_queries_.load(std::memory_order_relaxed);
+  s.failures = n_failures_.load(std::memory_order_relaxed);
+  s.degraded = n_degraded_.load(std::memory_order_relaxed);
+  s.traffic_prior_mean = n_traffic_prior_mean_.load(std::memory_order_relaxed);
+  s.uniform_proxy = n_uniform_proxy_.load(std::memory_order_relaxed);
+  s.snapped_origin = n_snapped_origin_.load(std::memory_order_relaxed);
+  s.deadline_budget = n_deadline_budget_.load(std::memory_order_relaxed);
+  return s;
 }
 
 }  // namespace core

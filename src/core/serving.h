@@ -1,6 +1,7 @@
 #ifndef DEEPST_CORE_SERVING_H_
 #define DEEPST_CORE_SERVING_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -52,9 +53,38 @@ struct ServingConfig {
 struct ServingResult {
   traj::Route route;        // Predict only
   double score = 0.0;       // ScoreRoute only (log-likelihood)
+  // Multi-candidate scoring (batched score requests): one log-likelihood
+  // per candidate route, ScoreRoutes conventions; `score` mirrors the first.
+  std::vector<double> scores;
   bool degraded = false;
   uint8_t degradations = kDegradationNone;  // bitmask of Degradation
   double latency_ms = 0.0;
+};
+
+// Cumulative accounting across every query served through one context.
+// Updated atomically per query: concurrent queries tripping different
+// degradation axes never lose counts, and each query's own result bitmask
+// stays isolated from its neighbors'.
+struct ServingStats {
+  int64_t queries = 0;      // accepted queries (OK results)
+  int64_t failures = 0;     // non-OK outcomes (validation, refusal, execution)
+  int64_t degraded = 0;     // OK results with any degradation bit set
+  int64_t traffic_prior_mean = 0;
+  int64_t uniform_proxy = 0;
+  int64_t snapped_origin = 0;
+  int64_t deadline_budget = 0;
+};
+
+// One request inside a coalesced cross-client batch (see ExecuteBatch).
+struct ServingRequest {
+  enum class Kind { kPredict, kScore };
+  Kind kind = Kind::kPredict;
+  RouteQuery query;
+  // kScore: candidate routes (>= 1). Scored as one padded batch.
+  std::vector<traj::Route> routes;
+  // Remaining per-request budget (already net of queue wait when the serve
+  // daemon forwards it); 0 falls back to config.deadline_ms.
+  double deadline_ms = 0.0;
 };
 
 // Human-readable names of the set bits, for logs and CLI output.
@@ -85,17 +115,57 @@ class ServingContext {
   util::StatusOr<ServingResult> ScoreRoute(const RouteQuery& query,
                                            const traj::Route& route);
 
+  // Executes a batch of requests coalesced from different clients: each
+  // request is validated/resolved individually, then all eligible predict
+  // requests run as ONE lock-step beam batch and all score requests as ONE
+  // padded scoring batch through a single leased inference session
+  // (bitwise identical per request to the single-query calls above).
+  // Execution is exception-isolated twice over: per-request resolution
+  // failures only fail their own slot, and if the shared batch call throws
+  // (an injected fault, allocation failure), every request is re-executed
+  // individually so only the poisoned request returns Internal -- one bad
+  // request never takes down the batch it rode in with.
+  std::vector<util::StatusOr<ServingResult>> ExecuteBatch(
+      std::vector<ServingRequest>* requests);
+
+  // Snapshot of the cumulative counters (torn reads across fields are
+  // possible but each field is itself a consistent atomic total).
+  ServingStats stats() const;
+
   const ServingConfig& config() const { return config_; }
+  // The served model (the serve daemon's watchdog retires its session pool
+  // when recycling hung workers' leases).
+  DeepSTModel* model() const { return model_; }
 
  private:
   // Validates and resolves the query in place (origin snapping), collecting
   // degradation flags and the context fallbacks to apply.
   util::Status ResolveQuery(RouteQuery* query, bool origin_required,
                             ContextOptions* options, uint8_t* degradations);
+  // Folds one finished query into the atomic totals.
+  void RecordOutcome(const util::StatusOr<ServingResult>& outcome);
+  // Candidate-set validation for score requests (out-of-range segment ids
+  // are invalid queries; contiguity is the scorer's business).
+  util::Status ValidateScoreRoutes(const std::vector<traj::Route>& routes);
+  // Predict with an explicit wall budget (the public Predict passes
+  // config.deadline_ms; batch execution passes the request's remainder).
+  util::StatusOr<ServingResult> PredictInternal(const RouteQuery& query,
+                                                double deadline_ms);
+  // Single-request execution with the request's own deadline; the per-item
+  // fallback of ExecuteBatch and the non-batchable config path.
+  util::StatusOr<ServingResult> ExecuteOne(const ServingRequest& request);
 
   DeepSTModel* model_;
   const roadnet::SpatialIndex* index_;
   ServingConfig config_;
+  // ServingStats, field by field (see stats()).
+  std::atomic<int64_t> n_queries_{0};
+  std::atomic<int64_t> n_failures_{0};
+  std::atomic<int64_t> n_degraded_{0};
+  std::atomic<int64_t> n_traffic_prior_mean_{0};
+  std::atomic<int64_t> n_uniform_proxy_{0};
+  std::atomic<int64_t> n_snapped_origin_{0};
+  std::atomic<int64_t> n_deadline_budget_{0};
 };
 
 }  // namespace core

@@ -302,7 +302,12 @@ TrainResult Trainer::Fit(
     double ce_sum = 0.0;
     int64_t transitions = 0;
     int64_t trips = 0;
+    bool stop_signal = false;
     for (const size_t bi : batch_order) {
+      if (config_.stop_requested && config_.stop_requested()) {
+        stop_signal = true;
+        break;
+      }
       const auto& batch = batches[bi];
       optimizer.ZeroGrad();
       LossStats stats;
@@ -323,6 +328,28 @@ TrainResult Trainer::Fit(
       ce_sum += stats.route_ce * static_cast<double>(batch.size());
       transitions += stats.num_transitions;
       trips += static_cast<int64_t>(batch.size());
+    }
+    if (stop_signal) {
+      // Graceful stop (SIGTERM/SIGINT): discard the partial epoch so the
+      // flushed checkpoint is exactly the epoch-boundary state a resume
+      // would continue from -- a restart replays the interrupted epoch from
+      // its start, keeping the run bitwise identical to one that was never
+      // interrupted.
+      (void)restore(last_good);
+      result.interrupted = true;
+      if (ckpts != nullptr) {
+        util::Status s = ckpts->WriteLatest(last_good);
+        if (!s.ok()) {
+          DEEPST_LOG(Warning) << "final checkpoint flush failed: "
+                              << s.ToString();
+        }
+      }
+      if (config_.verbose) {
+        DEEPST_LOG(Info) << "stop requested; flushed checkpoint at epoch "
+                            "boundary "
+                         << epoch;
+      }
+      break;
     }
     const double train_seconds = epoch_watch.ElapsedSeconds();
 

@@ -79,6 +79,16 @@ struct TrainerConfig {
   // divergence guard sees. Used by tests to inject NaN; leave empty in
   // production.
   std::function<double(int, int, double)> divergence_loss_hook;
+
+  // --- Graceful stop -------------------------------------------------------
+  // Polled between minibatches. When it returns true, the partial epoch is
+  // rolled back to the last epoch boundary (so the state on disk is exactly
+  // what a crash-resume would continue from -- bitwise parity preserved), a
+  // final `latest` checkpoint is flushed, and Fit returns with
+  // TrainResult.interrupted set. `deepst train` wires this to the
+  // SIGTERM/SIGINT flag (util/shutdown.h), sharing the serve daemon's
+  // signal plumbing.
+  std::function<bool()> stop_requested;
 };
 
 struct EpochStats {
@@ -104,6 +114,9 @@ struct TrainResult {
   // exhausted). The model then holds the last good / best parameters, never
   // non-finite ones.
   util::Status status;
+  // True when config.stop_requested ended the run early (a final checkpoint
+  // was flushed; resume continues from the last completed epoch).
+  bool interrupted = false;
 };
 
 // Minibatch SGD driver for DeepSTModel (Algorithm 1). Trips are bucketed by

@@ -67,6 +67,29 @@ void LinearChunk(const double* x, int64_t ldx, const double* w, int64_t ldw,
   }
 }
 
+// Row-mapped bias counterpart of LinearChunk: the bias rows live in a
+// [num_queries, n] block and `bias_row[i]` picks the row for output row i.
+// Reuses DotBias with per-row-offset pointers, so each element's arithmetic
+// is exactly LinearChunk's.
+DEEPST_INFER_CLONES
+void LinearChunkRowBias(const double* x, int64_t ldx, const double* w,
+                        int64_t ldw, const float* bias, const float* bias2,
+                        const int* bias_row, float* out, int64_t k, int64_t n,
+                        int64_t begin, int64_t end) {
+  int64_t i = begin / n;
+  int64_t j = begin % n;
+  for (int64_t e = begin; e < end; ++e) {
+    const int64_t off = static_cast<int64_t>(bias_row[i]) * n;
+    out[e] = DotBias(x + i * ldx, w + j * ldw, k,
+                     bias != nullptr ? bias + off : nullptr,
+                     bias2 != nullptr ? bias2 + off : nullptr, j);
+    if (++j == n) {
+      j = 0;
+      ++i;
+    }
+  }
+}
+
 }  // namespace
 
 void ToDouble(const float* src, double* dst, int64_t n) {
@@ -81,6 +104,16 @@ void LinearForward(const double* x, int64_t ldx, const double* w, int64_t ldw,
   // the schedule is invisible in the result.
   ParallelFor(m * n, kDotGrain, [&](int64_t begin, int64_t end) {
     LinearChunk(x, ldx, w, ldw, bias, bias2, out, k, n, begin, end);
+  });
+}
+
+void LinearForwardRowBias(const double* x, int64_t ldx, const double* w,
+                          int64_t ldw, const float* bias, const float* bias2,
+                          const int* bias_row, float* out, int64_t m,
+                          int64_t k, int64_t n) {
+  ParallelFor(m * n, kDotGrain, [&](int64_t begin, int64_t end) {
+    LinearChunkRowBias(x, ldx, w, ldw, bias, bias2, bias_row, out, k, n,
+                       begin, end);
   });
 }
 

@@ -50,6 +50,20 @@ void LinearForward(const double* x, int64_t ldx, const double* w, int64_t ldw,
                    const float* bias, const float* bias2, float* out,
                    int64_t m, int64_t k, int64_t n);
 
+// Row-mapped bias variant for cross-query batches: output row i adds the
+// bias row `bias_row[i]` of a [num_queries, n] bias block (and likewise for
+// bias2) instead of one shared row. Per output element the arithmetic is
+// identical to LinearForward — double-precision dot, one float cast, float
+// bias adds in the same order — so a batch that interleaves rows of several
+// queries is bitwise identical, row for row, to running each query's rows
+// through LinearForward with its own bias row. This is what lets the
+// serving scheduler coalesce beam steps and ScoreRoutes calls from
+// different clients into one padded batch without perturbing any result.
+void LinearForwardRowBias(const double* x, int64_t ldx, const double* w,
+                          int64_t ldw, const float* bias, const float* bias2,
+                          const int* bias_row, float* out, int64_t m,
+                          int64_t k, int64_t n);
+
 // Fused GRU gate update (PyTorch gate layout, matching nn::GruCell::Step):
 //   r = sigmoid(gi[:, 0:H]  + gh[:, 0:H])
 //   z = sigmoid(gi[:, H:2H] + gh[:, H:2H])

@@ -209,7 +209,9 @@ util::Status LoadParameters(Module* module, const std::string& path) {
   return ApplyNamedTensors(module, tensors.value());
 }
 
-util::StatusOr<std::string> DescribeParamsFile(const std::string& path) {
+util::StatusOr<std::string> DescribeParamsFile(const std::string& path,
+                                               bool* healthy) {
+  if (healthy != nullptr) *healthy = true;
   std::ifstream in(path, std::ios::binary);
   if (!in.is_open()) return util::Status::NotFound("cannot open " + path);
   uint32_t magic = 0;
@@ -219,6 +221,7 @@ util::StatusOr<std::string> DescribeParamsFile(const std::string& path) {
   std::string out = "model parameters  " + path + "\n";
   auto tensors = ReadNamedTensors(in);
   if (!tensors.ok()) {
+    if (healthy != nullptr) *healthy = false;
     out += "  payload: " + tensors.status().ToString() + "\n";
     return out;
   }

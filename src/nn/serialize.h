@@ -73,7 +73,9 @@ util::Status LoadParameters(Module* module, const std::string& path);
 
 // Human-readable report for `deepst_cli inspect`: tensor and element counts
 // of a SaveParameters file. InvalidArgument on a non-parameter-file magic.
-util::StatusOr<std::string> DescribeParamsFile(const std::string& path);
+// `healthy` (optional) is set false when the payload fails to parse.
+util::StatusOr<std::string> DescribeParamsFile(const std::string& path,
+                                               bool* healthy = nullptr);
 
 }  // namespace nn
 }  // namespace deepst

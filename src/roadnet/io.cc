@@ -516,7 +516,9 @@ util::StatusOr<LoadedCity> LoadCity(const std::string& path,
   return city;
 }
 
-util::StatusOr<std::string> DescribeRoadNetworkFile(const std::string& path) {
+util::StatusOr<std::string> DescribeRoadNetworkFile(const std::string& path,
+                                                    bool* healthy) {
+  if (healthy != nullptr) *healthy = true;
   auto opened = util::MappedFile::Open(path);
   DEEPST_RETURN_IF_ERROR(opened.status());
   const util::MappedFile& file = std::move(opened).value();
@@ -537,6 +539,7 @@ util::StatusOr<std::string> DescribeRoadNetworkFile(const std::string& path) {
     const util::Status crc = util::CheckCrcFooter(data, size, path);
     out += util::StrFormat("  crc: %s\n",
                            crc.ok() ? "ok" : crc.ToString().c_str());
+    if (!crc.ok() && healthy != nullptr) *healthy = false;
     if (crc.ok() && size >= sizeof(RoadnetHeaderV3) + util::kFooterBytes) {
       RoadnetHeaderV3 hdr;
       std::memcpy(&hdr, data, sizeof(hdr));
@@ -560,9 +563,9 @@ util::StatusOr<std::string> DescribeRoadNetworkFile(const std::string& path) {
       const size_t body = size - sizeof(uint32_t);
       uint32_t stored_crc = 0;
       std::memcpy(&stored_crc, data + body, sizeof(stored_crc));
-      out += util::StrFormat(
-          "  crc: %s\n",
-          util::Crc32(data, body) == stored_crc ? "ok" : "MISMATCH");
+      const bool crc_ok = util::Crc32(data, body) == stored_crc;
+      if (!crc_ok && healthy != nullptr) *healthy = false;
+      out += util::StrFormat("  crc: %s\n", crc_ok ? "ok" : "MISMATCH");
     } else {
       out += "  crc: none (v1 predates the checksum)\n";
     }
@@ -579,6 +582,7 @@ util::StatusOr<std::string> DescribeRoadNetworkFile(const std::string& path) {
     }
     out += "  zero-copy: no (streaming format; convert to v3)\n";
   } else {
+    if (healthy != nullptr) *healthy = false;
     out += "  unsupported version\n";
   }
   return out;

@@ -51,8 +51,12 @@ util::StatusOr<LoadedCity> LoadCity(const std::string& path,
 // Human-readable report for `deepst_cli inspect`: format version, element
 // counts, CRC status, and whether the file loads zero-copy from an mmap.
 // Returns InvalidArgument (without reading further) when the magic is not a
-// road-network file's, so the CLI can probe file kinds in sequence.
-util::StatusOr<std::string> DescribeRoadNetworkFile(const std::string& path);
+// road-network file's, so the CLI can probe file kinds in sequence. When
+// `healthy` is given, it is set false for files that describe but fail
+// validation (CRC mismatch, unsupported version), so probes can gate on the
+// file being servable -- `deepst inspect` exits nonzero on it.
+util::StatusOr<std::string> DescribeRoadNetworkFile(const std::string& path,
+                                                    bool* healthy = nullptr);
 
 }  // namespace roadnet
 }  // namespace deepst

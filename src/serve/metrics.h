@@ -1,0 +1,77 @@
+#ifndef DEEPST_SERVE_METRICS_H_
+#define DEEPST_SERVE_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace deepst {
+namespace serve {
+
+// Lock-free log-bucketed latency histogram: bucket b holds samples in
+// [2^b, 2^(b+1)) microseconds, so 48 buckets span sub-microsecond to ~eight
+// years. Record is two relaxed atomic increments -- cheap enough to sit on
+// the per-request completion path -- and quantiles are read by walking the
+// bucket counts (resolution: one power of two, plenty for gating p99
+// regressions an order of magnitude apart).
+class LatencyHistogram {
+ public:
+  void Record(double millis);
+  // Quantile in milliseconds (q in [0, 1]); 0 when empty. Returns the upper
+  // edge of the bucket containing the q-th sample.
+  double Quantile(double q) const;
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+ private:
+  static constexpr int kBuckets = 48;
+  std::array<std::atomic<int64_t>, kBuckets> buckets_{};
+  std::atomic<int64_t> count_{0};
+};
+
+// Monotonic counters covering every way a request can leave the daemon,
+// plus the batching and watchdog activity behind them. One shed request is
+// exactly one increment of exactly one rejection counter: the chaos soak
+// cross-checks submitted == admitted + shed_queue_full + rejected_draining
+// and admitted == completed_ok + failed + expired_in_queue.
+struct ServeMetrics {
+  std::atomic<int64_t> submitted{0};          // Submit calls
+  std::atomic<int64_t> admitted{0};           // accepted into the queue
+  std::atomic<int64_t> shed_queue_full{0};    // rejected: queue at capacity
+  std::atomic<int64_t> rejected_draining{0};  // rejected: drain in progress
+  std::atomic<int64_t> completed_ok{0};       // finished with an OK result
+  std::atomic<int64_t> failed{0};             // finished with a non-OK Status
+  std::atomic<int64_t> expired_in_queue{0};   // deadline died waiting
+  std::atomic<int64_t> batches{0};            // worker dequeues
+  std::atomic<int64_t> batch_requests{0};     // requests across all batches
+  std::atomic<int64_t> watchdog_recycles{0};  // hung-worker lease retirements
+  std::atomic<int64_t> workers_spawned{0};    // incl. watchdog replacements
+  LatencyHistogram latency;                   // admission -> completion
+};
+
+// Plain-value copy of the counters for reporting.
+struct MetricsSnapshot {
+  int64_t submitted = 0;
+  int64_t admitted = 0;
+  int64_t shed_queue_full = 0;
+  int64_t rejected_draining = 0;
+  int64_t completed_ok = 0;
+  int64_t failed = 0;
+  int64_t expired_in_queue = 0;
+  int64_t batches = 0;
+  int64_t batch_requests = 0;
+  int64_t watchdog_recycles = 0;
+  int64_t workers_spawned = 0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+
+  // One-line JSON object (stable key order) for the stats command and logs.
+  std::string ToJson() const;
+};
+
+MetricsSnapshot Snapshot(const ServeMetrics& metrics);
+
+}  // namespace serve
+}  // namespace deepst
+
+#endif  // DEEPST_SERVE_METRICS_H_

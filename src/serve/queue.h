@@ -1,0 +1,102 @@
+#ifndef DEEPST_SERVE_QUEUE_H_
+#define DEEPST_SERVE_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace deepst {
+namespace serve {
+
+// Bounded multi-producer multi-consumer queue, the daemon's admission point.
+//
+// Producers (client/ingress threads) call TryPush, which NEVER blocks: a
+// full queue is an explicit shed decision surfaced to the caller, not a
+// hidden stall -- bounded depth is what keeps queue wait (which counts
+// against every query's deadline) bounded too.
+//
+// Consumers (worker threads) call PopBatch, which blocks for work and then
+// lingers up to `window` for more, so one dequeue delivers up to max_batch
+// requests coalesced from different producers. The linger only applies
+// while the queue is open and underfull: a full batch, a closed queue, or
+// an expired window all return immediately.
+//
+// Close() makes every later push fail while letting consumers drain what
+// was already admitted -- the graceful-drain half of SIGTERM handling.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  // False when the queue is full or closed (the item is returned untouched
+  // in spirit: the caller still owns rejection handling).
+  bool TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  // Appends 1..max_batch items to *out. Returns false only when the queue
+  // is closed AND empty (the consumer's exit signal).
+  bool PopBatch(std::vector<T>* out, size_t max_batch,
+                std::chrono::microseconds window) {
+    std::unique_lock<std::mutex> lock(mu_);
+    ready_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;  // closed and drained
+    if (window.count() > 0 && items_.size() < max_batch && !closed_) {
+      // Batch-forming linger: trade up to `window` of latency for a fuller
+      // batch. Bounded, so a lone request is never held hostage.
+      ready_.wait_for(lock, window, [this, max_batch] {
+        return closed_ || items_.size() >= max_batch;
+      });
+    }
+    const size_t take = items_.size() < max_batch ? items_.size() : max_batch;
+    for (size_t i = 0; i < take; ++i) {
+      out->push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    return true;
+  }
+
+  // Stops admission; consumers drain the remainder and then see false.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace serve
+}  // namespace deepst
+
+#endif  // DEEPST_SERVE_QUEUE_H_

@@ -30,7 +30,10 @@ util::StatusOr<std::vector<TripRecord>> LoadDataset(const std::string& path);
 
 // Human-readable report for `deepst_cli inspect`: format version, element
 // counts, CRC status, mmap-ability. InvalidArgument on a non-dataset magic.
-util::StatusOr<std::string> DescribeDatasetFile(const std::string& path);
+// `healthy` (optional) is set false when the file describes but fails
+// validation (CRC mismatch, unsupported version).
+util::StatusOr<std::string> DescribeDatasetFile(const std::string& path,
+                                                bool* healthy = nullptr);
 
 // Referential-integrity check against a road network: every route segment id
 // must be in range and consecutive segments adjacent. Loaders validate

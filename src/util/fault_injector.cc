@@ -1,6 +1,7 @@
 #include "util/fault_injector.h"
 
 #include <chrono>
+#include <limits>
 #include <stdexcept>
 #include <thread>
 
@@ -31,7 +32,9 @@ bool ParseCount(const std::string& digits, int64_t* out) {
   int64_t v = 0;
   for (char c : digits) {
     if (c < '0' || c > '9') return false;
-    v = v * 10 + (c - '0');
+    const int64_t d = c - '0';
+    if (v > (std::numeric_limits<int64_t>::max() - d) / 10) return false;
+    v = v * 10 + d;
   }
   *out = v;
   return true;
@@ -64,6 +67,16 @@ void FaultInjector::Arm(const std::string& point, FaultKind kind,
 }
 
 Status FaultInjector::ArmFromSpec(const std::string& spec) {
+  // Two phases on purpose: every entry parses before anything arms, so a
+  // malformed spec can never leave the injector half-armed (a chaos harness
+  // that typos one entry gets a clean error, not a partially faulted run).
+  struct ParsedEntry {
+    std::string point;
+    FaultKind kind = FaultKind::kIoError;
+    int64_t after = 0;
+    int64_t count = 1;
+  };
+  std::vector<ParsedEntry> entries;
   size_t start = 0;
   while (start <= spec.size()) {
     size_t end = spec.find(',', start);
@@ -72,38 +85,57 @@ Status FaultInjector::ArmFromSpec(const std::string& spec) {
     start = end + 1;
     if (entry.empty()) continue;
     const size_t colon = entry.find(':');
-    if (colon == std::string::npos || colon == 0) {
-      return Status::InvalidArgument("fault spec entry '" + entry +
-                                     "' is not point:kind[@after][xcount]");
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument(
+          "fault spec entry '" + entry +
+          "' has no ':' (want point:kind[@after][xcount])");
     }
-    const std::string point = Trimmed(entry.substr(0, colon));
+    ParsedEntry parsed;
+    parsed.point = Trimmed(entry.substr(0, colon));
+    if (parsed.point.empty()) {
+      return Status::InvalidArgument("fault spec entry '" + entry +
+                                     "' names no fault point before ':'");
+    }
     std::string rest = Trimmed(entry.substr(colon + 1));
-    int64_t after = 0;
-    int64_t count = 1;
     const size_t x = rest.find('x');
     if (x != std::string::npos) {
-      if (!ParseCount(rest.substr(x + 1), &count)) {
-        return Status::InvalidArgument("bad count in fault spec '" + entry +
-                                       "'");
+      const std::string token = Trimmed(rest.substr(x + 1));
+      if (!ParseCount(token, &parsed.count)) {
+        return Status::InvalidArgument(
+            "bad count 'x" + token + "' in fault spec entry '" + entry +
+            "' (want a decimal that fits int64, e.g. x3)");
       }
-      rest = rest.substr(0, x);
+      if (parsed.count == 0) {
+        return Status::InvalidArgument(
+            "count 'x0' in fault spec entry '" + entry +
+            "' would never fire (want x1 or more)");
+      }
+      rest = Trimmed(rest.substr(0, x));
     }
     const size_t at = rest.find('@');
     if (at != std::string::npos) {
-      if (!ParseCount(rest.substr(at + 1), &after)) {
-        return Status::InvalidArgument("bad after in fault spec '" + entry +
-                                       "'");
+      const std::string token = Trimmed(rest.substr(at + 1));
+      if (!ParseCount(token, &parsed.after)) {
+        return Status::InvalidArgument(
+            "bad after '@" + token + "' in fault spec entry '" + entry +
+            "' (want a decimal that fits int64, e.g. @2)");
       }
-      rest = rest.substr(0, at);
+      rest = Trimmed(rest.substr(0, at));
     }
-    FaultKind kind;
-    if (!ParseKind(rest, &kind)) {
+    if (rest.empty()) {
       return Status::InvalidArgument(
-          "unknown fault kind '" + rest +
+          "fault spec entry '" + entry +
+          "' names no kind after ':' (want io_error|partial_read|latency|"
+          "alloc)");
+    }
+    if (!ParseKind(rest, &parsed.kind)) {
+      return Status::InvalidArgument(
+          "unknown fault kind '" + rest + "' in fault spec entry '" + entry +
           "' (want io_error|partial_read|latency|alloc)");
     }
-    Arm(point, kind, after, count);
+    entries.push_back(std::move(parsed));
   }
+  for (const ParsedEntry& e : entries) Arm(e.point, e.kind, e.after, e.count);
   return Status::Ok();
 }
 

@@ -44,7 +44,9 @@ class FaultInjector {
   // Arms from a comma-separated spec (CLI / DEEPST_FAULTS env syntax):
   //   point:kind[@after][xcount]
   // e.g. "roadnet.load:io_error, infer.query:alloc@2x3". Kinds: io_error,
-  // partial_read, latency, alloc.
+  // partial_read, latency, alloc. A malformed spec returns InvalidArgument
+  // naming the bad token and arms nothing: parsing is all-or-nothing, so a
+  // typo never leaves the process half-armed.
   Status ArmFromSpec(const std::string& spec);
 
   // Disarms everything and zeroes all counters.

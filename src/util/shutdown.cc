@@ -1,0 +1,55 @@
+#include "util/shutdown.h"
+
+#include <csignal>
+
+namespace deepst {
+namespace util {
+namespace {
+
+// sig_atomic_t is the only integer type the C standard guarantees a handler
+// may write; both fields are monotonic (0 -> set) so torn reads from other
+// threads can only lag, never invent a shutdown.
+volatile std::sig_atomic_t g_shutdown_requested = 0;
+volatile std::sig_atomic_t g_shutdown_signal = 0;
+
+extern "C" void HandleShutdownSignal(int signum) {
+  if (g_shutdown_requested) {
+    // Second signal while already draining: give up on graceful and die the
+    // default way (a stuck drain must stay killable with plain ctrl-C).
+    std::signal(signum, SIG_DFL);
+    std::raise(signum);
+    return;
+  }
+  g_shutdown_requested = 1;
+  g_shutdown_signal = signum;
+}
+
+}  // namespace
+
+void InstallShutdownHandlers() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct sigaction action = {};
+  action.sa_handler = HandleShutdownSignal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: blocked reads wake with EINTR
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+#else
+  std::signal(SIGTERM, HandleShutdownSignal);
+  std::signal(SIGINT, HandleShutdownSignal);
+#endif
+}
+
+bool ShutdownRequested() { return g_shutdown_requested != 0; }
+
+int ShutdownSignal() { return static_cast<int>(g_shutdown_signal); }
+
+void RequestShutdown() { g_shutdown_requested = 1; }
+
+void ResetShutdownForTest() {
+  g_shutdown_requested = 0;
+  g_shutdown_signal = 0;
+}
+
+}  // namespace util
+}  // namespace deepst

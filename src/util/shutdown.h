@@ -1,0 +1,38 @@
+#ifndef DEEPST_UTIL_SHUTDOWN_H_
+#define DEEPST_UTIL_SHUTDOWN_H_
+
+namespace deepst {
+namespace util {
+
+// Process-wide graceful-shutdown flag shared by every long-running driver
+// (the serve daemon's drain, the trainer's final checkpoint flush). A signal
+// handler may only touch async-signal-safe state, so the flag is a single
+// sig_atomic_t; everything that wants to stop cleanly polls it at its own
+// safe points (between queue pops, between minibatches).
+//
+// InstallShutdownHandlers registers SIGTERM + SIGINT handlers that set the
+// flag. The handlers are installed without SA_RESTART so a thread blocked in
+// a slow syscall (the daemon's stdin read) wakes with EINTR and observes the
+// flag. A second signal after the flag is already set restores the default
+// disposition and re-raises, so a wedged drain can still be killed.
+void InstallShutdownHandlers();
+
+// True once a shutdown signal arrived or RequestShutdown ran.
+bool ShutdownRequested();
+
+// Which signal tripped the flag (SIGTERM/SIGINT), or 0 for none /
+// programmatic requests. For log lines only.
+int ShutdownSignal();
+
+// Programmatic trigger with the same observable effect as a signal (tests,
+// in-process drain). Safe from any thread.
+void RequestShutdown();
+
+// Clears the flag so one test process can exercise several shutdown cycles.
+// Not for production code paths.
+void ResetShutdownForTest();
+
+}  // namespace util
+}  // namespace deepst
+
+#endif  // DEEPST_UTIL_SHUTDOWN_H_

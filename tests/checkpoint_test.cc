@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -420,6 +421,82 @@ TEST(TrainerCheckpointTest, ResumeIsBitwiseIdenticalToUninterrupted) {
                      ref.epochs[i].val_route_ce) << "epoch " << i;
   }
   EXPECT_EQ(resumed.best_epoch, ref.best_epoch);
+  ExpectSameModelParams(resumed_model, ref_model);
+}
+
+// SIGTERM-style graceful stop (TrainerConfig.stop_requested, wired to
+// util/shutdown.h by `deepst train`): the partially trained epoch is rolled
+// back to the last epoch boundary, a final checkpoint is flushed, and a
+// later resume is bitwise identical to a run that was never interrupted --
+// the stop changed *when* training happened, not *what* it computed.
+TEST(TrainerCheckpointTest, GracefulStopRollsBackFlushesAndResumesBitwise) {
+  auto& world = TestWorld();
+
+  // Small batches so every epoch spans several minibatches -- the stop must
+  // land mid-epoch for the rollback path to be exercised at all.
+  TrainerConfig shared_cfg = BaseTrainerConfig();
+  shared_cfg.batch_size = 8;
+
+  // Reference: 4 epochs straight through, no interruptions.
+  DeepSTModel ref_model(world.net(), TinyConfig(), nullptr);
+  TrainerConfig ref_cfg = shared_cfg;
+  ref_cfg.max_epochs = 4;
+  Trainer ref_trainer(&ref_model, ref_cfg);
+  auto ref = ref_trainer.Fit(world.split().train, world.split().validation);
+  ASSERT_EQ(ref.epochs.size(), 4u);
+
+  // Phase 1: two clean epochs with checkpoints.
+  const std::string dir = FreshDir("graceful_stop");
+  DeepSTModel stop_model(world.net(), TinyConfig(), nullptr);
+  TrainerConfig phase1_cfg = shared_cfg;
+  phase1_cfg.max_epochs = 2;
+  phase1_cfg.checkpoint_dir = dir;
+  Trainer phase1(&stop_model, phase1_cfg);
+  ASSERT_EQ(phase1.Fit(world.split().train, world.split().validation)
+                .epochs.size(),
+            2u);
+
+  // Phase 2: resume toward 4 epochs, but the stop flag trips after the
+  // first minibatch -- mid-epoch, so the rollback path actually runs.
+  DeepSTModel mid_model(world.net(), TinyConfig(), nullptr);
+  TrainerConfig stop_cfg = shared_cfg;
+  stop_cfg.max_epochs = 4;
+  stop_cfg.checkpoint_dir = dir;
+  stop_cfg.resume = true;
+  std::atomic<int> polls{0};
+  stop_cfg.stop_requested = [&polls] { return ++polls > 1; };
+  Trainer stopped(&mid_model, stop_cfg);
+  auto interrupted = stopped.Fit(world.split().train,
+                                 world.split().validation);
+  ASSERT_TRUE(interrupted.status.ok()) << interrupted.status.ToString();
+  EXPECT_TRUE(interrupted.interrupted);
+  EXPECT_EQ(interrupted.epochs.size(), 2u);  // nothing new completed
+  // The flushed checkpoint is intact and sits exactly at the epoch-2
+  // boundary (the partial batch was rolled back, not persisted).
+  CheckpointManager manager(dir);
+  auto flushed = manager.LoadLatestGood();
+  ASSERT_TRUE(flushed.ok()) << flushed.status().ToString();
+  EXPECT_EQ(flushed.value().next_epoch, 2);
+
+  // Phase 3: resume again without the stop flag and finish.
+  DeepSTModel resumed_model(world.net(), TinyConfig(), nullptr);
+  TrainerConfig resume_cfg = shared_cfg;
+  resume_cfg.max_epochs = 4;
+  resume_cfg.checkpoint_dir = dir;
+  resume_cfg.resume = true;
+  Trainer resume_trainer(&resumed_model, resume_cfg);
+  auto resumed = resume_trainer.Fit(world.split().train,
+                                    world.split().validation);
+  ASSERT_TRUE(resumed.status.ok()) << resumed.status.ToString();
+  EXPECT_FALSE(resumed.interrupted);
+  EXPECT_EQ(resumed.start_epoch, 2);
+  ASSERT_EQ(resumed.epochs.size(), ref.epochs.size());
+  for (size_t i = 0; i < ref.epochs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(resumed.epochs[i].train_loss, ref.epochs[i].train_loss)
+        << "epoch " << i;
+    EXPECT_DOUBLE_EQ(resumed.epochs[i].val_route_ce,
+                     ref.epochs[i].val_route_ce) << "epoch " << i;
+  }
   ExpectSameModelParams(resumed_model, ref_model);
 }
 

@@ -341,6 +341,118 @@ TEST(InferenceConcurrencyTest, SessionPoolSafeUnderConcurrentCalls) {
   EXPECT_LE(model.num_pooled_sessions(), static_cast<size_t>(kThreads));
 }
 
+// Lock-step multi-query beam search (the serve daemon's cross-client
+// batching substrate) must be bitwise identical, query by query, to running
+// each query through the single-query beam.
+TEST(InferenceMultiQueryTest, BeamMultiBitwiseEqualsSingleQuery) {
+  auto& world = TestWorld();
+  const auto trips = TestTrips(5);
+  ASSERT_GE(trips.size(), 3u);
+  const DeepSTConfig cfg = baselines::DeepStConfigOf(SmallConfig());
+  DeepSTModel model(world.net(), cfg, CacheFor(cfg));
+  util::Rng rng(31);
+  std::vector<PredictionContext> ctxs;
+  std::vector<roadnet::SegmentId> origins;
+  std::vector<traj::Route> singles;
+  ctxs.reserve(trips.size());
+  for (const auto* rec : trips) {
+    const RouteQuery query = eval::QueryFor(rec->trip);
+    ctxs.push_back(model.MakeContext(query, &rng));
+    origins.push_back(query.origin);
+    util::Rng prng(7);
+    singles.push_back(model.PredictRouteBeam(ctxs.back(), query.origin,
+                                             &prng));
+  }
+  std::vector<PredictItem> items(trips.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    items[i].ctx = &ctxs[i];
+    items[i].origin = origins[i];
+  }
+  model.PredictRoutesBeamMulti(&items);
+  for (size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(items[i].route, singles[i]) << "query " << i;
+    EXPECT_FALSE(items[i].budget_hit) << "query " << i;
+  }
+}
+
+// Multi-query padded scoring with heterogeneous candidate counts -- and the
+// single-segment (log-likelihood 0) and broken-route (-inf) conventions --
+// must match per-query ScoreRoutes bitwise.
+TEST(InferenceMultiQueryTest, ScoreMultiBitwiseEqualsSingleQuery) {
+  auto& world = TestWorld();
+  const auto trips = TestTrips(4);
+  ASSERT_GE(trips.size(), 3u);
+  const DeepSTConfig cfg = baselines::DeepStConfigOf(SmallConfig());
+  DeepSTModel model(world.net(), cfg, CacheFor(cfg));
+  util::Rng rng(32);
+  std::vector<PredictionContext> ctxs;
+  std::vector<std::vector<traj::Route>> candidates;
+  ctxs.reserve(trips.size());
+  for (size_t i = 0; i < trips.size(); ++i) {
+    const traj::Route& route = trips[i]->trip.route;
+    ctxs.push_back(model.MakeContext(eval::QueryFor(trips[i]->trip), &rng));
+    std::vector<traj::Route> cands = {route};
+    if (i % 2 == 0) {  // heterogeneous counts across queries
+      cands.push_back(traj::Route(route.begin(), route.begin() + 2));
+      cands.push_back({route.front()});            // size 1 -> 0.0
+      cands.push_back({route.front(), route.front()});  // broken -> -inf
+    }
+    candidates.push_back(std::move(cands));
+  }
+  std::vector<ScoreItem> items(trips.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    items[i].ctx = &ctxs[i];
+    items[i].routes = &candidates[i];
+  }
+  model.ScoreRoutesMulti(&items);
+  for (size_t i = 0; i < items.size(); ++i) {
+    const std::vector<double> singles = model.ScoreRoutes(ctxs[i],
+                                                          candidates[i]);
+    ASSERT_EQ(items[i].scores.size(), singles.size()) << "query " << i;
+    for (size_t c = 0; c < singles.size(); ++c) {
+      EXPECT_EQ(items[i].scores[c], singles[c])
+          << "query " << i << " candidate " << c;
+    }
+  }
+}
+
+// Per-item deadlines inside one lock-step batch: an item with an expired
+// budget reports budget_hit with a valid best-so-far route, while its
+// co-batched neighbor with no deadline finishes untouched.
+TEST(InferenceMultiQueryTest, BeamMultiDeadlinesArePerItem) {
+  auto& world = TestWorld();
+  const auto trips = TestTrips(2);
+  ASSERT_EQ(trips.size(), 2u);
+  const DeepSTConfig cfg = baselines::DeepStConfigOf(SmallConfig());
+  DeepSTModel model(world.net(), cfg, CacheFor(cfg));
+  util::Rng rng(33);
+  std::vector<PredictionContext> ctxs;
+  std::vector<roadnet::SegmentId> origins;
+  for (const auto* rec : trips) {
+    const RouteQuery query = eval::QueryFor(rec->trip);
+    ctxs.push_back(model.MakeContext(query, &rng));
+    origins.push_back(query.origin);
+  }
+  util::Rng prng(7);
+  const traj::Route unbudgeted =
+      model.PredictRouteBeam(ctxs[1], origins[1], &prng);
+
+  std::vector<PredictItem> items(2);
+  items[0].ctx = &ctxs[0];
+  items[0].origin = origins[0];
+  items[0].deadline_ms = 0.005;  // expires at the first between-step check
+  items[1].ctx = &ctxs[1];
+  items[1].origin = origins[1];
+  model.PredictRoutesBeamMulti(&items);
+
+  EXPECT_TRUE(items[0].budget_hit);
+  EXPECT_FALSE(items[0].route.empty());
+  EXPECT_EQ(items[0].route.front(), origins[0]);
+  EXPECT_TRUE(world.net().ValidateRoute(items[0].route).ok());
+  EXPECT_FALSE(items[1].budget_hit);
+  EXPECT_EQ(items[1].route, unbudgeted);
+}
+
 }  // namespace
 }  // namespace core
 }  // namespace deepst

@@ -350,6 +350,128 @@ TEST_F(ServingTest, ConcurrentPoolFailuresDoNotLeakSessions) {
   EXPECT_LE(model.num_pooled_sessions(), static_cast<size_t>(2 * kThreads));
 }
 
+// Cross-client batch execution must be bitwise identical, request by
+// request, to serving the same queries one at a time -- including requests
+// that degrade (uniform proxy, stale traffic) and score requests.
+TEST_F(ServingTest, ExecuteBatchMatchesSingleQueryBitwise) {
+  ServingContext serving(&TestModel(), &TestWorld().index());
+  const RouteQuery base = eval::QueryFor(CoveredTrip().trip);
+
+  RouteQuery far_dest = base;
+  far_dest.destination = geo::Point{1e6, -1e6};
+  RouteQuery stale = base;
+  stale.start_time_s =
+      TestWorld().traffic_cache()->latest_observation_time() + 90000.0;
+
+  std::vector<ServingRequest> requests(4);
+  requests[0].query = base;
+  requests[1].query = far_dest;
+  requests[2].kind = ServingRequest::Kind::kScore;
+  requests[2].query = base;
+  requests[2].routes = {CoveredTrip().trip.route, CoveredTrip().trip.route};
+  requests[3].query = stale;
+  auto batched = serving.ExecuteBatch(&requests);
+  ASSERT_EQ(batched.size(), 4u);
+  for (const auto& r : batched) {
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+
+  auto direct0 = serving.Predict(base);
+  auto direct1 = serving.Predict(far_dest);
+  auto direct2 = serving.ScoreRoute(base, CoveredTrip().trip.route);
+  auto direct3 = serving.Predict(stale);
+  ASSERT_TRUE(direct0.ok() && direct1.ok() && direct2.ok() && direct3.ok());
+  EXPECT_EQ(batched[0].value().route, direct0.value().route);
+  EXPECT_EQ(batched[0].value().degradations, kDegradationNone);
+  EXPECT_EQ(batched[1].value().route, direct1.value().route);
+  EXPECT_TRUE(batched[1].value().degradations & kDegradationUniformProxy);
+  ASSERT_EQ(batched[2].value().scores.size(), 2u);
+  EXPECT_EQ(batched[2].value().scores[0], direct2.value().score);
+  EXPECT_EQ(batched[2].value().scores[1], direct2.value().score);
+  EXPECT_EQ(batched[3].value().route, direct3.value().route);
+  EXPECT_TRUE(batched[3].value().degradations & kDegradationTrafficPriorMean);
+}
+
+// One invalid request in a coalesced batch fails alone; its co-riders are
+// untouched. (The injected-exception flavor of isolation is covered at the
+// server layer in serve_test.cc.)
+TEST_F(ServingTest, ExecuteBatchIsolatesInvalidRequests) {
+  ServingContext serving(&TestModel(), &TestWorld().index());
+  const RouteQuery base = eval::QueryFor(CoveredTrip().trip);
+  std::vector<ServingRequest> requests(3);
+  requests[0].query = base;
+  requests[1].query = base;
+  requests[1].query.origin = TestWorld().net().num_segments() + 99;
+  requests[2].query = base;
+  auto results = serving.ExecuteBatch(&requests);
+  ASSERT_EQ(results.size(), 3u);
+  ASSERT_TRUE(results[0].ok()) << results[0].status().ToString();
+  EXPECT_EQ(results[1].status().code(),
+            util::Status::Code::kInvalidArgument);
+  ASSERT_TRUE(results[2].ok()) << results[2].status().ToString();
+  EXPECT_EQ(results[0].value().route, results[2].value().route);
+}
+
+// Concurrent queries tripping *different* degradation axes: every result
+// carries exactly its own axis bits (no cross-query bleed through shared
+// state), and the cumulative per-axis totals are exact -- no lost counts
+// under contention. Run under TSan via tools/check_sanitize.sh.
+TEST_F(ServingTest, ConcurrentDegradationAccountingIsExactAndIsolated) {
+  DeepSTModel& model = TestModel();
+  ServingContext serving(&model, &TestWorld().index());
+  const RouteQuery base = eval::QueryFor(CoveredTrip().trip);
+  constexpr int kPerThread = 6;
+
+  RouteQuery clean = base;
+  RouteQuery proxy = base;
+  proxy.destination = geo::Point{1e6, -1e6};
+  RouteQuery stale = base;
+  stale.start_time_s =
+      TestWorld().traffic_cache()->latest_observation_time() + 90000.0;
+  RouteQuery snapped = base;
+  geo::Point near = TestWorld().net().SegmentMidpoint(base.origin);
+  near.y += 3.0;
+  snapped.origin = roadnet::kInvalidSegment;
+  snapped.has_origin_point = true;
+  snapped.origin_point = near;
+
+  struct Axis {
+    RouteQuery query;
+    uint8_t expected;
+  };
+  const std::vector<Axis> axes = {
+      {clean, kDegradationNone},
+      {proxy, kDegradationUniformProxy},
+      {stale, kDegradationTrafficPriorMean},
+      {snapped, kDegradationSnappedOrigin},
+  };
+  std::atomic<int> bitmask_violations{0};
+  std::vector<std::thread> threads;
+  threads.reserve(axes.size());
+  for (const Axis& axis : axes) {
+    threads.emplace_back([&serving, &axis, &bitmask_violations] {
+      for (int i = 0; i < kPerThread; ++i) {
+        auto result = serving.Predict(axis.query);
+        if (!result.ok() ||
+            result.value().degradations != axis.expected) {
+          bitmask_violations.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(bitmask_violations.load(), 0);
+
+  const ServingStats stats = serving.stats();
+  EXPECT_EQ(stats.queries, static_cast<int64_t>(axes.size()) * kPerThread);
+  EXPECT_EQ(stats.failures, 0);
+  EXPECT_EQ(stats.degraded, 3 * kPerThread);  // every axis but `clean`
+  EXPECT_EQ(stats.uniform_proxy, kPerThread);
+  EXPECT_EQ(stats.traffic_prior_mean, kPerThread);
+  EXPECT_EQ(stats.snapped_origin, kPerThread);
+  EXPECT_EQ(stats.deadline_budget, 0);
+}
+
 }  // namespace
 }  // namespace core
 }  // namespace deepst

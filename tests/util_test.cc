@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "util/crc32.h"
+#include "util/fault_injector.h"
 #include "util/flags.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -326,6 +327,75 @@ TEST(TableTest, CsvRoundTripQuoting) {
   EXPECT_EQ(line, "a,b");
   std::getline(in, line);
   EXPECT_EQ(line, "\"x,y\",plain");
+}
+
+// Fault-spec grammar (docs/robustness.md): a malformed spec must come back
+// as InvalidArgument naming the bad token, and must arm nothing -- parsing
+// is all-or-nothing, so a chaos-harness typo never leaves the process
+// half-armed.
+class FaultSpecTest : public testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::Instance().Reset(); }
+
+  static std::string ErrorFor(const std::string& spec) {
+    const Status s = FaultInjector::Instance().ArmFromSpec(spec);
+    EXPECT_FALSE(s.ok()) << "spec '" << spec << "' parsed unexpectedly";
+    EXPECT_EQ(s.code(), Status::Code::kInvalidArgument) << spec;
+    return s.ToString();
+  }
+};
+
+TEST_F(FaultSpecTest, WellFormedSpecsArm) {
+  FaultInjector& fi = FaultInjector::Instance();
+  ASSERT_TRUE(fi.ArmFromSpec("a.point:io_error").ok());
+  EXPECT_TRUE(fi.enabled());
+  fi.Reset();
+  ASSERT_TRUE(
+      fi.ArmFromSpec(" a.point:partial_read@2x3 , b.point:alloc ").ok());
+  EXPECT_TRUE(fi.enabled());
+  // @2: the first two traversals pass, then x3 fire.
+  EXPECT_TRUE(CheckFaultPoint("a.point").ok());
+  EXPECT_TRUE(CheckFaultPoint("a.point").ok());
+  EXPECT_FALSE(CheckFaultPoint("a.point").ok());
+  EXPECT_FALSE(CheckFaultPoint("a.point").ok());
+  EXPECT_FALSE(CheckFaultPoint("a.point").ok());
+  EXPECT_TRUE(CheckFaultPoint("a.point").ok());  // budget spent
+  EXPECT_EQ(CheckFaultPoint("b.point").code(),
+            Status::Code::kResourceExhausted);
+  // An empty spec arms nothing and is not an error.
+  fi.Reset();
+  EXPECT_TRUE(fi.ArmFromSpec("").ok());
+  EXPECT_FALSE(fi.enabled());
+}
+
+TEST_F(FaultSpecTest, ErrorsNameTheBadToken) {
+  // Missing ':' separator.
+  EXPECT_NE(ErrorFor("justapoint").find("'justapoint'"), std::string::npos);
+  EXPECT_NE(ErrorFor("justapoint").find("no ':'"), std::string::npos);
+  // Empty point name.
+  EXPECT_NE(ErrorFor(":io_error").find("names no fault point"),
+            std::string::npos);
+  // Empty kind.
+  EXPECT_NE(ErrorFor("p:").find("names no kind"), std::string::npos);
+  // Unknown kind, spelled out in the message with the valid alternatives.
+  const std::string unknown = ErrorFor("p:walrus");
+  EXPECT_NE(unknown.find("'walrus'"), std::string::npos);
+  EXPECT_NE(unknown.find("io_error|partial_read|latency|alloc"),
+            std::string::npos);
+  // Malformed count / after tokens.
+  EXPECT_NE(ErrorFor("p:io_error x2b").find("'x2b'"), std::string::npos);
+  EXPECT_NE(ErrorFor("p:io_error@ten").find("'@ten'"), std::string::npos);
+  EXPECT_NE(ErrorFor("p:io_errorx0").find("'x0'"), std::string::npos);
+}
+
+TEST_F(FaultSpecTest, MalformedSpecArmsNothing) {
+  FaultInjector& fi = FaultInjector::Instance();
+  // First entry is valid, second is not: all-or-nothing means even the
+  // valid entry must not arm.
+  const Status s = fi.ArmFromSpec("good.point:io_error,bad.point:walrus");
+  ASSERT_FALSE(s.ok());
+  EXPECT_FALSE(fi.enabled());
+  EXPECT_TRUE(CheckFaultPoint("good.point").ok());
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 # data-parallel training engine's speedup + determinism.
 #
 #   tools/check_perf.sh [build-dir] [min-speedup] [min-train-speedup]
+#       [min-scale-speedup] [min-serve-speedup]
 #
 # Inference: builds bench_micro + inference_test, runs the inference sweep
 # (which writes <build-dir>/bench_out/BENCH_inference.json comparing the
@@ -26,6 +27,12 @@
 # under DEEPST_FAST, since 100k segments is the claim being gated
 # (docs/formats.md).
 #
+# Serving: runs the serve-daemon sweep (bench_serving -> BENCH_serving.json,
+# closed-loop client fleet against the batching scheduler at 1/2/4 workers)
+# and — on machines with >= 4 cores — asserts 4 workers deliver at least
+# min-serve-speedup (default 2.0) times the 1-worker QPS without letting p99
+# latency grow past 3x the 1-worker tail (docs/serving.md).
+#
 # DEEPST_FAST=1 keeps the other runs small; the speedups also hold at the
 # full model size (docs/inference.md, docs/training-perf.md).
 set -euo pipefail
@@ -35,10 +42,11 @@ BUILD_DIR="${1:-build}"
 MIN_SPEEDUP="${2:-3.0}"
 MIN_TRAIN_SPEEDUP="${3:-1.8}"
 MIN_SCALE_SPEEDUP="${4:-5.0}"
+MIN_SERVE_SPEEDUP="${5:-2.0}"
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j"$(nproc)" --target bench_micro bench_scale \
-  inference_test train_sharded_test
+  bench_serving inference_test train_sharded_test
 
 export DEEPST_FAST=1
 
@@ -132,6 +140,36 @@ if [[ "$ok" != "true" ]]; then
   exit 1
 fi
 echo "OK: v3 cold load at ${segs} segments is ${scale_speedup}x vs v2 (>= ${MIN_SCALE_SPEEDUP}x)"
+
+echo "== serving sweep (client fleet vs batching daemon, workers 1/2/4) =="
+(cd "$BUILD_DIR" && bench/bench_serving)
+
+SERVE_JSON="$BUILD_DIR/bench_out/BENCH_serving.json"
+[[ -f "$SERVE_JSON" ]] || { echo "FAIL: $SERVE_JSON not written" >&2; exit 1; }
+
+qps1=$(jq -r '.[] | select(.mode == "server" and .workers == 1) | .qps' \
+  "$SERVE_JSON")
+qps4=$(jq -r '.[] | select(.mode == "server" and .workers == 4) | .qps' \
+  "$SERVE_JSON")
+p99_1=$(jq -r '.[] | select(.mode == "server" and .workers == 1) | .p99_ms' \
+  "$SERVE_JSON")
+p99_4=$(jq -r '.[] | select(.mode == "server" and .workers == 4) | .p99_ms' \
+  "$SERVE_JSON")
+serve_speedup=$(jq -n --argjson a "$qps4" --argjson b "$qps1" '$a / $b')
+# Like the training gate: 4 workers can only beat 1 where 4 cores exist;
+# elsewhere report the measurement instead of gating on the hardware.
+if [[ "$cores" -ge 4 ]]; then
+  ok=$(jq -n --argjson s "$serve_speedup" --argjson min "$MIN_SERVE_SPEEDUP" \
+       --argjson p1 "$p99_1" --argjson p4 "$p99_4" \
+       '($s >= $min) and ($p4 <= 3 * $p1)')
+  if [[ "$ok" != "true" ]]; then
+    echo "FAIL: serve 4-worker QPS ${serve_speedup}x vs 1 worker (want >= ${MIN_SERVE_SPEEDUP}x at p99 ${p99_4}ms <= 3x ${p99_1}ms)" >&2
+    exit 1
+  fi
+  echo "OK: serve 4-worker QPS ${serve_speedup}x >= ${MIN_SERVE_SPEEDUP}x (p99 ${p99_4}ms vs ${p99_1}ms)"
+else
+  echo "SKIP: serve 4-worker QPS gate (${cores} core(s) available; measured ${serve_speedup}x, p99 ${p99_4}ms vs ${p99_1}ms)"
+fi
 
 echo "== parity / regression tests =="
 "$BUILD_DIR"/tests/inference_test

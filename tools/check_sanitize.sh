@@ -24,7 +24,7 @@ cmake -B "$BUILD_DIR" -S . \
   -DDEEPST_BUILD_EXAMPLES=OFF
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
   --target parallel_test trainer_test checkpoint_test inference_test \
-           train_sharded_test corruption_test serving_test \
+           train_sharded_test corruption_test serving_test serve_test \
            format_v3_test spatial_index_test
 
 # halt_on_error makes a reported race/issue fail the script, not just print.
@@ -39,7 +39,14 @@ export DEEPST_FAST=1
 "$BUILD_DIR"/tests/train_sharded_test
 "$BUILD_DIR"/tests/corruption_test
 "$BUILD_DIR"/tests/serving_test
+"$BUILD_DIR"/tests/serve_test
 "$BUILD_DIR"/tests/format_v3_test
 "$BUILD_DIR"/tests/spatial_index_test
 
-echo "OK: ThreadPool/backend/checkpoint/inference/sharded-training/robustness/format-v3 tests clean under $SANITIZER sanitizer"
+# Short chaos soak: repeat the fault-driven serve tests (poisoned batches,
+# hung-worker watchdog recycling) so the injected-failure and lease-recycling
+# paths run many times under the sanitizer (docs/serving.md).
+"$BUILD_DIR"/tests/serve_test --gtest_repeat=5 \
+  --gtest_filter='ServeTest.PoisonedRequestFailsAloneInItsBatch:ServeTest.WatchdogRecyclesHungWorkerAndSpawnsReplacement:ServeTest.ShedsWhenQueueFullWithRetryAfterHint'
+
+echo "OK: ThreadPool/backend/checkpoint/inference/sharded-training/robustness/format-v3/serve tests clean under $SANITIZER sanitizer"
