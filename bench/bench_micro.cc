@@ -18,10 +18,13 @@
 #include "eval/world.h"
 #include "mapmatch/hmm_matcher.h"
 #include "nn/backend.h"
+#include "nn/infer/forward.h"
 #include "nn/kernels.h"
 #include "nn/layers.h"
 #include "nn/ops.h"
+#include "nn/serialize.h"
 #include "roadnet/shortest_path.h"
+#include "util/check.h"
 #include "util/stopwatch.h"
 
 namespace deepst {
@@ -436,6 +439,229 @@ void BM_InferenceSweep(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_InferenceSweep)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+// One-shot sweep of the quantized inference kernels and the transition memo
+// (fast path round two, docs/inference.md). Measures, single-threaded:
+//   - raw GEMV ns/op per packed precision (double / bf16 / int8);
+//   - the steady-state beam-prediction workload (8 hot queries replayed)
+//     per precision with memoization off and on, plus the memo hit rate;
+//   - accuracy parity of bf16/int8 against double on a briefly-trained
+//     model: teacher-forced top-1 next-segment agreement and the mean
+//     per-transition log-likelihood delta.
+// Exported as bench_out/BENCH_quant.json; tools/check_perf.sh gates the
+// memoized speedup (>= 2x on AVX2 hardware) and the accuracy floors.
+void BM_QuantSweep(benchmark::State& state) {
+  auto& world = MicroWorld();
+  const int reps = eval::FastMode() ? 10 : 30;
+  auto time_best = [reps](const std::function<void()>& fn) {
+    fn();  // warmup (also brings the memo to steady state)
+    double best = std::numeric_limits<double>::infinity();
+    for (int round = 0; round < 3; ++round) {
+      util::Stopwatch watch;
+      for (int i = 0; i < reps; ++i) fn();
+      best = std::min(best, watch.ElapsedSeconds() / reps);
+    }
+    return best;
+  };
+
+  // Teacher: train briefly so the weights (and thus the accuracy-parity
+  // numbers) are meaningful rather than random-init noise.
+  const core::DeepSTConfig base_cfg =
+      baselines::DeepStCConfigOf(eval::DefaultModelConfig(world));
+  std::vector<nn::NamedTensor> trained;
+  {
+    core::DeepSTModel teacher(world.net(), base_cfg, nullptr);
+    core::TrainerConfig tcfg;
+    tcfg.max_epochs = eval::FastMode() ? 1 : 2;
+    tcfg.patience = 100;
+    tcfg.verbose = false;
+    core::Trainer trainer(&teacher, tcfg);
+    (void)trainer.Fit(world.split().train, {});
+    trained = nn::SnapshotParameters(teacher);
+  }
+
+  struct Variant {
+    const char* name;
+    nn::infer::Precision precision;
+    bool memo;
+  };
+  const Variant variants[] = {
+      {"double_nomemo", nn::infer::Precision::kDouble, false},
+      {"double_memo", nn::infer::Precision::kDouble, true},
+      {"bf16_nomemo", nn::infer::Precision::kBf16, false},
+      {"bf16_memo", nn::infer::Precision::kBf16, true},
+      {"int8_nomemo", nn::infer::Precision::kInt8, false},
+      {"int8_memo", nn::infer::Precision::kInt8, true},
+  };
+
+  // The hot-query beam workload: 8 test trips replayed to steady state, the
+  // serving pattern the memo targets. Accuracy uses longer teacher-forced
+  // test routes.
+  std::vector<core::RouteQuery> queries;
+  std::vector<const traj::TripRecord*> acc_trips;
+  for (const auto* rec : world.split().test) {
+    if (rec->trip.route.size() < 2) continue;
+    if (queries.size() < 8) queries.push_back(eval::QueryFor(rec->trip));
+    if (rec->trip.route.size() >= 6 && acc_trips.size() < 24) {
+      acc_trips.push_back(rec);
+    }
+  }
+
+  struct Row {
+    std::string variant;
+    double seconds = 0.0;
+    double hit_rate = 0.0;        // steady-state memo hit rate (memo rows)
+    double top1_agreement = 1.0;  // vs the double baseline
+    double ce_delta = 0.0;        // mean |log-lik delta| per transition
+  };
+  std::vector<Row> rows;
+
+  // Raw GEMV micro rows at representative step shapes (4 beam rows through
+  // [3H, H]): ns/op per packed precision, one warm kernel in isolation.
+  {
+    const int64_t m = 4, k = 64, n = 3 * 64;
+    util::Rng rng(11);
+    const nn::Tensor w = nn::Tensor::Uniform({n, k}, -1, 1, &rng);
+    const nn::Tensor b = nn::Tensor::Uniform({n}, -1, 1, &rng);
+    std::vector<double> x(static_cast<size_t>(m * k));
+    for (auto& v : x) v = rng.Uniform(-1.0, 1.0);
+    std::vector<float> out(static_cast<size_t>(m * n));
+    const int gemv_reps = eval::FastMode() ? 2000 : 20000;
+    for (const Variant& v : variants) {
+      if (v.memo) continue;
+      const auto packed =
+          nn::infer::PackedMatrix::Pack(w.data(), n, k, k, v.precision);
+      util::Stopwatch watch;
+      for (int i = 0; i < gemv_reps; ++i) {
+        nn::infer::GemvForward(x.data(), k, packed, b.data(), nullptr,
+                               out.data(), m, n);
+        benchmark::DoNotOptimize(out.data());
+      }
+      Row row;
+      row.variant = std::string("gemv_") +
+                    nn::infer::PrecisionName(v.precision);
+      row.seconds = watch.ElapsedSeconds() / gemv_reps;
+      rows.push_back(row);
+    }
+  }
+
+  const int prev = nn::GetBackendThreads();
+  nn::SetBackendThreads(1);
+  std::vector<std::vector<int>> base_slots;  // double-precision teacher slots
+  std::vector<double> base_scores;
+  int64_t base_transitions = 0;
+  for (auto _ : state) {
+    for (const Variant& v : variants) {
+      core::DeepSTConfig cfg = base_cfg;
+      cfg.infer_precision = v.precision;
+      cfg.memo_cache_capacity = v.memo ? 16384 : 0;
+      core::DeepSTModel model(world.net(), cfg, nullptr);
+      DEEPST_CHECK(nn::ApplyNamedTensors(&model, trained).ok());
+      util::Rng crng(5);
+      std::vector<core::PredictionContext> ctxs;
+      for (const core::RouteQuery& q : queries) {
+        ctxs.push_back(model.MakeContext(q, &crng));
+      }
+      Row row;
+      row.variant = v.name;
+      row.seconds = time_best([&] {
+        for (size_t q = 0; q < queries.size(); ++q) {
+          util::Rng r(7);
+          benchmark::DoNotOptimize(
+              model.PredictRouteBeam(ctxs[q], queries[q].origin, &r));
+        }
+      });
+      if (v.memo) {
+        // Steady-state hit rate: one more replay round on the warm cache.
+        const auto before = model.transition_memo_stats();
+        for (size_t q = 0; q < queries.size(); ++q) {
+          util::Rng r(7);
+          benchmark::DoNotOptimize(
+              model.PredictRouteBeam(ctxs[q], queries[q].origin, &r));
+        }
+        const auto after = model.transition_memo_stats();
+        const int64_t lookups = after.lookups - before.lookups;
+        row.hit_rate = lookups > 0
+                           ? static_cast<double>(after.hits - before.hits) /
+                                 static_cast<double>(lookups)
+                           : 0.0;
+      }
+      // Accuracy parity vs the double baseline (kernel-only: memoization is
+      // bitwise, TopSlotsAlongRoute runs uncached).
+      if (v.precision == nn::infer::Precision::kDouble && !v.memo) {
+        base_slots.clear();
+        base_scores.clear();
+        base_transitions = 0;
+        for (const auto* rec : acc_trips) {
+          core::PredictionContext ctx =
+              model.MakeContext(eval::QueryFor(rec->trip), &crng);
+          base_slots.push_back(
+              model.TopSlotsAlongRoute(ctx, rec->trip.route));
+          base_scores.push_back(model.ScoreRoute(ctx, rec->trip.route));
+          base_transitions +=
+              static_cast<int64_t>(rec->trip.route.size()) - 1;
+        }
+      } else {
+        int64_t agree = 0, total = 0;
+        double score_delta = 0.0;
+        for (size_t t = 0; t < acc_trips.size(); ++t) {
+          const auto* rec = acc_trips[t];
+          core::PredictionContext ctx =
+              model.MakeContext(eval::QueryFor(rec->trip), &crng);
+          const std::vector<int> slots =
+              model.TopSlotsAlongRoute(ctx, rec->trip.route);
+          for (size_t i = 0; i < slots.size(); ++i) {
+            agree += slots[i] == base_slots[t][i] ? 1 : 0;
+          }
+          total += static_cast<int64_t>(slots.size());
+          score_delta += std::abs(model.ScoreRoute(ctx, rec->trip.route) -
+                                  base_scores[t]);
+        }
+        row.top1_agreement =
+            total > 0 ? static_cast<double>(agree) /
+                            static_cast<double>(total)
+                      : 1.0;
+        row.ce_delta = base_transitions > 0
+                           ? score_delta /
+                                 static_cast<double>(base_transitions)
+                           : 0.0;
+      }
+      rows.push_back(row);
+    }
+  }
+  nn::SetBackendThreads(prev);
+
+  auto seconds_of = [&rows](const std::string& variant) {
+    for (const Row& r : rows) {
+      if (r.variant == variant) return r.seconds;
+    }
+    return 0.0;
+  };
+  std::ofstream json(OutDir() + "/BENCH_quant.json");
+  json << "[\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    const bool gemv = r.variant.rfind("gemv_", 0) == 0;
+    const double baseline =
+        gemv ? seconds_of("gemv_double") : seconds_of("double_nomemo");
+    json << "  {\"variant\": \"" << r.variant << "\", \"workload\": \""
+         << (gemv ? "gemv_m4_k64_n192" : "predict_beam_x8")
+         << "\", \"ns_per_op\": " << r.seconds * 1e9
+         << ", \"speedup_vs_double\": "
+         << (r.seconds > 0.0 ? baseline / r.seconds : 0.0)
+         << ", \"steady_hit_rate\": " << r.hit_rate
+         << ", \"top1_agreement\": " << r.top1_agreement
+         << ", \"ce_delta_per_transition\": " << r.ce_delta << "}"
+         << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  json << "]\n";
+  for (const Row& r : rows) {
+    if (r.variant.rfind("gemv_", 0) == 0) continue;
+    state.counters[r.variant + "_speedup"] =
+        seconds_of("double_nomemo") / r.seconds;
+  }
+}
+BENCHMARK(BM_QuantSweep)->Iterations(1)->Unit(benchmark::kMillisecond);
 
 // One-shot sweep of the training engine: the legacy single-graph tape
 // ("serial", one batch = one autodiff graph) against data-parallel

@@ -59,6 +59,13 @@
 // Every command accepts `--threads N` (default 1): compute threads for the
 // nn backend. Results are identical for every N; see docs/parallelism.md.
 //
+// Every model-loading command also accepts `--precision double|bf16|int8`
+// (packed weight precision of the inference fast path; default double is
+// bitwise the reference, bf16/int8 are accuracy-parity-gated, see
+// docs/inference.md) and `--memo-capacity N` (transition-memo cache entries
+// shared across the session pool, default 16384, 0 disables; hits are
+// bitwise identical to recomputing).
+//
 // Fault injection (tools/check_fault.sh, docs/robustness.md): `--faults
 // SPEC` or the DEEPST_FAULTS environment variable arms deterministic fault
 // points before the command runs. SPEC is a comma-separated list of
@@ -83,6 +90,7 @@
 #include "baselines/mmi.h"
 #include "baselines/neural_router.h"
 #include "core/checkpoint.h"
+#include "core/infer/session.h"
 #include "core/serving.h"
 #include "core/trainer.h"
 #include "eval/metrics.h"
@@ -181,6 +189,18 @@ util::StatusOr<core::DeepSTConfig> ModelConfigFromFlags(
       flags.GetInt("proxies", std::max(16, data.net->num_segments() / 6));
   if (!proxies.ok()) return proxies.status();
   base.num_proxies = static_cast<int>(proxies.value());
+
+  const std::string precision = flags.GetString("precision", "double");
+  if (!nn::infer::ParsePrecision(precision, &base.infer_precision)) {
+    return util::Status::InvalidArgument(
+        "--precision must be double, bf16 or int8, got '" + precision + "'");
+  }
+  auto memo = flags.GetInt("memo-capacity", base.memo_cache_capacity);
+  if (!memo.ok()) return memo.status();
+  if (memo.value() < 0) {
+    return util::Status::InvalidArgument("--memo-capacity must be >= 0");
+  }
+  base.memo_cache_capacity = memo.value();
 
   const std::string variant = flags.GetString("variant", "deepst");
   if (variant == "deepst") return baselines::DeepStConfigOf(base);
@@ -680,6 +700,19 @@ int CmdServe(const util::Flags& flags) {
                opts.workers, opts.queue_capacity, opts.max_batch,
                static_cast<long long>(opts.batch_window_us),
                opts.default_deadline_ms, opts.hung_query_ms);
+  // Force weight packing now (instead of on the first query) and log the
+  // active inference configuration next to the health-gate banner.
+  {
+    const auto packed = model.value()->shared_infer_weights();
+    const auto memo_stats = model.value()->transition_memo_stats();
+    std::fprintf(
+        stderr,
+        "inference: precision=%s (packed weights %.2f MiB), transition memo "
+        "capacity %lld entries\n",
+        nn::infer::PrecisionName(packed->precision),
+        static_cast<double>(packed->packed_weight_bytes) / (1024.0 * 1024.0),
+        static_cast<long long>(memo_stats.capacity));
+  }
 
   const auto& test = data.value().split.test;
   struct InFlight {

@@ -3,6 +3,8 @@
 
 #include <cstdint>
 
+#include "nn/infer/precision.h"
+
 namespace deepst {
 namespace core {
 
@@ -82,6 +84,15 @@ struct DeepSTConfig {
   // graph-free fast path (src/core/infer). The graph path is the reference
   // implementation; the fast path matches it within 1e-5 (docs/inference.md).
   bool graph_inference = false;
+  // Packed weight precision of the fast path's GEMV kernels (CLI
+  // --precision double|bf16|int8). double is bitwise the PR 3 baseline;
+  // bf16/int8 trade exactness for bandwidth and are accuracy-parity-gated
+  // (docs/inference.md). Ignored by the graph path.
+  nn::infer::Precision infer_precision = nn::infer::Precision::kDouble;
+  // Entry budget of the transition-distribution memo cache shared across
+  // the session pool (CLI --memo-capacity); 0 disables memoization. Hits
+  // are bitwise identical to recomputing, so this only changes speed.
+  int64_t memo_cache_capacity = 16384;
 
   uint64_t seed = 1234;
 

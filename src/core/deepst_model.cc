@@ -78,6 +78,12 @@ DeepSTModel::DeepSTModel(const roadnet::RoadNetwork& net,
     AddSubmodule("traffic_encoder", traffic_encoder_.get());
     AddSubmodule("gamma", gamma_.get());
   }
+
+  if (config.memo_cache_capacity > 0) {
+    memo_ = std::make_unique<nn::infer::TransitionMemoCache>(
+        nmax, config.gru_layers, config.gru_hidden,
+        config.memo_cache_capacity);
+  }
 }
 
 DeepSTModel::~DeepSTModel() = default;
@@ -144,7 +150,35 @@ void DeepSTModel::RetirePooledSessions() {
     session_generation_.fetch_add(1, std::memory_order_acq_rel);
     doomed.swap(session_pool_);
   }
+  // Retirement's contract is "derived inference state may be stale": drop
+  // the packed weights so replacement sessions repack from the current
+  // float parameters, and invalidate the memo cache for the same reason.
+  // Sessions already leased out keep their (possibly stale) shared_ptr and
+  // pinned epoch, finish self-consistently, and are dropped on release.
+  {
+    std::lock_guard<std::mutex> lock(weights_mu_);
+    shared_weights_.reset();
+  }
+  InvalidateTransitionCache();
   // Session destructors run outside the lock.
+}
+
+std::shared_ptr<const infer::SharedInferWeights>
+DeepSTModel::shared_infer_weights() const {
+  std::lock_guard<std::mutex> lock(weights_mu_);
+  if (shared_weights_ == nullptr) {
+    shared_weights_ = infer::SharedInferWeights::Build(*this);
+  }
+  return shared_weights_;
+}
+
+nn::infer::MemoStats DeepSTModel::transition_memo_stats() const {
+  if (memo_ == nullptr) return nn::infer::MemoStats();
+  return memo_->stats();
+}
+
+void DeepSTModel::InvalidateTransitionCache() {
+  if (memo_ != nullptr) memo_->Invalidate();
 }
 
 int64_t DeepSTModel::outstanding_session_leases() const {
@@ -825,6 +859,16 @@ double DeepSTModel::ScoreRoute(const PredictionContext& ctx,
   SessionLease session(this);
   util::ThrowIfFaultPoint("infer.query");
   return session->ScoreRoute(ctx, route);
+}
+
+std::vector<int> DeepSTModel::TopSlotsAlongRoute(const PredictionContext& ctx,
+                                                 const traj::Route& route) {
+  // Harness entry point: always runs on the graph-free engine (the thing
+  // whose precision is being evaluated), regardless of graph_inference.
+  SessionLease session(this);
+  std::vector<int> slots;
+  session->TopSlotsAlongRoute(ctx, route, &slots);
+  return slots;
 }
 
 std::vector<double> DeepSTModel::ScoreRoutes(

@@ -11,6 +11,7 @@
 #include "core/config.h"
 #include "core/destination_proxy.h"
 #include "core/traffic_encoder.h"
+#include "nn/infer/memo.h"
 #include "nn/layers.h"
 #include "nn/module.h"
 #include "nn/serialize.h"
@@ -23,6 +24,7 @@ namespace core {
 
 namespace infer {
 class InferenceSession;
+struct SharedInferWeights;
 }  // namespace infer
 
 // A route prediction / scoring query: initial road segment, rough
@@ -227,6 +229,35 @@ class DeepSTModel : public nn::Module {
   const nn::StackedGru& gru() const { return *gru_; }
   const nn::LinearLayer& alpha_layer() const { return *alpha_; }
 
+  // Weights packed once (at config.infer_precision) and shared read-only by
+  // every pooled session; built lazily on the first session construction,
+  // rebuilt after RetirePooledSessions. Never null.
+  std::shared_ptr<const infer::SharedInferWeights> shared_infer_weights()
+      const;
+
+  // Transition-distribution memo cache shared across the session pool; null
+  // when config.memo_cache_capacity == 0. Hits replay kernel outputs
+  // bitwise, so callers only observe it through speed and the counters.
+  nn::infer::TransitionMemoCache* transition_memo() const {
+    return memo_.get();
+  }
+  // Counter snapshot (zeros with epoch/capacity 0 when disabled); surfaced
+  // through ServeMetrics and `deepst serve` stats.
+  nn::infer::MemoStats transition_memo_stats() const;
+  // Wholesale memo invalidation: call after mutating weights in place or
+  // swapping the traffic snapshot wiring. O(1) epoch bump; queries already
+  // in flight keep the epoch they pinned at context-preparation time.
+  // RetirePooledSessions also invalidates (its contract is "scratch state
+  // may be stale"), covering the serve watchdog path.
+  void InvalidateTransitionCache();
+
+  // Teacher-forced top-1 next-segment slots along `route`: feeds
+  // route[0..t] and records argmax over the valid neighbor slots at each of
+  // the route.size()-1 transitions. The quantization accuracy-parity
+  // harness compares these across precisions (bench_micro, quant_test).
+  std::vector<int> TopSlotsAlongRoute(const PredictionContext& ctx,
+                                      const traj::Route& route);
+
   // Number of pooled inference sessions currently alive (test/debug hook;
   // grows up to the peak number of concurrent prediction calls).
   size_t num_pooled_sessions();
@@ -297,6 +328,12 @@ class DeepSTModel : public nn::Module {
   std::vector<std::unique_ptr<infer::InferenceSession>> session_pool_;
   std::atomic<uint64_t> session_generation_{0};
   std::atomic<int64_t> outstanding_leases_{0};
+  // Lazily-built packed weights shared by pooled sessions (see
+  // shared_infer_weights()); reset on RetirePooledSessions so rebuilt
+  // sessions repack from the current float parameters.
+  mutable std::mutex weights_mu_;
+  mutable std::shared_ptr<const infer::SharedInferWeights> shared_weights_;
+  std::unique_ptr<nn::infer::TransitionMemoCache> memo_;
 };
 
 // Log-probability of transitioning into neighbor slot `slot`, normalized

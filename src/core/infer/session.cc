@@ -23,21 +23,43 @@ double InferenceSession::Hyp::Score() const {
   return log_prob / std::sqrt(static_cast<double>(n));
 }
 
+std::shared_ptr<const SharedInferWeights> SharedInferWeights::Build(
+    const DeepSTModel& model) {
+  auto w = std::make_shared<SharedInferWeights>();
+  w->precision = model.config().infer_precision;
+  const int64_t emb_dim = model.segment_embedding().dim();
+  w->gru = nn::infer::GruStackView::Of(model.gru(), emb_dim, w->precision);
+  const nn::Tensor& aw = model.alpha_layer().weight();
+  w->alpha_w = nn::infer::PackedMatrix::Pack(aw.data(), aw.dim(0), aw.dim(1),
+                                             aw.dim(1), w->precision);
+  // The embedding table is gathered (one row copy per token), never
+  // multiplied, so it stays exact double in every precision mode.
+  const nn::Tensor& emb = model.segment_embedding().table()->value();
+  w->emb_table_d.resize(static_cast<size_t>(emb.numel()));
+  nn::infer::ToDouble(emb.data(), w->emb_table_d.data(), emb.numel());
+  w->packed_weight_bytes = w->alpha_w.PackedBytes();
+  for (const nn::infer::GruCellView& cell : w->gru.cells) {
+    w->packed_weight_bytes += cell.w_ih.PackedBytes() +
+                              cell.w_hh.PackedBytes() +
+                              cell.w_ih_ctx.size() * sizeof(double);
+  }
+  return w;
+}
+
 InferenceSession::InferenceSession(const DeepSTModel* model)
     : model_(model),
       net_(model->network()),
       config_(model->config()),
-      gru_(nn::infer::GruStackView::Of(model->gru())),
+      weights_shared_(model->shared_infer_weights()),
+      gru_(weights_shared_->gru),
+      emb_table_d_(weights_shared_->emb_table_d),
+      alpha_w_(weights_shared_->alpha_w),
       alpha_b_(model->alpha_layer().bias()),
       emb_dim_(model->segment_embedding().dim()),
       nmax_(model->network().MaxOutDegree()),
-      arena_(kPerLayer + 2 * model->gru().num_layers()) {
-  const nn::Tensor& emb = model->segment_embedding().table()->value();
-  emb_table_d_.resize(static_cast<size_t>(emb.numel()));
-  nn::infer::ToDouble(emb.data(), emb_table_d_.data(), emb.numel());
-  const nn::Tensor& aw = model->alpha_layer().weight();
-  alpha_w_d_.resize(static_cast<size_t>(aw.numel()));
-  nn::infer::ToDouble(aw.data(), alpha_w_d_.data(), aw.numel());
+      memo_(model->transition_memo()),
+      arena_(kPerLayer + 3 * model->gru().num_layers()) {
+  state_ptrs_.resize(static_cast<size_t>(gru_.num_layers()), nullptr);
   // Fixed-capacity hypothesis pools: one beam step produces at most
   // width carried-over hypotheses plus width expansions per active beam.
   const int width = std::max(config_.beam_width, 1);
@@ -53,6 +75,50 @@ InferenceSession::InferenceSession(const DeepSTModel* model)
     h.route.reserve(route_cap);
     h.visited.resize(nseg, 0);
   }
+}
+
+nn::infer::MemoKey InferenceSession::ContextKey(
+    const PredictionContext& ctx) const {
+  // Seed with the context-presence flags, then fold the exact bytes of
+  // every context tensor that feeds the cached computation. The destination
+  // *point* is deliberately not hashed: it only drives ShouldStop, which
+  // runs outside the cached step.
+  nn::infer::MemoKey k;
+  k = nn::infer::MixKey(k, (ctx.has_dest ? 1u : 0u) |
+                               (ctx.has_traffic ? 2u : 0u));
+  if (ctx.has_dest) {
+    k = nn::infer::HashBytesKey(
+        ctx.dest_term.data(),
+        static_cast<size_t>(ctx.dest_term.numel()) * sizeof(float), k);
+    k = nn::infer::HashBytesKey(
+        ctx.dest_repr.data(),
+        static_cast<size_t>(ctx.dest_repr.numel()) * sizeof(float), k);
+  }
+  if (ctx.has_traffic) {
+    k = nn::infer::HashBytesKey(
+        ctx.traffic_term.data(),
+        static_cast<size_t>(ctx.traffic_term.numel()) * sizeof(float), k);
+    k = nn::infer::HashBytesKey(
+        ctx.traffic_repr.data(),
+        static_cast<size_t>(ctx.traffic_repr.numel()) * sizeof(float), k);
+  }
+  return k;
+}
+
+float* const* InferenceSession::HitStatePtrs(int64_t row) {
+  const int64_t hd = gru_.hidden_dim;
+  for (int l = 0; l < gru_.num_layers(); ++l) {
+    state_ptrs_[static_cast<size_t>(l)] = HitSlot(l)->data() + row * hd;
+  }
+  return state_ptrs_.data();
+}
+
+float* const* InferenceSession::BatchStatePtrs(int64_t row) {
+  const int64_t hd = gru_.hidden_dim;
+  for (int l = 0; l < gru_.num_layers(); ++l) {
+    state_ptrs_[static_cast<size_t>(l)] = StateSlot(l)->data() + row * hd;
+  }
+  return state_ptrs_.data();
 }
 
 void InferenceSession::PrepareContext(const PredictionContext& ctx) {
@@ -71,13 +137,19 @@ void InferenceSession::PrepareContext(const PredictionContext& ctx) {
   }
   // Layer-0 split input: fold the context's input-to-hidden product and
   // b_ih into one per-query bias; steps then only multiply the embedding
-  // columns of w_ih.
+  // columns of w_ih. The context columns are exact doubles in every
+  // precision mode (w_ih_ctx), so this fold never carries quantization
+  // error into all downstream steps.
   const int64_t h3 = 3 * cell0.hidden_dim;
   nn::Tensor* ctx_ih = arena_.Acquire(kCtxIh, {1, h3});
-  nn::infer::LinearForward(ctxd_.data(), ctx_dim,
-                           cell0.w_ih.data() + emb_dim_, cell0.input_dim,
-                           cell0.b_ih->data(), nullptr, ctx_ih->data(), 1,
-                           ctx_dim, h3);
+  nn::infer::LinearForward(ctxd_.data(), ctx_dim, cell0.w_ih_ctx.data(),
+                           ctx_dim, cell0.b_ih->data(), nullptr,
+                           ctx_ih->data(), 1, ctx_dim, h3);
+  // Queries pin the memo epoch they start with (see TransitionMemoCache).
+  if (memo_ != nullptr) {
+    memo_epoch_ = memo_->current_epoch();
+    ctx_key_ = ContextKey(ctx);
+  }
   // alpha bias + additive context logit terms, one row.
   nn::Tensor* lb = arena_.Acquire(kLogitBias, {1, nmax_});
   const float* ab = alpha_b_ != nullptr ? alpha_b_->data() : nullptr;
@@ -100,6 +172,17 @@ void InferenceSession::PrepareContexts(
   nn::Tensor* ctx_ih = arena_.Acquire(kCtxIh, {q_count, h3});
   nn::Tensor* lb = arena_.Acquire(kLogitBias, {q_count, nmax_});
   const float* ab = alpha_b_ != nullptr ? alpha_b_->data() : nullptr;
+  if (memo_ != nullptr) {
+    // One pinned epoch for the whole coalesced batch; per-query context
+    // signatures (a query's keys must match its single-query counterpart's
+    // exactly — bitwise-parity across batch compositions includes the memo).
+    memo_epoch_ = memo_->current_epoch();
+    ctx_keys_.resize(static_cast<size_t>(q_count));
+    for (int64_t q = 0; q < q_count; ++q) {
+      ctx_keys_[static_cast<size_t>(q)] =
+          ContextKey(*ctxs[static_cast<size_t>(q)]);
+    }
+  }
   for (int64_t q = 0; q < q_count; ++q) {
     const PredictionContext& ctx = *ctxs[static_cast<size_t>(q)];
     const int64_t dest_dim = ctx.has_dest ? ctx.dest_repr.dim(1) : 0;
@@ -117,9 +200,8 @@ void InferenceSession::PrepareContexts(
     // One LinearForward call per row, same operands as PrepareContext, so
     // each row of the [Q, 3H] block is bitwise identical to preparing that
     // context alone.
-    nn::infer::LinearForward(ctxd_.data(), ctx_dim,
-                             cell0.w_ih.data() + emb_dim_, cell0.input_dim,
-                             cell0.b_ih->data(), nullptr,
+    nn::infer::LinearForward(ctxd_.data(), ctx_dim, cell0.w_ih_ctx.data(),
+                             ctx_dim, cell0.b_ih->data(), nullptr,
                              ctx_ih->data() + q * h3, 1, ctx_dim, h3);
     const float* dt = ctx.has_dest ? ctx.dest_term.data() : nullptr;
     const float* tt = ctx.has_traffic ? ctx.traffic_term.data() : nullptr;
@@ -135,7 +217,7 @@ void InferenceSession::PrepareContexts(
 
 void InferenceSession::ResetState(int64_t batch) {
   for (int l = 0; l < gru_.num_layers(); ++l) {
-    arena_.Acquire(kPerLayer + 2 * l, {batch, gru_.hidden_dim})->Fill(0.0f);
+    arena_.Acquire(StateSlotIndex(l), {batch, gru_.hidden_dim})->Fill(0.0f);
   }
 }
 
@@ -154,35 +236,32 @@ void InferenceSession::StepBatch(const int* tokens, int64_t batch,
   nn::Tensor* gi = arena_.Acquire(kGi, {batch, h3});
   nn::Tensor* gh = arena_.Acquire(kGh, {batch, h3});
   nn::Tensor* h0 = StateSlot(0);
-  nn::infer::LinearForward(embd_.data(), emb_dim_, cell0.w_ih.data(),
-                           cell0.input_dim, arena_.Get(kCtxIh)->data(),
-                           nullptr, gi->data(), batch, emb_dim_, h3);
+  nn::infer::GemvForward(embd_.data(), emb_dim_, cell0.w_ih,
+                         arena_.Get(kCtxIh)->data(), nullptr, gi->data(),
+                         batch, h3);
   nn::infer::ToDouble(h0->data(), xd_.data(), batch * hd);
-  nn::infer::LinearForward(xd_.data(), hd, cell0.w_hh.data(), hd,
-                           cell0.b_hh->data(), nullptr, gh->data(), batch, hd,
-                           h3);
+  nn::infer::GemvForward(xd_.data(), hd, cell0.w_hh, cell0.b_hh->data(),
+                         nullptr, gh->data(), batch, h3);
   nn::infer::GruGates(*gi, *gh, *h0, h0);
   for (int l = 1; l < gru_.num_layers(); ++l) {
     const nn::infer::GruCellView& cell = gru_.cells[static_cast<size_t>(l)];
     const nn::Tensor* below = StateSlot(l - 1);
     nn::Tensor* h = StateSlot(l);
     nn::infer::ToDouble(below->data(), xd_.data(), batch * hd);
-    nn::infer::LinearForward(xd_.data(), hd, cell.w_ih.data(), hd,
-                             cell.b_ih->data(), nullptr, gi->data(), batch,
-                             hd, h3);
+    nn::infer::GemvForward(xd_.data(), hd, cell.w_ih, cell.b_ih->data(),
+                           nullptr, gi->data(), batch, h3);
     nn::infer::ToDouble(h->data(), xd_.data(), batch * hd);
-    nn::infer::LinearForward(xd_.data(), hd, cell.w_hh.data(), hd,
-                             cell.b_hh->data(), nullptr, gh->data(), batch,
-                             hd, h3);
+    nn::infer::GemvForward(xd_.data(), hd, cell.w_hh, cell.b_hh->data(),
+                           nullptr, gh->data(), batch, h3);
     nn::infer::GruGates(*gi, *gh, *h, h);
   }
   if (want_logits) {
     nn::Tensor* logits = arena_.Acquire(kLogits, {batch, nmax_});
     nn::infer::ToDouble(StateSlot(gru_.num_layers() - 1)->data(), xd_.data(),
                         batch * hd);
-    nn::infer::LinearForward(xd_.data(), hd, alpha_w_d_.data(), hd,
-                             arena_.Get(kLogitBias)->data(), nullptr,
-                             logits->data(), batch, hd, nmax_);
+    nn::infer::GemvForward(xd_.data(), hd, alpha_w_,
+                           arena_.Get(kLogitBias)->data(), nullptr,
+                           logits->data(), batch, nmax_);
   }
 }
 
@@ -205,37 +284,32 @@ void InferenceSession::StepBatchMulti(const int* tokens, const int* row_ctx,
   nn::Tensor* gi = arena_.Acquire(kGi, {batch, h3});
   nn::Tensor* gh = arena_.Acquire(kGh, {batch, h3});
   nn::Tensor* h0 = StateSlot(0);
-  nn::infer::LinearForwardRowBias(embd_.data(), emb_dim_, cell0.w_ih.data(),
-                                  cell0.input_dim, arena_.Get(kCtxIh)->data(),
-                                  nullptr, row_ctx, gi->data(), batch,
-                                  emb_dim_, h3);
+  nn::infer::GemvForwardRowBias(embd_.data(), emb_dim_, cell0.w_ih,
+                                arena_.Get(kCtxIh)->data(), nullptr, row_ctx,
+                                gi->data(), batch, h3);
   nn::infer::ToDouble(h0->data(), xd_.data(), batch * hd);
-  nn::infer::LinearForward(xd_.data(), hd, cell0.w_hh.data(), hd,
-                           cell0.b_hh->data(), nullptr, gh->data(), batch, hd,
-                           h3);
+  nn::infer::GemvForward(xd_.data(), hd, cell0.w_hh, cell0.b_hh->data(),
+                         nullptr, gh->data(), batch, h3);
   nn::infer::GruGates(*gi, *gh, *h0, h0);
   for (int l = 1; l < gru_.num_layers(); ++l) {
     const nn::infer::GruCellView& cell = gru_.cells[static_cast<size_t>(l)];
     const nn::Tensor* below = StateSlot(l - 1);
     nn::Tensor* h = StateSlot(l);
     nn::infer::ToDouble(below->data(), xd_.data(), batch * hd);
-    nn::infer::LinearForward(xd_.data(), hd, cell.w_ih.data(), hd,
-                             cell.b_ih->data(), nullptr, gi->data(), batch,
-                             hd, h3);
+    nn::infer::GemvForward(xd_.data(), hd, cell.w_ih, cell.b_ih->data(),
+                           nullptr, gi->data(), batch, h3);
     nn::infer::ToDouble(h->data(), xd_.data(), batch * hd);
-    nn::infer::LinearForward(xd_.data(), hd, cell.w_hh.data(), hd,
-                             cell.b_hh->data(), nullptr, gh->data(), batch,
-                             hd, h3);
+    nn::infer::GemvForward(xd_.data(), hd, cell.w_hh, cell.b_hh->data(),
+                           nullptr, gh->data(), batch, h3);
     nn::infer::GruGates(*gi, *gh, *h, h);
   }
   if (want_logits) {
     nn::Tensor* logits = arena_.Acquire(kLogits, {batch, nmax_});
     nn::infer::ToDouble(StateSlot(gru_.num_layers() - 1)->data(), xd_.data(),
                         batch * hd);
-    nn::infer::LinearForwardRowBias(xd_.data(), hd, alpha_w_d_.data(), hd,
-                                    arena_.Get(kLogitBias)->data(), nullptr,
-                                    row_ctx, logits->data(), batch, hd,
-                                    nmax_);
+    nn::infer::GemvForwardRowBias(xd_.data(), hd, alpha_w_,
+                                  arena_.Get(kLogitBias)->data(), nullptr,
+                                  row_ctx, logits->data(), batch, nmax_);
   }
 }
 
@@ -253,11 +327,25 @@ traj::Route InferenceSession::PredictRoute(const PredictionContext& ctx,
   visited_.assign(static_cast<size_t>(net_.num_segments()), 0);
   visited_[static_cast<size_t>(origin)] = 1;
   SegmentId cur = origin;
+  // Memo key chain: ctx signature mixed with every token fed so far. A hit
+  // replays the cached logits and post-step state bitwise, so the rest of
+  // the loop (and the rng stream in sampling mode) is oblivious to it.
+  nn::infer::MemoKey key = ctx_key_;
   for (int step = 0; step < config_.max_route_steps; ++step) {
     const auto& outs = net_.OutSegments(cur);
     if (outs.empty()) break;
     const int token = static_cast<int>(cur);
-    StepBatch(&token, 1, /*want_logits=*/true);
+    if (memo_ != nullptr) {
+      key = nn::infer::MixKey(key, static_cast<uint64_t>(token));
+      nn::Tensor* lt = arena_.Acquire(kLogits, {1, nmax_});
+      if (!memo_->Lookup(key, memo_epoch_, lt->data(), BatchStatePtrs(0))) {
+        StepBatch(&token, 1, /*want_logits=*/true);
+        memo_->Insert(key, memo_epoch_, arena_.Get(kLogits)->data(),
+                      BatchStatePtrs(0));
+      }
+    } else {
+      StepBatch(&token, 1, /*want_logits=*/true);
+    }
     const float* lv = arena_.Get(kLogits)->data();
     int best = -1;
     if (config_.map_prediction) {
@@ -300,6 +388,8 @@ void InferenceSession::CopyHyp(const Hyp& src, Hyp* dst) {
   dst->log_prob = src.log_prob;
   dst->done = src.done;
   dst->src_row = src.src_row;
+  dst->hit_src = src.hit_src;
+  dst->key = src.key;
 }
 
 traj::Route InferenceSession::PredictRouteBeam(const PredictionContext& ctx,
@@ -320,29 +410,53 @@ traj::Route InferenceSession::PredictRouteBeam(const PredictionContext& ctx,
   root.log_prob = 0.0;
   root.done = false;
   root.src_row = -1;
+  root.hit_src = -1;
+  root.key = ctx_key_;
   for (int l = 0; l < gru_.num_layers(); ++l) {
-    arena_.Acquire(kPerLayer + 2 * l + 1, {1, hd})->Fill(0.0f);
+    arena_.Acquire(GatherSlotIndex(l), {1, hd})->Fill(0.0f);
+  }
+  if (memo_ != nullptr) {
+    // Hit staging at full width, once per call: a probe that hits writes the
+    // cached logits/state into row i (its beam index) and skips the step.
+    arena_.Acquire(kHitLogits, {width, nmax_});
+    for (int l = 0; l < gru_.num_layers(); ++l) {
+      arena_.Acquire(HitSlotIndex(l), {width, hd});
+    }
   }
   int num_beams = 1;
 
   for (int step = 0; step < config_.max_route_steps; ++step) {
-    // Pass 1: one batched GRU step over every hypothesis that can expand
-    // (row-local kernels make this bitwise identical to stepping each
-    // hypothesis alone).
+    // Pass 1: probe the memo per expandable hypothesis, then one batched GRU
+    // step over the misses (row-local kernels make this bitwise identical to
+    // stepping each hypothesis alone).
     tokens_.clear();
     active_row_.assign(static_cast<size_t>(num_beams), -1);
+    hit_row_.assign(static_cast<size_t>(num_beams), -1);
+    bool any_hit = false;
     for (int i = 0; i < num_beams; ++i) {
       const Hyp& b = beams_[static_cast<size_t>(i)];
       if (b.done) continue;
       if (net_.OutSegments(b.route.back()).empty()) continue;
+      if (memo_ != nullptr) {
+        const nn::infer::MemoKey sk = nn::infer::MixKey(
+            b.key, static_cast<uint64_t>(b.route.back()));
+        if (memo_->Lookup(sk, memo_epoch_,
+                          arena_.Get(kHitLogits)->data() +
+                              static_cast<int64_t>(i) * nmax_,
+                          HitStatePtrs(i))) {
+          hit_row_[static_cast<size_t>(i)] = i;
+          any_hit = true;
+          continue;
+        }
+      }
       active_row_[static_cast<size_t>(i)] = static_cast<int>(tokens_.size());
       tokens_.push_back(static_cast<int>(b.route.back()));
     }
     const int64_t active = static_cast<int64_t>(tokens_.size());
-    const bool any_active = active > 0;
-    if (any_active) {
+    const bool any_expand = active > 0 || any_hit;
+    if (active > 0) {
       for (int l = 0; l < gru_.num_layers(); ++l) {
-        nn::Tensor* st = arena_.Acquire(kPerLayer + 2 * l, {active, hd});
+        nn::Tensor* st = arena_.Acquire(StateSlotIndex(l), {active, hd});
         const nn::Tensor* bs = GatherSlot(l);
         for (int i = 0; i < num_beams; ++i) {
           const int a = active_row_[static_cast<size_t>(i)];
@@ -352,8 +466,23 @@ traj::Route InferenceSession::PredictRouteBeam(const PredictionContext& ctx,
         }
       }
       StepBatch(tokens_.data(), active, /*want_logits=*/true);
+      if (memo_ != nullptr) {
+        for (int i = 0; i < num_beams; ++i) {
+          const int a = active_row_[static_cast<size_t>(i)];
+          if (a < 0) continue;
+          const Hyp& b = beams_[static_cast<size_t>(i)];
+          memo_->Insert(
+              nn::infer::MixKey(b.key,
+                                static_cast<uint64_t>(b.route.back())),
+              memo_epoch_,
+              arena_.Get(kLogits)->data() + static_cast<int64_t>(a) * nmax_,
+              BatchStatePtrs(a));
+        }
+      }
     }
-    const float* logits = any_active ? arena_.Get(kLogits)->data() : nullptr;
+    const float* logits = active > 0 ? arena_.Get(kLogits)->data() : nullptr;
+    const float* hit_logits =
+        memo_ != nullptr ? arena_.Get(kHitLogits)->data() : nullptr;
 
     // Pass 2: expand in beam order (so the ShouldStop rng call order matches
     // the reference exactly).
@@ -362,6 +491,7 @@ traj::Route InferenceSession::PredictRouteBeam(const PredictionContext& ctx,
       Hyp& beam = beams_[static_cast<size_t>(i)];
       if (beam.done) {
         beam.src_row = -1;
+        beam.hit_src = -1;
         CopyHyp(beam, &pool_[pool_size_++]);
         continue;
       }
@@ -370,11 +500,15 @@ traj::Route InferenceSession::PredictRouteBeam(const PredictionContext& ctx,
       if (outs.empty()) {
         beam.done = true;
         beam.src_row = -1;
+        beam.hit_src = -1;
         CopyHyp(beam, &pool_[pool_size_++]);
         continue;
       }
       const int a = active_row_[static_cast<size_t>(i)];
-      const float* lrow = logits + static_cast<int64_t>(a) * nmax_;
+      const int hr = hit_row_[static_cast<size_t>(i)];
+      const float* lrow = hr >= 0
+                              ? hit_logits + static_cast<int64_t>(hr) * nmax_
+                              : logits + static_cast<int64_t>(a) * nmax_;
       const int deg = static_cast<int>(outs.size());
       ranked_.clear();
       for (int s = 0; s < deg; ++s) {
@@ -386,6 +520,7 @@ traj::Route InferenceSession::PredictRouteBeam(const PredictionContext& ctx,
       if (ranked_.empty()) {  // boxed in: terminate this hypothesis
         beam.done = true;
         beam.src_row = -1;
+        beam.hit_src = -1;
         CopyHyp(beam, &pool_[pool_size_++]);
         continue;
       }
@@ -396,6 +531,10 @@ traj::Route InferenceSession::PredictRouteBeam(const PredictionContext& ctx,
         Hyp& nxt = pool_[pool_size_++];
         CopyHyp(beam, &nxt);
         nxt.src_row = a;
+        nxt.hit_src = hr;
+        if (memo_ != nullptr) {
+          nxt.key = nn::infer::MixKey(beam.key, static_cast<uint64_t>(cur));
+        }
         nxt.log_prob += ranked_[static_cast<size_t>(e)].first;
         const SegmentId seg =
             outs[static_cast<size_t>(ranked_[static_cast<size_t>(e)].second)];
@@ -415,7 +554,7 @@ traj::Route InferenceSession::PredictRouteBeam(const PredictionContext& ctx,
     });
     const int keep = std::min<int>(width, static_cast<int>(pool_size_));
     for (int l = 0; l < gru_.num_layers(); ++l) {
-      arena_.Acquire(kPerLayer + 2 * l + 1, {keep, hd});
+      arena_.Acquire(GatherSlotIndex(l), {keep, hd});
     }
     for (int w = 0; w < keep; ++w) {
       const Hyp& src = pool_[static_cast<size_t>(pool_order_[w])];
@@ -427,10 +566,17 @@ traj::Route InferenceSession::PredictRouteBeam(const PredictionContext& ctx,
                       hd,
                       GatherSlot(l)->data() + static_cast<int64_t>(w) * hd);
         }
+      } else if (src.hit_src >= 0) {
+        for (int l = 0; l < gru_.num_layers(); ++l) {
+          std::copy_n(HitSlot(l)->data() +
+                          static_cast<int64_t>(src.hit_src) * hd,
+                      hd,
+                      GatherSlot(l)->data() + static_cast<int64_t>(w) * hd);
+        }
       }
     }
     num_beams = keep;
-    if (!any_active) break;
+    if (!any_expand) break;
     bool all_done = true;
     for (int i = 0; i < num_beams; ++i) {
       if (!beams_[static_cast<size_t>(i)].done) all_done = false;
@@ -520,7 +666,14 @@ void InferenceSession::PredictRoutesBeamMulti(
   PrepareContexts(ctx_ptrs_);
   EnsureQueryBeams(static_cast<size_t>(q_count));
   for (int l = 0; l < gru_.num_layers(); ++l) {
-    arena_.Acquire(kPerLayer + 2 * l + 1, {q_count * width, hd})->Fill(0.0f);
+    arena_.Acquire(GatherSlotIndex(l), {q_count * width, hd})->Fill(0.0f);
+  }
+  if (memo_ != nullptr) {
+    // Hit staging row for (query q, beam i) is q*width + i.
+    arena_.Acquire(kHitLogits, {q_count * width, nmax_});
+    for (int l = 0; l < gru_.num_layers(); ++l) {
+      arena_.Acquire(HitSlotIndex(l), {q_count * width, hd});
+    }
   }
   for (int64_t q = 0; q < q_count; ++q) {
     QueryBeam& qb = query_beams_[static_cast<size_t>(q)];
@@ -533,6 +686,8 @@ void InferenceSession::PredictRoutesBeamMulti(
     root.log_prob = 0.0;
     root.done = false;
     root.src_row = -1;
+    root.hit_src = -1;
+    if (memo_ != nullptr) root.key = ctx_keys_[static_cast<size_t>(q)];
     qb.num_beams = 1;
     qb.finished = false;
     qb.watch.Reset();
@@ -548,10 +703,22 @@ void InferenceSession::PredictRoutesBeamMulti(
       QueryBeam& qb = query_beams_[static_cast<size_t>(q)];
       if (qb.finished) continue;
       qb.active_row.assign(static_cast<size_t>(qb.num_beams), -1);
+      qb.hit_row.assign(static_cast<size_t>(qb.num_beams), -1);
       for (int i = 0; i < qb.num_beams; ++i) {
         const Hyp& b = qb.beams[static_cast<size_t>(i)];
         if (b.done) continue;
         if (net_.OutSegments(b.route.back()).empty()) continue;
+        if (memo_ != nullptr) {
+          const nn::infer::MemoKey sk = nn::infer::MixKey(
+              b.key, static_cast<uint64_t>(b.route.back()));
+          const int64_t hr = q * width + i;
+          if (memo_->Lookup(sk, memo_epoch_,
+                            arena_.Get(kHitLogits)->data() + hr * nmax_,
+                            HitStatePtrs(hr))) {
+            qb.hit_row[static_cast<size_t>(i)] = static_cast<int>(hr);
+            continue;
+          }
+        }
         qb.active_row[static_cast<size_t>(i)] =
             static_cast<int>(tokens_.size());
         tokens_.push_back(static_cast<int>(b.route.back()));
@@ -561,7 +728,7 @@ void InferenceSession::PredictRoutesBeamMulti(
     const int64_t active = static_cast<int64_t>(tokens_.size());
     if (active > 0) {
       for (int l = 0; l < gru_.num_layers(); ++l) {
-        nn::Tensor* st = arena_.Acquire(kPerLayer + 2 * l, {active, hd});
+        nn::Tensor* st = arena_.Acquire(StateSlotIndex(l), {active, hd});
         const nn::Tensor* bs = GatherSlot(l);
         for (int64_t q = 0; q < q_count; ++q) {
           const QueryBeam& qb = query_beams_[static_cast<size_t>(q)];
@@ -576,8 +743,27 @@ void InferenceSession::PredictRoutesBeamMulti(
       }
       StepBatchMulti(tokens_.data(), row_ctx_.data(), active,
                      /*want_logits=*/true);
+      if (memo_ != nullptr) {
+        for (int64_t q = 0; q < q_count; ++q) {
+          const QueryBeam& qb = query_beams_[static_cast<size_t>(q)];
+          if (qb.finished) continue;
+          for (int i = 0; i < qb.num_beams; ++i) {
+            const int a = qb.active_row[static_cast<size_t>(i)];
+            if (a < 0) continue;
+            const Hyp& b = qb.beams[static_cast<size_t>(i)];
+            memo_->Insert(
+                nn::infer::MixKey(b.key,
+                                  static_cast<uint64_t>(b.route.back())),
+                memo_epoch_,
+                arena_.Get(kLogits)->data() + static_cast<int64_t>(a) * nmax_,
+                BatchStatePtrs(a));
+          }
+        }
+      }
     }
     const float* logits = active > 0 ? arena_.Get(kLogits)->data() : nullptr;
+    const float* hit_logits =
+        memo_ != nullptr ? arena_.Get(kHitLogits)->data() : nullptr;
 
     // Pass 2: per-query expansion, keep, and termination — the single-query
     // PredictRouteBeam body verbatim, indexed into the shared batch.
@@ -591,6 +777,7 @@ void InferenceSession::PredictRoutesBeamMulti(
         Hyp& beam = qb.beams[static_cast<size_t>(i)];
         if (beam.done) {
           beam.src_row = -1;
+          beam.hit_src = -1;
           CopyHyp(beam, &qb.pool[qb.pool_size++]);
           continue;
         }
@@ -599,12 +786,16 @@ void InferenceSession::PredictRoutesBeamMulti(
         if (outs.empty()) {
           beam.done = true;
           beam.src_row = -1;
+          beam.hit_src = -1;
           CopyHyp(beam, &qb.pool[qb.pool_size++]);
           continue;
         }
         q_any_active = true;
         const int a = qb.active_row[static_cast<size_t>(i)];
-        const float* lrow = logits + static_cast<int64_t>(a) * nmax_;
+        const int hr = qb.hit_row[static_cast<size_t>(i)];
+        const float* lrow =
+            hr >= 0 ? hit_logits + static_cast<int64_t>(hr) * nmax_
+                    : logits + static_cast<int64_t>(a) * nmax_;
         const int deg = static_cast<int>(outs.size());
         ranked_.clear();
         for (int s = 0; s < deg; ++s) {
@@ -617,6 +808,7 @@ void InferenceSession::PredictRoutesBeamMulti(
         if (ranked_.empty()) {
           beam.done = true;
           beam.src_row = -1;
+          beam.hit_src = -1;
           CopyHyp(beam, &qb.pool[qb.pool_size++]);
           continue;
         }
@@ -627,6 +819,10 @@ void InferenceSession::PredictRoutesBeamMulti(
           Hyp& nxt = qb.pool[qb.pool_size++];
           CopyHyp(beam, &nxt);
           nxt.src_row = a;
+          nxt.hit_src = hr;
+          if (memo_ != nullptr) {
+            nxt.key = nn::infer::MixKey(beam.key, static_cast<uint64_t>(cur));
+          }
           nxt.log_prob += ranked_[static_cast<size_t>(e)].first;
           const SegmentId seg = outs[static_cast<size_t>(
               ranked_[static_cast<size_t>(e)].second)];
@@ -652,6 +848,12 @@ void InferenceSession::PredictRoutesBeamMulti(
           for (int l = 0; l < gru_.num_layers(); ++l) {
             std::copy_n(StateSlot(l)->data() +
                             static_cast<int64_t>(src.src_row) * hd,
+                        hd, GatherSlot(l)->data() + (q * width + w) * hd);
+          }
+        } else if (src.hit_src >= 0) {
+          for (int l = 0; l < gru_.num_layers(); ++l) {
+            std::copy_n(HitSlot(l)->data() +
+                            static_cast<int64_t>(src.hit_src) * hd,
                         hd, GatherSlot(l)->data() + (q * width + w) * hd);
           }
         }
@@ -880,9 +1082,9 @@ std::vector<double> InferenceSession::ScoreContinuations(
   const int64_t batch = static_cast<int64_t>(rows_.size());
   const int64_t hd = gru_.hidden_dim;
   for (int l = 0; l < gru_.num_layers(); ++l) {
-    nn::Tensor* warm = arena_.Acquire(kPerLayer + 2 * l + 1, {1, hd});
+    nn::Tensor* warm = arena_.Acquire(GatherSlotIndex(l), {1, hd});
     std::copy_n(StateSlot(l)->data(), hd, warm->data());
-    nn::Tensor* st = arena_.Acquire(kPerLayer + 2 * l, {batch, hd});
+    nn::Tensor* st = arena_.Acquire(StateSlotIndex(l), {batch, hd});
     for (int64_t b = 0; b < batch; ++b) {
       std::copy_n(warm->data(), hd, st->data() + b * hd);
     }
@@ -893,6 +1095,29 @@ std::vector<double> InferenceSession::ScoreContinuations(
     result[static_cast<size_t>(row_index_[b])] = batch_out_[b];
   }
   return result;
+}
+
+void InferenceSession::TopSlotsAlongRoute(const PredictionContext& ctx,
+                                          const traj::Route& route,
+                                          std::vector<int>* slots) {
+  slots->clear();
+  if (route.size() < 2) return;
+  PrepareContext(ctx);
+  ResetState(1);
+  // Teacher-forced and deliberately uncached: the accuracy-parity harness
+  // compares the raw kernels of each packed precision, so memo hits (which
+  // replay whatever precision first filled the cache) must not leak in.
+  for (size_t t = 0; t + 1 < route.size(); ++t) {
+    const int token = static_cast<int>(route[t]);
+    StepBatch(&token, 1, /*want_logits=*/true);
+    const float* lv = arena_.Get(kLogits)->data();
+    const int deg = net_.OutDegree(route[t]);
+    int best = 0;
+    for (int s = 1; s < deg; ++s) {
+      if (lv[s] > lv[best]) best = s;
+    }
+    slots->push_back(best);
+  }
 }
 
 }  // namespace infer

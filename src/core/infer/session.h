@@ -2,15 +2,34 @@
 #define DEEPST_CORE_INFER_SESSION_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/deepst_model.h"
 #include "nn/infer/forward.h"
+#include "nn/infer/memo.h"
 #include "util/stopwatch.h"
 
 namespace deepst {
 namespace core {
 namespace infer {
+
+// Model weights packed once for the GEMV fast path and shared read-only by
+// every pooled session (packing happens at most once per model generation,
+// not per session — "pack at pool construction"). Built at the model's
+// config.infer_precision; the embedding table stays double in every mode
+// (it is gathered, not multiplied). Biases are read through tensor pointers
+// into the model, which must outlive the view.
+struct SharedInferWeights {
+  nn::infer::Precision precision = nn::infer::Precision::kDouble;
+  nn::infer::GruStackView gru;
+  nn::infer::PackedMatrix alpha_w;   // [N_max, H]
+  std::vector<double> emb_table_d;   // [V, emb_dim]
+  size_t packed_weight_bytes = 0;    // GEMV operand bytes at this precision
+
+  static std::shared_ptr<const SharedInferWeights> Build(
+      const DeepSTModel& model);
+};
 
 // Graph-free inference engine for one DeepSTModel. A session owns every
 // scratch buffer the generation and scoring loops need (a nn::infer::Arena
@@ -32,6 +51,14 @@ namespace infer {
 // (+ b_ih) is folded into a per-query bias and each step only multiplies
 // the embedding columns. Likewise alpha's bias, dest_term and traffic_term
 // collapse into one per-query logit bias row.
+//
+// Round two (this file + nn/infer/forward.h): the per-step GEMV weights are
+// packed once per model at config.infer_precision (double/bf16/int8) and
+// shared across the pool, and the prediction paths sit behind the model's
+// TransitionMemoCache — a (context, token-prefix) keyed cache of post-step
+// logits + hidden state. A hit replays kernel outputs bitwise (asserted in
+// quant_test), so memoization changes speed, never results; bf16/int8
+// change results within the gated accuracy tolerance (docs/inference.md).
 class InferenceSession {
  public:
   explicit InferenceSession(const DeepSTModel* model);
@@ -79,6 +106,13 @@ class InferenceSession {
   // identical per item to ScoreRoutes(*item.ctx, *item.routes).
   void ScoreRoutesMulti(std::vector<ScoreItem>* items);
 
+  // Teacher-forced top-1 slots: feeds route[0..t] and appends the argmax
+  // valid next-segment slot at each of the route.size()-1 transitions. The
+  // precision accuracy-parity harness compares these across packed weight
+  // precisions; runs uncached so each precision is measured on raw kernels.
+  void TopSlotsAlongRoute(const PredictionContext& ctx,
+                          const traj::Route& route, std::vector<int>* slots);
+
   // Number of scratch-storage growths so far; constant across calls once
   // the session is warm (the zero-allocation steady state).
   int64_t arena_grow_count() const { return arena_.grow_count(); }
@@ -91,12 +125,19 @@ class InferenceSession {
     kGi,            // [B, 3H]
     kGh,            // [B, 3H]
     kLogits,        // [B, N_max]
-    kPerLayer,      // first of 2 slots per GRU layer: state, beam gather
+    kHitLogits,     // [rows, N_max] memo-hit staging (beam paths)
+    kPerLayer,      // first of 3 slots per GRU layer: state, gather, hit
   };
-  nn::Tensor* StateSlot(int layer) { return arena_.Get(kPerLayer + 2 * layer); }
+  int StateSlotIndex(int layer) const { return kPerLayer + 3 * layer; }
+  int GatherSlotIndex(int layer) const { return kPerLayer + 3 * layer + 1; }
+  int HitSlotIndex(int layer) const { return kPerLayer + 3 * layer + 2; }
+  nn::Tensor* StateSlot(int layer) { return arena_.Get(StateSlotIndex(layer)); }
   nn::Tensor* GatherSlot(int layer) {
-    return arena_.Get(kPerLayer + 2 * layer + 1);
+    return arena_.Get(GatherSlotIndex(layer));
   }
+  // Memo-hit staging rows: a probe that hits writes the cached post-step
+  // state here (row-indexed like GatherSlot), bypassing StepBatch entirely.
+  nn::Tensor* HitSlot(int layer) { return arena_.Get(HitSlotIndex(layer)); }
 
   // Folds the per-query context into kCtxVec/kCtxIh/kLogitBias.
   void PrepareContext(const PredictionContext& ctx);
@@ -123,6 +164,10 @@ class InferenceSession {
     double log_prob = 0.0;
     bool done = false;
     int src_row = -1;  // row in the stepped batch this hyp's state lives in
+    int hit_src = -1;  // memo-hit staging row when the step was cached
+    // Memo key of this hypothesis: ctx signature mixed with every token fed
+    // so far (i.e. the full route); identifies the post-step logits/state.
+    nn::infer::MemoKey key;
 
     double Score() const;
   };
@@ -144,6 +189,7 @@ class InferenceSession {
     size_t pool_size = 0;
     std::vector<int> pool_order;
     std::vector<int> active_row;  // beam index -> batch row or -1
+    std::vector<int> hit_row;     // beam index -> memo staging row or -1
     int num_beams = 0;
     bool finished = false;
     util::Stopwatch watch;  // per-item deadline budget
@@ -153,17 +199,36 @@ class InferenceSession {
   // query epilogue) into the item's route.
   void FinalizeQuery(const QueryBeam& qb, PredictItem* item);
 
+  // -- Memoization plumbing (memo_ == nullptr disables everything) -----------
+  // Context signature: hash of the exact context tensor bytes (so a traffic
+  // or destination change produces disjoint keys by construction).
+  nn::infer::MemoKey ContextKey(const PredictionContext& ctx) const;
+  // Layer-state pointer scratch for memo Lookup/Insert: points state_ptrs_
+  // at row `row` of every layer's HitSlot / StateSlot.
+  float* const* HitStatePtrs(int64_t row);
+  float* const* BatchStatePtrs(int64_t row);
+
   const DeepSTModel* model_;
   const roadnet::RoadNetwork& net_;
   const DeepSTConfig& config_;
-  nn::infer::GruStackView gru_;
-  // Weights pre-converted to double for the GEMV kernel (exact, see
-  // nn/infer/forward.h); biases stay float.
-  std::vector<double> emb_table_d_;  // [V, emb_dim]
-  std::vector<double> alpha_w_d_;    // [N_max, H]
-  const nn::Tensor* alpha_b_;        // [N_max]
+  // Packed weights shared across the model's session pool (see
+  // SharedInferWeights); the references below alias *weights_.
+  std::shared_ptr<const SharedInferWeights> weights_shared_;
+  const nn::infer::GruStackView& gru_;
+  const std::vector<double>& emb_table_d_;   // [V, emb_dim]
+  const nn::infer::PackedMatrix& alpha_w_;   // [N_max, H]
+  const nn::Tensor* alpha_b_;                // [N_max]
   int64_t emb_dim_;
   int64_t nmax_;
+  // Shared transition memo cache (null = disabled). The epoch is pinned per
+  // query in PrepareContext(s), so a wholesale invalidation mid-query keeps
+  // this query's view self-consistent and its insertions dead on arrival.
+  nn::infer::TransitionMemoCache* memo_;
+  uint64_t memo_epoch_ = 0;
+  nn::infer::MemoKey ctx_key_;
+  std::vector<nn::infer::MemoKey> ctx_keys_;  // multi-query signatures
+  std::vector<float*> state_ptrs_;            // [layers] pointer scratch
+  std::vector<int> hit_row_;  // single-query beam: beam index -> hit row
 
   nn::infer::Arena arena_;
   // Double-precision activation scratch fed to the GEMV kernel: gathered

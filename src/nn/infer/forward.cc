@@ -1,5 +1,6 @@
 #include "nn/infer/forward.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 
@@ -25,6 +26,31 @@ namespace infer {
 namespace {
 
 typedef double Vec8 __attribute__((vector_size(64)));
+typedef float VecF8x32 __attribute__((vector_size(32)));
+// 16-lane float types for the reduced-precision kernels: same 64-byte
+// register budget as Vec8, twice the elements per op.
+typedef float VecF16 __attribute__((vector_size(64)));
+typedef uint16_t VecH16 __attribute__((vector_size(32)));
+typedef uint32_t VecU16 __attribute__((vector_size(64)));
+typedef int8_t VecQ16 __attribute__((vector_size(16)));
+typedef int16_t VecW16 __attribute__((vector_size(32)));
+typedef int32_t VecI16 __attribute__((vector_size(64)));
+
+// bfloat16 <-> float: the top 16 bits of the float pattern, packed with
+// round-to-nearest-even and decoded by a plain 16-bit shift (exact).
+inline uint16_t PackBf16(float f) {
+  uint32_t u;
+  std::memcpy(&u, &f, sizeof(u));
+  u += 0x7fffu + ((u >> 16) & 1u);
+  return static_cast<uint16_t>(u >> 16);
+}
+
+inline float UnpackBf16(uint16_t h) {
+  const uint32_t u = static_cast<uint32_t>(h) << 16;
+  float f;
+  std::memcpy(&f, &u, sizeof(f));
+  return f;
+}
 
 // One output element: an 8-lane double dot over k, lanes combined pairwise
 // in a fixed order, plus the optional biases. Inlined into each ISA clone
@@ -90,6 +116,217 @@ void LinearChunkRowBias(const double* x, int64_t ldx, const double* w,
   }
 }
 
+// The reduced-precision kernels accumulate in float, not double: the
+// operands carry at most bf16 (8-bit mantissa) or int8 information, so a
+// 24-bit float accumulator over a source-fixed 16-lane order keeps the
+// rounding noise orders of magnitude below the quantization error itself
+// (the accuracy-parity gate in tools/check_perf.sh bounds the end-to-end
+// effect). 16 float lanes fill the same 64-byte registers as the double
+// kernel's 8 double lanes with twice the elements per op, which is what
+// pays for the weight decode and lets the packed kernels keep up with (or
+// beat) the double kernel while touching 4-8x less weight memory.
+//
+// Each chunk converts the activation row double -> float once (exact
+// rounding) into a stack buffer and reuses it across that row's outputs.
+// Rows are capped at kMaxFloatK columns (checked; every model here is far
+// under). Both passes are row-local with a source-fixed order, so batch
+// composition and chunk boundaries stay invisible.
+inline constexpr int64_t kMaxFloatK = 1024;
+
+inline float LaneSumF(const VecF8x32& acc) {
+  return ((acc[0] + acc[1]) + (acc[2] + acc[3])) +
+         ((acc[4] + acc[5]) + (acc[6] + acc[7]));
+}
+
+inline float LaneSumF16(const VecF16& a) {
+  return (((a[0] + a[1]) + (a[2] + a[3])) +
+          ((a[4] + a[5]) + (a[6] + a[7]))) +
+         (((a[8] + a[9]) + (a[10] + a[11])) +
+          ((a[12] + a[13]) + (a[14] + a[15])));
+}
+
+// dst[i] = float(src[i]); returns the fixed 8-lane float sum of dst (the
+// int8 kernel's zero-point term, free in the conversion pass).
+inline float ToFloatRowSum(const double* src, float* dst, int64_t k) {
+  VecF8x32 xs = {0, 0, 0, 0, 0, 0, 0, 0};
+  int64_t kk = 0;
+  for (; kk + 8 <= k; kk += 8) {
+    Vec8 xv;
+    std::memcpy(&xv, src + kk, sizeof(xv));
+    const VecF8x32 fv = __builtin_convertvector(xv, VecF8x32);
+    std::memcpy(dst + kk, &fv, sizeof(fv));
+    xs += fv;
+  }
+  float tail = 0.0f;
+  for (; kk < k; ++kk) {
+    dst[kk] = static_cast<float>(src[kk]);
+    tail += dst[kk];
+  }
+  return LaneSumF(xs) + tail;
+}
+
+// bf16 dot: weights widen to float lanes in-register (u16 -> u32<<16,
+// bit-cast); fixed 16-lane float accumulation.
+inline float DotBiasBf16(const float* xrow, const uint16_t* wrow, int64_t k,
+                         const float* bias, const float* bias2, int64_t j) {
+  VecF16 acc = {0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0};
+  int64_t kk = 0;
+  for (; kk + 16 <= k; kk += 16) {
+    VecF16 xv;
+    VecH16 hv;
+    std::memcpy(&xv, xrow + kk, sizeof(xv));
+    std::memcpy(&hv, wrow + kk, sizeof(hv));
+    const VecU16 bits = __builtin_convertvector(hv, VecU16) << 16;
+    VecF16 fv;
+    std::memcpy(&fv, &bits, sizeof(fv));
+    acc += xv * fv;
+  }
+  float tail = 0.0f;
+  for (; kk < k; ++kk) tail += xrow[kk] * UnpackBf16(wrow[kk]);
+  float v = LaneSumF16(acc) + tail;
+  if (bias != nullptr) v += bias[j];
+  if (bias2 != nullptr) v += bias2[j];
+  return v;
+}
+
+// int8 dot: the affine dequant s*(q - z) factors out of the accumulation,
+//   dot = s * (sum_k x_k q_k  -  z * sum_k x_k),
+// so the inner loop runs on raw int8 lanes (widened to float) with no
+// per-tap dequant; `xsum` (the activation sum, independent of the output
+// row) is computed once per activation row by the caller. The combine runs
+// in double because z*xsum can be ~2^7 times the dot itself.
+inline float DotBiasI8(const float* xrow, float xsum, const int8_t* qrow,
+                       int64_t k, float scale, int32_t zero, const float* bias,
+                       const float* bias2, int64_t j) {
+  VecF16 acc = {0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0};
+  int64_t kk = 0;
+  for (; kk + 16 <= k; kk += 16) {
+    VecF16 xv;
+    VecQ16 qv;
+    std::memcpy(&xv, xrow + kk, sizeof(xv));
+    std::memcpy(&qv, qrow + kk, sizeof(qv));
+    // Stepwise widen (i8 -> i16 -> i32 -> f32): each hop maps to one
+    // sign-extend / convert instruction; a direct i8 -> i32 conversion
+    // gets scalarized byte-by-byte by GCC.
+    const VecW16 wv = __builtin_convertvector(qv, VecW16);
+    acc += xv * __builtin_convertvector(__builtin_convertvector(wv, VecI16),
+                                        VecF16);
+  }
+  float tacc = 0.0f;
+  for (; kk < k; ++kk) tacc += xrow[kk] * static_cast<float>(qrow[kk]);
+  const double qsum = static_cast<double>(LaneSumF16(acc) + tacc);
+  const double sum = static_cast<double>(scale) *
+                     (qsum - static_cast<double>(zero) *
+                                 static_cast<double>(xsum));
+  float v = static_cast<float>(sum);
+  if (bias != nullptr) v += bias[j];
+  if (bias2 != nullptr) v += bias2[j];
+  return v;
+}
+
+// Per-chunk activation-row staging for the float kernels: re-converts only
+// when the output row index advances (outputs are row-major, so each row
+// converts once per chunk).
+struct FloatRow {
+  float xf[kMaxFloatK];
+  float xsum = 0.0f;
+  int64_t row = -1;
+
+  inline const float* Refresh(const double* x, int64_t ldx, int64_t k,
+                              int64_t i) {
+    if (i != row) {
+      xsum = ToFloatRowSum(x + i * ldx, xf, k);
+      row = i;
+    }
+    return xf;
+  }
+};
+
+// Packed-precision counterparts of LinearChunk / LinearChunkRowBias: same
+// flat [begin, end) partition and incremental (i, j) bookkeeping, different
+// weight decode. Cloned per ISA like the double kernels.
+DEEPST_INFER_CLONES
+void GemvChunkBf16(const double* x, int64_t ldx, const uint16_t* w,
+                   const float* bias, const float* bias2, float* out,
+                   int64_t k, int64_t n, int64_t begin, int64_t end) {
+  DEEPST_CHECK(k <= kMaxFloatK);
+  FloatRow fr;
+  int64_t i = begin / n;
+  int64_t j = begin % n;
+  for (int64_t e = begin; e < end; ++e) {
+    out[e] = DotBiasBf16(fr.Refresh(x, ldx, k, i), w + j * k, k, bias, bias2,
+                         j);
+    if (++j == n) {
+      j = 0;
+      ++i;
+    }
+  }
+}
+
+DEEPST_INFER_CLONES
+void GemvChunkBf16RowBias(const double* x, int64_t ldx, const uint16_t* w,
+                          const float* bias, const float* bias2,
+                          const int* bias_row, float* out, int64_t k,
+                          int64_t n, int64_t begin, int64_t end) {
+  DEEPST_CHECK(k <= kMaxFloatK);
+  FloatRow fr;
+  int64_t i = begin / n;
+  int64_t j = begin % n;
+  for (int64_t e = begin; e < end; ++e) {
+    const int64_t off = static_cast<int64_t>(bias_row[i]) * n;
+    out[e] = DotBiasBf16(fr.Refresh(x, ldx, k, i), w + j * k, k,
+                         bias != nullptr ? bias + off : nullptr,
+                         bias2 != nullptr ? bias2 + off : nullptr, j);
+    if (++j == n) {
+      j = 0;
+      ++i;
+    }
+  }
+}
+
+DEEPST_INFER_CLONES
+void GemvChunkI8(const double* x, int64_t ldx, const int8_t* w,
+                 const float* scale, const int32_t* zero, const float* bias,
+                 const float* bias2, float* out, int64_t k, int64_t n,
+                 int64_t begin, int64_t end) {
+  DEEPST_CHECK(k <= kMaxFloatK);
+  FloatRow fr;
+  int64_t i = begin / n;
+  int64_t j = begin % n;
+  for (int64_t e = begin; e < end; ++e) {
+    const float* xf = fr.Refresh(x, ldx, k, i);
+    out[e] = DotBiasI8(xf, fr.xsum, w + j * k, k, scale[j], zero[j], bias,
+                       bias2, j);
+    if (++j == n) {
+      j = 0;
+      ++i;
+    }
+  }
+}
+
+DEEPST_INFER_CLONES
+void GemvChunkI8RowBias(const double* x, int64_t ldx, const int8_t* w,
+                        const float* scale, const int32_t* zero,
+                        const float* bias, const float* bias2,
+                        const int* bias_row, float* out, int64_t k, int64_t n,
+                        int64_t begin, int64_t end) {
+  DEEPST_CHECK(k <= kMaxFloatK);
+  FloatRow fr;
+  int64_t i = begin / n;
+  int64_t j = begin % n;
+  for (int64_t e = begin; e < end; ++e) {
+    const int64_t off = static_cast<int64_t>(bias_row[i]) * n;
+    const float* xf = fr.Refresh(x, ldx, k, i);
+    out[e] = DotBiasI8(xf, fr.xsum, w + j * k, k, scale[j], zero[j],
+                       bias != nullptr ? bias + off : nullptr,
+                       bias2 != nullptr ? bias2 + off : nullptr, j);
+    if (++j == n) {
+      j = 0;
+      ++i;
+    }
+  }
+}
+
 }  // namespace
 
 void ToDouble(const float* src, double* dst, int64_t n) {
@@ -115,6 +352,143 @@ void LinearForwardRowBias(const double* x, int64_t ldx, const double* w,
     LinearChunkRowBias(x, ldx, w, ldw, bias, bias2, bias_row, out, k, n,
                        begin, end);
   });
+}
+
+PackedMatrix PackedMatrix::Pack(const float* w, int64_t rows, int64_t cols,
+                                int64_t ldw, Precision precision) {
+  PackedMatrix p;
+  p.precision = precision;
+  p.rows = rows;
+  p.cols = cols;
+  const size_t numel = static_cast<size_t>(rows * cols);
+  switch (precision) {
+    case Precision::kDouble: {
+      p.d.resize(numel);
+      for (int64_t r = 0; r < rows; ++r) {
+        ToDouble(w + r * ldw, p.d.data() + r * cols, cols);
+      }
+      break;
+    }
+    case Precision::kBf16: {
+      p.h.resize(numel);
+      for (int64_t r = 0; r < rows; ++r) {
+        for (int64_t c = 0; c < cols; ++c) {
+          p.h[static_cast<size_t>(r * cols + c)] = PackBf16(w[r * ldw + c]);
+        }
+      }
+      break;
+    }
+    case Precision::kInt8: {
+      p.q.resize(numel);
+      p.scale.resize(static_cast<size_t>(rows));
+      p.zero.resize(static_cast<size_t>(rows));
+      for (int64_t r = 0; r < rows; ++r) {
+        const float* row = w + r * ldw;
+        float mn = cols > 0 ? row[0] : 0.0f;
+        float mx = mn;
+        for (int64_t c = 1; c < cols; ++c) {
+          mn = std::min(mn, row[c]);
+          mx = std::max(mx, row[c]);
+        }
+        const double range = static_cast<double>(mx) - static_cast<double>(mn);
+        const double amax = std::max(std::fabs(static_cast<double>(mn)),
+                                     std::fabs(static_cast<double>(mx)));
+        // (Near-)constant rows get scale = |value| so the zero-point lands
+        // one step away and reconstructs the value exactly; the relative
+        // cutoff also keeps w/scale far from integer overflow.
+        const double s = range > amax * 1e-6
+                             ? range / 255.0
+                             : std::max(amax, 1e-12);
+        p.scale[static_cast<size_t>(r)] = static_cast<float>(s);
+        // Quantize against the float32 scale actually stored, so the kernel
+        // and Dequant reproduce the packer's arithmetic exactly.
+        const double sf =
+            static_cast<double>(p.scale[static_cast<size_t>(r)]);
+        const int32_t z = static_cast<int32_t>(
+            std::lround(-128.0 - static_cast<double>(mn) / sf));
+        p.zero[static_cast<size_t>(r)] = z;
+        for (int64_t c = 0; c < cols; ++c) {
+          const long qi =
+              std::lround(static_cast<double>(row[c]) / sf) +
+              static_cast<long>(z);
+          p.q[static_cast<size_t>(r * cols + c)] = static_cast<int8_t>(
+              std::clamp<long>(qi, -128, 127));
+        }
+      }
+      break;
+    }
+  }
+  return p;
+}
+
+double PackedMatrix::Dequant(int64_t r, int64_t c) const {
+  const size_t e = static_cast<size_t>(r * cols + c);
+  switch (precision) {
+    case Precision::kDouble:
+      return d[e];
+    case Precision::kBf16:
+      return static_cast<double>(UnpackBf16(h[e]));
+    case Precision::kInt8:
+      return static_cast<double>(scale[static_cast<size_t>(r)]) *
+             (static_cast<double>(q[e]) -
+              static_cast<double>(zero[static_cast<size_t>(r)]));
+  }
+  return 0.0;
+}
+
+size_t PackedMatrix::PackedBytes() const {
+  return d.size() * sizeof(double) + h.size() * sizeof(uint16_t) +
+         q.size() * sizeof(int8_t) + scale.size() * sizeof(float) +
+         zero.size() * sizeof(int32_t);
+}
+
+void GemvForward(const double* x, int64_t ldx, const PackedMatrix& w,
+                 const float* bias, const float* bias2, float* out, int64_t m,
+                 int64_t n) {
+  DEEPST_DCHECK(w.rows == n);
+  const int64_t k = w.cols;
+  switch (w.precision) {
+    case Precision::kDouble:
+      LinearForward(x, ldx, w.d.data(), k, bias, bias2, out, m, k, n);
+      return;
+    case Precision::kBf16:
+      ParallelFor(m * n, kDotGrain, [&](int64_t begin, int64_t end) {
+        GemvChunkBf16(x, ldx, w.h.data(), bias, bias2, out, k, n, begin, end);
+      });
+      return;
+    case Precision::kInt8:
+      ParallelFor(m * n, kDotGrain, [&](int64_t begin, int64_t end) {
+        GemvChunkI8(x, ldx, w.q.data(), w.scale.data(), w.zero.data(), bias,
+                    bias2, out, k, n, begin, end);
+      });
+      return;
+  }
+}
+
+void GemvForwardRowBias(const double* x, int64_t ldx, const PackedMatrix& w,
+                        const float* bias, const float* bias2,
+                        const int* bias_row, float* out, int64_t m,
+                        int64_t n) {
+  DEEPST_DCHECK(w.rows == n);
+  const int64_t k = w.cols;
+  switch (w.precision) {
+    case Precision::kDouble:
+      LinearForwardRowBias(x, ldx, w.d.data(), k, bias, bias2, bias_row, out,
+                           m, k, n);
+      return;
+    case Precision::kBf16:
+      ParallelFor(m * n, kDotGrain, [&](int64_t begin, int64_t end) {
+        GemvChunkBf16RowBias(x, ldx, w.h.data(), bias, bias2, bias_row, out,
+                             k, n, begin, end);
+      });
+      return;
+    case Precision::kInt8:
+      ParallelFor(m * n, kDotGrain, [&](int64_t begin, int64_t end) {
+        GemvChunkI8RowBias(x, ldx, w.q.data(), w.scale.data(), w.zero.data(),
+                           bias, bias2, bias_row, out, k, n, begin, end);
+      });
+      return;
+  }
 }
 
 void GruGates(const Tensor& gi, const Tensor& gh, const Tensor& h_prev,
@@ -145,7 +519,8 @@ void GruGates(const Tensor& gi, const Tensor& gh, const Tensor& h_prev,
   });
 }
 
-GruStackView GruStackView::Of(const StackedGru& gru) {
+GruStackView GruStackView::Of(const StackedGru& gru, int64_t emb_dim,
+                              Precision precision) {
   GruStackView view;
   view.hidden_dim = gru.hidden_dim();
   view.cells.reserve(static_cast<size_t>(gru.num_layers()));
@@ -156,10 +531,25 @@ GruStackView GruStackView::Of(const StackedGru& gru) {
     v.b_hh = &cell.b_hh();
     v.input_dim = cell.input_dim();
     v.hidden_dim = cell.hidden_dim();
-    v.w_ih.resize(static_cast<size_t>(cell.w_ih().numel()));
-    ToDouble(cell.w_ih().data(), v.w_ih.data(), cell.w_ih().numel());
-    v.w_hh.resize(static_cast<size_t>(cell.w_hh().numel()));
-    ToDouble(cell.w_hh().data(), v.w_hh.data(), cell.w_hh().numel());
+    const int64_t h3 = 3 * cell.hidden_dim();
+    const float* wih = cell.w_ih().data();
+    if (l == 0) {
+      // Split input: pack only the per-step embedding columns; the context
+      // columns stay exact doubles (folded once per query, see GruCellView).
+      const int64_t ctx_dim = cell.input_dim() - emb_dim;
+      v.w_ih =
+          PackedMatrix::Pack(wih, h3, emb_dim, cell.input_dim(), precision);
+      v.w_ih_ctx.resize(static_cast<size_t>(h3 * ctx_dim));
+      for (int64_t r = 0; r < h3; ++r) {
+        ToDouble(wih + r * cell.input_dim() + emb_dim,
+                 v.w_ih_ctx.data() + r * ctx_dim, ctx_dim);
+      }
+    } else {
+      v.w_ih = PackedMatrix::Pack(wih, h3, cell.input_dim(),
+                                  cell.input_dim(), precision);
+    }
+    v.w_hh = PackedMatrix::Pack(cell.w_hh().data(), h3, cell.hidden_dim(),
+                                cell.hidden_dim(), precision);
     view.cells.push_back(std::move(v));
   }
   return view;

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "nn/infer/precision.h"
 #include "nn/layers.h"
 #include "nn/tensor.h"
 
@@ -64,6 +65,64 @@ void LinearForwardRowBias(const double* x, int64_t ldx, const double* w,
                           const int* bias_row, float* out, int64_t m,
                           int64_t k, int64_t n);
 
+// A weight matrix packed once for the GEMV fast path, in one of the
+// precisions of nn/infer/precision.h. Packing reads a [rows, cols] block of
+// a float source with row stride `ldw` (>= cols), so callers can pack a
+// column slice — e.g. the embedding columns of the layer-0 GRU input weight
+// — without materializing it.
+//
+//   kDouble: exact widening; GemvForward over a kDouble matrix is the same
+//            arithmetic as LinearForward (bitwise identical).
+//   kBf16:   round-to-nearest-even truncation to the top 16 float bits;
+//            decoded to float lanes inside the kernel.
+//   kInt8:   per-row affine quantization q = clamp(round(w/s) + z, -128, 127)
+//            with s covering the row's [min, max] range; the kernel
+//            reconstructs s * (sum_k x_k q_k - z * sum_k x_k) so the
+//            zero-point costs one activation-row sum, not a dequant per tap.
+//
+// The reduced precisions accumulate in float over a source-fixed 16-lane
+// order (the operands carry at most 8 mantissa bits, so accumulator
+// rounding is far below the quantization error; the double path is the
+// bitwise-exact one). Activation rows are capped at 1024 columns for the
+// reduced precisions (stack-staged float conversion); every model here is
+// well under that.
+struct PackedMatrix {
+  Precision precision = Precision::kDouble;
+  int64_t rows = 0;
+  int64_t cols = 0;
+  std::vector<double> d;     // kDouble: [rows, cols]
+  std::vector<uint16_t> h;   // kBf16:   [rows, cols] bfloat16 bit patterns
+  std::vector<int8_t> q;     // kInt8:   [rows, cols]
+  std::vector<float> scale;  // kInt8:   [rows]
+  std::vector<int32_t> zero;  // kInt8:  [rows]
+
+  static PackedMatrix Pack(const float* w, int64_t rows, int64_t cols,
+                           int64_t ldw, Precision precision);
+  // Dequantized value of element (r, c) — the value the kernel multiplies
+  // against; exact round-trip check for tests and reference GEMVs.
+  double Dequant(int64_t r, int64_t c) const;
+  // Packed weight bytes including the int8 scale/zero-point sidecar.
+  size_t PackedBytes() const;
+  bool empty() const { return rows == 0; }
+};
+
+// GEMV against a packed matrix:
+//   out[i, j] = dot(x[i, :], dequant(w[j, :])) + (bias ? bias[j] : 0)
+//             + (bias2 ? bias2[j] : 0)
+// Same contract as LinearForward with w.rows == n, w.cols == k; for a
+// kDouble matrix the result is bitwise identical to LinearForward. All
+// precisions keep the kernels' determinism contract: row-local, fixed-order
+// accumulation, bitwise identical across ISA clones / thread counts / batch
+// compositions.
+void GemvForward(const double* x, int64_t ldx, const PackedMatrix& w,
+                 const float* bias, const float* bias2, float* out, int64_t m,
+                 int64_t n);
+
+// Row-mapped bias variant (see LinearForwardRowBias).
+void GemvForwardRowBias(const double* x, int64_t ldx, const PackedMatrix& w,
+                        const float* bias, const float* bias2,
+                        const int* bias_row, float* out, int64_t m, int64_t n);
+
 // Fused GRU gate update (PyTorch gate layout, matching nn::GruCell::Step):
 //   r = sigmoid(gi[:, 0:H]  + gh[:, 0:H])
 //   z = sigmoid(gi[:, H:2H] + gh[:, H:2H])
@@ -74,17 +133,20 @@ void LinearForwardRowBias(const double* x, int64_t ldx, const double* w,
 void GruGates(const Tensor& gi, const Tensor& gh, const Tensor& h_prev,
               Tensor* h_out);
 
-// Per-layer GRU weights, pre-converted to double for the GEMV kernel (the
-// biases stay float; they are added after the accumulation). Layer 0
-// supports the split-input optimization: the GRU input is
-// [token_embedding, context] where context is constant per query, so the
-// context's input-to-hidden product (+ b_ih) is precomputed once per query
-// and passed as the layer-0 bias.
+// Per-layer GRU weights, packed once for the GEMV kernel (the biases stay
+// float; they are added after the accumulation). Layer 0 supports the
+// split-input optimization: the GRU input is [token_embedding, context]
+// where context is constant per query, so w_ih holds only the per-step
+// embedding columns (packed at the session precision) while the context
+// columns stay exact doubles in w_ih_ctx — their product (+ b_ih) is folded
+// once per query into the layer-0 bias, where a quantization error would be
+// amplified across every step.
 struct GruCellView {
-  std::vector<double> w_ih;  // [3H, In] row-major
-  std::vector<double> w_hh;  // [3H, H]
-  const Tensor* b_ih;        // [3H]
-  const Tensor* b_hh;        // [3H]
+  PackedMatrix w_ih;             // [3H, emb_dim] (layer 0) or [3H, H]
+  PackedMatrix w_hh;             // [3H, H]
+  std::vector<double> w_ih_ctx;  // layer 0 only: [3H, ctx_dim] row-major
+  const Tensor* b_ih;            // [3H]
+  const Tensor* b_hh;            // [3H]
   int64_t input_dim;
   int64_t hidden_dim;
 };
@@ -93,7 +155,10 @@ struct GruStackView {
   std::vector<GruCellView> cells;
   int64_t hidden_dim = 0;
 
-  static GruStackView Of(const StackedGru& gru);
+  // `emb_dim` is the layer-0 embedding-column count (the context columns
+  // input_dim - emb_dim stay double, see GruCellView).
+  static GruStackView Of(const StackedGru& gru, int64_t emb_dim,
+                         Precision precision);
   int num_layers() const { return static_cast<int>(cells.size()); }
 };
 

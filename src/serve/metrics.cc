@@ -64,7 +64,10 @@ std::string MetricsSnapshot::ToJson() const {
       "\"rejected_draining\": %lld, \"completed_ok\": %lld, \"failed\": %lld, "
       "\"expired_in_queue\": %lld, \"batches\": %lld, "
       "\"batch_requests\": %lld, \"watchdog_recycles\": %lld, "
-      "\"workers_spawned\": %lld, \"p50_ms\": %.3f, \"p99_ms\": %.3f}",
+      "\"workers_spawned\": %lld, \"p50_ms\": %.3f, \"p99_ms\": %.3f, "
+      "\"cache\": {\"lookups\": %lld, \"hits\": %lld, \"misses\": %lld, "
+      "\"insertions\": %lld, \"invalidations\": %lld, \"epoch\": %lld, "
+      "\"capacity\": %lld}}",
       static_cast<long long>(submitted), static_cast<long long>(admitted),
       static_cast<long long>(shed_queue_full),
       static_cast<long long>(rejected_draining),
@@ -72,7 +75,13 @@ std::string MetricsSnapshot::ToJson() const {
       static_cast<long long>(expired_in_queue),
       static_cast<long long>(batches), static_cast<long long>(batch_requests),
       static_cast<long long>(watchdog_recycles),
-      static_cast<long long>(workers_spawned), p50_ms, p99_ms);
+      static_cast<long long>(workers_spawned), p50_ms, p99_ms,
+      static_cast<long long>(cache_lookups), static_cast<long long>(cache_hits),
+      static_cast<long long>(cache_misses),
+      static_cast<long long>(cache_insertions),
+      static_cast<long long>(cache_invalidations),
+      static_cast<long long>(cache_epoch),
+      static_cast<long long>(cache_capacity));
 }
 
 }  // namespace serve

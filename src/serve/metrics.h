@@ -65,7 +65,19 @@ struct MetricsSnapshot {
   double p50_ms = 0.0;
   double p99_ms = 0.0;
 
+  // Transition-memo cache counters, sampled from the model's shared
+  // TransitionMemoCache at snapshot time (Server::snapshot) rather than
+  // accumulated here. Invariant at quiescence: hits + misses == lookups.
+  int64_t cache_lookups = 0;
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t cache_insertions = 0;
+  int64_t cache_invalidations = 0;
+  int64_t cache_epoch = 0;
+  int64_t cache_capacity = 0;  // 0 = memoization disabled
+
   // One-line JSON object (stable key order) for the stats command and logs.
+  // Cache counters nest under a "cache" object.
   std::string ToJson() const;
 };
 

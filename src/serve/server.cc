@@ -19,6 +19,22 @@ Server::Server(core::ServingContext* context, const ServeOptions& options)
 
 Server::~Server() { Shutdown(); }
 
+MetricsSnapshot Server::snapshot() const {
+  MetricsSnapshot s = Snapshot(metrics_);
+  const core::DeepSTModel* model = context_->model();
+  if (model != nullptr) {
+    const nn::infer::MemoStats ms = model->transition_memo_stats();
+    s.cache_lookups = ms.lookups;
+    s.cache_hits = ms.hits;
+    s.cache_misses = ms.misses;
+    s.cache_insertions = ms.insertions;
+    s.cache_invalidations = ms.invalidations;
+    s.cache_epoch = static_cast<int64_t>(ms.epoch);
+    s.cache_capacity = ms.capacity;
+  }
+  return s;
+}
+
 int64_t Server::NowMs() {
   return std::chrono::duration_cast<std::chrono::milliseconds>(
              std::chrono::steady_clock::now().time_since_epoch())

@@ -81,7 +81,9 @@ class Server {
   void Shutdown();
 
   bool draining() const;
-  MetricsSnapshot snapshot() const { return Snapshot(metrics_); }
+  // Counter snapshot, with the model's transition-memo cache counters
+  // filled into the cache_* fields (zeros when memoization is disabled).
+  MetricsSnapshot snapshot() const;
   const ServeMetrics& metrics() const { return metrics_; }
   size_t queue_depth() const { return queue_.size(); }
 

@@ -119,6 +119,14 @@ TEST_F(ServeTest, BatchedExecutionMatchesDirectServingBitwise) {
   EXPECT_EQ(snap.admitted, 4);
   EXPECT_EQ(snap.completed_ok, 4);
   EXPECT_EQ(snap.failed, 0);
+  // Transition-memo counters ride along in the snapshot: the default config
+  // memoizes, the accounting invariant holds exactly, and the stats JSON
+  // nests them under a "cache" object.
+  EXPECT_GT(snap.cache_capacity, 0);
+  EXPECT_GT(snap.cache_lookups, 0);
+  EXPECT_EQ(snap.cache_hits + snap.cache_misses, snap.cache_lookups);
+  EXPECT_NE(snap.ToJson().find("\"cache\""), std::string::npos);
+  EXPECT_NE(snap.ToJson().find("\"hits\""), std::string::npos);
 }
 
 TEST_F(ServeTest, ScoreRequestsReturnPerCandidateScores) {

@@ -3,7 +3,7 @@
 # data-parallel training engine's speedup + determinism.
 #
 #   tools/check_perf.sh [build-dir] [min-speedup] [min-train-speedup]
-#       [min-scale-speedup] [min-serve-speedup]
+#       [min-scale-speedup] [min-serve-speedup] [min-quant-speedup]
 #
 # Inference: builds bench_micro + inference_test, runs the inference sweep
 # (which writes <build-dir>/bench_out/BENCH_inference.json comparing the
@@ -33,6 +33,15 @@
 # min-serve-speedup (default 2.0) times the 1-worker QPS without letting p99
 # latency grow past 3x the 1-worker tail (docs/serving.md).
 #
+# Quantization + memoization: runs the quant sweep (BM_QuantSweep ->
+# BENCH_quant.json; bf16/int8 GEMV kernels and the transition memo against
+# the double fast path on a hot-query beam workload). Always asserts the
+# accuracy-parity floors (bf16 top-1 agreement >= 0.99 with mean
+# log-likelihood delta <= 1e-3 per transition; int8 >= 0.95 / <= 5e-3) and
+# a steady-state memo hit rate >= 0.5; on AVX2 hardware (where the vector
+# kernels actually dispatch) also asserts the memoized quantized variants
+# beat the unmemoized double fast path by min-quant-speedup (default 2.0).
+#
 # DEEPST_FAST=1 keeps the other runs small; the speedups also hold at the
 # full model size (docs/inference.md, docs/training-perf.md).
 set -euo pipefail
@@ -43,10 +52,11 @@ MIN_SPEEDUP="${2:-3.0}"
 MIN_TRAIN_SPEEDUP="${3:-1.8}"
 MIN_SCALE_SPEEDUP="${4:-5.0}"
 MIN_SERVE_SPEEDUP="${5:-2.0}"
+MIN_QUANT_SPEEDUP="${6:-2.0}"
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j"$(nproc)" --target bench_micro bench_scale \
-  bench_serving inference_test train_sharded_test
+  bench_serving inference_test train_sharded_test quant_test
 
 export DEEPST_FAST=1
 
@@ -171,8 +181,77 @@ else
   echo "SKIP: serve 4-worker QPS gate (${cores} core(s) available; measured ${serve_speedup}x, p99 ${p99_4}ms vs ${p99_1}ms)"
 fi
 
+echo "== quant sweep (bf16/int8 kernels + transition memo vs double) =="
+(cd "$BUILD_DIR" && bench/bench_micro --benchmark_filter='BM_QuantSweep')
+
+QUANT_JSON="$BUILD_DIR/bench_out/BENCH_quant.json"
+[[ -f "$QUANT_JSON" ]] || { echo "FAIL: $QUANT_JSON not written" >&2; exit 1; }
+
+# Accuracy-parity floors run on every machine: a reduced precision that
+# drifts from the double path is wrong regardless of how fast it is. The
+# floors leave generous margin over measured behavior (top-1 agreement
+# 1.00, deltas <= 1e-4 on the micro model) while catching packing or
+# kernel regressions an order of magnitude before they reach eval metrics.
+fail=0
+for spec in "bf16_memo 0.99 0.001" "int8_memo 0.95 0.005"; do
+  read -r variant min_top1 max_ce <<< "$spec"
+  top1=$(jq -r --arg v "$variant" \
+    '.[] | select(.variant == $v) | .top1_agreement' "$QUANT_JSON")
+  ce=$(jq -r --arg v "$variant" \
+    '.[] | select(.variant == $v) | .ce_delta_per_transition' "$QUANT_JSON")
+  ok=$(jq -n --argjson t "$top1" --argjson c "$ce" \
+       --argjson mt "$min_top1" --argjson mc "$max_ce" \
+       '($t >= $mt) and ($c <= $mc)')
+  if [[ "$ok" != "true" ]]; then
+    echo "FAIL: $variant accuracy parity (top-1 ${top1} vs >= ${min_top1}, ce delta ${ce} vs <= ${max_ce})" >&2
+    fail=1
+  else
+    echo "OK: $variant accuracy parity (top-1 ${top1}, ce delta ${ce}/transition)"
+  fi
+done
+[[ "$fail" == 0 ]] || exit 1
+
+# The memo must actually be absorbing the hot-query workload; 0.5 is far
+# below the measured steady state (~0.99) but rules out a cache that
+# silently stopped hitting (bad keys, over-invalidation).
+hit=$(jq -r '.[] | select(.variant == "double_memo") | .steady_hit_rate' \
+  "$QUANT_JSON")
+ok=$(jq -n --argjson h "$hit" '$h >= 0.5')
+if [[ "$ok" != "true" ]]; then
+  echo "FAIL: transition memo steady-state hit rate ${hit} < 0.5" >&2
+  exit 1
+fi
+echo "OK: transition memo steady-state hit rate ${hit} >= 0.5"
+
+# Throughput gate: the memoized quantized fast path must beat the current
+# (unmemoized double) fast path. Vector-ISA-dependent, so like the other
+# hardware gates it reports instead of failing where the kernels cannot
+# dispatch past the scalar clone.
+if grep -q avx2 /proc/cpuinfo 2>/dev/null; then
+  for variant in bf16_memo int8_memo; do
+    speedup=$(jq -r --arg v "$variant" \
+      '.[] | select(.variant == $v) | .speedup_vs_double' "$QUANT_JSON")
+    ok=$(jq -n --argjson s "$speedup" --argjson min "$MIN_QUANT_SPEEDUP" \
+         '$s >= $min')
+    if [[ "$ok" != "true" ]]; then
+      echo "FAIL: $variant beam workload speedup ${speedup}x < ${MIN_QUANT_SPEEDUP}x" >&2
+      fail=1
+    else
+      echo "OK: $variant beam workload speedup ${speedup}x >= ${MIN_QUANT_SPEEDUP}x"
+    fi
+  done
+  [[ "$fail" == 0 ]] || exit 1
+else
+  for variant in bf16_memo int8_memo; do
+    speedup=$(jq -r --arg v "$variant" \
+      '.[] | select(.variant == $v) | .speedup_vs_double' "$QUANT_JSON")
+    echo "SKIP: $variant speedup gate (no avx2; measured ${speedup}x)"
+  done
+fi
+
 echo "== parity / regression tests =="
 "$BUILD_DIR"/tests/inference_test
 "$BUILD_DIR"/tests/train_sharded_test
+"$BUILD_DIR"/tests/quant_test
 
 echo "OK: fast path >= ${MIN_SPEEDUP}x over the graph path and parity holds"

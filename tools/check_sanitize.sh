@@ -25,7 +25,7 @@ cmake -B "$BUILD_DIR" -S . \
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
   --target parallel_test trainer_test checkpoint_test inference_test \
            train_sharded_test corruption_test serving_test serve_test \
-           format_v3_test spatial_index_test
+           format_v3_test spatial_index_test quant_test
 
 # halt_on_error makes a reported race/issue fail the script, not just print.
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
@@ -42,6 +42,7 @@ export DEEPST_FAST=1
 "$BUILD_DIR"/tests/serve_test
 "$BUILD_DIR"/tests/format_v3_test
 "$BUILD_DIR"/tests/spatial_index_test
+"$BUILD_DIR"/tests/quant_test
 
 # Short chaos soak: repeat the fault-driven serve tests (poisoned batches,
 # hung-worker watchdog recycling) so the injected-failure and lease-recycling
@@ -49,4 +50,4 @@ export DEEPST_FAST=1
 "$BUILD_DIR"/tests/serve_test --gtest_repeat=5 \
   --gtest_filter='ServeTest.PoisonedRequestFailsAloneInItsBatch:ServeTest.WatchdogRecyclesHungWorkerAndSpawnsReplacement:ServeTest.ShedsWhenQueueFullWithRetryAfterHint'
 
-echo "OK: ThreadPool/backend/checkpoint/inference/sharded-training/robustness/format-v3/serve tests clean under $SANITIZER sanitizer"
+echo "OK: ThreadPool/backend/checkpoint/inference/sharded-training/robustness/format-v3/serve/quant tests clean under $SANITIZER sanitizer"
