@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_distance.dir/bench_fig7_distance.cc.o"
+  "CMakeFiles/bench_fig7_distance.dir/bench_fig7_distance.cc.o.d"
+  "bench_fig7_distance"
+  "bench_fig7_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

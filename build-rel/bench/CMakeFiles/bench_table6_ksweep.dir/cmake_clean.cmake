@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_ksweep.dir/bench_table6_ksweep.cc.o"
+  "CMakeFiles/bench_table6_ksweep.dir/bench_table6_ksweep.cc.o.d"
+  "bench_table6_ksweep"
+  "bench_table6_ksweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_ksweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

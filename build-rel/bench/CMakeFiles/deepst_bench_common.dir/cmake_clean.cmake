@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepst_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/deepst_bench_common.dir/bench_common.cc.o.d"
+  "libdeepst_bench_common.a"
+  "libdeepst_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepst_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

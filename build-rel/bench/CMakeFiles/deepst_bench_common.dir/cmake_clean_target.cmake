@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdeepst_bench_common.a"
+)

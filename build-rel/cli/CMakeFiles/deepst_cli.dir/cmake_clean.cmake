@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepst_cli.dir/deepst_cli.cc.o"
+  "CMakeFiles/deepst_cli.dir/deepst_cli.cc.o.d"
+  "deepst_cli"
+  "deepst_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepst_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

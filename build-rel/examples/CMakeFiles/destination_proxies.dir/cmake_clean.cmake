@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/destination_proxies.dir/destination_proxies.cpp.o"
+  "CMakeFiles/destination_proxies.dir/destination_proxies.cpp.o.d"
+  "destination_proxies"
+  "destination_proxies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/destination_proxies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for destination_proxies.
+# This may be replaced when dependencies are built.

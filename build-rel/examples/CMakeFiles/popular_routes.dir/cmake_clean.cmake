@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/popular_routes.dir/popular_routes.cpp.o"
+  "CMakeFiles/popular_routes.dir/popular_routes.cpp.o.d"
+  "popular_routes"
+  "popular_routes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/popular_routes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

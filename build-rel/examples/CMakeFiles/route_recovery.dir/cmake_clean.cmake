@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/route_recovery.dir/route_recovery.cpp.o"
+  "CMakeFiles/route_recovery.dir/route_recovery.cpp.o.d"
+  "route_recovery"
+  "route_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/route_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

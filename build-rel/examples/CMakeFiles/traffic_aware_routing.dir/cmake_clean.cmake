@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_aware_routing.dir/traffic_aware_routing.cpp.o"
+  "CMakeFiles/traffic_aware_routing.dir/traffic_aware_routing.cpp.o.d"
+  "traffic_aware_routing"
+  "traffic_aware_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_aware_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepst_baselines.dir/markov2.cc.o"
+  "CMakeFiles/deepst_baselines.dir/markov2.cc.o.d"
+  "CMakeFiles/deepst_baselines.dir/mmi.cc.o"
+  "CMakeFiles/deepst_baselines.dir/mmi.cc.o.d"
+  "CMakeFiles/deepst_baselines.dir/neural_router.cc.o"
+  "CMakeFiles/deepst_baselines.dir/neural_router.cc.o.d"
+  "CMakeFiles/deepst_baselines.dir/wsp.cc.o"
+  "CMakeFiles/deepst_baselines.dir/wsp.cc.o.d"
+  "libdeepst_baselines.a"
+  "libdeepst_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepst_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

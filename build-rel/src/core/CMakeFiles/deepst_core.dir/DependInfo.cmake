@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/checkpoint.cc" "src/core/CMakeFiles/deepst_core.dir/checkpoint.cc.o" "gcc" "src/core/CMakeFiles/deepst_core.dir/checkpoint.cc.o.d"
+  "/root/repo/src/core/deepst_model.cc" "src/core/CMakeFiles/deepst_core.dir/deepst_model.cc.o" "gcc" "src/core/CMakeFiles/deepst_core.dir/deepst_model.cc.o.d"
+  "/root/repo/src/core/destination_proxy.cc" "src/core/CMakeFiles/deepst_core.dir/destination_proxy.cc.o" "gcc" "src/core/CMakeFiles/deepst_core.dir/destination_proxy.cc.o.d"
+  "/root/repo/src/core/infer/session.cc" "src/core/CMakeFiles/deepst_core.dir/infer/session.cc.o" "gcc" "src/core/CMakeFiles/deepst_core.dir/infer/session.cc.o.d"
+  "/root/repo/src/core/route_ranking.cc" "src/core/CMakeFiles/deepst_core.dir/route_ranking.cc.o" "gcc" "src/core/CMakeFiles/deepst_core.dir/route_ranking.cc.o.d"
+  "/root/repo/src/core/serving.cc" "src/core/CMakeFiles/deepst_core.dir/serving.cc.o" "gcc" "src/core/CMakeFiles/deepst_core.dir/serving.cc.o.d"
+  "/root/repo/src/core/traffic_encoder.cc" "src/core/CMakeFiles/deepst_core.dir/traffic_encoder.cc.o" "gcc" "src/core/CMakeFiles/deepst_core.dir/traffic_encoder.cc.o.d"
+  "/root/repo/src/core/trainer.cc" "src/core/CMakeFiles/deepst_core.dir/trainer.cc.o" "gcc" "src/core/CMakeFiles/deepst_core.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-rel/src/traj/CMakeFiles/deepst_traj.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/traffic/CMakeFiles/deepst_traffic.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/roadnet/CMakeFiles/deepst_roadnet.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/geo/CMakeFiles/deepst_geo.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/nn/CMakeFiles/deepst_nn.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/util/CMakeFiles/deepst_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepst_core.dir/checkpoint.cc.o"
+  "CMakeFiles/deepst_core.dir/checkpoint.cc.o.d"
+  "CMakeFiles/deepst_core.dir/deepst_model.cc.o"
+  "CMakeFiles/deepst_core.dir/deepst_model.cc.o.d"
+  "CMakeFiles/deepst_core.dir/destination_proxy.cc.o"
+  "CMakeFiles/deepst_core.dir/destination_proxy.cc.o.d"
+  "CMakeFiles/deepst_core.dir/infer/session.cc.o"
+  "CMakeFiles/deepst_core.dir/infer/session.cc.o.d"
+  "CMakeFiles/deepst_core.dir/route_ranking.cc.o"
+  "CMakeFiles/deepst_core.dir/route_ranking.cc.o.d"
+  "CMakeFiles/deepst_core.dir/serving.cc.o"
+  "CMakeFiles/deepst_core.dir/serving.cc.o.d"
+  "CMakeFiles/deepst_core.dir/traffic_encoder.cc.o"
+  "CMakeFiles/deepst_core.dir/traffic_encoder.cc.o.d"
+  "CMakeFiles/deepst_core.dir/trainer.cc.o"
+  "CMakeFiles/deepst_core.dir/trainer.cc.o.d"
+  "libdeepst_core.a"
+  "libdeepst_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepst_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

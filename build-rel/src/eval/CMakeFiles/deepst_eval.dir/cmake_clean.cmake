@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepst_eval.dir/metrics.cc.o"
+  "CMakeFiles/deepst_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/deepst_eval.dir/world.cc.o"
+  "CMakeFiles/deepst_eval.dir/world.cc.o.d"
+  "libdeepst_eval.a"
+  "libdeepst_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepst_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/grid.cc" "src/geo/CMakeFiles/deepst_geo.dir/grid.cc.o" "gcc" "src/geo/CMakeFiles/deepst_geo.dir/grid.cc.o.d"
+  "/root/repo/src/geo/latlng.cc" "src/geo/CMakeFiles/deepst_geo.dir/latlng.cc.o" "gcc" "src/geo/CMakeFiles/deepst_geo.dir/latlng.cc.o.d"
+  "/root/repo/src/geo/polyline.cc" "src/geo/CMakeFiles/deepst_geo.dir/polyline.cc.o" "gcc" "src/geo/CMakeFiles/deepst_geo.dir/polyline.cc.o.d"
+  "/root/repo/src/geo/tile_router.cc" "src/geo/CMakeFiles/deepst_geo.dir/tile_router.cc.o" "gcc" "src/geo/CMakeFiles/deepst_geo.dir/tile_router.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-rel/src/util/CMakeFiles/deepst_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

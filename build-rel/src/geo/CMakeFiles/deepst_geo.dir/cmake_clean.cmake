@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepst_geo.dir/grid.cc.o"
+  "CMakeFiles/deepst_geo.dir/grid.cc.o.d"
+  "CMakeFiles/deepst_geo.dir/latlng.cc.o"
+  "CMakeFiles/deepst_geo.dir/latlng.cc.o.d"
+  "CMakeFiles/deepst_geo.dir/polyline.cc.o"
+  "CMakeFiles/deepst_geo.dir/polyline.cc.o.d"
+  "CMakeFiles/deepst_geo.dir/tile_router.cc.o"
+  "CMakeFiles/deepst_geo.dir/tile_router.cc.o.d"
+  "libdeepst_geo.a"
+  "libdeepst_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepst_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepst_mapmatch.dir/hmm_matcher.cc.o"
+  "CMakeFiles/deepst_mapmatch.dir/hmm_matcher.cc.o.d"
+  "libdeepst_mapmatch.a"
+  "libdeepst_mapmatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepst_mapmatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

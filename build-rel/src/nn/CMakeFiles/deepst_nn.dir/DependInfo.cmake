@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/arena.cc" "src/nn/CMakeFiles/deepst_nn.dir/arena.cc.o" "gcc" "src/nn/CMakeFiles/deepst_nn.dir/arena.cc.o.d"
+  "/root/repo/src/nn/backend.cc" "src/nn/CMakeFiles/deepst_nn.dir/backend.cc.o" "gcc" "src/nn/CMakeFiles/deepst_nn.dir/backend.cc.o.d"
+  "/root/repo/src/nn/conv_layers.cc" "src/nn/CMakeFiles/deepst_nn.dir/conv_layers.cc.o" "gcc" "src/nn/CMakeFiles/deepst_nn.dir/conv_layers.cc.o.d"
+  "/root/repo/src/nn/conv_ops.cc" "src/nn/CMakeFiles/deepst_nn.dir/conv_ops.cc.o" "gcc" "src/nn/CMakeFiles/deepst_nn.dir/conv_ops.cc.o.d"
+  "/root/repo/src/nn/infer/forward.cc" "src/nn/CMakeFiles/deepst_nn.dir/infer/forward.cc.o" "gcc" "src/nn/CMakeFiles/deepst_nn.dir/infer/forward.cc.o.d"
+  "/root/repo/src/nn/infer/memo.cc" "src/nn/CMakeFiles/deepst_nn.dir/infer/memo.cc.o" "gcc" "src/nn/CMakeFiles/deepst_nn.dir/infer/memo.cc.o.d"
+  "/root/repo/src/nn/kernels.cc" "src/nn/CMakeFiles/deepst_nn.dir/kernels.cc.o" "gcc" "src/nn/CMakeFiles/deepst_nn.dir/kernels.cc.o.d"
+  "/root/repo/src/nn/layers.cc" "src/nn/CMakeFiles/deepst_nn.dir/layers.cc.o" "gcc" "src/nn/CMakeFiles/deepst_nn.dir/layers.cc.o.d"
+  "/root/repo/src/nn/ops.cc" "src/nn/CMakeFiles/deepst_nn.dir/ops.cc.o" "gcc" "src/nn/CMakeFiles/deepst_nn.dir/ops.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/nn/CMakeFiles/deepst_nn.dir/optimizer.cc.o" "gcc" "src/nn/CMakeFiles/deepst_nn.dir/optimizer.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/nn/CMakeFiles/deepst_nn.dir/serialize.cc.o" "gcc" "src/nn/CMakeFiles/deepst_nn.dir/serialize.cc.o.d"
+  "/root/repo/src/nn/tensor.cc" "src/nn/CMakeFiles/deepst_nn.dir/tensor.cc.o" "gcc" "src/nn/CMakeFiles/deepst_nn.dir/tensor.cc.o.d"
+  "/root/repo/src/nn/variable.cc" "src/nn/CMakeFiles/deepst_nn.dir/variable.cc.o" "gcc" "src/nn/CMakeFiles/deepst_nn.dir/variable.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-rel/src/util/CMakeFiles/deepst_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepst_nn.dir/arena.cc.o"
+  "CMakeFiles/deepst_nn.dir/arena.cc.o.d"
+  "CMakeFiles/deepst_nn.dir/backend.cc.o"
+  "CMakeFiles/deepst_nn.dir/backend.cc.o.d"
+  "CMakeFiles/deepst_nn.dir/conv_layers.cc.o"
+  "CMakeFiles/deepst_nn.dir/conv_layers.cc.o.d"
+  "CMakeFiles/deepst_nn.dir/conv_ops.cc.o"
+  "CMakeFiles/deepst_nn.dir/conv_ops.cc.o.d"
+  "CMakeFiles/deepst_nn.dir/infer/forward.cc.o"
+  "CMakeFiles/deepst_nn.dir/infer/forward.cc.o.d"
+  "CMakeFiles/deepst_nn.dir/infer/memo.cc.o"
+  "CMakeFiles/deepst_nn.dir/infer/memo.cc.o.d"
+  "CMakeFiles/deepst_nn.dir/kernels.cc.o"
+  "CMakeFiles/deepst_nn.dir/kernels.cc.o.d"
+  "CMakeFiles/deepst_nn.dir/layers.cc.o"
+  "CMakeFiles/deepst_nn.dir/layers.cc.o.d"
+  "CMakeFiles/deepst_nn.dir/ops.cc.o"
+  "CMakeFiles/deepst_nn.dir/ops.cc.o.d"
+  "CMakeFiles/deepst_nn.dir/optimizer.cc.o"
+  "CMakeFiles/deepst_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/deepst_nn.dir/serialize.cc.o"
+  "CMakeFiles/deepst_nn.dir/serialize.cc.o.d"
+  "CMakeFiles/deepst_nn.dir/tensor.cc.o"
+  "CMakeFiles/deepst_nn.dir/tensor.cc.o.d"
+  "CMakeFiles/deepst_nn.dir/variable.cc.o"
+  "CMakeFiles/deepst_nn.dir/variable.cc.o.d"
+  "libdeepst_nn.a"
+  "libdeepst_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepst_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

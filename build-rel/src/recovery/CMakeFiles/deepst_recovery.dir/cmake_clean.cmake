@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepst_recovery.dir/strs.cc.o"
+  "CMakeFiles/deepst_recovery.dir/strs.cc.o.d"
+  "libdeepst_recovery.a"
+  "libdeepst_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepst_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/roadnet/grid_city.cc" "src/roadnet/CMakeFiles/deepst_roadnet.dir/grid_city.cc.o" "gcc" "src/roadnet/CMakeFiles/deepst_roadnet.dir/grid_city.cc.o.d"
+  "/root/repo/src/roadnet/io.cc" "src/roadnet/CMakeFiles/deepst_roadnet.dir/io.cc.o" "gcc" "src/roadnet/CMakeFiles/deepst_roadnet.dir/io.cc.o.d"
+  "/root/repo/src/roadnet/road_network.cc" "src/roadnet/CMakeFiles/deepst_roadnet.dir/road_network.cc.o" "gcc" "src/roadnet/CMakeFiles/deepst_roadnet.dir/road_network.cc.o.d"
+  "/root/repo/src/roadnet/shortest_path.cc" "src/roadnet/CMakeFiles/deepst_roadnet.dir/shortest_path.cc.o" "gcc" "src/roadnet/CMakeFiles/deepst_roadnet.dir/shortest_path.cc.o.d"
+  "/root/repo/src/roadnet/spatial_index.cc" "src/roadnet/CMakeFiles/deepst_roadnet.dir/spatial_index.cc.o" "gcc" "src/roadnet/CMakeFiles/deepst_roadnet.dir/spatial_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-rel/src/geo/CMakeFiles/deepst_geo.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/util/CMakeFiles/deepst_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

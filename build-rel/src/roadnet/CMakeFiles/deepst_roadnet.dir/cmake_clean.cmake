@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepst_roadnet.dir/grid_city.cc.o"
+  "CMakeFiles/deepst_roadnet.dir/grid_city.cc.o.d"
+  "CMakeFiles/deepst_roadnet.dir/io.cc.o"
+  "CMakeFiles/deepst_roadnet.dir/io.cc.o.d"
+  "CMakeFiles/deepst_roadnet.dir/road_network.cc.o"
+  "CMakeFiles/deepst_roadnet.dir/road_network.cc.o.d"
+  "CMakeFiles/deepst_roadnet.dir/shortest_path.cc.o"
+  "CMakeFiles/deepst_roadnet.dir/shortest_path.cc.o.d"
+  "CMakeFiles/deepst_roadnet.dir/spatial_index.cc.o"
+  "CMakeFiles/deepst_roadnet.dir/spatial_index.cc.o.d"
+  "libdeepst_roadnet.a"
+  "libdeepst_roadnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepst_roadnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepst_serve.dir/metrics.cc.o"
+  "CMakeFiles/deepst_serve.dir/metrics.cc.o.d"
+  "CMakeFiles/deepst_serve.dir/server.cc.o"
+  "CMakeFiles/deepst_serve.dir/server.cc.o.d"
+  "libdeepst_serve.a"
+  "libdeepst_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepst_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepst_traffic.dir/congestion_field.cc.o"
+  "CMakeFiles/deepst_traffic.dir/congestion_field.cc.o.d"
+  "CMakeFiles/deepst_traffic.dir/snapshot.cc.o"
+  "CMakeFiles/deepst_traffic.dir/snapshot.cc.o.d"
+  "libdeepst_traffic.a"
+  "libdeepst_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepst_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

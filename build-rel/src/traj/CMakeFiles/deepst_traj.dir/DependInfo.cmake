@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traj/ascii_map.cc" "src/traj/CMakeFiles/deepst_traj.dir/ascii_map.cc.o" "gcc" "src/traj/CMakeFiles/deepst_traj.dir/ascii_map.cc.o.d"
+  "/root/repo/src/traj/dataset.cc" "src/traj/CMakeFiles/deepst_traj.dir/dataset.cc.o" "gcc" "src/traj/CMakeFiles/deepst_traj.dir/dataset.cc.o.d"
+  "/root/repo/src/traj/generator.cc" "src/traj/CMakeFiles/deepst_traj.dir/generator.cc.o" "gcc" "src/traj/CMakeFiles/deepst_traj.dir/generator.cc.o.d"
+  "/root/repo/src/traj/io.cc" "src/traj/CMakeFiles/deepst_traj.dir/io.cc.o" "gcc" "src/traj/CMakeFiles/deepst_traj.dir/io.cc.o.d"
+  "/root/repo/src/traj/segment_stats.cc" "src/traj/CMakeFiles/deepst_traj.dir/segment_stats.cc.o" "gcc" "src/traj/CMakeFiles/deepst_traj.dir/segment_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-rel/src/traffic/CMakeFiles/deepst_traffic.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/roadnet/CMakeFiles/deepst_roadnet.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/geo/CMakeFiles/deepst_geo.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/util/CMakeFiles/deepst_util.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/nn/CMakeFiles/deepst_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

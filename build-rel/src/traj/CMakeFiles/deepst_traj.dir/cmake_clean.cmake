@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepst_traj.dir/ascii_map.cc.o"
+  "CMakeFiles/deepst_traj.dir/ascii_map.cc.o.d"
+  "CMakeFiles/deepst_traj.dir/dataset.cc.o"
+  "CMakeFiles/deepst_traj.dir/dataset.cc.o.d"
+  "CMakeFiles/deepst_traj.dir/generator.cc.o"
+  "CMakeFiles/deepst_traj.dir/generator.cc.o.d"
+  "CMakeFiles/deepst_traj.dir/io.cc.o"
+  "CMakeFiles/deepst_traj.dir/io.cc.o.d"
+  "CMakeFiles/deepst_traj.dir/segment_stats.cc.o"
+  "CMakeFiles/deepst_traj.dir/segment_stats.cc.o.d"
+  "libdeepst_traj.a"
+  "libdeepst_traj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepst_traj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

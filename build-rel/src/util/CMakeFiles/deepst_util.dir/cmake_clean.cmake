@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepst_util.dir/crc32.cc.o"
+  "CMakeFiles/deepst_util.dir/crc32.cc.o.d"
+  "CMakeFiles/deepst_util.dir/fault_injector.cc.o"
+  "CMakeFiles/deepst_util.dir/fault_injector.cc.o.d"
+  "CMakeFiles/deepst_util.dir/fixed_format.cc.o"
+  "CMakeFiles/deepst_util.dir/fixed_format.cc.o.d"
+  "CMakeFiles/deepst_util.dir/flags.cc.o"
+  "CMakeFiles/deepst_util.dir/flags.cc.o.d"
+  "CMakeFiles/deepst_util.dir/logging.cc.o"
+  "CMakeFiles/deepst_util.dir/logging.cc.o.d"
+  "CMakeFiles/deepst_util.dir/mapped_file.cc.o"
+  "CMakeFiles/deepst_util.dir/mapped_file.cc.o.d"
+  "CMakeFiles/deepst_util.dir/rng.cc.o"
+  "CMakeFiles/deepst_util.dir/rng.cc.o.d"
+  "CMakeFiles/deepst_util.dir/shutdown.cc.o"
+  "CMakeFiles/deepst_util.dir/shutdown.cc.o.d"
+  "CMakeFiles/deepst_util.dir/status.cc.o"
+  "CMakeFiles/deepst_util.dir/status.cc.o.d"
+  "CMakeFiles/deepst_util.dir/string_util.cc.o"
+  "CMakeFiles/deepst_util.dir/string_util.cc.o.d"
+  "CMakeFiles/deepst_util.dir/table.cc.o"
+  "CMakeFiles/deepst_util.dir/table.cc.o.d"
+  "CMakeFiles/deepst_util.dir/thread_pool.cc.o"
+  "CMakeFiles/deepst_util.dir/thread_pool.cc.o.d"
+  "libdeepst_util.a"
+  "libdeepst_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepst_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

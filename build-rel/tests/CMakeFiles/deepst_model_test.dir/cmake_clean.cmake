@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepst_model_test.dir/deepst_model_test.cc.o"
+  "CMakeFiles/deepst_model_test.dir/deepst_model_test.cc.o.d"
+  "deepst_model_test"
+  "deepst_model_test.pdb"
+  "deepst_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepst_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/format_v3_test.dir/format_v3_test.cc.o"
+  "CMakeFiles/format_v3_test.dir/format_v3_test.cc.o.d"
+  "format_v3_test"
+  "format_v3_test.pdb"
+  "format_v3_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/format_v3_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/optimizer_test.cc" "tests/CMakeFiles/optimizer_test.dir/optimizer_test.cc.o" "gcc" "tests/CMakeFiles/optimizer_test.dir/optimizer_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-rel/src/eval/CMakeFiles/deepst_eval.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/recovery/CMakeFiles/deepst_recovery.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/baselines/CMakeFiles/deepst_baselines.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/serve/CMakeFiles/deepst_serve.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/core/CMakeFiles/deepst_core.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/mapmatch/CMakeFiles/deepst_mapmatch.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/traj/CMakeFiles/deepst_traj.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/traffic/CMakeFiles/deepst_traffic.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/roadnet/CMakeFiles/deepst_roadnet.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/geo/CMakeFiles/deepst_geo.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/nn/CMakeFiles/deepst_nn.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/util/CMakeFiles/deepst_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_sharded_test.dir/train_sharded_test.cc.o"
+  "CMakeFiles/train_sharded_test.dir/train_sharded_test.cc.o.d"
+  "train_sharded_test"
+  "train_sharded_test.pdb"
+  "train_sharded_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_sharded_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_train.dir/debug_train.cc.o"
+  "CMakeFiles/debug_train.dir/debug_train.cc.o.d"
+  "debug_train"
+  "debug_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
