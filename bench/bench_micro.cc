@@ -663,6 +663,165 @@ void BM_QuantSweep(benchmark::State& state) {
 }
 BENCHMARK(BM_QuantSweep)->Iterations(1)->Unit(benchmark::kMillisecond);
 
+// One-shot sweep of the register-blocked GEMM path (fast path round three):
+//   - kernel micro rows: blocked (panel-packed) vs chunk GEMV at batched
+//     beam shapes, per precision, with a bitwise-equality cross-check (the
+//     blocking must only reorder work across output elements, never within
+//     one, so blocked == chunk bit for bit at every precision);
+//   - the memo-cold batched beam workload: 16 queries x beam 4 through
+//     PredictRoutesBeamMulti on a serve-size model (H = 128), with
+//     config.gemm_blocking off (the round-two baseline schedule) vs on,
+//     plus a bitwise route comparison.
+// Exported as bench_out/BENCH_gemm.json; tools/check_perf.sh gates the
+// bitwise fields everywhere and the >= 1.5x batched-beam double speedup on
+// AVX2 hardware.
+void BM_GemmSweep(benchmark::State& state) {
+  auto& world = MicroWorld();
+
+  struct Row {
+    std::string variant;
+    std::string workload;
+    double seconds = 0.0;
+    double baseline_seconds = 0.0;  // unblocked counterpart
+    bool bitwise_equal = true;
+  };
+  std::vector<Row> rows;
+
+  // Kernel micro: a serve-size step shape ([3H, H] with H = 128) across
+  // batch sizes spanning partial tiles, one warm band sweep, and the
+  // reduced precisions at the batched beam shape.
+  {
+    const int64_t k = 128, n = 3 * 128;
+    util::Rng rng(21);
+    const nn::Tensor w = nn::Tensor::Uniform({n, k}, -1, 1, &rng);
+    const nn::Tensor b = nn::Tensor::Uniform({n}, -1, 1, &rng);
+    const int reps = eval::FastMode() ? 500 : 5000;
+    struct Shape {
+      nn::infer::Precision precision;
+      int64_t m;
+    };
+    const Shape shapes[] = {
+        {nn::infer::Precision::kDouble, 4},
+        {nn::infer::Precision::kDouble, 16},
+        {nn::infer::Precision::kDouble, 33},
+        {nn::infer::Precision::kBf16, 16},
+        {nn::infer::Precision::kInt8, 16},
+    };
+    for (const Shape& s : shapes) {
+      std::vector<double> x(static_cast<size_t>(s.m * k));
+      for (auto& v : x) v = rng.Uniform(-1.0, 1.0);
+      const auto chunk =
+          nn::infer::PackedMatrix::Pack(w.data(), n, k, k, s.precision);
+      auto blocked =
+          nn::infer::PackedMatrix::Pack(w.data(), n, k, k, s.precision);
+      blocked.BuildPanels();
+      std::vector<float> out_chunk(static_cast<size_t>(s.m * n));
+      std::vector<float> out_blocked(out_chunk.size());
+      auto time_gemv = [&](const nn::infer::PackedMatrix& p, float* out) {
+        nn::infer::GemvForward(x.data(), k, p, b.data(), nullptr, out, s.m,
+                               n);  // warmup
+        util::Stopwatch watch;
+        for (int i = 0; i < reps; ++i) {
+          nn::infer::GemvForward(x.data(), k, p, b.data(), nullptr, out,
+                                 s.m, n);
+          benchmark::DoNotOptimize(out);
+        }
+        return watch.ElapsedSeconds() / reps;
+      };
+      Row row;
+      row.variant = std::string("gemm_") +
+                    nn::infer::PrecisionName(s.precision) + "_m" +
+                    std::to_string(s.m);
+      row.workload = "gemv_k128_n384";
+      row.baseline_seconds = time_gemv(chunk, out_chunk.data());
+      row.seconds = time_gemv(blocked, out_blocked.data());
+      row.bitwise_equal =
+          std::memcmp(out_chunk.data(), out_blocked.data(),
+                      out_chunk.size() * sizeof(float)) == 0;
+      rows.push_back(row);
+    }
+  }
+
+  // Memo-cold batched beam: the workload the blocking targets. Same seed ->
+  // identical weights across variants, MAP beam -> no rng draws, so the
+  // blocked run must reproduce the baseline routes bitwise.
+  {
+    const int reps = eval::FastMode() ? 3 : 8;
+    core::DeepSTConfig cfg =
+        baselines::DeepStCConfigOf(eval::DefaultModelConfig(world));
+    cfg.gru_hidden = 256;  // the paper's full hidden size: GEMV dominates
+    cfg.max_route_steps = 24;
+    cfg.memo_cache_capacity = 0;  // memo-cold: every step hits the kernels
+    std::vector<core::RouteQuery> queries;
+    for (const auto* rec : world.split().test) {
+      if (rec->trip.route.size() < 2) continue;
+      queries.push_back(eval::QueryFor(rec->trip));
+      if (queries.size() == 16) break;
+    }
+    const int prev = nn::GetBackendThreads();
+    nn::SetBackendThreads(1);
+    std::vector<traj::Route> baseline_routes;
+    Row row;
+    row.variant = "beam_multi_double";
+    row.workload = "beam16x4_h256_memo_cold";
+    for (const bool blocking : {false, true}) {
+      cfg.gemm_blocking = blocking;
+      core::DeepSTModel model(world.net(), cfg, nullptr);
+      util::Rng crng(5);
+      std::vector<core::PredictionContext> ctxs;
+      for (const core::RouteQuery& q : queries) {
+        ctxs.push_back(model.MakeContext(q, &crng));
+      }
+      std::vector<core::PredictItem> items(queries.size());
+      auto run = [&] {
+        for (size_t i = 0; i < items.size(); ++i) {
+          items[i] = core::PredictItem{};
+          items[i].ctx = &ctxs[i];
+          items[i].origin = queries[i].origin;
+        }
+        model.PredictRoutesBeamMulti(&items);
+      };
+      run();  // warmup (scratch growth)
+      double best = std::numeric_limits<double>::infinity();
+      for (int round = 0; round < 3; ++round) {
+        util::Stopwatch watch;
+        for (int i = 0; i < reps; ++i) run();
+        best = std::min(best, watch.ElapsedSeconds() / reps);
+      }
+      if (!blocking) {
+        row.baseline_seconds = best;
+        for (const auto& item : items) baseline_routes.push_back(item.route);
+      } else {
+        row.seconds = best;
+        for (size_t i = 0; i < items.size(); ++i) {
+          if (items[i].route != baseline_routes[i]) row.bitwise_equal = false;
+        }
+      }
+    }
+    nn::SetBackendThreads(prev);
+    rows.push_back(row);
+  }
+
+  std::ofstream json(OutDir() + "/BENCH_gemm.json");
+  json << "[\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    const double speedup =
+        r.seconds > 0.0 ? r.baseline_seconds / r.seconds : 0.0;
+    json << "  {\"variant\": \"" << r.variant << "\", \"workload\": \""
+         << r.workload << "\", \"ns_per_op\": " << r.seconds * 1e9
+         << ", \"baseline_ns_per_op\": " << r.baseline_seconds * 1e9
+         << ", \"speedup_vs_unblocked\": " << speedup
+         << ", \"bitwise_equal\": " << (r.bitwise_equal ? "true" : "false")
+         << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+    state.counters[r.variant + "_speedup"] = speedup;
+  }
+  json << "]\n";
+  for (auto _ : state) {
+  }
+}
+BENCHMARK(BM_GemmSweep)->Iterations(1)->Unit(benchmark::kMillisecond);
+
 // One-shot sweep of the training engine: the legacy single-graph tape
 // ("serial", one batch = one autodiff graph) against data-parallel
 // micro-sharding (docs/training-perf.md) on 1, 2 and 4 backend threads.

@@ -707,10 +707,11 @@ int CmdServe(const util::Flags& flags) {
     const auto memo_stats = model.value()->transition_memo_stats();
     std::fprintf(
         stderr,
-        "inference: precision=%s (packed weights %.2f MiB), transition memo "
-        "capacity %lld entries\n",
+        "inference: precision=%s (packed weights %.2f MiB, GEMM panels "
+        "%.2f MiB), transition memo capacity %lld entries\n",
         nn::infer::PrecisionName(packed->precision),
         static_cast<double>(packed->packed_weight_bytes) / (1024.0 * 1024.0),
+        static_cast<double>(packed->packed_panel_bytes) / (1024.0 * 1024.0),
         static_cast<long long>(memo_stats.capacity));
   }
 

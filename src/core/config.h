@@ -89,6 +89,13 @@ struct DeepSTConfig {
   // bf16/int8 trade exactness for bandwidth and are accuracy-parity-gated
   // (docs/inference.md). Ignored by the graph path.
   nn::infer::Precision infer_precision = nn::infer::Precision::kDouble;
+  // Build K-major panel sidecars into the shared packed weights so batched
+  // (beam / multi-query) GEMVs run through the register-blocked GEMM
+  // micro-kernels (docs/inference.md "GEMM blocking"). Blocked results are
+  // bitwise identical to the per-element kernels at every precision, so
+  // this only changes speed; off reproduces the PR 8 kernel schedule
+  // exactly (the bench A/B baseline).
+  bool gemm_blocking = true;
   // Entry budget of the transition-distribution memo cache shared across
   // the session pool (CLI --memo-capacity); 0 disables memoization. Hits
   // are bitwise identical to recomputing, so this only changes speed.

@@ -231,7 +231,9 @@ class DeepSTModel : public nn::Module {
 
   // Weights packed once (at config.infer_precision) and shared read-only by
   // every pooled session; built lazily on the first session construction,
-  // rebuilt after RetirePooledSessions. Never null.
+  // rebuilt after RetirePooledSessions. When config.gemm_blocking is set the
+  // build also packs the K-major GEMM panel sidecars (forward.h), so batched
+  // beam/scoring steps run the register-blocked kernels. Never null.
   std::shared_ptr<const infer::SharedInferWeights> shared_infer_weights()
       const;
 

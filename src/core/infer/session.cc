@@ -37,11 +37,25 @@ std::shared_ptr<const SharedInferWeights> SharedInferWeights::Build(
   const nn::Tensor& emb = model.segment_embedding().table()->value();
   w->emb_table_d.resize(static_cast<size_t>(emb.numel()));
   nn::infer::ToDouble(emb.data(), w->emb_table_d.data(), emb.numel());
+  // K-major panel sidecars for the blocked GEMM path: batched (beam /
+  // multi-query) GEMVs route through the register-blocked micro-kernels
+  // whenever panels are present. Built once here, shared like the rest of
+  // the packed weights; gemm_blocking=false reproduces the per-element
+  // kernel schedule exactly (the A/B baseline in bench_micro).
+  if (model.config().gemm_blocking) {
+    w->alpha_w.BuildPanels();
+    for (nn::infer::GruCellView& cell : w->gru.cells) {
+      cell.w_ih.BuildPanels();
+      cell.w_hh.BuildPanels();
+    }
+  }
   w->packed_weight_bytes = w->alpha_w.PackedBytes();
+  w->packed_panel_bytes = w->alpha_w.PanelBytes();
   for (const nn::infer::GruCellView& cell : w->gru.cells) {
     w->packed_weight_bytes += cell.w_ih.PackedBytes() +
                               cell.w_hh.PackedBytes() +
                               cell.w_ih_ctx.size() * sizeof(double);
+    w->packed_panel_bytes += cell.w_ih.PanelBytes() + cell.w_hh.PanelBytes();
   }
   return w;
 }
@@ -60,6 +74,8 @@ InferenceSession::InferenceSession(const DeepSTModel* model)
       memo_(model->transition_memo()),
       arena_(kPerLayer + 3 * model->gru().num_layers()) {
   state_ptrs_.resize(static_cast<size_t>(gru_.num_layers()), nullptr);
+  dstate_.resize(static_cast<size_t>(gru_.num_layers()));
+  dgather_.resize(static_cast<size_t>(gru_.num_layers()));
   // Fixed-capacity hypothesis pools: one beam step produces at most
   // width carried-over hypotheses plus width expansions per active beam.
   const int width = std::max(config_.beam_width, 1);
@@ -215,19 +231,51 @@ void InferenceSession::PrepareContexts(
   }
 }
 
+void InferenceSession::EnsureStepScratch(int64_t batch) {
+  const size_t emb_need = static_cast<size_t>(batch * emb_dim_);
+  if (embd_.size() < emb_need) {
+    embd_.resize(emb_need);
+    ++scratch_grow_count_;
+  }
+  const size_t st_need = static_cast<size_t>(batch * gru_.hidden_dim);
+  for (std::vector<double>& d : dstate_) {
+    if (d.size() < st_need) {
+      d.resize(st_need);
+      ++scratch_grow_count_;
+    }
+  }
+}
+
+void InferenceSession::EnsureGatherScratch(int64_t rows) {
+  const size_t need = static_cast<size_t>(rows * gru_.hidden_dim);
+  for (std::vector<double>& d : dgather_) {
+    if (d.size() < need) {
+      d.resize(need);
+      ++scratch_grow_count_;
+    }
+  }
+}
+
 void InferenceSession::ResetState(int64_t batch) {
+  EnsureStepScratch(batch);
+  const size_t n = static_cast<size_t>(batch * gru_.hidden_dim);
   for (int l = 0; l < gru_.num_layers(); ++l) {
     arena_.Acquire(StateSlotIndex(l), {batch, gru_.hidden_dim})->Fill(0.0f);
+    std::fill_n(dstate_[static_cast<size_t>(l)].data(), n, 0.0);
   }
 }
 
 void InferenceSession::StepBatch(const int* tokens, int64_t batch,
                                  bool want_logits) {
+  // Invariant: on entry dstate_[l] holds the double image of StateSlot(l)
+  // for every active row (ResetState zeroes both; the beam gather and memo
+  // paths refresh it). Each layer's GEMVs then read the mirror directly and
+  // the mirror is re-converted once after GruGates — one ToDouble per layer
+  // per step instead of one per GEMV operand.
   const nn::infer::GruCellView& cell0 = gru_.cells[0];
   const int64_t hd = gru_.hidden_dim;
   const int64_t h3 = 3 * hd;
-  embd_.resize(static_cast<size_t>(batch * emb_dim_));
-  xd_.resize(static_cast<size_t>(batch * hd));
+  DEEPST_DCHECK(embd_.size() >= static_cast<size_t>(batch * emb_dim_));
   for (int64_t b = 0; b < batch; ++b) {
     std::copy_n(
         emb_table_d_.data() + static_cast<int64_t>(tokens[b]) * emb_dim_,
@@ -239,29 +287,29 @@ void InferenceSession::StepBatch(const int* tokens, int64_t batch,
   nn::infer::GemvForward(embd_.data(), emb_dim_, cell0.w_ih,
                          arena_.Get(kCtxIh)->data(), nullptr, gi->data(),
                          batch, h3);
-  nn::infer::ToDouble(h0->data(), xd_.data(), batch * hd);
-  nn::infer::GemvForward(xd_.data(), hd, cell0.w_hh, cell0.b_hh->data(),
-                         nullptr, gh->data(), batch, h3);
+  nn::infer::GemvForward(dstate_[0].data(), hd, cell0.w_hh,
+                         cell0.b_hh->data(), nullptr, gh->data(), batch, h3);
   nn::infer::GruGates(*gi, *gh, *h0, h0);
+  nn::infer::ToDouble(h0->data(), dstate_[0].data(), batch * hd);
   for (int l = 1; l < gru_.num_layers(); ++l) {
     const nn::infer::GruCellView& cell = gru_.cells[static_cast<size_t>(l)];
-    const nn::Tensor* below = StateSlot(l - 1);
     nn::Tensor* h = StateSlot(l);
-    nn::infer::ToDouble(below->data(), xd_.data(), batch * hd);
-    nn::infer::GemvForward(xd_.data(), hd, cell.w_ih, cell.b_ih->data(),
-                           nullptr, gi->data(), batch, h3);
-    nn::infer::ToDouble(h->data(), xd_.data(), batch * hd);
-    nn::infer::GemvForward(xd_.data(), hd, cell.w_hh, cell.b_hh->data(),
-                           nullptr, gh->data(), batch, h3);
+    nn::infer::GemvForward(dstate_[static_cast<size_t>(l - 1)].data(), hd,
+                           cell.w_ih, cell.b_ih->data(), nullptr, gi->data(),
+                           batch, h3);
+    nn::infer::GemvForward(dstate_[static_cast<size_t>(l)].data(), hd,
+                           cell.w_hh, cell.b_hh->data(), nullptr, gh->data(),
+                           batch, h3);
     nn::infer::GruGates(*gi, *gh, *h, h);
+    nn::infer::ToDouble(h->data(), dstate_[static_cast<size_t>(l)].data(),
+                        batch * hd);
   }
   if (want_logits) {
     nn::Tensor* logits = arena_.Acquire(kLogits, {batch, nmax_});
-    nn::infer::ToDouble(StateSlot(gru_.num_layers() - 1)->data(), xd_.data(),
-                        batch * hd);
-    nn::infer::GemvForward(xd_.data(), hd, alpha_w_,
-                           arena_.Get(kLogitBias)->data(), nullptr,
-                           logits->data(), batch, nmax_);
+    nn::infer::GemvForward(
+        dstate_[static_cast<size_t>(gru_.num_layers() - 1)].data(), hd,
+        alpha_w_, arena_.Get(kLogitBias)->data(), nullptr, logits->data(),
+        batch, nmax_);
   }
 }
 
@@ -274,8 +322,7 @@ void InferenceSession::StepBatchMulti(const int* tokens, const int* row_ctx,
   const nn::infer::GruCellView& cell0 = gru_.cells[0];
   const int64_t hd = gru_.hidden_dim;
   const int64_t h3 = 3 * hd;
-  embd_.resize(static_cast<size_t>(batch * emb_dim_));
-  xd_.resize(static_cast<size_t>(batch * hd));
+  DEEPST_DCHECK(embd_.size() >= static_cast<size_t>(batch * emb_dim_));
   for (int64_t b = 0; b < batch; ++b) {
     std::copy_n(
         emb_table_d_.data() + static_cast<int64_t>(tokens[b]) * emb_dim_,
@@ -287,29 +334,29 @@ void InferenceSession::StepBatchMulti(const int* tokens, const int* row_ctx,
   nn::infer::GemvForwardRowBias(embd_.data(), emb_dim_, cell0.w_ih,
                                 arena_.Get(kCtxIh)->data(), nullptr, row_ctx,
                                 gi->data(), batch, h3);
-  nn::infer::ToDouble(h0->data(), xd_.data(), batch * hd);
-  nn::infer::GemvForward(xd_.data(), hd, cell0.w_hh, cell0.b_hh->data(),
-                         nullptr, gh->data(), batch, h3);
+  nn::infer::GemvForward(dstate_[0].data(), hd, cell0.w_hh,
+                         cell0.b_hh->data(), nullptr, gh->data(), batch, h3);
   nn::infer::GruGates(*gi, *gh, *h0, h0);
+  nn::infer::ToDouble(h0->data(), dstate_[0].data(), batch * hd);
   for (int l = 1; l < gru_.num_layers(); ++l) {
     const nn::infer::GruCellView& cell = gru_.cells[static_cast<size_t>(l)];
-    const nn::Tensor* below = StateSlot(l - 1);
     nn::Tensor* h = StateSlot(l);
-    nn::infer::ToDouble(below->data(), xd_.data(), batch * hd);
-    nn::infer::GemvForward(xd_.data(), hd, cell.w_ih, cell.b_ih->data(),
-                           nullptr, gi->data(), batch, h3);
-    nn::infer::ToDouble(h->data(), xd_.data(), batch * hd);
-    nn::infer::GemvForward(xd_.data(), hd, cell.w_hh, cell.b_hh->data(),
-                           nullptr, gh->data(), batch, h3);
+    nn::infer::GemvForward(dstate_[static_cast<size_t>(l - 1)].data(), hd,
+                           cell.w_ih, cell.b_ih->data(), nullptr, gi->data(),
+                           batch, h3);
+    nn::infer::GemvForward(dstate_[static_cast<size_t>(l)].data(), hd,
+                           cell.w_hh, cell.b_hh->data(), nullptr, gh->data(),
+                           batch, h3);
     nn::infer::GruGates(*gi, *gh, *h, h);
+    nn::infer::ToDouble(h->data(), dstate_[static_cast<size_t>(l)].data(),
+                        batch * hd);
   }
   if (want_logits) {
     nn::Tensor* logits = arena_.Acquire(kLogits, {batch, nmax_});
-    nn::infer::ToDouble(StateSlot(gru_.num_layers() - 1)->data(), xd_.data(),
-                        batch * hd);
-    nn::infer::GemvForwardRowBias(xd_.data(), hd, alpha_w_,
-                                  arena_.Get(kLogitBias)->data(), nullptr,
-                                  row_ctx, logits->data(), batch, nmax_);
+    nn::infer::GemvForwardRowBias(
+        dstate_[static_cast<size_t>(gru_.num_layers() - 1)].data(), hd,
+        alpha_w_, arena_.Get(kLogitBias)->data(), nullptr, row_ctx,
+        logits->data(), batch, nmax_);
   }
 }
 
@@ -342,6 +389,14 @@ traj::Route InferenceSession::PredictRoute(const PredictionContext& ctx,
         StepBatch(&token, 1, /*want_logits=*/true);
         memo_->Insert(key, memo_epoch_, arena_.Get(kLogits)->data(),
                       BatchStatePtrs(0));
+      } else {
+        // The hit replayed float state directly into the state slots, so
+        // the double mirrors are stale; re-convert the one live row.
+        for (int l = 0; l < gru_.num_layers(); ++l) {
+          nn::infer::ToDouble(StateSlot(l)->data(),
+                              dstate_[static_cast<size_t>(l)].data(),
+                              gru_.hidden_dim);
+        }
       }
     } else {
       StepBatch(&token, 1, /*want_logits=*/true);
@@ -412,8 +467,12 @@ traj::Route InferenceSession::PredictRouteBeam(const PredictionContext& ctx,
   root.src_row = -1;
   root.hit_src = -1;
   root.key = ctx_key_;
+  EnsureStepScratch(width);
+  EnsureGatherScratch(width);
   for (int l = 0; l < gru_.num_layers(); ++l) {
     arena_.Acquire(GatherSlotIndex(l), {1, hd})->Fill(0.0f);
+    std::fill_n(dgather_[static_cast<size_t>(l)].data(),
+                static_cast<size_t>(hd), 0.0);
   }
   if (memo_ != nullptr) {
     // Hit staging at full width, once per call: a probe that hits writes the
@@ -458,11 +517,15 @@ traj::Route InferenceSession::PredictRouteBeam(const PredictionContext& ctx,
       for (int l = 0; l < gru_.num_layers(); ++l) {
         nn::Tensor* st = arena_.Acquire(StateSlotIndex(l), {active, hd});
         const nn::Tensor* bs = GatherSlot(l);
+        const double* bd = dgather_[static_cast<size_t>(l)].data();
+        double* sd = dstate_[static_cast<size_t>(l)].data();
         for (int i = 0; i < num_beams; ++i) {
           const int a = active_row_[static_cast<size_t>(i)];
           if (a < 0) continue;
           std::copy_n(bs->data() + static_cast<int64_t>(i) * hd, hd,
                       st->data() + static_cast<int64_t>(a) * hd);
+          std::copy_n(bd + static_cast<int64_t>(i) * hd, hd,
+                      sd + static_cast<int64_t>(a) * hd);
         }
       }
       StepBatch(tokens_.data(), active, /*want_logits=*/true);
@@ -560,18 +623,30 @@ traj::Route InferenceSession::PredictRouteBeam(const PredictionContext& ctx,
       const Hyp& src = pool_[static_cast<size_t>(pool_order_[w])];
       CopyHyp(src, &beams_[static_cast<size_t>(w)]);
       if (src.src_row >= 0) {
+        // Stepped row: the double mirror already holds its exact image, so
+        // a double->double copy carries the same values ToDouble would.
         for (int l = 0; l < gru_.num_layers(); ++l) {
           std::copy_n(StateSlot(l)->data() +
                           static_cast<int64_t>(src.src_row) * hd,
                       hd,
                       GatherSlot(l)->data() + static_cast<int64_t>(w) * hd);
+          std::copy_n(dstate_[static_cast<size_t>(l)].data() +
+                          static_cast<int64_t>(src.src_row) * hd,
+                      hd,
+                      dgather_[static_cast<size_t>(l)].data() +
+                          static_cast<int64_t>(w) * hd);
         }
       } else if (src.hit_src >= 0) {
+        // Memo-hit row: only float state exists; convert it for the mirror.
         for (int l = 0; l < gru_.num_layers(); ++l) {
-          std::copy_n(HitSlot(l)->data() +
-                          static_cast<int64_t>(src.hit_src) * hd,
-                      hd,
+          const float* hs = HitSlot(l)->data() +
+                            static_cast<int64_t>(src.hit_src) * hd;
+          std::copy_n(hs, hd,
                       GatherSlot(l)->data() + static_cast<int64_t>(w) * hd);
+          nn::infer::ToDouble(hs,
+                              dgather_[static_cast<size_t>(l)].data() +
+                                  static_cast<int64_t>(w) * hd,
+                              hd);
         }
       }
     }
@@ -665,8 +740,12 @@ void InferenceSession::PredictRoutesBeamMulti(
   }
   PrepareContexts(ctx_ptrs_);
   EnsureQueryBeams(static_cast<size_t>(q_count));
+  EnsureStepScratch(q_count * width);
+  EnsureGatherScratch(q_count * width);
   for (int l = 0; l < gru_.num_layers(); ++l) {
     arena_.Acquire(GatherSlotIndex(l), {q_count * width, hd})->Fill(0.0f);
+    std::fill_n(dgather_[static_cast<size_t>(l)].data(),
+                static_cast<size_t>(q_count * width * hd), 0.0);
   }
   if (memo_ != nullptr) {
     // Hit staging row for (query q, beam i) is q*width + i.
@@ -730,6 +809,8 @@ void InferenceSession::PredictRoutesBeamMulti(
       for (int l = 0; l < gru_.num_layers(); ++l) {
         nn::Tensor* st = arena_.Acquire(StateSlotIndex(l), {active, hd});
         const nn::Tensor* bs = GatherSlot(l);
+        const double* bd = dgather_[static_cast<size_t>(l)].data();
+        double* sd = dstate_[static_cast<size_t>(l)].data();
         for (int64_t q = 0; q < q_count; ++q) {
           const QueryBeam& qb = query_beams_[static_cast<size_t>(q)];
           if (qb.finished) continue;
@@ -738,6 +819,8 @@ void InferenceSession::PredictRoutesBeamMulti(
             if (a < 0) continue;
             std::copy_n(bs->data() + (q * width + i) * hd, hd,
                         st->data() + static_cast<int64_t>(a) * hd);
+            std::copy_n(bd + (q * width + i) * hd, hd,
+                        sd + static_cast<int64_t>(a) * hd);
           }
         }
       }
@@ -849,12 +932,21 @@ void InferenceSession::PredictRoutesBeamMulti(
             std::copy_n(StateSlot(l)->data() +
                             static_cast<int64_t>(src.src_row) * hd,
                         hd, GatherSlot(l)->data() + (q * width + w) * hd);
+            std::copy_n(dstate_[static_cast<size_t>(l)].data() +
+                            static_cast<int64_t>(src.src_row) * hd,
+                        hd, dgather_[static_cast<size_t>(l)].data() +
+                                (q * width + w) * hd);
           }
         } else if (src.hit_src >= 0) {
           for (int l = 0; l < gru_.num_layers(); ++l) {
-            std::copy_n(HitSlot(l)->data() +
-                            static_cast<int64_t>(src.hit_src) * hd,
-                        hd, GatherSlot(l)->data() + (q * width + w) * hd);
+            const float* hs = HitSlot(l)->data() +
+                              static_cast<int64_t>(src.hit_src) * hd;
+            std::copy_n(hs, hd,
+                        GatherSlot(l)->data() + (q * width + w) * hd);
+            nn::infer::ToDouble(hs,
+                                dgather_[static_cast<size_t>(l)].data() +
+                                    (q * width + w) * hd,
+                                hd);
           }
         }
       }
@@ -1081,12 +1173,17 @@ std::vector<double> InferenceSession::ScoreContinuations(
   }
   const int64_t batch = static_cast<int64_t>(rows_.size());
   const int64_t hd = gru_.hidden_dim;
+  EnsureStepScratch(batch);
   for (int l = 0; l < gru_.num_layers(); ++l) {
     nn::Tensor* warm = arena_.Acquire(GatherSlotIndex(l), {1, hd});
     std::copy_n(StateSlot(l)->data(), hd, warm->data());
     nn::Tensor* st = arena_.Acquire(StateSlotIndex(l), {batch, hd});
+    double* sd = dstate_[static_cast<size_t>(l)].data();
     for (int64_t b = 0; b < batch; ++b) {
       std::copy_n(warm->data(), hd, st->data() + b * hd);
+      // Broadcast the warmed row's double mirror alongside (row 0 is
+      // current after the warm steps; double copies are exact).
+      if (b > 0) std::copy_n(sd, hd, sd + b * hd);
     }
   }
   batch_out_.assign(rows_.size(), 0.0);

@@ -26,6 +26,11 @@ struct SharedInferWeights {
   nn::infer::PackedMatrix alpha_w;   // [N_max, H]
   std::vector<double> emb_table_d;   // [V, emb_dim]
   size_t packed_weight_bytes = 0;    // GEMV operand bytes at this precision
+  // Bytes of the K-major panel sidecars built for the blocked GEMM path
+  // (config.gemm_blocking; 0 when off). Panels duplicate the full blocks of
+  // each matrix in streaming order, so this is close to a second copy of
+  // packed_weight_bytes — reported separately for footprint accounting.
+  size_t packed_panel_bytes = 0;
 
   static std::shared_ptr<const SharedInferWeights> Build(
       const DeepSTModel& model);
@@ -116,6 +121,11 @@ class InferenceSession {
   // Number of scratch-storage growths so far; constant across calls once
   // the session is warm (the zero-allocation steady state).
   int64_t arena_grow_count() const { return arena_.grow_count(); }
+  // Growths of the non-arena step scratch (gathered embeddings and the
+  // per-layer double state mirrors). Reserved once per call at the max
+  // batch (ResetState / beam setup), so like arena_grow_count this is
+  // constant once the session is warm — StepBatch itself never resizes.
+  int64_t scratch_grow_count() const { return scratch_grow_count_; }
 
  private:
   // Scratch arena slot map. Per-layer slots follow the fixed block.
@@ -146,8 +156,15 @@ class InferenceSession {
   // arithmetic as PrepareContext, so row q is bitwise identical to preparing
   // context q alone.
   void PrepareContexts(const std::vector<const PredictionContext*>& ctxs);
-  // Re-shapes the per-layer state slots to [batch, H] and zero-fills them.
+  // Re-shapes the per-layer state slots to [batch, H] and zero-fills them
+  // (float slots and their double mirrors alike).
   void ResetState(int64_t batch);
+  // Grow-only reservation of the step scratch (embd_ / dstate_) for up to
+  // `batch` rows; called once per public call at the max batch so StepBatch
+  // never reallocates. EnsureGatherScratch is the beam-path counterpart for
+  // the gather mirrors (rows = queries x width).
+  void EnsureStepScratch(int64_t batch);
+  void EnsureGatherScratch(int64_t rows);
   // One batched GRU step: reads tokens, updates the state slots in place
   // and (when `want_logits`) fills kLogits with [batch, N_max] rows.
   void StepBatch(const int* tokens, int64_t batch, bool want_logits);
@@ -231,11 +248,19 @@ class InferenceSession {
   std::vector<int> hit_row_;  // single-query beam: beam index -> hit row
 
   nn::infer::Arena arena_;
-  // Double-precision activation scratch fed to the GEMV kernel: gathered
-  // token embeddings, converted state rows, and the per-query context
-  // vector. Grow-only, like the arena.
-  std::vector<double> embd_;  // [B, emb_dim]
-  std::vector<double> xd_;    // [B, H]
+  // Double-precision activation scratch fed to the GEMV kernels: gathered
+  // token embeddings, the persistent per-layer double mirrors of the float
+  // hidden states, and the per-query context vector. dstate_[l] always
+  // equals ToDouble(StateSlot(l)) for the active rows — refreshed once per
+  // layer per step (after GruGates), instead of converting every GEMV
+  // operand — and dgather_[l] mirrors GatherSlot(l) the same way through
+  // the beam keep phase (double->double row copies are exact, so the
+  // mirrors carry the same values ToDouble would produce). Grow-only via
+  // EnsureStepScratch / EnsureGatherScratch.
+  std::vector<double> embd_;                  // [B, emb_dim]
+  std::vector<std::vector<double>> dstate_;   // per layer: [B, H]
+  std::vector<std::vector<double>> dgather_;  // per layer: [rows, H]
+  int64_t scratch_grow_count_ = 0;
   std::vector<double> ctxd_;  // [ctx_dim]
   // Beam pools: beams_ holds the current width hypotheses, pool_ the
   // candidate set of one step (carried-over done beams + expansions).

@@ -25,6 +25,13 @@ namespace nn {
 namespace infer {
 namespace {
 
+// Per-element helpers below MUST be inlined into each target_clones clone:
+// an out-of-line copy would be compiled for the default ISA (and with its
+// own FP-contraction choices), so two call sites of the same helper could
+// produce results differing in the last bit. Forcing the inline keeps every
+// clone's arithmetic self-contained and bitwise reproducible.
+#define DEEPST_FORCE_INLINE inline __attribute__((always_inline))
+
 typedef double Vec8 __attribute__((vector_size(64)));
 typedef float VecF8x32 __attribute__((vector_size(32)));
 // 16-lane float types for the reduced-precision kernels: same 64-byte
@@ -38,14 +45,14 @@ typedef int32_t VecI16 __attribute__((vector_size(64)));
 
 // bfloat16 <-> float: the top 16 bits of the float pattern, packed with
 // round-to-nearest-even and decoded by a plain 16-bit shift (exact).
-inline uint16_t PackBf16(float f) {
+DEEPST_FORCE_INLINE uint16_t PackBf16(float f) {
   uint32_t u;
   std::memcpy(&u, &f, sizeof(u));
   u += 0x7fffu + ((u >> 16) & 1u);
   return static_cast<uint16_t>(u >> 16);
 }
 
-inline float UnpackBf16(uint16_t h) {
+DEEPST_FORCE_INLINE float UnpackBf16(uint16_t h) {
   const uint32_t u = static_cast<uint32_t>(h) << 16;
   float f;
   std::memcpy(&f, &u, sizeof(f));
@@ -55,7 +62,7 @@ inline float UnpackBf16(uint16_t h) {
 // One output element: an 8-lane double dot over k, lanes combined pairwise
 // in a fixed order, plus the optional biases. Inlined into each ISA clone
 // of LinearChunk so the lane arithmetic picks up the clone's vector width.
-inline float DotBias(const double* xrow, const double* wrow, int64_t k,
+DEEPST_FORCE_INLINE float DotBias(const double* xrow, const double* wrow, int64_t k,
                      const float* bias, const float* bias2, int64_t j) {
   Vec8 acc = {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
   int64_t kk = 0;
@@ -133,12 +140,12 @@ void LinearChunkRowBias(const double* x, int64_t ldx, const double* w,
 // composition and chunk boundaries stay invisible.
 inline constexpr int64_t kMaxFloatK = 1024;
 
-inline float LaneSumF(const VecF8x32& acc) {
+DEEPST_FORCE_INLINE float LaneSumF(const VecF8x32& acc) {
   return ((acc[0] + acc[1]) + (acc[2] + acc[3])) +
          ((acc[4] + acc[5]) + (acc[6] + acc[7]));
 }
 
-inline float LaneSumF16(const VecF16& a) {
+DEEPST_FORCE_INLINE float LaneSumF16(const VecF16& a) {
   return (((a[0] + a[1]) + (a[2] + a[3])) +
           ((a[4] + a[5]) + (a[6] + a[7]))) +
          (((a[8] + a[9]) + (a[10] + a[11])) +
@@ -147,7 +154,7 @@ inline float LaneSumF16(const VecF16& a) {
 
 // dst[i] = float(src[i]); returns the fixed 8-lane float sum of dst (the
 // int8 kernel's zero-point term, free in the conversion pass).
-inline float ToFloatRowSum(const double* src, float* dst, int64_t k) {
+DEEPST_FORCE_INLINE float ToFloatRowSum(const double* src, float* dst, int64_t k) {
   VecF8x32 xs = {0, 0, 0, 0, 0, 0, 0, 0};
   int64_t kk = 0;
   for (; kk + 8 <= k; kk += 8) {
@@ -167,7 +174,7 @@ inline float ToFloatRowSum(const double* src, float* dst, int64_t k) {
 
 // bf16 dot: weights widen to float lanes in-register (u16 -> u32<<16,
 // bit-cast); fixed 16-lane float accumulation.
-inline float DotBiasBf16(const float* xrow, const uint16_t* wrow, int64_t k,
+DEEPST_FORCE_INLINE float DotBiasBf16(const float* xrow, const uint16_t* wrow, int64_t k,
                          const float* bias, const float* bias2, int64_t j) {
   VecF16 acc = {0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0};
   int64_t kk = 0;
@@ -195,7 +202,7 @@ inline float DotBiasBf16(const float* xrow, const uint16_t* wrow, int64_t k,
 // per-tap dequant; `xsum` (the activation sum, independent of the output
 // row) is computed once per activation row by the caller. The combine runs
 // in double because z*xsum can be ~2^7 times the dot itself.
-inline float DotBiasI8(const float* xrow, float xsum, const int8_t* qrow,
+DEEPST_FORCE_INLINE float DotBiasI8(const float* xrow, float xsum, const int8_t* qrow,
                        int64_t k, float scale, int32_t zero, const float* bias,
                        const float* bias2, int64_t j) {
   VecF16 acc = {0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0};
@@ -232,7 +239,7 @@ struct FloatRow {
   float xsum = 0.0f;
   int64_t row = -1;
 
-  inline const float* Refresh(const double* x, int64_t ldx, int64_t k,
+  DEEPST_FORCE_INLINE const float* Refresh(const double* x, int64_t ldx, int64_t k,
                               int64_t i) {
     if (i != row) {
       xsum = ToFloatRowSum(x + i * ldx, xf, k);
@@ -324,6 +331,385 @@ void GemvChunkI8RowBias(const double* x, int64_t ldx, const int8_t* w,
       j = 0;
       ++i;
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Register-blocked GEMM micro-kernels (the batched fast path).
+//
+// The chunk kernels above compute one output element per DotBias* call, so a
+// weight row is re-streamed from memory once per activation row — at serve
+// batches of 16-64 beam lanes the step is bandwidth-bound. The kernels below
+// tile the output into kGemmMr x kGemmNr micro-tiles: each K-panel of
+// kGemmNr weight rows is streamed once and multiplied against kGemmMr
+// activation rows held in registers, cutting weight traffic by kGemmMr x.
+//
+// Bitwise contract: blocking reorders work only ACROSS output elements,
+// never within one. Each of the MR*NR accumulators executes exactly the
+// chunk kernel's per-element sequence — the same ascending vector blocks,
+// the same `acc += xv * wv` expression (so FP contraction fuses
+// identically), the same pairwise lane reduction, the same scalar K tail
+// from the row-major arrays, the same cast and bias adds — so the blocked
+// path is bitwise identical to the chunk path for all three precisions.
+// Partial bands (m % kGemmMr), row tails (n % kGemmNr) and K tails run
+// through the retained per-element helpers.
+
+constexpr Vec8 kZero8 = {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+constexpr VecF16 kZeroF16 = {0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0};
+
+// Per-activation-row bias base: the row-mapped variant offsets bias/bias2 by
+// bias_row[i] * n, the shared variant uses one base for every row. Folding
+// the offset into a per-row pointer lets one band kernel serve both call
+// forms; per element the arithmetic (v += bias[j]) is unchanged.
+DEEPST_FORCE_INLINE const float* BiasBase(const float* base, const int* bias_row, int64_t i,
+                             int64_t n) {
+  if (base == nullptr || bias_row == nullptr) return base;
+  return base + static_cast<int64_t>(bias_row[i]) * n;
+}
+
+// Finish one double accumulator: scalar K tail from the row-major weight
+// row, then exactly DotBias's pairwise reduction, cast and bias adds.
+DEEPST_FORCE_INLINE float FinishD(const Vec8& acc, const double* xrow, const double* wrow,
+                     int64_t k, int64_t k0, const float* bias,
+                     const float* bias2, int64_t j) {
+  double tail = 0.0;
+  for (int64_t kk = k0; kk < k; ++kk) tail += xrow[kk] * wrow[kk];
+  const double sum = (((acc[0] + acc[1]) + (acc[2] + acc[3])) +
+                      ((acc[4] + acc[5]) + (acc[6] + acc[7]))) +
+                     tail;
+  float v = static_cast<float>(sum);
+  if (bias != nullptr) v += bias[j];
+  if (bias2 != nullptr) v += bias2[j];
+  return v;
+}
+
+// DotBiasBf16's epilogue for one accumulator.
+DEEPST_FORCE_INLINE float FinishBf16(const VecF16& acc, const float* xrow,
+                        const uint16_t* wrow, int64_t k, int64_t k0,
+                        const float* bias, const float* bias2, int64_t j) {
+  float tail = 0.0f;
+  for (int64_t kk = k0; kk < k; ++kk) tail += xrow[kk] * UnpackBf16(wrow[kk]);
+  float v = LaneSumF16(acc) + tail;
+  if (bias != nullptr) v += bias[j];
+  if (bias2 != nullptr) v += bias2[j];
+  return v;
+}
+
+// DotBiasI8's epilogue for one accumulator (double combine, see DotBiasI8).
+DEEPST_FORCE_INLINE float FinishI8(const VecF16& acc, const float* xrow, float xsum,
+                      const int8_t* qrow, int64_t k, int64_t k0, float scale,
+                      int32_t zero, const float* bias, const float* bias2,
+                      int64_t j) {
+  float tacc = 0.0f;
+  for (int64_t kk = k0; kk < k; ++kk) {
+    tacc += xrow[kk] * static_cast<float>(qrow[kk]);
+  }
+  const double qsum = static_cast<double>(LaneSumF16(acc) + tacc);
+  const double sum = static_cast<double>(scale) *
+                     (qsum - static_cast<double>(zero) *
+                                 static_cast<double>(xsum));
+  float v = static_cast<float>(sum);
+  if (bias != nullptr) v += bias[j];
+  if (bias2 != nullptr) v += bias2[j];
+  return v;
+}
+
+// Blocked double GEMM over bands [band_begin, band_end); a band is kGemmMr
+// consecutive activation rows across all n outputs, so chunk boundaries can
+// never split a micro-tile. `panels` is the K-major sidecar of
+// PackedMatrix::BuildPanels, `w` the retained row-major matrix for tails.
+DEEPST_INFER_CLONES
+void GemmBandsD(const double* x, int64_t ldx, const double* w,
+                const double* panels, const float* bias, const float* bias2,
+                const int* bias_row, float* out, int64_t m, int64_t k,
+                int64_t n, int64_t band_begin, int64_t band_end) {
+  const int64_t kb = k / 8;
+  const int64_t np = n / kGemmNr;
+  const int64_t pstride = kb * kGemmNr * 8;
+  for (int64_t band = band_begin; band < band_end; ++band) {
+    const int64_t i0 = band * kGemmMr;
+    const int64_t mr = std::min<int64_t>(kGemmMr, m - i0);
+    const double* xr[kGemmMr] = {};
+    const float* b0[kGemmMr] = {};
+    const float* b1[kGemmMr] = {};
+    for (int64_t r = 0; r < mr; ++r) {
+      xr[r] = x + (i0 + r) * ldx;
+      b0[r] = BiasBase(bias, bias_row, i0 + r, n);
+      b1[r] = BiasBase(bias2, bias_row, i0 + r, n);
+    }
+    if (mr == kGemmMr) {
+      for (int64_t p = 0; p < np; ++p) {
+        const int64_t j0 = p * kGemmNr;
+        const double* pp = panels + p * pstride;
+        Vec8 a00 = kZero8, a01 = kZero8, a10 = kZero8, a11 = kZero8;
+        Vec8 a20 = kZero8, a21 = kZero8, a30 = kZero8, a31 = kZero8;
+        int64_t kk = 0;
+        for (; kk + 8 <= k; kk += 8, pp += 16) {
+          Vec8 w0, w1, xv;
+          std::memcpy(&w0, pp, sizeof(w0));
+          std::memcpy(&w1, pp + 8, sizeof(w1));
+          std::memcpy(&xv, xr[0] + kk, sizeof(xv));
+          a00 += xv * w0;
+          a01 += xv * w1;
+          std::memcpy(&xv, xr[1] + kk, sizeof(xv));
+          a10 += xv * w0;
+          a11 += xv * w1;
+          std::memcpy(&xv, xr[2] + kk, sizeof(xv));
+          a20 += xv * w0;
+          a21 += xv * w1;
+          std::memcpy(&xv, xr[3] + kk, sizeof(xv));
+          a30 += xv * w0;
+          a31 += xv * w1;
+        }
+        const double* w0r = w + j0 * k;
+        const double* w1r = w0r + k;
+        float* o0 = out + (i0 + 0) * n + j0;
+        float* o1 = out + (i0 + 1) * n + j0;
+        float* o2 = out + (i0 + 2) * n + j0;
+        float* o3 = out + (i0 + 3) * n + j0;
+        o0[0] = FinishD(a00, xr[0], w0r, k, kk, b0[0], b1[0], j0);
+        o0[1] = FinishD(a01, xr[0], w1r, k, kk, b0[0], b1[0], j0 + 1);
+        o1[0] = FinishD(a10, xr[1], w0r, k, kk, b0[1], b1[1], j0);
+        o1[1] = FinishD(a11, xr[1], w1r, k, kk, b0[1], b1[1], j0 + 1);
+        o2[0] = FinishD(a20, xr[2], w0r, k, kk, b0[2], b1[2], j0);
+        o2[1] = FinishD(a21, xr[2], w1r, k, kk, b0[2], b1[2], j0 + 1);
+        o3[0] = FinishD(a30, xr[3], w0r, k, kk, b0[3], b1[3], j0);
+        o3[1] = FinishD(a31, xr[3], w1r, k, kk, b0[3], b1[3], j0 + 1);
+      }
+      for (int64_t j = np * kGemmNr; j < n; ++j) {
+        for (int64_t r = 0; r < kGemmMr; ++r) {
+          out[(i0 + r) * n + j] = DotBias(xr[r], w + j * k, k, b0[r], b1[r],
+                                          j);
+        }
+      }
+    } else {
+      for (int64_t r = 0; r < mr; ++r) {
+        for (int64_t j = 0; j < n; ++j) {
+          out[(i0 + r) * n + j] = DotBias(xr[r], w + j * k, k, b0[r], b1[r],
+                                          j);
+        }
+      }
+    }
+  }
+}
+
+// Blocked bf16 GEMM: the band's activation rows convert double -> float
+// once (same exact conversion the chunk path does per chunk), then each
+// K-panel decodes to float lanes once for kGemmMr activation rows.
+DEEPST_INFER_CLONES
+void GemmBandsBf16(const double* x, int64_t ldx, const uint16_t* w,
+                   const uint16_t* panels, const float* bias,
+                   const float* bias2, const int* bias_row, float* out,
+                   int64_t m, int64_t k, int64_t n, int64_t band_begin,
+                   int64_t band_end) {
+  DEEPST_CHECK(k <= kMaxFloatK);
+  const int64_t kb = k / 16;
+  const int64_t np = n / kGemmNr;
+  const int64_t pstride = kb * kGemmNr * 16;
+  float xf[kGemmMr][kMaxFloatK];
+  for (int64_t band = band_begin; band < band_end; ++band) {
+    const int64_t i0 = band * kGemmMr;
+    const int64_t mr = std::min<int64_t>(kGemmMr, m - i0);
+    const float* b0[kGemmMr] = {};
+    const float* b1[kGemmMr] = {};
+    for (int64_t r = 0; r < mr; ++r) {
+      ToFloatRowSum(x + (i0 + r) * ldx, xf[r], k);
+      b0[r] = BiasBase(bias, bias_row, i0 + r, n);
+      b1[r] = BiasBase(bias2, bias_row, i0 + r, n);
+    }
+    if (mr == kGemmMr) {
+      for (int64_t p = 0; p < np; ++p) {
+        const int64_t j0 = p * kGemmNr;
+        const uint16_t* pp = panels + p * pstride;
+        VecF16 a00 = kZeroF16, a01 = kZeroF16, a10 = kZeroF16,
+               a11 = kZeroF16;
+        VecF16 a20 = kZeroF16, a21 = kZeroF16, a30 = kZeroF16,
+               a31 = kZeroF16;
+        int64_t kk = 0;
+        for (; kk + 16 <= k; kk += 16, pp += 32) {
+          VecH16 hv;
+          VecF16 fv0, fv1, xv;
+          std::memcpy(&hv, pp, sizeof(hv));
+          const VecU16 bits0 = __builtin_convertvector(hv, VecU16) << 16;
+          std::memcpy(&fv0, &bits0, sizeof(fv0));
+          std::memcpy(&hv, pp + 16, sizeof(hv));
+          const VecU16 bits1 = __builtin_convertvector(hv, VecU16) << 16;
+          std::memcpy(&fv1, &bits1, sizeof(fv1));
+          std::memcpy(&xv, xf[0] + kk, sizeof(xv));
+          a00 += xv * fv0;
+          a01 += xv * fv1;
+          std::memcpy(&xv, xf[1] + kk, sizeof(xv));
+          a10 += xv * fv0;
+          a11 += xv * fv1;
+          std::memcpy(&xv, xf[2] + kk, sizeof(xv));
+          a20 += xv * fv0;
+          a21 += xv * fv1;
+          std::memcpy(&xv, xf[3] + kk, sizeof(xv));
+          a30 += xv * fv0;
+          a31 += xv * fv1;
+        }
+        const uint16_t* w0r = w + j0 * k;
+        const uint16_t* w1r = w0r + k;
+        float* o0 = out + (i0 + 0) * n + j0;
+        float* o1 = out + (i0 + 1) * n + j0;
+        float* o2 = out + (i0 + 2) * n + j0;
+        float* o3 = out + (i0 + 3) * n + j0;
+        o0[0] = FinishBf16(a00, xf[0], w0r, k, kk, b0[0], b1[0], j0);
+        o0[1] = FinishBf16(a01, xf[0], w1r, k, kk, b0[0], b1[0], j0 + 1);
+        o1[0] = FinishBf16(a10, xf[1], w0r, k, kk, b0[1], b1[1], j0);
+        o1[1] = FinishBf16(a11, xf[1], w1r, k, kk, b0[1], b1[1], j0 + 1);
+        o2[0] = FinishBf16(a20, xf[2], w0r, k, kk, b0[2], b1[2], j0);
+        o2[1] = FinishBf16(a21, xf[2], w1r, k, kk, b0[2], b1[2], j0 + 1);
+        o3[0] = FinishBf16(a30, xf[3], w0r, k, kk, b0[3], b1[3], j0);
+        o3[1] = FinishBf16(a31, xf[3], w1r, k, kk, b0[3], b1[3], j0 + 1);
+      }
+      for (int64_t j = np * kGemmNr; j < n; ++j) {
+        for (int64_t r = 0; r < kGemmMr; ++r) {
+          out[(i0 + r) * n + j] =
+              DotBiasBf16(xf[r], w + j * k, k, b0[r], b1[r], j);
+        }
+      }
+    } else {
+      for (int64_t r = 0; r < mr; ++r) {
+        for (int64_t j = 0; j < n; ++j) {
+          out[(i0 + r) * n + j] =
+              DotBiasBf16(xf[r], w + j * k, k, b0[r], b1[r], j);
+        }
+      }
+    }
+  }
+}
+
+// Blocked int8 GEMM: per-band double -> float conversion also yields each
+// activation row's sum (the zero-point term), shared by every output row.
+DEEPST_INFER_CLONES
+void GemmBandsI8(const double* x, int64_t ldx, const int8_t* w,
+                 const int8_t* panels, const float* scale,
+                 const int32_t* zero, const float* bias, const float* bias2,
+                 const int* bias_row, float* out, int64_t m, int64_t k,
+                 int64_t n, int64_t band_begin, int64_t band_end) {
+  DEEPST_CHECK(k <= kMaxFloatK);
+  const int64_t kb = k / 16;
+  const int64_t np = n / kGemmNr;
+  const int64_t pstride = kb * kGemmNr * 16;
+  float xf[kGemmMr][kMaxFloatK];
+  float xsum[kGemmMr] = {};
+  for (int64_t band = band_begin; band < band_end; ++band) {
+    const int64_t i0 = band * kGemmMr;
+    const int64_t mr = std::min<int64_t>(kGemmMr, m - i0);
+    const float* b0[kGemmMr] = {};
+    const float* b1[kGemmMr] = {};
+    for (int64_t r = 0; r < mr; ++r) {
+      xsum[r] = ToFloatRowSum(x + (i0 + r) * ldx, xf[r], k);
+      b0[r] = BiasBase(bias, bias_row, i0 + r, n);
+      b1[r] = BiasBase(bias2, bias_row, i0 + r, n);
+    }
+    if (mr == kGemmMr) {
+      for (int64_t p = 0; p < np; ++p) {
+        const int64_t j0 = p * kGemmNr;
+        const int8_t* pp = panels + p * pstride;
+        VecF16 a00 = kZeroF16, a01 = kZeroF16, a10 = kZeroF16,
+               a11 = kZeroF16;
+        VecF16 a20 = kZeroF16, a21 = kZeroF16, a30 = kZeroF16,
+               a31 = kZeroF16;
+        int64_t kk = 0;
+        for (; kk + 16 <= k; kk += 16, pp += 32) {
+          VecQ16 qv;
+          VecF16 xv;
+          std::memcpy(&qv, pp, sizeof(qv));
+          const VecF16 fv0 = __builtin_convertvector(
+              __builtin_convertvector(__builtin_convertvector(qv, VecW16),
+                                      VecI16),
+              VecF16);
+          std::memcpy(&qv, pp + 16, sizeof(qv));
+          const VecF16 fv1 = __builtin_convertvector(
+              __builtin_convertvector(__builtin_convertvector(qv, VecW16),
+                                      VecI16),
+              VecF16);
+          std::memcpy(&xv, xf[0] + kk, sizeof(xv));
+          a00 += xv * fv0;
+          a01 += xv * fv1;
+          std::memcpy(&xv, xf[1] + kk, sizeof(xv));
+          a10 += xv * fv0;
+          a11 += xv * fv1;
+          std::memcpy(&xv, xf[2] + kk, sizeof(xv));
+          a20 += xv * fv0;
+          a21 += xv * fv1;
+          std::memcpy(&xv, xf[3] + kk, sizeof(xv));
+          a30 += xv * fv0;
+          a31 += xv * fv1;
+        }
+        const int8_t* w0r = w + j0 * k;
+        const int8_t* w1r = w0r + k;
+        float* o0 = out + (i0 + 0) * n + j0;
+        float* o1 = out + (i0 + 1) * n + j0;
+        float* o2 = out + (i0 + 2) * n + j0;
+        float* o3 = out + (i0 + 3) * n + j0;
+        o0[0] = FinishI8(a00, xf[0], xsum[0], w0r, k, kk, scale[j0],
+                         zero[j0], b0[0], b1[0], j0);
+        o0[1] = FinishI8(a01, xf[0], xsum[0], w1r, k, kk, scale[j0 + 1],
+                         zero[j0 + 1], b0[0], b1[0], j0 + 1);
+        o1[0] = FinishI8(a10, xf[1], xsum[1], w0r, k, kk, scale[j0],
+                         zero[j0], b0[1], b1[1], j0);
+        o1[1] = FinishI8(a11, xf[1], xsum[1], w1r, k, kk, scale[j0 + 1],
+                         zero[j0 + 1], b0[1], b1[1], j0 + 1);
+        o2[0] = FinishI8(a20, xf[2], xsum[2], w0r, k, kk, scale[j0],
+                         zero[j0], b0[2], b1[2], j0);
+        o2[1] = FinishI8(a21, xf[2], xsum[2], w1r, k, kk, scale[j0 + 1],
+                         zero[j0 + 1], b0[2], b1[2], j0 + 1);
+        o3[0] = FinishI8(a30, xf[3], xsum[3], w0r, k, kk, scale[j0],
+                         zero[j0], b0[3], b1[3], j0);
+        o3[1] = FinishI8(a31, xf[3], xsum[3], w1r, k, kk, scale[j0 + 1],
+                         zero[j0 + 1], b0[3], b1[3], j0 + 1);
+      }
+      for (int64_t j = np * kGemmNr; j < n; ++j) {
+        for (int64_t r = 0; r < kGemmMr; ++r) {
+          out[(i0 + r) * n + j] = DotBiasI8(xf[r], xsum[r], w + j * k, k,
+                                            scale[j], zero[j], b0[r], b1[r],
+                                            j);
+        }
+      }
+    } else {
+      for (int64_t r = 0; r < mr; ++r) {
+        for (int64_t j = 0; j < n; ++j) {
+          out[(i0 + r) * n + j] = DotBiasI8(xf[r], xsum[r], w + j * k, k,
+                                            scale[j], zero[j], b0[r], b1[r],
+                                            j);
+        }
+      }
+    }
+  }
+}
+
+// Routes one batched GEMV through the blocked kernels. Thread partitioning
+// runs over whole bands (grain 1 band = kGemmMr activation rows x all n
+// outputs) so a micro-tile is never split; each band's outputs depend only
+// on (x, w), not on which chunk computed them.
+void GemmBlocked(const double* x, int64_t ldx, const PackedMatrix& w,
+                 const float* bias, const float* bias2, const int* bias_row,
+                 float* out, int64_t m, int64_t n) {
+  const int64_t k = w.cols;
+  const int64_t bands = (m + kGemmMr - 1) / kGemmMr;
+  switch (w.precision) {
+    case Precision::kDouble:
+      ParallelFor(bands, 1, [&](int64_t b0, int64_t b1) {
+        GemmBandsD(x, ldx, w.d.data(), w.pd.data(), bias, bias2, bias_row,
+                   out, m, k, n, b0, b1);
+      });
+      return;
+    case Precision::kBf16:
+      ParallelFor(bands, 1, [&](int64_t b0, int64_t b1) {
+        GemmBandsBf16(x, ldx, w.h.data(), w.ph.data(), bias, bias2, bias_row,
+                      out, m, k, n, b0, b1);
+      });
+      return;
+    case Precision::kInt8:
+      ParallelFor(bands, 1, [&](int64_t b0, int64_t b1) {
+        GemmBandsI8(x, ldx, w.q.data(), w.pq.data(), w.scale.data(),
+                    w.zero.data(), bias, bias2, bias_row, out, m, k, n, b0,
+                    b1);
+      });
+      return;
   }
 }
 
@@ -442,11 +828,59 @@ size_t PackedMatrix::PackedBytes() const {
          zero.size() * sizeof(int32_t);
 }
 
+void PackedMatrix::BuildPanels() {
+  if (has_panels()) return;
+  const int64_t bw = PanelBlock();
+  const int64_t np = rows / kGemmNr;  // full panels of kGemmNr rows
+  const int64_t kb = cols / bw;       // full K vector blocks
+  // A matrix too small for even one full panel/block gains nothing from
+  // blocking; GemvForward keeps the chunk path when has_panels() is false.
+  if (np == 0 || kb == 0) return;
+  const size_t numel = static_cast<size_t>(np * kb * kGemmNr * bw);
+  // panel[p][b][r][lane] = element (p*kGemmNr + r, b*bw + lane): the
+  // micro-kernel streams one contiguous panel per K block instead of
+  // kGemmNr strided rows.
+  const auto fill = [&](auto* dst, const auto* src) {
+    size_t e = 0;
+    for (int64_t p = 0; p < np; ++p) {
+      for (int64_t b = 0; b < kb; ++b) {
+        for (int64_t r = 0; r < kGemmNr; ++r) {
+          const auto* row = src + (p * kGemmNr + r) * cols + b * bw;
+          for (int64_t l = 0; l < bw; ++l) dst[e++] = row[l];
+        }
+      }
+    }
+  };
+  switch (precision) {
+    case Precision::kDouble:
+      pd.resize(numel);
+      fill(pd.data(), d.data());
+      break;
+    case Precision::kBf16:
+      ph.resize(numel);
+      fill(ph.data(), h.data());
+      break;
+    case Precision::kInt8:
+      pq.resize(numel);
+      fill(pq.data(), q.data());
+      break;
+  }
+}
+
+size_t PackedMatrix::PanelBytes() const {
+  return pd.size() * sizeof(double) + ph.size() * sizeof(uint16_t) +
+         pq.size() * sizeof(int8_t);
+}
+
 void GemvForward(const double* x, int64_t ldx, const PackedMatrix& w,
                  const float* bias, const float* bias2, float* out, int64_t m,
                  int64_t n) {
   DEEPST_DCHECK(w.rows == n);
   const int64_t k = w.cols;
+  if (m > 1 && w.has_panels()) {
+    GemmBlocked(x, ldx, w, bias, bias2, nullptr, out, m, n);
+    return;
+  }
   switch (w.precision) {
     case Precision::kDouble:
       LinearForward(x, ldx, w.d.data(), k, bias, bias2, out, m, k, n);
@@ -471,6 +905,10 @@ void GemvForwardRowBias(const double* x, int64_t ldx, const PackedMatrix& w,
                         int64_t n) {
   DEEPST_DCHECK(w.rows == n);
   const int64_t k = w.cols;
+  if (m > 1 && w.has_panels()) {
+    GemmBlocked(x, ldx, w, bias, bias2, bias_row, out, m, n);
+    return;
+  }
   switch (w.precision) {
     case Precision::kDouble:
       LinearForwardRowBias(x, ldx, w.d.data(), k, bias, bias2, bias_row, out,

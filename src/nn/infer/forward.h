@@ -37,6 +37,14 @@ namespace infer {
 // Work grain: outputs (dot products) per chunk.
 inline constexpr int64_t kDotGrain = 32;
 
+// Register-blocked GEMM micro-tile shape: kGemmMr activation rows by
+// kGemmNr output rows per tile. Thread partitioning for the blocked path
+// runs over whole bands of kGemmMr activation rows, so a micro-tile is
+// never split across chunks and the per-element accumulation order (which
+// is what the determinism contract fixes) is identical to the chunk path.
+inline constexpr int64_t kGemmMr = 4;
+inline constexpr int64_t kGemmNr = 2;
+
 // dst[i] = double(src[i]); exact for every float.
 void ToDouble(const float* src, double* dst, int64_t n);
 
@@ -96,13 +104,42 @@ struct PackedMatrix {
   std::vector<float> scale;  // kInt8:   [rows]
   std::vector<int32_t> zero;  // kInt8:  [rows]
 
+  // K-major panel-packed sidecar for the blocked GEMM path (built by
+  // BuildPanels, empty after a bare Pack). Rows are grouped into panels of
+  // kGemmNr; within a panel the full vector blocks of the K dimension are
+  // interleaved row-by-row, so the micro-kernel streams one contiguous
+  // panel instead of kGemmNr strided rows:
+  //   panel[p][b][r][lane] = element (p*kGemmNr + r, b*block + lane)
+  // with block = 8 doubles (kDouble) or 16 elements (kBf16/kInt8), matching
+  // the kernels' vector widths. Only full panels and full K blocks are
+  // packed; row/K tails go through the retained row-major arrays, and the
+  // int8 scale/zero sidecar stays per-row (shared with the chunk path).
+  std::vector<double> pd;
+  std::vector<uint16_t> ph;
+  std::vector<int8_t> pq;
+
   static PackedMatrix Pack(const float* w, int64_t rows, int64_t cols,
                            int64_t ldw, Precision precision);
+  // Builds the panel sidecar above; idempotent. Worth calling whenever the
+  // matrix will see batched (m > 1) GEMVs — GemvForward routes through the
+  // blocked kernels exactly when panels are present and m > 1.
+  void BuildPanels();
+  bool has_panels() const {
+    return !pd.empty() || !ph.empty() || !pq.empty();
+  }
+  // Vector-block width of the K dimension for this precision (8 doubles or
+  // 16 reduced-precision elements).
+  int64_t PanelBlock() const {
+    return precision == Precision::kDouble ? 8 : 16;
+  }
   // Dequantized value of element (r, c) — the value the kernel multiplies
   // against; exact round-trip check for tests and reference GEMVs.
   double Dequant(int64_t r, int64_t c) const;
-  // Packed weight bytes including the int8 scale/zero-point sidecar.
+  // Packed weight bytes including the int8 scale/zero-point sidecar
+  // (row-major arrays only; the panel sidecar is reported separately).
   size_t PackedBytes() const;
+  // Bytes held by the K-major panel sidecar (0 until BuildPanels).
+  size_t PanelBytes() const;
   bool empty() const { return rows == 0; }
 };
 
@@ -114,6 +151,15 @@ struct PackedMatrix {
 // precisions keep the kernels' determinism contract: row-local, fixed-order
 // accumulation, bitwise identical across ISA clones / thread counts / batch
 // compositions.
+//
+// When `m > 1` and the matrix carries a panel sidecar (BuildPanels), the
+// call routes through register-blocked kGemmMr x kGemmNr GEMM micro-kernels
+// that amortize each streamed weight panel across kGemmMr activation rows.
+// Blocking reorders work only *across* output elements, never within one:
+// each element still accumulates in the chunk kernels' exact lane order
+// (8-lane pairwise double for kDouble, source-fixed 16-lane float for
+// bf16/int8), so the blocked path is bitwise identical to the chunk path
+// for every precision — it is purely a bandwidth optimization.
 void GemvForward(const double* x, int64_t ldx, const PackedMatrix& w,
                  const float* bias, const float* bias2, float* out, int64_t m,
                  int64_t n);

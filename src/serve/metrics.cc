@@ -38,6 +38,16 @@ double LatencyHistogram::Quantile(double q) const {
   return std::ldexp(1.0, kBuckets) / 1000.0;
 }
 
+void BatchShapeHistogram::Record(int64_t rows) {
+  if (rows < 1) rows = 1;
+  int b = 0;
+  while (b + 1 < kBuckets && rows >= 2) {
+    rows >>= 1;
+    ++b;
+  }
+  buckets_[static_cast<size_t>(b)].fetch_add(1, std::memory_order_relaxed);
+}
+
 MetricsSnapshot Snapshot(const ServeMetrics& metrics) {
   MetricsSnapshot s;
   s.submitted = metrics.submitted.load(std::memory_order_relaxed);
@@ -55,15 +65,25 @@ MetricsSnapshot Snapshot(const ServeMetrics& metrics) {
   s.workers_spawned = metrics.workers_spawned.load(std::memory_order_relaxed);
   s.p50_ms = metrics.latency.Quantile(0.50);
   s.p99_ms = metrics.latency.Quantile(0.99);
+  for (int b = 0; b < BatchShapeHistogram::kBuckets; ++b) {
+    s.batch_shape[static_cast<size_t>(b)] = metrics.batch_shape.bucket(b);
+  }
   return s;
 }
 
 std::string MetricsSnapshot::ToJson() const {
+  std::string shape = "[";
+  for (size_t b = 0; b < batch_shape.size(); ++b) {
+    if (b > 0) shape += ", ";
+    shape += util::StrFormat("%lld", static_cast<long long>(batch_shape[b]));
+  }
+  shape += "]";
   return util::StrFormat(
       "{\"submitted\": %lld, \"admitted\": %lld, \"shed_queue_full\": %lld, "
       "\"rejected_draining\": %lld, \"completed_ok\": %lld, \"failed\": %lld, "
       "\"expired_in_queue\": %lld, \"batches\": %lld, "
-      "\"batch_requests\": %lld, \"watchdog_recycles\": %lld, "
+      "\"batch_requests\": %lld, \"batch_shape\": %s, "
+      "\"watchdog_recycles\": %lld, "
       "\"workers_spawned\": %lld, \"p50_ms\": %.3f, \"p99_ms\": %.3f, "
       "\"cache\": {\"lookups\": %lld, \"hits\": %lld, \"misses\": %lld, "
       "\"insertions\": %lld, \"invalidations\": %lld, \"epoch\": %lld, "
@@ -74,7 +94,7 @@ std::string MetricsSnapshot::ToJson() const {
       static_cast<long long>(completed_ok), static_cast<long long>(failed),
       static_cast<long long>(expired_in_queue),
       static_cast<long long>(batches), static_cast<long long>(batch_requests),
-      static_cast<long long>(watchdog_recycles),
+      shape.c_str(), static_cast<long long>(watchdog_recycles),
       static_cast<long long>(workers_spawned), p50_ms, p99_ms,
       static_cast<long long>(cache_lookups), static_cast<long long>(cache_hits),
       static_cast<long long>(cache_misses),

@@ -29,6 +29,27 @@ class LatencyHistogram {
   std::atomic<int64_t> count_{0};
 };
 
+// Log2 histogram of executed batch shapes: bucket b counts batches whose
+// post-expiry request count landed in [2^b, 2^(b+1)), so bucket 0 is
+// single-request batches and the top bucket absorbs anything >= 2^11. The
+// batching win comes from the blocked GEMM kernels amortizing weight reads
+// across rows, so the shape distribution (not just the mean
+// batch_requests/batches) is what says whether cross-query coalescing is
+// actually producing multi-row steps. Record is one relaxed increment on
+// the worker's per-batch path.
+class BatchShapeHistogram {
+ public:
+  static constexpr int kBuckets = 12;
+
+  void Record(int64_t rows);
+  int64_t bucket(int b) const {
+    return buckets_[static_cast<size_t>(b)].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<int64_t>, kBuckets> buckets_{};
+};
+
 // Monotonic counters covering every way a request can leave the daemon,
 // plus the batching and watchdog activity behind them. One shed request is
 // exactly one increment of exactly one rejection counter: the chaos soak
@@ -44,6 +65,7 @@ struct ServeMetrics {
   std::atomic<int64_t> expired_in_queue{0};   // deadline died waiting
   std::atomic<int64_t> batches{0};            // worker dequeues
   std::atomic<int64_t> batch_requests{0};     // requests across all batches
+  BatchShapeHistogram batch_shape;            // executed (post-expiry) rows
   std::atomic<int64_t> watchdog_recycles{0};  // hung-worker lease retirements
   std::atomic<int64_t> workers_spawned{0};    // incl. watchdog replacements
   LatencyHistogram latency;                   // admission -> completion
@@ -60,6 +82,9 @@ struct MetricsSnapshot {
   int64_t expired_in_queue = 0;
   int64_t batches = 0;
   int64_t batch_requests = 0;
+  // batch_shape[b] = executed batches with rows in [2^b, 2^(b+1)).
+  // sum(batch_shape) <= batches: only non-empty post-expiry batches record.
+  std::array<int64_t, BatchShapeHistogram::kBuckets> batch_shape{};
   int64_t watchdog_recycles = 0;
   int64_t workers_spawned = 0;
   double p50_ms = 0.0;

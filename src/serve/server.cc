@@ -138,6 +138,7 @@ void Server::WorkerLoop(WorkerState* state) {
       live.push_back(i);
     }
     if (!requests.empty()) {
+      metrics_.batch_shape.Record(static_cast<int64_t>(requests.size()));
       // ExecuteBatch is exception-isolated internally; each slot always
       // carries a Status or a result, so every promise below resolves.
       std::vector<util::StatusOr<core::ServingResult>> results =

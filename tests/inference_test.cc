@@ -284,12 +284,17 @@ TEST(InferenceArenaTest, ZeroAllocationSteadyState) {
   session.PredictRouteBeam(ctx, query.origin, &r1);
   session.ScoreRoutes(ctx, candidates);
   const int64_t warm = session.arena_grow_count();
-  // ...after which identical work allocates nothing.
+  const int64_t warm_scratch = session.scratch_grow_count();
+  // ...after which identical work allocates nothing: neither the arena
+  // slots nor the session-owned step scratch (embedding staging and the
+  // per-layer double-precision state mirrors) grow again.
   util::Rng r2(9);
   session.PredictRouteBeam(ctx, query.origin, &r2);
   session.ScoreRoutes(ctx, candidates);
   session.ScoreRoute(ctx, candidates[0]);
   EXPECT_EQ(session.arena_grow_count(), warm);
+  EXPECT_EQ(session.scratch_grow_count(), warm_scratch);
+  EXPECT_GT(warm_scratch, 0);
 }
 
 TEST(InferenceConcurrencyTest, SessionPoolSafeUnderConcurrentCalls) {

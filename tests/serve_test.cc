@@ -127,6 +127,17 @@ TEST_F(ServeTest, BatchedExecutionMatchesDirectServingBitwise) {
   EXPECT_EQ(snap.cache_hits + snap.cache_misses, snap.cache_lookups);
   EXPECT_NE(snap.ToJson().find("\"cache\""), std::string::npos);
   EXPECT_NE(snap.ToJson().find("\"hits\""), std::string::npos);
+  // Batch-shape histogram invariants: every executed (non-empty) batch lands
+  // in exactly one log2 bucket, so the bucket sum is positive after traffic
+  // and never exceeds the dequeue count; the JSON exports the buckets.
+  int64_t shape_total = 0;
+  for (int64_t c : snap.batch_shape) {
+    EXPECT_GE(c, 0);
+    shape_total += c;
+  }
+  EXPECT_GT(shape_total, 0);
+  EXPECT_LE(shape_total, snap.batches);
+  EXPECT_NE(snap.ToJson().find("\"batch_shape\""), std::string::npos);
 }
 
 TEST_F(ServeTest, ScoreRequestsReturnPerCandidateScores) {
@@ -182,6 +193,11 @@ TEST_F(ServeTest, QueuedRequestsCoalesceIntoOneBatch) {
   const MetricsSnapshot snap = server.snapshot();
   EXPECT_EQ(snap.batches, 1);
   EXPECT_EQ(snap.batch_requests, 4);
+  // The one coalesced batch executed with 4 rows -> log2 bucket 2.
+  EXPECT_EQ(snap.batch_shape[2], 1);
+  for (size_t b = 0; b < snap.batch_shape.size(); ++b) {
+    if (b != 2) EXPECT_EQ(snap.batch_shape[b], 0) << "bucket " << b;
+  }
 }
 
 TEST_F(ServeTest, ShedsWhenQueueFullWithRetryAfterHint) {

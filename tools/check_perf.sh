@@ -4,6 +4,7 @@
 #
 #   tools/check_perf.sh [build-dir] [min-speedup] [min-train-speedup]
 #       [min-scale-speedup] [min-serve-speedup] [min-quant-speedup]
+#       [min-gemm-speedup]
 #
 # Inference: builds bench_micro + inference_test, runs the inference sweep
 # (which writes <build-dir>/bench_out/BENCH_inference.json comparing the
@@ -42,6 +43,13 @@
 # kernels actually dispatch) also asserts the memoized quantized variants
 # beat the unmemoized double fast path by min-quant-speedup (default 2.0).
 #
+# GEMM blocking: runs the GEMM sweep (BM_GemmSweep -> BENCH_gemm.json; the
+# register-blocked panel kernels against the round-two chunk kernels, plus
+# the memo-cold batched beam workload with config.gemm_blocking off vs on).
+# Always asserts every row's bitwise_equal field (the blocking must never
+# change a result, at any precision); on AVX2 hardware also asserts the
+# batched-beam double speedup is at least min-gemm-speedup (default 1.5).
+#
 # DEEPST_FAST=1 keeps the other runs small; the speedups also hold at the
 # full model size (docs/inference.md, docs/training-perf.md).
 set -euo pipefail
@@ -53,6 +61,7 @@ MIN_TRAIN_SPEEDUP="${3:-1.8}"
 MIN_SCALE_SPEEDUP="${4:-5.0}"
 MIN_SERVE_SPEEDUP="${5:-2.0}"
 MIN_QUANT_SPEEDUP="${6:-2.0}"
+MIN_GEMM_SPEEDUP="${7:-1.5}"
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j"$(nproc)" --target bench_micro bench_scale \
@@ -247,6 +256,39 @@ else
       '.[] | select(.variant == $v) | .speedup_vs_double' "$QUANT_JSON")
     echo "SKIP: $variant speedup gate (no avx2; measured ${speedup}x)"
   done
+fi
+
+echo "== gemm sweep (register-blocked kernels vs chunk, beam blocking off/on) =="
+(cd "$BUILD_DIR" && bench/bench_micro --benchmark_filter='BM_GemmSweep')
+
+GEMM_JSON="$BUILD_DIR/bench_out/BENCH_gemm.json"
+[[ -f "$GEMM_JSON" ]] || { echo "FAIL: $GEMM_JSON not written" >&2; exit 1; }
+
+# Bitwise floor runs on every machine: blocking reorders work across output
+# elements only, so every kernel row (all precisions) and the end-to-end
+# beam routes must match the unblocked path bit for bit.
+not_bitwise=$(jq -r '[.[] | select(.bitwise_equal != true) | .variant] | join(", ")' \
+  "$GEMM_JSON")
+if [[ -n "$not_bitwise" ]]; then
+  echo "FAIL: blocked GEMM differs from the unblocked path: $not_bitwise" >&2
+  exit 1
+fi
+echo "OK: blocked GEMM bitwise identical to the unblocked path (all variants)"
+
+# Throughput gate: hardware-dependent like the other vector-ISA gates.
+gemm_speedup=$(jq -r \
+  '.[] | select(.variant == "beam_multi_double") | .speedup_vs_unblocked' \
+  "$GEMM_JSON")
+if grep -q avx2 /proc/cpuinfo 2>/dev/null; then
+  ok=$(jq -n --argjson s "$gemm_speedup" --argjson min "$MIN_GEMM_SPEEDUP" \
+       '$s >= $min')
+  if [[ "$ok" != "true" ]]; then
+    echo "FAIL: memo-cold batched beam speedup ${gemm_speedup}x < ${MIN_GEMM_SPEEDUP}x" >&2
+    exit 1
+  fi
+  echo "OK: memo-cold batched beam speedup ${gemm_speedup}x >= ${MIN_GEMM_SPEEDUP}x"
+else
+  echo "SKIP: gemm speedup gate (no avx2; measured ${gemm_speedup}x)"
 fi
 
 echo "== parity / regression tests =="
