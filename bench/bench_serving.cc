@@ -8,8 +8,17 @@
 // Writes bench_out/BENCH_serving.json; tools/check_perf.sh gates 4 workers
 // reaching >= 2x the 1-worker QPS at comparable p99 (skipped below 4 cores,
 // where the extra workers have nothing to run on).
+//
+// A final "server_ingest" scenario (docs/streaming.md) reruns the 4-worker
+// fleet against a live SnapshotStore: a concurrent client streams ingest
+// batches through the same server while the background aggregator publishes
+// swaps (each bumping the transition-memo epoch). Its p99 is the swap-stall
+// tail a live deployment pays; tools/check_perf.sh gates it within 1.5x of
+// the static 4-worker p99.
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -25,6 +34,8 @@
 #include "core/serving.h"
 #include "eval/world.h"
 #include "serve/server.h"
+#include "traffic/store.h"
+#include "traffic/wal.h"
 #include "util/stopwatch.h"
 
 namespace {
@@ -84,6 +95,8 @@ struct RunStats {
   double p50_ms = 0.0;
   double p99_ms = 0.0;
   double batch_fill = 1.0;  // mean requests per executed batch
+  int64_t swaps = 0;        // server_ingest: snapshot generations published
+  int64_t rows_ingested = 0;  // server_ingest: observation rows made durable
 };
 
 // Serial baseline: one caller, one query at a time, no queue in the way.
@@ -113,10 +126,15 @@ RunStats RunSerial(core::ServingContext* serving,
 }
 
 // Closed-loop fleet: `clients` threads each submit `per_client` predictions
-// and wait for each response before sending the next.
+// and wait for each response before sending the next. With `store` set
+// (server_ingest mode) one extra closed-loop client streams ingest batches
+// through the same server for the whole run -- observations landing inside
+// the fleet's query windows, so every published swap changes tensors the
+// predicts actually read. Latency is recorded for predicts only.
 RunStats RunServer(core::ServingContext* serving,
                    const std::vector<core::RouteQuery>& queries, int workers,
-                   int clients, int per_client) {
+                   int clients, int per_client,
+                   traffic::SnapshotStore* store = nullptr) {
   serve::ServeOptions opts;
   opts.workers = workers;
   opts.queue_capacity = 256;  // closed loop: the fleet itself bounds depth
@@ -126,7 +144,7 @@ RunStats RunServer(core::ServingContext* serving,
   server.Start();
 
   RunStats stats;
-  stats.mode = "server";
+  stats.mode = store != nullptr ? "server_ingest" : "server";
   stats.workers = workers;
   std::mutex mu;
   std::vector<double> lat;
@@ -135,6 +153,34 @@ RunStats RunServer(core::ServingContext* serving,
   int64_t failed = 0;
 
   util::Stopwatch wall;
+  std::atomic<bool> stop_ingest{false};
+  std::thread ingester;
+  if (store != nullptr) {
+    ingester = std::thread([&] {
+      uint64_t seq = 0;
+      while (!stop_ingest.load(std::memory_order_relaxed)) {
+        core::ServingRequest req;
+        req.kind = core::ServingRequest::Kind::kIngest;
+        req.observations.reserve(16);
+        for (int r = 0; r < 16; ++r, ++seq) {
+          const core::RouteQuery& q = queries[seq % queries.size()];
+          traffic::SpeedObservation obs;
+          obs.pos = q.destination;
+          obs.time_s = std::max(0.0, q.start_time_s - 60.0 * (1 + seq % 20));
+          obs.speed_mps = 2.0 + static_cast<double>(seq % 9);
+          req.observations.push_back(obs);
+        }
+        (void)server.Submit(std::move(req)).get();
+        // Paced swap churn: publish every second acked batch, with a short
+        // gap between batches. Fast enough that the fleet crosses several
+        // generation boundaries (clone + fold, memo-epoch bump) per run,
+        // slow enough that the builder does not saturate a core -- the
+        // live cadence the p99 gate is about.
+        if (seq % 32 == 0) (void)store->SwapNow();
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+  }
   std::vector<std::thread> fleet;
   fleet.reserve(clients);
   for (int c = 0; c < clients; ++c) {
@@ -157,7 +203,16 @@ RunStats RunServer(core::ServingContext* serving,
   }
   for (auto& t : fleet) t.join();
   const double secs = wall.ElapsedSeconds();
+  if (ingester.joinable()) {
+    stop_ingest.store(true, std::memory_order_relaxed);
+    ingester.join();
+  }
   server.Shutdown();
+  if (store != nullptr) {
+    const traffic::SnapshotStoreStats ss = store->stats();
+    stats.swaps = ss.swaps;
+    stats.rows_ingested = ss.rows_accepted;
+  }
 
   const serve::MetricsSnapshot snap = server.snapshot();
   stats.completed = completed;
@@ -215,6 +270,46 @@ int main() {
     }
   }
 
+  // Live-ingest scenario: 4 workers again, but the context serves from a
+  // SnapshotStore under concurrent ingest and swap churn (real WAL on disk,
+  // background aggregator, memo-epoch bump per publish).
+  {
+    const std::string wal_path =
+        deepst::bench::OutDir() + "/bench_traffic.wal";
+    std::remove(wal_path.c_str());
+    auto wal = traffic::ObservationWal::Open(
+        wal_path, traffic::ObservationWal::Options(), nullptr, nullptr);
+    if (!wal.ok()) {
+      std::fprintf(stderr, "failed opening bench WAL: %s\n",
+                   wal.status().message().c_str());
+      return 1;
+    }
+    // Swaps are driven closed-loop by the ingest client (one per acked
+    // batch) rather than on a wall-clock cadence, so even the DEEPST_FAST
+    // run crosses many generation boundaries.
+    traffic::SnapshotStore store(world.traffic_cache()->Clone(),
+                                 std::move(wal).value(), {});
+    store.set_on_swap(
+        [&model](uint64_t) { model.InvalidateTransitionCache(); });
+    core::ServingContext live(&model, &world.index(), {}, &store);
+    rows.push_back(RunServer(&live, queries, 4, clients, per_client, &store));
+    std::remove(wal_path.c_str());
+    const RunStats& r = rows.back();
+    std::fprintf(stderr,
+                 "[serving] live ingest (4 workers): %.1f qps, p50 %.2f ms, "
+                 "p99 %.2f ms, %lld swaps, %lld rows ingested\n",
+                 r.qps, r.p50_ms, r.p99_ms, static_cast<long long>(r.swaps),
+                 static_cast<long long>(r.rows_ingested));
+    if (r.failed != 0) {
+      std::fprintf(stderr, "unexpected failures in live-ingest run\n");
+      return 1;
+    }
+    if (r.rows_ingested <= 0) {
+      std::fprintf(stderr, "live-ingest run ingested nothing\n");
+      return 1;
+    }
+  }
+
   const std::string json_path = deepst::bench::OutDir() + "/BENCH_serving.json";
   std::ofstream json(json_path);
   json << "[\n";
@@ -224,7 +319,9 @@ int main() {
          << ", \"qps\": " << r.qps << ", \"p50_ms\": " << r.p50_ms
          << ", \"p99_ms\": " << r.p99_ms << ", \"completed\": " << r.completed
          << ", \"shed\": " << r.shed << ", \"batch_fill\": " << r.batch_fill
-         << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+         << ", \"swaps\": " << r.swaps
+         << ", \"rows_ingested\": " << r.rows_ingested << "}"
+         << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   json << "]\n";
   if (!json.good()) {

@@ -14,6 +14,9 @@
 //       [--max-trips N]
 //   deepst_cli predict --data-dir data --model model.bin --trip INDEX
 //       [--variant ...] [--map] [--deadline-ms MS] [--strict]
+//       [--overlay SPEC]
+//     --overlay answers the query under a what-if traffic scenario (see
+//     `serve` below and docs/streaming.md for the close@/scale@ grammar).
 //   deepst_cli predict --data-dir data --model model.bin --queries FILE
 //       [--variant ...] [--deadline-ms MS] [--strict]
 //     FILE holds one test-trip index per line ('#' comments and blank lines
@@ -29,24 +32,39 @@
 //       [--workers N] [--queue-capacity N] [--max-batch N]
 //       [--batch-window-us N] [--deadline-ms MS] [--strict]
 //       [--watchdog-ms MS] [--hung-ms MS] [--retry-after-ms MS]
+//       [--traffic-wal PATH] [--swap-interval-ms MS] [--wal-fsync-bytes N]
 //     Long-lived serving daemon (docs/serving.md): requests arrive on stdin
 //     (one per line), responses leave on stdout tagged `#<id>`. Commands:
 //       predict <origin> <dest_x> <dest_y> <start_t>
+//       predict_whatif <origin> <dest_x> <dest_y> <start_t> <overlay>
 //       predict_trip <test trip index>
 //       score_trip <test trip index>
-//       stats | quit
+//       ingest <t,x,y,speed[;t,x,y,speed...]>
+//       swap | stats | quit
 //     Requests from the stdin stream are pipelined: up to --queue-capacity
 //     are in flight at once, so worker batches coalesce across them. The
 //     daemon health-checks its input files at startup (exiting nonzero on a
 //     failed probe, like `inspect`), sheds load when the bounded queue
 //     fills, enforces --deadline-ms end-to-end (queue wait included), and
 //     drains gracefully on SIGTERM/SIGINT or `quit` (exit 0).
+//     --traffic-wal turns on the live traffic pipeline (docs/streaming.md):
+//     `ingest` rows are WAL-appended (the `ok` response is the durability
+//     ack) and folded into a fresh snapshot generation on each swap --
+//     every --swap-interval-ms in the background, or on the synchronous
+//     `swap` command when the cadence is 0. Every query pins one generation
+//     at admission (response field gen=G); an existing WAL is replayed at
+//     startup into a snapshot bitwise identical to the pre-crash one, and
+//     shutdown fsyncs the WAL tail before exiting. `predict_whatif` answers
+//     under a counterfactual overlay (close@x0,y0,x1,y1 /
+//     scale@x0,y0,x1,y1*F joined by ';') applied to a copy of the pinned
+//     snapshot; the response carries what_if=1.
 //   deepst_cli inspect FILE [FILE...]
 //     Reports each file's kind (road network / dataset / training checkpoint
-//     / model parameters), format version, element counts, CRC status and
-//     whether it loads zero-copy from an mmap (docs/formats.md). Exits
-//     nonzero when any probed file fails validation (CRC mismatch,
-//     unsupported version, unreadable payload), so startup health checks
+//     / model parameters / traffic WAL), format version, element counts,
+//     CRC status and whether it loads zero-copy from an mmap
+//     (docs/formats.md). Exits nonzero when any probed file fails
+//     validation (CRC mismatch, unsupported version, unreadable payload, a
+//     WAL body whose tail was torn or corrupted), so startup health checks
 //     can gate on it.
 //   deepst_cli convert --in FILE --out FILE [--cell-size M]
 //     Rewrites a road network or dataset of any version as fixed-layout v3.
@@ -100,6 +118,10 @@
 #include "recovery/strs.h"
 #include "roadnet/io.h"
 #include "serve/server.h"
+#include "traffic/overlay.h"
+#include "traffic/snapshot.h"
+#include "traffic/store.h"
+#include "traffic/wal.h"
 #include "traj/ascii_map.h"
 #include "traj/dataset.h"
 #include "traj/io.h"
@@ -170,9 +192,17 @@ util::StatusOr<LoadedData> LoadData(const util::Flags& flags) {
 
   auto cell = flags.GetDouble("traffic-cell-m", 350.0);
   if (!cell.ok()) return cell.status();
+  auto slot = flags.GetDouble("traffic-slot-s", 1200.0);
+  if (!slot.ok()) return slot.status();
+  auto window = flags.GetDouble("traffic-window-s", 1800.0);
+  if (!window.ok()) return window.status();
+  if (slot.value() <= 0.0 || window.value() <= 0.0) {
+    return util::Status::InvalidArgument(
+        "--traffic-slot-s and --traffic-window-s must be > 0");
+  }
   geo::GridSpec grid(data.net->bounds(), cell.value());
   data.cache = std::make_unique<traffic::TrafficTensorCache>(
-      grid, /*slot_seconds=*/1200.0, /*window_seconds=*/1800.0);
+      grid, slot.value(), window.value());
   data.cache->AddObservations(traj::CollectObservations(data.records));
   data.stats =
       std::make_unique<traj::SegmentStatsTable>(*data.net, data.split.train);
@@ -459,11 +489,18 @@ int CmdPredict(const util::Flags& flags) {
   const auto* rec =
       test[static_cast<size_t>(trip_index.value()) % test.size()];
   core::RouteQuery query = eval::QueryFor(rec->trip);
+  const std::string overlay_spec = flags.GetString("overlay");
+  if (!overlay_spec.empty()) {
+    auto overlay = traffic::ParseOverlaySpec(overlay_spec);
+    if (!overlay.ok()) return Fail(overlay.status());
+    query.overlay = std::move(overlay).value();
+  }
   auto result = serving.Predict(query);
   if (!result.ok()) return Fail(result.status());
   const traj::Route& route = result.value().route;
-  std::printf("query: origin %d -> (%.0f, %.0f) at t=%.0fs\n", query.origin,
-              query.destination.x, query.destination.y, query.start_time_s);
+  std::printf("query: origin %d -> (%.0f, %.0f) at t=%.0fs%s\n", query.origin,
+              query.destination.x, query.destination.y, query.start_time_s,
+              result.value().what_if ? " (what-if overlay applied)" : "");
   std::printf("truth    (%2zu):", rec->trip.route.size());
   for (auto s : rec->trip.route) std::printf(" %d", s);
   std::printf("\npredicted(%2zu):", route.size());
@@ -539,10 +576,13 @@ util::StatusOr<std::string> DescribeAnyFile(const std::string& path,
   probe = nn::DescribeParamsFile(path, healthy);
   if (probe.ok() || probe.status().code() != util::Status::Code::kInvalidArgument)
     return probe;
+  probe = traffic::DescribeWalFile(path, healthy);
+  if (probe.ok() || probe.status().code() != util::Status::Code::kInvalidArgument)
+    return probe;
   if (healthy != nullptr) *healthy = true;  // unrecognized, not unhealthy
   return util::Status::InvalidArgument(
-      "unrecognized file (not a road network, dataset, checkpoint, or "
-      "parameter file): " + path);
+      "unrecognized file (not a road network, dataset, checkpoint, "
+      "parameter, or traffic WAL file): " + path);
 }
 
 int CmdInspect(const util::Flags& flags) {
@@ -588,6 +628,33 @@ bool ParseF64(const std::string& s, double* out) {
   return true;
 }
 
+// `ingest` row blob: rows joined by ';', each exactly `t,x,y,speed_mps`.
+// Semantic validation (finite, non-negative) is the store's job; this only
+// rejects rows that do not parse as four numbers.
+bool ParseIngestRows(const std::string& blob,
+                     std::vector<traffic::SpeedObservation>* rows) {
+  std::stringstream frames(blob);
+  std::string row;
+  while (std::getline(frames, row, ';')) {
+    if (row.empty()) continue;
+    std::stringstream fields(row);
+    std::string field;
+    double f[4] = {0.0, 0.0, 0.0, 0.0};
+    int n = 0;
+    while (std::getline(fields, field, ',')) {
+      if (n >= 4 || !ParseF64(field, &f[n])) return false;
+      ++n;
+    }
+    if (n != 4) return false;
+    traffic::SpeedObservation obs;
+    obs.time_s = f[0];
+    obs.pos = {f[1], f[2]};
+    obs.speed_mps = f[3];
+    rows->push_back(obs);
+  }
+  return !rows->empty();
+}
+
 // One response line per request, tagged with the request id so pipelined
 // clients can match them up: `#<id> ok ...` or `#<id> error ...`.
 void PrintServeResult(int64_t id,
@@ -614,6 +681,16 @@ void PrintServeResult(int64_t id,
       line += util::StrFormat("%.6f", res.scores[i]);
     }
   }
+  if (res.ingested > 0 || res.ingest_rejected > 0) {
+    line += util::StrFormat(" ingested=%lld rejected=%lld",
+                            static_cast<long long>(res.ingested),
+                            static_cast<long long>(res.ingest_rejected));
+  }
+  if (res.snapshot_generation > 0) {
+    line += util::StrFormat(
+        " gen=%llu", static_cast<unsigned long long>(res.snapshot_generation));
+  }
+  if (res.what_if) line += " what_if=1";
   line += util::StrFormat(" latency_ms=%.3f", res.latency_ms);
   if (res.degraded) {
     line += " degraded=" + core::DegradationsToString(res.degradations);
@@ -658,8 +735,68 @@ int CmdServe(const util::Flags& flags) {
   core::ServingConfig sc = scfg.value();
   const double deadline_ms = sc.deadline_ms;
   sc.deadline_ms = 0.0;
+
+  // Live traffic pipeline (docs/streaming.md): --traffic-wal arms ingest.
+  // The store's generation 1 is a clone of the dataset-seeded cache (the
+  // same bytes static serving reads), the WAL replays into generation 2
+  // before the first query is admitted, and every published swap bumps the
+  // transition-memo epoch so memoized logits never cross generations.
+  std::unique_ptr<traffic::SnapshotStore> store;
+  const std::string wal_path = flags.GetString("traffic-wal");
+  if (!wal_path.empty()) {
+    traffic::ObservationWal::Options wal_opts;
+    auto fsync_bytes =
+        flags.GetInt("wal-fsync-bytes", wal_opts.fsync_interval_bytes);
+    if (!fsync_bytes.ok()) return Fail(fsync_bytes.status());
+    if (fsync_bytes.value() < 0) {
+      return Fail(
+          util::Status::InvalidArgument("--wal-fsync-bytes must be >= 0"));
+    }
+    wal_opts.fsync_interval_bytes = fsync_bytes.value();
+    auto swap_ms = flags.GetDouble("swap-interval-ms", 0.0);
+    if (!swap_ms.ok()) return Fail(swap_ms.status());
+
+    std::vector<traffic::SpeedObservation> replayed;
+    traffic::WalReplayReport report;
+    auto wal = traffic::ObservationWal::Open(wal_path, wal_opts, &replayed,
+                                             &report);
+    if (!wal.ok()) return Fail(wal.status());
+    traffic::SnapshotStoreConfig store_cfg;
+    store_cfg.swap_interval_ms = swap_ms.value();
+    store = std::make_unique<traffic::SnapshotStore>(
+        data.value().cache->Clone(), std::move(wal).value(), store_cfg);
+    core::DeepSTModel* served_model = model.value().get();
+    store->set_on_swap(
+        [served_model](uint64_t) { served_model->InvalidateTransitionCache(); });
+    if (!replayed.empty()) {
+      store->QueueRecovered(std::move(replayed));
+      store->SwapNow();
+    }
+    store->Start();
+    std::fprintf(
+        stderr,
+        "live traffic: wal %s replayed %llu frames / %llu rows%s, "
+        "generation %llu, swap %s\n",
+        wal_path.c_str(), static_cast<unsigned long long>(report.frames),
+        static_cast<unsigned long long>(report.rows),
+        report.torn_tail
+            ? util::StrFormat(" (torn tail: %llu bytes dropped at offset "
+                              "%llu)",
+                              static_cast<unsigned long long>(
+                                  report.dropped_bytes),
+                              static_cast<unsigned long long>(
+                                  report.torn_tail_offset))
+                  .c_str()
+            : "",
+        static_cast<unsigned long long>(store->generation()),
+        store_cfg.swap_interval_ms > 0.0
+            ? util::StrFormat("every %.0f ms", store_cfg.swap_interval_ms)
+                  .c_str()
+            : "on demand");
+  }
+
   core::ServingContext serving(model.value().get(), data.value().index.get(),
-                               sc);
+                               sc, store.get());
 
   serve::ServeOptions opts;
   auto workers = flags.GetInt("workers", opts.workers);
@@ -763,17 +900,45 @@ int CmdServe(const util::Flags& flags) {
       std::fflush(stdout);
       continue;
     }
+    if (cmd == "swap") {
+      // Synchronous: drain the pipeline first so every ingest acked above
+      // this line is folded in, then publish. The next admitted query pins
+      // the new generation.
+      if (store == nullptr) {
+        std::printf("error swap unavailable (serve without --traffic-wal)\n");
+      } else {
+        flush_responses(/*all=*/true);
+        std::printf("swap generation=%llu\n",
+                    static_cast<unsigned long long>(store->SwapNow()));
+      }
+      std::fflush(stdout);
+      continue;
+    }
     const int64_t id = next_id++;
     core::ServingRequest req;
     bool parsed = false;
     int64_t trip = 0;
-    if (cmd == "predict" && tok.size() == 5) {
+    if ((cmd == "predict" && tok.size() == 5) ||
+        (cmd == "predict_whatif" && tok.size() == 6)) {
       int64_t origin = 0;
       parsed = ParseI64(tok[1], &origin) &&
                ParseF64(tok[2], &req.query.destination.x) &&
                ParseF64(tok[3], &req.query.destination.y) &&
                ParseF64(tok[4], &req.query.start_time_s);
       req.query.origin = static_cast<roadnet::SegmentId>(origin);
+      if (parsed && cmd == "predict_whatif") {
+        auto overlay = traffic::ParseOverlaySpec(tok[5]);
+        if (!overlay.ok()) {
+          std::printf("#%lld error %s\n", static_cast<long long>(id),
+                      overlay.status().ToString().c_str());
+          std::fflush(stdout);
+          continue;
+        }
+        req.query.overlay = std::move(overlay).value();
+      }
+    } else if (cmd == "ingest" && tok.size() == 2) {
+      req.kind = core::ServingRequest::Kind::kIngest;
+      parsed = ParseIngestRows(tok[1], &req.observations);
     } else if ((cmd == "predict_trip" || cmd == "score_trip") &&
                tok.size() == 2 && !test.empty() &&
                ParseI64(tok[1], &trip) && trip >= 0) {
@@ -800,8 +965,21 @@ int CmdServe(const util::Flags& flags) {
       inflight.pop_front();
     }
   }
+  // Shutdown order: force the WAL tail durable first (a SIGTERM must not
+  // lose acked ingests even if the drain stalls), drain in-flight requests
+  // (late ingests re-dirty the tail), stop the aggregator, then sync once
+  // more so everything acked in the meantime is on disk at exit.
+  if (store != nullptr) (void)store->SyncWal();
   flush_responses(/*all=*/true);
   server.Shutdown();
+  if (store != nullptr) {
+    store->Stop();
+    const util::Status wal_sync = store->SyncWal();
+    if (!wal_sync.ok()) {
+      std::fprintf(stderr, "error: wal sync at shutdown: %s\n",
+                   wal_sync.ToString().c_str());
+    }
+  }
   std::fprintf(stderr, "drained: %s\n", server.snapshot().ToJson().c_str());
   const int64_t leaked = model.value()->outstanding_session_leases();
   if (leaked != 0) {

@@ -244,7 +244,8 @@ nn::VarPtr GruInput(const nn::VarPtr& emb, const nn::VarPtr& dest_repr,
 DeepSTModel::BatchContext DeepSTModel::MakeBatchContext(
     const std::vector<const traj::Trip*>& batch, util::Rng* rng,
     bool training, std::vector<nn::VarPtr>* extra_loss_terms,
-    LossStats* stats) {
+    LossStats* stats, traffic::TrafficTensorCache* traffic_cache,
+    const traffic::TrafficOverlay* overlay) {
   const int64_t bsz = static_cast<int64_t>(batch.size());
   BatchContext ctx;
 
@@ -298,19 +299,33 @@ DeepSTModel::BatchContext DeepSTModel::MakeBatchContext(
   // -- Traffic term -------------------------------------------------------------
   if (config_.use_traffic) {
     // Unique traffic slots in the batch share one encoded tensor (paper
-    // Section IV-D).
+    // Section IV-D). The cache is the pinned snapshot when the serving
+    // layer passed one, the construction-time default otherwise.
+    traffic::TrafficTensorCache* cache =
+        traffic_cache != nullptr ? traffic_cache : traffic_cache_;
     std::map<int, int> slot_to_index;
     std::vector<const nn::Tensor*> unique_tensors;
+    std::vector<nn::Tensor> overlaid;  // what-if copies (never the base)
     std::vector<int> trip_slot_index(batch.size());
     for (size_t b = 0; b < batch.size(); ++b) {
-      const int slot = traffic_cache_->SlotOf(batch[b]->start_time_s);
+      const int slot = cache->SlotOf(batch[b]->start_time_s);
       auto [it, inserted] =
           slot_to_index.emplace(slot, static_cast<int>(unique_tensors.size()));
       if (inserted) {
         unique_tensors.push_back(
-            &traffic_cache_->TensorForTime(batch[b]->start_time_s));
+            &cache->TensorForTime(batch[b]->start_time_s));
       }
       trip_slot_index[b] = it->second;
+    }
+    if (overlay != nullptr && !overlay->empty()) {
+      overlaid.reserve(unique_tensors.size());
+      for (const nn::Tensor* base : unique_tensors) {
+        overlaid.push_back(
+            traffic::ApplyOverlay(*base, cache->grid(), *overlay));
+      }
+      for (size_t i = 0; i < overlaid.size(); ++i) {
+        unique_tensors[i] = &overlaid[i];
+      }
     }
     TrafficPosterior post = traffic_encoder_->Encode(unique_tensors, training);
     // Gather per-trip posterior params, then reparameterize per trip.
@@ -448,6 +463,13 @@ nn::VarPtr DeepSTModel::Loss(const std::vector<const traj::Trip*>& batch,
 
 PredictionContext DeepSTModel::MakeContext(const RouteQuery& query,
                                            util::Rng* rng) {
+  return MakeContextImpl(query, rng, nullptr, nullptr);
+}
+
+PredictionContext DeepSTModel::MakeContextImpl(
+    const RouteQuery& query, util::Rng* rng,
+    traffic::TrafficTensorCache* traffic_cache,
+    const traffic::TrafficOverlay* overlay) {
   // Inference-only forward: no tape nodes, so the extracted context tensors
   // never anchor parameter subgraphs.
   nn::NoGradGuard no_grad;
@@ -467,7 +489,8 @@ PredictionContext DeepSTModel::MakeContext(const RouteQuery& query,
   }
   std::vector<const traj::Trip*> batch = {&probe};
   BatchContext ctx =
-      MakeBatchContext(batch, rng, /*training=*/false, nullptr, nullptr);
+      MakeBatchContext(batch, rng, /*training=*/false, nullptr, nullptr,
+                       traffic_cache, overlay);
 
   PredictionContext out;
   out.destination = query.destination;
@@ -491,7 +514,13 @@ PredictionContext DeepSTModel::MakeContext(const RouteQuery& query,
   const bool uniform =
       options.uniform_proxy &&
       config_.destination_mode == DestinationMode::kProxies;
-  if (!drop_traffic && !uniform) return MakeContext(query, rng);
+  // Prior-mean substitution never reads a tensor, so the overlay has
+  // nothing to edit and is dropped (the serving layer accounts for this).
+  const traffic::TrafficOverlay* overlay =
+      drop_traffic ? nullptr : options.overlay;
+  if (!drop_traffic && !uniform) {
+    return MakeContextImpl(query, rng, options.traffic_cache, overlay);
+  }
 
   nn::NoGradGuard no_grad;
   // The destination and traffic parts of the context are independent (the
@@ -506,7 +535,8 @@ PredictionContext DeepSTModel::MakeContext(const RouteQuery& query,
     safe.destination = geo::Point{(box.min.x + box.max.x) * 0.5,
                                   (box.min.y + box.max.y) * 0.5};
   }
-  PredictionContext out = MakeContext(safe, rng);
+  PredictionContext out =
+      MakeContextImpl(safe, rng, options.traffic_cache, overlay);
   out.destination = query.destination;
 
   if (drop_traffic) {

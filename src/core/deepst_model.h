@@ -16,6 +16,7 @@
 #include "nn/module.h"
 #include "nn/serialize.h"
 #include "roadnet/road_network.h"
+#include "traffic/overlay.h"
 #include "traffic/snapshot.h"
 #include "traj/types.h"
 
@@ -42,6 +43,11 @@ struct RouteQuery {
   // the nearest segment via the spatial index.
   bool has_origin_point = false;
   geo::Point origin_point;
+  // Counterfactual what-if scenario: deterministic edits applied to a copy
+  // of the query's pinned traffic snapshot ("close these cells", "scale
+  // corridor speeds"). Empty = score/predict against reality. The serving
+  // layer validates it and refuses it on variants without traffic.
+  traffic::TrafficOverlay overlay;
 };
 
 // Degraded-context switches consumed by the MakeContext overload. Each
@@ -54,6 +60,17 @@ struct RouteQuery {
 struct ContextOptions {
   bool traffic_prior_mean = false;
   bool uniform_proxy = false;
+  // Pinned snapshot override: when set, traffic tensors come from this
+  // cache instead of the model's construction-time default. The serving
+  // layer passes the generation it pinned at admission (SnapshotStore), so
+  // the whole query reads one immutable epoch no matter when swaps land.
+  // Must share the model cache's grid. Null = model default.
+  traffic::TrafficTensorCache* traffic_cache = nullptr;
+  // What-if edit applied to a copy of each traffic tensor the query reads
+  // (never to the pinned base). Null/empty = no edit. Ignored when
+  // traffic_prior_mean substitutes the zero prior -- there is no observed
+  // tensor to edit.
+  const traffic::TrafficOverlay* overlay = nullptr;
 };
 
 // Loss diagnostics for one minibatch (per-trip averages).
@@ -296,10 +313,22 @@ class DeepSTModel : public nn::Module {
     nn::VarPtr traffic_term;  // [B, N_max]; null if unused
     nn::VarPtr traffic_repr;  // [B, traffic_dim]; null if unused
   };
+  // `traffic_cache` overrides the construction-time cache (pinned snapshot
+  // serving); `overlay` applies a what-if edit to a copy of each unique
+  // traffic tensor. Training passes neither.
   BatchContext MakeBatchContext(const std::vector<const traj::Trip*>& batch,
                                 util::Rng* rng, bool training,
                                 std::vector<nn::VarPtr>* extra_loss_terms,
-                                LossStats* stats);
+                                LossStats* stats,
+                                traffic::TrafficTensorCache* traffic_cache =
+                                    nullptr,
+                                const traffic::TrafficOverlay* overlay =
+                                    nullptr);
+  // MakeContext body parameterized on the snapshot source and overlay; the
+  // public overloads delegate here.
+  PredictionContext MakeContextImpl(const RouteQuery& query, util::Rng* rng,
+                                    traffic::TrafficTensorCache* traffic_cache,
+                                    const traffic::TrafficOverlay* overlay);
 
   // Lease management for the graph-free engine: every prediction/scoring
   // call takes a session exclusively (sessions own scratch state), returning

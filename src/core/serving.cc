@@ -32,18 +32,32 @@ std::string DegradationsToString(uint8_t degradations) {
   if (degradations & kDegradationUniformProxy) append("uniform_proxy");
   if (degradations & kDegradationSnappedOrigin) append("snapped_origin");
   if (degradations & kDegradationDeadlineBudget) append("deadline_budget");
+  if (degradations & kDegradationOverlayDropped) append("overlay_dropped");
   return out;
 }
 
 ServingContext::ServingContext(DeepSTModel* model,
                                const roadnet::SpatialIndex* index,
-                               const ServingConfig& config)
-    : model_(model), index_(index), config_(config) {}
+                               const ServingConfig& config,
+                               traffic::SnapshotStore* store)
+    : model_(model), index_(index), config_(config), store_(store) {}
+
+traffic::SnapshotPin ServingContext::PinSnapshot(ContextOptions* options,
+                                                 ServingResult* result) {
+  if (store_ == nullptr) return traffic::SnapshotPin();
+  // Admission is the pinning point: from here to the last beam step the
+  // query reads this immutable generation, no matter how many swaps land.
+  traffic::SnapshotPin pin = store_->Acquire();
+  options->traffic_cache = pin.cache();
+  result->snapshot_generation = pin.generation();
+  return pin;
+}
 
 util::Status ServingContext::ResolveQuery(RouteQuery* query,
                                           bool origin_required,
                                           ContextOptions* options,
-                                          uint8_t* degradations) {
+                                          uint8_t* degradations,
+                                          bool* what_if) {
   const roadnet::RoadNetwork& net = model_->network();
   const DeepSTConfig& mc = model_->config();
 
@@ -110,7 +124,11 @@ util::Status ServingContext::ResolveQuery(RouteQuery* query,
 
   // -- Traffic snapshot --------------------------------------------------------
   if (mc.use_traffic) {
-    traffic::TrafficTensorCache* cache = model_->traffic_cache();
+    // Staleness is judged against the generation the query pinned at
+    // admission, not whatever the store publishes mid-query.
+    traffic::TrafficTensorCache* cache = options->traffic_cache != nullptr
+                                             ? options->traffic_cache
+                                             : model_->traffic_cache();
     const bool missing = !cache->HasObservations(query->start_time_s);
     const bool stale =
         query->start_time_s - cache->latest_observation_time() >
@@ -126,6 +144,26 @@ util::Status ServingContext::ResolveQuery(RouteQuery* query,
       *degradations |= kDegradationTrafficPriorMean;
     }
   }
+
+  // -- What-if overlay ---------------------------------------------------------
+  if (!query->overlay.empty()) {
+    if (!mc.use_traffic) {
+      return util::Status::InvalidArgument(
+          "what-if overlay requested on a model variant without traffic "
+          "conditioning");
+    }
+    DEEPST_RETURN_IF_ERROR(traffic::ValidateOverlay(query->overlay));
+    if (options->traffic_prior_mean) {
+      // The prior-mean fallback already fired (under strict it refused
+      // above, so an overlay can never mask a real degradation): there is
+      // no observed tensor to edit. Serve reality under the prior and say
+      // so, rather than pretending the scenario applied.
+      *degradations |= kDegradationOverlayDropped;
+    } else {
+      options->overlay = &query->overlay;
+      if (what_if != nullptr) *what_if = true;
+    }
+  }
   return util::Status::Ok();
 }
 
@@ -135,8 +173,10 @@ util::StatusOr<ServingResult> ServingContext::PredictInternal(
   ServingResult result;
   RouteQuery resolved = query;
   ContextOptions options;
+  const traffic::SnapshotPin pin = PinSnapshot(&options, &result);
   DEEPST_RETURN_IF_ERROR(ResolveQuery(&resolved, /*origin_required=*/true,
-                                      &options, &result.degradations));
+                                      &options, &result.degradations,
+                                      &result.what_if));
   // Everything past this point runs model code that may throw (injected
   // query faults, allocation failure); convert to Status so a single bad
   // query can never take the process down.
@@ -194,9 +234,11 @@ util::StatusOr<ServingResult> ServingContext::ScoreRoute(
     resolved.origin = route.front();
   }
   ContextOptions options;
+  const traffic::SnapshotPin pin = PinSnapshot(&options, &result);
   {
     util::Status status = ResolveQuery(&resolved, /*origin_required=*/false,
-                                       &options, &result.degradations);
+                                       &options, &result.degradations,
+                                       &result.what_if);
     if (!status.ok()) return fail(std::move(status));
   }
   try {
@@ -234,10 +276,31 @@ util::Status ServingContext::ValidateScoreRoutes(
   return util::Status::Ok();
 }
 
+util::StatusOr<ServingResult> ServingContext::ExecuteIngest(
+    const ServingRequest& request) {
+  util::Stopwatch sw;
+  if (store_ == nullptr) {
+    return util::Status::FailedPrecondition(
+        "no live traffic store attached; ingest unavailable");
+  }
+  traffic::IngestReport report;
+  DEEPST_RETURN_IF_ERROR(store_->Ingest(request.observations, &report));
+  // Returning OK here IS the durability ack: the WAL append completed.
+  ServingResult result;
+  result.ingested = report.accepted;
+  result.ingest_rejected = report.rejected;
+  result.snapshot_generation = store_->generation();
+  result.latency_ms = sw.ElapsedMillis();
+  return result;
+}
+
 util::StatusOr<ServingResult> ServingContext::ExecuteOne(
     const ServingRequest& request) {
   const double deadline =
       request.deadline_ms > 0.0 ? request.deadline_ms : config_.deadline_ms;
+  if (request.kind == ServingRequest::Kind::kIngest) {
+    return ExecuteIngest(request);
+  }
   if (request.kind == ServingRequest::Kind::kPredict) {
     return PredictInternal(request.query, deadline);
   }
@@ -250,8 +313,10 @@ util::StatusOr<ServingResult> ServingContext::ExecuteOne(
     resolved.origin = request.routes.front().front();
   }
   ContextOptions options;
+  const traffic::SnapshotPin pin = PinSnapshot(&options, &result);
   DEEPST_RETURN_IF_ERROR(ResolveQuery(&resolved, /*origin_required=*/false,
-                                      &options, &result.degradations));
+                                      &options, &result.degradations,
+                                      &result.what_if));
   try {
     util::Rng rng(config_.rng_seed);
     PredictionContext ctx = model_->MakeContext(resolved, &rng, options);
@@ -290,11 +355,16 @@ std::vector<util::StatusOr<ServingResult>> ServingContext::ExecuteBatch(
 
   // Stage 1: validate, resolve and build every request's context
   // individually. A request that fails here only fails its own slot.
+  // Ingest requests execute right here -- their work is a WAL append, not
+  // an inference call, so they never ride the coalesced model batch.
   struct Prepared {
     RouteQuery resolved;
     ContextOptions options;
     PredictionContext ctx;
+    traffic::SnapshotPin pin;  // held until the request's result is built
     uint8_t degradations = kDegradationNone;
+    bool what_if = false;
+    uint64_t generation = 0;
   };
   std::vector<Prepared> prep(n);
   std::vector<size_t> predict_ix;
@@ -302,6 +372,11 @@ std::vector<util::StatusOr<ServingResult>> ServingContext::ExecuteBatch(
   for (size_t i = 0; i < n; ++i) {
     const ServingRequest& req = (*requests)[i];
     Prepared& p = prep[i];
+    if (req.kind == ServingRequest::Kind::kIngest) {
+      results[i] = ExecuteIngest(req);
+      RecordOutcome(results[i]);
+      continue;
+    }
     const bool is_score = req.kind == ServingRequest::Kind::kScore;
     p.resolved = req.query;
     if (is_score) {
@@ -316,8 +391,13 @@ std::vector<util::StatusOr<ServingResult>> ServingContext::ExecuteBatch(
         p.resolved.origin = req.routes.front().front();
       }
     }
+    {
+      ServingResult pin_stamp;
+      p.pin = PinSnapshot(&p.options, &pin_stamp);
+      p.generation = pin_stamp.snapshot_generation;
+    }
     util::Status status = ResolveQuery(&p.resolved, !is_score, &p.options,
-                                       &p.degradations);
+                                       &p.degradations, &p.what_if);
     if (!status.ok()) {
       results[i] = std::move(status);
       RecordOutcome(results[i]);
@@ -363,11 +443,14 @@ std::vector<util::StatusOr<ServingResult>> ServingContext::ExecuteBatch(
         }
         result.route = std::move(items[k].route);
         result.degraded = result.degradations != kDegradationNone;
+        result.what_if = prep[i].what_if;
+        result.snapshot_generation = prep[i].generation;
         result.latency_ms = sw.ElapsedMillis();
         results[i] = std::move(result);
       } else {
         results[i] = ExecuteOne((*requests)[i]);
       }
+      prep[i].pin.Release();
       RecordOutcome(results[i]);
     }
   }
@@ -392,11 +475,14 @@ std::vector<util::StatusOr<ServingResult>> ServingContext::ExecuteBatch(
         result.scores = std::move(items[k].scores);
         result.score = result.scores.empty() ? 0.0 : result.scores.front();
         result.degraded = result.degradations != kDegradationNone;
+        result.what_if = prep[i].what_if;
+        result.snapshot_generation = prep[i].generation;
         result.latency_ms = sw.ElapsedMillis();
         results[i] = std::move(result);
       } else {
         results[i] = ExecuteOne((*requests)[i]);
       }
+      prep[i].pin.Release();
       RecordOutcome(results[i]);
     }
   }
@@ -426,6 +512,12 @@ void ServingContext::RecordOutcome(
   if (r.degradations & kDegradationDeadlineBudget) {
     n_deadline_budget_.fetch_add(1, std::memory_order_relaxed);
   }
+  if (r.degradations & kDegradationOverlayDropped) {
+    n_overlay_dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (r.what_if) {
+    n_what_if_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 ServingStats ServingContext::stats() const {
@@ -437,6 +529,8 @@ ServingStats ServingContext::stats() const {
   s.uniform_proxy = n_uniform_proxy_.load(std::memory_order_relaxed);
   s.snapped_origin = n_snapped_origin_.load(std::memory_order_relaxed);
   s.deadline_budget = n_deadline_budget_.load(std::memory_order_relaxed);
+  s.overlay_dropped = n_overlay_dropped_.load(std::memory_order_relaxed);
+  s.what_if = n_what_if_.load(std::memory_order_relaxed);
   return s;
 }
 

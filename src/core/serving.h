@@ -8,6 +8,7 @@
 
 #include "core/deepst_model.h"
 #include "roadnet/spatial_index.h"
+#include "traffic/store.h"
 #include "util/status.h"
 
 namespace deepst {
@@ -27,6 +28,12 @@ enum Degradation : uint8_t {
   kDegradationSnappedOrigin = 1 << 2,
   // Beam search returned the best hypothesis so far at the deadline.
   kDegradationDeadlineBudget = 1 << 3,
+  // A what-if overlay was requested but the traffic snapshot was missing or
+  // stale, so the prior-mean fallback served and there was no observed
+  // tensor to edit: the scenario was dropped, the answer is reality under
+  // the prior. Strict mode never reaches this -- it refuses the prior-mean
+  // fallback first, so an overlay can never mask a real degradation.
+  kDegradationOverlayDropped = 1 << 4,
 };
 
 struct ServingConfig {
@@ -59,6 +66,16 @@ struct ServingResult {
   bool degraded = false;
   uint8_t degradations = kDegradationNone;  // bitmask of Degradation
   double latency_ms = 0.0;
+  // Traffic generation the query pinned at admission (0 when serving a
+  // static snapshot without a SnapshotStore). Every tensor the query read
+  // came from exactly this generation.
+  uint64_t snapshot_generation = 0;
+  // True when a what-if overlay was actually applied (counterfactual
+  // answer, not reality).
+  bool what_if = false;
+  // kIngest only: rows made durable / rows dropped by validation.
+  int64_t ingested = 0;
+  int64_t ingest_rejected = 0;
 };
 
 // Cumulative accounting across every query served through one context.
@@ -73,15 +90,21 @@ struct ServingStats {
   int64_t uniform_proxy = 0;
   int64_t snapped_origin = 0;
   int64_t deadline_budget = 0;
+  int64_t overlay_dropped = 0;
+  int64_t what_if = 0;      // OK results answered under an applied overlay
 };
 
 // One request inside a coalesced cross-client batch (see ExecuteBatch).
 struct ServingRequest {
-  enum class Kind { kPredict, kScore };
+  enum class Kind { kPredict, kScore, kIngest };
   Kind kind = Kind::kPredict;
   RouteQuery query;
   // kScore: candidate routes (>= 1). Scored as one padded batch.
   std::vector<traj::Route> routes;
+  // kIngest: observation rows to make durable and fold into the next
+  // snapshot generation. The OK result is the durability ack (WAL append
+  // done); per-row validation failures come back counted, not fatal.
+  std::vector<traffic::SpeedObservation> observations;
   // Remaining per-request budget (already net of queue wait when the serve
   // daemon forwards it); 0 falls back to config.deadline_ms.
   double deadline_ms = 0.0;
@@ -100,9 +123,14 @@ std::string DegradationsToString(uint8_t degradations);
 class ServingContext {
  public:
   // `model` and `index` must outlive the context; `index` must be built
-  // over `model->network()`.
+  // over `model->network()`. `store` (optional, must outlive the context)
+  // turns on live-snapshot serving: every query pins the store's current
+  // generation at admission and reads only that generation (epoch pinning),
+  // and kIngest requests become available. Without a store, queries read
+  // the model's construction-time cache and kIngest is refused.
   ServingContext(DeepSTModel* model, const roadnet::SpatialIndex* index,
-                 const ServingConfig& config = {});
+                 const ServingConfig& config = {},
+                 traffic::SnapshotStore* store = nullptr);
 
   // Route generation for one query. Non-OK only for invalid queries (bad
   // ids, non-finite fields), strict-mode refusals, or query execution
@@ -136,12 +164,25 @@ class ServingContext {
   // The served model (the serve daemon's watchdog retires its session pool
   // when recycling hung workers' leases).
   DeepSTModel* model() const { return model_; }
+  // The live snapshot store, null when serving a static snapshot.
+  traffic::SnapshotStore* snapshot_store() const { return store_; }
 
  private:
   // Validates and resolves the query in place (origin snapping), collecting
-  // degradation flags and the context fallbacks to apply.
+  // degradation flags and the context fallbacks to apply. `options` carries
+  // the pinned cache in (staleness is judged against the pinned generation)
+  // and the overlay out; `what_if` is set when the overlay will apply.
   util::Status ResolveQuery(RouteQuery* query, bool origin_required,
-                            ContextOptions* options, uint8_t* degradations);
+                            ContextOptions* options, uint8_t* degradations,
+                            bool* what_if);
+  // Pins the store's current generation (no-op pin without a store),
+  // pointing `options` at the pinned cache and stamping the generation into
+  // `result`. The returned pin must stay alive for the whole query.
+  traffic::SnapshotPin PinSnapshot(ContextOptions* options,
+                                   ServingResult* result);
+  // kIngest execution: validate rows, WAL-append (the ack), queue for the
+  // next swap.
+  util::StatusOr<ServingResult> ExecuteIngest(const ServingRequest& request);
   // Folds one finished query into the atomic totals.
   void RecordOutcome(const util::StatusOr<ServingResult>& outcome);
   // Candidate-set validation for score requests (out-of-range segment ids
@@ -158,6 +199,7 @@ class ServingContext {
   DeepSTModel* model_;
   const roadnet::SpatialIndex* index_;
   ServingConfig config_;
+  traffic::SnapshotStore* store_;
   // ServingStats, field by field (see stats()).
   std::atomic<int64_t> n_queries_{0};
   std::atomic<int64_t> n_failures_{0};
@@ -166,6 +208,8 @@ class ServingContext {
   std::atomic<int64_t> n_uniform_proxy_{0};
   std::atomic<int64_t> n_snapped_origin_{0};
   std::atomic<int64_t> n_deadline_budget_{0};
+  std::atomic<int64_t> n_overlay_dropped_{0};
+  std::atomic<int64_t> n_what_if_{0};
 };
 
 }  // namespace core

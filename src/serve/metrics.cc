@@ -87,7 +87,12 @@ std::string MetricsSnapshot::ToJson() const {
       "\"workers_spawned\": %lld, \"p50_ms\": %.3f, \"p99_ms\": %.3f, "
       "\"cache\": {\"lookups\": %lld, \"hits\": %lld, \"misses\": %lld, "
       "\"insertions\": %lld, \"invalidations\": %lld, \"epoch\": %lld, "
-      "\"capacity\": %lld}}",
+      "\"capacity\": %lld}, "
+      "\"traffic\": {\"enabled\": %s, \"generation\": %lld, \"swaps\": %lld, "
+      "\"snapshot_age_s\": %.3f, \"rows_accepted\": %lld, "
+      "\"rows_rejected\": %lld, \"rows_pending\": %lld, "
+      "\"wal_bytes\": %lld, \"wal_fsyncs\": %lld, "
+      "\"pinned_readers\": %lld, \"pinned_high_water\": %lld}}",
       static_cast<long long>(submitted), static_cast<long long>(admitted),
       static_cast<long long>(shed_queue_full),
       static_cast<long long>(rejected_draining),
@@ -101,7 +106,17 @@ std::string MetricsSnapshot::ToJson() const {
       static_cast<long long>(cache_insertions),
       static_cast<long long>(cache_invalidations),
       static_cast<long long>(cache_epoch),
-      static_cast<long long>(cache_capacity));
+      static_cast<long long>(cache_capacity),
+      traffic_enabled ? "true" : "false",
+      static_cast<long long>(traffic_generation),
+      static_cast<long long>(traffic_swaps), traffic_snapshot_age_s,
+      static_cast<long long>(traffic_rows_accepted),
+      static_cast<long long>(traffic_rows_rejected),
+      static_cast<long long>(traffic_rows_pending),
+      static_cast<long long>(traffic_wal_bytes),
+      static_cast<long long>(traffic_wal_fsyncs),
+      static_cast<long long>(traffic_pinned_readers),
+      static_cast<long long>(traffic_pinned_high_water));
 }
 
 }  // namespace serve

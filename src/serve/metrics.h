@@ -101,8 +101,26 @@ struct MetricsSnapshot {
   int64_t cache_epoch = 0;
   int64_t cache_capacity = 0;  // 0 = memoization disabled
 
+  // Live traffic pipeline counters, sampled from the SnapshotStore at
+  // snapshot time (zeros when serving a static snapshot). Invariants at
+  // quiescence: traffic_generation == traffic_swaps + 1 (generation 1 is
+  // the seed snapshot), traffic_pinned_readers == 0 once drained, and
+  // traffic_pinned_high_water never exceeds the peak concurrent queries.
+  bool traffic_enabled = false;
+  int64_t traffic_generation = 0;
+  int64_t traffic_swaps = 0;
+  double traffic_snapshot_age_s = 0.0;
+  int64_t traffic_rows_accepted = 0;
+  int64_t traffic_rows_rejected = 0;
+  int64_t traffic_rows_pending = 0;
+  int64_t traffic_wal_bytes = 0;
+  int64_t traffic_wal_fsyncs = 0;
+  int64_t traffic_pinned_readers = 0;
+  int64_t traffic_pinned_high_water = 0;
+
   // One-line JSON object (stable key order) for the stats command and logs.
-  // Cache counters nest under a "cache" object.
+  // Cache counters nest under a "cache" object, live-traffic counters under
+  // a "traffic" object.
   std::string ToJson() const;
 };
 

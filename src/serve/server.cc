@@ -32,6 +32,21 @@ MetricsSnapshot Server::snapshot() const {
     s.cache_epoch = static_cast<int64_t>(ms.epoch);
     s.cache_capacity = ms.capacity;
   }
+  traffic::SnapshotStore* store = context_->snapshot_store();
+  if (store != nullptr) {
+    const traffic::SnapshotStoreStats ts = store->stats();
+    s.traffic_enabled = true;
+    s.traffic_generation = static_cast<int64_t>(ts.generation);
+    s.traffic_swaps = ts.swaps;
+    s.traffic_snapshot_age_s = ts.snapshot_age_s;
+    s.traffic_rows_accepted = ts.rows_accepted;
+    s.traffic_rows_rejected = ts.rows_rejected;
+    s.traffic_rows_pending = ts.rows_pending;
+    s.traffic_wal_bytes = ts.wal_bytes;
+    s.traffic_wal_fsyncs = ts.wal_fsyncs;
+    s.traffic_pinned_readers = ts.pinned_readers;
+    s.traffic_pinned_high_water = ts.pinned_reader_high_water;
+  }
   return s;
 }
 

@@ -1,0 +1,156 @@
+#include "traffic/overlay.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace deepst {
+namespace traffic {
+
+namespace {
+
+constexpr double kMaxScaleFactor = 10.0;
+
+util::StatusOr<double> ParseNumber(const std::string& text,
+                                   const std::string& what) {
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0' || !std::isfinite(v)) {
+    return util::Status::InvalidArgument(
+        util::StrFormat("overlay %s '%s' is not a finite number",
+                        what.c_str(), text.c_str()));
+  }
+  return v;
+}
+
+std::vector<std::string> SplitOn(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = text.find(sep, start);
+    if (pos == std::string::npos) {
+      parts.push_back(text.substr(start));
+      return parts;
+    }
+    parts.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+}  // namespace
+
+util::Status ValidateOverlay(const TrafficOverlay& overlay) {
+  for (size_t i = 0; i < overlay.edits.size(); ++i) {
+    const OverlayEdit& e = overlay.edits[i];
+    if (!std::isfinite(e.min.x) || !std::isfinite(e.min.y) ||
+        !std::isfinite(e.max.x) || !std::isfinite(e.max.y)) {
+      return util::Status::InvalidArgument(
+          util::StrFormat("overlay edit %zu: region is not finite", i));
+    }
+    if (e.min.x > e.max.x || e.min.y > e.max.y) {
+      return util::Status::InvalidArgument(util::StrFormat(
+          "overlay edit %zu: region min (%.1f, %.1f) exceeds max (%.1f, "
+          "%.1f)",
+          i, e.min.x, e.min.y, e.max.x, e.max.y));
+    }
+    if (e.kind == OverlayEdit::Kind::kScaleSpeed &&
+        (!std::isfinite(e.factor) || e.factor <= 0.0 ||
+         e.factor > kMaxScaleFactor)) {
+      return util::Status::InvalidArgument(util::StrFormat(
+          "overlay edit %zu: scale factor %f outside (0, %.0f]", i, e.factor,
+          kMaxScaleFactor));
+    }
+  }
+  return util::Status::Ok();
+}
+
+nn::Tensor ApplyOverlay(const nn::Tensor& base, const geo::GridSpec& grid,
+                        const TrafficOverlay& overlay) {
+  const int rows = grid.rows();
+  const int cols = grid.cols();
+  DEEPST_CHECK_EQ(base.numel(), static_cast<int64_t>(2) * rows * cols);
+  nn::Tensor out = base;  // deep copy; the pinned base is never mutated
+  float* speed = out.data();
+  float* count = out.data() + static_cast<int64_t>(rows) * cols;
+  for (const OverlayEdit& e : overlay.edits) {
+    // RowOf/ColOf clamp, so a region partly (or fully) outside the grid
+    // degenerates to its clamped cell range.
+    const int r0 = std::min(grid.RowOf(e.min), grid.RowOf(e.max));
+    const int r1 = std::max(grid.RowOf(e.min), grid.RowOf(e.max));
+    const int c0 = std::min(grid.ColOf(e.min), grid.ColOf(e.max));
+    const int c1 = std::max(grid.ColOf(e.min), grid.ColOf(e.max));
+    for (int r = r0; r <= r1; ++r) {
+      for (int c = c0; c <= c1; ++c) {
+        const int64_t i = static_cast<int64_t>(r) * cols + c;
+        if (e.kind == OverlayEdit::Kind::kCloseCells) {
+          speed[i] = 0.0f;
+          count[i] = 1.0f;
+        } else {
+          // Stay inside the builder's normalized speed range [0, 2].
+          speed[i] = std::min(
+              2.0f, speed[i] * static_cast<float>(e.factor));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+util::StatusOr<TrafficOverlay> ParseOverlaySpec(const std::string& spec) {
+  if (spec.empty()) {
+    return util::Status::InvalidArgument("overlay spec is empty");
+  }
+  TrafficOverlay overlay;
+  for (const std::string& part : SplitOn(spec, ';')) {
+    const size_t at = part.find('@');
+    if (at == std::string::npos) {
+      return util::Status::InvalidArgument(util::StrFormat(
+          "overlay edit '%s' has no '@' (expected kind@x0,y0,x1,y1)",
+          part.c_str()));
+    }
+    const std::string kind = part.substr(0, at);
+    std::string args = part.substr(at + 1);
+    OverlayEdit edit;
+    if (kind == "close") {
+      edit.kind = OverlayEdit::Kind::kCloseCells;
+    } else if (kind == "scale") {
+      edit.kind = OverlayEdit::Kind::kScaleSpeed;
+      const size_t star = args.find('*');
+      if (star == std::string::npos) {
+        return util::Status::InvalidArgument(util::StrFormat(
+            "overlay edit '%s' is missing '*factor'", part.c_str()));
+      }
+      util::StatusOr<double> factor =
+          ParseNumber(args.substr(star + 1), "factor");
+      if (!factor.ok()) return factor.status();
+      edit.factor = factor.value();
+      args = args.substr(0, star);
+    } else {
+      return util::Status::InvalidArgument(util::StrFormat(
+          "overlay kind '%s' is not close|scale", kind.c_str()));
+    }
+    const std::vector<std::string> coords = SplitOn(args, ',');
+    if (coords.size() != 4) {
+      return util::Status::InvalidArgument(util::StrFormat(
+          "overlay edit '%s': expected 4 coordinates, got %zu", part.c_str(),
+          coords.size()));
+    }
+    double v[4];
+    for (int i = 0; i < 4; ++i) {
+      util::StatusOr<double> parsed = ParseNumber(coords[i], "coordinate");
+      if (!parsed.ok()) return parsed.status();
+      v[i] = parsed.value();
+    }
+    edit.min = geo::Point{v[0], v[1]};
+    edit.max = geo::Point{v[2], v[3]};
+    overlay.edits.push_back(edit);
+  }
+  DEEPST_RETURN_IF_ERROR(ValidateOverlay(overlay));
+  return overlay;
+}
+
+}  // namespace traffic
+}  // namespace deepst

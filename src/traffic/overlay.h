@@ -1,0 +1,60 @@
+#ifndef DEEPST_TRAFFIC_OVERLAY_H_
+#define DEEPST_TRAFFIC_OVERLAY_H_
+
+#include <string>
+#include <vector>
+
+#include "geo/grid.h"
+#include "nn/tensor.h"
+#include "util/status.h"
+
+namespace deepst {
+namespace traffic {
+
+// One counterfactual edit of a traffic tensor, over an axis-aligned world-
+// coordinate region (clamped to the grid).
+struct OverlayEdit {
+  enum class Kind {
+    // Cells read as blocked: speed channel forced to 0 with full
+    // observation confidence (count channel 1), so the encoder sees
+    // "observed, nothing moves" rather than "unobserved".
+    kCloseCells,
+    // Speed channel multiplied by `factor` (clamped to the builder's [0, 2]
+    // normalized range); counts untouched.
+    kScaleSpeed,
+  };
+  Kind kind = Kind::kCloseCells;
+  geo::Point min;
+  geo::Point max;
+  double factor = 1.0;  // kScaleSpeed only
+};
+
+// A what-if scenario: edits applied in order to a COPY of a pinned
+// snapshot's tensor. The base generation is never mutated, so concurrent
+// queries against the same snapshot are unaffected and the scenario is a
+// pure deterministic function of (snapshot bytes, overlay).
+struct TrafficOverlay {
+  std::vector<OverlayEdit> edits;
+  bool empty() const { return edits.empty(); }
+};
+
+// Validates edit geometry and factors (finite, min <= max, factor in
+// (0, 10]). InvalidArgument names the offending edit.
+util::Status ValidateOverlay(const TrafficOverlay& overlay);
+
+// Applies `overlay` to a copy of `base` (a [2, rows, cols] traffic tensor on
+// `grid`) and returns the edited copy; `base` is untouched.
+nn::Tensor ApplyOverlay(const nn::Tensor& base, const geo::GridSpec& grid,
+                        const TrafficOverlay& overlay);
+
+// Parses the compact overlay grammar shared by the CLI flag and the serve
+// line protocol (no whitespace): edits joined by ';', each either
+//   close@x0,y0,x1,y1
+//   scale@x0,y0,x1,y1*factor
+// e.g. "close@10,10,350,350;scale@0,0,2000,2000*0.7".
+util::StatusOr<TrafficOverlay> ParseOverlaySpec(const std::string& spec);
+
+}  // namespace traffic
+}  // namespace deepst
+
+#endif  // DEEPST_TRAFFIC_OVERLAY_H_

@@ -66,6 +66,20 @@ TrafficTensorCache::TrafficTensorCache(const geo::GridSpec& grid,
   DEEPST_CHECK_GT(window_seconds, 0.0);
 }
 
+TrafficTensorCache::TrafficTensorCache(const TrafficTensorCache& other,
+                                       CloneTag)
+    : builder_(other.builder_),
+      slot_seconds_(other.slot_seconds_),
+      window_seconds_(other.window_seconds_),
+      router_(other.router_),
+      shards_(other.shards_),
+      latest_time_(other.latest_time_) {}
+
+std::unique_ptr<TrafficTensorCache> TrafficTensorCache::Clone() const {
+  return std::unique_ptr<TrafficTensorCache>(
+      new TrafficTensorCache(*this, CloneTag{}));
+}
+
 void TrafficTensorCache::AddObservations(
     const std::vector<SpeedObservation>& observations) {
   if (observations.empty()) return;

@@ -2,6 +2,7 @@
 #define DEEPST_TRAFFIC_SNAPSHOT_H_
 
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -57,15 +58,37 @@ class TrafficTensorBuilder {
 // touched bucket once. Because a grid cell belongs to exactly one tile, the
 // per-cell accumulation order (and hence every tensor, bit for bit) is
 // independent of the sharding.
+//
+// Thread-safety contract: AddObservations is the only mutator and must not
+// run concurrently with anything else on the same instance. Once ingestion
+// is done, HasObservations / latest_observation_time / TensorForTime are
+// safe from any number of concurrent reader threads (proven by the TSan
+// regression in tests/traffic_test.cc). Live pipelines never mutate a
+// published instance at all: traffic::SnapshotStore folds new observations
+// into a Clone() off-thread and publishes the clone as the next immutable
+// generation, so readers and the builder never share a mutable cache.
 class TrafficTensorCache {
  public:
   TrafficTensorCache(const geo::GridSpec& grid, double slot_seconds,
                      double window_seconds, double speed_norm_mps = 20.0,
                      int target_shards = 16);
 
-  // Registers probe observations (any order). Not thread-safe with respect
-  // to concurrent queries; ingest before serving.
+  // Registers probe observations (any order). Mutator: must be externally
+  // serialized against all other calls (see the class contract above).
+  //
+  // Deterministic fold: appending a batch only ever appends to bucket tails
+  // in arrival order, so ingesting b1 then b2 leaves bit-identical bucket
+  // contents (and therefore bit-identical tensors) to ingesting b1+b2
+  // concatenated. SnapshotStore's incremental generations and WAL replay
+  // both lean on this -- any frame partitioning of the same row sequence
+  // rebuilds the same snapshot.
   void AddObservations(const std::vector<SpeedObservation>& observations);
+
+  // Deep copy of the observation store (shards + latest time). The clone's
+  // lazy tensor cache starts empty; tensors built from it are bit-identical
+  // to the source's. The double-buffered swap folds new observations into a
+  // clone so the published generation is never touched.
+  std::unique_ptr<TrafficTensorCache> Clone() const;
 
   // Tensor for the slot containing `time_s`, built lazily from observations
   // in [slot_start - window, slot_start) and memoized. Safe to call from
@@ -85,6 +108,7 @@ class TrafficTensorCache {
     return static_cast<int>(time_s / slot_seconds_);
   }
   double slot_seconds() const { return slot_seconds_; }
+  const geo::GridSpec& grid() const { return builder_.grid(); }
   int rows() const { return builder_.grid().rows(); }
   int cols() const { return builder_.grid().cols(); }
 
@@ -93,6 +117,11 @@ class TrafficTensorCache {
   int ShardOf(const geo::Point& p) const { return router_.ShardOf(p); }
 
  private:
+  // Clone() constructor: copies the observation store, starts with an empty
+  // tensor cache (mutexes are not copyable, and clones rebuild lazily).
+  struct CloneTag {};
+  TrafficTensorCache(const TrafficTensorCache& other, CloneTag);
+
   // One time slot's observations within a shard, in arrival order.
   struct SlotBucket {
     int slot = 0;

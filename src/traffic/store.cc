@@ -1,0 +1,223 @@
+#include "traffic/store.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace deepst {
+namespace traffic {
+
+SnapshotPin::SnapshotPin(SnapshotPin&& other) noexcept
+    : store_(other.store_), snapshot_(std::move(other.snapshot_)) {
+  other.store_ = nullptr;
+  other.snapshot_.reset();
+}
+
+SnapshotPin& SnapshotPin::operator=(SnapshotPin&& other) noexcept {
+  if (this != &other) {
+    Release();
+    store_ = other.store_;
+    snapshot_ = std::move(other.snapshot_);
+    other.store_ = nullptr;
+    other.snapshot_.reset();
+  }
+  return *this;
+}
+
+SnapshotPin::~SnapshotPin() { Release(); }
+
+void SnapshotPin::Release() {
+  if (snapshot_ != nullptr && store_ != nullptr) {
+    snapshot_.reset();  // may free a superseded generation right here
+    store_->ReleasePin();
+  }
+  store_ = nullptr;
+  snapshot_.reset();
+}
+
+SnapshotStore::SnapshotStore(std::unique_ptr<TrafficTensorCache> initial,
+                             std::unique_ptr<ObservationWal> wal,
+                             const SnapshotStoreConfig& config)
+    : config_(config), wal_(std::move(wal)) {
+  DEEPST_CHECK(initial != nullptr);
+  auto snap = std::make_shared<TrafficSnapshot>();
+  snap->generation = 1;
+  snap->cache = std::shared_ptr<TrafficTensorCache>(std::move(initial));
+  current_ = std::move(snap);
+  published_at_ = std::chrono::steady_clock::now();
+}
+
+SnapshotStore::~SnapshotStore() { Stop(); }
+
+util::Status SnapshotStore::Ingest(const std::vector<SpeedObservation>& rows,
+                                   IngestReport* report) {
+  IngestReport local;
+  if (static_cast<int64_t>(rows.size()) > config_.max_rows_per_ingest) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "ingest batch of %zu rows exceeds the %lld-row cap", rows.size(),
+        static_cast<long long>(config_.max_rows_per_ingest)));
+  }
+  std::vector<SpeedObservation> accepted;
+  accepted.reserve(rows.size());
+  for (const SpeedObservation& obs : rows) {
+    const bool valid = std::isfinite(obs.pos.x) && std::isfinite(obs.pos.y) &&
+                       std::isfinite(obs.time_s) && obs.time_s >= 0.0 &&
+                       std::isfinite(obs.speed_mps) && obs.speed_mps >= 0.0;
+    if (valid) {
+      accepted.push_back(obs);
+    } else {
+      ++local.rejected;
+    }
+  }
+  std::lock_guard<std::mutex> lock(ingest_mu_);
+  if (!accepted.empty()) {
+    if (wal_ != nullptr) {
+      // The durability ack: a failed append queues nothing, so the caller
+      // knows the batch was not made durable and can retry it whole.
+      util::Status status = wal_->Append(accepted);
+      if (!status.ok()) {
+        rows_rejected_ += static_cast<int64_t>(rows.size());
+        if (report != nullptr) {
+          report->accepted = 0;
+          report->rejected = static_cast<int64_t>(rows.size());
+        }
+        return status;
+      }
+    }
+    local.accepted = static_cast<int64_t>(accepted.size());
+    pending_.insert(pending_.end(), accepted.begin(), accepted.end());
+  }
+  rows_accepted_ += local.accepted;
+  rows_rejected_ += local.rejected;
+  if (report != nullptr) *report = local;
+  return util::Status::Ok();
+}
+
+void SnapshotStore::QueueRecovered(std::vector<SpeedObservation> rows) {
+  if (rows.empty()) return;
+  std::lock_guard<std::mutex> lock(ingest_mu_);
+  rows_accepted_ += static_cast<int64_t>(rows.size());
+  if (pending_.empty()) {
+    pending_ = std::move(rows);
+  } else {
+    pending_.insert(pending_.end(), rows.begin(), rows.end());
+  }
+}
+
+uint64_t SnapshotStore::SwapNow() {
+  // Serialize builders; a concurrent aggregator tick waits here and then
+  // finds an empty pending queue.
+  std::lock_guard<std::mutex> build_lock(build_mu_);
+  std::vector<SpeedObservation> pending;
+  {
+    std::lock_guard<std::mutex> lock(ingest_mu_);
+    pending.swap(pending_);
+  }
+  std::shared_ptr<const TrafficSnapshot> base;
+  {
+    std::lock_guard<std::mutex> lock(publish_mu_);
+    base = current_;
+  }
+  if (pending.empty()) return base->generation;
+
+  // The fold runs on this thread against a private clone; readers keep
+  // serving `base` untouched the whole time.
+  auto next = std::make_shared<TrafficSnapshot>();
+  next->generation = base->generation + 1;
+  next->cache =
+      std::shared_ptr<TrafficTensorCache>(base->cache->Clone().release());
+  next->cache->AddObservations(pending);
+  const uint64_t generation = next->generation;
+  {
+    std::lock_guard<std::mutex> lock(publish_mu_);
+    current_ = std::move(next);  // atomic publish; old gen lives while pinned
+    published_at_ = std::chrono::steady_clock::now();
+    ++swaps_;
+  }
+  if (on_swap_) on_swap_(generation);
+  return generation;
+}
+
+void SnapshotStore::Start() {
+  if (config_.swap_interval_ms <= 0.0 || started_) return;
+  started_ = true;
+  stop_ = false;
+  aggregator_ = std::thread([this] { AggregatorLoop(); });
+}
+
+void SnapshotStore::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    stop_ = true;
+  }
+  stop_cv_.notify_all();
+  if (aggregator_.joinable()) aggregator_.join();
+  started_ = false;
+}
+
+void SnapshotStore::AggregatorLoop() {
+  const auto period = std::chrono::microseconds(
+      static_cast<int64_t>(config_.swap_interval_ms * 1000.0));
+  std::unique_lock<std::mutex> lock(stop_mu_);
+  while (!stop_) {
+    if (stop_cv_.wait_for(lock, period, [this] { return stop_; })) return;
+    lock.unlock();
+    SwapNow();
+    lock.lock();
+  }
+}
+
+SnapshotPin SnapshotStore::Acquire() {
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  ++pins_;
+  pins_high_water_ = std::max(pins_high_water_, pins_);
+  return SnapshotPin(this, current_);
+}
+
+void SnapshotStore::ReleasePin() {
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  --pins_;
+}
+
+util::Status SnapshotStore::SyncWal() {
+  std::lock_guard<std::mutex> lock(ingest_mu_);
+  if (wal_ == nullptr) return util::Status::Ok();
+  return wal_->Sync();
+}
+
+uint64_t SnapshotStore::generation() const {
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  return current_->generation;
+}
+
+SnapshotStoreStats SnapshotStore::stats() const {
+  SnapshotStoreStats s;
+  {
+    std::lock_guard<std::mutex> lock(publish_mu_);
+    s.generation = current_->generation;
+    s.swaps = swaps_;
+    s.snapshot_age_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      published_at_)
+            .count();
+    s.pinned_readers = pins_;
+    s.pinned_reader_high_water = pins_high_water_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(ingest_mu_);
+    s.rows_accepted = rows_accepted_;
+    s.rows_rejected = rows_rejected_;
+    s.rows_pending = static_cast<int64_t>(pending_.size());
+    if (wal_ != nullptr) {
+      const ObservationWal::Stats ws = wal_->stats();
+      s.wal_bytes = ws.durable_bytes;
+      s.wal_fsyncs = ws.fsyncs;
+    }
+  }
+  return s;
+}
+
+}  // namespace traffic
+}  // namespace deepst

@@ -1,0 +1,307 @@
+#include "traffic/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <utility>
+
+#include "util/crc32.h"
+#include "util/fault_injector.h"
+#include "util/string_util.h"
+
+namespace deepst {
+namespace traffic {
+
+namespace {
+
+constexpr uint32_t kWalMagic = 0x4C415754;  // "TWAL" little-endian
+constexpr uint32_t kWalVersion = 1;
+constexpr size_t kHeaderBytes = 16;
+constexpr size_t kFrameHeaderBytes = 8;   // payload_bytes + crc
+constexpr size_t kPayloadHeaderBytes = 8; // row_count + reserved
+constexpr size_t kRowBytes = 32;          // 4 x f64
+
+void PutU32(std::string* out, uint32_t v) {
+  char b[4];
+  std::memcpy(b, &v, 4);
+  out->append(b, 4);
+}
+
+void PutF64(std::string* out, double v) {
+  char b[8];
+  std::memcpy(b, &v, 8);
+  out->append(b, 8);
+}
+
+uint32_t GetU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+double GetF64(const char* p) {
+  double v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+std::string EncodeFrame(const std::vector<SpeedObservation>& rows) {
+  std::string payload;
+  payload.reserve(kPayloadHeaderBytes + rows.size() * kRowBytes);
+  PutU32(&payload, static_cast<uint32_t>(rows.size()));
+  PutU32(&payload, 0);  // reserved
+  for (const SpeedObservation& obs : rows) {
+    PutF64(&payload, obs.time_s);
+    PutF64(&payload, obs.pos.x);
+    PutF64(&payload, obs.pos.y);
+    PutF64(&payload, obs.speed_mps);
+  }
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  PutU32(&frame, static_cast<uint32_t>(payload.size()));
+  PutU32(&frame, util::Crc32(payload.data(), payload.size()));
+  frame += payload;
+  return frame;
+}
+
+// Parses the whole-frame prefix of `data` (which starts after the file
+// header at `base_offset`). Stops at the first frame that is short, claims
+// an impossible length, or fails its CRC -- the torn tail.
+void ScanFrames(const std::string& data, uint64_t base_offset,
+                uint32_t max_rows_per_frame,
+                std::vector<SpeedObservation>* rows, WalReplayReport* report) {
+  report->min_time_s = std::numeric_limits<double>::infinity();
+  report->max_time_s = -std::numeric_limits<double>::infinity();
+  size_t off = 0;
+  while (true) {
+    if (data.size() - off < kFrameHeaderBytes) break;
+    const uint32_t payload_bytes = GetU32(data.data() + off);
+    const uint32_t crc = GetU32(data.data() + off + 4);
+    if (payload_bytes < kPayloadHeaderBytes ||
+        (payload_bytes - kPayloadHeaderBytes) % kRowBytes != 0 ||
+        (payload_bytes - kPayloadHeaderBytes) / kRowBytes >
+            max_rows_per_frame) {
+      break;  // corrupt length field
+    }
+    if (data.size() - off - kFrameHeaderBytes < payload_bytes) break;
+    const char* payload = data.data() + off + kFrameHeaderBytes;
+    if (util::Crc32(payload, payload_bytes) != crc) break;
+    const uint32_t count = GetU32(payload);
+    if (kPayloadHeaderBytes + static_cast<size_t>(count) * kRowBytes !=
+        payload_bytes) {
+      break;  // row count disagrees with the frame length
+    }
+    for (uint32_t i = 0; i < count; ++i) {
+      const char* p = payload + kPayloadHeaderBytes + i * kRowBytes;
+      SpeedObservation obs;
+      obs.time_s = GetF64(p);
+      obs.pos = geo::Point{GetF64(p + 8), GetF64(p + 16)};
+      obs.speed_mps = GetF64(p + 24);
+      if (rows != nullptr) rows->push_back(obs);
+      if (std::isfinite(obs.time_s)) {
+        report->min_time_s = std::min(report->min_time_s, obs.time_s);
+        report->max_time_s = std::max(report->max_time_s, obs.time_s);
+      }
+      ++report->rows;
+    }
+    ++report->frames;
+    off += kFrameHeaderBytes + payload_bytes;
+  }
+  report->valid_bytes = base_offset + off;
+  report->dropped_bytes = report->file_bytes - report->valid_bytes;
+  report->torn_tail = report->dropped_bytes > 0;
+  report->torn_tail_offset = report->valid_bytes;
+}
+
+util::Status ReplayInternal(const std::string& path,
+                            uint32_t max_rows_per_frame,
+                            std::vector<SpeedObservation>* rows,
+                            WalReplayReport* report) {
+  DEEPST_RETURN_IF_ERROR(util::CheckFaultPoint("wal.replay"));
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return util::Status::IoError("cannot open " + path);
+  }
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (in.bad()) return util::Status::IoError("read failed for " + path);
+  report->file_bytes = data.size();
+  if (data.size() < kHeaderBytes) {
+    return util::Status::InvalidArgument(
+        util::StrFormat("%s: %zu bytes, too short for a traffic WAL header",
+                        path.c_str(), data.size()));
+  }
+  const uint32_t magic = GetU32(data.data());
+  if (magic != kWalMagic) {
+    return util::Status::InvalidArgument(
+        util::StrFormat("%s: magic %08x is not a traffic WAL", path.c_str(),
+                        magic));
+  }
+  const uint32_t version = GetU32(data.data() + 4);
+  if (version != kWalVersion) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "%s: unsupported traffic WAL version %u", path.c_str(), version));
+  }
+  ScanFrames(data.substr(kHeaderBytes), kHeaderBytes, max_rows_per_frame,
+             rows, report);
+  return util::Status::Ok();
+}
+
+util::Status WriteAll(int fd, const char* data, size_t n,
+                      const std::string& path) {
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t w = ::write(fd, data + done, n - done);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return util::Status::IoError(util::StrFormat(
+          "write failed for %s: %s", path.c_str(), std::strerror(errno)));
+    }
+    done += static_cast<size_t>(w);
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace
+
+util::Status ReplayWalFile(const std::string& path,
+                           std::vector<SpeedObservation>* rows,
+                           WalReplayReport* report) {
+  WalReplayReport local;
+  util::Status status = ReplayInternal(
+      path, ObservationWal::Options().max_rows_per_frame, rows, &local);
+  if (report != nullptr) *report = local;
+  return status;
+}
+
+ObservationWal::ObservationWal(std::string path, const Options& options,
+                               int fd, int64_t size)
+    : path_(std::move(path)), options_(options), fd_(fd) {
+  stats_.durable_bytes = size;
+}
+
+ObservationWal::~ObservationWal() {
+  if (fd_ >= 0) {
+    if (unsynced_bytes_ > 0) ::fsync(fd_);
+    ::close(fd_);
+  }
+}
+
+util::StatusOr<std::unique_ptr<ObservationWal>> ObservationWal::Open(
+    const std::string& path, const Options& options,
+    std::vector<SpeedObservation>* replayed, WalReplayReport* report) {
+  WalReplayReport local;
+  bool fresh = false;
+  {
+    std::ifstream probe(path, std::ios::binary);
+    fresh = !probe.is_open();
+  }
+  if (!fresh) {
+    DEEPST_RETURN_IF_ERROR(ReplayInternal(path, options.max_rows_per_frame,
+                                          replayed, &local));
+  }
+  if (report != nullptr) *report = local;
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT, 0644);
+  if (fd < 0) {
+    return util::Status::IoError(util::StrFormat(
+        "cannot open %s for append: %s", path.c_str(),
+        std::strerror(errno)));
+  }
+  int64_t size;
+  if (fresh) {
+    std::string header;
+    PutU32(&header, kWalMagic);
+    PutU32(&header, kWalVersion);
+    PutF64(&header, 0.0);  // 8 reserved bytes
+    util::Status status = WriteAll(fd, header.data(), header.size(), path);
+    if (status.ok() && ::fsync(fd) != 0) {
+      status = util::Status::IoError("fsync failed for " + path);
+    }
+    if (!status.ok()) {
+      ::close(fd);
+      return status;
+    }
+    size = static_cast<int64_t>(header.size());
+  } else {
+    // Truncate a torn tail away so appends resume on a frame boundary.
+    if (::ftruncate(fd, static_cast<off_t>(local.valid_bytes)) != 0) {
+      ::close(fd);
+      return util::Status::IoError(util::StrFormat(
+          "ftruncate failed for %s: %s", path.c_str(),
+          std::strerror(errno)));
+    }
+    size = static_cast<int64_t>(local.valid_bytes);
+  }
+  if (::lseek(fd, 0, SEEK_END) < 0) {
+    ::close(fd);
+    return util::Status::IoError("lseek failed for " + path);
+  }
+  return std::unique_ptr<ObservationWal>(
+      new ObservationWal(path, options, fd, size));
+}
+
+util::Status ObservationWal::Append(const std::vector<SpeedObservation>& rows) {
+  if (rows.empty()) return util::Status::Ok();
+  DEEPST_RETURN_IF_ERROR(util::CheckFaultPoint("wal.append"));
+  if (rows.size() > options_.max_rows_per_frame) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "ingest batch of %zu rows exceeds the %u-row frame cap", rows.size(),
+        options_.max_rows_per_frame));
+  }
+  const std::string frame = EncodeFrame(rows);
+  DEEPST_RETURN_IF_ERROR(WriteAll(fd_, frame.data(), frame.size(), path_));
+  stats_.appended_frames += 1;
+  stats_.appended_rows += static_cast<int64_t>(rows.size());
+  stats_.durable_bytes += static_cast<int64_t>(frame.size());
+  unsynced_bytes_ += static_cast<int64_t>(frame.size());
+  if (unsynced_bytes_ >= options_.fsync_interval_bytes) return Sync();
+  return util::Status::Ok();
+}
+
+util::Status ObservationWal::Sync() {
+  if (unsynced_bytes_ == 0) return util::Status::Ok();
+  DEEPST_RETURN_IF_ERROR(util::CheckFaultPoint("wal.fsync"));
+  if (::fsync(fd_) != 0) {
+    return util::Status::IoError(util::StrFormat(
+        "fsync failed for %s: %s", path_.c_str(), std::strerror(errno)));
+  }
+  unsynced_bytes_ = 0;
+  stats_.fsyncs += 1;
+  return util::Status::Ok();
+}
+
+util::StatusOr<std::string> DescribeWalFile(const std::string& path,
+                                            bool* healthy) {
+  WalReplayReport report;
+  util::Status status = ReplayInternal(
+      path, ObservationWal::Options().max_rows_per_frame, nullptr, &report);
+  if (!status.ok()) return status;
+  if (healthy != nullptr) *healthy = !report.torn_tail;
+  std::string out = util::StrFormat(
+      "traffic wal v%u: %llu frames, %llu observations, %llu bytes",
+      kWalVersion, static_cast<unsigned long long>(report.frames),
+      static_cast<unsigned long long>(report.rows),
+      static_cast<unsigned long long>(report.file_bytes));
+  if (report.rows > 0) {
+    out += util::StrFormat(", t in [%.1f, %.1f] s", report.min_time_s,
+                           report.max_time_s);
+  }
+  if (report.torn_tail) {
+    out += util::StrFormat(
+        ", TORN TAIL at offset %llu (%llu bytes dropped)",
+        static_cast<unsigned long long>(report.torn_tail_offset),
+        static_cast<unsigned long long>(report.dropped_bytes));
+  } else {
+    out += ", crc OK";
+  }
+  out += '\n';
+  return out;
+}
+
+}  // namespace traffic
+}  // namespace deepst

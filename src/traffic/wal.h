@@ -1,0 +1,133 @@
+#ifndef DEEPST_TRAFFIC_WAL_H_
+#define DEEPST_TRAFFIC_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "traffic/snapshot.h"
+#include "util/status.h"
+
+namespace deepst {
+namespace traffic {
+
+// Accounting of one WAL replay: what was recovered and what (if anything)
+// was dropped at a torn tail. A torn tail is NOT an error -- it is the
+// expected shape of a kill -9 mid-append -- so replay reports it here and
+// Open truncates the file back to the last whole frame.
+struct WalReplayReport {
+  uint64_t frames = 0;        // whole frames recovered
+  uint64_t rows = 0;          // observations recovered across those frames
+  uint64_t file_bytes = 0;    // size of the file as found
+  uint64_t valid_bytes = 0;   // header + whole-frame prefix that replayed
+  uint64_t dropped_bytes = 0; // file_bytes - valid_bytes
+  bool torn_tail = false;     // dropped_bytes > 0
+  // First byte offset that failed to parse (== valid_bytes when torn).
+  uint64_t torn_tail_offset = 0;
+  // Time range of the recovered observations; min > max when none.
+  double min_time_s = 0.0;
+  double max_time_s = 0.0;
+};
+
+// Append-only, CRC32-framed write-ahead log for SpeedObservation records.
+// Layout (all integers little-endian, as written by this host):
+//
+//   header (16 bytes): u32 magic 'TWAL' | u32 version 1 | u64 reserved 0
+//   frame:  u32 payload_bytes | u32 crc32(payload) | payload
+//   payload: u32 row_count | u32 reserved 0 | row_count x WalRow
+//   WalRow (32 bytes): f64 time_s | f64 x | f64 y | f64 speed_mps
+//
+// Durability contract: Append writes one frame with a single write(2) call
+// and returns only after the frame is in the kernel (ack-after-append);
+// fsync is batched -- the log fsyncs when `fsync_interval_bytes` of unsynced
+// frames accumulate, and Sync() forces the tail down (graceful shutdown
+// calls it before drain). A crash can therefore lose at most the frames
+// appended since the last fsync, and never corrupts frames before the tear:
+// replay truncates at the first bad frame and reports the loss.
+//
+// Fault points (util::FaultInjector): "wal.append", "wal.fsync",
+// "wal.replay". An injected append/fsync failure surfaces as a clean
+// IoError with nothing acked; the file is still a valid log ending at the
+// last whole frame.
+//
+// Not internally synchronized: one writer at a time (SnapshotStore
+// serializes ingest through its own mutex).
+class ObservationWal {
+ public:
+  struct Options {
+    // Unsynced bytes that trigger an fsync at the end of an Append. 0 syncs
+    // every append (maximum durability, one fsync per batch).
+    int64_t fsync_interval_bytes = 1 << 20;
+    // Frames claiming more rows than this fail frame validation; bounds the
+    // allocation a corrupt length field can demand.
+    uint32_t max_rows_per_frame = 1u << 20;
+  };
+
+  // Monotonic writer-side counters for stats surfaces.
+  struct Stats {
+    int64_t appended_frames = 0;
+    int64_t appended_rows = 0;
+    int64_t durable_bytes = 0;  // file size: header + whole frames
+    int64_t fsyncs = 0;
+  };
+
+  ~ObservationWal();
+  ObservationWal(const ObservationWal&) = delete;
+  ObservationWal& operator=(const ObservationWal&) = delete;
+
+  // Opens (creating if absent) the log at `path` for appending. An existing
+  // log is replayed first: recovered observations are appended to
+  // `replayed` (may be null) in append order, `report` (may be null) gets
+  // the accounting, and a torn tail is truncated away so new frames start
+  // on a whole-frame boundary. Fails with InvalidArgument when the file
+  // exists but is not a WAL (bad magic/version -- probe chains rely on
+  // this), IoError on filesystem trouble.
+  static util::StatusOr<std::unique_ptr<ObservationWal>> Open(
+      const std::string& path, const Options& options,
+      std::vector<SpeedObservation>* replayed, WalReplayReport* report);
+
+  // Appends one frame holding `rows` and returns once it is written (and
+  // fsynced, when the batching threshold says so). Empty batches are
+  // ignored. On error nothing is acked: a partially written frame is
+  // indistinguishable from a crash and replay drops it.
+  util::Status Append(const std::vector<SpeedObservation>& rows);
+
+  // Forces the unsynced tail to stable storage.
+  util::Status Sync();
+
+  Stats stats() const { return stats_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  ObservationWal(std::string path, const Options& options, int fd,
+                 int64_t size);
+
+  std::string path_;
+  Options options_;
+  int fd_ = -1;
+  int64_t unsynced_bytes_ = 0;
+  Stats stats_;
+};
+
+// Replays the log at `path` without opening it for writing: recovered rows
+// (append order) go to `rows`, accounting to `report` (either may be null).
+// A torn tail replays OK (the report carries the loss); InvalidArgument on
+// bad magic/version, IoError when unreadable. Fault point "wal.replay".
+util::Status ReplayWalFile(const std::string& path,
+                           std::vector<SpeedObservation>* rows,
+                           WalReplayReport* report);
+
+// Human-readable report for `deepst_cli inspect`: magic/version, frame and
+// row counts, CRC/torn-tail status, byte accounting, and the recovered time
+// range. Returns InvalidArgument (without reading further) when the magic
+// is not a WAL's, so the CLI can probe file kinds in sequence. `healthy`
+// (when given) is set false for logs with a torn or corrupt tail -- the
+// recovered prefix is servable, but bytes were dropped.
+util::StatusOr<std::string> DescribeWalFile(const std::string& path,
+                                            bool* healthy = nullptr);
+
+}  // namespace traffic
+}  // namespace deepst
+
+#endif  // DEEPST_TRAFFIC_WAL_H_

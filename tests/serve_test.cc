@@ -18,6 +18,8 @@
 #include "core/serving.h"
 #include "eval/world.h"
 #include "serve/server.h"
+#include "traffic/snapshot.h"
+#include "traffic/store.h"
 #include "util/fault_injector.h"
 
 namespace deepst {
@@ -363,6 +365,55 @@ TEST_F(ServeTest, WatchdogRecyclesHungWorkerAndSpawnsReplacement) {
   EXPECT_GE(snap.watchdog_recycles, 1);
   EXPECT_GE(snap.workers_spawned, 2);  // original + replacement
   EXPECT_EQ(snap.completed_ok, 2);
+}
+
+TEST_F(ServeTest, TrafficStatsObjectHoldsStoreInvariants) {
+  // Static serving: the traffic object is present but disabled.
+  {
+    core::ServingContext serving(&TestModel(), &TestWorld().index());
+    Server server(&serving, ServeOptions{});
+    const MetricsSnapshot snap = server.snapshot();
+    EXPECT_FALSE(snap.traffic_enabled);
+    EXPECT_NE(snap.ToJson().find("\"traffic\": {\"enabled\": false"),
+              std::string::npos);
+  }
+
+  // Live serving: counters sampled from the SnapshotStore, with the
+  // documented invariants holding at quiescence.
+  traffic::SnapshotStore store(TestWorld().traffic_cache()->Clone(), nullptr,
+                               traffic::SnapshotStoreConfig{});
+  core::ServingContext serving(&TestModel(), &TestWorld().index(), {},
+                               &store);
+  Server server(&serving, ServeOptions{});
+  server.Start();
+  const auto queries = TestQueries(2);
+  core::ServingRequest ingest;
+  ingest.kind = core::ServingRequest::Kind::kIngest;
+  ingest.observations = {{{100, 100}, 500.0, 5.0},
+                         {{200, 200}, 600.0, 6.0},
+                         {{1, 1}, -4.0, 1.0}};  // rejected: negative time
+  auto fi = server.Submit(std::move(ingest));
+  auto f0 = server.Submit(PredictRequest(queries[0]));
+  ASSERT_TRUE(fi.get().ok());
+  ASSERT_TRUE(f0.get().ok());
+  store.SwapNow();
+  auto f1 = server.Submit(PredictRequest(queries[1]));
+  ASSERT_TRUE(f1.get().ok());
+  server.Shutdown();
+
+  const MetricsSnapshot snap = server.snapshot();
+  EXPECT_TRUE(snap.traffic_enabled);
+  EXPECT_EQ(snap.traffic_generation, snap.traffic_swaps + 1);
+  EXPECT_EQ(snap.traffic_generation, 2);
+  EXPECT_EQ(snap.traffic_rows_accepted, 2);
+  EXPECT_EQ(snap.traffic_rows_rejected, 1);
+  EXPECT_EQ(snap.traffic_rows_pending, 0);  // swap folded everything
+  EXPECT_EQ(snap.traffic_pinned_readers, 0);  // drained
+  EXPECT_GE(snap.traffic_pinned_high_water, 1);
+  EXPECT_GE(snap.traffic_snapshot_age_s, 0.0);
+  const std::string json = snap.ToJson();
+  EXPECT_NE(json.find("\"traffic\": {\"enabled\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"rows_accepted\": 2"), std::string::npos);
 }
 
 TEST_F(ServeTest, ShutdownIsIdempotentAndLeaksNothing) {

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <thread>
+#include <vector>
 
 #include "roadnet/grid_city.h"
 #include "traffic/congestion_field.h"
@@ -181,6 +184,72 @@ TEST(TrafficTensorCacheTest, SlotSharingAndWindow) {
   // A much later slot has an empty window.
   const nn::Tensor& t3 = cache.TensorForTime(10 * 3600.0);
   EXPECT_DOUBLE_EQ(t3.Sum(), 0.0);
+}
+
+TEST(TrafficTensorCacheTest, CloneBitIdenticalAndIndependent) {
+  geo::BoundingBox box;
+  box.Extend({0, 0});
+  box.Extend({800, 800});
+  geo::GridSpec grid(box, 200.0);
+  TrafficTensorCache cache(grid, 1200.0, 1800.0);
+  cache.AddObservations({{{50, 50}, 500.0, 10.0},
+                         {{350, 650}, 900.0, 4.0},
+                         {{700, 100}, 2500.0, 12.0}});
+  auto clone = cache.Clone();
+  EXPECT_EQ(clone->latest_observation_time(),
+            cache.latest_observation_time());
+  for (double t : {1500.0, 3600.0, 7200.0}) {
+    const nn::Tensor& a = cache.TensorForTime(t);
+    const nn::Tensor& b = clone->TensorForTime(t);
+    ASSERT_EQ(a.numel(), b.numel());
+    EXPECT_EQ(0, std::memcmp(a.data(), b.data(),
+                             static_cast<size_t>(a.numel()) * sizeof(float)));
+  }
+  // Mutating the clone must not leak into the source: a new observation in
+  // a slot the source has not memoized yet only shows up in the clone.
+  clone->AddObservations({{{450, 450}, 5000.0, 2.0}});
+  EXPECT_GT(clone->TensorForTime(6500.0).Sum(), 0.0);
+  EXPECT_DOUBLE_EQ(cache.TensorForTime(6500.0).Sum(), 0.0);
+}
+
+// TSan regression for the published-snapshot reader contract: once
+// ingestion is done, any number of threads may call the read API
+// concurrently -- including racing to lazily build the SAME slot tensor
+// for the first time. Run under tools/check_tsan.sh.
+TEST(TrafficTensorCacheTest, ConcurrentReadersAreSafe) {
+  geo::BoundingBox box;
+  box.Extend({0, 0});
+  box.Extend({1000, 1000});
+  geo::GridSpec grid(box, 125.0);
+  TrafficTensorCache cache(grid, 600.0, 1200.0);
+  std::vector<SpeedObservation> obs;
+  for (int i = 0; i < 500; ++i) {
+    const double t = 37.0 * i;
+    obs.push_back({{(i * 73) % 1000 + 0.5, (i * 131) % 1000 + 0.5}, t,
+                   3.0 + (i % 11)});
+  }
+  cache.AddObservations(obs);
+  constexpr int kThreads = 8;
+  std::vector<std::thread> readers;
+  std::vector<double> sums(kThreads, 0.0);
+  for (int w = 0; w < kThreads; ++w) {
+    readers.emplace_back([&cache, &sums, w] {
+      double acc = 0.0;
+      for (int round = 0; round < 20; ++round) {
+        // Every thread walks the same slot sequence, so first builds race.
+        for (double t = 700.0; t < 20000.0; t += 600.0) {
+          acc += cache.TensorForTime(t).Sum();
+          acc += cache.HasObservations(t) ? 1.0 : 0.0;
+        }
+        acc += cache.latest_observation_time();
+      }
+      sums[static_cast<size_t>(w)] = acc;
+    });
+  }
+  for (auto& r : readers) r.join();
+  for (int w = 1; w < kThreads; ++w) {
+    EXPECT_DOUBLE_EQ(sums[0], sums[static_cast<size_t>(w)]);
+  }
 }
 
 TEST(TrafficTensorCacheTest, ObservationInOwnSlotExcluded) {

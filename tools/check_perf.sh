@@ -4,7 +4,7 @@
 #
 #   tools/check_perf.sh [build-dir] [min-speedup] [min-train-speedup]
 #       [min-scale-speedup] [min-serve-speedup] [min-quant-speedup]
-#       [min-gemm-speedup]
+#       [min-gemm-speedup] [max-ingest-p99-ratio]
 #
 # Inference: builds bench_micro + inference_test, runs the inference sweep
 # (which writes <build-dir>/bench_out/BENCH_inference.json comparing the
@@ -32,7 +32,11 @@
 # closed-loop client fleet against the batching scheduler at 1/2/4 workers)
 # and — on machines with >= 4 cores — asserts 4 workers deliver at least
 # min-serve-speedup (default 2.0) times the 1-worker QPS without letting p99
-# latency grow past 3x the 1-worker tail (docs/serving.md).
+# latency grow past 3x the 1-worker tail (docs/serving.md). The live-ingest
+# scenario (server_ingest: concurrent ingest + snapshot swaps against the
+# same 4-worker fleet, docs/streaming.md) must keep its p99 within
+# max-ingest-p99-ratio (default 1.5) of the static 4-worker p99 — swaps
+# must never stall serving.
 #
 # Quantization + memoization: runs the quant sweep (BM_QuantSweep ->
 # BENCH_quant.json; bf16/int8 GEMV kernels and the transition memo against
@@ -62,6 +66,7 @@ MIN_SCALE_SPEEDUP="${4:-5.0}"
 MIN_SERVE_SPEEDUP="${5:-2.0}"
 MIN_QUANT_SPEEDUP="${6:-2.0}"
 MIN_GEMM_SPEEDUP="${7:-1.5}"
+MAX_INGEST_P99_RATIO="${8:-1.5}"
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j"$(nproc)" --target bench_micro bench_scale \
@@ -188,6 +193,26 @@ if [[ "$cores" -ge 4 ]]; then
   echo "OK: serve 4-worker QPS ${serve_speedup}x >= ${MIN_SERVE_SPEEDUP}x (p99 ${p99_4}ms vs ${p99_1}ms)"
 else
   echo "SKIP: serve 4-worker QPS gate (${cores} core(s) available; measured ${serve_speedup}x, p99 ${p99_4}ms vs ${p99_1}ms)"
+fi
+
+# Live-ingest tail gate: snapshot swaps (clone + fold off-thread, atomic
+# publish, memo-epoch bump) must never stall the predict fleet. Like the
+# other concurrency gates, only meaningful where the fleet, the ingest
+# client, and the aggregator can actually run in parallel.
+p99_live=$(jq -r '.[] | select(.mode == "server_ingest") | .p99_ms' \
+  "$SERVE_JSON")
+live_swaps=$(jq -r '.[] | select(.mode == "server_ingest") | .swaps' \
+  "$SERVE_JSON")
+if [[ "$cores" -ge 4 ]]; then
+  ok=$(jq -n --argjson l "$p99_live" --argjson s "$p99_4" \
+       --argjson r "$MAX_INGEST_P99_RATIO" '$l <= $r * $s')
+  if [[ "$ok" != "true" ]]; then
+    echo "FAIL: live-ingest p99 ${p99_live}ms > ${MAX_INGEST_P99_RATIO}x static 4-worker p99 ${p99_4}ms (${live_swaps} swaps)" >&2
+    exit 1
+  fi
+  echo "OK: live-ingest p99 ${p99_live}ms <= ${MAX_INGEST_P99_RATIO}x static ${p99_4}ms across ${live_swaps} swaps"
+else
+  echo "SKIP: live-ingest p99 gate (${cores} core(s) available; measured ${p99_live}ms vs static ${p99_4}ms, ${live_swaps} swaps)"
 fi
 
 echo "== quant sweep (bf16/int8 kernels + transition memo vs double) =="

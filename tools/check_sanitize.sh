@@ -25,7 +25,8 @@ cmake -B "$BUILD_DIR" -S . \
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
   --target parallel_test trainer_test checkpoint_test inference_test \
            train_sharded_test corruption_test serving_test serve_test \
-           format_v3_test spatial_index_test quant_test
+           format_v3_test spatial_index_test quant_test streaming_test \
+           traffic_test
 
 # halt_on_error makes a reported race/issue fail the script, not just print.
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
@@ -43,6 +44,13 @@ export DEEPST_FAST=1
 "$BUILD_DIR"/tests/format_v3_test
 "$BUILD_DIR"/tests/spatial_index_test
 "$BUILD_DIR"/tests/quant_test
+"$BUILD_DIR"/tests/streaming_test
+# Published-snapshot reader contract + live swap/pinning races
+# (docs/streaming.md): concurrent lazy slot builds and swaps racing the
+# reader fleet must be clean under TSan.
+"$BUILD_DIR"/tests/traffic_test \
+  --gtest_filter='TrafficTensorCacheTest.ConcurrentReadersAreSafe' \
+  --gtest_repeat=3
 
 # Short chaos soak: repeat the fault-driven serve tests (poisoned batches,
 # hung-worker watchdog recycling) so the injected-failure and lease-recycling

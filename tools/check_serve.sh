@@ -16,6 +16,11 @@
 #      tight end-to-end deadline with the hung-worker watchdog armed.
 #   5. SIGTERM drain -- a long-lived daemon must drain and exit 0 on
 #      SIGTERM, never hang or crash.
+#   6. Ingest storm + kill -9 (docs/streaming.md) -- live traffic enabled
+#      via --traffic-wal: seed observations, swap, record a pinned query,
+#      then kill -9 the daemon mid-ingest-storm. A restart must replay the
+#      WAL (torn tail tolerated), land on the same generation, and serve
+#      the recorded query bitwise identically.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -185,4 +190,97 @@ fi
 check_invariants "$WORK/drain.err"
 echo "OK: SIGTERM drained cleanly (exit 0)"
 
-echo "OK: serve daemon soak passed (health gate, fleet, chaos, drain)"
+echo "== ingest storm: kill -9 mid-append, WAL replay, pinned-query identity =="
+WAL="$WORK/traffic.wal"
+LIVE_FIFO="$WORK/live_fifo"
+mkfifo "$LIVE_FIFO"
+# Strips the request tag and the (legitimately varying) latency field so
+# response lines can be compared bitwise across a crash/restart.
+normalize() { sed -E 's/^#[0-9]+ //; s/ latency_ms=[0-9.]+//'; }
+
+"$CLI" serve --data-dir "$WORK" "${DATA_FLAGS[@]}" --model "$WORK/model.bin" \
+  --workers 2 --traffic-wal "$WAL" --swap-interval-ms 0 \
+  < "$LIVE_FIFO" > "$WORK/live.out" 2> "$WORK/live.err" &
+PID=$!
+exec 4> "$LIVE_FIFO"
+for _ in $(seq 1 100); do
+  grep -q '^serving:' "$WORK/live.err" 2>/dev/null && break
+  sleep 0.2
+done
+# Seed observations inside the recorded query's window, fold them into a
+# published snapshot (generation 2), and record the pinned response.
+echo "ingest 100,200,200,5;200,300,300,6;700,400,400,7" >&4
+echo "swap" >&4
+echo "predict 0 500 500 1500" >&4
+# Responses flush on the next protocol line; a second swap drains the
+# pipeline (and publishes nothing, since nothing is pending).
+echo "swap" >&4
+for _ in $(seq 1 100); do
+  grep -q '^#1 ' "$WORK/live.out" 2>/dev/null && break
+  sleep 0.2
+done
+REF=$(grep -m1 '^#1 ' "$WORK/live.out" | normalize)
+if [ -z "$REF" ] || ! grep -q 'gen=2' <<<"$REF"; then
+  echo "FAIL: recorded query missing or not pinned to generation 2" >&2
+  cat "$WORK/live.out" "$WORK/live.err" >&2; exit 1
+fi
+# Storm: concurrent ingest (far outside the recorded window) + predicts,
+# then kill -9 the daemon while appends are in flight.
+(
+  i=0
+  while :; do
+    echo "ingest $((500000 + i)),250,250,5" || break
+    echo "predict_trip $((i % 8))" || break
+    i=$((i + 1))
+  done >&4
+) 2>/dev/null &
+STORM=$!
+sleep 1
+kill -9 "$PID"
+rc=0
+wait "$PID" || rc=$?
+kill "$STORM" 2>/dev/null || true
+wait "$STORM" 2>/dev/null || true
+exec 4>&-
+if [ "$rc" -ne 137 ]; then
+  echo "FAIL: expected exit 137 after kill -9, got $rc" >&2; exit 1
+fi
+if [ ! -s "$WAL" ]; then
+  echo "FAIL: no WAL left behind by the killed daemon" >&2; exit 1
+fi
+
+# Restart on the same WAL: replay must rebuild generation 2 and serve the
+# recorded query bitwise identically (acked rows survive; at most the
+# unacked torn tail is dropped).
+printf 'predict 0 500 500 1500\nquit\n' | \
+  "$CLI" serve --data-dir "$WORK" "${DATA_FLAGS[@]}" --model "$WORK/model.bin" \
+  --workers 2 --traffic-wal "$WAL" --swap-interval-ms 0 \
+  > "$WORK/replay.out" 2> "$WORK/replay.err" || {
+  echo "FAIL: restart on recovered WAL did not exit 0" >&2
+  cat "$WORK/replay.err" >&2; exit 1
+}
+if ! grep -q 'live traffic: wal .* replayed' "$WORK/replay.err"; then
+  echo "FAIL: restart did not report a WAL replay" >&2
+  cat "$WORK/replay.err" >&2; exit 1
+fi
+POST=$(grep -m1 '^#0 ' "$WORK/replay.out" | normalize)
+if [ "$REF" != "$POST" ]; then
+  echo "FAIL: pinned query diverged across crash/restart" >&2
+  echo "  pre-crash:  $REF" >&2
+  echo "  post-crash: $POST" >&2
+  cat "$WORK/replay.err" >&2; exit 1
+fi
+check_invariants "$WORK/replay.err"
+# Opening the WAL truncated any torn tail, so inspect must now pass and
+# agree with the daemon's own accounting.
+"$CLI" inspect "$WAL" > "$WORK/wal.inspect" || {
+  echo "FAIL: inspect rejected the recovered WAL" >&2
+  cat "$WORK/wal.inspect" >&2; exit 1
+}
+grep -q 'traffic wal v1: .* crc OK' "$WORK/wal.inspect" || {
+  echo "FAIL: inspect did not identify a clean traffic WAL" >&2
+  cat "$WORK/wal.inspect" >&2; exit 1
+}
+echo "OK: pinned query bitwise identical across kill -9 + WAL replay"
+
+echo "OK: serve daemon soak passed (health gate, fleet, chaos, drain, ingest storm)"
